@@ -1,0 +1,96 @@
+//! E11 — the claim "click ahead is possible due to buffering in the I/O
+//! channels": events arriving while the application is busy are all
+//! delivered, in order, once it reads again — and the paper's suggested
+//! countermeasure (setting widgets insensitive) suppresses them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::Flavor;
+use wafe_ipc::ProtocolEngine;
+
+use bench::{banner, click, row};
+
+fn regenerate_claim() {
+    banner("E11", "click ahead due to I/O buffering");
+    let mut e = ProtocolEngine::new(Flavor::Athena);
+    e.handle_line("%command b topLevel label go callback {echo pressed %w}").unwrap();
+    e.handle_line("%realize").unwrap();
+    let _ = e.take_app_lines();
+
+    // The "user" clicks 25 times while the application reads nothing.
+    for _ in 0..25 {
+        let mut app = e.session.app.borrow_mut();
+        let b = app.lookup("b").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(b).window.unwrap());
+        app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    e.session.pump();
+    let buffered = e.app_lines_pending();
+    let lines = e.take_app_lines();
+    row("clicks injected while app busy", 25);
+    row("messages buffered for the app", buffered);
+    assert_eq!(lines.len(), 25, "no click may be lost");
+    assert!(lines.iter().all(|l| l == "pressed b"));
+
+    // The paper's countermeasure: "It can be deactivated by setting
+    // widgets insensitive".
+    e.handle_line("%setSensitive b False").unwrap();
+    for _ in 0..5 {
+        let mut app = e.session.app.borrow_mut();
+        let b = app.lookup("b").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(b).window.unwrap());
+        app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    e.session.pump();
+    let suppressed = e.take_app_lines();
+    row("messages after setSensitive False", suppressed.len());
+    assert!(suppressed.is_empty(), "insensitive widgets must not click ahead");
+
+    // …and the Tcl busy-guard alternative the paper sketches.
+    e.handle_line("%setSensitive b True").unwrap();
+    e.handle_line("%set busy 1").unwrap();
+    e.handle_line("%sV b callback {if {$busy} {echo please wait} else {echo pressed}}").unwrap();
+    {
+        let mut app = e.session.app.borrow_mut();
+        let b = app.lookup("b").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(b).window.unwrap());
+        app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    e.session.pump();
+    let friendly = e.take_app_lines();
+    row("busy-guard callback answer", friendly.join(" / "));
+    assert_eq!(friendly, vec!["please wait"]);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_claim();
+    let mut group = c.benchmark_group("e11_click_ahead");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(20);
+    group.bench_function("buffer_100_clicks", |b| {
+        let mut e = ProtocolEngine::new(Flavor::Athena);
+        e.handle_line("%command b topLevel label go callback {echo pressed}").unwrap();
+        e.handle_line("%realize").unwrap();
+        b.iter(|| {
+            for _ in 0..100 {
+                let mut app = e.session.app.borrow_mut();
+                let bw = app.lookup("b").unwrap();
+                let abs = app.displays[0].abs_rect(app.widget(bw).window.unwrap());
+                app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+            }
+            e.session.pump();
+            let lines = e.take_app_lines();
+            assert_eq!(lines.len(), 100);
+        });
+    });
+    group.bench_function("single_click_latency", |b| {
+        let mut s = bench::athena();
+        s.eval("command b topLevel label go callback {set hit 1}").unwrap();
+        s.eval("realize").unwrap();
+        b.iter(|| click(&mut s, "b"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E12 — the resource-count example: `getResourceList` on a Label prints
+//! 42 under the Xaw3d stack, with the names the paper lists.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{athena, banner, row};
+
+fn regenerate_example() {
+    banner("E12", "getResourceList — the paper's 42-resource Label");
+    let mut s = athena();
+    s.eval("label l topLevel").unwrap();
+    let n = s.eval("echo [getResourceList l retVal]").unwrap();
+    let _ = n;
+    let printed = s.take_output();
+    row("echo [getResourceList l retVal]", printed.trim());
+    assert_eq!(printed.trim(), "42");
+    let names = s.interp.get_var("retVal").unwrap();
+    let prefix: Vec<&str> = names.split_whitespace().take(12).collect();
+    row("first resource names", prefix.join(" "));
+    assert_eq!(
+        &prefix[..6],
+        &["destroyCallback", "x", "y", "width", "height", "borderWidth"]
+    );
+    // Per-class counts, for the record.
+    for (class, cmd) in [("Label", "label"), ("Command", "command"), ("Toggle", "toggle"), ("List", "list"), ("AsciiText", "asciiText")] {
+        let w = format!("w{class}");
+        s.eval(&format!("{cmd} {w} topLevel")).unwrap();
+        let count = s.eval(&format!("getResourceList {w} v")).unwrap();
+        row(&format!("{class} resources"), count);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_example();
+    let mut group = c.benchmark_group("e12_resource_list");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.bench_function("get_resource_list", |b| {
+        let mut s = athena();
+        s.eval("label l topLevel").unwrap();
+        b.iter(|| s.eval("getResourceList l retVal").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E13 — the claim "about 60% of the code is generated automatically
+//! from specifications": measure the generated / hand-written command
+//! split and the cost of the spec parser (the runtime code generator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::session::{MOTIF_SPEC, SHELLS_SPEC, XAW_SPEC, XT_SPEC};
+use wafe_core::spec::parse_spec;
+use wafe_core::{Flavor, WafeSession};
+
+use bench::{banner, row};
+
+fn regenerate_claim() {
+    banner("E13", "generated vs hand-written commands (paper: ~60% generated)");
+    for (flavor, name) in [
+        (Flavor::Athena, "wafe (Athena)"),
+        (Flavor::Motif, "mofe (Motif)"),
+        (Flavor::Both, "both"),
+    ] {
+        let s = WafeSession::new(flavor);
+        let (generated, handwritten) = s.command_stats();
+        let frac = 100.0 * generated as f64 / (generated + handwritten) as f64;
+        row(
+            &format!("{name}: generated/hand-written"),
+            format!("{generated}/{handwritten} = {frac:.0}% generated"),
+        );
+        assert!(frac > 50.0, "{name} generated fraction too low: {frac}");
+    }
+    // Spec inventory per file.
+    for (text, file) in [
+        (XT_SPEC, "xt.wspec"),
+        (SHELLS_SPEC, "shells.wspec"),
+        (XAW_SPEC, "xaw.wspec"),
+        (MOTIF_SPEC, "motif.wspec"),
+    ] {
+        let spec = parse_spec(text).unwrap();
+        row(
+            file,
+            format!("{} classes + {} commands", spec.classes.len(), spec.commands.len()),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_claim();
+    let mut group = c.benchmark_group("e13_generated_fraction");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.bench_function("parse_all_specs", |b| {
+        b.iter(|| {
+            for text in [XT_SPEC, SHELLS_SPEC, XAW_SPEC, MOTIF_SPEC] {
+                std::hint::black_box(parse_spec(std::hint::black_box(text)).unwrap());
+            }
+        });
+    });
+    group.bench_function("generate_reference_guide", |b| {
+        let s = WafeSession::new(Flavor::Both);
+        b.iter(|| std::hint::black_box(s.reference_guide()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E15 — "each command issued that way has to fit in a single line
+//! (which can be pretty long depending on a preprocessor variable
+//! specified at compilation time; the default length is 64KB)".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wafe_core::Flavor;
+use wafe_ipc::{ProtocolEngine, DEFAULT_MAX_LINE};
+
+use bench::{banner, row};
+
+fn regenerate_claim() {
+    banner("E15", "the 64KB command-line limit");
+    row("default limit", format!("{DEFAULT_MAX_LINE} bytes (64KB, as in the paper)"));
+    let mut e = ProtocolEngine::new(Flavor::Athena);
+    // A line just under the limit executes.
+    let under = format!("%set big {{{}}}", "x".repeat(DEFAULT_MAX_LINE - 100));
+    assert!(e.handle_line(&under).is_ok());
+    row("line 100 B under the limit", "accepted");
+    // A line over the limit is rejected gracefully (not a crash, not a
+    // truncation).
+    let over = format!("%set big {{{}}}", "x".repeat(DEFAULT_MAX_LINE + 100));
+    assert!(e.handle_line(&over).is_err());
+    row("line 100 B over the limit", "rejected with an error");
+    // The session survives and keeps working.
+    assert!(e.handle_line("%set ok 1").is_ok());
+    assert_eq!(e.session.interp.get_var("ok").unwrap(), "1");
+    row("session after oversized line", "still functional");
+    // The limit is the compile-time-style knob the paper mentions.
+    let mut small = ProtocolEngine::new(Flavor::Athena);
+    small.set_max_line(128);
+    assert!(small.handle_line(&format!("%echo {}", "y".repeat(200))).is_err());
+    row("configurable limit (128 B engine)", "enforced");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_claim();
+    let mut group = c.benchmark_group("e15_line_limit");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(20);
+    for size in [1024usize, 16 * 1024, 63 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("line_{size}B"), |b| {
+            let mut e = ProtocolEngine::new(Flavor::Athena);
+            let line = format!("%set big {{{}}}", "x".repeat(size - 12));
+            b.iter(|| e.handle_line(std::hint::black_box(&line)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

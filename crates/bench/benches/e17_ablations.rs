@@ -1,0 +1,106 @@
+//! E17 (extension) — ablations of the reproduction's design choices:
+//!
+//! * damage-tracked `flush()` vs forced full recomposition,
+//! * Xrm precedence lookup as the database and widget depth grow,
+//! * spec-generated command dispatch vs a direct native call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_xproto::geometry::Rect;
+use wafe_xt::xrm::XrmDb;
+
+use bench::{athena, banner, row};
+
+fn summarise() {
+    banner("E17", "ablations: damage tracking, Xrm scaling, dispatch layers");
+    // Damage tracking: second flush with no changes should be ~free.
+    let mut s = athena();
+    s.eval("label l topLevel label x").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].flush();
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            app.displays[0].flush();
+        }
+        let clean = start.elapsed() / 100;
+        row("flush() with no damage", format!("{clean:?}"));
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            // Force damage each round.
+            let root = app.displays[0].root();
+            app.displays[0].set_display_list(root, Vec::new());
+            app.displays[0].flush();
+        }
+        let dirty = start.elapsed() / 20;
+        row("flush() with damage (full recomposite)", format!("{dirty:?}"));
+        row(
+            "damage-tracking saving",
+            format!("{:.0}x", dirty.as_secs_f64() / clean.as_secs_f64().max(1e-12)),
+        );
+    }
+}
+
+fn xrm_db(entries: usize) -> XrmDb {
+    let mut db = XrmDb::new();
+    for i in 0..entries {
+        db.insert(&format!("*w{i}.foreground"), "red");
+        db.insert(&format!("app.box{i}*background"), "blue");
+    }
+    db.insert("*foreground", "black");
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    summarise();
+    let mut group = c.benchmark_group("e17_ablations");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // Xrm scaling: db size × path depth.
+    for entries in [10usize, 100, 400] {
+        let db = xrm_db(entries);
+        group.bench_function(format!("xrm_query_db{entries}"), |b| {
+            b.iter(|| {
+                db.query(
+                    std::hint::black_box(&["app", "top", "form", "deep", "leaf"]),
+                    &["App", "Shell", "Form", "Box", "Label"],
+                    "foreground",
+                    "Foreground",
+                )
+            });
+        });
+    }
+
+    // Dispatch-layer ablation: the same resource write through the spec
+    // layer vs directly.
+    group.bench_function("setvalues_via_tcl", |b| {
+        let mut s = athena();
+        s.eval("label l topLevel").unwrap();
+        b.iter(|| s.eval("sV l label {ablated}").unwrap());
+    });
+    group.bench_function("setvalues_direct", |b| {
+        let mut s = athena();
+        s.eval("label l topLevel").unwrap();
+        let l = s.app.borrow().lookup("l").unwrap();
+        b.iter(|| s.app.borrow_mut().set_resource(l, "label", "ablated").unwrap());
+    });
+
+    // Snapshot scaling.
+    for size in [160u32, 320, 640] {
+        group.bench_function(format!("snapshot_{size}px"), |b| {
+            let mut s = athena();
+            s.eval("label l topLevel label {snapshot target}").unwrap();
+            s.eval("realize").unwrap();
+            let rect = Rect::new(0, 0, size, size / 2);
+            b.iter(|| {
+                let app = s.app.borrow();
+                app.displays[0].snapshot_ascii(rect)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

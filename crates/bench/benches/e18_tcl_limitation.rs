@@ -1,0 +1,95 @@
+//! E18 — the paper's architectural justification: "The string
+//! representation of all data types is a disadvantage, when repetitious
+//! calculations have to be made in Tcl" and "an application program is
+//! performing some meaningful computations that we do not want to
+//! program in Tcl".
+//!
+//! Measured by running the same computation — the prime factorisation of
+//! the paper's Perl example — in pure Tcl inside the frontend versus in
+//! the compiled application program. The expected shape: the compiled
+//! path wins by orders of magnitude, which is why Wafe splits UI from
+//! computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_tcl::Interp;
+
+use bench::{banner, row};
+
+const FACTOR_TCL: &str = "\
+proc factor {n} {\n\
+    set result {}\n\
+    for {set d 2} {$d <= $n} {incr d} {\n\
+        while {$n % $d == 0} {\n\
+            set result [linsert $result 0 $d]\n\
+            set n [expr {$n / $d}]\n\
+        }\n\
+    }\n\
+    return [join $result *]\n\
+}";
+
+fn factor_rust(mut n: u64) -> String {
+    let mut result: Vec<u64> = Vec::new();
+    let mut d = 2u64;
+    while d <= n {
+        while n % d == 0 {
+            result.insert(0, d);
+            n /= d;
+        }
+        d += 1;
+    }
+    result.iter().map(u64::to_string).collect::<Vec<_>>().join("*")
+}
+
+fn summarise() {
+    banner("E18", "Tcl string-representation limitation (the frontend-split rationale)");
+    let mut i = Interp::new();
+    i.eval(FACTOR_TCL).unwrap();
+    let n = 99991; // A prime: the worst case, the loop runs to n.
+    let start = std::time::Instant::now();
+    let tcl_result = i.eval(&format!("factor {n}")).unwrap();
+    let tcl_time = start.elapsed();
+    let start = std::time::Instant::now();
+    let rust_result = factor_rust(n);
+    let rust_time = start.elapsed();
+    assert_eq!(tcl_result, rust_result);
+    row("factor 99991 in pure Tcl (the frontend)", format!("{tcl_time:?}"));
+    row("factor 99991 in the application program", format!("{rust_time:?}"));
+    row(
+        "compiled-application speedup",
+        format!("{:.0}x", tcl_time.as_secs_f64() / rust_time.as_secs_f64().max(1e-9)),
+    );
+    println!(
+        "  (this gap is the paper's reason for frontend mode: \"meaningful\n   \
+         computations that we do not want to program in Tcl\")"
+    );
+    assert!(
+        tcl_time > rust_time * 10,
+        "the compiled path must dominate: tcl={tcl_time:?} rust={rust_time:?}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    summarise();
+    let mut group = c.benchmark_group("e18_tcl_limitation");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.sample_size(10);
+    group.bench_function("factor_3599_tcl", |b| {
+        let mut i = Interp::new();
+        i.eval(FACTOR_TCL).unwrap();
+        b.iter(|| i.eval("factor 3599").unwrap()); // 59*61
+    });
+    group.bench_function("factor_3599_rust", |b| {
+        b.iter(|| factor_rust(std::hint::black_box(3599)));
+    });
+    // Tcl is fine for what Wafe uses it for: command dispatch.
+    group.bench_function("command_dispatch_tcl", |b| {
+        let mut i = Interp::new();
+        i.eval("set x 0").unwrap();
+        b.iter(|| i.eval("set x 1").unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E1 — the "Predefined Callbacks" table: verify each of the six
+//! functions behaves as documented, then measure popup/popdown cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_xt::callback::PredefinedCallback;
+
+use bench::{athena, banner, click, row};
+
+fn verify_table() {
+    banner("E1", "Predefined Callbacks (paper table, all six rows)");
+    println!("  {:<16} {:<34} verified", "name", "paper behaviour");
+    let rows = [
+        ("none", "realize shell, grab none"),
+        ("exclusive", "realize shell, grab exclusive"),
+        ("nonexclusive", "realize shell, grab nonexclusive"),
+        ("popdown", "unrealize shell"),
+        ("position", "position shell"),
+        ("positionCursor", "position shell under pointer"),
+    ];
+    for (name, behaviour) in rows {
+        let mut s = athena();
+        s.eval("command b topLevel label press").unwrap();
+        s.eval("transientShell popup topLevel x 600 y 500").unwrap();
+        s.eval("label inner popup label content").unwrap();
+        s.eval("realize").unwrap();
+        if name == "popdown" {
+            s.eval("callback b callback none popup").unwrap();
+            click(&mut s, "b");
+            s.eval("sV b callback {}").unwrap();
+        }
+        s.eval(&format!("callback b callback {name} popup")).unwrap();
+        if name == "positionCursor" {
+            let mut app = s.app.borrow_mut();
+            app.displays[0].inject_pointer_move(333, 222);
+        }
+        s.pump();
+        {
+            let mut app = s.app.borrow_mut();
+            let b = app.lookup("b").unwrap();
+            app.call_callbacks(b, "callback", std::collections::HashMap::new());
+        }
+        s.pump();
+        let app = s.app.borrow();
+        let popup = app.lookup("popup").unwrap();
+        let ok = match name {
+            "none" => app.is_popped_up(popup) && app.displays[0].grab_depth() == 0,
+            "exclusive" => app.is_popped_up(popup) && app.displays[0].grab_depth() == 1,
+            "nonexclusive" => app.is_popped_up(popup) && app.displays[0].grab_depth() == 1,
+            "popdown" => !app.is_popped_up(popup),
+            "position" => app.is_popped_up(popup) && app.pos_resource(popup, "y") > 0,
+            "positionCursor" => {
+                app.pos_resource(popup, "x") == 333 && app.pos_resource(popup, "y") == 222
+            }
+            _ => unreachable!(),
+        };
+        println!("  {name:<16} {behaviour:<34} {}", if ok { "yes" } else { "NO" });
+        assert!(ok, "predefined callback {name} misbehaved");
+    }
+    row("all six table rows", "reproduced");
+}
+
+fn bench(c: &mut Criterion) {
+    verify_table();
+    let mut group = c.benchmark_group("e1_predefined_callbacks");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(20);
+    group.bench_function("popup_popdown_cycle", |b| {
+        let mut s = athena();
+        s.eval("command b topLevel label press").unwrap();
+        s.eval("transientShell popup topLevel x 600 y 500").unwrap();
+        s.eval("label inner popup label content").unwrap();
+        s.eval("realize").unwrap();
+        let up = PredefinedCallback::Exclusive;
+        let down = PredefinedCallback::Popdown;
+        b.iter(|| {
+            let bw = s.app.borrow().lookup("b").unwrap();
+            s.app.borrow_mut().run_predefined(bw, up, "popup");
+            s.app.borrow_mut().run_predefined(bw, down, "popup");
+            s.pump();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

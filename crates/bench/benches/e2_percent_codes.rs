@@ -1,0 +1,90 @@
+//! E2 — the "Event Types and Percent Codes of Actions" table: regenerate
+//! the full validity matrix, then measure substitution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::percent::substitute_action;
+use wafe_xproto::{Event, EventKind, WindowId};
+
+use bench::banner;
+
+fn event(kind: EventKind) -> Event {
+    let mut e = Event::new(kind, WindowId(1));
+    e.button = 2;
+    e.x = 10;
+    e.y = 20;
+    e.x_root = 110;
+    e.y_root = 220;
+    e.keycode = 198;
+    e.keysym = "w".into();
+    e.ascii = "w".into();
+    e
+}
+
+fn regenerate_matrix() {
+    banner("E2", "Event Types and Percent Codes of Actions (paper table)");
+    let codes = ["%t", "%w", "%b", "%x", "%y", "%X", "%Y", "%a", "%k", "%s"];
+    let kinds = [
+        ("BPress", EventKind::ButtonPress),
+        ("BRelease", EventKind::ButtonRelease),
+        ("KeyPress", EventKind::KeyPress),
+        ("KeyRelease", EventKind::KeyRelease),
+        ("Enter", EventKind::EnterNotify),
+        ("Leave", EventKind::LeaveNotify),
+    ];
+    print!("  {:<10}", "code");
+    for (n, _) in &kinds {
+        print!("{n:<11}");
+    }
+    println!();
+    // The paper's validity table, as (code, valid-event-classes).
+    let expectations: &[(&str, fn(EventKind) -> bool)] = &[
+        ("%t", |_| true),
+        ("%w", |_| true),
+        ("%b", |k| matches!(k, EventKind::ButtonPress | EventKind::ButtonRelease)),
+        ("%x", |_| true),
+        ("%y", |_| true),
+        ("%X", |_| true),
+        ("%Y", |_| true),
+        ("%a", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
+        ("%k", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
+        ("%s", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
+    ];
+    for (code, valid) in expectations {
+        print!("  {code:<10}");
+        for (_, kind) in &kinds {
+            let out = substitute_action(code, "probe", &event(*kind));
+            let substituted = out != *code;
+            let expected = valid(*kind);
+            assert_eq!(
+                substituted, expected,
+                "{code} on {kind:?}: substituted={substituted}, table says {expected}"
+            );
+            print!("{:<11}", if substituted { "subst" } else { "-" });
+        }
+        println!();
+    }
+    // %t on an unlisted type expands to "unknown".
+    let unknown = substitute_action("%t", "probe", &event(EventKind::Expose));
+    assert_eq!(unknown, "unknown");
+    println!("  %t on unlisted event type -> {unknown} (as documented)");
+    assert_eq!(codes.len(), 10);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_matrix();
+    let mut group = c.benchmark_group("e2_percent_codes");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let key = event(EventKind::KeyPress);
+    group.bench_function("substitute_key_event", |b| {
+        b.iter(|| substitute_action(std::hint::black_box("echo %k %a %s at %x,%y"), "xev", &key));
+    });
+    let long = "echo ".to_string() + &"%w ".repeat(100);
+    group.bench_function("substitute_100_codes", |b| {
+        b.iter(|| substitute_action(std::hint::black_box(&long), "widget", &key));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

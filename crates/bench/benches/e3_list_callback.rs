@@ -1,0 +1,59 @@
+//! E3 — the "Athena List Widget Callback" percent codes (`%w %i %s`):
+//! regenerate the table and measure selection-to-callback latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{athena, banner, row};
+
+fn regenerate_table() {
+    banner("E3", "Athena List Widget Callback percent codes (paper table)");
+    let mut s = athena();
+    s.eval("list chooseLst topLevel list {alpha,beta,gamma}").unwrap();
+    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let l = app.lookup("chooseLst").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(l).window.unwrap());
+        app.displays[0].inject_click(abs.x + 4, abs.y + 2 + 15 + 7, 1);
+    }
+    s.pump();
+    let out = s.take_output();
+    assert_eq!(out, "w=chooseLst i=1 s=beta\n");
+    row("%w (widget's name)", "chooseLst");
+    row("%i (index)", "1");
+    row("%s (active element)", "beta");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e3_list_callback");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.bench_function("click_to_callback", |b| {
+        let mut s = athena();
+        let items: Vec<String> = (0..100).map(|i| format!("item{i}")).collect();
+        s.eval(&format!("list l topLevel list {{{}}}", items.join(","))).unwrap();
+        s.eval("sV l callback {set picked %i}").unwrap();
+        s.eval("realize").unwrap();
+        let mut row_ix = 0usize;
+        b.iter(|| {
+            {
+                let mut app = s.app.borrow_mut();
+                let l = app.lookup("l").unwrap();
+                let abs = app.displays[0].abs_rect(app.widget(l).window.unwrap());
+                let y = abs.y + 2 + (row_ix as i32 % 100) * 15 + 7;
+                app.displays[0].inject_click(abs.x + 4, y, 1);
+            }
+            s.pump();
+            row_ix += 1;
+        });
+        let picked = s.interp.get_var("picked").unwrap();
+        assert!(!picked.is_empty());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E4 — Figure 1: the layered architecture (Wafe on Tcl + Xt + Xaw,
+//! versus Tk's own intrinsics). Regenerated as a component inventory,
+//! plus the cost of assembling the whole stack (session startup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::{Flavor, WafeSession};
+
+use bench::{banner, row};
+
+fn regenerate_figure() {
+    banner("E4", "Figure 1 — the Wafe stack (component inventory)");
+    let s = WafeSession::new(Flavor::Both);
+    let tcl_builtins = {
+        let i = wafe_tcl::Interp::new();
+        i.command_names().len()
+    };
+    let (generated, handwritten) = s.command_stats();
+    let app = s.app.borrow();
+    let classes = app.class_names();
+    let athena: Vec<&String> = classes
+        .iter()
+        .filter(|c| !c.starts_with("Xm") && !c.ends_with("Shell"))
+        .collect();
+    let motif: Vec<&String> = classes.iter().filter(|c| c.starts_with("Xm")).collect();
+    let shells: Vec<&String> = classes.iter().filter(|c| c.ends_with("Shell")).collect();
+    println!("  +--------------------------------------------+");
+    println!("  |  Wafe commands: {generated} generated + {handwritten} hand-written  |");
+    println!("  +--------------------+-----------------------+");
+    println!("  |  Tcl ({tcl_builtins} built-ins) |  converters ({})      |", app.converters.len());
+    println!("  +--------------------+-----------------------+");
+    println!("  |  Xaw widgets ({})  |  Motif subset ({})     |", athena.len(), motif.len());
+    println!("  +--------------------+-----------------------+");
+    println!("  |  Xt Intrinsics (shells: {})                 |", shells.len());
+    println!("  +--------------------------------------------+");
+    println!("  |  X11 (simulated display server)            |");
+    println!("  +--------------------------------------------+");
+    row("Athena widget classes", athena.len());
+    row("Motif widget classes", motif.len());
+    row("shell classes", shells.len());
+    row("registered converters", app.converters.len());
+    assert!(athena.len() >= 15);
+    assert!(motif.len() >= 4);
+    assert!(shells.len() >= 4);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("e4_architecture");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(20);
+    group.bench_function("athena_session_startup", |b| {
+        b.iter(|| std::hint::black_box(WafeSession::new(Flavor::Athena)));
+    });
+    group.bench_function("motif_session_startup", |b| {
+        b.iter(|| std::hint::black_box(WafeSession::new(Flavor::Motif)));
+    });
+    group.bench_function("tcl_interp_startup", |b| {
+        b.iter(|| std::hint::black_box(wafe_tcl::Interp::new()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E5 — Figure 3: the OSF/Motif compound-string label. Regenerates the
+//! figure as an ASCII render and measures the converter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_motif::{parse_font_list, parse_xmstring, render_xmstring};
+use wafe_xproto::font::FontDb;
+
+use bench::{banner, motif, row};
+
+fn regenerate_figure() {
+    banner("E5", "Figure 3 — compound strings (mofe script, verbatim)");
+    let mut s = motif();
+    s.eval(
+        "mLabel l topLevel \\\n\
+         fontList \"*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft\" \\\n\
+         labelString \"I'm&bft bold&ft and&rl strange\"",
+    )
+    .unwrap();
+    s.eval("realize").unwrap();
+    println!("{}", s.eval("snapshot 0 0 400 60").unwrap());
+    let segs = parse_xmstring("I'm&bft bold&ft and&rl strange");
+    row("segments", segs.len());
+    row("visual text", render_xmstring(&segs));
+    let fonts = FontDb::new();
+    let fl = parse_font_list(&fonts, "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft");
+    row("font-list entries resolved", fl.len());
+    assert_eq!(segs.len(), 4);
+    assert_eq!(fl.len(), 2);
+    assert!(render_xmstring(&segs).contains("egnarts"));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("e5_xmstring");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.bench_function("parse_paper_string", |b| {
+        b.iter(|| parse_xmstring(std::hint::black_box("I'm&bft bold&ft and&rl strange")));
+    });
+    let long: String = (0..50).map(|i| format!("seg{i}&bft bold{i}&ft ")).collect();
+    group.bench_function("parse_100_segments", |b| {
+        b.iter(|| parse_xmstring(std::hint::black_box(&long)));
+    });
+    let fonts = FontDb::new();
+    group.bench_function("resolve_font_list", |b| {
+        b.iter(|| {
+            parse_font_list(
+                &fonts,
+                std::hint::black_box("*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

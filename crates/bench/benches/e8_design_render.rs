@@ -1,0 +1,86 @@
+//! E8 — Figures 2 and 6: the graph-layout widget (XmGraph stand-in) and
+//! the xwafedesign screenshots, regenerated as ASCII renders; measures
+//! tree layout and snapshot cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::WafeSession;
+
+use bench::{athena, banner, row};
+
+fn build_design_tool(s: &mut WafeSession) {
+    s.eval("form design topLevel").unwrap();
+    s.eval("label title design label {Design: sample} borderWidth 0").unwrap();
+    s.eval("list folders design fromVert title list {inbox,outbox}").unwrap();
+    s.eval("command send design label Send fromVert folders").unwrap();
+    s.eval("realize").unwrap();
+}
+
+fn regenerate_figures() {
+    banner("E8", "Figure 6 (xwafedesign) and Figure 2 (graph widget)");
+    let mut s = athena();
+    build_design_tool(&mut s);
+    println!("--- Figure 6 stand-in: the designed UI ---");
+    println!("{}", s.eval("snapshot 0 0 300 120").unwrap());
+
+    // Figure 2: a widget tree drawn by the TreeGraph layout widget.
+    s.eval("applicationShell viewer design:1").unwrap();
+    s.eval("treeGraph graph viewer").unwrap();
+    for (node, parent) in [
+        ("design", ""),
+        ("title", "design"),
+        ("folders", "design"),
+        ("send", "design"),
+    ] {
+        let mut cmd = format!("label n_{node} graph label {node}");
+        if !parent.is_empty() {
+            cmd.push_str(&format!(" parentNode n_{parent}"));
+        }
+        s.eval(&cmd).unwrap();
+    }
+    s.eval("realize").unwrap();
+    println!("--- Figure 2 stand-in: the widget graph ---");
+    let snap = s.eval("snapshot 0 0 400 140 1").unwrap();
+    println!("{snap}");
+    assert!(snap.contains("design"));
+    assert!(snap.contains("folders"));
+    row("graph nodes laid out", 4);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figures();
+    let mut group = c.benchmark_group("e8_design_render");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.bench_function("snapshot_320x240", |b| {
+        let mut s = athena();
+        build_design_tool(&mut s);
+        b.iter(|| s.eval("snapshot 0 0 320 240").unwrap());
+    });
+    group.bench_function("tree_layout_30_nodes", |b| {
+        let mut s = athena();
+        s.eval("treeGraph graph topLevel").unwrap();
+        s.eval("label n_root graph label root").unwrap();
+        for i in 0..29usize {
+            let parent = if i == 0 {
+                "n_root".to_string()
+            } else {
+                format!("n_{}", (i - 1) / 2)
+            };
+            s.eval(&format!("label n_{i} graph label node{i} parentNode {parent}"))
+                .unwrap();
+        }
+        s.eval("realize").unwrap();
+        b.iter(|| {
+            let root = {
+                let app = s.app.borrow();
+                app.lookup("topLevel").unwrap()
+            };
+            s.app.borrow_mut().do_layout(root);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

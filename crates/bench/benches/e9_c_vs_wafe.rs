@@ -1,0 +1,135 @@
+//! E9 — the paper's claim: "from its performance a user cannot
+//! distinguish whether a widget application was developed using C or
+//! Wafe". The same UI work done three ways:
+//!
+//! 1. direct toolkit API calls (the "C program"),
+//! 2. in-process Tcl commands (Wafe file mode),
+//! 3. protocol lines (Wafe frontend mode).
+//!
+//! The shape to reproduce: each layer adds overhead, but all three stay
+//! far below human-perceptible latency (~10 ms was the 1993 bar), so the
+//! claim holds even though the layers differ by constant factors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wafe_core::Flavor;
+use wafe_ipc::ProtocolEngine;
+
+use bench::{athena, banner, row};
+
+fn summarise_latency() {
+    banner("E9", "C vs Wafe — widget creation + callback dispatch, three ways");
+    // One-shot wall-clock samples for the narrative (Criterion runs the
+    // statistically sound version below).
+    let n = 200u32;
+
+    // Direct toolkit API ("C").
+    let mut s = athena();
+    s.eval("realize").unwrap();
+    let start = std::time::Instant::now();
+    {
+        let mut app = s.app.borrow_mut();
+        let top = app.lookup("topLevel").unwrap();
+        for i in 0..n {
+            let w = app
+                .create_widget(
+                    &format!("api{i}"),
+                    "Label",
+                    Some(top),
+                    0,
+                    &[("label".to_string(), "hello".to_string())],
+                    true,
+                )
+                .unwrap();
+            app.destroy_widget(w);
+        }
+    }
+    let api = start.elapsed() / n;
+    row("create+destroy via direct API", format!("{api:?} per widget"));
+
+    // In-process Tcl (file mode).
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        s.eval(&format!("label tcl{i} topLevel label hello")).unwrap();
+        s.eval(&format!("destroyWidget tcl{i}")).unwrap();
+    }
+    let tcl = start.elapsed() / n;
+    row("create+destroy via Tcl commands", format!("{tcl:?} per widget"));
+
+    // Protocol lines (frontend mode, loopback transport).
+    let mut e = ProtocolEngine::new(Flavor::Athena);
+    e.handle_line("%realize").unwrap();
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        e.handle_line(&format!("%label p{i} topLevel label hello")).unwrap();
+        e.handle_line(&format!("%destroyWidget p{i}")).unwrap();
+    }
+    let proto = start.elapsed() / n;
+    row("create+destroy via protocol lines", format!("{proto:?} per widget"));
+
+    row(
+        "Tcl overhead over direct API",
+        format!("{:.1}x", tcl.as_secs_f64() / api.as_secs_f64().max(1e-12)),
+    );
+    let imperceptible = api.as_millis() < 10 && tcl.as_millis() < 10 && proto.as_millis() < 10;
+    row("all layers below the ~10 ms perception bar", imperceptible);
+    assert!(tcl.as_millis() < 10, "Tcl path must stay imperceptible: {tcl:?}");
+    assert!(proto.as_millis() < 10, "protocol path must stay imperceptible: {proto:?}");
+}
+
+fn bench(c: &mut Criterion) {
+    summarise_latency();
+    let mut group = c.benchmark_group("e9_c_vs_wafe");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+
+    group.bench_function("create_destroy_direct_api", |b| {
+        let mut s = athena();
+        s.eval("realize").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut app = s.app.borrow_mut();
+            let top = app.lookup("topLevel").unwrap();
+            let w = app
+                .create_widget(&format!("w{i}"), "Label", Some(top), 0, &[], true)
+                .unwrap();
+            app.destroy_widget(w);
+            i += 1;
+        });
+    });
+
+    group.bench_function("create_destroy_tcl", |b| {
+        let mut s = athena();
+        s.eval("realize").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            s.eval(&format!("label w{i} topLevel")).unwrap();
+            s.eval(&format!("destroyWidget w{i}")).unwrap();
+            i += 1;
+        });
+    });
+
+    group.bench_function("create_destroy_protocol", |b| {
+        let mut e = ProtocolEngine::new(Flavor::Athena);
+        e.handle_line("%realize").unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            e.handle_line(&format!("%label w{i} topLevel")).unwrap();
+            e.handle_line(&format!("%destroyWidget w{i}")).unwrap();
+            i += 1;
+        });
+    });
+
+    // Callback dispatch: click-to-script, the latency a user feels.
+    group.bench_function("callback_dispatch_click", |b| {
+        let mut s = athena();
+        s.eval("command b topLevel label hit callback {set n [expr $n+1]}").unwrap();
+        s.eval("set n 0").unwrap();
+        s.eval("realize").unwrap();
+        b.iter(|| bench::click(&mut s, "b"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

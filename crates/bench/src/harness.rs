@@ -1,0 +1,103 @@
+//! Bench helpers: sessions, synthetic users, table printing, LoC counts.
+
+use wafe_core::{Flavor, WafeSession};
+
+/// A fresh Athena session.
+pub fn athena() -> WafeSession {
+    WafeSession::new(Flavor::Athena)
+}
+
+/// A fresh Motif session.
+pub fn motif() -> WafeSession {
+    WafeSession::new(Flavor::Motif)
+}
+
+/// Clicks the middle of a widget's window and pumps.
+pub fn click(session: &mut WafeSession, name: &str) {
+    {
+        let mut app = session.app.borrow_mut();
+        let w = app.lookup(name).expect("widget exists");
+        let win = app.widget(w).window.expect("widget realized");
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_click(
+            abs.x + (abs.w as i32 / 2).max(1),
+            abs.y + (abs.h as i32 / 2).max(1),
+            1,
+        );
+    }
+    session.pump();
+}
+
+/// Prints an experiment header the way EXPERIMENTS.md quotes them.
+pub fn banner(id: &str, title: &str) {
+    println!("\n==== {id}: {title} ====");
+}
+
+/// Prints one measured row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<44} {value}");
+}
+
+/// Counts non-blank, non-comment-only lines of `.rs` files under a
+/// directory (the E14 LoC inventory).
+pub fn count_loc(dir: &std::path::Path) -> usize {
+    let mut total = 0usize;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return 0,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().map(|n| n == "target").unwrap_or(false) {
+                continue;
+            }
+            total += count_loc(&path);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                total += text
+                    .lines()
+                    .filter(|l| {
+                        let t = l.trim();
+                        !t.is_empty() && !t.starts_with("//")
+                    })
+                    .count();
+            }
+        }
+    }
+    total
+}
+
+/// The workspace root, found from the bench binary's location.
+pub fn workspace_root() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root not found");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_helpers_work() {
+        let mut s = athena();
+        s.eval("command b topLevel label hit callback {echo ok}").unwrap();
+        s.eval("realize").unwrap();
+        click(&mut s, "b");
+        assert_eq!(s.take_output(), "ok\n");
+    }
+
+    #[test]
+    fn loc_counter_counts_this_crate() {
+        let root = workspace_root();
+        let n = count_loc(&root.join("crates").join("bench").join("src"));
+        assert!(n > 50, "bench crate LoC = {n}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared support for the benchmark harness.
+//!
+//! Each Criterion bench under `benches/` regenerates one table, figure or
+//! experience claim of the paper (the experiment ids E1–E16 of
+//! DESIGN.md). The helpers here keep the benches small: session
+//! construction, synthetic clicking, and the paper-style row printer that
+//! EXPERIMENTS.md quotes.
+
+pub mod harness;
+
+pub use harness::*;

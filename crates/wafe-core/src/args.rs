@@ -1,0 +1,130 @@
+//! Command-line argument splitting.
+//!
+//! "Command line arguments starting with a double dash (like `--f`) are
+//! always handled by the frontend. The remaining arguments are passed to
+//! the X Toolkit (to interpret arguments like `-display hostname:0` or
+//! `-xrm`), the rest is passed to the application program, if Wafe runs
+//! in the frontend mode."
+
+/// The three destinations of command-line arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitArgs {
+    /// `--*` options for the frontend itself (dashes stripped).
+    pub frontend: Vec<String>,
+    /// X Toolkit options as `(option, value)` pairs (`-display`, `-xrm`…);
+    /// flag-only options carry an empty value.
+    pub toolkit: Vec<(String, String)>,
+    /// Everything else: passed to the application program.
+    pub application: Vec<String>,
+}
+
+/// X Toolkit options that consume a following value argument.
+const XT_VALUE_OPTIONS: &[&str] = &[
+    "-display", "-xrm", "-geometry", "-bg", "-background", "-fg", "-foreground", "-bd",
+    "-bordercolor", "-bw", "-borderwidth", "-fn", "-font", "-name", "-title", "-selectionTimeout",
+];
+
+/// X Toolkit options that stand alone.
+const XT_FLAG_OPTIONS: &[&str] = &["-iconic", "-rv", "-reverse", "+rv", "-synchronous"];
+
+/// Splits an argument vector per the paper's rules.
+pub fn split_args(args: &[String]) -> SplitArgs {
+    let mut out = SplitArgs::default();
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(opt) = a.strip_prefix("--") {
+            out.frontend.push(opt.to_string());
+            i += 1;
+        } else if XT_VALUE_OPTIONS.contains(&a.as_str()) {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            out.toolkit.push((a.clone(), value));
+            i += 2;
+        } else if XT_FLAG_OPTIONS.contains(&a.as_str()) {
+            out.toolkit.push((a.clone(), String::new()));
+            i += 1;
+        } else {
+            out.application.push(a.clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+impl SplitArgs {
+    /// The value of an X toolkit option, if present (last wins).
+    pub fn toolkit_value(&self, option: &str) -> Option<&str> {
+        self.toolkit
+            .iter()
+            .rev()
+            .find(|(o, _)| o == option)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All `-xrm` specification lines, in order.
+    pub fn xrm_lines(&self) -> Vec<&str> {
+        self.toolkit
+            .iter()
+            .filter(|(o, _)| o == "-xrm")
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// True if the frontend option is present (`--f file` style options
+    /// are returned with their dashes stripped).
+    pub fn has_frontend(&self, opt: &str) -> bool {
+        self.frontend.iter().any(|f| f == opt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_split_rules() {
+        let s = split_args(&sv(&[
+            "--f",
+            "-display",
+            "hostname:0",
+            "-xrm",
+            "*InitCom: [myapp], widget_tree, read_loop.",
+            "input.txt",
+            "-v",
+        ]));
+        assert_eq!(s.frontend, vec!["f"]);
+        assert_eq!(s.toolkit_value("-display"), Some("hostname:0"));
+        assert_eq!(s.xrm_lines().len(), 1);
+        assert_eq!(s.application, vec!["input.txt", "-v"]);
+    }
+
+    #[test]
+    fn flag_options() {
+        let s = split_args(&sv(&["-iconic", "-rv", "app-arg"]));
+        assert_eq!(s.toolkit.len(), 2);
+        assert_eq!(s.application, vec!["app-arg"]);
+    }
+
+    #[test]
+    fn multiple_xrm() {
+        let s = split_args(&sv(&["-xrm", "*a: 1", "-xrm", "*b: 2"]));
+        assert_eq!(s.xrm_lines(), vec!["*a: 1", "*b: 2"]);
+    }
+
+    #[test]
+    fn value_option_at_end_without_value() {
+        let s = split_args(&sv(&["-display"]));
+        assert_eq!(s.toolkit_value("-display"), Some(""));
+    }
+
+    #[test]
+    fn empty() {
+        let s = split_args(&[]);
+        assert_eq!(s, SplitArgs::default());
+        assert!(!s.has_frontend("f"));
+    }
+}

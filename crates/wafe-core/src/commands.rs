@@ -1,0 +1,452 @@
+//! Hand-written Wafe commands (the 40% the code generator does not
+//! produce): `setValues`/`sV`, `getValues`/`gV`, `mergeResources`,
+//! `action`, `callback`, `realize`, `quit`, `snapshot`, timeouts,
+//! `processEvents`, channel configuration and statistics.
+
+use wafe_tcl::error::wrong_num_args;
+use wafe_tcl::TclError;
+use wafe_xproto::geometry::Rect;
+use wafe_xt::callback::{CallbackItem, PredefinedCallback};
+use wafe_xt::resource::ResourceValue;
+use wafe_xt::translation::{MergeMode, TranslationTable};
+
+use crate::session::{pump, Timer, WafeSession};
+
+/// Registers every hand-written command into the session.
+pub fn register_handwritten(session: &mut WafeSession) {
+    register_set_values(session);
+    register_get_values(session);
+    register_merge_resources(session);
+    register_load_resource_file(session);
+    register_action(session);
+    register_callback(session);
+    register_realize(session);
+    register_quit(session);
+    register_snapshot(session);
+    register_snapshot_ppm(session);
+    register_timeouts(session);
+    register_work_procs(session);
+    register_process_events(session);
+    register_channel(session);
+    register_widget_tree(session);
+    register_stats(session);
+}
+
+fn register_set_values(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
+        if argv.len() < 4 || (argv.len() - 2) % 2 != 0 {
+            return Err(wrong_num_args("setValues widget resource value ?resource value ...?"));
+        }
+        let mut app = app_rc.borrow_mut();
+        let w = app
+            .lookup(&argv[1])
+            .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
+        for pair in argv[2..].chunks(2) {
+            app.set_resource(w, &pair[0], &pair[1])
+                .map_err(|e| TclError::Error(e.to_string()))?;
+        }
+        Ok(String::new())
+    };
+    // "For convenience the command setValues is registered as well under
+    // the name sV."
+    session.register_handwritten_command("setValues", handler.clone());
+    session.register_handwritten_command("sV", handler);
+}
+
+fn register_get_values(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
+        if argv.len() != 3 {
+            return Err(wrong_num_args("getValue widget resource"));
+        }
+        let app = app_rc.borrow();
+        let w = app
+            .lookup(&argv[1])
+            .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
+        app.get_resource_string(w, &argv[2])
+            .map_err(|e| TclError::Error(e.to_string()))
+    };
+    session.register_handwritten_command("getValue", handler.clone());
+    session.register_handwritten_command("getValues", handler.clone());
+    session.register_handwritten_command("gV", handler);
+}
+
+fn register_load_resource_file(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("loadResourceFile", move |_, argv| {
+        // The resource-file mechanism: "Using a resource description
+        // file, which is evaluated at startup time of the application."
+        if argv.len() != 2 {
+            return Err(wrong_num_args("loadResourceFile fileName"));
+        }
+        let text = std::fs::read_to_string(&argv[1]).map_err(|e| {
+            TclError::Error(format!("couldn't read resource file \"{}\": {e}", argv[1]))
+        })?;
+        let n = app_rc.borrow_mut().resource_db.merge_text(&text);
+        Ok(n.to_string())
+    });
+}
+
+fn register_merge_resources(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("mergeResources", move |_, argv| {
+        if argv.len() < 3 || (argv.len() - 1) % 2 != 0 {
+            return Err(wrong_num_args("mergeResources resource value ?resource value ...?"));
+        }
+        let mut app = app_rc.borrow_mut();
+        for pair in argv[1..].chunks(2) {
+            let line = format!("{}: {}", pair[0], pair[1]);
+            if !app.resource_db.insert_line(&line) {
+                return Err(TclError::Error(format!(
+                    "malformed resource specification \"{}\"",
+                    pair[0]
+                )));
+            }
+        }
+        Ok(String::new())
+    });
+}
+
+fn register_action(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("action", move |_, argv| {
+        if argv.len() < 4 {
+            return Err(wrong_num_args(
+                "action widget override|augment|replace translation ?translation ...?",
+            ));
+        }
+        let mode = MergeMode::parse(&argv[2]).ok_or_else(|| {
+            TclError::Error(format!(
+                "bad mode \"{}\": must be override, augment, or replace",
+                argv[2]
+            ))
+        })?;
+        let table = TranslationTable::parse(&argv[3..].join("\n")).map_err(TclError::Error)?;
+        let mut app = app_rc.borrow_mut();
+        let w = app
+            .lookup(&argv[1])
+            .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
+        app.merge_translations(w, table, mode);
+        Ok(String::new())
+    });
+}
+
+fn register_callback(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("callback", move |_, argv| {
+        if argv.len() != 5 {
+            return Err(wrong_num_args("callback widget resource function shell"));
+        }
+        let kind = PredefinedCallback::parse(&argv[3]).ok_or_else(|| {
+            TclError::Error(format!(
+                "bad predefined callback \"{}\": must be none, exclusive, nonexclusive, popdown, position, or positionCursor",
+                argv[3]
+            ))
+        })?;
+        let mut app = app_rc.borrow_mut();
+        let w = app
+            .lookup(&argv[1])
+            .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
+        let mut items = match app.widget(w).resource(&argv[2]) {
+            Some(ResourceValue::Callback(items)) => items.clone(),
+            Some(_) => {
+                return Err(TclError::Error(format!(
+                    "resource \"{}\" of \"{}\" is not a callback list",
+                    argv[2], argv[1]
+                )))
+            }
+            None => {
+                return Err(TclError::Error(format!(
+                    "widget \"{}\" has no resource \"{}\"",
+                    argv[1], argv[2]
+                )))
+            }
+        };
+        items.push(CallbackItem::Predefined { kind, shell: argv[4].clone() });
+        // Resolve the static key through the class's resource spec.
+        let key = app
+            .widget(w)
+            .class
+            .resource(&argv[2])
+            .map(|spec| spec.name)
+            .expect("resource existence checked above");
+        app.put_resource(w, key, ResourceValue::Callback(items));
+        Ok(String::new())
+    });
+}
+
+fn register_realize(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    let quit = session.quit.clone();
+    session.register_handwritten_command("realize", move |interp, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("realize"));
+        }
+        let shells: Vec<wafe_xt::WidgetId> = {
+            let app = app_rc.borrow();
+            app.widget_names()
+                .iter()
+                .filter_map(|n| app.lookup(n))
+                .filter(|&w| {
+                    let rec = app.widget(w);
+                    rec.parent.is_none()
+                        && matches!(rec.class.name.as_str(), "TopLevelShell" | "ApplicationShell")
+                })
+                .collect()
+        };
+        for s in shells {
+            app_rc.borrow_mut().realize(s);
+        }
+        let ndisplays = app_rc.borrow().displays.len();
+        for di in 0..ndisplays {
+            app_rc.borrow_mut().displays[di].flush();
+        }
+        pump(interp, &app_rc, &quit);
+        Ok(String::new())
+    });
+}
+
+fn register_quit(session: &mut WafeSession) {
+    let quit = session.quit.clone();
+    session.register_handwritten_command("quit", move |_, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("quit"));
+        }
+        quit.set(true);
+        Ok(String::new())
+    });
+}
+
+fn register_snapshot(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("snapshot", move |_, argv| {
+        // snapshot ?x y w h? ?displayIndex? — reproduction aid: the ASCII
+        // figure of the current screen.
+        let (rect, di) = match argv.len() {
+            1 => (Rect::new(0, 0, 640, 400), 0usize),
+            5 | 6 => {
+                let p = |s: &String| {
+                    s.parse::<i64>()
+                        .map_err(|_| TclError::Error(format!("expected integer but got \"{s}\"")))
+                };
+                let rect = Rect::new(
+                    p(&argv[1])? as i32,
+                    p(&argv[2])? as i32,
+                    p(&argv[3])?.max(1) as u32,
+                    p(&argv[4])?.max(1) as u32,
+                );
+                let di = argv.get(5).map(|s| p(s)).transpose()?.unwrap_or(0) as usize;
+                (rect, di)
+            }
+            _ => return Err(wrong_num_args("snapshot ?x y width height? ?display?")),
+        };
+        let mut app = app_rc.borrow_mut();
+        if di >= app.displays.len() {
+            return Err(TclError::Error(format!("no display {di}")));
+        }
+        app.displays[di].flush();
+        Ok(app.displays[di].snapshot_ascii(rect))
+    });
+}
+
+fn register_snapshot_ppm(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("snapshotPpm", move |_, argv| {
+        // snapshotPpm fileName ?displayIndex? — writes a real PPM image
+        // of the composited screen (the reproduction's figure files).
+        if argv.len() != 2 && argv.len() != 3 {
+            return Err(wrong_num_args("snapshotPpm fileName ?display?"));
+        }
+        let di: usize = argv
+            .get(2)
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[2])))?
+            .unwrap_or(0);
+        let mut app = app_rc.borrow_mut();
+        if di >= app.displays.len() {
+            return Err(TclError::Error(format!("no display {di}")));
+        }
+        app.displays[di].flush();
+        let mut file = std::fs::File::create(&argv[1])
+            .map_err(|e| TclError::Error(format!("cannot create \"{}\": {e}", argv[1])))?;
+        app.displays[di]
+            .framebuffer()
+            .write_ppm(&mut file)
+            .map_err(|e| TclError::Error(format!("cannot write \"{}\": {e}", argv[1])))?;
+        Ok(String::new())
+    });
+}
+
+fn register_timeouts(session: &mut WafeSession) {
+    let timers = session.timers.clone();
+    let clock = session.clock_ms.clone();
+    session.register_handwritten_command("addTimeOut", move |_, argv| {
+        if argv.len() != 3 {
+            return Err(wrong_num_args("addTimeOut milliseconds script"));
+        }
+        let ms: u64 = argv[1]
+            .parse()
+            .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
+        timers
+            .borrow_mut()
+            .push(Timer { deadline_ms: clock.get() + ms, script: argv[2].clone() });
+        Ok(String::new())
+    });
+
+    let timers = session.timers.clone();
+    let clock = session.clock_ms.clone();
+    let app_rc = session.app.clone();
+    let quit = session.quit.clone();
+    session.register_handwritten_command("advanceTime", move |interp, argv| {
+        if argv.len() != 2 {
+            return Err(wrong_num_args("advanceTime milliseconds"));
+        }
+        let ms: u64 = argv[1]
+            .parse()
+            .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
+        let target = clock.get() + ms;
+        loop {
+            let next = {
+                let t = timers.borrow();
+                t.iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.deadline_ms <= target)
+                    .min_by_key(|(_, t)| t.deadline_ms)
+                    .map(|(i, t)| (i, t.deadline_ms))
+            };
+            match next {
+                Some((i, deadline)) => {
+                    let t = timers.borrow_mut().remove(i);
+                    clock.set(deadline);
+                    let _ = interp.eval(&t.script);
+                    pump(interp, &app_rc, &quit);
+                }
+                None => break,
+            }
+        }
+        clock.set(target);
+        Ok(String::new())
+    });
+}
+
+fn register_work_procs(session: &mut WafeSession) {
+    let procs = session.work_procs.clone();
+    let next = session.next_work_id.clone();
+    session.register_handwritten_command("addWorkProc", move |_, argv| {
+        // XtAppAddWorkProc: the script runs whenever the loop is idle; a
+        // true result removes it (like returning True from C).
+        if argv.len() != 2 {
+            return Err(wrong_num_args("addWorkProc script"));
+        }
+        let id = next.get();
+        next.set(id + 1);
+        procs.borrow_mut().push((id, argv[1].clone()));
+        Ok(id.to_string())
+    });
+
+    let procs = session.work_procs.clone();
+    session.register_handwritten_command("removeWorkProc", move |_, argv| {
+        if argv.len() != 2 {
+            return Err(wrong_num_args("removeWorkProc id"));
+        }
+        let id: u64 = argv[1]
+            .parse()
+            .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
+        let before = procs.borrow().len();
+        procs.borrow_mut().retain(|(i, _)| *i != id);
+        Ok(if procs.borrow().len() < before { "1" } else { "0" }.into())
+    });
+}
+
+fn register_process_events(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    let quit = session.quit.clone();
+    session.register_handwritten_command("processEvents", move |interp, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("processEvents"));
+        }
+        pump(interp, &app_rc, &quit);
+        Ok(String::new())
+    });
+}
+
+fn register_channel(session: &mut WafeSession) {
+    let fd = session.channel_fd.clone();
+    session.register_handwritten_command("getChannel", move |_, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("getChannel"));
+        }
+        Ok(fd.get().to_string())
+    });
+
+    let comm = session.comm_var.clone();
+    session.register_handwritten_command("setCommunicationVariable", move |_, argv| {
+        if argv.len() != 4 {
+            return Err(wrong_num_args("setCommunicationVariable varName byteCount script"));
+        }
+        let bytes: usize = argv[2]
+            .parse()
+            .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[2])))?;
+        *comm.borrow_mut() = Some((argv[1].clone(), bytes, argv[3].clone()));
+        Ok(String::new())
+    });
+}
+
+fn register_widget_tree(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("widgetTree", move |_, argv| {
+        // widgetTree ?root? — the widget hierarchy as a nested Tcl list:
+        // {name class {children...}}. Introspection for design tools.
+        if argv.len() > 2 {
+            return Err(wrong_num_args("widgetTree ?root?"));
+        }
+        let app = app_rc.borrow();
+        let root = match argv.get(1) {
+            Some(name) => app
+                .lookup(name)
+                .ok_or_else(|| TclError::Error(format!("unknown widget \"{name}\"")))?,
+            None => app
+                .lookup("topLevel")
+                .ok_or_else(|| TclError::error("no topLevel widget"))?,
+        };
+        fn describe(app: &wafe_xt::XtApp, w: wafe_xt::WidgetId) -> String {
+            let rec = app.widget(w);
+            let kids: Vec<String> = rec
+                .children
+                .iter()
+                .chain(rec.popups.iter())
+                .map(|&c| describe(app, c))
+                .collect();
+            wafe_tcl::list_join(&[
+                rec.name.clone(),
+                rec.class.name.clone(),
+                wafe_tcl::list_join(&kids),
+            ])
+        }
+        Ok(describe(&app, root))
+    });
+}
+
+fn register_stats(session: &mut WafeSession) {
+    let generated = session.spec().generated_count();
+    let handwritten = session.handwritten.clone();
+    session.register_handwritten_command("wafeStats", move |_, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("wafeStats"));
+        }
+        // +1: this command itself has not been counted yet at capture
+        // time for the commands registered after it; the counter cell is
+        // shared, so reading it now is accurate.
+        Ok(format!("generated {generated} handwritten {}", handwritten.get()))
+    });
+
+    let guide = session.reference_guide();
+    session.register_handwritten_command("referenceGuide", move |_, argv| {
+        if argv.len() != 1 {
+            return Err(wrong_num_args("referenceGuide"));
+        }
+        Ok(guide.clone())
+    });
+}

@@ -1,0 +1,96 @@
+//! Wafe's naming conventions.
+//!
+//! "Wafe commands corresponding to X Toolkit functions (eg.
+//! `XtDestroyWidget`) have the same name except that the prefix `Xt`,
+//! `Xaw` or `X` is stripped and the first letter of the remaining string
+//! is translated to lower case (… `destroyWidget`). … OSF/Motif commands
+//! stripped by the rules above result in Wafe commands starting with the
+//! letter m. The OSF/Motif command `XmCommandAppendValue` is therefore
+//! called `mCommandAppendValue`."
+//!
+//! The same rules apply to widget-class creation commands: Athena
+//! `Toggle` → `toggle`, Motif `XmCascadeButton` → `mCascadeButton`.
+
+/// Derives the Wafe command name for a C function name.
+///
+/// # Examples
+///
+/// ```
+/// use wafe_core::naming::command_name;
+/// assert_eq!(command_name("XtDestroyWidget"), "destroyWidget");
+/// assert_eq!(command_name("XawFormAllowResize"), "formAllowResize");
+/// assert_eq!(command_name("XmCommandAppendValue"), "mCommandAppendValue");
+/// ```
+pub fn command_name(c_name: &str) -> String {
+    if let Some(rest) = c_name.strip_prefix("Xm") {
+        return format!("m{rest}");
+    }
+    let rest = c_name
+        .strip_prefix("Xaw")
+        .or_else(|| c_name.strip_prefix("Xt"))
+        .or_else(|| c_name.strip_prefix('X'))
+        .unwrap_or(c_name);
+    lower_first(rest)
+}
+
+/// Derives the widget-creation command name for a widget class name.
+///
+/// # Examples
+///
+/// ```
+/// use wafe_core::naming::class_command_name;
+/// assert_eq!(class_command_name("Toggle"), "toggle");
+/// assert_eq!(class_command_name("AsciiText"), "asciiText");
+/// assert_eq!(class_command_name("XmCascadeButton"), "mCascadeButton");
+/// ```
+pub fn class_command_name(class: &str) -> String {
+    if let Some(rest) = class.strip_prefix("Xm") {
+        return format!("m{rest}");
+    }
+    lower_first(class)
+}
+
+fn lower_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(command_name("XtDestroyWidget"), "destroyWidget");
+        assert_eq!(command_name("XawFormAllowResize"), "formAllowResize");
+        assert_eq!(command_name("XmCommandAppendValue"), "mCommandAppendValue");
+        assert_eq!(command_name("XmCascadeButtonHighlight"), "mCascadeButtonHighlight");
+        assert_eq!(command_name("XtGetResourceList"), "getResourceList");
+    }
+
+    #[test]
+    fn class_names() {
+        assert_eq!(class_command_name("Label"), "label");
+        assert_eq!(class_command_name("Command"), "command");
+        assert_eq!(class_command_name("Toggle"), "toggle");
+        assert_eq!(class_command_name("MenuButton"), "menuButton");
+        assert_eq!(class_command_name("AsciiText"), "asciiText");
+        assert_eq!(class_command_name("XmPushButton"), "mPushButton");
+        assert_eq!(class_command_name("XmCascadeButton"), "mCascadeButton");
+        assert_eq!(class_command_name("TopLevelShell"), "topLevelShell");
+    }
+
+    #[test]
+    fn bare_x_prefix() {
+        assert_eq!(command_name("XInternAtom"), "internAtom");
+    }
+
+    #[test]
+    fn no_prefix_passthrough() {
+        assert_eq!(command_name("Quit"), "quit");
+        assert_eq!(command_name(""), "");
+    }
+}

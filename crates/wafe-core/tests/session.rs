@@ -1,0 +1,668 @@
+//! Session-level tests reproducing, command for command, the interactive
+//! examples printed in the paper.
+
+use wafe_core::{split_args, Flavor, WafeSession};
+
+fn athena() -> WafeSession {
+    WafeSession::new(Flavor::Athena)
+}
+
+fn motif() -> WafeSession {
+    WafeSession::new(Flavor::Motif)
+}
+
+fn click(s: &mut WafeSession, name: &str) {
+    {
+        let mut app = s.app.borrow_mut();
+        let w = app.lookup(name).unwrap();
+        let win = app.widget(w).window.unwrap();
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_click(abs.x + 3, abs.y + 3, 1);
+    }
+    s.pump();
+}
+
+#[test]
+fn top_level_exists_automatically() {
+    let s = athena();
+    assert!(s.app.borrow().lookup("topLevel").is_some());
+}
+
+#[test]
+fn paper_get_resource_list_example() {
+    // label l topLevel; echo [getResourceList l retVal] → 42.
+    let mut s = athena();
+    s.eval("label l topLevel").unwrap();
+    let n = s.eval("getResourceList l retVal").unwrap();
+    assert_eq!(n, "42");
+    let list = s.interp.get_var("retVal").unwrap();
+    assert!(list.starts_with("destroyCallback"));
+    for name in ["ancestorSensitive", "borderWidth", "colormap", "background"] {
+        assert!(list.contains(name), "missing {name} in {list}");
+    }
+    s.eval("echo [getResourceList l retVal]").unwrap();
+    assert_eq!(s.take_output(), "42\n");
+}
+
+#[test]
+fn paper_hello_world_file_mode() {
+    // The file-mode script from Figure 4.
+    let mut s = athena();
+    let script = "#!/usr/bin/X11/wafe --f\n\
+                  command hello topLevel \\\n\
+                    label \"Wafe new World\" \\\n\
+                    callback \"echo Goodbye; quit\"\n\
+                  realize\n";
+    s.run_file_text(script).unwrap();
+    {
+        let app = s.app.borrow();
+        assert!(app.is_realized(app.lookup("hello").unwrap()));
+    }
+    click(&mut s, "hello");
+    assert_eq!(s.take_output(), "Goodbye\n");
+    assert!(s.quit_requested());
+}
+
+#[test]
+fn paper_set_values_example() {
+    let mut s = athena();
+    s.eval("label label1 topLevel background red foreground blue").unwrap();
+    s.eval("setValues label1 background \"tomato\" label \"Hi Man\"").unwrap();
+    assert_eq!(s.eval("gV label1 label").unwrap(), "Hi Man");
+    assert_eq!(s.eval("gV label1 background").unwrap(), "#ff6347");
+    s.eval("sV label1 label Other").unwrap();
+    assert_eq!(s.eval("getValue label1 label").unwrap(), "Other");
+}
+
+#[test]
+fn paper_merge_resources_example() {
+    let mut s = athena();
+    s.eval("mergeResources *Font fixed *foreground blue *background red").unwrap();
+    s.eval("label hello topLevel").unwrap();
+    assert_eq!(s.eval("gV hello foreground").unwrap(), "#0000ff");
+    assert_eq!(s.eval("gV hello background").unwrap(), "#ff0000");
+}
+
+#[test]
+fn paper_callback_readback_example() {
+    // The c1/c2 Form example: gV reads a callback resource back.
+    let mut s = athena();
+    s.run_file_text(
+        "#!/usr/bin/X11/wafe --f\n\
+         form f topLevel\n\
+         command c1 f \\\n\
+             callback \"echo i am %w.\"\n\
+         command c2 f \\\n\
+             callback [gV c1 callback] \\\n\
+             fromVert c1\n\
+         realize\n",
+    )
+    .unwrap();
+    click(&mut s, "c1");
+    assert_eq!(s.take_output(), "i am c1.\n");
+    click(&mut s, "c2");
+    assert_eq!(s.take_output(), "i am c2.\n");
+}
+
+#[test]
+fn paper_xev_example() {
+    let mut s = athena();
+    s.eval("label xev topLevel width 100 height 50").unwrap();
+    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let xev = app.lookup("xev").unwrap();
+        let win = app.widget(xev).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("w!");
+    }
+    s.pump();
+    let out = s.take_output();
+    let lines: Vec<&str> = out.lines().collect();
+    // Three key presses: w, Shift_L, exclam — the paper's sequence
+    // (198 w w / 174 Shift_L / 197 ! exclam; keycodes are our map's).
+    assert_eq!(lines.len(), 3, "output was {out:?}");
+    assert!(lines[0].ends_with("w w"), "{:?}", lines[0]);
+    assert!(lines[1].ends_with("Shift_L"), "{:?}", lines[1]);
+    assert!(lines[2].ends_with("! exclam"), "{:?}", lines[2]);
+}
+
+#[test]
+fn paper_predefined_callback_command() {
+    // mPushButton b topLevel; callback b armCallback none popup.
+    let mut s = motif();
+    s.eval("transientShell popup topLevel").unwrap();
+    s.eval("mLabel inner popup labelString hi").unwrap();
+    s.eval("mPushButton b topLevel labelString press").unwrap();
+    s.eval("callback b armCallback none popup").unwrap();
+    s.eval("realize").unwrap();
+    click(&mut s, "b");
+    let app = s.app.borrow();
+    let popup = app.lookup("popup").unwrap();
+    assert!(app.is_popped_up(popup), "armCallback must realize the popup shell");
+    assert_eq!(app.displays[0].grab_depth(), 0, "grab none");
+}
+
+#[test]
+fn paper_menu_button_translation() {
+    let mut s = athena();
+    s.eval("menuButton mb topLevel label Menu menuName themenu").unwrap();
+    s.eval("simpleMenu themenu topLevel").unwrap();
+    s.eval("smeBSB entry themenu label First callback {echo picked %l}").unwrap();
+    s.eval("action mb override \"<EnterWindow>: PopupMenu()\"").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let mb = app.lookup("mb").unwrap();
+        let win = app.widget(mb).window.unwrap();
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_pointer_move(abs.x + 2, abs.y + 2);
+    }
+    s.pump();
+    {
+        let app = s.app.borrow();
+        assert!(app.is_popped_up(app.lookup("themenu").unwrap()));
+    }
+    click(&mut s, "entry");
+    assert_eq!(s.take_output(), "picked First\n");
+    let app = s.app.borrow();
+    assert!(!app.is_popped_up(app.lookup("themenu").unwrap()));
+}
+
+#[test]
+fn paper_list_percent_codes() {
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("label confirmLab f label empty").unwrap();
+    s.eval("list chooseLst f fromVert confirmLab list {alpha,beta,gamma}").unwrap();
+    s.eval("sV chooseLst callback {sV confirmLab label %s}").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let l = app.lookup("chooseLst").unwrap();
+        let win = app.widget(l).window.unwrap();
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_click(abs.x + 5, abs.y + 20, 1);
+    }
+    s.pump();
+    assert_eq!(s.eval("gV confirmLab label").unwrap(), "beta");
+}
+
+#[test]
+fn application_shell_on_second_display() {
+    // applicationShell top2 dec4:0.
+    let mut s = athena();
+    s.eval("applicationShell top2 dec4:0").unwrap();
+    s.eval("label l2 top2 label remote").unwrap();
+    s.eval("realize").unwrap();
+    let app = s.app.borrow();
+    assert_eq!(app.displays.len(), 2);
+    assert_eq!(app.displays[1].name, "dec4:0");
+    let l2 = app.lookup("l2").unwrap();
+    assert_eq!(app.widget(l2).display_idx, 1);
+    assert!(app.is_realized(l2));
+}
+
+#[test]
+fn spec_generated_commands_present() {
+    let mut s = athena();
+    for cmd in [
+        "label", "command", "toggle", "menuButton", "form", "box", "paned", "viewport", "list",
+        "asciiText", "scrollbar", "dialog", "stripChart", "simpleMenu", "smeBSB", "destroyWidget",
+        "manageChild", "unmanageChild", "popup", "popdown", "setSensitive", "getResourceList",
+        "listHighlight", "dialogAddButton", "translateCoords",
+    ] {
+        assert!(s.interp.has_command(cmd), "missing generated command {cmd}");
+    }
+    assert!(!s.interp.has_command("mPushButton"));
+    assert!(!s.interp.has_command("mCascadeButtonHighlight"));
+    let (generated, handwritten) = s.command_stats();
+    assert!(generated > 40, "generated={generated}");
+    assert!(handwritten >= 15, "handwritten={handwritten}");
+    // The paper: "about 60% of the code is generated automatically".
+    let frac = generated as f64 / (generated + handwritten) as f64;
+    assert!(frac > 0.5, "generated fraction {frac}");
+    let stats = s.eval("wafeStats").unwrap();
+    assert!(stats.contains("generated"));
+}
+
+#[test]
+fn motif_flavor_commands() {
+    let s = motif();
+    for cmd in [
+        "mLabel",
+        "mPushButton",
+        "mCascadeButton",
+        "mCommand",
+        "mCascadeButtonHighlight",
+        "mCommandAppendValue",
+    ] {
+        assert!(s.interp.has_command(cmd), "missing {cmd}");
+    }
+    // The Motif flavour lacks the Athena widgets, like the real mofe:
+    // "if you choose to install the OSF/Motif version, the command to
+    // create the Athena text widget, asciiText, won't be available".
+    assert!(!s.interp.has_command("asciiText"));
+    assert!(!s.interp.has_command("label"));
+}
+
+#[test]
+fn m_cascade_button_highlight_from_spec() {
+    let mut s = motif();
+    s.eval("mCascadeButton casc topLevel labelString File").unwrap();
+    s.eval("realize").unwrap();
+    s.eval("mCascadeButtonHighlight casc True").unwrap();
+    {
+        let app = s.app.borrow();
+        assert_eq!(app.state(app.lookup("casc").unwrap(), "highlighted"), "1");
+    }
+    s.eval("mCascadeButtonHighlight casc False").unwrap();
+    {
+        let app = s.app.borrow();
+        assert_eq!(app.state(app.lookup("casc").unwrap(), "highlighted"), "0");
+    }
+    let e = s.eval("mCascadeButtonHighlight casc").unwrap_err();
+    assert!(e.message().contains("wrong # args"));
+    let e = s.eval("mCascadeButtonHighlight casc perhaps").unwrap_err();
+    assert!(e.message().contains("expected boolean"));
+}
+
+#[test]
+fn figure3_compound_string_label() {
+    let mut s = motif();
+    s.eval(
+        "mLabel l topLevel \\\n\
+         fontList \"*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft\" \\\n\
+         labelString \"I'm&bft bold&ft and&rl strange\"",
+    )
+    .unwrap();
+    s.eval("realize").unwrap();
+    let snap = s.eval("snapshot 0 0 400 60").unwrap();
+    assert!(snap.contains("I'm"), "snapshot:\n{snap}");
+    assert!(snap.contains("egnarts"), "rtl segment must render reversed:\n{snap}");
+}
+
+#[test]
+fn unknown_widget_errors() {
+    let mut s = athena();
+    assert!(s.eval("sV ghost label x").is_err());
+    assert!(s.eval("gV ghost label").is_err());
+    assert!(s.eval("destroyWidget ghost").is_err());
+    assert!(s.eval("label l nosuchfather").is_err());
+}
+
+#[test]
+fn destroy_widget_cleans_up() {
+    let mut s = athena();
+    let before = s.app.borrow().memstats.current();
+    s.eval("form f topLevel").unwrap();
+    s.eval("label a f").unwrap();
+    s.eval("label b f fromVert a").unwrap();
+    s.eval("destroyWidget f").unwrap();
+    assert!(s.app.borrow().lookup("f").is_none());
+    assert!(s.app.borrow().lookup("a").is_none());
+    assert_eq!(s.app.borrow().memstats.current(), before);
+}
+
+#[test]
+fn timeouts_fire_in_order() {
+    let mut s = athena();
+    s.eval("set log {}").unwrap();
+    s.eval("addTimeOut 100 {append log a}").unwrap();
+    s.eval("addTimeOut 50 {append log b}").unwrap();
+    s.eval("addTimeOut 150 {append log c}").unwrap();
+    s.eval("advanceTime 120").unwrap();
+    assert_eq!(s.interp.get_var("log").unwrap(), "ba");
+    s.eval("advanceTime 100").unwrap();
+    assert_eq!(s.interp.get_var("log").unwrap(), "bac");
+}
+
+#[test]
+fn xrm_from_command_line() {
+    let mut s = athena();
+    let args = split_args(&[
+        "-xrm".to_string(),
+        "*background: tomato".to_string(),
+        "-display".to_string(),
+        "remote:0".to_string(),
+    ]);
+    s.apply_toolkit_args(&args);
+    s.eval("label l topLevel").unwrap();
+    assert_eq!(s.eval("gV l background").unwrap(), "#ff6347");
+    assert_eq!(s.app.borrow().displays[0].name, "remote:0");
+}
+
+#[test]
+fn translate_coords_fills_array() {
+    let mut s = athena();
+    s.eval("label l topLevel width 50 height 20").unwrap();
+    s.eval("realize").unwrap();
+    s.eval("translateCoords l pos").unwrap();
+    let x: i32 = s.interp.get_elem("pos", "x").unwrap().parse().unwrap();
+    assert!(x >= 0);
+}
+
+#[test]
+fn selections_roundtrip() {
+    let mut s = athena();
+    s.eval("label l topLevel").unwrap();
+    s.eval("realize").unwrap();
+    s.eval("ownSelection l PRIMARY {hello selection}").unwrap();
+    assert_eq!(s.eval("getSelectionValue l PRIMARY").unwrap(), "hello selection");
+    s.eval("disownSelection l PRIMARY").unwrap();
+    assert_eq!(s.eval("getSelectionValue l PRIMARY").unwrap(), "");
+}
+
+#[test]
+fn reference_guide_generated() {
+    let s = athena();
+    let guide = s.reference_guide();
+    assert!(guide.contains("# Wafe short reference guide"));
+    assert!(guide.contains("**label**"));
+    assert!(guide.contains("`XtDestroyWidget`"));
+}
+
+#[test]
+fn toggle_creation_paper_naming() {
+    // "To create an instance of the Athena Toggle widget class, the
+    // command 'toggle Name Father' is provided."
+    let mut s = athena();
+    s.eval("toggle Name topLevel").unwrap();
+    assert!(s.app.borrow().lookup("Name").is_some());
+    assert_eq!(s.eval("class Name").unwrap(), "Toggle");
+}
+
+#[test]
+fn unmanaged_creation_argument() {
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("label hidden f unmanaged label secret").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let app = s.app.borrow();
+        let hidden = app.lookup("hidden").unwrap();
+        assert!(!app.widget(hidden).managed);
+        let win = app.widget(hidden).window.unwrap();
+        assert!(!app.displays[0].is_viewable(win));
+    }
+    s.eval("manageChild hidden").unwrap();
+    let app = s.app.borrow();
+    let hidden = app.lookup("hidden").unwrap();
+    assert!(app.displays[0].is_viewable(app.widget(hidden).window.unwrap()));
+}
+
+#[test]
+fn snapshot_shows_figure_like_ui() {
+    let mut s = athena();
+    s.eval("form top topLevel").unwrap();
+    s.eval("command hello top label {Wafe new World}").unwrap();
+    s.eval("realize").unwrap();
+    let snap = s.eval("snapshot 0 0 320 80").unwrap();
+    assert!(snap.contains("Wafe new World"), "snapshot:\n{snap}");
+}
+
+#[test]
+fn rdd_drag_and_drop_commands() {
+    // The Rdd extension: `rddDragSource`/`rddDropTarget` (spec-generated
+    // from ext.wspec with the standard naming rules).
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("label file f label {file.txt} width 60 height 20").unwrap();
+    s.eval("label trash f fromHoriz file label Trash width 60 height 20").unwrap();
+    s.eval("realize").unwrap();
+    s.eval("rddDragSource file {file.txt}").unwrap();
+    s.eval("rddDropTarget trash {echo dropping %v into %w}").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let src = app.lookup("file").unwrap();
+        let dst = app.lookup("trash").unwrap();
+        let sa = app.displays[0].abs_rect(app.widget(src).window.unwrap());
+        let da = app.displays[0].abs_rect(app.widget(dst).window.unwrap());
+        app.displays[0].inject_pointer_move(sa.x + 5, sa.y + 5);
+        app.displays[0].inject_button(2, true);
+        app.displays[0].inject_pointer_move(da.x + 5, da.y + 5);
+        app.displays[0].inject_button(2, false);
+    }
+    s.pump();
+    assert_eq!(s.take_output(), "dropping file.txt into trash\n");
+}
+
+#[test]
+fn load_resource_file_command() {
+    let mut s = athena();
+    let dir = std::env::temp_dir().join(format!("wafe-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("app-defaults");
+    std::fs::write(&path, "*foreground: tomato\n! a comment\n*label: FromFile\n").unwrap();
+    let n = s
+        .eval(&format!("loadResourceFile {}", path.display()))
+        .unwrap();
+    assert_eq!(n, "2");
+    s.eval("label l topLevel").unwrap();
+    assert_eq!(s.eval("gV l foreground").unwrap(), "#ff6347");
+    assert_eq!(s.eval("gV l label").unwrap(), "FromFile");
+    assert!(s.eval("loadResourceFile /no/such/file").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrollbar_drives_viewport() {
+    // The xwafecf card-filer pattern: a Scrollbar's jumpProc scrolls a
+    // Viewport via viewportSetCoordinates, entirely in Tcl.
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("scrollbar sb f length 200").unwrap();
+    s.eval("viewport vp f fromHoriz sb width 200 height 200").unwrap();
+    s.eval("label tall vp label tallcontent width 200 height 1000").unwrap();
+    s.eval("sV sb jumpProc {viewportSetCoordinates vp 0 [expr {%t * 800 / 1000}]}").unwrap();
+    s.eval("realize").unwrap();
+    // Middle-click halfway down the scrollbar.
+    {
+        let mut app = s.app.borrow_mut();
+        let sb = app.lookup("sb").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(sb).window.unwrap());
+        app.displays[0].inject_pointer_move(abs.x + 3, abs.y + 100);
+        app.displays[0].inject_button(2, true);
+        app.displays[0].inject_button(2, false);
+    }
+    s.pump();
+    let app = s.app.borrow();
+    let tall = app.lookup("tall").unwrap();
+    let y = app.pos_resource(tall, "y");
+    assert!((-450..=-350).contains(&y), "child scrolled to y={y}");
+}
+
+#[test]
+fn accelerators_run_source_widget_actions() {
+    // XtInstallAccelerators: Meta<Key>q at the shell triggers the quit
+    // button's set+notify, as if clicked.
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval(
+        "command quitb f label Quit callback {echo accelerated} \
+         accelerators {Meta<Key>q: set() notify() unset()}",
+    )
+    .unwrap();
+    s.eval("label other f fromHoriz quitb label {focus here} width 120 height 40").unwrap();
+    s.eval("installAccelerators other quitb").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let other = app.lookup("other").unwrap();
+        let win = app.widget(other).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_named(
+            "q",
+            wafe_xproto::Modifiers { shift: false, control: false, meta: true },
+        );
+    }
+    s.pump();
+    assert_eq!(s.take_output(), "accelerated\n");
+    // Without the modifier nothing fires.
+    {
+        let mut app = s.app.borrow_mut();
+        let other = app.lookup("other").unwrap();
+        let win = app.widget(other).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("q");
+    }
+    s.pump();
+    assert_eq!(s.take_output(), "");
+}
+
+#[test]
+fn install_all_accelerators_covers_subtree() {
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("command a f label A callback {echo A!} accelerators {<Key>F1: set() notify() unset()}").unwrap();
+    s.eval("command b f fromHoriz a label B callback {echo B!} accelerators {<Key>F2: set() notify() unset()}").unwrap();
+    s.eval("label pad f fromVert a width 100 height 30").unwrap();
+    s.eval("installAllAccelerators pad f").unwrap();
+    s.eval("realize").unwrap();
+    for (key, expect) in [("F1", "A!\n"), ("F2", "B!\n")] {
+        {
+            let mut app = s.app.borrow_mut();
+            let pad = app.lookup("pad").unwrap();
+            let win = app.widget(pad).window.unwrap();
+            app.displays[0].set_input_focus(Some(win));
+            app.displays[0].inject_key_named(key, wafe_xproto::Modifiers::NONE);
+        }
+        s.pump();
+        assert_eq!(s.take_output(), expect);
+    }
+}
+
+#[test]
+fn name_to_widget_resolves_paths() {
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("form inner f").unwrap();
+    s.eval("command deep inner label x").unwrap();
+    assert_eq!(s.eval("nameToWidget topLevel f.inner.deep").unwrap(), "deep");
+    assert_eq!(s.eval("nameToWidget f inner").unwrap(), "inner");
+    assert!(s.eval("nameToWidget topLevel f.nothere").is_err());
+}
+
+#[test]
+fn snapshot_ppm_writes_image() {
+    let mut s = athena();
+    s.eval("label l topLevel label {for the figure} background tomato").unwrap();
+    s.eval("realize").unwrap();
+    let dir = std::env::temp_dir().join(format!("wafe-ppm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig.ppm");
+    s.eval(&format!("snapshotPpm {}", path.display())).unwrap();
+    let data = std::fs::read(&path).unwrap();
+    assert!(data.starts_with(b"P6\n1024 768\n255\n"));
+    assert_eq!(data.len(), "P6\n1024 768\n255\n".len() + 1024 * 768 * 3);
+    // The tomato background must appear somewhere in the image.
+    let tomato = [0xffu8, 0x63, 0x47];
+    assert!(data.windows(3).any(|w| w == tomato), "tomato pixels present");
+    assert!(s.eval("snapshotPpm /no/such/dir/x.ppm").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn work_procs_run_when_idle() {
+    let mut s = athena();
+    s.eval("set n 0").unwrap();
+    // A work proc that counts to 3 then removes itself (returns 1).
+    s.eval("addWorkProc {incr n; expr {$n >= 3}}").unwrap();
+    s.pump();
+    s.pump();
+    s.pump();
+    s.pump();
+    // Ran exactly until its own true return, then never again.
+    assert_eq!(s.interp.get_var("n").unwrap(), "3");
+}
+
+#[test]
+fn work_proc_remove_by_id() {
+    let mut s = athena();
+    s.eval("set n 0").unwrap();
+    // eval() pumps once itself, so the proc has run once already.
+    let id = s.eval("addWorkProc {incr n; expr 0}").unwrap();
+    assert_eq!(s.interp.get_var("n").unwrap(), "1");
+    s.pump();
+    assert_eq!(s.interp.get_var("n").unwrap(), "2");
+    assert_eq!(s.eval(&format!("removeWorkProc {id}")).unwrap(), "1");
+    s.pump();
+    assert_eq!(s.interp.get_var("n").unwrap(), "2");
+    assert_eq!(s.eval(&format!("removeWorkProc {id}")).unwrap(), "0");
+}
+
+#[test]
+fn failing_work_proc_is_dropped_with_warning() {
+    let mut s = athena();
+    s.eval("addWorkProc {nosuchcommand}").unwrap();
+    s.pump();
+    s.pump();
+    let warnings = s.app.borrow_mut().take_warnings();
+    assert_eq!(warnings.iter().filter(|w| w.contains("work proc")).count(), 1);
+}
+
+#[test]
+fn trace_driven_reactive_label() {
+    // A Tcl variable trace keeps a label in sync with application state —
+    // the reactive idiom traces enable on top of Wafe.
+    let mut s = athena();
+    s.eval("label status topLevel label idle width 200").unwrap();
+    s.eval("realize").unwrap();
+    s.eval("proc sync {n e o} {global state; sV status label $state}").unwrap();
+    s.eval("trace variable state w sync").unwrap();
+    s.eval("set state {downloading...}").unwrap();
+    assert_eq!(s.eval("gV status label").unwrap(), "downloading...");
+    s.eval("set state done").unwrap();
+    assert_eq!(s.eval("gV status label").unwrap(), "done");
+}
+
+#[test]
+fn widget_tree_introspection() {
+    let mut s = athena();
+    s.eval("form f topLevel").unwrap();
+    s.eval("label a f").unwrap();
+    s.eval("command b f fromHoriz a").unwrap();
+    let tree = s.eval("widgetTree").unwrap();
+    // {topLevel TopLevelShell {{f Form {{a Label {}} {b Command {}}}}}
+    assert!(tree.starts_with("topLevel TopLevelShell"));
+    assert!(tree.contains("f Form"));
+    assert!(tree.contains("a Label"));
+    assert!(tree.contains("b Command"));
+    // Parsable as nested lists from Tcl itself.
+    assert_eq!(s.eval("lindex [widgetTree] 1").unwrap(), "TopLevelShell");
+    assert_eq!(s.eval("lindex [lindex [lindex [widgetTree] 2] 0] 0").unwrap(), "f");
+    // Rooted at a subtree.
+    let sub = s.eval("widgetTree f").unwrap();
+    assert!(sub.starts_with("f Form"));
+    assert!(s.eval("widgetTree ghost").is_err());
+}
+
+#[test]
+fn reference_guide_consistent_with_registered_commands() {
+    // The paper's code generator guarantees "consistency in
+    // documentation and interface code" — every generated command must
+    // appear in the guide and be registered, and vice versa.
+    let s = WafeSession::new(Flavor::Both);
+    let guide = s.reference_guide();
+    for class in s.spec().classes.iter() {
+        assert!(
+            guide.contains(&format!("**{}**", class.command)),
+            "guide missing class command {}",
+            class.command
+        );
+        assert!(s.interp.has_command(&class.command), "unregistered {}", class.command);
+    }
+    for cmd in s.spec().commands.iter() {
+        assert!(
+            guide.contains(&format!("**{}**", cmd.command)),
+            "guide missing {}",
+            cmd.command
+        );
+        assert!(s.interp.has_command(&cmd.command), "unregistered {}", cmd.command);
+        assert!(guide.contains(&cmd.c_name), "guide missing C name {}", cmd.c_name);
+    }
+    // No spec command lacks a native handler (load_specs would have
+    // warned).
+    assert!(s.app.borrow_mut().take_warnings().is_empty());
+}

@@ -1,0 +1,422 @@
+//! The real-process frontend: child spawning and pipe multiplexing.
+
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::process::CommandExt;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use wafe_core::Flavor;
+
+use crate::protocol::ProtocolEngine;
+
+/// The fd number at which the child inherits the write end of the
+/// mass-transfer channel; `getChannel` reports the fd Wafe listens on.
+pub const MASS_CHANNEL_CHILD_FD: i32 = 5;
+
+/// Derives the backend program name from the frontend's `argv[0]`,
+/// reproducing the paper's link-name scheme: "If a link like
+/// `ln -s wafe xwafeApp` is established and `xwafeApp` is executed, the
+/// program `wafeApp` is spawned as a subprocess".
+pub fn backend_from_argv0(argv0: &str) -> Option<String> {
+    let base = argv0.rsplit('/').next().unwrap_or(argv0);
+    if matches!(base, "wafe" | "mofe") {
+        return None; // Plain wafe: no implicit backend.
+    }
+    base.strip_prefix('x')
+        .filter(|rest| !rest.is_empty())
+        .map(|rest| rest.to_string())
+}
+
+/// Configuration for spawning a frontend.
+pub struct FrontendConfig {
+    /// The backend program to run.
+    pub program: String,
+    /// Arguments for the backend (the application's share of argv).
+    pub args: Vec<String>,
+    /// Widget-set flavour.
+    pub flavor: Flavor,
+    /// Create the mass-transfer channel.
+    pub mass_channel: bool,
+    /// Initial command sent to the backend after the fork (the paper's
+    /// `InitCom` resource, e.g. a Prolog startup goal).
+    pub init_com: Option<String>,
+}
+
+impl FrontendConfig {
+    /// A minimal configuration running `program` with no arguments.
+    pub fn new(program: &str) -> Self {
+        FrontendConfig {
+            program: program.to_string(),
+            args: Vec::new(),
+            flavor: Flavor::Athena,
+            mass_channel: true,
+            init_com: None,
+        }
+    }
+}
+
+/// A running frontend: protocol engine + child process + pipes.
+pub struct Frontend {
+    /// The protocol engine (owns the Wafe session).
+    pub engine: ProtocolEngine,
+    child: Child,
+    child_stdin: ChildStdin,
+    child_stdout: ChildStdout,
+    mass_read: Option<std::fs::File>,
+    stdout_buf: Vec<u8>,
+    /// Lines the frontend printed to its own stdout (non-`%` passthrough).
+    pub printed: Vec<String>,
+}
+
+impl Frontend {
+    /// Spawns the backend and wires the channels (Figure 4).
+    pub fn spawn(config: FrontendConfig) -> std::io::Result<Frontend> {
+        let engine = ProtocolEngine::new(config.flavor);
+        let mut cmd = Command::new(&config.program);
+        cmd.args(&config.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut mass_read = None;
+        if config.mass_channel {
+            // A pipe whose write end the child inherits at a fixed fd.
+            let mut fds = [0i32; 2];
+            // SAFETY: fds is a valid 2-element array for pipe(2).
+            let rc = unsafe { libc::pipe(fds.as_mut_ptr()) };
+            if rc != 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            let (read_fd, write_fd) = (fds[0], fds[1]);
+            set_nonblocking(read_fd)?;
+            // SAFETY: read_fd is a freshly created, owned pipe fd.
+            mass_read = Some(unsafe {
+                use std::os::unix::io::FromRawFd;
+                std::fs::File::from_raw_fd(read_fd)
+            });
+            // SAFETY: dup2 in the child duplicates the inherited write
+            // end onto the agreed fd and clears close-on-exec; write_fd
+            // is valid for the duration of the fork/exec window.
+            unsafe {
+                cmd.pre_exec(move || {
+                    if libc::dup2(write_fd, MASS_CHANNEL_CHILD_FD) < 0 {
+                        return Err(std::io::Error::last_os_error());
+                    }
+                    Ok(())
+                });
+            }
+            engine.session.channel_fd.set(read_fd as i64);
+            // Parent closes its copy of the write end after spawn (below).
+            let mut child = cmd.spawn()?;
+            // SAFETY: write_fd belongs to this process and is no longer
+            // needed once the child holds its duplicate.
+            unsafe { libc::close(write_fd) };
+            let child_stdin = child.stdin.take().expect("stdin piped");
+            let child_stdout = child.stdout.take().expect("stdout piped");
+            set_nonblocking(child_stdout.as_raw_fd())?;
+            let mut fe = Frontend {
+                engine,
+                child,
+                child_stdin,
+                child_stdout,
+                mass_read,
+                stdout_buf: Vec::new(),
+                printed: Vec::new(),
+            };
+            if let Some(ic) = &config.init_com {
+                fe.send_to_app(ic)?;
+            }
+            return Ok(fe);
+        }
+        let mut child = cmd.spawn()?;
+        let child_stdin = child.stdin.take().expect("stdin piped");
+        let child_stdout = child.stdout.take().expect("stdout piped");
+        set_nonblocking(child_stdout.as_raw_fd())?;
+        let mut fe = Frontend {
+            engine,
+            child,
+            child_stdin,
+            child_stdout,
+            mass_read,
+            stdout_buf: Vec::new(),
+            printed: Vec::new(),
+        };
+        if let Some(ic) = &config.init_com {
+            fe.send_to_app(ic)?;
+        }
+        Ok(fe)
+    }
+
+    /// Sends one line to the application's stdin.
+    pub fn send_to_app(&mut self, line: &str) -> std::io::Result<()> {
+        self.child_stdin.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            self.child_stdin.write_all(b"\n")?;
+        }
+        self.child_stdin.flush()
+    }
+
+    /// One iteration of the multiplexed event loop: polls the backend's
+    /// pipes (with the given timeout), feeds complete lines and mass data
+    /// into the protocol engine, pumps GUI events and forwards queued
+    /// messages to the application. Returns false once the backend has
+    /// exited and its pipes are drained.
+    pub fn step(&mut self, timeout: Duration) -> std::io::Result<bool> {
+        // Poll the child's stdout (and the mass channel).
+        let mut pollfds = vec![libc::pollfd {
+            fd: self.child_stdout.as_raw_fd(),
+            events: libc::POLLIN,
+            revents: 0,
+        }];
+        if let Some(m) = &self.mass_read {
+            pollfds.push(libc::pollfd { fd: m.as_raw_fd(), events: libc::POLLIN, revents: 0 });
+        }
+        // SAFETY: pollfds is a valid array of initialised pollfd structs.
+        unsafe {
+            libc::poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as libc::nfds_t,
+                timeout.as_millis() as i32,
+            )
+        };
+        let mut saw_eof = false;
+        if pollfds[0].revents & (libc::POLLIN | libc::POLLHUP) != 0 {
+            let mut buf = [0u8; 16384];
+            loop {
+                match self.child_stdout.read(&mut buf) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => self.stdout_buf.extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // Process complete lines.
+        while let Some(nl) = self.stdout_buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.stdout_buf.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&line).into_owned();
+            let _ = self.engine.handle_line(&text);
+            for p in self.engine.take_passthrough() {
+                self.printed.push(p);
+            }
+        }
+        // Mass channel.
+        if let Some(m) = &mut self.mass_read {
+            let mut buf = [0u8; 16384];
+            loop {
+                match m.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        let data = buf[..n].to_vec();
+                        self.engine.handle_mass_data(&data);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        // Pump GUI events and forward queued messages to the application.
+        self.engine.session.pump();
+        for line in self.engine.take_app_lines() {
+            // Ignore EPIPE: the backend may already have exited.
+            let _ = self.send_to_app(&line);
+        }
+        if self.engine.session.quit_requested() {
+            return Ok(false);
+        }
+        if saw_eof {
+            // Child gone and stdout drained?
+            if self.stdout_buf.is_empty() {
+                return Ok(false);
+            }
+        }
+        if let Ok(Some(_)) = self.child.try_wait() {
+            if self.stdout_buf.is_empty() && saw_eof {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs the loop until the backend exits, `quit` runs, or the
+    /// deadline passes. Returns true on clean termination (backend exit
+    /// or quit), false on deadline.
+    pub fn run_until_exit(&mut self, deadline: Duration) -> std::io::Result<bool> {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if !self.step(Duration::from_millis(10))? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Kills the backend (cleanup in tests).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn set_nonblocking(fd: RawFd) -> std::io::Result<()> {
+    // SAFETY: fcntl F_GETFL/F_SETFL on an owned, valid fd.
+    unsafe {
+        let flags = libc::fcntl(fd, libc::F_GETFL);
+        if flags < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        if libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argv0_link_scheme() {
+        assert_eq!(backend_from_argv0("xwafeApp"), Some("wafeApp".into()));
+        assert_eq!(backend_from_argv0("/usr/bin/X11/xwafemail"), Some("wafemail".into()));
+        assert_eq!(backend_from_argv0("wafe"), None);
+        assert_eq!(backend_from_argv0("mofe"), None);
+        assert_eq!(backend_from_argv0("x"), None);
+        // A non-x name yields no backend either.
+        assert_eq!(backend_from_argv0("emacs"), None);
+    }
+
+    /// Spawns a shell backend that builds a button and quits when told —
+    /// "commands submitted to Wafe can be issued from arbitrary
+    /// programming languages provided that they are able to write to
+    /// stdout unbuffered and to read from stdin" — here: sh.
+    #[test]
+    fn shell_backend_round_trip() {
+        let script = r#"
+            echo '%command go topLevel label Go callback {echo clicked; quit}'
+            echo '%realize'
+            read line
+            echo "got $line" >&2
+        "#;
+        let mut fe = Frontend::spawn(FrontendConfig {
+            program: "sh".into(),
+            args: vec!["-c".into(), script.into()],
+            flavor: Flavor::Athena,
+            mass_channel: false,
+            init_com: None,
+        })
+        .expect("spawn sh");
+        // Let the backend build the tree.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            fe.step(Duration::from_millis(20)).unwrap();
+            if fe.engine.session.app.borrow().lookup("go").is_some() {
+                let realized = {
+                    let app = fe.engine.session.app.borrow();
+                    let go = app.lookup("go").unwrap();
+                    app.is_realized(go)
+                };
+                if realized {
+                    break;
+                }
+            }
+        }
+        assert!(fe.engine.session.app.borrow().lookup("go").is_some(), "backend lines not processed");
+        // Click the button: callback echoes to the app and quits.
+        {
+            let mut app = fe.engine.session.app.borrow_mut();
+            let go = app.lookup("go").unwrap();
+            let win = app.widget(go).window.unwrap();
+            let abs = app.displays[0].abs_rect(win);
+            app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+        }
+        let clean = fe.run_until_exit(Duration::from_secs(5)).unwrap();
+        assert!(clean, "frontend loop must terminate after quit");
+        assert!(fe.engine.session.quit_requested());
+        fe.kill();
+    }
+
+    #[test]
+    fn init_com_sent_first() {
+        // The backend echoes its stdin back prefixed; InitCom must be the
+        // first thing it sees.
+        let script = r#"read line; echo "%set initline {$line}""#;
+        let mut fe = Frontend::spawn(FrontendConfig {
+            program: "sh".into(),
+            args: vec!["-c".into(), script.into()],
+            flavor: Flavor::Athena,
+            mass_channel: false,
+            init_com: Some("[myapp], widget_tree, read_loop.".into()),
+        })
+        .expect("spawn sh");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            fe.step(Duration::from_millis(20)).unwrap();
+            if fe.engine.session.interp.var_exists("initline") {
+                break;
+            }
+        }
+        assert_eq!(
+            fe.engine.session.interp.get_var("initline").unwrap(),
+            "[myapp], widget_tree, read_loop."
+        );
+        fe.kill();
+    }
+
+    #[test]
+    fn mass_channel_via_fd5() {
+        // The paper's mass-transfer flow with a real child writing to the
+        // inherited fd.
+        let script = r#"
+            echo '%asciiText text topLevel editType edit'
+            echo '%realize'
+            echo '%setCommunicationVariable C 1000 {sV text string $C}'
+            sleep 0.2
+            head -c 1000 /dev/zero | tr '\0' 'z' >&5
+            sleep 0.5
+        "#;
+        let mut fe = Frontend::spawn(FrontendConfig {
+            program: "sh".into(),
+            args: vec!["-c".into(), script.into()],
+            flavor: Flavor::Athena,
+            mass_channel: true,
+            init_com: None,
+        })
+        .expect("spawn sh");
+        let deadline = Instant::now() + Duration::from_secs(6);
+        let mut got = String::new();
+        while Instant::now() < deadline {
+            fe.step(Duration::from_millis(20)).unwrap();
+            if fe.engine.session.app.borrow().lookup("text").is_some() {
+                got = fe.engine.session.eval("gV text string").unwrap_or_default();
+                if got.len() == 1000 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(got.len(), 1000, "mass transfer must deliver all bytes");
+        assert!(got.chars().all(|c| c == 'z'));
+        fe.kill();
+    }
+
+    #[test]
+    fn passthrough_lines_printed() {
+        let script = r#"echo 'plain output line'; echo '%set x 1'"#;
+        let mut fe = Frontend::spawn(FrontendConfig {
+            program: "sh".into(),
+            args: vec!["-c".into(), script.into()],
+            flavor: Flavor::Athena,
+            mass_channel: false,
+            init_com: None,
+        })
+        .expect("spawn sh");
+        fe.run_until_exit(Duration::from_secs(5)).unwrap();
+        assert_eq!(fe.printed, vec!["plain output line"]);
+        assert_eq!(fe.engine.session.interp.get_var("x").unwrap(), "1");
+        fe.kill();
+    }
+}

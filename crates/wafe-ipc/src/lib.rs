@@ -1,0 +1,28 @@
+//! Wafe's frontend-mode communication.
+//!
+//! "A typical Wafe application consists of two parts, the frontend
+//! (Wafe) and an application program, which typically run as separate
+//! processes. The application program talks to the frontend via stdin.
+//! Each output line from the application process starting with a certain
+//! prefix character is interpreted as a Wafe (or pure Tcl) command."
+//!
+//! The crate splits the mechanism into two layers:
+//!
+//! * [`protocol::ProtocolEngine`] — the transport-independent protocol:
+//!   `%`-prefixed lines are commands, other lines pass through, the 64 KB
+//!   line limit, the mass-transfer channel accumulator and the queue of
+//!   messages the GUI sends back to the application. Deterministic, used
+//!   directly by tests and benchmarks.
+//! * [`frontend::Frontend`] — the real-process transport: spawns the
+//!   backend as a child (including the paper's `ln -s wafe xwafeApp`
+//!   argv\[0\] naming scheme), wires the stdio pipes and the optional
+//!   mass-transfer pipe (inherited by the child at a fixed fd, reported
+//!   by `getChannel`), and multiplexes backend output with GUI events via
+//!   `poll(2)` — which is what keeps the GUI responsive while the
+//!   application is busy and buffers clicks ahead.
+
+pub mod frontend;
+pub mod protocol;
+
+pub use frontend::{backend_from_argv0, Frontend, FrontendConfig};
+pub use protocol::{ProtocolEngine, DEFAULT_MAX_LINE, DEFAULT_PREFIX};

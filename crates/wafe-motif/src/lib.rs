@@ -1,0 +1,50 @@
+//! The OSF/Motif widget subset of Wafe ("mofe").
+//!
+//! The paper notes "a version supporting the commercial OSF/Motif widget
+//! set is under development" and demonstrates three pieces of it, all of
+//! which are implemented here:
+//!
+//! * the **XmString converter** with Wafe's `&`-code compound-string
+//!   syntax ("similar to TeX's text formatting commands") and the
+//!   `fontList` tag syntax `pattern=tag,pattern=tag` — Figure 3,
+//! * the **naming convention** `Xm*` → `m*` (`XmCascadeButtonHighlight`
+//!   → `mCascadeButtonHighlight`), exercised by the spec layer, and
+//! * the m-widgets of the examples: `XmLabel`, `XmPushButton` (with
+//!   `armCallback`/`activateCallback`), `XmCascadeButton` and
+//!   `XmCommand` (with `XmCommandAppendValue`).
+//!
+//! Like the original, the Motif classes register alongside the Athena
+//! classes in the same Intrinsics; the original could not "mix Athena and
+//! OSF/Motif widgets and converters freely" in one binary — the Wafe
+//! session layer enforces the same split by flavour.
+
+pub mod widgets;
+pub mod xmstring;
+
+pub use xmstring::{parse_font_list, parse_xmstring, render_xmstring};
+
+use wafe_xt::XtApp;
+
+/// Registers the Motif widget subset.
+pub fn register_all(app: &mut XtApp) {
+    widgets::register(app);
+}
+
+/// The Motif class names provided, sorted.
+pub fn class_names() -> Vec<&'static str> {
+    vec!["XmCascadeButton", "XmCommand", "XmLabel", "XmPushButton"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_motif_classes() {
+        let mut app = XtApp::new();
+        register_all(&mut app);
+        for c in class_names() {
+            assert!(app.class(c).is_some(), "missing {c}");
+        }
+    }
+}

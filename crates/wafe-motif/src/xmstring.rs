@@ -1,0 +1,205 @@
+//! The XmString compound-string converter.
+//!
+//! "A compound string is an extended string format, which additionally
+//! contains font information and the string's writing direction." Wafe's
+//! converter uses `&` as its layout escape (where TeX uses `\`):
+//! `&tag` switches to the font-list entry tagged `tag`; `&rl` switches
+//! the writing direction to right-to-left. The paper's Figure 3 script:
+//!
+//! ```text
+//! mLabel l topLevel
+//!     fontList "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft"
+//!     labelString "I'm&bft bold&ft and&rl strange"
+//! ```
+//!
+//! renders "I'm" in the medium face, " bold" in the bold face, " and" in
+//! medium again and " strange" reversed.
+
+use wafe_xproto::font::{FontDb, FontId};
+use wafe_xt::resource::CompoundSegment;
+
+/// Parses a `fontList` value: comma-separated `pattern=tag` entries.
+///
+/// A pattern may itself contain `&` (the lucida foundry is `b&h`), so the
+/// split happens on the *last* `=` of each comma-separated chunk. Entries
+/// whose pattern does not resolve are skipped.
+pub fn parse_font_list(fonts: &FontDb, spec: &str) -> Vec<(String, FontId)> {
+    let mut out = Vec::new();
+    for chunk in spec.split(',') {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            continue;
+        }
+        let (pattern, tag) = match chunk.rfind('=') {
+            Some(eq) => (&chunk[..eq], chunk[eq + 1..].trim()),
+            None => (chunk, ""),
+        };
+        if let Some(id) = fonts.resolve(pattern.trim()) {
+            out.push((tag.to_string(), id));
+        }
+    }
+    out
+}
+
+/// Parses Wafe's `&`-code compound-string syntax into segments.
+///
+/// `&name` (letters/digits) switches the font tag; the special name `rl`
+/// switches writing direction to right-to-left (and `lr` back). `&&`
+/// yields a literal `&`.
+pub fn parse_xmstring(s: &str) -> Vec<CompoundSegment> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut segs: Vec<CompoundSegment> = Vec::new();
+    let mut text = String::new();
+    let mut tag = String::new();
+    let mut rtl = false;
+    let mut i = 0usize;
+    let flush = |text: &mut String, tag: &str, rtl: bool, segs: &mut Vec<CompoundSegment>| {
+        if !text.is_empty() {
+            segs.push(CompoundSegment {
+                text: std::mem::take(text),
+                font_tag: tag.to_string(),
+                right_to_left: rtl,
+            });
+        }
+    };
+    while i < chars.len() {
+        if chars[i] == '&' {
+            if i + 1 < chars.len() && chars[i + 1] == '&' {
+                text.push('&');
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let name: String = chars[i + 1..j].iter().collect();
+            if name.is_empty() {
+                text.push('&');
+                i += 1;
+                continue;
+            }
+            flush(&mut text, &tag, rtl, &mut segs);
+            match name.as_str() {
+                "rl" => rtl = true,
+                "lr" => rtl = false,
+                other => tag = other.to_string(),
+            }
+            i = j;
+        } else {
+            text.push(chars[i]);
+            i += 1;
+        }
+    }
+    flush(&mut text, &tag, rtl, &mut segs);
+    segs
+}
+
+/// Renders segments to the *visual* string: right-to-left segments come
+/// out reversed. Used by tests and the ASCII figure reproduction.
+pub fn render_xmstring(segs: &[CompoundSegment]) -> String {
+    segs.iter()
+        .map(|s| {
+            if s.right_to_left {
+                s.text.chars().rev().collect::<String>()
+            } else {
+                s.text.clone()
+            }
+        })
+        .collect()
+}
+
+/// Resolves a segment's font from a parsed font list (first entry is the
+/// default when the tag is unknown or empty).
+pub fn segment_font(
+    font_list: &[(String, FontId)],
+    seg: &CompoundSegment,
+    fallback: FontId,
+) -> FontId {
+    if seg.font_tag.is_empty() {
+        return font_list.first().map(|(_, f)| *f).unwrap_or(fallback);
+    }
+    font_list
+        .iter()
+        .find(|(t, _)| *t == seg.font_tag)
+        .map(|(_, f)| *f)
+        .or_else(|| font_list.first().map(|(_, f)| *f))
+        .unwrap_or(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_string() {
+        let segs = parse_xmstring("I'm&bft bold&ft and&rl strange");
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0].text, "I'm");
+        assert_eq!(segs[0].font_tag, "");
+        assert!(!segs[0].right_to_left);
+        assert_eq!(segs[1].text, " bold");
+        assert_eq!(segs[1].font_tag, "bft");
+        assert_eq!(segs[2].text, " and");
+        assert_eq!(segs[2].font_tag, "ft");
+        assert_eq!(segs[3].text, " strange");
+        assert!(segs[3].right_to_left);
+        // " strange" reversed is "egnarts " — the leading space travels
+        // to the end, just as a right-to-left renderer would place it.
+        assert_eq!(render_xmstring(&segs), "I'm bold andegnarts ");
+    }
+
+    #[test]
+    fn paper_figure3_font_list() {
+        let fonts = FontDb::new();
+        let fl = parse_font_list(
+            &fonts,
+            "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft",
+        );
+        assert_eq!(fl.len(), 2);
+        assert_eq!(fl[0].0, "ft");
+        assert_eq!(fl[1].0, "bft");
+        assert_ne!(fl[0].1, fl[1].1, "medium and bold resolve differently");
+    }
+
+    #[test]
+    fn segment_font_resolution() {
+        let fonts = FontDb::new();
+        let fl = parse_font_list(&fonts, "fixed=ft,*helvetica-bold*=b");
+        let fallback = fonts.default_font();
+        let seg = |tag: &str| CompoundSegment {
+            text: "x".into(),
+            font_tag: tag.into(),
+            right_to_left: false,
+        };
+        assert_eq!(segment_font(&fl, &seg("b"), fallback), fl[1].1);
+        assert_eq!(segment_font(&fl, &seg(""), fallback), fl[0].1);
+        assert_eq!(segment_font(&fl, &seg("zz"), fallback), fl[0].1);
+        assert_eq!(segment_font(&[], &seg("zz"), fallback), fallback);
+    }
+
+    #[test]
+    fn literal_ampersand_and_edge_cases() {
+        let segs = parse_xmstring("a&&b");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].text, "a&b");
+        // Trailing bare '&'.
+        let segs = parse_xmstring("x& ");
+        assert_eq!(segs[0].text, "x& ");
+        // Empty string.
+        assert!(parse_xmstring("").is_empty());
+        // Direction toggles back with &lr.
+        let segs = parse_xmstring("&rl abc&lr def");
+        assert!(segs[0].right_to_left);
+        assert!(!segs[1].right_to_left);
+        assert_eq!(render_xmstring(&segs), "cba  def");
+    }
+
+    #[test]
+    fn unknown_font_patterns_skipped() {
+        let fonts = FontDb::new();
+        let fl = parse_font_list(&fonts, "*nosuchfont*=a,fixed=b");
+        assert_eq!(fl.len(), 1);
+        assert_eq!(fl[0].0, "b");
+    }
+}

@@ -1,0 +1,323 @@
+//! List commands: `list lindex llength lappend linsert lrange lreplace
+//! lsearch lsort concat split join`.
+
+use super::parse_index;
+use crate::error::{wrong_num_args, TclError};
+use crate::glob::glob_match;
+use crate::interp::Interp;
+use crate::list::{list_join, parse_list};
+
+pub(super) fn register(interp: &mut Interp) {
+    interp.register("list", |_, argv| Ok(list_join(&argv[1..])));
+
+    interp.register("llength", |_, argv| {
+        if argv.len() != 2 {
+            return Err(wrong_num_args("llength list"));
+        }
+        Ok(parse_list(&argv[1])?.len().to_string())
+    });
+
+    interp.register("lindex", |_, argv| {
+        if argv.len() != 3 {
+            return Err(wrong_num_args("lindex list index"));
+        }
+        let items = parse_list(&argv[1])?;
+        let idx = parse_index(&argv[2], items.len())?;
+        if idx < 0 || idx as usize >= items.len() {
+            return Ok(String::new());
+        }
+        Ok(items[idx as usize].clone())
+    });
+
+    interp.register("lappend", |i, argv| {
+        if argv.len() < 2 {
+            return Err(wrong_num_args("lappend varName ?value value ...?"));
+        }
+        let mut cur = match super::split_varspec(&argv[1]) {
+            (name, None) => i.get_var(&name).unwrap_or_default(),
+            (name, Some(idx)) => i.get_elem(&name, &idx).unwrap_or_default(),
+        };
+        for v in &argv[2..] {
+            crate::list::list_append(&mut cur, v);
+        }
+        match super::split_varspec(&argv[1]) {
+            (name, None) => i.set_var(&name, &cur)?,
+            (name, Some(idx)) => i.set_elem(&name, &idx, &cur)?,
+        }
+        Ok(cur)
+    });
+
+    interp.register("linsert", |_, argv| {
+        if argv.len() < 4 {
+            return Err(wrong_num_args("linsert list index element ?element ...?"));
+        }
+        let mut items = parse_list(&argv[1])?;
+        let idx = parse_index(&argv[2], items.len())?.max(0) as usize;
+        let at = idx.min(items.len());
+        for (k, e) in argv[3..].iter().enumerate() {
+            items.insert(at + k, e.clone());
+        }
+        Ok(list_join(&items))
+    });
+
+    interp.register("lrange", |_, argv| {
+        if argv.len() != 4 {
+            return Err(wrong_num_args("lrange list first last"));
+        }
+        let items = parse_list(&argv[1])?;
+        let first = parse_index(&argv[2], items.len())?.max(0) as usize;
+        let last = parse_index(&argv[3], items.len())?;
+        if last < 0 || first as i64 > last || first >= items.len() {
+            return Ok(String::new());
+        }
+        let last = (last as usize).min(items.len() - 1);
+        Ok(list_join(&items[first..=last]))
+    });
+
+    interp.register("lreplace", |_, argv| {
+        if argv.len() < 4 {
+            return Err(wrong_num_args(
+                "lreplace list first last ?element element ...?",
+            ));
+        }
+        let mut items = parse_list(&argv[1])?;
+        let first = parse_index(&argv[2], items.len())?.max(0) as usize;
+        let last = parse_index(&argv[3], items.len())?;
+        if first >= items.len() {
+            return Err(TclError::error("list doesn't contain element given by first index"));
+        }
+        let last = if last < 0 { None } else { Some((last as usize).min(items.len() - 1)) };
+        match last {
+            Some(l) if l >= first => {
+                items.splice(first..=l, argv[4..].iter().cloned());
+            }
+            _ => {
+                items.splice(first..first, argv[4..].iter().cloned());
+            }
+        }
+        Ok(list_join(&items))
+    });
+
+    interp.register("lsearch", |_, argv| {
+        let usage = "lsearch ?-exact|-glob? list pattern";
+        let (mode_exact, list_arg, pat_arg) = match argv.len() {
+            3 => (false, 1, 2),
+            4 => match argv[1].as_str() {
+                "-exact" => (true, 2, 3),
+                "-glob" => (false, 2, 3),
+                other => {
+                    return Err(TclError::Error(format!(
+                        "bad search mode \"{other}\": must be -exact or -glob"
+                    )))
+                }
+            },
+            _ => return Err(wrong_num_args(usage)),
+        };
+        let items = parse_list(&argv[list_arg])?;
+        for (k, item) in items.iter().enumerate() {
+            let hit = if mode_exact {
+                item == &argv[pat_arg]
+            } else {
+                glob_match(&argv[pat_arg], item)
+            };
+            if hit {
+                return Ok(k.to_string());
+            }
+        }
+        Ok("-1".into())
+    });
+
+    interp.register("lsort", |_, argv| {
+        let usage = "lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list";
+        if argv.len() < 2 {
+            return Err(wrong_num_args(usage));
+        }
+        let mut mode = "ascii";
+        let mut decreasing = false;
+        for opt in &argv[1..argv.len() - 1] {
+            match opt.as_str() {
+                "-ascii" => mode = "ascii",
+                "-integer" => mode = "integer",
+                "-real" => mode = "real",
+                "-increasing" => decreasing = false,
+                "-decreasing" => decreasing = true,
+                other => {
+                    return Err(TclError::Error(format!("bad option \"{other}\": {usage}")))
+                }
+            }
+        }
+        let mut items = parse_list(&argv[argv.len() - 1])?;
+        let mut err: Option<TclError> = None;
+        match mode {
+            "integer" => items.sort_by(|a, b| {
+                let pa = a.trim().parse::<i64>();
+                let pb = b.trim().parse::<i64>();
+                match (pa, pb) {
+                    (Ok(x), Ok(y)) => x.cmp(&y),
+                    _ => {
+                        err.get_or_insert_with(|| {
+                            TclError::error("expected integer in list to sort")
+                        });
+                        std::cmp::Ordering::Equal
+                    }
+                }
+            }),
+            "real" => items.sort_by(|a, b| {
+                let pa = a.trim().parse::<f64>();
+                let pb = b.trim().parse::<f64>();
+                match (pa, pb) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                    _ => {
+                        err.get_or_insert_with(|| {
+                            TclError::error("expected floating-point number in list to sort")
+                        });
+                        std::cmp::Ordering::Equal
+                    }
+                }
+            }),
+            _ => items.sort(),
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if decreasing {
+            items.reverse();
+        }
+        Ok(list_join(&items))
+    });
+
+    interp.register("concat", |_, argv| {
+        let parts: Vec<&str> = argv[1..].iter().map(|s| s.trim()).filter(|s| !s.is_empty()).collect();
+        Ok(parts.join(" "))
+    });
+
+    interp.register("split", |_, argv| {
+        if argv.len() != 2 && argv.len() != 3 {
+            return Err(wrong_num_args("split string ?splitChars?"));
+        }
+        let seps: Vec<char> = argv
+            .get(2)
+            .map(|s| s.chars().collect())
+            .unwrap_or_else(|| vec![' ', '\t', '\n', '\r']);
+        if seps.is_empty() {
+            let each: Vec<String> = argv[1].chars().map(|c| c.to_string()).collect();
+            return Ok(list_join(&each));
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for c in argv[1].chars() {
+            if seps.contains(&c) {
+                parts.push(std::mem::take(&mut cur));
+            } else {
+                cur.push(c);
+            }
+        }
+        parts.push(cur);
+        Ok(list_join(&parts))
+    });
+
+    interp.register("join", |_, argv| {
+        if argv.len() != 2 && argv.len() != 3 {
+            return Err(wrong_num_args("join list ?joinString?"));
+        }
+        let sep = argv.get(2).map(|s| s.as_str()).unwrap_or(" ");
+        Ok(parse_list(&argv[1])?.join(sep))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn new() -> Interp {
+        Interp::new()
+    }
+
+    #[test]
+    fn list_quotes_elements() {
+        let mut i = new();
+        assert_eq!(i.eval("list a {b c} d").unwrap(), "a {b c} d");
+        assert_eq!(i.eval("list").unwrap(), "");
+        assert_eq!(i.eval("list {}").unwrap(), "{}");
+    }
+
+    #[test]
+    fn llength_and_lindex() {
+        let mut i = new();
+        assert_eq!(i.eval("llength {a b {c d}}").unwrap(), "3");
+        assert_eq!(i.eval("lindex {a b c} 1").unwrap(), "b");
+        assert_eq!(i.eval("lindex {a b c} end").unwrap(), "c");
+        assert_eq!(i.eval("lindex {a b c} 99").unwrap(), "");
+    }
+
+    #[test]
+    fn lappend_variable() {
+        let mut i = new();
+        i.eval("lappend l a").unwrap();
+        i.eval("lappend l {b c}").unwrap();
+        assert_eq!(i.get_var("l").unwrap(), "a {b c}");
+        assert_eq!(i.eval("llength $l").unwrap(), "2");
+    }
+
+    #[test]
+    fn linsert_positions() {
+        let mut i = new();
+        assert_eq!(i.eval("linsert {a c} 1 b").unwrap(), "a b c");
+        assert_eq!(i.eval("linsert {a b} 0 z").unwrap(), "z a b");
+        assert_eq!(i.eval("linsert {a b} 99 z").unwrap(), "a b z");
+    }
+
+    #[test]
+    fn lrange_and_lreplace() {
+        let mut i = new();
+        assert_eq!(i.eval("lrange {a b c d} 1 2").unwrap(), "b c");
+        assert_eq!(i.eval("lrange {a b c d} 2 end").unwrap(), "c d");
+        assert_eq!(i.eval("lrange {a b c} 5 7").unwrap(), "");
+        assert_eq!(i.eval("lreplace {a b c} 1 1 X Y").unwrap(), "a X Y c");
+        assert_eq!(i.eval("lreplace {a b c} 0 end").unwrap(), "");
+    }
+
+    #[test]
+    fn lsearch_modes() {
+        let mut i = new();
+        assert_eq!(i.eval("lsearch {apple banana} b*").unwrap(), "1");
+        assert_eq!(i.eval("lsearch -exact {a* b} a*").unwrap(), "0");
+        assert_eq!(i.eval("lsearch {a b} z").unwrap(), "-1");
+    }
+
+    #[test]
+    fn lsort_modes() {
+        let mut i = new();
+        assert_eq!(i.eval("lsort {pear apple orange}").unwrap(), "apple orange pear");
+        assert_eq!(i.eval("lsort -integer {10 2 33}").unwrap(), "2 10 33");
+        assert_eq!(i.eval("lsort -real {1.5 0.2 10.0}").unwrap(), "0.2 1.5 10.0");
+        assert_eq!(i.eval("lsort -decreasing {a c b}").unwrap(), "c b a");
+        assert!(i.eval("lsort -integer {1 x}").is_err());
+    }
+
+    #[test]
+    fn concat_trims_and_joins() {
+        let mut i = new();
+        assert_eq!(i.eval("concat a {b c} {} d").unwrap(), "a b c d");
+    }
+
+    #[test]
+    fn split_and_join() {
+        let mut i = new();
+        assert_eq!(i.eval("split a:b:c :").unwrap(), "a b c");
+        assert_eq!(i.eval("split {a b}").unwrap(), "a b");
+        assert_eq!(i.eval("split ab {}").unwrap(), "a b");
+        assert_eq!(i.eval("join {a b c} -").unwrap(), "a-b-c");
+        assert_eq!(i.eval("join {a b c}").unwrap(), "a b c");
+        // split of consecutive separators yields empty elements
+        assert_eq!(i.eval("llength [split a::b :]").unwrap(), "3");
+    }
+
+    #[test]
+    fn join_split_roundtrip_prime_example() {
+        // The paper's Perl example does join("*", @result); verify the
+        // Tcl analogue.
+        let mut i = new();
+        assert_eq!(i.eval("join {2 2 3} *").unwrap(), "2*2*3");
+    }
+}

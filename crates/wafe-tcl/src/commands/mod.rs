@@ -1,0 +1,55 @@
+//! The built-in Tcl command set.
+//!
+//! Commands are grouped the way the Tcl book groups them: variable and
+//! basic commands, control flow, list commands, string commands, and
+//! introspection. [`register_all`] installs every group into an
+//! interpreter; [`crate::Interp::new`] calls it automatically.
+
+mod basic;
+mod control;
+mod lists;
+mod regex_cmds;
+mod strings;
+
+pub use basic::split_varspec;
+
+use crate::interp::Interp;
+
+/// Registers every built-in command into `interp`.
+pub fn register_all(interp: &mut Interp) {
+    basic::register(interp);
+    control::register(interp);
+    lists::register(interp);
+    regex_cmds::register(interp);
+    strings::register(interp);
+}
+
+/// Parses a Tcl list index which may be `end` or `end-N`.
+pub(crate) fn parse_index(s: &str, len: usize) -> Result<i64, crate::TclError> {
+    let t = s.trim();
+    if t == "end" {
+        return Ok(len as i64 - 1);
+    }
+    if let Some(rest) = t.strip_prefix("end-") {
+        let n: i64 = rest
+            .parse()
+            .map_err(|_| crate::TclError::Error(format!("bad index \"{s}\"")))?;
+        return Ok(len as i64 - 1 - n);
+    }
+    t.parse::<i64>()
+        .map_err(|_| crate::TclError::Error(format!("bad index \"{s}\"")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_parsing() {
+        assert_eq!(parse_index("0", 5).unwrap(), 0);
+        assert_eq!(parse_index("end", 5).unwrap(), 4);
+        assert_eq!(parse_index("end-2", 5).unwrap(), 2);
+        assert_eq!(parse_index("-1", 5).unwrap(), -1);
+        assert!(parse_index("x", 5).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The `regexp` and `regsub` commands (Henry Spencer dialect, as in the
+//! Tcl 6.x Wafe embedded).
+
+use crate::error::{wrong_num_args, TclError, TclResult};
+use crate::interp::Interp;
+use crate::regex::{expand_subspec, Regex};
+
+pub(super) fn register(interp: &mut Interp) {
+    interp.register("regexp", cmd_regexp);
+    interp.register("regsub", cmd_regsub);
+}
+
+fn cmd_regexp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+    let usage = "regexp ?-nocase? ?-indices? exp string ?matchVar? ?subVar subVar ...?";
+    let mut a = 1usize;
+    let mut nocase = false;
+    let mut indices = false;
+    while a < argv.len() && argv[a].starts_with('-') {
+        match argv[a].as_str() {
+            "-nocase" => nocase = true,
+            "-indices" => indices = true,
+            "--" => {
+                a += 1;
+                break;
+            }
+            other => {
+                return Err(TclError::Error(format!(
+                    "bad switch \"{other}\": must be -nocase, -indices, or --"
+                )))
+            }
+        }
+        a += 1;
+    }
+    if argv.len() < a + 2 {
+        return Err(wrong_num_args(usage));
+    }
+    let re = Regex::compile(&argv[a], nocase)
+        .map_err(|e| TclError::Error(format!("couldn't compile regular expression pattern: {e}")))?;
+    let string = &argv[a + 1];
+    let vars = &argv[a + 2..];
+    let m = match re.find(string) {
+        Some(m) => m,
+        None => {
+            // Unset-like behaviour: Tcl sets the vars to "" on no match?
+            // Tcl leaves them untouched and returns 0.
+            return Ok("0".into());
+        }
+    };
+    let chars: Vec<char> = string.chars().collect();
+    for (k, var) in vars.iter().enumerate() {
+        let span = m.spans.get(k).copied().flatten();
+        let value = if indices {
+            match span {
+                Some((lo, hi)) => format!("{lo} {}", hi.max(lo + 1) - 1),
+                None => "-1 -1".into(),
+            }
+        } else {
+            match span {
+                Some((lo, hi)) => chars[lo..hi].iter().collect(),
+                None => String::new(),
+            }
+        };
+        i.set_var(var, &value)?;
+    }
+    Ok("1".into())
+}
+
+fn cmd_regsub(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+    let usage = "regsub ?-all? ?-nocase? exp string subSpec varName";
+    let mut a = 1usize;
+    let mut nocase = false;
+    let mut all = false;
+    while a < argv.len() && argv[a].starts_with('-') {
+        match argv[a].as_str() {
+            "-nocase" => nocase = true,
+            "-all" => all = true,
+            "--" => {
+                a += 1;
+                break;
+            }
+            other => {
+                return Err(TclError::Error(format!(
+                    "bad switch \"{other}\": must be -all, -nocase, or --"
+                )))
+            }
+        }
+        a += 1;
+    }
+    if argv.len() != a + 4 {
+        return Err(wrong_num_args(usage));
+    }
+    let re = Regex::compile(&argv[a], nocase)
+        .map_err(|e| TclError::Error(format!("couldn't compile regular expression pattern: {e}")))?;
+    let string = &argv[a + 1];
+    let subspec = &argv[a + 2];
+    let var = &argv[a + 3];
+    let chars: Vec<char> = string.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0usize;
+    let mut count = 0u64;
+    loop {
+        let rest: String = chars[pos..].iter().collect();
+        let m = match re.find(&rest) {
+            Some(m) => m,
+            None => break,
+        };
+        let (lo, hi) = m.spans[0].unwrap();
+        // Shift spans to absolute positions for expansion.
+        let abs = crate::regex::Match {
+            spans: m
+                .spans
+                .iter()
+                .map(|s| s.map(|(a2, b2)| (a2 + pos, b2 + pos)))
+                .collect(),
+        };
+        out.extend(&chars[pos..pos + lo]);
+        out.push_str(&expand_subspec(subspec, &chars, &abs));
+        count += 1;
+        let advance = if hi > lo { pos + hi } else { pos + hi + 1 };
+        if !all {
+            pos += hi;
+            break;
+        }
+        if advance > pos + hi {
+            // Zero-width match: copy one char through to make progress.
+            if pos + hi < chars.len() {
+                out.push(chars[pos + hi]);
+            }
+        }
+        pos = advance;
+        if pos > chars.len() {
+            break;
+        }
+    }
+    out.extend(&chars[pos.min(chars.len())..]);
+    i.set_var(var, &out)?;
+    Ok(count.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn new() -> Interp {
+        Interp::new()
+    }
+
+    #[test]
+    fn regexp_basic_match() {
+        let mut i = new();
+        assert_eq!(i.eval("regexp {b+} abbbc").unwrap(), "1");
+        assert_eq!(i.eval("regexp {z+} abbbc").unwrap(), "0");
+    }
+
+    #[test]
+    fn regexp_capture_vars() {
+        let mut i = new();
+        assert_eq!(
+            i.eval("regexp {([0-9]+)\\.([0-9]+)} {version 6.7 here} whole major minor").unwrap(),
+            "1"
+        );
+        assert_eq!(i.get_var("whole").unwrap(), "6.7");
+        assert_eq!(i.get_var("major").unwrap(), "6");
+        assert_eq!(i.get_var("minor").unwrap(), "7");
+    }
+
+    #[test]
+    fn regexp_nocase_and_indices() {
+        let mut i = new();
+        assert_eq!(i.eval("regexp -nocase {WAFE} {the wafe frontend} m").unwrap(), "1");
+        assert_eq!(i.get_var("m").unwrap(), "wafe");
+        assert_eq!(i.eval("regexp -indices {fr..t} {the wafe frontend} ix").unwrap(), "1");
+        assert_eq!(i.get_var("ix").unwrap(), "9 13");
+    }
+
+    #[test]
+    fn regexp_no_match_leaves_vars() {
+        let mut i = new();
+        i.set_var("m", "untouched").unwrap();
+        assert_eq!(i.eval("regexp {zz} {abc} m").unwrap(), "0");
+        assert_eq!(i.get_var("m").unwrap(), "untouched");
+    }
+
+    #[test]
+    fn regexp_bad_pattern_is_error() {
+        let mut i = new();
+        assert!(i.eval("regexp {(} x").is_err());
+        assert!(i.eval("regexp -bogus {a} x").is_err());
+    }
+
+    #[test]
+    fn regsub_single() {
+        let mut i = new();
+        assert_eq!(i.eval("regsub {o} {foo bog} {0} out").unwrap(), "1");
+        assert_eq!(i.get_var("out").unwrap(), "f0o bog");
+    }
+
+    #[test]
+    fn regsub_all_with_ampersand() {
+        let mut i = new();
+        assert_eq!(i.eval("regsub -all {[0-9]+} {a1 b22 c333} {<&>} out").unwrap(), "3");
+        assert_eq!(i.get_var("out").unwrap(), "a<1> b<22> c<333>");
+    }
+
+    #[test]
+    fn regsub_group_reference() {
+        let mut i = new();
+        assert_eq!(
+            i.eval("regsub -all {([a-z])([0-9])} {a1 b2} {\\2\\1} out").unwrap(),
+            "2"
+        );
+        assert_eq!(i.get_var("out").unwrap(), "1a 2b");
+    }
+
+    #[test]
+    fn regsub_no_match_copies_input() {
+        let mut i = new();
+        assert_eq!(i.eval("regsub {zz} {hello} {x} out").unwrap(), "0");
+        assert_eq!(i.get_var("out").unwrap(), "hello");
+    }
+
+    #[test]
+    fn regsub_nocase() {
+        let mut i = new();
+        assert_eq!(i.eval("regsub -nocase {WORLD} {hello world} {Wafe} out").unwrap(), "1");
+        assert_eq!(i.get_var("out").unwrap(), "hello Wafe");
+    }
+}

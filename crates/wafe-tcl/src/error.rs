@@ -1,0 +1,97 @@
+//! Completion codes of the Tcl evaluator.
+//!
+//! Tcl models non-local control flow (`break`, `continue`, `return`) as
+//! special completion codes returned alongside `TCL_ERROR`. We mirror that
+//! with an error enum: only [`TclError::Error`] is a genuine error; the
+//! other variants are intercepted by the enclosing looping or procedure
+//! construct.
+
+use std::fmt;
+
+/// Result alias used throughout the interpreter.
+pub type TclResult<T> = Result<T, TclError>;
+
+/// A non-`TCL_OK` completion code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TclError {
+    /// A genuine Tcl error (`TCL_ERROR`) with its message.
+    Error(String),
+    /// `return` was invoked with the given result value (`TCL_RETURN`).
+    Return(String),
+    /// `break` was invoked inside a loop (`TCL_BREAK`).
+    Break,
+    /// `continue` was invoked inside a loop (`TCL_CONTINUE`).
+    Continue,
+}
+
+impl TclError {
+    /// Creates an ordinary error with the given message.
+    pub fn error(msg: impl Into<String>) -> Self {
+        TclError::Error(msg.into())
+    }
+
+    /// Returns the message of an [`TclError::Error`], or a rendering of
+    /// the flow-control code when it escaped its construct.
+    pub fn message(&self) -> String {
+        match self {
+            TclError::Error(m) => m.clone(),
+            TclError::Return(_) => "invoked \"return\" outside of a procedure".into(),
+            TclError::Break => "invoked \"break\" outside of a loop".into(),
+            TclError::Continue => "invoked \"continue\" outside of a loop".into(),
+        }
+    }
+
+    /// True if this is an ordinary error rather than flow control.
+    pub fn is_error(&self) -> bool {
+        matches!(self, TclError::Error(_))
+    }
+}
+
+impl fmt::Display for TclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for TclError {}
+
+/// Builds the canonical `wrong # args` error message.
+pub fn wrong_num_args(usage: &str) -> TclError {
+    TclError::Error(format!("wrong # args: should be \"{usage}\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_message_roundtrip() {
+        let e = TclError::error("boom");
+        assert!(e.is_error());
+        assert_eq!(e.message(), "boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+
+    #[test]
+    fn flow_control_messages() {
+        assert_eq!(
+            TclError::Break.message(),
+            "invoked \"break\" outside of a loop"
+        );
+        assert_eq!(
+            TclError::Continue.message(),
+            "invoked \"continue\" outside of a loop"
+        );
+        assert!(TclError::Return("x".into()).message().contains("return"));
+        assert!(!TclError::Break.is_error());
+    }
+
+    #[test]
+    fn wrong_num_args_format() {
+        let e = wrong_num_args("set varName ?newValue?");
+        assert_eq!(
+            e.message(),
+            "wrong # args: should be \"set varName ?newValue?\""
+        );
+    }
+}

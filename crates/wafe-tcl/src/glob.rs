@@ -1,0 +1,172 @@
+//! Glob-style pattern matching (`Tcl_StringMatch`).
+//!
+//! Used by `string match`, `lsearch`, `switch -glob`, `info` queries, and
+//! shared with the Xrm resource database in the toolkit layers.
+
+/// Matches `s` against a glob `pattern`.
+///
+/// Supported metacharacters: `*` (any run, including empty), `?` (any one
+/// character), `[...]` (character set with ranges, leading `^` negates)
+/// and `\x` (literal `x`).
+///
+/// # Examples
+///
+/// ```
+/// use wafe_tcl::glob::glob_match;
+/// assert!(glob_match("*.tcl", "hello.tcl"));
+/// assert!(glob_match("a[0-9]c", "a7c"));
+/// assert!(!glob_match("a?c", "ac"));
+/// ```
+pub fn glob_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    match_at(&p, 0, &t, 0)
+}
+
+fn match_at(p: &[char], mut pi: usize, t: &[char], mut ti: usize) -> bool {
+    while pi < p.len() {
+        match p[pi] {
+            '*' => {
+                // Collapse consecutive stars.
+                while pi < p.len() && p[pi] == '*' {
+                    pi += 1;
+                }
+                if pi == p.len() {
+                    return true;
+                }
+                while ti <= t.len() {
+                    if match_at(p, pi, t, ti) {
+                        return true;
+                    }
+                    ti += 1;
+                }
+                return false;
+            }
+            '?' => {
+                if ti >= t.len() {
+                    return false;
+                }
+                ti += 1;
+                pi += 1;
+            }
+            '[' => {
+                if ti >= t.len() {
+                    return false;
+                }
+                let (matched, next) = match_set(p, pi, t[ti]);
+                if !matched {
+                    return false;
+                }
+                pi = next;
+                ti += 1;
+            }
+            '\\' => {
+                if pi + 1 >= p.len() {
+                    return ti < t.len() && t[ti] == '\\' && ti + 1 == t.len() && pi + 1 == p.len();
+                }
+                if ti >= t.len() || t[ti] != p[pi + 1] {
+                    return false;
+                }
+                pi += 2;
+                ti += 1;
+            }
+            c => {
+                if ti >= t.len() || t[ti] != c {
+                    return false;
+                }
+                pi += 1;
+                ti += 1;
+            }
+        }
+    }
+    ti == t.len()
+}
+
+/// Matches one character against a `[...]` set starting at `p[pi]` (the
+/// `[`). Returns (matched, index just past the closing `]`).
+fn match_set(p: &[char], pi: usize, c: char) -> (bool, usize) {
+    let mut i = pi + 1;
+    let negate = i < p.len() && (p[i] == '^' || p[i] == '!');
+    if negate {
+        i += 1;
+    }
+    let mut matched = false;
+    let mut first = true;
+    while i < p.len() && (p[i] != ']' || first) {
+        first = false;
+        let lo = p[i];
+        if i + 2 < p.len() && p[i + 1] == '-' && p[i + 2] != ']' {
+            let hi = p[i + 2];
+            if lo <= c && c <= hi {
+                matched = true;
+            }
+            i += 3;
+        } else {
+            if lo == c {
+                matched = true;
+            }
+            i += 1;
+        }
+    }
+    let end = if i < p.len() { i + 1 } else { i };
+    (matched != negate, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(!glob_match("ab", "abc"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+    }
+
+    #[test]
+    fn star() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*c", "abbbc"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("*.tcl", "x.tcl"));
+        assert!(!glob_match("*.tcl", "x.tc"));
+        assert!(glob_match("a**b", "ab"));
+        assert!(glob_match("*a*b*", "xxaxxbxx"));
+    }
+
+    #[test]
+    fn question() {
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(!glob_match("?", ""));
+    }
+
+    #[test]
+    fn sets() {
+        assert!(glob_match("[abc]", "b"));
+        assert!(!glob_match("[abc]", "d"));
+        assert!(glob_match("[a-z]x", "qx"));
+        assert!(!glob_match("[a-z]", "A"));
+        assert!(glob_match("[^abc]", "d"));
+        assert!(!glob_match("[^abc]", "a"));
+        assert!(glob_match("x[0-9][0-9]", "x42"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(glob_match("a\\*c", "a*c"));
+        assert!(!glob_match("a\\*c", "abc"));
+        assert!(glob_match("\\[x\\]", "[x]"));
+    }
+
+    #[test]
+    fn wafe_resource_patterns() {
+        // The flavour of pattern the Xrm layer leans on.
+        assert!(glob_match("*Font", "topLevel.form.label.Font"));
+        assert!(glob_match("*b&h-lucida-medium-r*14*", "-b&h-lucida-medium-r-normal--14-"));
+    }
+}

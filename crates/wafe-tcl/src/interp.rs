@@ -1,0 +1,939 @@
+//! The Tcl interpreter: variable frames, command dispatch, evaluation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::error::{TclError, TclResult};
+use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
+
+/// Maximum nesting depth of script evaluation, mirroring Tcl's
+/// `maxNestingDepth` interpreter limit.
+pub const MAX_NESTING_DEPTH: usize = 500;
+
+/// Signature of a native command (the analogue of `Tcl_CmdProc`).
+///
+/// `argv[0]` is the command name, like in C Tcl.
+pub type CmdFn = Rc<dyn Fn(&mut Interp, &[String]) -> TclResult<String>>;
+
+/// A user-defined procedure created with `proc`.
+#[derive(Debug, Clone)]
+pub struct ProcDef {
+    /// Formal arguments: `(name, default)`. A trailing `args` collects the
+    /// remaining actual arguments as a list.
+    pub args: Vec<(String, Option<String>)>,
+    /// The procedure body, evaluated in a fresh frame.
+    pub body: String,
+}
+
+#[derive(Clone)]
+enum Command {
+    Native(CmdFn),
+    Proc(Rc<ProcDef>),
+}
+
+/// A variable: scalar or associative array.
+#[derive(Debug, Clone)]
+pub enum Var {
+    /// A scalar string value.
+    Scalar(String),
+    /// An associative array (`name(elem)` syntax).
+    Array(HashMap<String, String>),
+}
+
+#[derive(Debug, Clone)]
+enum VarSlot {
+    Value(Var),
+    /// A link created by `global`/`upvar` to a variable in another frame.
+    Link { frame: usize, name: String },
+}
+
+#[derive(Default)]
+struct Frame {
+    vars: HashMap<String, VarSlot>,
+}
+
+/// Destination for `echo`/`puts` output.
+#[derive(Clone)]
+pub enum OutputSink {
+    /// Write to the process standard output (the default).
+    Stdout,
+    /// Append to a shared string buffer (used by tests and captures).
+    Buffer(Rc<RefCell<String>>),
+    /// Invoke a callback for every write (used by the Wafe session to
+    /// route output into the frontend protocol).
+    Func(Rc<RefCell<dyn FnMut(&str)>>),
+}
+
+/// The Tcl interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use wafe_tcl::Interp;
+/// let mut i = Interp::new();
+/// i.register("double", |_, argv| {
+///     let n: i64 = argv[1].parse().unwrap_or(0);
+///     Ok((n * 2).to_string())
+/// });
+/// assert_eq!(i.eval("double 21").unwrap(), "42");
+/// ```
+pub struct Interp {
+    commands: HashMap<String, Command>,
+    frames: Vec<Frame>,
+    /// Index of the active variable frame (changed by `uplevel`).
+    active: usize,
+    depth: usize,
+    output: OutputSink,
+    /// Deterministic pseudo-random state for `expr rand()`.
+    pub(crate) rand_state: u64,
+    /// Variable traces (`trace variable`): global-variable name →
+    /// `(ops, script)` pairs. Scripts run with `name element op`
+    /// appended, like C Tcl.
+    traces: HashMap<String, Vec<(String, String)>>,
+    /// Guards against trace recursion (a trace writing its own variable).
+    tracing: std::cell::Cell<u32>,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with all built-in commands registered.
+    pub fn new() -> Self {
+        let mut interp = Interp {
+            commands: HashMap::new(),
+            frames: vec![Frame::default()],
+            active: 0,
+            depth: 0,
+            output: OutputSink::Stdout,
+            rand_state: 0x9e3779b97f4a7c15,
+            traces: HashMap::new(),
+            tracing: std::cell::Cell::new(0),
+        };
+        crate::commands::register_all(&mut interp);
+        interp
+    }
+
+    /// Registers a native command, replacing any previous binding
+    /// (the analogue of `Tcl_CreateCommand`).
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut Interp, &[String]) -> TclResult<String> + 'static,
+    {
+        self.commands
+            .insert(name.to_string(), Command::Native(Rc::new(f)));
+    }
+
+    /// Registers a native command from an already-shared handler. Useful
+    /// to register one handler under several names (the paper notes "Tcl
+    /// allows to register the same command under various names").
+    pub fn register_shared(&mut self, name: &str, f: CmdFn) {
+        self.commands.insert(name.to_string(), Command::Native(f));
+    }
+
+    /// Removes a command; returns true if it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        self.commands.remove(name).is_some()
+    }
+
+    /// Renames a command (`rename old new`); empty `new` deletes.
+    pub fn rename_command(&mut self, old: &str, new: &str) -> TclResult<()> {
+        let cmd = self
+            .commands
+            .remove(old)
+            .ok_or_else(|| TclError::Error(format!("can't rename \"{old}\": command doesn't exist")))?;
+        if !new.is_empty() {
+            if self.commands.contains_key(new) {
+                self.commands.insert(old.into(), cmd);
+                return Err(TclError::Error(format!(
+                    "can't rename to \"{new}\": command already exists"
+                )));
+            }
+            self.commands.insert(new.to_string(), cmd);
+        }
+        Ok(())
+    }
+
+    /// True if a command (native or proc) with this name exists.
+    pub fn has_command(&self, name: &str) -> bool {
+        self.commands.contains_key(name)
+    }
+
+    /// Names of all registered commands, unsorted.
+    pub fn command_names(&self) -> Vec<String> {
+        self.commands.keys().cloned().collect()
+    }
+
+    /// Names of all user-defined procedures.
+    pub fn proc_names(&self) -> Vec<String> {
+        self.commands
+            .iter()
+            .filter(|(_, c)| matches!(c, Command::Proc(_)))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Returns a proc definition, if `name` is a proc.
+    pub fn get_proc(&self, name: &str) -> Option<Rc<ProcDef>> {
+        match self.commands.get(name) {
+            Some(Command::Proc(p)) => Some(p.clone()),
+            _ => None,
+        }
+    }
+
+    /// Defines a procedure (the `proc` command calls this).
+    pub fn define_proc(&mut self, name: &str, def: ProcDef) {
+        self.commands
+            .insert(name.to_string(), Command::Proc(Rc::new(def)));
+    }
+
+    /// Sets the output sink used by `echo` and `puts`.
+    pub fn set_output(&mut self, sink: OutputSink) {
+        self.output = sink;
+    }
+
+    /// Writes a string to the interpreter's output sink.
+    pub fn write_output(&mut self, s: &str) {
+        match &self.output {
+            OutputSink::Stdout => print!("{s}"),
+            OutputSink::Buffer(buf) => buf.borrow_mut().push_str(s),
+            OutputSink::Func(f) => (f.borrow_mut())(s),
+        }
+    }
+
+    // ----- variables --------------------------------------------------
+
+    /// Current procedure-call level (0 = global).
+    pub fn level(&self) -> usize {
+        self.active
+    }
+
+    fn resolve(&self, mut frame: usize, name: &str) -> (usize, String) {
+        let mut name = name.to_string();
+        loop {
+            match self.frames[frame].vars.get(&name) {
+                Some(VarSlot::Link { frame: f, name: n }) => {
+                    let (f, n) = (*f, n.clone());
+                    frame = f;
+                    name = n;
+                }
+                _ => return (frame, name),
+            }
+        }
+    }
+
+    /// Reads a scalar variable in the active frame.
+    pub fn get_var(&self, name: &str) -> TclResult<String> {
+        let (f, n) = self.resolve(self.active, name);
+        match self.frames[f].vars.get(&n) {
+            Some(VarSlot::Value(Var::Scalar(s))) => Ok(s.clone()),
+            Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
+                "can't read \"{name}\": variable is array"
+            ))),
+            _ => Err(TclError::Error(format!(
+                "can't read \"{name}\": no such variable"
+            ))),
+        }
+    }
+
+    /// Reads an array element in the active frame.
+    pub fn get_elem(&self, name: &str, index: &str) -> TclResult<String> {
+        let (f, n) = self.resolve(self.active, name);
+        match self.frames[f].vars.get(&n) {
+            Some(VarSlot::Value(Var::Array(map))) => map.get(index).cloned().ok_or_else(|| {
+                TclError::Error(format!(
+                    "can't read \"{name}({index})\": no such element in array"
+                ))
+            }),
+            Some(VarSlot::Value(Var::Scalar(_))) => Err(TclError::Error(format!(
+                "can't read \"{name}({index})\": variable isn't array"
+            ))),
+            _ => Err(TclError::Error(format!(
+                "can't read \"{name}({index})\": no such variable"
+            ))),
+        }
+    }
+
+    /// Sets a scalar variable in the active frame.
+    pub fn set_var(&mut self, name: &str, value: &str) -> TclResult<()> {
+        let (f, n) = self.resolve(self.active, name);
+        match self.frames[f].vars.get(&n) {
+            Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
+                "can't set \"{name}\": variable is array"
+            ))),
+            _ => {
+                self.frames[f]
+                    .vars
+                    .insert(n.clone(), VarSlot::Value(Var::Scalar(value.to_string())));
+                self.fire_traces(&n, "", 'w');
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the traces registered for `name` matching operation `op`
+    /// (`w` write, `u` unset). Trace-script errors are discarded, and
+    /// recursion is bounded so a trace writing its own variable cannot
+    /// loop forever.
+    fn fire_traces(&mut self, name: &str, elem: &str, op: char) {
+        if self.tracing.get() >= 8 {
+            return;
+        }
+        let scripts: Vec<String> = match self.traces.get(name) {
+            Some(list) => list
+                .iter()
+                .filter(|(ops, _)| ops.contains(op))
+                .map(|(_, s)| s.clone())
+                .collect(),
+            None => return,
+        };
+        if scripts.is_empty() {
+            return;
+        }
+        self.tracing.set(self.tracing.get() + 1);
+        for script in scripts {
+            let full = format!(
+                "{script} {} {} {}",
+                crate::list::list_quote(name),
+                crate::list::list_quote(elem),
+                op
+            );
+            let _ = self.eval(&full);
+        }
+        self.tracing.set(self.tracing.get() - 1);
+    }
+
+    /// Registers a variable trace: `script` runs (with `name element op`
+    /// appended) on every matching operation.
+    pub fn add_trace(&mut self, name: &str, ops: &str, script: &str) {
+        let (_, n) = self.resolve(self.active, name);
+        self.traces
+            .entry(n)
+            .or_default()
+            .push((ops.to_string(), script.to_string()));
+    }
+
+    /// Removes a matching trace; returns true if one was removed.
+    pub fn remove_trace(&mut self, name: &str, ops: &str, script: &str) -> bool {
+        let (_, n) = self.resolve(self.active, name);
+        if let Some(list) = self.traces.get_mut(&n) {
+            if let Some(ix) = list.iter().position(|(o, s)| o == ops && s == script) {
+                list.remove(ix);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Lists the traces on a variable as `(ops, script)` pairs.
+    pub fn trace_info(&self, name: &str) -> Vec<(String, String)> {
+        let (_, n) = self.resolve(self.active, name);
+        self.traces.get(&n).cloned().unwrap_or_default()
+    }
+
+    /// Sets an array element in the active frame.
+    pub fn set_elem(&mut self, name: &str, index: &str, value: &str) -> TclResult<()> {
+        let (f, n) = self.resolve(self.active, name);
+        let key = n.clone();
+        match self.frames[f]
+            .vars
+            .entry(n)
+            .or_insert_with(|| VarSlot::Value(Var::Array(HashMap::new())))
+        {
+            VarSlot::Value(Var::Array(map)) => {
+                map.insert(index.to_string(), value.to_string());
+                self.fire_traces(&key, index, 'w');
+                Ok(())
+            }
+            VarSlot::Value(Var::Scalar(_)) => Err(TclError::Error(format!(
+                "can't set \"{name}({index})\": variable isn't array"
+            ))),
+            VarSlot::Link { .. } => unreachable!("resolve() follows links"),
+        }
+    }
+
+    /// Unsets a variable (scalar or whole array) in the active frame.
+    pub fn unset_var(&mut self, name: &str) -> TclResult<()> {
+        let (f, n) = self.resolve(self.active, name);
+        if self.frames[f].vars.remove(&n).is_none() {
+            return Err(TclError::Error(format!(
+                "can't unset \"{name}\": no such variable"
+            )));
+        }
+        self.fire_traces(&n.clone(), "", 'u');
+        // Also remove the link itself if `name` was a link in the active frame.
+        if f != self.active || n != name {
+            self.frames[self.active].vars.remove(name);
+        }
+        Ok(())
+    }
+
+    /// Unsets one array element.
+    pub fn unset_elem(&mut self, name: &str, index: &str) -> TclResult<()> {
+        let (f, n) = self.resolve(self.active, name);
+        match self.frames[f].vars.get_mut(&n) {
+            Some(VarSlot::Value(Var::Array(map))) => {
+                if map.remove(index).is_none() {
+                    return Err(TclError::Error(format!(
+                        "can't unset \"{name}({index})\": no such element in array"
+                    )));
+                }
+                Ok(())
+            }
+            _ => Err(TclError::Error(format!(
+                "can't unset \"{name}({index})\": no such variable"
+            ))),
+        }
+    }
+
+    /// True if the variable (scalar or array) exists in the active frame.
+    pub fn var_exists(&self, name: &str) -> bool {
+        let (f, n) = self.resolve(self.active, name);
+        self.frames[f].vars.contains_key(&n)
+    }
+
+    /// True if the variable exists and is an array.
+    pub fn is_array(&self, name: &str) -> bool {
+        let (f, n) = self.resolve(self.active, name);
+        matches!(
+            self.frames[f].vars.get(&n),
+            Some(VarSlot::Value(Var::Array(_)))
+        )
+    }
+
+    /// Returns the element names of an array, unsorted.
+    pub fn array_names(&self, name: &str) -> TclResult<Vec<String>> {
+        let (f, n) = self.resolve(self.active, name);
+        match self.frames[f].vars.get(&n) {
+            Some(VarSlot::Value(Var::Array(map))) => Ok(map.keys().cloned().collect()),
+            _ => Err(TclError::Error(format!("\"{name}\" isn't an array"))),
+        }
+    }
+
+    /// Names of variables visible in the active frame.
+    pub fn var_names(&self) -> Vec<String> {
+        self.frames[self.active].vars.keys().cloned().collect()
+    }
+
+    /// Names of global variables.
+    pub fn global_names(&self) -> Vec<String> {
+        self.frames[0].vars.keys().cloned().collect()
+    }
+
+    /// Creates a link named `local` in the active frame to `name` in
+    /// `target_frame` (used by `global` and `upvar`).
+    pub fn link_var(&mut self, local: &str, target_frame: usize, name: &str) -> TclResult<()> {
+        if target_frame >= self.frames.len() {
+            return Err(TclError::Error(format!(
+                "bad level for variable link to \"{name}\""
+            )));
+        }
+        let (tf, tn) = self.resolve(target_frame, name);
+        if tf == self.active && tn == local {
+            return Err(TclError::Error(format!(
+                "can't upvar from variable to itself ({local})"
+            )));
+        }
+        self.frames[self.active]
+            .vars
+            .insert(local.to_string(), VarSlot::Link { frame: tf, name: tn });
+        Ok(())
+    }
+
+    // ----- evaluation -------------------------------------------------
+
+    /// Evaluates a script and returns the result of its last command.
+    pub fn eval(&mut self, script: &str) -> TclResult<String> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            self.depth -= 1;
+            return Err(TclError::error(
+                "too many nested calls to Tcl_Eval (infinite loop?)",
+            ));
+        }
+        let r = self.eval_inner(script);
+        self.depth -= 1;
+        r
+    }
+
+    /// Evaluates a script at a given frame level (used by `uplevel`).
+    pub fn eval_at_level(&mut self, level: usize, script: &str) -> TclResult<String> {
+        if level >= self.frames.len() {
+            return Err(TclError::Error(format!("bad level \"{level}\"")));
+        }
+        let saved = self.active;
+        self.active = level;
+        let r = self.eval(script);
+        self.active = saved;
+        r
+    }
+
+    fn eval_inner(&mut self, script: &str) -> TclResult<String> {
+        let chars: Vec<char> = script.chars().collect();
+        let mut pos = 0usize;
+        let mut result = String::new();
+        while pos < chars.len() {
+            let (words, next) = self.parse_command(&chars, pos)?;
+            pos = next;
+            if words.is_empty() {
+                continue;
+            }
+            result = self.invoke(&words)?;
+        }
+        Ok(result)
+    }
+
+    /// Invokes a fully-substituted command word list.
+    ///
+    /// Unknown commands fall back to the `unknown` procedure when one is
+    /// defined (classic Tcl: `proc unknown {args} {...}` intercepts every
+    /// unresolved command with the original words as its arguments).
+    pub fn invoke(&mut self, words: &[String]) -> TclResult<String> {
+        let cmd = self.commands.get(words[0].as_str()).cloned();
+        match cmd {
+            Some(Command::Native(f)) => f(self, words),
+            Some(Command::Proc(p)) => self.call_proc(&words[0], &p, &words[1..]),
+            None => {
+                if words[0] != "unknown" {
+                    if let Some(Command::Proc(p)) = self.commands.get("unknown").cloned() {
+                        return self.call_proc("unknown", &p, words);
+                    }
+                }
+                Err(TclError::Error(format!(
+                    "invalid command name \"{}\"",
+                    words[0]
+                )))
+            }
+        }
+    }
+
+    fn call_proc(&mut self, name: &str, p: &ProcDef, actuals: &[String]) -> TclResult<String> {
+        let mut frame = Frame::default();
+        let mut ai = 0usize;
+        for (fi, (formal, default)) in p.args.iter().enumerate() {
+            if formal == "args" && fi == p.args.len() - 1 {
+                let rest = crate::list::list_join(&actuals[ai.min(actuals.len())..]);
+                frame
+                    .vars
+                    .insert("args".into(), VarSlot::Value(Var::Scalar(rest)));
+                ai = actuals.len();
+                break;
+            }
+            if ai < actuals.len() {
+                frame
+                    .vars
+                    .insert(formal.clone(), VarSlot::Value(Var::Scalar(actuals[ai].clone())));
+                ai += 1;
+            } else if let Some(d) = default {
+                frame
+                    .vars
+                    .insert(formal.clone(), VarSlot::Value(Var::Scalar(d.clone())));
+            } else {
+                return Err(TclError::Error(format!(
+                    "no value given for parameter \"{formal}\" to \"{name}\""
+                )));
+            }
+        }
+        if ai < actuals.len() {
+            return Err(TclError::Error(format!(
+                "called \"{name}\" with too many arguments"
+            )));
+        }
+        self.frames.push(frame);
+        let saved_active = self.active;
+        self.active = self.frames.len() - 1;
+        let r = self.eval(&p.body);
+        self.frames.pop();
+        self.active = saved_active;
+        match r {
+            Ok(v) => Ok(v),
+            Err(TclError::Return(v)) => Ok(v),
+            Err(TclError::Break) => Err(TclError::error("invoked \"break\" outside of a loop")),
+            Err(TclError::Continue) => {
+                Err(TclError::error("invoked \"continue\" outside of a loop"))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parses one command starting at `pos`, performing all substitutions.
+    ///
+    /// Returns the words and the position just past the command
+    /// terminator. An empty word list means the segment held only a
+    /// separator or comment.
+    fn parse_command(&mut self, chars: &[char], mut pos: usize) -> TclResult<(Vec<String>, usize)> {
+        let mut words: Vec<String> = Vec::new();
+        // Skip leading white space (not newlines — those terminate).
+        loop {
+            while pos < chars.len() && (chars[pos] == ' ' || chars[pos] == '\t') {
+                pos += 1;
+            }
+            if pos + 1 < chars.len() && chars[pos] == '\\' && chars[pos + 1] == '\n' {
+                let (_, next) = parse_backslash(chars, pos);
+                pos = next;
+                continue;
+            }
+            break;
+        }
+        if pos >= chars.len() {
+            return Ok((words, pos));
+        }
+        if chars[pos] == '\n' || chars[pos] == ';' {
+            return Ok((words, pos + 1));
+        }
+        if chars[pos] == '#' {
+            // Comment to end of line; backslash-newline continues it.
+            while pos < chars.len() && chars[pos] != '\n' {
+                if chars[pos] == '\\' && pos + 1 < chars.len() {
+                    pos += 1;
+                }
+                pos += 1;
+            }
+            return Ok((words, (pos + 1).min(chars.len())));
+        }
+        loop {
+            // Parse one word.
+            let word;
+            match chars[pos] {
+                '{' => {
+                    let end = find_matching_brace(chars, pos)?;
+                    word = chars[pos + 1..end].iter().collect::<String>();
+                    pos = end + 1;
+                    if pos < chars.len()
+                        && !matches!(chars[pos], ' ' | '\t' | '\n' | ';')
+                        && !(chars[pos] == '\\' && pos + 1 < chars.len() && chars[pos + 1] == '\n')
+                    {
+                        return Err(TclError::error(
+                            "extra characters after close-brace",
+                        ));
+                    }
+                }
+                '"' => {
+                    let (w, next) = self.parse_quoted(chars, pos + 1)?;
+                    word = w;
+                    pos = next;
+                    if pos < chars.len()
+                        && !matches!(chars[pos], ' ' | '\t' | '\n' | ';')
+                        && !(chars[pos] == '\\' && pos + 1 < chars.len() && chars[pos + 1] == '\n')
+                    {
+                        return Err(TclError::error(
+                            "extra characters after close-quote",
+                        ));
+                    }
+                }
+                _ => {
+                    let (w, next) = self.parse_bare(chars, pos)?;
+                    word = w;
+                    pos = next;
+                }
+            }
+            words.push(word);
+            // Skip intra-command white space.
+            loop {
+                while pos < chars.len() && (chars[pos] == ' ' || chars[pos] == '\t') {
+                    pos += 1;
+                }
+                if pos + 1 < chars.len() && chars[pos] == '\\' && chars[pos + 1] == '\n' {
+                    let (_, next) = parse_backslash(chars, pos);
+                    pos = next;
+                    continue;
+                }
+                break;
+            }
+            if pos >= chars.len() {
+                return Ok((words, pos));
+            }
+            if chars[pos] == '\n' || chars[pos] == ';' {
+                return Ok((words, pos + 1));
+            }
+        }
+    }
+
+    /// Parses a double-quoted word starting just after the opening quote.
+    fn parse_quoted(&mut self, chars: &[char], mut pos: usize) -> TclResult<(String, usize)> {
+        let mut out = String::new();
+        while pos < chars.len() {
+            match chars[pos] {
+                '"' => return Ok((out, pos + 1)),
+                '\\' => {
+                    let (s, next) = parse_backslash(chars, pos);
+                    out.push_str(&s);
+                    pos = next;
+                }
+                '$' => {
+                    let (s, next) = self.substitute_dollar(chars, pos)?;
+                    out.push_str(&s);
+                    pos = next;
+                }
+                '[' => {
+                    let end = find_matching_bracket(chars, pos)?;
+                    let script: String = chars[pos + 1..end].iter().collect();
+                    out.push_str(&self.eval(&script)?);
+                    pos = end + 1;
+                }
+                c => {
+                    out.push(c);
+                    pos += 1;
+                }
+            }
+        }
+        Err(TclError::error("missing \""))
+    }
+
+    /// Parses a bare word starting at `pos`.
+    fn parse_bare(&mut self, chars: &[char], mut pos: usize) -> TclResult<(String, usize)> {
+        let mut out = String::new();
+        while pos < chars.len() {
+            match chars[pos] {
+                ' ' | '\t' | '\n' | ';' => break,
+                '\\' => {
+                    if pos + 1 < chars.len() && chars[pos + 1] == '\n' {
+                        break; // Backslash-newline ends the word (acts as separator).
+                    }
+                    let (s, next) = parse_backslash(chars, pos);
+                    out.push_str(&s);
+                    pos = next;
+                }
+                '$' => {
+                    let (s, next) = self.substitute_dollar(chars, pos)?;
+                    out.push_str(&s);
+                    pos = next;
+                }
+                '[' => {
+                    let end = find_matching_bracket(chars, pos)?;
+                    let script: String = chars[pos + 1..end].iter().collect();
+                    out.push_str(&self.eval(&script)?);
+                    pos = end + 1;
+                }
+                c => {
+                    out.push(c);
+                    pos += 1;
+                }
+            }
+        }
+        Ok((out, pos))
+    }
+
+    /// Substitutes a `$`-form starting at `chars[pos]` (the `$`).
+    fn substitute_dollar(&mut self, chars: &[char], pos: usize) -> TclResult<(String, usize)> {
+        let (name, index, next) = scan_varname(chars, pos + 1);
+        if name.is_empty() {
+            return Ok(("$".into(), pos + 1));
+        }
+        match index {
+            None => Ok((self.get_var(&name)?, next)),
+            Some(raw) => {
+                // The index itself undergoes one round of substitution.
+                let idx = self.substitute_all(&raw)?;
+                Ok((self.get_elem(&name, &idx)?, next))
+            }
+        }
+    }
+
+    /// Performs `$`, `[]` and backslash substitution on an entire string
+    /// (the behaviour of array-index text; also used by `expr`).
+    pub fn substitute_all(&mut self, s: &str) -> TclResult<String> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut out = String::new();
+        let mut pos = 0usize;
+        while pos < chars.len() {
+            match chars[pos] {
+                '\\' => {
+                    let (t, next) = parse_backslash(&chars, pos);
+                    out.push_str(&t);
+                    pos = next;
+                }
+                '$' => {
+                    let (t, next) = self.substitute_dollar(&chars, pos)?;
+                    out.push_str(&t);
+                    pos = next;
+                }
+                '[' => {
+                    let end = find_matching_bracket(&chars, pos)?;
+                    let script: String = chars[pos + 1..end].iter().collect();
+                    out.push_str(&self.eval(&script)?);
+                    pos = end + 1;
+                }
+                c => {
+                    out.push(c);
+                    pos += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("set x hello").unwrap(), "hello");
+        assert_eq!(i.eval("set x").unwrap(), "hello");
+        assert_eq!(i.get_var("x").unwrap(), "hello");
+    }
+
+    #[test]
+    fn variable_substitution_forms() {
+        let mut i = Interp::new();
+        i.set_var("a", "1").unwrap();
+        i.set_elem("arr", "k", "v").unwrap();
+        assert_eq!(i.eval("set r $a").unwrap(), "1");
+        assert_eq!(i.eval("set r ${a}x").unwrap(), "1x");
+        assert_eq!(i.eval("set r $arr(k)").unwrap(), "v");
+        i.set_var("key", "k").unwrap();
+        assert_eq!(i.eval("set r $arr($key)").unwrap(), "v");
+    }
+
+    #[test]
+    fn command_substitution() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("set r [set x 5]").unwrap(), "5");
+        assert_eq!(i.eval("set r a[set x 5]b").unwrap(), "a5b");
+    }
+
+    #[test]
+    fn braces_defer_substitution() {
+        let mut i = Interp::new();
+        i.set_var("x", "1").unwrap();
+        assert_eq!(i.eval("set r {$x [set y]}").unwrap(), "$x [set y]");
+    }
+
+    #[test]
+    fn quotes_substitute_but_keep_spaces() {
+        let mut i = Interp::new();
+        i.set_var("x", "1").unwrap();
+        assert_eq!(i.eval("set r \"a $x b\"").unwrap(), "a 1 b");
+    }
+
+    #[test]
+    fn semicolons_and_newlines_separate() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("set a 1; set b 2\nset c 3").unwrap(), "3");
+        assert_eq!(i.get_var("a").unwrap(), "1");
+        assert_eq!(i.get_var("b").unwrap(), "2");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("# comment\nset x 1").unwrap(), "1");
+        // `#` not at command start is literal.
+        assert_eq!(i.eval("set x a#b").unwrap(), "a#b");
+    }
+
+    #[test]
+    fn backslash_newline_continues_command() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("set x \\\n   5").unwrap(), "5");
+    }
+
+    #[test]
+    fn unknown_command_error() {
+        let mut i = Interp::new();
+        let e = i.eval("nosuchcmd").unwrap_err();
+        assert_eq!(e.message(), "invalid command name \"nosuchcmd\"");
+    }
+
+    #[test]
+    fn unset_and_exists() {
+        let mut i = Interp::new();
+        i.set_var("x", "1").unwrap();
+        assert!(i.var_exists("x"));
+        i.unset_var("x").unwrap();
+        assert!(!i.var_exists("x"));
+        assert!(i.unset_var("x").is_err());
+        assert!(i.get_var("x").is_err());
+    }
+
+    #[test]
+    fn proc_with_defaults_and_args() {
+        let mut i = Interp::new();
+        i.eval("proc f {a {b B} args} {return $a-$b-$args}").unwrap();
+        assert_eq!(i.eval("f 1").unwrap(), "1-B-");
+        assert_eq!(i.eval("f 1 2").unwrap(), "1-2-");
+        assert_eq!(i.eval("f 1 2 3 4").unwrap(), "1-2-3 4");
+        assert!(i.eval("f").is_err());
+    }
+
+    #[test]
+    fn proc_frames_isolate_variables() {
+        let mut i = Interp::new();
+        i.set_var("x", "global").unwrap();
+        i.eval("proc f {} {set x local; set x}").unwrap();
+        assert_eq!(i.eval("f").unwrap(), "local");
+        assert_eq!(i.get_var("x").unwrap(), "global");
+    }
+
+    #[test]
+    fn global_links_work() {
+        let mut i = Interp::new();
+        i.set_var("g", "1").unwrap();
+        i.eval("proc f {} {global g; set g 2}").unwrap();
+        i.eval("f").unwrap();
+        assert_eq!(i.get_var("g").unwrap(), "2");
+    }
+
+    #[test]
+    fn nesting_depth_limit() {
+        let mut i = Interp::new();
+        i.eval("proc f {} {f}").unwrap();
+        let e = i.eval("f").unwrap_err();
+        assert!(e.message().contains("too many nested calls"));
+    }
+
+    #[test]
+    fn rename_command() {
+        let mut i = Interp::new();
+        i.eval("proc f {} {return hi}").unwrap();
+        i.rename_command("f", "g").unwrap();
+        assert_eq!(i.eval("g").unwrap(), "hi");
+        assert!(i.eval("f").is_err());
+        assert!(i.rename_command("nope", "x").is_err());
+    }
+
+    #[test]
+    fn output_capture() {
+        let buf = Rc::new(RefCell::new(String::new()));
+        let mut i = Interp::new();
+        i.set_output(OutputSink::Buffer(buf.clone()));
+        i.eval("echo hello world").unwrap();
+        assert_eq!(&*buf.borrow(), "hello world\n");
+    }
+
+    #[test]
+    fn dollar_without_name_is_literal() {
+        let mut i = Interp::new();
+        assert_eq!(i.eval("set x $").unwrap(), "$");
+        assert_eq!(i.eval("set x a$").unwrap(), "a$");
+    }
+
+    #[test]
+    fn extra_chars_after_brace_error() {
+        let mut i = Interp::new();
+        assert!(i.eval("set x {a}b").is_err());
+    }
+
+    #[test]
+    fn unknown_proc_intercepts_missing_commands() {
+        let mut i = Interp::new();
+        i.eval("proc unknown {args} {return \"caught: $args\"}").unwrap();
+        assert_eq!(i.eval("frobnicate a b").unwrap(), "caught: frobnicate a b");
+        // Defined commands are unaffected.
+        assert_eq!(i.eval("set x 1").unwrap(), "1");
+    }
+
+    #[test]
+    fn unknown_absent_still_errors() {
+        let mut i = Interp::new();
+        let e = i.eval("frobnicate").unwrap_err();
+        assert!(e.message().contains("invalid command name"));
+    }
+}

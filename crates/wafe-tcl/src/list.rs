@@ -1,0 +1,273 @@
+//! Tcl list parsing and construction.
+//!
+//! A Tcl list is a string whose elements are separated by white space;
+//! elements containing special characters are wrapped in braces (or, when
+//! braces cannot nest correctly, backslash-quoted). These routines are the
+//! analogues of `Tcl_SplitList` and `Tcl_Merge`.
+
+use crate::error::{TclError, TclResult};
+
+/// Splits a Tcl list string into its elements.
+///
+/// Follows `Tcl_SplitList` semantics: elements are delimited by white
+/// space; `{...}` groups an element verbatim (braces nest); `"..."` groups
+/// an element with backslash processing; backslashes escape the following
+/// character in bare elements.
+///
+/// # Examples
+///
+/// ```
+/// use wafe_tcl::parse_list;
+/// let v = parse_list("a {b c} d").unwrap();
+/// assert_eq!(v, vec!["a", "b c", "d"]);
+/// ```
+pub fn parse_list(s: &str) -> TclResult<Vec<String>> {
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        while i < b.len() && b[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        match b[i] {
+            '{' => {
+                let start = i + 1;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() {
+                    match b[j] {
+                        '\\' => j += 1,
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth != 0 {
+                    return Err(TclError::error("unmatched open brace in list"));
+                }
+                out.push(b[start..j].iter().collect());
+                i = j + 1;
+                // After a close brace the element must end.
+                if i < b.len() && !b[i].is_whitespace() {
+                    return Err(TclError::error(
+                        "list element in braces followed by non-space character",
+                    ));
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut elem = String::new();
+                let mut closed = false;
+                while j < b.len() {
+                    match b[j] {
+                        '\\' if j + 1 < b.len() => {
+                            elem.push(backslash_char(b[j + 1]));
+                            j += 2;
+                        }
+                        '"' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        c => {
+                            elem.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(TclError::error("unmatched open quote in list"));
+                }
+                out.push(elem);
+                i = j;
+            }
+            _ => {
+                let mut elem = String::new();
+                while i < b.len() && !b[i].is_whitespace() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        elem.push(backslash_char(b[i + 1]));
+                        i += 2;
+                    } else {
+                        elem.push(b[i]);
+                        i += 1;
+                    }
+                }
+                out.push(elem);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn backslash_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        'b' => '\u{8}',
+        'f' => '\u{c}',
+        'v' => '\u{b}',
+        other => other,
+    }
+}
+
+/// Quotes a single element so that [`parse_list`] recovers it verbatim.
+///
+/// Mirrors `Tcl_ConvertElement`: the empty string becomes `{}`; elements
+/// containing white space or list metacharacters are braced when their
+/// braces balance, otherwise backslash-quoted.
+pub fn list_quote(elem: &str) -> String {
+    if elem.is_empty() {
+        return "{}".into();
+    }
+    let needs_quoting = elem.chars().any(|c| {
+        c.is_whitespace() || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
+    });
+    if !needs_quoting {
+        return elem.to_string();
+    }
+    if braces_balance(elem) && !elem.ends_with('\\') {
+        return format!("{{{elem}}}");
+    }
+    // Fall back to backslash quoting.
+    let mut out = String::with_capacity(elem.len() * 2);
+    for c in elem.chars() {
+        match c {
+            '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';' | ' ' => {
+                out.push('\\');
+                out.push(c);
+            }
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{b}' => out.push_str("\\v"),
+            '\u{c}' => out.push_str("\\f"),
+            c if c.is_whitespace() => {
+                // Exotic Unicode whitespace: a backslash keeps it literal.
+                out.push('\\');
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn braces_balance(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                let _ = chars.next();
+            }
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// Joins elements into a Tcl list string (the analogue of `Tcl_Merge`).
+///
+/// # Examples
+///
+/// ```
+/// use wafe_tcl::{list_join, parse_list};
+/// let l = list_join(&["a".to_string(), "b c".to_string()]);
+/// assert_eq!(parse_list(&l).unwrap(), vec!["a", "b c"]);
+/// ```
+pub fn list_join(elems: &[String]) -> String {
+    elems
+        .iter()
+        .map(|e| list_quote(e))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Appends one element to a Tcl list string in place.
+pub fn list_append(list: &mut String, elem: &str) {
+    if !list.is_empty() {
+        list.push(' ');
+    }
+    list.push_str(&list_quote(elem));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_split() {
+        assert_eq!(parse_list("a b c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_list("").unwrap(), Vec::<String>::new());
+        assert_eq!(parse_list("   ").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn braced_elements() {
+        assert_eq!(parse_list("a {b c} d").unwrap(), vec!["a", "b c", "d"]);
+        assert_eq!(parse_list("{a {b c}}").unwrap(), vec!["a {b c}"]);
+        assert_eq!(parse_list("{}").unwrap(), vec![""]);
+    }
+
+    #[test]
+    fn quoted_elements() {
+        assert_eq!(parse_list("\"a b\" c").unwrap(), vec!["a b", "c"]);
+        assert_eq!(parse_list("\"a\\tb\"").unwrap(), vec!["a\tb"]);
+    }
+
+    #[test]
+    fn backslash_in_bare_element() {
+        assert_eq!(parse_list("a\\ b").unwrap(), vec!["a b"]);
+    }
+
+    #[test]
+    fn unbalanced_brace_is_error() {
+        assert!(parse_list("{a").is_err());
+        assert!(parse_list("\"a").is_err());
+        assert!(parse_list("{a}b").is_err());
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        for elem in [
+            "plain", "two words", "", "{", "}", "a{b", "has\"quote", "back\\slash", "end\\",
+            "a\nb", "semi;colon", "$dollar", "[bracket]",
+        ] {
+            let q = list_quote(elem);
+            let parsed = parse_list(&q).unwrap();
+            assert_eq!(parsed, vec![elem.to_string()], "quoting of {elem:?} as {q:?}");
+        }
+    }
+
+    #[test]
+    fn join_roundtrip() {
+        let elems: Vec<String> = vec!["a".into(), "b c".into(), "".into(), "{d".into()];
+        let joined = list_join(&elems);
+        assert_eq!(parse_list(&joined).unwrap(), elems);
+    }
+
+    #[test]
+    fn append_builds_list() {
+        let mut l = String::new();
+        list_append(&mut l, "a");
+        list_append(&mut l, "b c");
+        assert_eq!(parse_list(&l).unwrap(), vec!["a", "b c"]);
+    }
+}

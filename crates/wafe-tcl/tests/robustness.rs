@@ -1,0 +1,148 @@
+//! Robustness: the interpreter must never panic, whatever script text it
+//! is fed — errors are Tcl errors, not crashes.
+
+use proptest::prelude::*;
+use wafe_tcl::Interp;
+
+proptest! {
+    /// Arbitrary byte-soup scripts produce Ok or Err, never a panic.
+    #[test]
+    fn eval_never_panics(script in ".{0,80}") {
+        let mut i = Interp::new();
+        let _ = i.eval(&script);
+    }
+
+    /// Arbitrary scripts built from Tcl metacharacters.
+    #[test]
+    fn metachar_soup_never_panics(script in "[\\[\\]{}$\"\\\\; \\n a-z0-9%]{0,60}") {
+        let mut i = Interp::new();
+        let _ = i.eval(&script);
+    }
+
+    /// Arbitrary expressions produce Ok or Err, never a panic.
+    #[test]
+    fn expr_never_panics(text in "[0-9a-z+*/()<>=!&|^ .\"-]{0,40}") {
+        let mut i = Interp::new();
+        let _ = i.eval(&format!("expr {{{text}}}"));
+    }
+
+    /// format with arbitrary format strings never panics.
+    #[test]
+    fn format_never_panics(fmt in "[%a-z0-9 .#+-]{0,30}") {
+        let mut i = Interp::new();
+        let _ = i.invoke(&["format".into(), fmt, "42".into(), "x".into()]);
+    }
+
+    /// Deep but bounded nesting is handled (no stack overflow).
+    #[test]
+    fn nested_brackets_bounded(depth in 1usize..60) {
+        let mut i = Interp::new();
+        let script = format!("{}set x 1{}", "[".repeat(depth), "]".repeat(depth));
+        let _ = i.eval(&script);
+    }
+}
+
+#[test]
+fn pathological_inputs() {
+    let mut i = Interp::new();
+    for s in [
+        "{", "}", "[", "]", "\"", "$", "\\", "${", "$()", "a{b}c",
+        "set", "set {", "proc p", "if", "while", "foreach x",
+        "expr", "expr (", "expr 1+", "string", "array", "format %",
+        "\u{0}", "\u{7f}\u{1b}", "%% % %w", "# only a comment",
+        ";;;;", "\n\n\n", "set \u{fffd} 1",
+    ] {
+        let _ = i.eval(s); // Must not panic.
+    }
+}
+
+#[test]
+fn recursion_is_bounded_not_fatal() {
+    let mut i = Interp::new();
+    i.eval("proc f {} {f}").unwrap();
+    let e = i.eval("f").unwrap_err();
+    assert!(e.message().contains("too many nested calls"));
+    // The interpreter is still usable afterwards.
+    assert_eq!(i.eval("expr 1+1").unwrap(), "2");
+}
+
+#[test]
+fn long_flat_scripts() {
+    let mut i = Interp::new();
+    let script: String = (0..2000).map(|k| format!("set v{k} {k}\n")).collect();
+    i.eval(&script).unwrap();
+    assert_eq!(i.get_var("v1999").unwrap(), "1999");
+}
+
+mod regex_props {
+    use proptest::prelude::*;
+    use wafe_tcl::regex::Regex;
+
+    fn quote(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| {
+                if "\\^$.[]()*+?|".contains(c) {
+                    vec!['\\', c]
+                } else {
+                    vec![c]
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// A quoted literal always matches itself, exactly.
+        #[test]
+        fn quoted_literal_matches_itself(s in "[ -~]{0,20}") {
+            let re = Regex::compile(&format!("^{}$", quote(&s)), false).unwrap();
+            prop_assert!(re.is_match(&s));
+        }
+
+        /// A quoted literal embedded in noise is found at the right span.
+        #[test]
+        fn literal_found_in_noise(pre in "[a-m]{0,8}", needle in "[n-z]{1,8}", post in "[a-m]{0,8}") {
+            let hay = format!("{pre}{needle}{post}");
+            let re = Regex::compile(&quote(&needle), false).unwrap();
+            let m = re.find(&hay).expect("must match");
+            let (lo, hi) = m.spans[0].unwrap();
+            prop_assert_eq!(hi - lo, needle.chars().count());
+            let got: String = hay.chars().skip(lo).take(hi - lo).collect();
+            prop_assert_eq!(got, needle);
+        }
+
+        /// Compiling arbitrary pattern text never panics.
+        #[test]
+        fn compile_never_panics(pattern in ".{0,24}") {
+            let _ = Regex::compile(&pattern, false);
+        }
+
+        /// Matching never panics, whatever the compiled pattern and text.
+        #[test]
+        fn find_never_panics(pattern in "[a-c.*+?()|\\[\\]^$]{0,10}", text in "[a-c]{0,12}") {
+            if let Ok(re) = Regex::compile(&pattern, false) {
+                let _ = re.find(&text);
+            }
+        }
+
+        /// `x*` matches every string of x's entirely.
+        #[test]
+        fn star_matches_runs(n in 0usize..20) {
+            let s = "x".repeat(n);
+            let re = Regex::compile("^x*$", false).unwrap();
+            prop_assert!(re.is_match(&s));
+        }
+
+        /// regexp agrees with string match for prefix patterns.
+        #[test]
+        fn agrees_with_glob_prefix(s in "[a-z]{1,10}", t in "[a-z]{1,10}") {
+            let mut i = wafe_tcl::Interp::new();
+            let glob = i
+                .invoke(&["string".into(), "match".into(), format!("{s}*"), t.clone()])
+                .unwrap();
+            let re = i
+                .invoke(&["regexp".into(), format!("^{s}"), t.clone()])
+                .unwrap();
+            prop_assert_eq!(glob, re);
+        }
+    }
+}

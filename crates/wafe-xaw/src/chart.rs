@@ -1,0 +1,455 @@
+//! StripChart and BarGraph.
+//!
+//! StripChart backs the paper's monitor demos (`xnetstats`, `xvmstats`,
+//! `xiostats`, `xruptimes`): the application feeds one sample per
+//! interval and the chart scrolls left. BarGraph stands in for the
+//! Plotter widget set the distribution bundles ("bar graphs and line
+//! graphs").
+
+use std::rc::Rc;
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xproto::geometry::Rect;
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+use crate::common::simple_base;
+
+/// StripChart's resources.
+pub fn stripchart_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = simple_base();
+    v.extend([
+        ResourceSpec::new("foreground", "Foreground", Pixel, "black"),
+        ResourceSpec::new("highlight", "Foreground", Pixel, "gray50"),
+        ResourceSpec::new("update", "Interval", Int, "10"),
+        ResourceSpec::new("minScale", "Scale", Int, "1"),
+        ResourceSpec::new("jumpScroll", "JumpScroll", Int, "8"),
+        ResourceSpec::new("getValue", "Callback", Callback, ""),
+    ]);
+    v
+}
+
+fn samples(app: &XtApp, w: WidgetId) -> Vec<f64> {
+    app.state(w, "samples")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+/// Feeds one sample to a StripChart (what the monitor frontends do each
+/// interval). Keeps a window of `width` samples.
+pub fn stripchart_add_sample(app: &mut XtApp, w: WidgetId, value: f64) {
+    let width = app.dim_resource(w, "width").max(10) as usize;
+    let mut s = samples(app, w);
+    s.push(value);
+    if s.len() > width {
+        let excess = s.len() - width;
+        s.drain(..excess);
+    }
+    let joined: Vec<String> = s.iter().map(|v| v.to_string()).collect();
+    app.set_state(w, "samples", joined.join(","));
+    app.redisplay_widget(w);
+}
+
+/// StripChart class methods.
+pub struct StripChartOps;
+
+impl WidgetOps for StripChartOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        (
+            app.dim_resource(w, "width").max(120),
+            app.dim_resource(w, "height").max(40),
+        )
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let height = app.dim_resource(w, "height").max(1) as f64;
+        let fg = app.pixel_resource(w, "foreground");
+        let s = samples(app, w);
+        let min_scale = match app.widget(w).resource("minScale") {
+            Some(ResourceValue::Int(v)) => (*v).max(1) as f64,
+            _ => 1.0,
+        };
+        let scale = s.iter().cloned().fold(min_scale, f64::max);
+        let mut ops = Vec::new();
+        for (i, v) in s.iter().enumerate() {
+            let h = ((v / scale) * (height - 2.0)).max(0.0) as u32;
+            if h > 0 {
+                ops.push(DrawOp::DrawLine {
+                    x1: i as i32,
+                    y1: height as i32 - 1,
+                    x2: i as i32,
+                    y2: height as i32 - 1 - h as i32,
+                    pixel: fg,
+                });
+            }
+        }
+        ops
+    }
+}
+
+/// BarGraph's resources (the Plotter stand-in).
+pub fn bargraph_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = simple_base();
+    v.extend([
+        ResourceSpec::new("foreground", "Foreground", Pixel, "steel blue"),
+        ResourceSpec::new("values", "Values", StringList, ""),
+        ResourceSpec::new("labels", "Labels", StringList, ""),
+        ResourceSpec::new("barWidth", "BarWidth", Dimension, "12"),
+        ResourceSpec::new("barSpacing", "BarSpacing", Dimension, "4"),
+        ResourceSpec::new("font", "Font", Font, "fixed"),
+    ]);
+    v
+}
+
+/// BarGraph class methods.
+pub struct BarGraphOps;
+
+impl WidgetOps for BarGraphOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        let n = match app.widget(w).resource("values") {
+            Some(ResourceValue::StrList(v)) => v.len() as u32,
+            _ => 0,
+        };
+        let bw = app.dim_resource(w, "barWidth");
+        let sp = app.dim_resource(w, "barSpacing");
+        ((n * (bw + sp) + sp).max(60), app.dim_resource(w, "height").max(80))
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let values: Vec<f64> = match app.widget(w).resource("values") {
+            Some(ResourceValue::StrList(v)) => {
+                v.iter().filter_map(|s| s.trim().parse().ok()).collect()
+            }
+            _ => Vec::new(),
+        };
+        let height = app.dim_resource(w, "height").max(1) as f64;
+        let bw = app.dim_resource(w, "barWidth");
+        let sp = app.dim_resource(w, "barSpacing");
+        let fg = app.pixel_resource(w, "foreground");
+        let max = values.iter().cloned().fold(1.0_f64, f64::max);
+        let mut ops = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let h = ((v / max) * (height - 4.0)).max(1.0) as u32;
+            let x = sp as i32 + i as i32 * (bw + sp) as i32;
+            ops.push(DrawOp::FillRect {
+                rect: Rect::new(x, height as i32 - h as i32 - 2, bw, h),
+                pixel: fg,
+            });
+        }
+        ops
+    }
+}
+
+/// LineGraph's resources (the other half of the Plotter set: "bar graphs
+/// and line graphs"). Up to three series, comma-separated numbers.
+pub fn linegraph_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = simple_base();
+    v.extend([
+        ResourceSpec::new("series1", "Series", StringList, ""),
+        ResourceSpec::new("series2", "Series", StringList, ""),
+        ResourceSpec::new("series3", "Series", StringList, ""),
+        ResourceSpec::new("foreground", "Foreground", Pixel, "steel blue"),
+        ResourceSpec::new("series2Color", "Foreground", Pixel, "firebrick"),
+        ResourceSpec::new("series3Color", "Foreground", Pixel, "forest green"),
+        ResourceSpec::new("minY", "Scale", Int, "0"),
+        ResourceSpec::new("maxY", "Scale", Int, "0"),
+        ResourceSpec::new("gridLines", "Boolean", Boolean, "true"),
+        ResourceSpec::new("axisColor", "Foreground", Pixel, "gray40"),
+    ]);
+    v
+}
+
+fn series_values(app: &XtApp, w: WidgetId, name: &str) -> Vec<f64> {
+    match app.widget(w).resource(name) {
+        Some(ResourceValue::StrList(v)) => v.iter().filter_map(|s| s.trim().parse().ok()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// LineGraph class methods.
+pub struct LineGraphOps;
+
+impl WidgetOps for LineGraphOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        (
+            app.dim_resource(w, "width").max(160),
+            app.dim_resource(w, "height").max(100),
+        )
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let width = app.dim_resource(w, "width").max(2) as i32;
+        let height = app.dim_resource(w, "height").max(2) as i32;
+        let axis = app.pixel_resource(w, "axisColor");
+        let mut ops = Vec::new();
+
+        // Collect every series and the y range.
+        let colors = [
+            app.pixel_resource(w, "foreground"),
+            app.pixel_resource(w, "series2Color"),
+            app.pixel_resource(w, "series3Color"),
+        ];
+        let series: Vec<Vec<f64>> = ["series1", "series2", "series3"]
+            .iter()
+            .map(|n| series_values(app, w, n))
+            .collect();
+        let all: Vec<f64> = series.iter().flatten().copied().collect();
+        let (auto_min, auto_max) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        let min_y = match app.widget(w).resource("minY") {
+            Some(ResourceValue::Int(v)) if *v != 0 => *v as f64,
+            _ if all.is_empty() => 0.0,
+            _ => auto_min.min(0.0),
+        };
+        let max_y = match app.widget(w).resource("maxY") {
+            Some(ResourceValue::Int(v)) if *v != 0 => *v as f64,
+            _ if all.is_empty() => 1.0,
+            _ => auto_max.max(min_y + 1.0),
+        };
+        let span = (max_y - min_y).max(1e-9);
+        let plot_h = (height - 4) as f64;
+        let y_of = |v: f64| -> i32 { height - 2 - ((v - min_y) / span * plot_h) as i32 };
+
+        // Axes and optional horizontal grid lines.
+        ops.push(DrawOp::DrawLine { x1: 1, y1: height - 2, x2: width - 2, y2: height - 2, pixel: axis });
+        ops.push(DrawOp::DrawLine { x1: 1, y1: 1, x2: 1, y2: height - 2, pixel: axis });
+        if app.bool_resource(w, "gridLines") {
+            for k in 1..4 {
+                let gy = 2 + k * (height - 4) / 4;
+                ops.push(DrawOp::DrawLine { x1: 2, y1: gy, x2: width - 2, y2: gy, pixel: axis });
+            }
+        }
+        // Polylines.
+        for (si, values) in series.iter().enumerate() {
+            if values.len() < 2 {
+                continue;
+            }
+            let step = (width - 6) as f64 / (values.len() - 1) as f64;
+            for k in 1..values.len() {
+                let x1 = 3 + ((k - 1) as f64 * step) as i32;
+                let x2 = 3 + (k as f64 * step) as i32;
+                ops.push(DrawOp::DrawLine {
+                    x1,
+                    y1: y_of(values[k - 1]),
+                    x2,
+                    y2: y_of(values[k]),
+                    pixel: colors[si],
+                });
+            }
+        }
+        ops
+    }
+}
+
+/// Registers StripChart and BarGraph.
+pub fn register(app: &mut XtApp) {
+    app.register_class(WidgetClass {
+        name: "StripChart".into(),
+        resources: stripchart_resources(),
+        constraint_resources: Vec::new(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(StripChartOps),
+        is_shell: false,
+        is_composite: false,
+    });
+    app.register_class(WidgetClass {
+        name: "BarGraph".into(),
+        resources: bargraph_resources(),
+        constraint_resources: Vec::new(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(BarGraphOps),
+        is_shell: false,
+        is_composite: false,
+    });
+    app.register_class(WidgetClass {
+        name: "LineGraph".into(),
+        resources: linegraph_resources(),
+        constraint_resources: Vec::new(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(LineGraphOps),
+        is_shell: false,
+        is_composite: false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    #[test]
+    fn stripchart_accumulates_and_windows() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let c = a
+            .create_widget("chart", "StripChart", Some(top), 0, &[("width".into(), "20".into()), ("height".into(), "40".into())], true)
+            .unwrap();
+        a.realize(top);
+        for i in 0..30 {
+            stripchart_add_sample(&mut a, c, i as f64);
+        }
+        let s = samples(&a, c);
+        assert_eq!(s.len(), 20, "window must bound the sample count");
+        assert_eq!(s[0], 10.0);
+        assert_eq!(*s.last().unwrap(), 29.0);
+        let ops = StripChartOps.redisplay(&a, c);
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn stripchart_scales_to_max() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let c = a
+            .create_widget("chart", "StripChart", Some(top), 0, &[("height".into(), "42".into())], true)
+            .unwrap();
+        a.realize(top);
+        stripchart_add_sample(&mut a, c, 100.0);
+        stripchart_add_sample(&mut a, c, 50.0);
+        let ops = StripChartOps.redisplay(&a, c);
+        // First line reaches the top (height-2), second reaches half.
+        match (&ops[0], &ops[1]) {
+            (DrawOp::DrawLine { y2: y_full, .. }, DrawOp::DrawLine { y2: y_half, .. }) => {
+                assert!(y_full < y_half, "taller sample reaches higher (smaller y)");
+            }
+            _ => panic!("expected lines"),
+        }
+    }
+
+    #[test]
+    fn bargraph_draws_bars() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let b = a
+            .create_widget(
+                "bars",
+                "BarGraph",
+                Some(top),
+                0,
+                &[("values".into(), "3, 9, 6".into()), ("height".into(), "100".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        let ops = BarGraphOps.redisplay(&a, b);
+        assert_eq!(ops.len(), 3);
+        let heights: Vec<u32> = ops
+            .iter()
+            .map(|op| match op {
+                DrawOp::FillRect { rect, .. } => rect.h,
+                _ => 0,
+            })
+            .collect();
+        assert!(heights[1] > heights[0]);
+        assert!(heights[1] > heights[2]);
+        assert!(heights[2] > heights[0]);
+    }
+}
+
+#[cfg(test)]
+mod linegraph_tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    #[test]
+    fn linegraph_draws_polyline_per_series() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let g = a
+            .create_widget(
+                "g",
+                "LineGraph",
+                Some(top),
+                0,
+                &[
+                    ("series1".into(), "0, 5, 3, 8".into()),
+                    ("series2".into(), "2, 2, 2, 2".into()),
+                    ("height".into(), "100".into()),
+                    ("width".into(), "100".into()),
+                ],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        let ops = LineGraphOps.redisplay(&a, g);
+        // Axes (2) + grid (3) + series1 segments (3) + series2 segments (3).
+        let lines = ops.iter().filter(|o| matches!(o, DrawOp::DrawLine { .. })).count();
+        assert_eq!(lines, 2 + 3 + 3 + 3);
+        // The flat series stays at one y.
+        let s2: Vec<(i32, i32)> = ops
+            .iter()
+            .filter_map(|o| match o {
+                DrawOp::DrawLine { y1, y2, pixel, .. }
+                    if *pixel == a.pixel_resource(g, "series2Color") =>
+                {
+                    Some((*y1, *y2))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(s2.iter().all(|(y1, y2)| y1 == y2));
+    }
+
+    #[test]
+    fn linegraph_scales_to_explicit_range() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let g = a
+            .create_widget(
+                "g",
+                "LineGraph",
+                Some(top),
+                0,
+                &[
+                    ("series1".into(), "0, 100".into()),
+                    ("minY".into(), "-100".into()),
+                    ("maxY".into(), "300".into()),
+                    ("gridLines".into(), "false".into()),
+                    ("height".into(), "104".into()),
+                ],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        let ops = LineGraphOps.redisplay(&a, g);
+        // No grid: 2 axes + 1 segment.
+        let lines = ops.iter().filter(|o| matches!(o, DrawOp::DrawLine { .. })).count();
+        assert_eq!(lines, 3);
+    }
+
+    #[test]
+    fn empty_series_only_axes() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let g = a
+            .create_widget("g", "LineGraph", Some(top), 0, &[("gridLines".into(), "false".into())], true)
+            .unwrap();
+        a.realize(top);
+        let ops = LineGraphOps.redisplay(&a, g);
+        assert_eq!(ops.len(), 2);
+    }
+}

@@ -1,0 +1,472 @@
+//! The Command, Toggle and MenuButton widgets.
+//!
+//! Command is the paper's workhorse (`command quit topLevel callback
+//! quit`); Toggle appears in the creation-command naming example; and
+//! MenuButton carries the `PopupMenu()` action of the translation
+//! example.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+use crate::common::{draw_label_text, draw_shadow};
+use crate::label::{label_resources, LabelOps};
+
+/// Command's resources: Label's 42 plus `callback` and
+/// `highlightThickness`.
+pub fn command_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = label_resources();
+    v.push(ResourceSpec::new("callback", "Callback", Callback, ""));
+    v.push(ResourceSpec::new("highlightThickness", "Thickness", Dimension, "2"));
+    v
+}
+
+/// Command class methods: Label drawing plus pressed/highlight states.
+pub struct CommandOps;
+
+impl WidgetOps for CommandOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        LabelOps.preferred_size(app, w)
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let mut ops = Vec::new();
+        let set = app.state(w, "set") == "1";
+        if set {
+            ops.extend(crate::common::invert_ops(app, w));
+        }
+        let text = app.str_resource(w, "label");
+        if set {
+            // Inverted: draw text in background colour.
+            let font_id = app.font_resource(w, "font");
+            let font = app.fonts_of(w).get(font_id).clone();
+            let bg = app.pixel_resource(w, "background");
+            let iw = app.dim_resource(w, "internalWidth").max(2);
+            let ih = app.dim_resource(w, "internalHeight").max(2);
+            ops.push(DrawOp::DrawText {
+                x: iw as i32,
+                y: ih as i32 + font.ascent as i32,
+                text,
+                pixel: bg,
+                font: font_id,
+            });
+        } else {
+            ops.extend(draw_label_text(app, w, &text, 0));
+        }
+        ops.extend(draw_shadow(app, w, set));
+        if app.state(w, "highlighted") == "1" {
+            let width = app.dim_resource(w, "width");
+            let height = app.dim_resource(w, "height");
+            let fg = app.pixel_resource(w, "foreground");
+            ops.push(DrawOp::DrawRect {
+                rect: wafe_xproto::Rect::new(0, 0, width, height),
+                pixel: fg,
+            });
+        }
+        ops
+    }
+}
+
+fn command_actions() -> ActionTable {
+    let mut t = ActionTable::new();
+    t.add("highlight", |app, w, _, _| {
+        app.set_state(w, "highlighted", "1");
+        app.redisplay_widget(w);
+    });
+    t.add("reset", |app, w, _, _| {
+        app.set_state(w, "highlighted", "0");
+        app.set_state(w, "set", "0");
+        app.redisplay_widget(w);
+    });
+    t.add("set", |app, w, _, _| {
+        app.set_state(w, "set", "1");
+        app.redisplay_widget(w);
+    });
+    t.add("unset", |app, w, _, _| {
+        app.set_state(w, "set", "0");
+        app.redisplay_widget(w);
+    });
+    t.add("notify", |app, w, _, _| {
+        // Xaw fires the callback only while the button is set.
+        if app.state(w, "set") == "1" {
+            app.call_callbacks(w, "callback", HashMap::new());
+        }
+    });
+    t
+}
+
+/// Builds the Command class.
+pub fn command_class() -> WidgetClass {
+    WidgetClass {
+        name: "Command".into(),
+        resources: command_resources(),
+        constraint_resources: Vec::new(),
+        actions: command_actions(),
+        default_translations: TranslationTable::parse(
+            "<EnterWindow>: highlight()\n\
+             <LeaveWindow>: reset()\n\
+             <Btn1Down>: set()\n\
+             <Btn1Up>: notify() unset()",
+        )
+        .expect("static translations"),
+        ops: Rc::new(CommandOps),
+        is_shell: false,
+        is_composite: false,
+    }
+}
+
+/// Toggle's resources: Command's plus `state`, `radioGroup`, `radioData`.
+pub fn toggle_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = command_resources();
+    v.push(ResourceSpec::new("state", "State", Boolean, "false"));
+    v.push(ResourceSpec::new("radioGroup", "Widget", Widget, ""));
+    v.push(ResourceSpec::new("radioData", "RadioData", String, ""));
+    v
+}
+
+/// Toggle class methods: Command drawing, sunken when `state` is true.
+pub struct ToggleOps;
+
+impl WidgetOps for ToggleOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        LabelOps.preferred_size(app, w)
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let set = app.bool_resource(w, "state");
+        let mut ops = Vec::new();
+        let text = app.str_resource(w, "label");
+        ops.extend(draw_label_text(app, w, &text, 0));
+        ops.extend(draw_shadow(app, w, set));
+        ops
+    }
+}
+
+fn toggle_actions() -> ActionTable {
+    let mut t = ActionTable::new();
+    t.add("toggle", |app, w, _, _| {
+        let new = !app.bool_resource(w, "state");
+        if new {
+            // Radio behaviour: turn off the rest of the group.
+            let group = match app.widget(w).resource("radioGroup") {
+                Some(ResourceValue::Widget(g)) if !g.is_empty() => Some(g.clone()),
+                _ => None,
+            };
+            if let Some(gname) = group {
+                let members: Vec<WidgetId> = app
+                    .widget_names()
+                    .iter()
+                    .filter_map(|n| app.lookup(n))
+                    .filter(|&m| {
+                        m != w
+                            && matches!(
+                                app.widget(m).resource("radioGroup"),
+                                Some(ResourceValue::Widget(g)) if *g == gname
+                            )
+                    })
+                    .collect();
+                for m in members {
+                    app.put_resource(m, "state", ResourceValue::Bool(false));
+                    app.redisplay_widget(m);
+                }
+            }
+        }
+        app.put_resource(w, "state", ResourceValue::Bool(new));
+        app.redisplay_widget(w);
+    });
+    t.add("notify", |app, w, _, _| {
+        let mut data = HashMap::new();
+        data.insert('s', if app.bool_resource(w, "state") { "1" } else { "0" }.to_string());
+        app.call_callbacks(w, "callback", data);
+    });
+    t.add("highlight", |app, w, _, _| {
+        app.set_state(w, "highlighted", "1");
+    });
+    t.add("reset", |app, w, _, _| {
+        app.set_state(w, "highlighted", "0");
+    });
+    t.add("set", |app, w, _, _| {
+        app.put_resource(w, "state", ResourceValue::Bool(true));
+        app.redisplay_widget(w);
+    });
+    t.add("unset", |app, w, _, _| {
+        app.put_resource(w, "state", ResourceValue::Bool(false));
+        app.redisplay_widget(w);
+    });
+    t
+}
+
+/// Builds the Toggle class.
+pub fn toggle_class() -> WidgetClass {
+    WidgetClass {
+        name: "Toggle".into(),
+        resources: toggle_resources(),
+        constraint_resources: Vec::new(),
+        actions: toggle_actions(),
+        default_translations: TranslationTable::parse(
+            "<EnterWindow>: highlight()\n\
+             <LeaveWindow>: reset()\n\
+             <Btn1Down>: toggle()\n\
+             <Btn1Up>: notify()",
+        )
+        .expect("static translations"),
+        ops: Rc::new(ToggleOps),
+        is_shell: false,
+        is_composite: false,
+    }
+}
+
+/// MenuButton's resources: Command's plus `menuName`.
+pub fn menubutton_resources() -> Vec<ResourceSpec> {
+    let mut v = command_resources();
+    v.push(ResourceSpec::new("menuName", "MenuName", ResType::String, "menu"));
+    v
+}
+
+fn menubutton_actions() -> ActionTable {
+    let mut t = command_actions();
+    t.add("PopupMenu", |app, w, _, _| {
+        let menu_name = app.str_resource(w, "menuName");
+        let menu = match app.lookup(&menu_name) {
+            Some(m) => m,
+            None => {
+                app.warn(format!("MenuButton: no menu named \"{menu_name}\""));
+                return;
+            }
+        };
+        // Place the menu just below the button, then spring-load it.
+        let di = app.widget(w).display_idx;
+        if let Some(win) = app.widget(w).window {
+            let abs = app.displays[di].abs_rect(win);
+            app.put_resource(menu, "x", ResourceValue::Pos(abs.x));
+            app.put_resource(menu, "y", ResourceValue::Pos(abs.y + abs.h as i32));
+        }
+        app.popup(menu, wafe_xproto::GrabKind::Exclusive);
+    });
+    t
+}
+
+/// Builds the MenuButton class.
+pub fn menubutton_class() -> WidgetClass {
+    WidgetClass {
+        name: "MenuButton".into(),
+        resources: menubutton_resources(),
+        constraint_resources: Vec::new(),
+        actions: menubutton_actions(),
+        default_translations: TranslationTable::parse(
+            "<EnterWindow>: highlight()\n\
+             <LeaveWindow>: reset()\n\
+             <Btn1Down>: reset() PopupMenu()",
+        )
+        .expect("static translations"),
+        ops: Rc::new(CommandOps),
+        is_shell: false,
+        is_composite: false,
+    }
+}
+
+/// Registers Command, Toggle and MenuButton.
+pub fn register(app: &mut XtApp) {
+    app.register_class(command_class());
+    app.register_class(toggle_class());
+    app.register_class(menubutton_class());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        crate::label::register(&mut a);
+        register(&mut a);
+        crate::menu::register(&mut a);
+        a
+    }
+
+    fn click(a: &mut XtApp, w: WidgetId) {
+        let di = a.widget(w).display_idx;
+        let win = a.widget(w).window.unwrap();
+        let abs = a.displays[di].abs_rect(win);
+        a.displays[di].inject_click(abs.x + 3, abs.y + 3, 1);
+        a.dispatch_pending();
+    }
+
+    #[test]
+    fn command_click_fires_callback() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let b = a
+            .create_widget(
+                "hello",
+                "Command",
+                Some(top),
+                0,
+                &[
+                    ("label".into(), "Press me".into()),
+                    ("callback".into(), "echo hello world".into()),
+                ],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let _ = a.take_host_calls();
+        click(&mut a, b);
+        let calls = a.take_host_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].script, "echo hello world");
+        assert_eq!(calls[0].widget_name, "hello");
+    }
+
+    #[test]
+    fn command_set_unset_state() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let b = a
+            .create_widget("b", "Command", Some(top), 0, &[("label".into(), "x".into())], true)
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let di = 0;
+        let win = a.widget(b).window.unwrap();
+        let abs = a.displays[di].abs_rect(win);
+        a.displays[di].inject_pointer_move(abs.x + 3, abs.y + 3);
+        a.displays[di].inject_button(1, true);
+        a.dispatch_pending();
+        assert_eq!(a.state(b, "set"), "1");
+        a.displays[di].inject_button(1, false);
+        a.dispatch_pending();
+        assert_eq!(a.state(b, "set"), "0");
+    }
+
+    #[test]
+    fn leave_resets_pressed_button_without_notify() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let b = a
+            .create_widget(
+                "b",
+                "Command",
+                Some(top),
+                0,
+                &[("label".into(), "x".into()), ("callback".into(), "echo fired".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let _ = a.take_host_calls();
+        let win = a.widget(b).window.unwrap();
+        let abs = a.displays[0].abs_rect(win);
+        a.displays[0].inject_pointer_move(abs.x + 3, abs.y + 3);
+        a.displays[0].inject_button(1, true);
+        // Drag out of the button, then release: no callback.
+        a.displays[0].inject_pointer_move(900, 700);
+        a.displays[0].inject_button(1, false);
+        a.dispatch_pending();
+        assert!(a.take_host_calls().is_empty());
+    }
+
+    #[test]
+    fn toggle_flips_state_and_notifies() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let t = a
+            .create_widget(
+                "t",
+                "Toggle",
+                Some(top),
+                0,
+                &[("label".into(), "opt".into()), ("callback".into(), "echo state".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let _ = a.take_host_calls();
+        assert!(!a.bool_resource(t, "state"));
+        click(&mut a, t);
+        assert!(a.bool_resource(t, "state"));
+        let calls = a.take_host_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].data.get(&'s').map(String::as_str), Some("1"));
+        click(&mut a, t);
+        assert!(!a.bool_resource(t, "state"));
+    }
+
+    #[test]
+    fn radio_group_exclusivity() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = top; // shell acts as the container here
+        let t1 = a
+            .create_widget("t1", "Toggle", Some(form), 0, &[("radioGroup".into(), "grp".into())], true)
+            .unwrap();
+        let t2 = a
+            .create_widget("t2", "Toggle", Some(form), 0, &[("radioGroup".into(), "grp".into())], true)
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::ButtonPress, wafe_xproto::WindowId(0));
+        a.run_action(t1, "toggle", &[], &ev);
+        assert!(a.bool_resource(t1, "state"));
+        a.run_action(t2, "toggle", &[], &ev);
+        assert!(a.bool_resource(t2, "state"));
+        assert!(!a.bool_resource(t1, "state"), "radio group must unset t1");
+    }
+
+    #[test]
+    fn menubutton_popup_on_enter_paper_example() {
+        // The paper: action mb override "<EnterWindow>: PopupMenu()".
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let mb = a
+            .create_widget(
+                "mb",
+                "MenuButton",
+                Some(top),
+                0,
+                &[("label".into(), "menu".into()), ("menuName".into(), "themenu".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        let menu = a.create_widget("themenu", "SimpleMenu", None, 0, &[], true).unwrap();
+        a.create_widget("entry1", "SmeBSB", Some(menu), 0, &[("label".into(), "First".into())], true)
+            .unwrap();
+        let table = wafe_xt::TranslationTable::parse("<EnterWindow>: PopupMenu()").unwrap();
+        a.merge_translations(mb, table, wafe_xt::MergeMode::Override);
+        a.dispatch_pending();
+        // Move the pointer into the menu button: the menu pops up.
+        let win = a.widget(mb).window.unwrap();
+        let abs = a.displays[0].abs_rect(win);
+        a.displays[0].inject_pointer_move(abs.x + 2, abs.y + 2);
+        a.dispatch_pending();
+        assert!(a.is_popped_up(menu));
+        assert!(a.displays[0].grab_depth() > 0, "menu grabs exclusively");
+    }
+
+    #[test]
+    fn menubutton_missing_menu_warns() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let mb = a
+            .create_widget("mb", "MenuButton", Some(top), 0, &[], true)
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::ButtonPress, wafe_xproto::WindowId(0));
+        a.run_action(mb, "PopupMenu", &[], &ev);
+        assert!(a.take_warnings().iter().any(|w| w.contains("no menu")));
+    }
+}

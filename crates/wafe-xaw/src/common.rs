@@ -1,0 +1,149 @@
+//! Shared resource-list builders and drawing helpers for the Athena
+//! classes.
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xproto::geometry::Rect;
+use wafe_xt::resource::{Justify, ResType, ResourceSpec, ResourceValue};
+use wafe_xt::{WidgetId, XtApp};
+
+/// The Simple class's resources (Xaw `Simple`, 6 entries).
+pub fn simple_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    vec![
+        ResourceSpec::new("cursor", "Cursor", Cursor, ""),
+        ResourceSpec::new("cursorName", "Cursor", Cursor, ""),
+        ResourceSpec::new("insensitiveBorder", "Insensitive", Pixmap, ""),
+        ResourceSpec::new("pointerColor", "Foreground", Pixel, "black"),
+        ResourceSpec::new("pointerColorBackground", "Background", Pixel, "white"),
+        ResourceSpec::new("international", "International", Boolean, "false"),
+    ]
+}
+
+/// The Xaw3d ThreeD class's resources (7 entries) — present because Wafe
+/// links against Xaw3d ("can be used simply by relinking Wafe").
+pub fn threed_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    vec![
+        ResourceSpec::new("shadowWidth", "ShadowWidth", Dimension, "2"),
+        ResourceSpec::new("topShadowPixel", "TopShadowPixel", Pixel, "white"),
+        ResourceSpec::new("bottomShadowPixel", "BottomShadowPixel", Pixel, "gray40"),
+        ResourceSpec::new("topShadowContrast", "TopShadowContrast", Int, "20"),
+        ResourceSpec::new("bottomShadowContrast", "BottomShadowContrast", Int, "40"),
+        ResourceSpec::new("userData", "UserData", String, ""),
+        ResourceSpec::new("beNiceToColormap", "BeNiceToColormap", Boolean, "false"),
+    ]
+}
+
+/// Core + Simple + ThreeD — the base stack under every Xaw3d simple
+/// widget (31 entries).
+pub fn simple_base() -> Vec<ResourceSpec> {
+    let mut v = wafe_xt::resource::core_resources();
+    v.extend(simple_resources());
+    v.extend(threed_resources());
+    v
+}
+
+/// Draws a label-style text into a widget-sized box, honouring `justify`,
+/// `internalWidth`/`internalHeight`, `font` and `foreground`.
+pub fn draw_label_text(app: &XtApp, w: WidgetId, text: &str, extra_left: i32) -> Vec<DrawOp> {
+    let font_id = app.font_resource(w, "font");
+    let font = app.fonts_of(w).get(font_id).clone();
+    let width = app.dim_resource(w, "width");
+    let iw = app.dim_resource(w, "internalWidth").max(2);
+    let ih = app.dim_resource(w, "internalHeight").max(2);
+    let fg = app.pixel_resource(w, "foreground");
+    let justify = match app.widget(w).resource("justify") {
+        Some(ResourceValue::Justify(j)) => *j,
+        _ => Justify::Center,
+    };
+    let text_w = font.text_width(text);
+    let x = match justify {
+        Justify::Left => iw as i32 + extra_left,
+        Justify::Center => ((width as i32 - text_w as i32) / 2).max(iw as i32) + extra_left,
+        Justify::Right => (width as i32 - text_w as i32 - iw as i32).max(iw as i32),
+    };
+    let baseline = ih as i32 + font.ascent as i32;
+    let mut ops = Vec::new();
+    if !text.is_empty() {
+        ops.push(DrawOp::DrawText { x, y: baseline, text: text.to_string(), pixel: fg, font: font_id });
+    }
+    ops
+}
+
+/// Draws the Xaw3d shadow frame.
+pub fn draw_shadow(app: &XtApp, w: WidgetId, sunken: bool) -> Vec<DrawOp> {
+    let sw = app.dim_resource(w, "shadowWidth");
+    if sw == 0 {
+        return Vec::new();
+    }
+    let width = app.dim_resource(w, "width");
+    let height = app.dim_resource(w, "height");
+    let top = app.pixel_resource(w, "topShadowPixel");
+    let bottom = app.pixel_resource(w, "bottomShadowPixel");
+    let (t, b) = if sunken { (bottom, top) } else { (top, bottom) };
+    let mut ops = Vec::new();
+    for i in 0..sw as i32 {
+        // Top and left edges.
+        ops.push(DrawOp::DrawLine { x1: 0, y1: i, x2: width as i32 - 1 - i, y2: i, pixel: t });
+        ops.push(DrawOp::DrawLine { x1: i, y1: 0, x2: i, y2: height as i32 - 1 - i, pixel: t });
+        // Bottom and right edges.
+        ops.push(DrawOp::DrawLine {
+            x1: i,
+            y1: height as i32 - 1 - i,
+            x2: width as i32 - 1,
+            y2: height as i32 - 1 - i,
+            pixel: b,
+        });
+        ops.push(DrawOp::DrawLine {
+            x1: width as i32 - 1 - i,
+            y1: i,
+            x2: width as i32 - 1 - i,
+            y2: height as i32 - 1,
+            pixel: b,
+        });
+    }
+    ops
+}
+
+/// Preferred size of a text-bearing widget: text extent plus internal
+/// margins plus shadow.
+pub fn label_preferred(app: &XtApp, w: WidgetId, text: &str) -> (u32, u32) {
+    let font = app.fonts_of(w).get(app.font_resource(w, "font")).clone();
+    let iw = app.dim_resource(w, "internalWidth").max(2);
+    let ih = app.dim_resource(w, "internalHeight").max(2);
+    let sw = app.dim_resource(w, "shadowWidth");
+    (
+        font.text_width(text) + 2 * iw + 2 * sw,
+        font.height() + 2 * ih + 2 * sw,
+    )
+}
+
+/// A filled highlight rectangle covering the whole widget interior.
+pub fn invert_ops(app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+    let width = app.dim_resource(w, "width");
+    let height = app.dim_resource(w, "height");
+    let fg = app.pixel_resource(w, "foreground");
+    vec![DrawOp::FillRect { rect: Rect::new(0, 0, width, height), pixel: fg }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_stack_sizes() {
+        assert_eq!(simple_resources().len(), 6);
+        assert_eq!(threed_resources().len(), 7);
+        assert_eq!(simple_base().len(), 31);
+    }
+
+    #[test]
+    fn base_has_no_duplicates() {
+        let base = simple_base();
+        let mut names: Vec<&str> = base.iter().map(|r| r.name).collect();
+        names.sort();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+}

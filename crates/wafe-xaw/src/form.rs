@@ -1,0 +1,419 @@
+//! The Form constraint widget (and Box).
+//!
+//! Form is the layout engine of the paper's prime-factors example: the
+//! constraint resources `fromVert` and `fromHoriz` chain children below
+//! and beside each other.
+
+use std::rc::Rc;
+
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{core_resources, ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+/// Form's own resources.
+pub fn form_resources() -> Vec<ResourceSpec> {
+    let mut v = core_resources();
+    v.push(ResourceSpec::new("defaultDistance", "Thickness", ResType::Dimension, "4"));
+    v
+}
+
+/// Form's constraint resources, imposed on its children.
+pub fn form_constraints() -> Vec<ResourceSpec> {
+    use ResType::*;
+    vec![
+        ResourceSpec::new("fromVert", "Widget", Widget, ""),
+        ResourceSpec::new("fromHoriz", "Widget", Widget, ""),
+        ResourceSpec::new("horizDistance", "Thickness", Int, "-1"),
+        ResourceSpec::new("vertDistance", "Thickness", Int, "-1"),
+        ResourceSpec::new("resizable", "Boolean", Boolean, "true"),
+        ResourceSpec::new("top", "Edge", String, "rubber"),
+        ResourceSpec::new("bottom", "Edge", String, "rubber"),
+        ResourceSpec::new("left", "Edge", String, "rubber"),
+        ResourceSpec::new("right", "Edge", String, "rubber"),
+    ]
+}
+
+/// Form class methods: constraint layout.
+pub struct FormOps;
+
+fn widget_ref(app: &XtApp, child: WidgetId, name: &str) -> Option<WidgetId> {
+    match app.constraint(child, name) {
+        Some(ResourceValue::Widget(n)) if !n.is_empty() => app.lookup(n),
+        _ => None,
+    }
+}
+
+fn distance(app: &XtApp, child: WidgetId, name: &str, default: i32) -> i32 {
+    match app.constraint(child, name) {
+        Some(ResourceValue::Int(d)) if *d >= 0 => *d as i32,
+        _ => default,
+    }
+}
+
+impl FormOps {
+    /// Computes each child's position from its constraints. Children are
+    /// processed in creation order; `fromVert`/`fromHoriz` reference
+    /// previously created siblings, as in Xaw.
+    fn place_children(app: &mut XtApp, form: WidgetId) {
+        let dd = app.dim_resource(form, "defaultDistance") as i32;
+        let children = app.widget(form).children.clone();
+        for c in &children {
+            if !app.widget(*c).managed {
+                continue;
+            }
+            let hd = distance(app, *c, "horizDistance", dd);
+            let vd = distance(app, *c, "vertDistance", dd);
+            let x = match widget_ref(app, *c, "fromHoriz") {
+                Some(r) => {
+                    let bw = app.dim_resource(r, "borderWidth") as i32;
+                    app.pos_resource(r, "x") + app.dim_resource(r, "width") as i32 + 2 * bw + hd
+                }
+                None => hd,
+            };
+            let y = match widget_ref(app, *c, "fromVert") {
+                Some(r) => {
+                    let bw = app.dim_resource(r, "borderWidth") as i32;
+                    app.pos_resource(r, "y") + app.dim_resource(r, "height") as i32 + 2 * bw + vd
+                }
+                None => vd,
+            };
+            app.put_resource(*c, "x", ResourceValue::Pos(x));
+            app.put_resource(*c, "y", ResourceValue::Pos(y));
+        }
+    }
+
+    fn bounding(app: &XtApp, form: WidgetId) -> (u32, u32) {
+        let dd = app.dim_resource(form, "defaultDistance");
+        let mut w = 0i32;
+        let mut h = 0i32;
+        for c in &app.widget(form).children {
+            if !app.widget(*c).managed {
+                continue;
+            }
+            let bw = app.dim_resource(*c, "borderWidth") as i32;
+            w = w.max(app.pos_resource(*c, "x") + app.dim_resource(*c, "width") as i32 + 2 * bw);
+            h = h.max(app.pos_resource(*c, "y") + app.dim_resource(*c, "height") as i32 + 2 * bw);
+        }
+        ((w + dd as i32).max(1) as u32, (h + dd as i32).max(1) as u32)
+    }
+}
+
+impl WidgetOps for FormOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        // Children already have sizes (size pass is bottom-up); place
+        // them tentatively to measure the bounding box.
+        // Placement mutates resources, so this runs on a best-effort
+        // cloned basis: positions are recomputed in layout() anyway.
+        let explicit_w = app.dim_resource(w, "width");
+        let explicit_h = app.dim_resource(w, "height");
+        if explicit_w > 0 && explicit_h > 0 {
+            return (explicit_w, explicit_h);
+        }
+        // Without mutation access, approximate: layout() will have been
+        // called for realized trees; for the initial pass compute from
+        // constraint chains directly.
+        let mut positions: std::collections::HashMap<WidgetId, (i32, i32)> =
+            std::collections::HashMap::new();
+        let dd = app.dim_resource(w, "defaultDistance") as i32;
+        let mut maxw = 0i32;
+        let mut maxh = 0i32;
+        for c in &app.widget(w).children {
+            if !app.widget(*c).managed {
+                continue;
+            }
+            let hd = distance(app, *c, "horizDistance", dd);
+            let vd = distance(app, *c, "vertDistance", dd);
+            let x = match widget_ref(app, *c, "fromHoriz") {
+                Some(r) => {
+                    let (rx, _) = positions.get(&r).copied().unwrap_or((0, 0));
+                    let bw = app.dim_resource(r, "borderWidth") as i32;
+                    rx + app.dim_resource(r, "width") as i32 + 2 * bw + hd
+                }
+                None => hd,
+            };
+            let y = match widget_ref(app, *c, "fromVert") {
+                Some(r) => {
+                    let (_, ry) = positions.get(&r).copied().unwrap_or((0, 0));
+                    let bw = app.dim_resource(r, "borderWidth") as i32;
+                    ry + app.dim_resource(r, "height") as i32 + 2 * bw + vd
+                }
+                None => vd,
+            };
+            positions.insert(*c, (x, y));
+            let bw = app.dim_resource(*c, "borderWidth") as i32;
+            maxw = maxw.max(x + app.dim_resource(*c, "width") as i32 + 2 * bw);
+            maxh = maxh.max(y + app.dim_resource(*c, "height") as i32 + 2 * bw);
+        }
+        ((maxw + dd).max(1) as u32, (maxh + dd).max(1) as u32)
+    }
+
+    fn layout(&self, app: &mut XtApp, w: WidgetId) {
+        FormOps::place_children(app, w);
+        if app.dim_resource(w, "width") == 0 || app.dim_resource(w, "height") == 0 {
+            let (bw, bh) = FormOps::bounding(app, w);
+            app.put_resource(w, "width", ResourceValue::Dim(bw));
+            app.put_resource(w, "height", ResourceValue::Dim(bh));
+        }
+    }
+}
+
+/// Builds the Form class.
+pub fn form_class() -> WidgetClass {
+    WidgetClass {
+        name: "Form".into(),
+        resources: form_resources(),
+        constraint_resources: form_constraints(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(FormOps),
+        is_shell: false,
+        is_composite: true,
+    }
+}
+
+/// Box's resources.
+pub fn box_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = core_resources();
+    v.push(ResourceSpec::new("hSpace", "HSpace", Dimension, "4"));
+    v.push(ResourceSpec::new("vSpace", "VSpace", Dimension, "4"));
+    v.push(ResourceSpec::new("orientation", "Orientation", Orientation, "vertical"));
+    v
+}
+
+/// Box class methods: flow layout.
+pub struct BoxOps;
+
+impl WidgetOps for BoxOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        let hs = app.dim_resource(w, "hSpace");
+        let vs = app.dim_resource(w, "vSpace");
+        let horizontal = matches!(
+            app.widget(w).resource("orientation"),
+            Some(ResourceValue::Orientation(wafe_xt::resource::Orientation::Horizontal))
+        );
+        let mut total_w = hs;
+        let mut total_h = vs;
+        let mut max_w = 0u32;
+        let mut max_h = 0u32;
+        for c in &app.widget(w).children {
+            if !app.widget(*c).managed {
+                continue;
+            }
+            let bw = app.dim_resource(*c, "borderWidth");
+            let cw = app.dim_resource(*c, "width") + 2 * bw;
+            let ch = app.dim_resource(*c, "height") + 2 * bw;
+            total_w += cw + hs;
+            total_h += ch + vs;
+            max_w = max_w.max(cw);
+            max_h = max_h.max(ch);
+        }
+        if horizontal {
+            (total_w.max(1), (max_h + 2 * vs).max(1))
+        } else {
+            ((max_w + 2 * hs).max(1), total_h.max(1))
+        }
+    }
+
+    fn layout(&self, app: &mut XtApp, w: WidgetId) {
+        let hs = app.dim_resource(w, "hSpace") as i32;
+        let vs = app.dim_resource(w, "vSpace") as i32;
+        let horizontal = matches!(
+            app.widget(w).resource("orientation"),
+            Some(ResourceValue::Orientation(wafe_xt::resource::Orientation::Horizontal))
+        );
+        let children = app.widget(w).children.clone();
+        let mut x = hs;
+        let mut y = vs;
+        for c in children {
+            if !app.widget(c).managed {
+                continue;
+            }
+            app.put_resource(c, "x", ResourceValue::Pos(x));
+            app.put_resource(c, "y", ResourceValue::Pos(y));
+            let bw = app.dim_resource(c, "borderWidth") as i32;
+            if horizontal {
+                x += app.dim_resource(c, "width") as i32 + 2 * bw + hs;
+            } else {
+                y += app.dim_resource(c, "height") as i32 + 2 * bw + vs;
+            }
+        }
+    }
+}
+
+/// Builds the Box class.
+pub fn box_class() -> WidgetClass {
+    WidgetClass {
+        name: "Box".into(),
+        resources: box_resources(),
+        constraint_resources: Vec::new(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(BoxOps),
+        is_shell: false,
+        is_composite: true,
+    }
+}
+
+/// Registers Form and Box.
+pub fn register(app: &mut XtApp) {
+    app.register_class(form_class());
+    app.register_class(box_class());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        crate::label::register(&mut a);
+        crate::command::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    #[test]
+    fn from_vert_stacks_children() {
+        // The paper's prime-factors tree: input, result fromVert input,
+        // quit fromVert result, info fromVert result fromHoriz quit.
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = a.create_widget("topf", "Form", Some(top), 0, &[], true).unwrap();
+        let input = a
+            .create_widget("input", "Label", Some(form), 0, &[("width".into(), "200".into())], true)
+            .unwrap();
+        let result = a
+            .create_widget(
+                "result",
+                "Label",
+                Some(form),
+                0,
+                &[("width".into(), "200".into()), ("fromVert".into(), "input".into())],
+                true,
+            )
+            .unwrap();
+        let quit = a
+            .create_widget(
+                "quit",
+                "Command",
+                Some(form),
+                0,
+                &[("label".into(), "quit".into()), ("fromVert".into(), "result".into())],
+                true,
+            )
+            .unwrap();
+        let info = a
+            .create_widget(
+                "info",
+                "Label",
+                Some(form),
+                0,
+                &[
+                    ("fromVert".into(), "result".into()),
+                    ("fromHoriz".into(), "quit".into()),
+                    ("borderWidth".into(), "0".into()),
+                    ("width".into(), "150".into()),
+                ],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        // input at top-left corner (+default distance).
+        assert_eq!(a.pos_resource(input, "x"), 4);
+        assert_eq!(a.pos_resource(input, "y"), 4);
+        // result strictly below input.
+        assert!(a.pos_resource(result, "y") > a.pos_resource(input, "y") + 10);
+        assert_eq!(a.pos_resource(result, "x"), 4);
+        // quit below result; info right of quit, same row.
+        assert!(a.pos_resource(quit, "y") > a.pos_resource(result, "y"));
+        assert_eq!(a.pos_resource(info, "y"), a.pos_resource(quit, "y"));
+        assert!(a.pos_resource(info, "x") > a.pos_resource(quit, "x"));
+        // Form wraps everything.
+        assert!(a.dim_resource(form, "width") >= 208);
+    }
+
+    #[test]
+    fn form_bounds_grow_with_children() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let mut prev = String::new();
+        for i in 0..5 {
+            let name = format!("w{i}");
+            let mut init = vec![("width".to_string(), "50".to_string()), ("height".to_string(), "20".to_string())];
+            if !prev.is_empty() {
+                init.push(("fromVert".to_string(), prev.clone()));
+            }
+            a.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            prev = name;
+        }
+        a.realize(top);
+        // Five 20px-high widgets stacked: form height > 5*20.
+        assert!(a.dim_resource(form, "height") > 100);
+    }
+
+    #[test]
+    fn horiz_distance_respected() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        a.create_widget("a", "Label", Some(form), 0, &[("width".into(), "50".into())], true)
+            .unwrap();
+        let b = a
+            .create_widget(
+                "b",
+                "Label",
+                Some(form),
+                0,
+                &[("fromHoriz".into(), "a".into()), ("horizDistance".into(), "20".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        let ax = a.pos_resource(a.lookup("a").unwrap(), "x");
+        let abw = a.dim_resource(a.lookup("a").unwrap(), "borderWidth") as i32;
+        assert_eq!(a.pos_resource(b, "x"), ax + 50 + 2 * abw + 20);
+    }
+
+    #[test]
+    fn box_vertical_and_horizontal() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let bx = a
+            .create_widget("bx", "Box", Some(top), 0, &[("orientation".into(), "horizontal".into())], true)
+            .unwrap();
+        let c1 = a
+            .create_widget("c1", "Label", Some(bx), 0, &[("width".into(), "30".into()), ("height".into(), "10".into())], true)
+            .unwrap();
+        let c2 = a
+            .create_widget("c2", "Label", Some(bx), 0, &[("width".into(), "30".into()), ("height".into(), "10".into())], true)
+            .unwrap();
+        a.realize(top);
+        assert_eq!(a.pos_resource(c1, "y"), a.pos_resource(c2, "y"));
+        assert!(a.pos_resource(c2, "x") > a.pos_resource(c1, "x"));
+        // Vertical box stacks.
+        let bv = a.create_widget("bv", "Box", Some(top), 0, &[], false).unwrap();
+        let d1 = a.create_widget("d1", "Label", Some(bv), 0, &[("height".into(), "10".into())], true).unwrap();
+        let d2 = a.create_widget("d2", "Label", Some(bv), 0, &[("height".into(), "10".into())], true).unwrap();
+        a.do_layout(bv);
+        assert!(a.pos_resource(d2, "y") > a.pos_resource(d1, "y"));
+    }
+
+    #[test]
+    fn unmanaged_children_skipped() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        a.create_widget("vis", "Label", Some(form), 0, &[("width".into(), "50".into()), ("height".into(), "20".into())], true)
+            .unwrap();
+        a.create_widget("hid", "Label", Some(form), 0, &[("width".into(), "500".into()), ("height".into(), "500".into())], false)
+            .unwrap();
+        a.realize(top);
+        // The unmanaged 500px child must not blow up the form.
+        assert!(a.dim_resource(form, "width") < 200);
+    }
+}

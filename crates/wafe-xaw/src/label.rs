@@ -1,0 +1,213 @@
+//! The Label widget.
+//!
+//! Carries exactly **42** resources under the X11R5/Xaw3d stack, so that
+//! the paper's interactive example
+//!
+//! ```text
+//! label l topLevel
+//! echo [getResourceList l retVal]
+//! → 42
+//! ```
+//!
+//! reproduces (experiment E12). The resource names the paper prints —
+//! `destroyCallback ancestorSensitive x y width height borderWidth
+//! sensitive screen depth colormap background (...)` — are all present.
+
+use std::rc::Rc;
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+use crate::common::{draw_label_text, draw_shadow, label_preferred, simple_base};
+
+/// Label's own resource list (11 entries on top of Core+Simple+ThreeD).
+pub fn label_own_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    vec![
+        ResourceSpec::new("label", "Label", String, ""),
+        ResourceSpec::new("font", "Font", Font, "fixed"),
+        ResourceSpec::new("fontSet", "FontSet", Font, "fixed"),
+        ResourceSpec::new("foreground", "Foreground", Pixel, "black"),
+        ResourceSpec::new("justify", "Justify", Justify, "center"),
+        ResourceSpec::new("internalWidth", "Width", Dimension, "4"),
+        ResourceSpec::new("internalHeight", "Height", Dimension, "2"),
+        ResourceSpec::new("resize", "Resize", Boolean, "true"),
+        ResourceSpec::new("bitmap", "Bitmap", Pixmap, ""),
+        ResourceSpec::new("leftBitmap", "LeftBitmap", Pixmap, ""),
+        ResourceSpec::new("encoding", "Encoding", Int, "0"),
+    ]
+}
+
+/// The full Label resource list (42 entries).
+pub fn label_resources() -> Vec<ResourceSpec> {
+    let mut v = simple_base();
+    v.extend(label_own_resources());
+    v
+}
+
+/// Label class methods.
+pub struct LabelOps;
+
+impl WidgetOps for LabelOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        let text = app.str_resource(w, "label");
+        let (mut pw, ph) = label_preferred(app, w, &text);
+        // Room for a left bitmap, if any.
+        if let Some(ResourceValue::Pixmap(p)) = app.widget(w).resource("leftBitmap") {
+            pw += p.width + 2;
+        }
+        (pw, ph)
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let mut ops = Vec::new();
+        let mut left = 0i32;
+        if let Some(ResourceValue::Pixmap(p)) = app.widget(w).resource("leftBitmap") {
+            if p.width > 0 {
+                ops.push(DrawOp::PutImage {
+                    x: 2,
+                    y: 2,
+                    w: p.width,
+                    h: p.height,
+                    data: Rc::new(p.data.clone()),
+                });
+                left = p.width as i32 + 2;
+            }
+        }
+        if let Some(ResourceValue::Pixmap(p)) = app.widget(w).resource("bitmap") {
+            if p.width > 0 {
+                ops.push(DrawOp::PutImage {
+                    x: left + 2,
+                    y: 2,
+                    w: p.width,
+                    h: p.height,
+                    data: Rc::new(p.data.clone()),
+                });
+            }
+        }
+        let text = app.str_resource(w, "label");
+        ops.extend(draw_label_text(app, w, &text, left));
+        ops.extend(draw_shadow(app, w, false));
+        ops
+    }
+}
+
+/// Builds the Label class record.
+pub fn label_class() -> WidgetClass {
+    WidgetClass {
+        name: "Label".into(),
+        resources: label_resources(),
+        constraint_resources: Vec::new(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(LabelOps),
+        is_shell: false,
+        is_composite: false,
+    }
+}
+
+/// Registers the Label class.
+pub fn register(app: &mut XtApp) {
+    app.register_class(label_class());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    #[test]
+    fn label_has_exactly_42_resources() {
+        // The paper: "the number of resources available for the Label
+        // widget class is printed, which is 42 using the X11R5 Xaw3d
+        // libraries".
+        assert_eq!(label_resources().len(), 42);
+    }
+
+    #[test]
+    fn paper_listed_resource_names_present() {
+        let names: Vec<&str> = label_resources().iter().map(|r| r.name).collect();
+        for expected in [
+            "destroyCallback",
+            "ancestorSensitive",
+            "x",
+            "y",
+            "width",
+            "height",
+            "borderWidth",
+            "sensitive",
+            "screen",
+            "depth",
+            "colormap",
+            "background",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn get_resource_list_through_app() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let l = a.create_widget("l", "Label", Some(top), 0, &[], true).unwrap();
+        let list = a.get_resource_list(l);
+        assert_eq!(list.len(), 42);
+        assert_eq!(list[0], "destroyCallback");
+    }
+
+    #[test]
+    fn preferred_size_follows_text() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let l = a
+            .create_widget("l", "Label", Some(top), 0, &[("label".into(), "abc".into())], true)
+            .unwrap();
+        a.realize(top);
+        // 3 chars * 6 + 2*4 internal + 2*2 shadow = 30.
+        assert_eq!(a.dim_resource(l, "width") >= 30, true);
+        assert!(a.dim_resource(l, "height") >= 13);
+    }
+
+    #[test]
+    fn label_renders_text() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        a.create_widget("l", "Label", Some(top), 0, &[("label".into(), "Hi Man".into())], true)
+            .unwrap();
+        a.realize(top);
+        let snap = a.displays[0].snapshot_ascii(wafe_xproto::Rect::new(0, 0, 400, 100));
+        assert!(snap.contains("Hi Man"), "snapshot:\n{snap}");
+    }
+
+    #[test]
+    fn set_values_updates_label() {
+        // The paper: sV label1 background "tomato" label "Hi Man".
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let l = a
+            .create_widget(
+                "label1",
+                "Label",
+                Some(top),
+                0,
+                &[("background".into(), "red".into()), ("foreground".into(), "blue".into())],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        a.set_resource(l, "background", "tomato").unwrap();
+        a.set_resource(l, "label", "Hi Man").unwrap();
+        assert_eq!(a.pixel_resource(l, "background"), 0xff6347);
+        assert_eq!(a.str_resource(l, "label"), "Hi Man");
+    }
+}

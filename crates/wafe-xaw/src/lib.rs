@@ -1,0 +1,108 @@
+//! The Athena widget set (Xaw/Xaw3d), implemented on `wafe-xt`.
+//!
+//! The paper's Wafe is built on "the standard X11R5 Xt Intrinsics and the
+//! Athena widget set", relinked against Kaleb Keithley's three
+//! dimensional Athena library (Xaw3d) — which is why its example prints
+//! **42** resources for the Label widget class. This crate implements the
+//! classes the paper's examples and demo applications exercise:
+//!
+//! | class        | paper usage                                            |
+//! |--------------|--------------------------------------------------------|
+//! | Label        | `label l topLevel`, resource-count example (42)        |
+//! | Command      | `command quit topLevel callback quit`                  |
+//! | Toggle       | "toggle Name Father" creation-command example          |
+//! | MenuButton   | `<EnterWindow>: PopupMenu()` example                   |
+//! | SimpleMenu / SmeBSB | the menus PopupMenu pops up                     |
+//! | Form         | the prime-factors frontend (`fromVert`, `fromHoriz`)   |
+//! | Box, Paned, Viewport | container classes of the demo apps            |
+//! | List         | the `%i`/`%s` callback percent-code table              |
+//! | AsciiText    | `asciiText input top editType edit`, mass transfer     |
+//! | Scrollbar    | standard scrolling                                     |
+//! | Dialog       | popup dialogs                                          |
+//! | StripChart   | `xnetstats`/`xvmstats`-style monitors                  |
+//! | BarGraph     | the Plotter widget set the distribution bundles        |
+//! | TreeGraph    | stand-in for the XmGraph layout widget of Figure 2     |
+//! | shells       | TopLevelShell, ApplicationShell, TransientShell, OverrideShell |
+//!
+//! [`register_all`] installs every class into an [`XtApp`].
+
+pub mod chart;
+pub mod command;
+pub mod common;
+pub mod dialog;
+pub mod form;
+pub mod label;
+pub mod list;
+pub mod menu;
+pub mod paned;
+pub mod scrollbar;
+pub mod shell;
+pub mod text;
+pub mod tree;
+
+use wafe_xt::XtApp;
+
+/// Registers the whole Athena widget set (and shells) into an
+/// application context.
+pub fn register_all(app: &mut XtApp) {
+    shell::register(app);
+    label::register(app);
+    command::register(app);
+    form::register(app);
+    paned::register(app);
+    list::register(app);
+    text::register(app);
+    menu::register(app);
+    scrollbar::register(app);
+    dialog::register(app);
+    chart::register(app);
+    tree::register(app);
+}
+
+/// The class names this crate registers, sorted — the inventory used by
+/// the architecture experiment (E4).
+pub fn class_names() -> Vec<&'static str> {
+    let mut v = vec![
+        "ApplicationShell",
+        "AsciiText",
+        "BarGraph",
+        "Box",
+        "Command",
+        "Dialog",
+        "Form",
+        "Grip",
+        "Label",
+        "LineGraph",
+        "List",
+        "MenuButton",
+        "OverrideShell",
+        "Paned",
+        "Scrollbar",
+        "SimpleMenu",
+        "SmeBSB",
+        "SmeLine",
+        "StripChart",
+        "Toggle",
+        "TopLevelShell",
+        "TransientShell",
+        "TreeGraph",
+        "Viewport",
+    ];
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_covers_inventory() {
+        let mut app = XtApp::new();
+        register_all(&mut app);
+        for name in class_names() {
+            assert!(app.class(name).is_some(), "class {name} not registered");
+        }
+        assert_eq!(app.class_names().len(), class_names().len());
+    }
+}

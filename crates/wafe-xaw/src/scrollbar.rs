@@ -1,0 +1,246 @@
+//! The Scrollbar widget.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xproto::geometry::Rect;
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{Orientation, ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+use crate::common::simple_base;
+
+/// Scrollbar's resources. `topOfThumb` and `shown` are per-mille values
+/// stored as Int (the C original uses floats; strings convert the same).
+pub fn scrollbar_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = simple_base();
+    v.extend([
+        ResourceSpec::new("orientation", "Orientation", Orientation, "vertical"),
+        ResourceSpec::new("foreground", "Foreground", Pixel, "black"),
+        ResourceSpec::new("length", "Length", Dimension, "100"),
+        ResourceSpec::new("thickness", "Thickness", Dimension, "14"),
+        ResourceSpec::new("topOfThumb", "TopOfThumb", Int, "0"),
+        ResourceSpec::new("shown", "Shown", Int, "1000"),
+        ResourceSpec::new("minimumThumb", "MinimumThumb", Dimension, "7"),
+        ResourceSpec::new("scrollProc", "Callback", Callback, ""),
+        ResourceSpec::new("jumpProc", "Callback", Callback, ""),
+    ]);
+    v
+}
+
+fn vertical(app: &XtApp, w: WidgetId) -> bool {
+    matches!(
+        app.widget(w).resource("orientation"),
+        Some(ResourceValue::Orientation(Orientation::Vertical))
+    )
+}
+
+/// Scrollbar class methods.
+pub struct ScrollbarOps;
+
+impl WidgetOps for ScrollbarOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        let length = app.dim_resource(w, "length").max(20);
+        let thickness = app.dim_resource(w, "thickness").max(8);
+        if vertical(app, w) {
+            (thickness, length)
+        } else {
+            (length, thickness)
+        }
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        let width = app.dim_resource(w, "width");
+        let height = app.dim_resource(w, "height");
+        let fg = app.pixel_resource(w, "foreground");
+        let top: i64 = match app.widget(w).resource("topOfThumb") {
+            Some(ResourceValue::Int(v)) => *v,
+            _ => 0,
+        };
+        let shown: i64 = match app.widget(w).resource("shown") {
+            Some(ResourceValue::Int(v)) => *v,
+            _ => 1000,
+        };
+        let len = if vertical(app, w) { height } else { width } as i64;
+        let thumb_start = (top.clamp(0, 1000) * len / 1000) as i32;
+        let thumb_len = ((shown.clamp(0, 1000) * len / 1000) as u32)
+            .max(app.dim_resource(w, "minimumThumb"));
+        let rect = if vertical(app, w) {
+            Rect::new(1, thumb_start, width.saturating_sub(2), thumb_len)
+        } else {
+            Rect::new(thumb_start, 1, thumb_len, height.saturating_sub(2))
+        };
+        vec![DrawOp::FillRect { rect, pixel: fg }]
+    }
+}
+
+fn position_per_mille(app: &XtApp, w: WidgetId, e: &wafe_xproto::Event) -> i64 {
+    let len = if vertical(app, w) {
+        app.dim_resource(w, "height")
+    } else {
+        app.dim_resource(w, "width")
+    }
+    .max(1) as i64;
+    let pos = if vertical(app, w) { e.y } else { e.x } as i64;
+    (pos.clamp(0, len) * 1000) / len
+}
+
+fn scrollbar_actions() -> ActionTable {
+    let mut t = ActionTable::new();
+    t.add("StartScroll", |app, w, _, args| {
+        app.set_state(w, "mode", args.first().cloned().unwrap_or_default());
+    });
+    t.add("NotifyScroll", |app, w, e, _| {
+        // Incremental scroll: pixel delta in percent-code 'd'.
+        let mut data = HashMap::new();
+        let delta = if app.state(w, "mode") == "Backward" { -10 } else { 10 };
+        let _ = e;
+        data.insert('d', delta.to_string());
+        app.call_callbacks(w, "scrollProc", data);
+    });
+    t.add("MoveThumb", |app, w, e, _| {
+        let pm = position_per_mille(app, w, e);
+        app.put_resource(w, "topOfThumb", ResourceValue::Int(pm));
+        app.redisplay_widget(w);
+    });
+    t.add("NotifyThumb", |app, w, e, _| {
+        let pm = position_per_mille(app, w, e);
+        let mut data = HashMap::new();
+        data.insert('t', pm.to_string());
+        app.call_callbacks(w, "jumpProc", data);
+    });
+    t.add("EndScroll", |app, w, _, _| {
+        app.set_state(w, "mode", "");
+    });
+    t
+}
+
+/// `XawScrollbarSetThumb`: programs thumb position and size (per-mille).
+pub fn scrollbar_set_thumb(app: &mut XtApp, w: WidgetId, top: i64, shown: i64) {
+    app.put_resource(w, "topOfThumb", ResourceValue::Int(top.clamp(0, 1000)));
+    app.put_resource(w, "shown", ResourceValue::Int(shown.clamp(0, 1000)));
+    app.redisplay_widget(w);
+}
+
+/// Registers the Scrollbar class.
+pub fn register(app: &mut XtApp) {
+    app.register_class(WidgetClass {
+        name: "Scrollbar".into(),
+        resources: scrollbar_resources(),
+        constraint_resources: Vec::new(),
+        actions: scrollbar_actions(),
+        default_translations: TranslationTable::parse(
+            "<Btn1Down>: StartScroll(Forward)\n\
+             <Btn3Down>: StartScroll(Backward)\n\
+             <Btn2Down>: MoveThumb() NotifyThumb()\n\
+             <Btn1Up>: NotifyScroll() EndScroll()\n\
+             <Btn3Up>: NotifyScroll() EndScroll()\n\
+             <Btn2Up>: EndScroll()",
+        )
+        .expect("static translations"),
+        ops: Rc::new(ScrollbarOps),
+        is_shell: false,
+        is_composite: false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    fn make(a: &mut XtApp) -> WidgetId {
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let s = a
+            .create_widget(
+                "sb",
+                "Scrollbar",
+                Some(top),
+                0,
+                &[
+                    ("length".into(), "200".into()),
+                    ("jumpProc".into(), "echo jump".into()),
+                    ("scrollProc".into(), "echo scroll".into()),
+                ],
+                true,
+            )
+            .unwrap();
+        a.realize(top);
+        a.dispatch_pending();
+        let _ = a.take_host_calls();
+        s
+    }
+
+    #[test]
+    fn vertical_preferred_size() {
+        let mut a = app();
+        let s = make(&mut a);
+        assert_eq!(a.dim_resource(s, "height"), 200);
+        assert!(a.dim_resource(s, "width") < 20);
+    }
+
+    #[test]
+    fn middle_click_jumps_thumb() {
+        let mut a = app();
+        let s = make(&mut a);
+        let win = a.widget(s).window.unwrap();
+        let abs = a.displays[0].abs_rect(win);
+        // Click button 2 halfway down.
+        a.displays[0].inject_pointer_move(abs.x + 3, abs.y + 100);
+        a.displays[0].inject_button(2, true);
+        a.dispatch_pending();
+        let top = match a.widget(s).resource("topOfThumb") {
+            Some(ResourceValue::Int(v)) => *v,
+            _ => panic!(),
+        };
+        assert!((400..=600).contains(&top), "thumb at {top} per-mille");
+        let calls = a.take_host_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].script, "echo jump");
+        let t: i64 = calls[0].data[&'t'].parse().unwrap();
+        assert!((400..=600).contains(&t));
+    }
+
+    #[test]
+    fn scroll_click_notifies_direction() {
+        let mut a = app();
+        let s = make(&mut a);
+        let win = a.widget(s).window.unwrap();
+        let abs = a.displays[0].abs_rect(win);
+        a.displays[0].inject_click(abs.x + 3, abs.y + 50, 1);
+        a.dispatch_pending();
+        let calls = a.take_host_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].script, "echo scroll");
+        assert_eq!(calls[0].data.get(&'d').map(String::as_str), Some("10"));
+        // Backward with button 3.
+        a.displays[0].inject_click(abs.x + 3, abs.y + 50, 3);
+        a.dispatch_pending();
+        let calls = a.take_host_calls();
+        assert_eq!(calls[0].data.get(&'d').map(String::as_str), Some("-10"));
+    }
+
+    #[test]
+    fn set_thumb_clamps() {
+        let mut a = app();
+        let s = make(&mut a);
+        scrollbar_set_thumb(&mut a, s, 5000, -10);
+        match (a.widget(s).resource("topOfThumb"), a.widget(s).resource("shown")) {
+            (Some(ResourceValue::Int(t)), Some(ResourceValue::Int(sh))) => {
+                assert_eq!(*t, 1000);
+                assert_eq!(*sh, 0);
+            }
+            _ => panic!(),
+        }
+    }
+}

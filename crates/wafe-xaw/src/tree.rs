@@ -1,0 +1,198 @@
+//! TreeGraph — a graph-layout composite, the stand-in for the XmGraph
+//! widget of the paper's Figure 2.
+//!
+//! Children carry a `parentNode` constraint naming another child; the
+//! layout arranges nodes in layers left-to-right and the redisplay draws
+//! the connecting edges, like HP's XmGraph arranged Wafe's design tool
+//! views.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wafe_xproto::framebuffer::DrawOp;
+use wafe_xt::action::ActionTable;
+use wafe_xt::resource::{core_resources, ResType, ResourceSpec, ResourceValue};
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::{WidgetClass, WidgetId, WidgetOps};
+use wafe_xt::XtApp;
+
+/// TreeGraph's resources.
+pub fn treegraph_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    let mut v = core_resources();
+    v.extend([
+        ResourceSpec::new("hSpace", "HSpace", Dimension, "30"),
+        ResourceSpec::new("vSpace", "VSpace", Dimension, "10"),
+        ResourceSpec::new("foreground", "Foreground", Pixel, "black"),
+        ResourceSpec::new("orientation", "Orientation", Orientation, "horizontal"),
+    ]);
+    v
+}
+
+/// TreeGraph's constraint resources.
+pub fn treegraph_constraints() -> Vec<ResourceSpec> {
+    vec![ResourceSpec::new("parentNode", "Widget", ResType::Widget, "")]
+}
+
+fn node_parent(app: &XtApp, c: WidgetId) -> Option<WidgetId> {
+    match app.constraint(c, "parentNode") {
+        Some(ResourceValue::Widget(n)) if !n.is_empty() => app.lookup(n),
+        _ => None,
+    }
+}
+
+/// Computes each child's depth (root nodes are depth 0).
+fn depths(app: &XtApp, w: WidgetId) -> HashMap<WidgetId, usize> {
+    let children = &app.widget(w).children;
+    let mut out = HashMap::new();
+    for &c in children {
+        let mut d = 0usize;
+        let mut cur = c;
+        // Bounded walk to guard against constraint cycles.
+        for _ in 0..children.len() {
+            match node_parent(app, cur) {
+                Some(p) if p != cur => {
+                    d += 1;
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+        out.insert(c, d);
+    }
+    out
+}
+
+/// TreeGraph class methods.
+pub struct TreeGraphOps;
+
+impl WidgetOps for TreeGraphOps {
+    fn preferred_size(&self, app: &XtApp, w: WidgetId) -> (u32, u32) {
+        let d = depths(app, w);
+        let hs = app.dim_resource(w, "hSpace");
+        let vs = app.dim_resource(w, "vSpace");
+        let max_depth = d.values().copied().max().unwrap_or(0) as u32;
+        let mut per_layer: HashMap<usize, u32> = HashMap::new();
+        let mut layer_w = 60u32;
+        for (&c, &depth) in &d {
+            *per_layer.entry(depth).or_default() += app.dim_resource(c, "height") + vs;
+            layer_w = layer_w.max(app.dim_resource(c, "width"));
+        }
+        let tall = per_layer.values().copied().max().unwrap_or(40) + vs;
+        (
+            ((max_depth + 1) * (layer_w + hs) + hs).max(60),
+            tall.max(40),
+        )
+    }
+
+    fn layout(&self, app: &mut XtApp, w: WidgetId) {
+        let d = depths(app, w);
+        let hs = app.dim_resource(w, "hSpace") as i32;
+        let vs = app.dim_resource(w, "vSpace") as i32;
+        // Column x per depth: max width of shallower layers.
+        let max_depth = d.values().copied().max().unwrap_or(0);
+        let mut layer_width: Vec<i32> = vec![0; max_depth + 1];
+        for (&c, &depth) in &d {
+            layer_width[depth] = layer_width[depth].max(app.dim_resource(c, "width") as i32);
+        }
+        let mut layer_x: Vec<i32> = Vec::with_capacity(max_depth + 1);
+        let mut x = hs;
+        for lw in &layer_width {
+            layer_x.push(x);
+            x += lw + hs;
+        }
+        // Stack nodes within each layer in creation order.
+        let children = app.widget(w).children.clone();
+        let mut layer_y: Vec<i32> = vec![vs; max_depth + 1];
+        for c in children {
+            let depth = d[&c];
+            app.put_resource(c, "x", ResourceValue::Pos(layer_x[depth]));
+            app.put_resource(c, "y", ResourceValue::Pos(layer_y[depth]));
+            layer_y[depth] += app.dim_resource(c, "height") as i32 + vs;
+        }
+    }
+
+    fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
+        // Edges from each node's right edge to its children's left edges.
+        let fg = app.pixel_resource(w, "foreground");
+        let mut ops = Vec::new();
+        for &c in &app.widget(w).children {
+            if let Some(p) = node_parent(app, c) {
+                let px = app.pos_resource(p, "x") + app.dim_resource(p, "width") as i32;
+                let py = app.pos_resource(p, "y") + app.dim_resource(p, "height") as i32 / 2;
+                let cx = app.pos_resource(c, "x");
+                let cy = app.pos_resource(c, "y") + app.dim_resource(c, "height") as i32 / 2;
+                ops.push(DrawOp::DrawLine { x1: px, y1: py, x2: cx, y2: cy, pixel: fg });
+            }
+        }
+        ops
+    }
+}
+
+/// Registers the TreeGraph class.
+pub fn register(app: &mut XtApp) {
+    app.register_class(WidgetClass {
+        name: "TreeGraph".into(),
+        resources: treegraph_resources(),
+        constraint_resources: treegraph_constraints(),
+        actions: ActionTable::new(),
+        default_translations: TranslationTable::new(),
+        ops: Rc::new(TreeGraphOps),
+        is_shell: false,
+        is_composite: true,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> XtApp {
+        let mut a = XtApp::new();
+        crate::shell::register(&mut a);
+        crate::label::register(&mut a);
+        register(&mut a);
+        a
+    }
+
+    #[test]
+    fn tree_layers_left_to_right() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let g = a.create_widget("g", "TreeGraph", Some(top), 0, &[], true).unwrap();
+        let root = a
+            .create_widget("root", "Label", Some(g), 0, &[("label".into(), "root".into())], true)
+            .unwrap();
+        let kid1 = a
+            .create_widget("kid1", "Label", Some(g), 0, &[("label".into(), "kid1".into()), ("parentNode".into(), "root".into())], true)
+            .unwrap();
+        let kid2 = a
+            .create_widget("kid2", "Label", Some(g), 0, &[("label".into(), "kid2".into()), ("parentNode".into(), "root".into())], true)
+            .unwrap();
+        let grand = a
+            .create_widget("grand", "Label", Some(g), 0, &[("label".into(), "grand".into()), ("parentNode".into(), "kid1".into())], true)
+            .unwrap();
+        a.realize(top);
+        assert!(a.pos_resource(kid1, "x") > a.pos_resource(root, "x"));
+        assert!(a.pos_resource(grand, "x") > a.pos_resource(kid1, "x"));
+        // Siblings share a column, stacked.
+        assert_eq!(a.pos_resource(kid1, "x"), a.pos_resource(kid2, "x"));
+        assert!(a.pos_resource(kid2, "y") > a.pos_resource(kid1, "y"));
+        // Edges drawn: 3 (root->kid1, root->kid2, kid1->grand).
+        let ops = TreeGraphOps.redisplay(&a, g);
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn constraint_cycle_does_not_hang() {
+        let mut a = app();
+        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let g = a.create_widget("g", "TreeGraph", Some(top), 0, &[], true).unwrap();
+        a.create_widget("a", "Label", Some(g), 0, &[("parentNode".into(), "b".into())], true)
+            .unwrap();
+        a.create_widget("b", "Label", Some(g), 0, &[("parentNode".into(), "a".into())], true)
+            .unwrap();
+        // Must terminate.
+        a.realize(top);
+    }
+}

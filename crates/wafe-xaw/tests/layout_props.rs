@@ -1,0 +1,113 @@
+//! Property tests for the Form constraint layout: chained children never
+//! overlap and the form always bounds them.
+
+use proptest::prelude::*;
+use wafe_xt::XtApp;
+
+fn build_app() -> XtApp {
+    let mut app = XtApp::new();
+    wafe_xaw::register_all(&mut app);
+    app
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fromVert chain stacks strictly downward with no overlap, and
+    /// the form bounds every child.
+    #[test]
+    fn from_vert_chain_never_overlaps(heights in proptest::collection::vec(5u32..60, 1..8)) {
+        let mut app = build_app();
+        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = app.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let mut prev = String::new();
+        for (k, h) in heights.iter().enumerate() {
+            let name = format!("w{k}");
+            let mut init = vec![
+                ("width".to_string(), "40".to_string()),
+                ("height".to_string(), h.to_string()),
+            ];
+            if !prev.is_empty() {
+                init.push(("fromVert".to_string(), prev.clone()));
+            }
+            app.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            prev = name;
+        }
+        app.realize(top);
+        let mut bottom = i32::MIN;
+        for k in 0..heights.len() {
+            let w = app.lookup(&format!("w{k}")).unwrap();
+            let y = app.pos_resource(w, "y");
+            let h = app.dim_resource(w, "height") as i32;
+            let bw = app.dim_resource(w, "borderWidth") as i32;
+            prop_assert!(y > bottom, "w{k} top {y} must be below previous bottom {bottom}");
+            bottom = y + h + 2 * bw;
+            // Inside the form.
+            prop_assert!(app.dim_resource(form, "height") as i32 >= bottom);
+        }
+    }
+
+    /// A fromHoriz chain marches strictly rightward.
+    #[test]
+    fn from_horiz_chain_never_overlaps(widths in proptest::collection::vec(5u32..60, 1..8)) {
+        let mut app = build_app();
+        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let form = app.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let mut prev = String::new();
+        for (k, w) in widths.iter().enumerate() {
+            let name = format!("w{k}");
+            let mut init = vec![
+                ("width".to_string(), w.to_string()),
+                ("height".to_string(), "20".to_string()),
+            ];
+            if !prev.is_empty() {
+                init.push(("fromHoriz".to_string(), prev.clone()));
+            }
+            app.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            prev = name;
+        }
+        app.realize(top);
+        let mut right = i32::MIN;
+        for k in 0..widths.len() {
+            let w = app.lookup(&format!("w{k}")).unwrap();
+            let x = app.pos_resource(w, "x");
+            prop_assert!(x > right, "w{k} left {x} must clear previous right {right}");
+            right = x + app.dim_resource(w, "width") as i32
+                + 2 * app.dim_resource(w, "borderWidth") as i32;
+        }
+    }
+
+    /// Box flow layout: vertical boxes stack, horizontal ones march, and
+    /// preferred size always covers the children.
+    #[test]
+    fn box_bounds_children(n in 1usize..8, horizontal in proptest::bool::ANY) {
+        let mut app = build_app();
+        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let orient = if horizontal { "horizontal" } else { "vertical" };
+        let bx = app
+            .create_widget("bx", "Box", Some(top), 0, &[("orientation".into(), orient.into())], true)
+            .unwrap();
+        for k in 0..n {
+            app.create_widget(
+                &format!("c{k}"),
+                "Label",
+                Some(bx),
+                0,
+                &[("width".into(), "30".into()), ("height".into(), "12".into())],
+                true,
+            )
+            .unwrap();
+        }
+        app.realize(top);
+        let bw_box = app.dim_resource(bx, "width") as i32;
+        let bh_box = app.dim_resource(bx, "height") as i32;
+        for k in 0..n {
+            let c = app.lookup(&format!("c{k}")).unwrap();
+            let x = app.pos_resource(c, "x");
+            let y = app.pos_resource(c, "y");
+            prop_assert!(x >= 0 && y >= 0);
+            prop_assert!(x + 30 <= bw_box, "child c{k} sticks out right");
+            prop_assert!(y + 12 <= bh_box, "child c{k} sticks out below");
+        }
+    }
+}

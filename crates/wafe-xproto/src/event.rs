@@ -1,0 +1,148 @@
+//! The core X event set.
+
+use crate::window::WindowId;
+
+/// Modifier state carried by device events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Modifiers {
+    /// Shift is held.
+    pub shift: bool,
+    /// Control is held.
+    pub control: bool,
+    /// Meta/Alt (Mod1) is held.
+    pub meta: bool,
+}
+
+impl Modifiers {
+    /// No modifiers held.
+    pub const NONE: Modifiers = Modifiers { shift: false, control: false, meta: false };
+
+    /// Shift only.
+    pub const SHIFT: Modifiers = Modifiers { shift: true, control: false, meta: false };
+}
+
+/// What happened; the payload-free classification of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A pointer button went down.
+    ButtonPress,
+    /// A pointer button came up.
+    ButtonRelease,
+    /// A key went down.
+    KeyPress,
+    /// A key came up.
+    KeyRelease,
+    /// The pointer entered a window.
+    EnterNotify,
+    /// The pointer left a window.
+    LeaveNotify,
+    /// The pointer moved within a window.
+    MotionNotify,
+    /// A region of a window needs repainting.
+    Expose,
+    /// A window's geometry changed.
+    ConfigureNotify,
+    /// A window became viewable.
+    MapNotify,
+    /// A window was unmapped.
+    UnmapNotify,
+    /// A window was destroyed.
+    DestroyNotify,
+    /// An inter-client message.
+    ClientMessage,
+}
+
+/// A delivered event.
+///
+/// Coordinates are window-relative (`x`, `y`) plus root-relative
+/// (`x_root`, `y_root`), matching the X wire protocol fields the paper's
+/// percent codes expose (`%x %y %X %Y`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The classification.
+    pub kind: EventKind,
+    /// The window the event is reported relative to.
+    pub window: WindowId,
+    /// Window-relative x.
+    pub x: i32,
+    /// Window-relative y.
+    pub y: i32,
+    /// Root-relative x.
+    pub x_root: i32,
+    /// Root-relative y.
+    pub y_root: i32,
+    /// Button number (1..5) for button events, else 0.
+    pub button: u8,
+    /// Keycode for key events, else 0.
+    pub keycode: u8,
+    /// Keysym name for key events, else empty.
+    pub keysym: String,
+    /// ASCII text for key events, else empty.
+    pub ascii: String,
+    /// Modifier state at the time of the event.
+    pub modifiers: Modifiers,
+    /// Serial stamp, monotonically increasing per display.
+    pub serial: u64,
+}
+
+impl Event {
+    /// A minimal event of the given kind on `window`; the caller fills in
+    /// whatever payload applies.
+    pub fn new(kind: EventKind, window: WindowId) -> Self {
+        Event {
+            kind,
+            window,
+            x: 0,
+            y: 0,
+            x_root: 0,
+            y_root: 0,
+            button: 0,
+            keycode: 0,
+            keysym: String::new(),
+            ascii: String::new(),
+            modifiers: Modifiers::NONE,
+            serial: 0,
+        }
+    }
+
+    /// The event-type name the Wafe `%t` percent code prints.
+    ///
+    /// Only the six event types of the paper's table have names; every
+    /// other type expands to `unknown`, exactly as documented.
+    pub fn wafe_type_name(&self) -> &'static str {
+        match self.kind {
+            EventKind::ButtonPress => "ButtonPress",
+            EventKind::ButtonRelease => "ButtonRelease",
+            EventKind::KeyPress => "KeyPress",
+            EventKind::KeyRelease => "KeyRelease",
+            EventKind::EnterNotify => "EnterNotify",
+            EventKind::LeaveNotify => "LeaveNotify",
+            _ => "unknown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wafe_type_names_match_paper_table() {
+        let w = WindowId(1);
+        assert_eq!(Event::new(EventKind::ButtonPress, w).wafe_type_name(), "ButtonPress");
+        assert_eq!(Event::new(EventKind::KeyRelease, w).wafe_type_name(), "KeyRelease");
+        assert_eq!(Event::new(EventKind::EnterNotify, w).wafe_type_name(), "EnterNotify");
+        assert_eq!(Event::new(EventKind::LeaveNotify, w).wafe_type_name(), "LeaveNotify");
+        // Non-listed types expand to "unknown" per the paper.
+        assert_eq!(Event::new(EventKind::Expose, w).wafe_type_name(), "unknown");
+        assert_eq!(Event::new(EventKind::MotionNotify, w).wafe_type_name(), "unknown");
+    }
+
+    #[test]
+    fn default_payload_is_empty() {
+        let e = Event::new(EventKind::KeyPress, WindowId(3));
+        assert_eq!(e.button, 0);
+        assert_eq!(e.keysym, "");
+        assert_eq!(e.modifiers, Modifiers::NONE);
+    }
+}

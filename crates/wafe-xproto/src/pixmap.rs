@@ -1,0 +1,268 @@
+//! XBM bitmap and XPM pixmap parsing.
+//!
+//! The paper's extended String-to-Bitmap converter "checks additionally
+//! whether the specified file is in Xpm format, when the attempt to read
+//! the file in the standard X bitmap format failed" — both formats are
+//! implemented here so the Wafe converter can reproduce that fallback.
+
+use crate::color::{lookup_color, Pixel};
+
+/// A decoded image: row-major pixels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pixmap {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixel data, length `width * height`.
+    pub data: Vec<Pixel>,
+    /// Transparency mask (true = opaque); XPM `None` pixels are
+    /// transparent, XBM images are fully opaque.
+    pub mask: Vec<bool>,
+}
+
+/// Parses an X11 bitmap (`.xbm`) file: C source defining
+/// `<name>_width`, `<name>_height` and a `static char <name>_bits[]`.
+///
+/// Set bits become `fg`, clear bits `bg`.
+pub fn parse_xbm(text: &str, fg: Pixel, bg: Pixel) -> Option<Pixmap> {
+    let mut width: Option<u32> = None;
+    let mut height: Option<u32> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("#define") {
+            let mut it = rest.split_whitespace();
+            let name = it.next()?;
+            let value = it.next()?;
+            if name.ends_with("_width") {
+                width = value.parse().ok();
+            } else if name.ends_with("_height") {
+                height = value.parse().ok();
+            }
+        }
+    }
+    let (w, h) = (width?, height?);
+    // Collect every 0xNN byte after the '{'.
+    let body = text.split('{').nth(1)?.split('}').next()?;
+    let mut bytes: Vec<u8> = Vec::new();
+    for tok in body.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        let v = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+            u8::from_str_radix(hex, 16).ok()?
+        } else {
+            tok.parse::<u8>().ok()?
+        };
+        bytes.push(v);
+    }
+    let stride = w.div_ceil(8) as usize;
+    if bytes.len() < stride * h as usize {
+        return None;
+    }
+    let mut data = Vec::with_capacity((w * h) as usize);
+    for row in 0..h as usize {
+        for col in 0..w as usize {
+            let byte = bytes[row * stride + col / 8];
+            // XBM is little-endian within bytes.
+            let bit = (byte >> (col % 8)) & 1;
+            data.push(if bit == 1 { fg } else { bg });
+        }
+    }
+    let mask = vec![true; (w * h) as usize];
+    Some(Pixmap { width: w, height: h, data, mask })
+}
+
+/// Parses an XPM (X PixMap) file or buffer.
+///
+/// Supports XPM2/XPM3 with single- and multi-character colour keys and
+/// the `c` colour class; `None` means transparent.
+pub fn parse_xpm(text: &str) -> Option<Pixmap> {
+    // Pull out every C string literal "..." in order; XPM3's payload is a
+    // list of strings. (XPM2 lines are not quoted; handle both.)
+    let strings: Vec<String> = if text.contains('"') {
+        let mut out = Vec::new();
+        let mut rest = text;
+        while let Some(start) = rest.find('"') {
+            let tail = &rest[start + 1..];
+            let end = tail.find('"')?;
+            out.push(tail[..end].to_string());
+            rest = &tail[end + 1..];
+        }
+        out
+    } else {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('!'))
+            .map(String::from)
+            .collect()
+    };
+    if strings.is_empty() {
+        return None;
+    }
+    // Header: "width height ncolors chars_per_pixel".
+    let mut hdr = strings[0].split_whitespace();
+    let width: u32 = hdr.next()?.parse().ok()?;
+    let height: u32 = hdr.next()?.parse().ok()?;
+    let ncolors: usize = hdr.next()?.parse().ok()?;
+    let cpp: usize = hdr.next()?.parse().ok()?;
+    if strings.len() < 1 + ncolors + height as usize {
+        return None;
+    }
+    // Colour table.
+    let mut table: Vec<(String, Option<Pixel>)> = Vec::with_capacity(ncolors);
+    for line in &strings[1..1 + ncolors] {
+        let chars: Vec<char> = line.chars().collect();
+        if chars.len() < cpp {
+            return None;
+        }
+        let key: String = chars[..cpp].iter().collect();
+        let spec: String = chars[cpp..].iter().collect();
+        // Find the `c` class value.
+        let toks: Vec<&str> = spec.split_whitespace().collect();
+        let mut color: Option<Pixel> = None;
+        let mut transparent = false;
+        let mut k = 0;
+        while k < toks.len() {
+            if toks[k] == "c" && k + 1 < toks.len() {
+                // Colour value may be multiple words (e.g. "navy blue").
+                let value = toks[k + 1..].join(" ");
+                if value.eq_ignore_ascii_case("none") {
+                    transparent = true;
+                } else {
+                    color = lookup_color(&value);
+                    if color.is_none() {
+                        // Unknown name: fall back to black rather than failing.
+                        color = Some(0);
+                    }
+                }
+                break;
+            }
+            k += 1;
+        }
+        if transparent {
+            table.push((key, None));
+        } else {
+            table.push((key, Some(color?)));
+        }
+    }
+    // Pixel rows.
+    let mut data = Vec::with_capacity((width * height) as usize);
+    let mut mask = Vec::with_capacity((width * height) as usize);
+    for line in &strings[1 + ncolors..1 + ncolors + height as usize] {
+        let chars: Vec<char> = line.chars().collect();
+        if chars.len() < cpp * width as usize {
+            return None;
+        }
+        for col in 0..width as usize {
+            let key: String = chars[col * cpp..(col + 1) * cpp].iter().collect();
+            match table.iter().find(|(k, _)| *k == key) {
+                Some((_, Some(px))) => {
+                    data.push(*px);
+                    mask.push(true);
+                }
+                Some((_, None)) => {
+                    data.push(0);
+                    mask.push(false);
+                }
+                None => return None,
+            }
+        }
+    }
+    Some(Pixmap { width, height, data, mask })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XBM: &str = r#"
+#define test_width 8
+#define test_height 2
+static char test_bits[] = {
+   0x01, 0x80};
+"#;
+
+    #[test]
+    fn xbm_basic() {
+        let p = parse_xbm(XBM, 0xff0000, 0x000000).unwrap();
+        assert_eq!(p.width, 8);
+        assert_eq!(p.height, 2);
+        // Bit 0 of row 0 set (little-endian): pixel (0,0) fg.
+        assert_eq!(p.data[0], 0xff0000);
+        assert_eq!(p.data[1], 0x000000);
+        // Bit 7 of row 1 set: pixel (7,1) fg.
+        assert_eq!(p.data[8 + 7], 0xff0000);
+        assert!(p.mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn xbm_malformed() {
+        assert!(parse_xbm("not a bitmap", 1, 0).is_none());
+        assert!(parse_xbm("#define w_width 8\n#define w_height 4\nstatic char b[] = {0x01};", 1, 0).is_none());
+    }
+
+    const XPM: &str = r#"
+/* XPM */
+static char *test[] = {
+"3 2 3 1",
+"  c None",
+". c black",
+"X c red",
+".X.",
+"X X",
+};
+"#;
+
+    #[test]
+    fn xpm_basic() {
+        let p = parse_xpm(XPM).unwrap();
+        assert_eq!(p.width, 3);
+        assert_eq!(p.height, 2);
+        assert_eq!(p.data[0], 0x000000); // .
+        assert_eq!(p.data[1], 0xff0000); // X
+        assert!(p.mask[0]);
+        assert!(!p.mask[4]); // middle of row 2 is None -> transparent
+    }
+
+    #[test]
+    fn xpm_multichar_keys() {
+        let text = r#"
+"2 1 2 2",
+"aa c white",
+"bb c blue",
+"aabb",
+"#;
+        let p = parse_xpm(text).unwrap();
+        assert_eq!(p.data, vec![0xffffff, 0x0000ff]);
+    }
+
+    #[test]
+    fn xpm_unknown_color_falls_back_to_black() {
+        let text = r#"
+"1 1 1 1",
+"x c notacolorname",
+"x",
+"#;
+        let p = parse_xpm(text).unwrap();
+        assert_eq!(p.data, vec![0]);
+    }
+
+    #[test]
+    fn xpm_malformed() {
+        assert!(parse_xpm("").is_none());
+        assert!(parse_xpm("\"zz\"").is_none());
+        // Too few rows.
+        assert!(parse_xpm("\"2 2 1 1\",\". c black\",\"..\"").is_none());
+    }
+
+    #[test]
+    fn fallback_chain_like_wafe_converter() {
+        // The Wafe converter first tries XBM, then XPM.
+        let try_both = |text: &str| parse_xbm(text, 1, 0).or_else(|| parse_xpm(text));
+        assert!(try_both(XBM).is_some());
+        assert!(try_both(XPM).is_some());
+        assert!(try_both("garbage").is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Server-side window records.
+
+use crate::color::Pixel;
+use crate::framebuffer::DrawOp;
+use crate::geometry::Rect;
+
+/// A window resource id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId(pub u64);
+
+/// A server-side window.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// This window's id.
+    pub id: WindowId,
+    /// Parent window (`None` for a root window).
+    pub parent: Option<WindowId>,
+    /// Children in stacking order, bottom-most first.
+    pub children: Vec<WindowId>,
+    /// Geometry relative to the parent (border excluded, like X).
+    pub rect: Rect,
+    /// Border width in pixels.
+    pub border_width: u32,
+    /// Border colour.
+    pub border_pixel: Pixel,
+    /// Background colour.
+    pub background: Pixel,
+    /// True once `map` has been called.
+    pub mapped: bool,
+    /// True if this window bypasses any window manager (menus).
+    pub override_redirect: bool,
+    /// The retained display list: what the client drew here last.
+    pub display_list: Vec<DrawOp>,
+    /// True if destroyed (kept to detect stale ids).
+    pub destroyed: bool,
+}
+
+impl Window {
+    /// Creates an unmapped window.
+    pub fn new(id: WindowId, parent: Option<WindowId>, rect: Rect) -> Self {
+        Window {
+            id,
+            parent,
+            children: Vec::new(),
+            rect,
+            border_width: 0,
+            border_pixel: crate::color::BLACK,
+            background: crate::color::WHITE,
+            mapped: false,
+            override_redirect: false,
+            display_list: Vec::new(),
+            destroyed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_window_is_unmapped() {
+        let w = Window::new(WindowId(5), Some(WindowId(1)), Rect::new(0, 0, 10, 10));
+        assert!(!w.mapped);
+        assert!(!w.destroyed);
+        assert!(w.children.is_empty());
+        assert_eq!(w.parent, Some(WindowId(1)));
+    }
+}

@@ -1,0 +1,95 @@
+//! Action procedures.
+//!
+//! Actions are named procedures bound by translation tables. The X
+//! Toolkit has per-class action tables plus a global application table
+//! (`XtAppAddActions`); lookup tries the widget's class first, then the
+//! global table — Wafe registers its `exec` action globally.
+
+use std::rc::Rc;
+
+use wafe_xproto::Event;
+
+use crate::app::XtApp;
+use crate::widget::WidgetId;
+
+/// Signature of an action procedure (the analogue of `XtActionProc`).
+pub type ActionFn = Rc<dyn Fn(&mut XtApp, WidgetId, &Event, &[String])>;
+
+/// A table of named actions.
+#[derive(Default, Clone)]
+pub struct ActionTable {
+    entries: Vec<(String, ActionFn)>,
+}
+
+impl ActionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) an action.
+    pub fn add<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut XtApp, WidgetId, &Event, &[String]) + 'static,
+    {
+        self.add_rc(name, Rc::new(f));
+    }
+
+    /// Adds an already-shared action procedure.
+    pub fn add_rc(&mut self, name: &str, f: ActionFn) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 = f;
+        } else {
+            self.entries.push((name.to_string(), f));
+        }
+    }
+
+    /// Looks up an action by name.
+    pub fn get(&self, name: &str) -> Option<ActionFn> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f.clone())
+    }
+
+    /// Names of all registered actions.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ActionTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionTable")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_replace() {
+        let mut t = ActionTable::new();
+        assert!(t.is_empty());
+        t.add("beep", |_, _, _, _| {});
+        assert_eq!(t.len(), 1);
+        assert!(t.get("beep").is_some());
+        assert!(t.get("nope").is_none());
+        t.add("beep", |_, _, _, _| {});
+        assert_eq!(t.len(), 1, "replace, not duplicate");
+        assert_eq!(t.names(), vec!["beep"]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Callback lists and the predefined callback functions.
+//!
+//! A widget's callback resource holds a list of callback items. In Wafe a
+//! callback is either an arbitrary Tcl script (installed through the
+//! callback *converter*) or one of the six predefined functions of the
+//! paper's table, which all "concern the handling of popup shells":
+//!
+//! | name            | behaviour                          |
+//! |-----------------|------------------------------------|
+//! | `none`          | realize shell, grab none           |
+//! | `exclusive`     | realize shell, grab exclusive      |
+//! | `nonexclusive`  | realize shell, grab nonexclusive   |
+//! | `popdown`       | unrealize shell                    |
+//! | `position`      | position shell                     |
+//! | `positionCursor`| position shell under pointer       |
+
+/// One of the predefined popup-handling callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredefinedCallback {
+    /// Realize (pop up) the shell with no grab.
+    None,
+    /// Realize the shell with an exclusive grab.
+    Exclusive,
+    /// Realize the shell with a nonexclusive grab.
+    Nonexclusive,
+    /// Unrealize (pop down) the shell.
+    Popdown,
+    /// Position the shell near the invoking widget, then pop it up.
+    Position,
+    /// Position the shell under the pointer, then pop it up.
+    PositionCursor,
+}
+
+impl PredefinedCallback {
+    /// Parses the Wafe `callback` command's function-name argument.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "none" => PredefinedCallback::None,
+            "exclusive" => PredefinedCallback::Exclusive,
+            "nonexclusive" => PredefinedCallback::Nonexclusive,
+            "popdown" => PredefinedCallback::Popdown,
+            "position" => PredefinedCallback::Position,
+            "positionCursor" => PredefinedCallback::PositionCursor,
+            _ => return None,
+        })
+    }
+
+    /// The Wafe-visible name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredefinedCallback::None => "none",
+            PredefinedCallback::Exclusive => "exclusive",
+            PredefinedCallback::Nonexclusive => "nonexclusive",
+            PredefinedCallback::Popdown => "popdown",
+            PredefinedCallback::Position => "position",
+            PredefinedCallback::PositionCursor => "positionCursor",
+        }
+    }
+
+    /// All six, in the paper's table order.
+    pub fn all() -> [PredefinedCallback; 6] {
+        [
+            PredefinedCallback::None,
+            PredefinedCallback::Exclusive,
+            PredefinedCallback::Nonexclusive,
+            PredefinedCallback::Popdown,
+            PredefinedCallback::Position,
+            PredefinedCallback::PositionCursor,
+        ]
+    }
+}
+
+/// One item of a callback list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallbackItem {
+    /// An arbitrary host-language (Tcl) script, run by the embedding.
+    Script(String),
+    /// A predefined popup callback targeting the named shell widget.
+    Predefined {
+        /// Which predefined function.
+        kind: PredefinedCallback,
+        /// The name of the popup shell it manipulates.
+        shell: String,
+    },
+}
+
+impl CallbackItem {
+    /// Logical size for memory accounting.
+    pub fn tracked_size(&self) -> usize {
+        match self {
+            CallbackItem::Script(s) => s.len(),
+            CallbackItem::Predefined { shell, .. } => shell.len() + 8,
+        }
+    }
+
+    /// String rendering — what `gV widget callback` returns; scripts
+    /// round-trip verbatim, which the paper's c1/c2 example depends on.
+    pub fn to_display_string(&self) -> String {
+        match self {
+            CallbackItem::Script(s) => s.clone(),
+            CallbackItem::Predefined { kind, shell } => format!("{} {shell}", kind.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_predefined_names() {
+        for p in PredefinedCallback::all() {
+            assert_eq!(PredefinedCallback::parse(p.name()), Some(p));
+        }
+        assert_eq!(PredefinedCallback::parse("bogus"), None);
+    }
+
+    #[test]
+    fn script_roundtrips_verbatim() {
+        let c = CallbackItem::Script("echo i am %w.".into());
+        assert_eq!(c.to_display_string(), "echo i am %w.");
+        assert_eq!(c.tracked_size(), 13);
+    }
+
+    #[test]
+    fn predefined_display() {
+        let c = CallbackItem::Predefined { kind: PredefinedCallback::Exclusive, shell: "popup".into() };
+        assert_eq!(c.to_display_string(), "exclusive popup");
+    }
+}

@@ -1,0 +1,298 @@
+//! Resource type converters.
+//!
+//! "Converters are an Intrinsics based concept which is used to implement
+//! conversion for the resources of a widget. In Wafe, a converter always
+//! converts a string to a certain target data type; the X Toolkit
+//! provides easy mechanisms to provide additional converters." —
+//! the registry here is that mechanism: every [`ResType`] has a default
+//! converter, and the embedding can register replacements
+//! (`XtAppAddConverter`), which is how Wafe installs its Callback,
+//! Pixmap and XmString converters.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wafe_xproto::font::FontDb;
+use wafe_xproto::pixmap::{parse_xbm, parse_xpm};
+
+use crate::callback::CallbackItem;
+use crate::resource::{CompoundSegment, Justify, Orientation, ResType, ResourceValue};
+use crate::translation::TranslationTable;
+
+/// Context available to converters.
+pub struct ConvertCtx<'a> {
+    /// The display's font database.
+    pub fonts: &'a FontDb,
+}
+
+/// A converter procedure: string to typed value, or an error message.
+pub type ConverterFn = Rc<dyn Fn(&str, &ConvertCtx<'_>) -> Result<ResourceValue, String>>;
+
+/// The converter registry.
+#[derive(Clone)]
+pub struct ConverterRegistry {
+    converters: HashMap<ResType, ConverterFn>,
+    /// How many converters were registered beyond the defaults — the
+    /// "additional converter procedures" the paper counts as Wafe's own.
+    additional: usize,
+}
+
+impl Default for ConverterRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConverterRegistry {
+    /// Creates a registry with the standard Xt converters installed.
+    pub fn new() -> Self {
+        let mut r = ConverterRegistry { converters: HashMap::new(), additional: 0 };
+        r.install_defaults();
+        r.additional = 0;
+        r
+    }
+
+    fn install_defaults(&mut self) {
+        self.register(ResType::String, |s, _| Ok(ResourceValue::Str(s.to_string())));
+        self.register(ResType::Int, |s, _| {
+            s.trim()
+                .parse::<i64>()
+                .map(ResourceValue::Int)
+                .map_err(|_| format!("Cannot convert string \"{s}\" to type Int"))
+        });
+        self.register(ResType::Dimension, |s, _| {
+            s.trim()
+                .parse::<u32>()
+                .map(ResourceValue::Dim)
+                .map_err(|_| format!("Cannot convert string \"{s}\" to type Dimension"))
+        });
+        self.register(ResType::Position, |s, _| {
+            s.trim()
+                .parse::<i32>()
+                .map(ResourceValue::Pos)
+                .map_err(|_| format!("Cannot convert string \"{s}\" to type Position"))
+        });
+        self.register(ResType::Boolean, |s, _| match s.trim().to_lowercase().as_str() {
+            "true" | "yes" | "on" | "1" => Ok(ResourceValue::Bool(true)),
+            "false" | "no" | "off" | "0" => Ok(ResourceValue::Bool(false)),
+            _ => Err(format!("Cannot convert string \"{s}\" to type Boolean")),
+        });
+        self.register(ResType::Pixel, |s, _| {
+            wafe_xproto::lookup_color(s)
+                .map(ResourceValue::Pixel)
+                .ok_or_else(|| format!("Cannot convert string \"{s}\" to type Pixel"))
+        });
+        self.register(ResType::Font, |s, ctx| {
+            ctx.fonts
+                .resolve(s)
+                .map(ResourceValue::Font)
+                .ok_or_else(|| format!("Cannot convert string \"{s}\" to type FontStruct"))
+        });
+        self.register(ResType::Justify, |s, _| match s.trim().to_lowercase().as_str() {
+            "left" => Ok(ResourceValue::Justify(Justify::Left)),
+            "center" | "centre" => Ok(ResourceValue::Justify(Justify::Center)),
+            "right" => Ok(ResourceValue::Justify(Justify::Right)),
+            _ => Err(format!("Cannot convert string \"{s}\" to type Justify")),
+        });
+        self.register(ResType::Orientation, |s, _| match s.trim().to_lowercase().as_str() {
+            "horizontal" => Ok(ResourceValue::Orientation(Orientation::Horizontal)),
+            "vertical" => Ok(ResourceValue::Orientation(Orientation::Vertical)),
+            _ => Err(format!("Cannot convert string \"{s}\" to type Orientation")),
+        });
+        // Wafe's callback converter: "the callback converter is used to
+        // bind the execution of a Wafe command to a widget's callback
+        // resource". An empty string is an empty callback list.
+        self.register(ResType::Callback, |s, _| {
+            if s.is_empty() {
+                Ok(ResourceValue::Callback(Vec::new()))
+            } else {
+                Ok(ResourceValue::Callback(vec![CallbackItem::Script(s.to_string())]))
+            }
+        });
+        self.register(ResType::Translations, |s, _| {
+            TranslationTable::parse(s)
+                .map(ResourceValue::Translations)
+                .map_err(|e| format!("translation table conversion failed: {e}"))
+        });
+        // Wafe's extended String-to-Bitmap converter: try XBM, fall back
+        // to XPM (the paper's documented behaviour). The string may be a
+        // file path or inline image text; an empty string is "no pixmap",
+        // represented as a 0x0 image.
+        self.register(ResType::Pixmap, |s, _| {
+            if s.is_empty() {
+                return Ok(ResourceValue::Pixmap(Rc::new(wafe_xproto::Pixmap {
+                    width: 0,
+                    height: 0,
+                    data: Vec::new(),
+                    mask: Vec::new(),
+                })));
+            }
+            let text = match std::fs::read_to_string(s) {
+                Ok(t) => t,
+                Err(_) => s.to_string(),
+            };
+            parse_xbm(&text, 0x000000, 0xffffff)
+                .or_else(|| parse_xpm(&text))
+                .map(|p| ResourceValue::Pixmap(Rc::new(p)))
+                .ok_or_else(|| format!("Cannot convert string \"{s}\" to type Pixmap"))
+        });
+        self.register(ResType::StringList, |s, _| {
+            if s.is_empty() {
+                Ok(ResourceValue::StrList(Vec::new()))
+            } else {
+                Ok(ResourceValue::StrList(s.split(',').map(|e| e.trim().to_string()).collect()))
+            }
+        });
+        // Plain-compound default: one segment, default font. The Motif
+        // layer replaces this with the full `&`-code converter.
+        self.register(ResType::Compound, |s, _| {
+            Ok(ResourceValue::Compound(vec![CompoundSegment {
+                text: s.to_string(),
+                font_tag: String::new(),
+                right_to_left: false,
+            }]))
+        });
+        self.register(ResType::Cursor, |s, _| Ok(ResourceValue::Cursor(s.to_string())));
+        self.register(ResType::Widget, |s, _| Ok(ResourceValue::Widget(s.to_string())));
+    }
+
+    /// Registers (or replaces) the converter for a type
+    /// (`XtAppAddConverter`).
+    pub fn register<F>(&mut self, ty: ResType, f: F)
+    where
+        F: Fn(&str, &ConvertCtx<'_>) -> Result<ResourceValue, String> + 'static,
+    {
+        self.converters.insert(ty, Rc::new(f));
+        self.additional += 1;
+    }
+
+    /// Converts a string to the given type.
+    pub fn convert(
+        &self,
+        ty: ResType,
+        value: &str,
+        ctx: &ConvertCtx<'_>,
+    ) -> Result<ResourceValue, String> {
+        match self.converters.get(&ty) {
+            Some(f) => f(value, ctx),
+            None => Err(format!("No converter registered for type {ty:?}")),
+        }
+    }
+
+    /// How many converters have been registered beyond the defaults.
+    pub fn additional_count(&self) -> usize {
+        self.additional
+    }
+
+    /// Total number of registered converters.
+    pub fn len(&self) -> usize {
+        self.converters.len()
+    }
+
+    /// True if the registry is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.converters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fonts() -> FontDb {
+        FontDb::new()
+    }
+
+    fn conv(ty: ResType, s: &str) -> Result<ResourceValue, String> {
+        let fonts = ctx_fonts();
+        let reg = ConverterRegistry::new();
+        reg.convert(ty, s, &ConvertCtx { fonts: &fonts })
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(conv(ResType::Int, "42").unwrap(), ResourceValue::Int(42));
+        assert_eq!(conv(ResType::Dimension, "100").unwrap(), ResourceValue::Dim(100));
+        assert_eq!(conv(ResType::Position, "-5").unwrap(), ResourceValue::Pos(-5));
+        assert_eq!(conv(ResType::Boolean, "True").unwrap(), ResourceValue::Bool(true));
+        assert_eq!(conv(ResType::Boolean, "off").unwrap(), ResourceValue::Bool(false));
+        assert!(conv(ResType::Int, "xyz").is_err());
+        assert!(conv(ResType::Dimension, "-1").is_err());
+        assert!(conv(ResType::Boolean, "maybe").is_err());
+    }
+
+    #[test]
+    fn pixel_conversion_uses_color_db() {
+        assert_eq!(conv(ResType::Pixel, "red").unwrap(), ResourceValue::Pixel(0xff0000));
+        assert_eq!(conv(ResType::Pixel, "tomato").unwrap(), ResourceValue::Pixel(0xff6347));
+        assert_eq!(conv(ResType::Pixel, "#0f0").unwrap(), ResourceValue::Pixel(0x00ff00));
+        assert!(conv(ResType::Pixel, "nocolor").is_err());
+    }
+
+    #[test]
+    fn font_conversion() {
+        assert!(matches!(conv(ResType::Font, "fixed").unwrap(), ResourceValue::Font(_)));
+        assert!(conv(ResType::Font, "*nope*").is_err());
+    }
+
+    #[test]
+    fn justify_orientation() {
+        assert_eq!(conv(ResType::Justify, "center").unwrap(), ResourceValue::Justify(Justify::Center));
+        assert_eq!(
+            conv(ResType::Orientation, "vertical").unwrap(),
+            ResourceValue::Orientation(Orientation::Vertical)
+        );
+        assert!(conv(ResType::Justify, "diagonal").is_err());
+    }
+
+    #[test]
+    fn callback_converter_wraps_script() {
+        let v = conv(ResType::Callback, "echo hello world").unwrap();
+        assert_eq!(
+            v,
+            ResourceValue::Callback(vec![CallbackItem::Script("echo hello world".into())])
+        );
+        assert_eq!(conv(ResType::Callback, "").unwrap(), ResourceValue::Callback(vec![]));
+    }
+
+    #[test]
+    fn translations_converter() {
+        let v = conv(ResType::Translations, "<Key>Return: exec(go)").unwrap();
+        match v {
+            ResourceValue::Translations(t) => assert_eq!(t.entries.len(), 1),
+            _ => panic!("wrong type"),
+        }
+        assert!(conv(ResType::Translations, "<Nope>: x()").is_err());
+    }
+
+    #[test]
+    fn pixmap_converter_inline_fallback_chain() {
+        let xbm = "#define i_width 8\n#define i_height 1\nstatic char i_bits[] = {0xff};";
+        assert!(matches!(conv(ResType::Pixmap, xbm).unwrap(), ResourceValue::Pixmap(_)));
+        let xpm = "\"1 1 1 1\",\"x c red\",\"x\"";
+        assert!(matches!(conv(ResType::Pixmap, xpm).unwrap(), ResourceValue::Pixmap(_)));
+        assert!(conv(ResType::Pixmap, "neither format").is_err());
+        // Empty string is the "no pixmap" sentinel.
+        assert!(matches!(conv(ResType::Pixmap, "").unwrap(), ResourceValue::Pixmap(p) if p.width == 0));
+    }
+
+    #[test]
+    fn string_list_split() {
+        assert_eq!(
+            conv(ResType::StringList, "a, b ,c").unwrap(),
+            ResourceValue::StrList(vec!["a".into(), "b".into(), "c".into()])
+        );
+        assert_eq!(conv(ResType::StringList, "").unwrap(), ResourceValue::StrList(vec![]));
+    }
+
+    #[test]
+    fn custom_converter_overrides() {
+        let mut reg = ConverterRegistry::new();
+        let before = reg.additional_count();
+        reg.register(ResType::Cursor, |s, _| Ok(ResourceValue::Cursor(format!("X_{s}"))));
+        assert_eq!(reg.additional_count(), before + 1);
+        let fonts = ctx_fonts();
+        let v = reg.convert(ResType::Cursor, "arrow", &ConvertCtx { fonts: &fonts }).unwrap();
+        assert_eq!(v, ResourceValue::Cursor("X_arrow".into()));
+    }
+}

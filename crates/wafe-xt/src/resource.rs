@@ -1,0 +1,286 @@
+//! Typed resource values and per-class resource specifications.
+
+use std::rc::Rc;
+
+use wafe_xproto::font::FontId;
+use wafe_xproto::pixmap::Pixmap;
+use wafe_xproto::Pixel;
+
+use crate::callback::CallbackItem;
+use crate::translation::TranslationTable;
+
+/// The type of a resource, from the widget class's resource list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResType {
+    /// `XtRString`.
+    String,
+    /// `XtRInt`.
+    Int,
+    /// `XtRDimension` (unsigned widths/heights).
+    Dimension,
+    /// `XtRPosition` (signed coordinates).
+    Position,
+    /// `XtRBoolean`.
+    Boolean,
+    /// `XtRPixel` (a colour).
+    Pixel,
+    /// `XtRFontStruct` / `XtRFont`.
+    Font,
+    /// `XtRJustify` (left/center/right).
+    Justify,
+    /// `XtROrientation` (horizontal/vertical).
+    Orientation,
+    /// `XtRCallback` — a callback list (Wafe's callback converter).
+    Callback,
+    /// `XtRTranslationTable`.
+    Translations,
+    /// `XtRBitmap`/`XtRPixmap` (Wafe's extended XBM/XPM converter).
+    Pixmap,
+    /// A list of strings (the Athena List widget's items).
+    StringList,
+    /// A compound string (Motif `XmString`, Wafe's `&`-code converter).
+    Compound,
+    /// A cursor name.
+    Cursor,
+    /// A widget reference by name (Form constraints `fromVert` etc.).
+    Widget,
+}
+
+/// Text justification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Justify {
+    /// Flush left.
+    Left,
+    /// Centered.
+    Center,
+    /// Flush right.
+    Right,
+}
+
+/// Layout orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Side by side.
+    Horizontal,
+    /// Stacked.
+    Vertical,
+}
+
+/// One segment of a compound string (Motif `XmString`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompoundSegment {
+    /// The text of the segment.
+    pub text: String,
+    /// The font-list tag selecting the segment's font (empty = default).
+    pub font_tag: String,
+    /// True if this segment renders right-to-left (`&rl` in Wafe's
+    /// converter syntax).
+    pub right_to_left: bool,
+}
+
+/// A typed resource value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResourceValue {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A dimension (width/height).
+    Dim(u32),
+    /// A position (x/y).
+    Pos(i32),
+    /// A boolean.
+    Bool(bool),
+    /// A colour pixel.
+    Pixel(Pixel),
+    /// A resolved font.
+    Font(FontId),
+    /// Justification.
+    Justify(Justify),
+    /// Orientation.
+    Orientation(Orientation),
+    /// A callback list.
+    Callback(Vec<CallbackItem>),
+    /// A parsed translation table.
+    Translations(TranslationTable),
+    /// A decoded pixmap.
+    Pixmap(Rc<Pixmap>),
+    /// A list of strings.
+    StrList(Vec<String>),
+    /// A compound string.
+    Compound(Vec<CompoundSegment>),
+    /// A named cursor.
+    Cursor(String),
+    /// A widget reference by name (empty = none).
+    Widget(String),
+}
+
+impl ResourceValue {
+    /// The logical heap size used for memory accounting — "objects larger
+    /// than one word" carry their payload size; word-sized values are 0.
+    pub fn tracked_size(&self) -> usize {
+        match self {
+            ResourceValue::Str(s) => s.len(),
+            ResourceValue::Callback(items) => items.iter().map(|c| c.tracked_size()).sum(),
+            ResourceValue::Translations(t) => t.tracked_size(),
+            ResourceValue::Pixmap(p) => p.data.len() * 4,
+            ResourceValue::StrList(l) => l.iter().map(String::len).sum(),
+            ResourceValue::Compound(segs) => segs.iter().map(|s| s.text.len()).sum(),
+            ResourceValue::Cursor(s) => s.len(),
+            ResourceValue::Widget(s) => s.len(),
+            _ => 0,
+        }
+    }
+
+    /// Renders the value back to its string form — the reverse conversion
+    /// Wafe's `getValues` performs (the paper: "Opposite to the X Toolkit
+    /// it is possible in Wafe to obtain the value of a callback
+    /// resource").
+    pub fn to_display_string(&self) -> String {
+        match self {
+            ResourceValue::Str(s) => s.clone(),
+            ResourceValue::Int(v) => v.to_string(),
+            ResourceValue::Dim(v) => v.to_string(),
+            ResourceValue::Pos(v) => v.to_string(),
+            ResourceValue::Bool(v) => if *v { "True" } else { "False" }.into(),
+            ResourceValue::Pixel(p) => format!("#{p:06x}"),
+            ResourceValue::Font(f) => format!("font-{}", f.0),
+            ResourceValue::Justify(Justify::Left) => "left".into(),
+            ResourceValue::Justify(Justify::Center) => "center".into(),
+            ResourceValue::Justify(Justify::Right) => "right".into(),
+            ResourceValue::Orientation(Orientation::Horizontal) => "horizontal".into(),
+            ResourceValue::Orientation(Orientation::Vertical) => "vertical".into(),
+            ResourceValue::Callback(items) => items
+                .iter()
+                .map(CallbackItem::to_display_string)
+                .collect::<Vec<_>>()
+                .join("\n"),
+            ResourceValue::Translations(t) => t.to_display_string(),
+            ResourceValue::Pixmap(p) => format!("pixmap-{}x{}", p.width, p.height),
+            ResourceValue::StrList(l) => l.join(","),
+            ResourceValue::Compound(segs) => segs.iter().map(|s| s.text.as_str()).collect(),
+            ResourceValue::Cursor(s) => s.clone(),
+            ResourceValue::Widget(s) => s.clone(),
+        }
+    }
+
+    /// The value's type tag.
+    pub fn res_type(&self) -> ResType {
+        match self {
+            ResourceValue::Str(_) => ResType::String,
+            ResourceValue::Int(_) => ResType::Int,
+            ResourceValue::Dim(_) => ResType::Dimension,
+            ResourceValue::Pos(_) => ResType::Position,
+            ResourceValue::Bool(_) => ResType::Boolean,
+            ResourceValue::Pixel(_) => ResType::Pixel,
+            ResourceValue::Font(_) => ResType::Font,
+            ResourceValue::Justify(_) => ResType::Justify,
+            ResourceValue::Orientation(_) => ResType::Orientation,
+            ResourceValue::Callback(_) => ResType::Callback,
+            ResourceValue::Translations(_) => ResType::Translations,
+            ResourceValue::Pixmap(_) => ResType::Pixmap,
+            ResourceValue::StrList(_) => ResType::StringList,
+            ResourceValue::Compound(_) => ResType::Compound,
+            ResourceValue::Cursor(_) => ResType::Cursor,
+            ResourceValue::Widget(_) => ResType::Widget,
+        }
+    }
+}
+
+/// One entry of a widget class's resource list (`XtResource`).
+#[derive(Debug, Clone)]
+pub struct ResourceSpec {
+    /// Instance name, e.g. `borderWidth`.
+    pub name: &'static str,
+    /// Class name, e.g. `BorderWidth`.
+    pub class: &'static str,
+    /// The resource's type.
+    pub ty: ResType,
+    /// Default value in string form, converted at initialisation.
+    pub default: &'static str,
+}
+
+impl ResourceSpec {
+    /// Shorthand constructor.
+    pub const fn new(
+        name: &'static str,
+        class: &'static str,
+        ty: ResType,
+        default: &'static str,
+    ) -> Self {
+        ResourceSpec { name, class, ty, default }
+    }
+}
+
+/// The Core resource list shared by all widgets (X11R5 core + the
+/// accelerators slot), 18 entries.
+pub fn core_resources() -> Vec<ResourceSpec> {
+    use ResType::*;
+    vec![
+        ResourceSpec::new("destroyCallback", "Callback", Callback, ""),
+        ResourceSpec::new("x", "Position", Position, "0"),
+        ResourceSpec::new("y", "Position", Position, "0"),
+        ResourceSpec::new("width", "Width", Dimension, "0"),
+        ResourceSpec::new("height", "Height", Dimension, "0"),
+        ResourceSpec::new("borderWidth", "BorderWidth", Dimension, "1"),
+        ResourceSpec::new("borderColor", "BorderColor", Pixel, "black"),
+        ResourceSpec::new("borderPixmap", "Pixmap", ResType::Pixmap, ""),
+        ResourceSpec::new("background", "Background", Pixel, "white"),
+        ResourceSpec::new("backgroundPixmap", "Pixmap", ResType::Pixmap, ""),
+        ResourceSpec::new("colormap", "Colormap", Int, "0"),
+        ResourceSpec::new("depth", "Depth", Int, "24"),
+        ResourceSpec::new("screen", "Screen", Int, "0"),
+        ResourceSpec::new("sensitive", "Sensitive", Boolean, "true"),
+        ResourceSpec::new("ancestorSensitive", "Sensitive", Boolean, "true"),
+        ResourceSpec::new("mappedWhenManaged", "MappedWhenManaged", Boolean, "true"),
+        ResourceSpec::new("translations", "Translations", Translations, ""),
+        ResourceSpec::new("accelerators", "Accelerators", Translations, ""),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_sizes() {
+        assert_eq!(ResourceValue::Str("hello".into()).tracked_size(), 5);
+        assert_eq!(ResourceValue::Int(5).tracked_size(), 0);
+        assert_eq!(ResourceValue::Bool(true).tracked_size(), 0);
+        assert_eq!(
+            ResourceValue::StrList(vec!["ab".into(), "cde".into()]).tracked_size(),
+            5
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(ResourceValue::Bool(true).to_display_string(), "True");
+        assert_eq!(ResourceValue::Dim(42).to_display_string(), "42");
+        assert_eq!(ResourceValue::Pixel(0xff0000).to_display_string(), "#ff0000");
+        assert_eq!(
+            ResourceValue::Justify(Justify::Center).to_display_string(),
+            "center"
+        );
+    }
+
+    #[test]
+    fn core_list_is_18() {
+        let core = core_resources();
+        assert_eq!(core.len(), 18);
+        assert!(core.iter().any(|r| r.name == "destroyCallback"));
+        assert!(core.iter().any(|r| r.name == "ancestorSensitive"));
+        // No duplicate names.
+        let mut names: Vec<_> = core.iter().map(|r| r.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn res_type_tags() {
+        assert_eq!(ResourceValue::Str("x".into()).res_type(), ResType::String);
+        assert_eq!(ResourceValue::Pixel(0).res_type(), ResType::Pixel);
+        assert_eq!(ResourceValue::Callback(vec![]).res_type(), ResType::Callback);
+    }
+}

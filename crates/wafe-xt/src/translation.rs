@@ -1,0 +1,564 @@
+//! The translation manager.
+//!
+//! Translation tables bind event descriptions to action sequences:
+//!
+//! ```text
+//! <EnterWindow>: PopupMenu()
+//! Shift<Key>Return: exec(echo [gV input string])
+//! <Btn1Down>: set() notify()
+//! ```
+//!
+//! Tables merge with the three Xt modes (override/augment/replace), and
+//! events match first-hit in table order — override prepends, so newly
+//! overridden bindings win.
+
+use wafe_xproto::{Event, EventKind};
+
+/// How a new table combines with a widget's existing one (`XtAugment...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// New bindings take precedence (`#override`).
+    Override,
+    /// Existing bindings take precedence (`#augment`).
+    Augment,
+    /// The new table replaces the old entirely (`#replace`).
+    Replace,
+}
+
+impl MergeMode {
+    /// Parses the Wafe `action` command's mode argument.
+    pub fn parse(s: &str) -> Option<MergeMode> {
+        match s {
+            "override" => Some(MergeMode::Override),
+            "augment" => Some(MergeMode::Augment),
+            "replace" => Some(MergeMode::Replace),
+            _ => None,
+        }
+    }
+}
+
+/// The event pattern of one translation line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventMatcher {
+    /// `<BtnDown>` / `<Btn1Down>` with optional button detail.
+    ButtonPress(Option<u8>),
+    /// `<BtnUp>` / `<Btn1Up>`.
+    ButtonRelease(Option<u8>),
+    /// `<Key>` / `<KeyPress>` with optional keysym detail.
+    KeyPress(Option<String>),
+    /// `<KeyUp>` / `<KeyRelease>`.
+    KeyRelease(Option<String>),
+    /// `<EnterWindow>` / `<Enter>`.
+    Enter,
+    /// `<LeaveWindow>` / `<Leave>`.
+    Leave,
+    /// `<Motion>` / `<PtrMoved>`.
+    Motion,
+    /// `<Expose>`.
+    Expose,
+    /// `<ConfigureNotify>`.
+    Configure,
+}
+
+/// Modifier requirements of a translation line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModifierReq {
+    /// Shift must be down.
+    pub shift: bool,
+    /// Ctrl must be down.
+    pub ctrl: bool,
+    /// Meta must be down.
+    pub meta: bool,
+    /// If true (`None<...>`), no modifiers may be down; otherwise extra
+    /// modifiers are ignored, like Xt's default "don't care" matching.
+    pub exact_none: bool,
+}
+
+/// One parsed translation: pattern plus action invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    /// Modifier requirements.
+    pub modifiers: ModifierReq,
+    /// The event pattern.
+    pub matcher: EventMatcher,
+    /// Actions to fire: `(name, args)` in sequence.
+    pub actions: Vec<(String, Vec<String>)>,
+}
+
+/// A widget's translation table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationTable {
+    /// The translations, first match wins.
+    pub entries: Vec<Translation>,
+}
+
+impl TranslationTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a translation table from its textual form. Lines are
+    /// separated by newlines; a leading `#override`/`#augment`/`#replace`
+    /// directive line is permitted and ignored here (the merge mode comes
+    /// from the caller). Malformed lines produce an error naming the line.
+    pub fn parse(text: &str) -> Result<TranslationTable, String> {
+        let mut entries = Vec::new();
+        for raw in text.lines() {
+            let line = raw.trim().trim_end_matches("\\n\\").trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('!') {
+                continue;
+            }
+            entries.push(parse_line(line)?);
+        }
+        Ok(TranslationTable { entries })
+    }
+
+    /// Merges `new` into `self` with the given mode.
+    pub fn merge(&mut self, new: TranslationTable, mode: MergeMode) {
+        match mode {
+            MergeMode::Replace => *self = new,
+            MergeMode::Override => {
+                // New entries take precedence: prepend, and drop old
+                // entries with an identical pattern.
+                let mut merged = new.entries;
+                for old in self.entries.drain(..) {
+                    if !merged
+                        .iter()
+                        .any(|n| n.matcher == old.matcher && n.modifiers == old.modifiers)
+                    {
+                        merged.push(old);
+                    }
+                }
+                self.entries = merged;
+            }
+            MergeMode::Augment => {
+                for n in new.entries {
+                    if !self
+                        .entries
+                        .iter()
+                        .any(|o| o.matcher == n.matcher && o.modifiers == n.modifiers)
+                    {
+                        self.entries.push(n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finds the actions bound to an event, if any.
+    pub fn lookup(&self, event: &Event) -> Option<&[(String, Vec<String>)]> {
+        self.entries
+            .iter()
+            .find(|t| matches(t, event))
+            .map(|t| t.actions.as_slice())
+    }
+
+    /// Logical size for memory accounting.
+    pub fn tracked_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|t| {
+                t.actions
+                    .iter()
+                    .map(|(n, a)| n.len() + a.iter().map(String::len).sum::<usize>())
+                    .sum::<usize>()
+                    + 16
+            })
+            .sum()
+    }
+
+    /// Renders the table back to text (for `getValues translations`).
+    pub fn to_display_string(&self) -> String {
+        self.entries
+            .iter()
+            .map(|t| {
+                let ev = match &t.matcher {
+                    EventMatcher::ButtonPress(None) => "<BtnDown>".to_string(),
+                    EventMatcher::ButtonPress(Some(b)) => format!("<Btn{b}Down>"),
+                    EventMatcher::ButtonRelease(None) => "<BtnUp>".to_string(),
+                    EventMatcher::ButtonRelease(Some(b)) => format!("<Btn{b}Up>"),
+                    EventMatcher::KeyPress(None) => "<Key>".to_string(),
+                    EventMatcher::KeyPress(Some(k)) => format!("<Key>{k}"),
+                    EventMatcher::KeyRelease(None) => "<KeyUp>".to_string(),
+                    EventMatcher::KeyRelease(Some(k)) => format!("<KeyUp>{k}"),
+                    EventMatcher::Enter => "<EnterWindow>".to_string(),
+                    EventMatcher::Leave => "<LeaveWindow>".to_string(),
+                    EventMatcher::Motion => "<Motion>".to_string(),
+                    EventMatcher::Expose => "<Expose>".to_string(),
+                    EventMatcher::Configure => "<Configure>".to_string(),
+                };
+                let mods = {
+                    let mut m = String::new();
+                    if t.modifiers.exact_none {
+                        m.push_str("None");
+                    }
+                    if t.modifiers.shift {
+                        m.push_str("Shift");
+                    }
+                    if t.modifiers.ctrl {
+                        m.push_str("Ctrl");
+                    }
+                    if t.modifiers.meta {
+                        m.push_str("Meta");
+                    }
+                    m
+                };
+                let acts = t
+                    .actions
+                    .iter()
+                    .map(|(n, a)| format!("{n}({})", a.join(",")))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                format!("{mods}{ev}: {acts}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn matches(t: &Translation, e: &Event) -> bool {
+    let mods_ok = {
+        let m = e.modifiers;
+        if t.modifiers.exact_none {
+            !m.shift && !m.control && !m.meta
+        } else {
+            (!t.modifiers.shift || m.shift)
+                && (!t.modifiers.ctrl || m.control)
+                && (!t.modifiers.meta || m.meta)
+        }
+    };
+    if !mods_ok {
+        return false;
+    }
+    match (&t.matcher, e.kind) {
+        (EventMatcher::ButtonPress(det), EventKind::ButtonPress) => {
+            det.map(|d| d == e.button).unwrap_or(true)
+        }
+        (EventMatcher::ButtonRelease(det), EventKind::ButtonRelease) => {
+            det.map(|d| d == e.button).unwrap_or(true)
+        }
+        (EventMatcher::KeyPress(det), EventKind::KeyPress) => det
+            .as_ref()
+            .map(|d| d.eq_ignore_ascii_case(&e.keysym))
+            .unwrap_or(true),
+        (EventMatcher::KeyRelease(det), EventKind::KeyRelease) => det
+            .as_ref()
+            .map(|d| d.eq_ignore_ascii_case(&e.keysym))
+            .unwrap_or(true),
+        (EventMatcher::Enter, EventKind::EnterNotify) => true,
+        (EventMatcher::Leave, EventKind::LeaveNotify) => true,
+        (EventMatcher::Motion, EventKind::MotionNotify) => true,
+        (EventMatcher::Expose, EventKind::Expose) => true,
+        (EventMatcher::Configure, EventKind::ConfigureNotify) => true,
+        _ => false,
+    }
+}
+
+/// Parses one `mods<Event>detail: actions` line.
+fn parse_line(line: &str) -> Result<Translation, String> {
+    let lt = line
+        .find('<')
+        .ok_or_else(|| format!("translation line has no event: \"{line}\""))?;
+    let gt = line[lt..]
+        .find('>')
+        .map(|i| i + lt)
+        .ok_or_else(|| format!("unterminated event in \"{line}\""))?;
+    let mods_text = line[..lt].trim();
+    let event_name = &line[lt + 1..gt];
+    let rest = &line[gt + 1..];
+    let colon = rest
+        .find(':')
+        .ok_or_else(|| format!("translation line has no colon: \"{line}\""))?;
+    let detail = rest[..colon].trim();
+    let actions_text = rest[colon + 1..].trim();
+
+    let mut modifiers = ModifierReq::default();
+    for tok in mods_text
+        .split(|c: char| c.is_whitespace() || c == '~')
+        .filter(|t| !t.is_empty())
+    {
+        match tok {
+            "Shift" => modifiers.shift = true,
+            "Ctrl" | "Control" => modifiers.ctrl = true,
+            "Meta" | "Alt" | "Mod1" => modifiers.meta = true,
+            "None" => modifiers.exact_none = true,
+            "Any" => {}
+            other => return Err(format!("unknown modifier \"{other}\" in \"{line}\"")),
+        }
+    }
+
+    let matcher = match event_name {
+        "BtnDown" | "ButtonPress" => EventMatcher::ButtonPress(parse_button_detail(detail)),
+        "Btn1Down" => EventMatcher::ButtonPress(Some(1)),
+        "Btn2Down" => EventMatcher::ButtonPress(Some(2)),
+        "Btn3Down" => EventMatcher::ButtonPress(Some(3)),
+        "Btn4Down" => EventMatcher::ButtonPress(Some(4)),
+        "Btn5Down" => EventMatcher::ButtonPress(Some(5)),
+        "BtnUp" | "ButtonRelease" => EventMatcher::ButtonRelease(parse_button_detail(detail)),
+        "Btn1Up" => EventMatcher::ButtonRelease(Some(1)),
+        "Btn2Up" => EventMatcher::ButtonRelease(Some(2)),
+        "Btn3Up" => EventMatcher::ButtonRelease(Some(3)),
+        "Key" | "KeyPress" | "KeyDown" => EventMatcher::KeyPress(if detail.is_empty() {
+            None
+        } else {
+            Some(detail.to_string())
+        }),
+        "KeyUp" | "KeyRelease" => EventMatcher::KeyRelease(if detail.is_empty() {
+            None
+        } else {
+            Some(detail.to_string())
+        }),
+        "EnterWindow" | "Enter" | "EnterNotify" => EventMatcher::Enter,
+        "LeaveWindow" | "Leave" | "LeaveNotify" => EventMatcher::Leave,
+        "Motion" | "MotionNotify" | "PtrMoved" | "BtnMotion" => EventMatcher::Motion,
+        "Expose" => EventMatcher::Expose,
+        "Configure" | "ConfigureNotify" => EventMatcher::Configure,
+        other => return Err(format!("unknown event type \"<{other}>\" in \"{line}\"")),
+    };
+
+    let actions = parse_actions(actions_text)?;
+    if actions.is_empty() {
+        return Err(format!("translation line has no actions: \"{line}\""));
+    }
+    Ok(Translation { modifiers, matcher, actions })
+}
+
+fn parse_button_detail(detail: &str) -> Option<u8> {
+    let d = detail.trim();
+    if d.is_empty() {
+        None
+    } else {
+        d.parse().ok()
+    }
+}
+
+/// Parses `name1(args) name2() name3(a, b)`. Arguments split on
+/// top-level commas only, so `exec(echo %k %a %s)` keeps its one
+/// argument intact.
+fn parse_actions(text: &str) -> Result<Vec<(String, Vec<String>)>, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= chars.len() {
+            break;
+        }
+        let start = i;
+        while i < chars.len() && chars[i] != '(' && !chars[i].is_whitespace() {
+            i += 1;
+        }
+        let name: String = chars[start..i].iter().collect();
+        if name.is_empty() {
+            return Err(format!("malformed action list \"{text}\""));
+        }
+        let mut args = Vec::new();
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i < chars.len() && chars[i] == '(' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut cur = String::new();
+            let mut any = false;
+            while i < chars.len() && depth > 0 {
+                match chars[i] {
+                    '(' => {
+                        depth += 1;
+                        cur.push('(');
+                    }
+                    ')' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            cur.push(')');
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        args.push(cur.trim().to_string());
+                        any = true;
+                        cur.clear();
+                    }
+                    c => cur.push(c),
+                }
+                i += 1;
+            }
+            if depth != 0 {
+                return Err(format!("missing \")\" in action list \"{text}\""));
+            }
+            let last = cur.trim().to_string();
+            if !last.is_empty() || any {
+                args.push(last);
+            }
+        }
+        out.push((name, args));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wafe_xproto::{Modifiers, WindowId};
+
+    fn ev(kind: EventKind) -> Event {
+        Event::new(kind, WindowId(1))
+    }
+
+    #[test]
+    fn parse_enter_window_popup_menu() {
+        // Straight from the paper's MenuButton example.
+        let t = TranslationTable::parse("<EnterWindow>: PopupMenu()").unwrap();
+        assert_eq!(t.entries.len(), 1);
+        assert_eq!(t.entries[0].matcher, EventMatcher::Enter);
+        assert_eq!(t.entries[0].actions, vec![("PopupMenu".to_string(), vec![])]);
+        assert!(t.lookup(&ev(EventKind::EnterNotify)).is_some());
+        assert!(t.lookup(&ev(EventKind::LeaveNotify)).is_none());
+    }
+
+    #[test]
+    fn parse_exec_with_percent_codes() {
+        // The paper's xev example: {<KeyPress>: exec(echo %k %a %s)}.
+        let t = TranslationTable::parse("<KeyPress>: exec(echo %k %a %s)").unwrap();
+        let a = &t.entries[0].actions[0];
+        assert_eq!(a.0, "exec");
+        assert_eq!(a.1, vec!["echo %k %a %s".to_string()]);
+    }
+
+    #[test]
+    fn parse_key_detail() {
+        // The paper's prime-factors example: <Key>Return.
+        let t = TranslationTable::parse("<Key>Return: exec(echo [gV input string])").unwrap();
+        assert_eq!(
+            t.entries[0].matcher,
+            EventMatcher::KeyPress(Some("Return".into()))
+        );
+        let mut e = ev(EventKind::KeyPress);
+        e.keysym = "Return".into();
+        assert!(t.lookup(&e).is_some());
+        e.keysym = "a".into();
+        assert!(t.lookup(&e).is_none());
+    }
+
+    #[test]
+    fn parse_multiple_actions_and_lines() {
+        let t = TranslationTable::parse("<Btn1Down>: set() notify()\n<Btn1Up>: unset()").unwrap();
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].actions.len(), 2);
+        let mut e = ev(EventKind::ButtonPress);
+        e.button = 1;
+        assert_eq!(t.lookup(&e).unwrap().len(), 2);
+        e.button = 2;
+        assert!(t.lookup(&e).is_none());
+    }
+
+    #[test]
+    fn modifiers() {
+        let t = TranslationTable::parse("Shift<Key>Return: exec(shifted)").unwrap();
+        let mut e = ev(EventKind::KeyPress);
+        e.keysym = "Return".into();
+        assert!(t.lookup(&e).is_none());
+        e.modifiers = Modifiers::SHIFT;
+        assert!(t.lookup(&e).is_some());
+        // Ctrl+Meta.
+        let t2 = TranslationTable::parse("Ctrl Meta<Key>x: exec(cm)").unwrap();
+        let mut e2 = ev(EventKind::KeyPress);
+        e2.keysym = "x".into();
+        e2.modifiers = Modifiers { shift: false, control: true, meta: true };
+        assert!(t2.lookup(&e2).is_some());
+        e2.modifiers = Modifiers { shift: false, control: true, meta: false };
+        assert!(t2.lookup(&e2).is_none());
+    }
+
+    #[test]
+    fn none_modifier_requires_exactly_none() {
+        let t = TranslationTable::parse("None<Key>a: exec(plain)").unwrap();
+        let mut e = ev(EventKind::KeyPress);
+        e.keysym = "a".into();
+        assert!(t.lookup(&e).is_some());
+        e.modifiers = Modifiers::SHIFT;
+        assert!(t.lookup(&e).is_none());
+    }
+
+    #[test]
+    fn merge_override() {
+        let mut base = TranslationTable::parse("<Btn1Down>: old()\n<Btn2Down>: keep()").unwrap();
+        let new = TranslationTable::parse("<Btn1Down>: new()").unwrap();
+        base.merge(new, MergeMode::Override);
+        let mut e = ev(EventKind::ButtonPress);
+        e.button = 1;
+        assert_eq!(base.lookup(&e).unwrap()[0].0, "new");
+        e.button = 2;
+        assert_eq!(base.lookup(&e).unwrap()[0].0, "keep");
+    }
+
+    #[test]
+    fn merge_augment_keeps_existing() {
+        let mut base = TranslationTable::parse("<Btn1Down>: old()").unwrap();
+        let new = TranslationTable::parse("<Btn1Down>: new()\n<Btn3Down>: add()").unwrap();
+        base.merge(new, MergeMode::Augment);
+        let mut e = ev(EventKind::ButtonPress);
+        e.button = 1;
+        assert_eq!(base.lookup(&e).unwrap()[0].0, "old");
+        e.button = 3;
+        assert_eq!(base.lookup(&e).unwrap()[0].0, "add");
+    }
+
+    #[test]
+    fn merge_replace() {
+        let mut base = TranslationTable::parse("<Btn1Down>: old()").unwrap();
+        let new = TranslationTable::parse("<Btn2Down>: only()").unwrap();
+        base.merge(new, MergeMode::Replace);
+        let mut e = ev(EventKind::ButtonPress);
+        e.button = 1;
+        assert!(base.lookup(&e).is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(TranslationTable::parse("no event here: act()").is_err());
+        assert!(TranslationTable::parse("<NoSuchEvent>: act()").is_err());
+        assert!(TranslationTable::parse("<Key>x act()").is_err());
+        assert!(TranslationTable::parse("<Key>x:").is_err());
+        assert!(TranslationTable::parse("<Key>x: act(unclosed").is_err());
+        assert!(TranslationTable::parse("Bogus<Key>x: act()").is_err());
+    }
+
+    #[test]
+    fn comment_and_directive_lines_skipped() {
+        let t = TranslationTable::parse("#override\n! comment\n<Key>a: x()").unwrap();
+        assert_eq!(t.entries.len(), 1);
+    }
+
+    #[test]
+    fn args_with_commas_split() {
+        let t = TranslationTable::parse("<Key>a: move(1, 2, 3)").unwrap();
+        assert_eq!(t.entries[0].actions[0].1, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn empty_parens_no_args() {
+        let t = TranslationTable::parse("<Key>a: fire()").unwrap();
+        assert!(t.entries[0].actions[0].1.is_empty());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let t = TranslationTable::parse("<Key>Return: special()\n<Key>: generic()").unwrap();
+        let mut e = ev(EventKind::KeyPress);
+        e.keysym = "Return".into();
+        assert_eq!(t.lookup(&e).unwrap()[0].0, "special");
+        e.keysym = "q".into();
+        assert_eq!(t.lookup(&e).unwrap()[0].0, "generic");
+    }
+
+    #[test]
+    fn display_string_roundtrip() {
+        let t = TranslationTable::parse("Shift<Key>Return: exec(x) beep()").unwrap();
+        let s = t.to_display_string();
+        let t2 = TranslationTable::parse(&s).unwrap();
+        assert_eq!(t, t2);
+    }
+}

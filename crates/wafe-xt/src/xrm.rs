@@ -1,0 +1,343 @@
+//! The Xrm resource database.
+//!
+//! Specification lines look like `*Font: fixed` or
+//! `wafe.topLevel.form.label.foreground: blue`. Each component matches a
+//! widget's instance *name* or its *class*; a loose binding (`*`) skips
+//! any number of levels. Queries resolve by the X precedence rules:
+//! more-specific entries win, tight beats loose, name beats class, and
+//! among equal matches the latest insertion wins (which is what makes
+//! `mergeResources` an override mechanism).
+
+/// Binding preceding a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// `.` — exactly one level.
+    Tight,
+    /// `*` — any number of levels.
+    Loose,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    components: Vec<(Binding, String)>,
+    value: String,
+    serial: u64,
+}
+
+/// The resource database.
+#[derive(Debug, Default, Clone)]
+pub struct XrmDb {
+    entries: Vec<Entry>,
+    next_serial: u64,
+}
+
+impl XrmDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of specification lines stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no specifications are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses and inserts one specification line (`binding-list: value`).
+    ///
+    /// Returns false for malformed lines (no colon, empty key).
+    pub fn insert_line(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('!') {
+            return false;
+        }
+        let colon = match line.find(':') {
+            Some(c) => c,
+            None => return false,
+        };
+        let (key, value) = line.split_at(colon);
+        let value = value[1..].trim().to_string();
+        let components = match parse_key(key.trim()) {
+            Some(c) if !c.is_empty() => c,
+            _ => return false,
+        };
+        self.entries.push(Entry { components, value, serial: self.next_serial });
+        self.next_serial += 1;
+        true
+    }
+
+    /// Inserts a key/value with an explicit pre-parsed key, e.g.
+    /// `("*", "Font")` pairs. Convenience for tests.
+    pub fn insert(&mut self, key: &str, value: &str) -> bool {
+        self.insert_line(&format!("{key}: {value}"))
+    }
+
+    /// Merges a multi-line resource text (resource-file format).
+    /// Returns how many lines were accepted.
+    pub fn merge_text(&mut self, text: &str) -> usize {
+        let mut n = 0;
+        for line in text.lines() {
+            if self.insert_line(line) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Looks up the value for a widget described by its full instance
+    /// name path and class path, plus the resource name and class.
+    ///
+    /// `names` and `classes` run from the application shell down to the
+    /// widget itself and must have equal length. The resource name/class
+    /// forms the final component of the query.
+    pub fn query(
+        &self,
+        names: &[&str],
+        classes: &[&str],
+        res_name: &str,
+        res_class: &str,
+    ) -> Option<String> {
+        debug_assert_eq!(names.len(), classes.len());
+        let mut qnames: Vec<&str> = names.to_vec();
+        qnames.push(res_name);
+        let mut qclasses: Vec<&str> = classes.to_vec();
+        qclasses.push(res_class);
+        let mut best: Option<(Vec<u8>, u64, &str)> = None;
+        for e in &self.entries {
+            if let Some(score) = match_entry(&e.components, &qnames, &qclasses) {
+                let candidate = (score, e.serial, e.value.as_str());
+                best = Some(match best {
+                    None => candidate,
+                    Some(b) => {
+                        // Higher score wins; ties resolved by later serial.
+                        if candidate.0 > b.0 || (candidate.0 == b.0 && candidate.1 > b.1) {
+                            candidate
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        best.map(|(_, _, v)| v.to_string())
+    }
+}
+
+/// Parses the key part: components separated by `.` or `*`.
+fn parse_key(key: &str) -> Option<Vec<(Binding, String)>> {
+    let mut out = Vec::new();
+    let mut binding = Binding::Tight;
+    let mut cur = String::new();
+    for c in key.chars() {
+        match c {
+            '.' | '*' => {
+                if !cur.is_empty() {
+                    out.push((binding, std::mem::take(&mut cur)));
+                }
+                binding = if c == '*' { Binding::Loose } else { Binding::Tight };
+                // `**` or `*.` collapse to loose.
+                if c == '*' {
+                    binding = Binding::Loose;
+                }
+            }
+            c if c.is_whitespace() => return None,
+            c => cur.push(c),
+        }
+    }
+    if cur.is_empty() {
+        return None;
+    }
+    out.push((binding, cur));
+    Some(out)
+}
+
+/// Matches entry components against the query levels; on success returns
+/// a per-level score vector (lexicographically comparable, more-specific
+/// wins). Per level: 3 = name match via tight binding, 2 = class match
+/// via tight binding, 1 = matched via loose skip path.
+fn match_entry(components: &[(Binding, String)], names: &[&str], classes: &[&str]) -> Option<Vec<u8>> {
+    fn rec(
+        comps: &[(Binding, String)],
+        names: &[&str],
+        classes: &[&str],
+        level: usize,
+        score: &mut Vec<u8>,
+        best: &mut Option<Vec<u8>>,
+    ) {
+        if comps.is_empty() {
+            if level == names.len() {
+                let cand = score.clone();
+                if best.as_ref().map(|b| &cand > b).unwrap_or(true) {
+                    *best = Some(cand);
+                }
+            }
+            return;
+        }
+        if level >= names.len() {
+            return;
+        }
+        let (binding, comp) = &comps[0];
+        // Try to match this component at the current level.
+        let name_hit = comp == names[level] || comp == "?";
+        let class_hit = comp == classes[level];
+        if name_hit || class_hit {
+            let pts = if name_hit { 3 } else { 2 };
+            score.push(pts);
+            rec(&comps[1..], names, classes, level + 1, score, best);
+            score.pop();
+        }
+        // Loose binding may also skip this level entirely.
+        if *binding == Binding::Loose {
+            score.push(1);
+            rec(comps, names, classes, level + 1, score, best);
+            score.pop();
+        }
+    }
+    // The first component's binding is conceptually preceded by the root:
+    // a tight first binding must match level 0; loose may skip.
+    let mut best = None;
+    let mut score = Vec::new();
+    rec(components, names, classes, 0, &mut score, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(db: &XrmDb, path: &str, classes: &str, res: &str, res_class: &str) -> Option<String> {
+        let names: Vec<&str> = path.split('.').collect();
+        let cls: Vec<&str> = classes.split('.').collect();
+        db.query(&names, &cls, res, res_class)
+    }
+
+    #[test]
+    fn loose_binding_matches_any_depth() {
+        let mut db = XrmDb::new();
+        db.insert("*Font", "fixed");
+        assert_eq!(
+            q(&db, "wafe.topLevel.form.label", "Wafe.TopLevelShell.Form.Label", "font", "Font"),
+            Some("fixed".into())
+        );
+        assert_eq!(
+            q(&db, "wafe", "Wafe", "font", "Font"),
+            Some("fixed".into())
+        );
+    }
+
+    #[test]
+    fn paper_merge_resources_example() {
+        // The paper: *Font fixed, *foreground blue, *background red apply
+        // to every widget created in the application.
+        let mut db = XrmDb::new();
+        db.merge_text("*Font: fixed\n*foreground: blue\n*background: red");
+        assert_eq!(db.len(), 3);
+        for widget in ["wafe.topLevel.hello", "wafe.topLevel.form.deep.label"] {
+            let classes = "Wafe.TopLevelShell.Label";
+            let _ = classes;
+            let names: Vec<&str> = widget.split('.').collect();
+            let cls: Vec<&str> = names.iter().map(|_| "Any").collect();
+            assert_eq!(db.query(&names, &cls, "foreground", "Foreground"), Some("blue".into()));
+            assert_eq!(db.query(&names, &cls, "background", "Background"), Some("red".into()));
+        }
+    }
+
+    #[test]
+    fn instance_beats_class() {
+        let mut db = XrmDb::new();
+        db.insert("*Label.foreground", "classval");
+        db.insert("*mylabel.foreground", "nameval");
+        assert_eq!(
+            q(&db, "app.top.mylabel", "App.Shell.Label", "foreground", "Foreground"),
+            Some("nameval".into())
+        );
+    }
+
+    #[test]
+    fn more_specific_beats_less_specific() {
+        let mut db = XrmDb::new();
+        db.insert("*foreground", "loose");
+        db.insert("app.top.l.foreground", "tight");
+        assert_eq!(
+            q(&db, "app.top.l", "App.Shell.Label", "foreground", "Foreground"),
+            Some("tight".into())
+        );
+    }
+
+    #[test]
+    fn later_insertion_wins_ties() {
+        let mut db = XrmDb::new();
+        db.insert("*background", "first");
+        db.insert("*background", "second");
+        assert_eq!(
+            q(&db, "app.w", "App.Widget", "background", "Background"),
+            Some("second".into())
+        );
+    }
+
+    #[test]
+    fn tight_binding_must_match_level() {
+        let mut db = XrmDb::new();
+        db.insert("app.label.foreground", "v");
+        // Path has an extra level: tight chain cannot skip it.
+        assert_eq!(
+            q(&db, "app.box.label", "App.Box.Label", "foreground", "Foreground"),
+            None
+        );
+        assert_eq!(
+            q(&db, "app.label", "App.Label", "foreground", "Foreground"),
+            Some("v".into())
+        );
+    }
+
+    #[test]
+    fn resource_class_matching() {
+        let mut db = XrmDb::new();
+        db.insert("*Foreground", "viaclass");
+        assert_eq!(
+            q(&db, "app.l", "App.Label", "foreground", "Foreground"),
+            Some("viaclass".into())
+        );
+    }
+
+    #[test]
+    fn question_mark_matches_any_name() {
+        let mut db = XrmDb::new();
+        db.insert("app.?.foreground", "v");
+        assert_eq!(
+            q(&db, "app.anything", "App.Label", "foreground", "Foreground"),
+            Some("v".into())
+        );
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let mut db = XrmDb::new();
+        assert!(!db.insert_line("no colon here"));
+        assert!(!db.insert_line(": novalue"));
+        assert!(!db.insert_line(""));
+        assert!(!db.insert_line("! comment: line"));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let mut db = XrmDb::new();
+        db.insert("*font", "fixed");
+        assert_eq!(q(&db, "a.b", "A.B", "foreground", "Foreground"), None);
+    }
+
+    #[test]
+    fn value_with_spaces_kept() {
+        let mut db = XrmDb::new();
+        db.insert_line("*label: Hello World ");
+        assert_eq!(
+            q(&db, "a.l", "A.Label", "label", "Label"),
+            Some("Hello World".into())
+        );
+    }
+}

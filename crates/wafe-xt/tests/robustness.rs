@@ -1,0 +1,125 @@
+//! Robustness and invariants of the Intrinsics layer: converter and
+//! translation parsers never panic; Xrm precedence is monotone; the
+//! widget tree stays consistent under random create/destroy sequences.
+
+use proptest::prelude::*;
+use wafe_xproto::font::FontDb;
+use wafe_xt::converter::{ConvertCtx, ConverterRegistry};
+use wafe_xt::resource::ResType;
+use wafe_xt::translation::TranslationTable;
+use wafe_xt::widget::core_class;
+use wafe_xt::xrm::XrmDb;
+use wafe_xt::XtApp;
+
+proptest! {
+    /// Every converter accepts arbitrary input without panicking.
+    #[test]
+    fn converters_never_panic(value in ".{0,40}") {
+        let fonts = FontDb::new();
+        let reg = ConverterRegistry::new();
+        for ty in [
+            ResType::String, ResType::Int, ResType::Dimension, ResType::Position,
+            ResType::Boolean, ResType::Pixel, ResType::Font, ResType::Justify,
+            ResType::Orientation, ResType::Callback, ResType::Translations,
+            ResType::StringList, ResType::Compound, ResType::Cursor, ResType::Widget,
+        ] {
+            let _ = reg.convert(ty, &value, &ConvertCtx { fonts: &fonts });
+        }
+    }
+
+    /// The translation parser never panics on arbitrary text.
+    #[test]
+    fn translation_parse_never_panics(text in "[<>a-zA-Z0-9():,%~! \\n]{0,60}") {
+        let _ = TranslationTable::parse(&text);
+    }
+
+    /// Xrm: inserting more entries never makes an existing exact match
+    /// disappear (precedence is monotone in specificity).
+    #[test]
+    fn xrm_monotone(extra in proptest::collection::vec("[a-z]{1,6}", 0..10)) {
+        let mut db = XrmDb::new();
+        db.insert("app.top.leaf.foreground", "exact");
+        for (i, name) in extra.iter().enumerate() {
+            db.insert(&format!("*{name}{i}.foreground"), "noise");
+        }
+        let got = db.query(
+            &["app", "top", "leaf"],
+            &["App", "Shell", "Label"],
+            "foreground",
+            "Foreground",
+        );
+        prop_assert_eq!(got, Some("exact".to_string()));
+    }
+
+    /// Random create/destroy interleavings keep widget count and memory
+    /// accounting consistent.
+    #[test]
+    fn tree_consistency(ops in proptest::collection::vec((0u8..2, 0u8..8), 1..40)) {
+        let mut app = XtApp::new();
+        app.register_class(core_class("Shell", true, true));
+        app.register_class(core_class("Core", false, false));
+        let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+        let mut live: Vec<String> = Vec::new();
+        let mut seq = 0usize;
+        for (op, pick) in ops {
+            if op == 0 || live.is_empty() {
+                let name = format!("w{seq}");
+                seq += 1;
+                app.create_widget(&name, "Core", Some(top), 0, &[], true).unwrap();
+                live.push(name);
+            } else {
+                let name = live.remove(pick as usize % live.len());
+                let id = app.lookup(&name).unwrap();
+                app.destroy_widget(id);
+            }
+            prop_assert_eq!(app.widget_count(), live.len() + 1);
+        }
+        app.destroy_widget(top);
+        prop_assert_eq!(app.widget_count(), 0);
+        prop_assert_eq!(app.memstats.current(), 0);
+    }
+}
+
+#[test]
+fn xrm_query_with_empty_db_and_paths() {
+    let db = XrmDb::new();
+    assert_eq!(db.query(&[], &[], "foreground", "Foreground"), None);
+    let mut db = XrmDb::new();
+    db.insert("*foreground", "red");
+    // Query with only the resource level.
+    assert_eq!(db.query(&[], &[], "foreground", "Foreground"), Some("red".into()));
+}
+
+#[test]
+fn stale_widget_operations_are_safe() {
+    let mut app = XtApp::new();
+    app.register_class(core_class("Shell", true, true));
+    let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+    app.destroy_widget(top);
+    // Operations on the stale id must not panic.
+    app.destroy_widget(top);
+    assert!(!app.is_alive(top));
+    assert!(!app.is_realized(top));
+    assert!(app.set_resource(top, "width", "10").is_err());
+    assert!(app.get_resource_string(top, "width").is_err());
+    app.call_callbacks(top, "destroyCallback", Default::default());
+    assert_eq!(app.pending_host_calls(), 0);
+}
+
+#[test]
+fn deep_widget_tree_layout_terminates() {
+    let mut app = XtApp::new();
+    app.register_class(core_class("Shell", true, true));
+    app.register_class(core_class("Box", false, true));
+    let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+    let mut parent = top;
+    for i in 0..120 {
+        parent = app
+            .create_widget(&format!("n{i}"), "Box", Some(parent), 0, &[], true)
+            .unwrap();
+    }
+    app.realize(top);
+    assert!(app.is_realized(parent));
+    app.destroy_widget(top);
+    assert_eq!(app.memstats.current(), 0);
+}

@@ -1,0 +1,27 @@
+//! Quickstart: the paper's "Wafe new World" file-mode script, run
+//! in-process, clicked by a synthetic user, and screenshotted.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wafe::core::{Flavor, WafeSession};
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+
+    // The file-mode script of Figure 4, verbatim.
+    let script = "#!/usr/bin/X11/wafe --f\n\
+                  command hello topLevel \\\n\
+                      label \"Wafe new World\" \\\n\
+                      callback \"echo Goodbye; quit\"\n\
+                  realize\n";
+    session.run_file_text(script).expect("script runs");
+
+    println!("--- widget tree realized; screen: ---");
+    println!("{}", session.eval("snapshot 0 0 240 60").unwrap());
+
+    // A synthetic user clicks the button.
+    wafe::click_widget(&mut session, "hello");
+    print!("{}", session.take_output());
+    assert!(session.quit_requested());
+    println!("(quit requested — exactly what the callback script asked for)");
+}

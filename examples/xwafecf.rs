@@ -1,0 +1,81 @@
+//! `xwafecf` — the "simple read-only card filer" of the Wafe
+//! distribution: a scrollable card list, a card display, and a lookup
+//! dialog. Exercises Viewport + Scrollbar wiring and the Dialog widget.
+//!
+//! Run with `cargo run --example xwafecf`.
+
+use wafe::core::{Flavor, WafeSession};
+
+const CARDS: &[(&str, &str)] = &[
+    ("neumann", "Gustaf Neumann\nVienna University of Economics\nneumann@wu-wien.ac.at"),
+    ("nusser", "Stefan Nusser\nVienna University of Economics\nnusser@wu-wien.ac.at"),
+    ("wafe", "Wafe 0.93\nftp.wu-wien.ac.at:pub/src/X11/wafe\n(137.208.3.4)"),
+    ("tcl", "Tcl - Tool command language\nJohn K. Ousterhout\nUC Berkeley"),
+];
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+    let names: Vec<&str> = CARDS.iter().map(|(n, _)| *n).collect();
+    session
+        .eval(&format!(
+            "form cf topLevel\n\
+             label title cf label {{xwafecf — card filer}} borderWidth 0\n\
+             scrollbar sb cf fromVert title length 120\n\
+             viewport vp cf fromVert title fromHoriz sb width 140 height 120\n\
+             list cards vp list {{{}}}\n\
+             asciiText card cf fromVert title fromHoriz vp editType read width 260 height 120\n\
+             command lookup cf fromVert vp label {{Lookup...}}\n\
+             command quitb cf fromVert vp fromHoriz lookup label Quit callback quit\n\
+             sV sb jumpProc {{viewportSetCoordinates vp 0 [expr {{%t * 60 / 1000}}]}}\n\
+             sV cards callback {{echo show %i}}\n\
+             sV lookup callback {{echo lookup}}\n\
+             realize",
+            names.join(",")
+        ))
+        .expect("card filer UI builds");
+
+    // A scripted user flips through every card.
+    for (i, (name, body)) in CARDS.iter().enumerate() {
+        session.eval(&format!("listHighlight cards {i}")).unwrap();
+        {
+            let mut app = session.app.borrow_mut();
+            let l = app.lookup("cards").unwrap();
+            let ev = wafe::xproto::Event::new(
+                wafe::xproto::EventKind::ButtonRelease,
+                wafe::xproto::WindowId(0),
+            );
+            app.run_action(l, "Notify", &[], &ev);
+        }
+        session.pump();
+        let out = session.take_output();
+        assert_eq!(out.trim(), format!("show {i}"));
+        session.eval(&format!("sV card string {{{body}}}")).unwrap();
+        println!("card {i}: {name}");
+    }
+
+    // The lookup dialog (a transient shell with a Dialog inside).
+    session.eval("transientShell dlgshell topLevel x 400 y 200").unwrap();
+    // A non-empty `value` makes the Dialog grow its editable value field
+    // (Xaw semantics: NULL means "no value area"); clear it afterwards.
+    session
+        .eval("dialog dlg dlgshell label {Lookup card:} value {x}")
+        .unwrap();
+    session.eval("sV dlg.value string {}").unwrap();
+    session.eval("dialogAddButton dlg ok {echo lookup-ok}").unwrap();
+    session.eval("dialogAddButton dlg cancel {popdown dlgshell}").unwrap();
+    session.eval("callback lookup callback exclusive dlgshell").unwrap();
+    wafe::click_widget(&mut session, "lookup");
+    let out = session.take_output();
+    assert_eq!(out.trim(), "lookup");
+    assert!(session.app.borrow().is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
+    // Type a name into the dialog's value field and confirm.
+    wafe::type_into_widget(&mut session, "dlg.value", "tcl");
+    let typed = session.eval("dialogGetValueString dlg").unwrap();
+    println!("dialog value typed: {typed}");
+    assert_eq!(typed, "tcl");
+    wafe::click_widget(&mut session, "dlg.cancel");
+    assert!(!session.app.borrow().is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
+
+    println!("\n--- final card filer ---");
+    println!("{}", session.eval("snapshot 0 0 440 220").unwrap());
+}

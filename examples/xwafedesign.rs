@@ -1,0 +1,54 @@
+//! `xwafedesign` — the interactive design program for Wafe applications
+//! (Figure 6), reproduced: it builds a sample UI *and* shows that UI's
+//! widget tree as a graph, using the TreeGraph layout widget (the
+//! XmGraph stand-in of Figure 2).
+//!
+//! Run with `cargo run --example xwafedesign`.
+
+use wafe::core::{Flavor, WafeSession};
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+
+    // The UI under design: a small mail-reader-ish window.
+    session
+        .eval(
+            "form design topLevel\n\
+             label title design label {Design: xwafemail} borderWidth 0\n\
+             list folders design fromVert title list {inbox,outbox,drafts}\n\
+             asciiText body design fromVert title fromHoriz folders editType edit width 160\n\
+             command send design label Send fromVert folders\n\
+             command quitb design label Quit fromVert folders fromHoriz send callback quit\n\
+             realize",
+        )
+        .expect("design UI builds");
+
+    // The design tool inspects the live widget tree through the same
+    // introspection commands any Wafe script could use…
+    let widgets = ["design", "title", "folders", "body", "send", "quitb"];
+    println!("widget tree (via parent/class commands):");
+    for w in &widgets {
+        let class = session.eval(&format!("class {w}")).unwrap();
+        let parent = session.eval(&format!("parent {w}")).unwrap();
+        println!("  {w:10} class={class:12} parent={parent}");
+    }
+
+    // …and renders it as a graph in a second application shell.
+    session.eval("applicationShell viewer design:1").unwrap();
+    session.eval("treeGraph graph viewer").unwrap();
+    for w in &widgets {
+        let parent = session.eval(&format!("parent {w}")).unwrap();
+        let label = format!("{w}");
+        let mut cmd = format!("label node_{w} graph label {label}");
+        if widgets.contains(&parent.as_str()) {
+            cmd.push_str(&format!(" parentNode node_{parent}"));
+        }
+        session.eval(&cmd).unwrap();
+    }
+    session.eval("realize").unwrap();
+
+    println!("\n--- the designed UI (display :0) ---");
+    println!("{}", session.eval("snapshot 0 0 340 140 0").unwrap());
+    println!("--- its widget tree as a graph (display design:1) ---");
+    println!("{}", session.eval("snapshot 0 0 420 160 1").unwrap());
+}

@@ -1,0 +1,98 @@
+//! `xwafemail` — the "Mail user frontend with faces" of the Wafe
+//! distribution: folder list, message list, body text, and a face
+//! bitmap per sender (exercising the XPM pixmap converter).
+//!
+//! The mailbox is synthetic (there is no 1993 mail spool here); the
+//! interaction paths — select a message, read it, see the sender's face,
+//! reply box — are the demo's.
+//!
+//! Run with `cargo run --example xwafemail`.
+
+use wafe::core::{Flavor, WafeSession};
+
+struct Mail {
+    from: &'static str,
+    subject: &'static str,
+    body: &'static str,
+    face: &'static str,
+}
+
+const MAILS: &[Mail] = &[
+    Mail {
+        from: "neumann",
+        subject: "Wafe 0.93 released",
+        body: "The actual Wafe version and the sample\napplications can be obtained via\nanonymous FTP from ftp.wu-wien.ac.at.",
+        face: "\"4 4 2 1\",\". c black\",\"x c yellow\",\"xx..\",\"x.x.\",\".xx.\",\"..xx\"",
+    },
+    Mail {
+        from: "nusser",
+        subject: "master's thesis",
+        body: "Stefan is writing his master's thesis\nat the department mentioned above.",
+        face: "\"4 4 2 1\",\". c black\",\"x c cyan\",\"..xx\",\".xx.\",\"xx..\",\"x...\"",
+    },
+    Mail {
+        from: "ousterhout",
+        subject: "Re: Tcl and Tk",
+        body: "Tk offers three dimensional appearance\nof its widgets.",
+        face: "\"4 4 2 1\",\". c black\",\"x c green\",\"x..x\",\".xx.\",\".xx.\",\"x..x\"",
+    },
+];
+
+fn show_mail(session: &mut WafeSession, idx: usize) {
+    let m = &MAILS[idx];
+    session
+        .eval(&format!("sV fromlabel label {{From: {} — {}}}", m.from, m.subject))
+        .unwrap();
+    session.eval(&format!("sV body string {{{}}}", m.body)).unwrap();
+    // The face: an inline XPM fed through the extended pixmap converter.
+    session.eval(&format!("sV face bitmap {{{}}}", m.face)).unwrap();
+}
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+    let subjects: Vec<String> = MAILS
+        .iter()
+        .map(|m| format!("{}: {}", m.from, m.subject))
+        .collect();
+    session
+        .eval(&format!(
+            "form mail topLevel\n\
+             label title mail label {{xwafemail — inbox}} borderWidth 0\n\
+             label face mail fromVert title label {{}} width 20 height 20\n\
+             list msgs mail fromVert title fromHoriz face list {{{}}}\n\
+             label fromlabel mail fromVert msgs borderWidth 0 width 300\n\
+             asciiText body mail fromVert fromlabel editType read width 300\n\
+             command reply mail fromVert body label Reply\n\
+             command quitb mail fromVert body fromHoriz reply label Quit callback quit\n\
+             sV msgs callback {{echo open %i}}\n\
+             sV reply callback {{echo reply}}\n\
+             realize",
+            subjects.join(",")
+        ))
+        .expect("mail UI builds");
+    show_mail(&mut session, 0);
+
+    // A scripted user opens each message in turn.
+    for i in 0..MAILS.len() {
+        session.eval(&format!("listHighlight msgs {i}")).unwrap();
+        {
+            let mut app = session.app.borrow_mut();
+            let l = app.lookup("msgs").unwrap();
+            let ev = wafe::xproto::Event::new(
+                wafe::xproto::EventKind::ButtonRelease,
+                wafe::xproto::WindowId(0),
+            );
+            app.run_action(l, "Notify", &[], &ev);
+        }
+        session.pump();
+        let out = session.take_output();
+        assert_eq!(out.trim(), format!("open {i}"));
+        show_mail(&mut session, i);
+        println!("opened message {i}: {}", MAILS[i].subject);
+    }
+    println!("\n--- final mail window ---");
+    println!("{}", session.eval("snapshot 0 0 360 220").unwrap());
+    let face = session.eval("gV face bitmap").unwrap();
+    println!("face pixmap resource: {face}");
+    assert_eq!(face, "pixmap-4x4");
+}

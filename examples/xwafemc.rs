@@ -1,0 +1,93 @@
+//! `xwafemc` — the "multiple choice test answering program" of the Wafe
+//! distribution: radio-grouped Toggle widgets per question, a submit
+//! button, and a score label.
+//!
+//! Run with `cargo run --example xwafemc`.
+
+use wafe::core::{Flavor, WafeSession};
+
+struct Question {
+    text: &'static str,
+    choices: [&'static str; 3],
+    correct: usize,
+}
+
+const QUESTIONS: &[Question] = &[
+    Question {
+        text: "Wafe stands for…",
+        choices: ["Widget[Athena]FrontEnd", "Window Frame Engine", "Wide Area FE"],
+        correct: 0,
+    },
+    Question {
+        text: "Wafe embeds which language?",
+        choices: ["Perl", "Tcl", "Prolog"],
+        correct: 1,
+    },
+    Question {
+        text: "The Label class has how many resources (Xaw3d)?",
+        choices: ["13", "42", "64"],
+        correct: 1,
+    },
+];
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+    session.eval("form quiz topLevel").unwrap();
+    // Each question is two rows: the question label, then its toggle
+    // row. `anchor` is always the widget the next row hangs below.
+    let mut anchor = String::new();
+    for (qi, q) in QUESTIONS.iter().enumerate() {
+        let qlabel = format!("q{qi}");
+        let mut cmd = format!("label {qlabel} quiz label {{{}}} borderWidth 0", q.text);
+        if !anchor.is_empty() {
+            cmd.push_str(&format!(" fromVert {anchor}"));
+        }
+        session.eval(&cmd).unwrap();
+        let mut left: Option<String> = None;
+        for (ci, c) in q.choices.iter().enumerate() {
+            let t = format!("q{qi}c{ci}");
+            let mut cmd =
+                format!("toggle {t} quiz label {{{c}}} radioGroup grp{qi} fromVert {qlabel}");
+            if let Some(prev) = &left {
+                cmd.push_str(&format!(" fromHoriz {prev}"));
+            }
+            session.eval(&cmd).unwrap();
+            left = Some(t);
+        }
+        anchor = format!("q{qi}c0");
+    }
+    session
+        .eval(&format!(
+            "command submit quiz label Submit fromVert {anchor} callback {{echo submit}}\n\
+             label score quiz label {{---}} fromVert {anchor} fromHoriz submit borderWidth 0\n\
+             realize"
+        ))
+        .unwrap();
+
+    // A scripted student answers: right, right, wrong.
+    let answers = [0usize, 1, 0];
+    for (qi, &a) in answers.iter().enumerate() {
+        wafe::click_widget(&mut session, &format!("q{qi}c{a}"));
+    }
+    wafe::click_widget(&mut session, "submit");
+    let out = session.take_output();
+    assert!(out.contains("submit"));
+
+    // Grading runs in the application (here: Rust), reading the toggles
+    // back through the public API — the Wafe way.
+    let mut score = 0usize;
+    for (qi, q) in QUESTIONS.iter().enumerate() {
+        for ci in 0..q.choices.len() {
+            let picked = session.eval(&format!("gV q{qi}c{ci} state")).unwrap() == "True";
+            if picked && ci == q.correct {
+                score += 1;
+            }
+        }
+    }
+    session
+        .eval(&format!("sV score label {{Score: {score}/{}}}", QUESTIONS.len()))
+        .unwrap();
+    println!("{}", session.eval("snapshot 0 0 500 200").unwrap());
+    println!("score: {score}/{}", QUESTIONS.len());
+    assert_eq!(score, 2);
+}

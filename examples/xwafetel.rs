@@ -1,0 +1,135 @@
+//! `xwafetel` — "a simple read-only Oracle front-end for looking up
+//! telephone numbers", with the field completion the paper credits to
+//! its bigger sibling `xwafeora` ("supports field completion and other
+//! funky stuff").
+//!
+//! The Oracle database becomes an embedded table; Tab in the query field
+//! asks the application for a completion, exactly the division of labour
+//! the demos used.
+//!
+//! Run with `cargo run --example xwafetel`.
+
+use wafe::core::{Flavor, WafeSession};
+
+const DIRECTORY: &[(&str, &str)] = &[
+    ("neumann", "+43 1 31336 4671"),
+    ("nusser", "+43 1 31336 4672"),
+    ("mueller", "+43 1 31336 4100"),
+    ("maier", "+43 1 31336 4101"),
+];
+
+/// The application's completion logic: extend the prefix as far as it
+/// stays unambiguous.
+fn complete(prefix: &str) -> String {
+    let hits: Vec<&str> = DIRECTORY
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| n.starts_with(prefix))
+        .collect();
+    match hits.as_slice() {
+        [] => prefix.to_string(),
+        [one] => one.to_string(),
+        many => {
+            // Longest common prefix of all hits.
+            let mut lcp = many[0].to_string();
+            for h in &many[1..] {
+                while !h.starts_with(&lcp) {
+                    lcp.pop();
+                }
+            }
+            lcp
+        }
+    }
+}
+
+fn lookup(name: &str) -> Option<&'static str> {
+    DIRECTORY.iter().find(|(n, _)| *n == name).map(|(_, t)| *t)
+}
+
+fn main() {
+    let mut session = WafeSession::new(Flavor::Athena);
+    session
+        .eval(
+            "form tel topLevel\n\
+             label title tel label {xwafetel — phone directory} borderWidth 0\n\
+             label prompt tel label {name:} fromVert title borderWidth 0\n\
+             asciiText query tel fromVert title fromHoriz prompt editType edit width 160\n\
+             label number tel fromVert prompt label {} width 220 borderWidth 0\n\
+             command lookupb tel fromVert number label Lookup\n\
+             action query override {<Key>Tab: exec(echo complete [gV query string])}\n\
+             action query override {<Key>Return: exec(echo lookup [gV query string])}\n\
+             sV lookupb callback {echo lookup [gV query string]}\n\
+             realize",
+        )
+        .expect("tel UI builds");
+
+    // The application's read loop, driven by a scripted user typing.
+    let serve = |session: &mut WafeSession| {
+        let out = session.take_output();
+        for line in out.lines() {
+            if let Some(prefix) = line.strip_prefix("complete ") {
+                let full = complete(prefix.trim());
+                session.eval(&format!("sV query string {{{full}}}")).unwrap();
+                // Put the cursor at the end, like a completing editor.
+                session
+                    .eval(&format!(
+                        "sV query insertPosition {}",
+                        full.chars().count()
+                    ))
+                    .unwrap();
+            } else if let Some(name) = line.strip_prefix("lookup ") {
+                let answer = match lookup(name.trim()) {
+                    Some(tel) => format!("{}: {tel}", name.trim()),
+                    None => format!("{}: not found", name.trim()),
+                };
+                session.eval(&format!("sV number label {{{answer}}}")).unwrap();
+            }
+        }
+    };
+
+    // Type "ne", press Tab: completes to "neumann" (unique).
+    wafe::type_into_widget(&mut session, "query", "ne");
+    {
+        let mut app = session.app.borrow_mut();
+        let q = app.lookup("query").unwrap();
+        let win = app.widget(q).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_named("Tab", wafe::xproto::Modifiers::NONE);
+    }
+    session.pump();
+    serve(&mut session);
+    let q = session.eval("gV query string").unwrap();
+    println!("after Tab on 'ne':  query = {q}");
+    assert_eq!(q, "neumann");
+
+    // Press Return: the number appears.
+    {
+        let mut app = session.app.borrow_mut();
+        let q = app.lookup("query").unwrap();
+        let win = app.widget(q).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_named("Return", wafe::xproto::Modifiers::NONE);
+    }
+    session.pump();
+    serve(&mut session);
+    let n = session.eval("gV number label").unwrap();
+    println!("after Return:       {n}");
+    assert!(n.contains("4671"));
+
+    // Ambiguous prefix: "m" + Tab completes only to the common stem.
+    session.eval("sV query string {m}").unwrap();
+    {
+        let mut app = session.app.borrow_mut();
+        let q = app.lookup("query").unwrap();
+        let win = app.widget(q).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_named("Tab", wafe::xproto::Modifiers::NONE);
+    }
+    session.pump();
+    serve(&mut session);
+    let q = session.eval("gV query string").unwrap();
+    println!("after Tab on 'm':   query = {q} (ambiguous: mueller/maier share only 'm')");
+    assert_eq!(q, "m");
+
+    println!("\n{}", session.eval("snapshot 0 0 300 120").unwrap());
+}

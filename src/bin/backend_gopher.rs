@@ -1,0 +1,122 @@
+//! The application half of `xwafegopher` — "a simple gopher frontend".
+//!
+//! There is no 1993 gopher server to dial, so the menu hierarchy is
+//! canned; everything else is the real thing: the program builds its UI
+//! by printing `%` lines, then serves navigation requests from its read
+//! loop, exactly like the distribution's demo talked to
+//! gopher.wu-wien.ac.at.
+
+use std::io::{BufRead, Write};
+
+/// One gopher item: type tag, display string, and either a submenu index
+/// or a document body.
+enum Item {
+    Menu(&'static str, usize),
+    Doc(&'static str, &'static str),
+}
+
+struct Menu {
+    title: &'static str,
+    items: &'static [Item],
+}
+
+const MENUS: &[Menu] = &[
+    Menu {
+        title: "gopher.wu-wien.ac.at",
+        items: &[
+            Item::Menu("About this server", 1),
+            Item::Menu("Software archive", 2),
+            Item::Doc(
+                "Welcome",
+                "Welcome to the Vienna University of\\nEconomics gopher server.",
+            ),
+        ],
+    },
+    Menu {
+        title: "About this server",
+        items: &[Item::Doc(
+            "README",
+            "This gopher space is maintained by the\\nMIS department.",
+        )],
+    },
+    Menu {
+        title: "Software archive",
+        items: &[
+            Item::Doc(
+                "wafe-0.93",
+                "Wafe 0.93 - an X toolkit based frontend.\\nSee pub/src/X11/wafe.",
+            ),
+            Item::Doc("dvi2xx", "TeX dvi converter for HP LaserJets."),
+        ],
+    },
+];
+
+fn send_menu(out: &mut impl Write, menu_ix: usize) {
+    let menu = &MENUS[menu_ix];
+    let labels: Vec<String> = menu
+        .items
+        .iter()
+        .map(|i| match i {
+            Item::Menu(name, _) => format!("{name}/"),
+            Item::Doc(name, _) => name.to_string(),
+        })
+        .collect();
+    let _ = writeln!(out, "%sV title label {{{}}}", menu.title);
+    let _ = writeln!(out, "%listChange items {{{}}}", labels.join(","));
+    let _ = writeln!(out, "%sV doc string {{}}");
+    let _ = out.flush();
+}
+
+fn main() {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // Phase 2: the UI.
+    let tree = "%form top topLevel\n\
+                %label title top label {} width 260 borderWidth 0\n\
+                %viewport vp top fromVert title width 260 height 120\n\
+                %list items vp list {loading}\n\
+                %asciiText doc top fromVert vp editType read width 260 height 80\n\
+                %command back top fromVert doc label Back\n\
+                %command quitb top fromVert doc fromHoriz back label Quit callback quit\n\
+                %sV items callback {echo select %i}\n\
+                %sV back callback {echo back}\n\
+                %realize\n";
+    let _ = out.write_all(tree.as_bytes());
+    let _ = out.flush();
+
+    let mut stack: Vec<usize> = vec![0];
+    send_menu(&mut out, 0);
+
+    // Phase 3: the read loop.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let current = *stack.last().unwrap();
+        if let Some(sel) = line.strip_prefix("select ") {
+            let ix: usize = match sel.trim().parse() {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            match MENUS[current].items.get(ix) {
+                Some(Item::Menu(_, target)) => {
+                    stack.push(*target);
+                    send_menu(&mut out, *target);
+                }
+                Some(Item::Doc(name, body)) => {
+                    let _ = writeln!(out, "%sV title label {{{name}}}");
+                    let _ = writeln!(out, "%sV doc string \"{body}\"");
+                    let _ = out.flush();
+                }
+                None => {}
+            }
+        } else if line.trim() == "back" {
+            if stack.len() > 1 {
+                stack.pop();
+            }
+            send_menu(&mut out, *stack.last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The prime-factors application program — a line-for-line port of the
+//! Perl program printed in the paper, speaking the identical protocol.
+//!
+//! Phase 2 prints the widget tree as `%`-prefixed lines; phase 3 loops
+//! reading numbers from stdin (sent by the frontend's `exec` action on
+//! `<Key>Return`) and answers with `%sV` lines.
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    // $|=1; set output unbuffered — we flush after every write.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    // Build widget tree (phase 2) — the same lines the Perl program prints.
+    let tree = "%form top topLevel\n\
+                %asciiText input top editType edit width 200\n\
+                %action input override {<Key>Return: exec(echo [gV input string])}\n\
+                %label result top label {} width 200 fromVert input\n\
+                %command quit top fromVert result callback quit\n\
+                %label info top fromVert result fromHoriz quit label {} borderWidth 0 width 150\n\
+                %realize\n";
+    out.write_all(tree.as_bytes()).expect("write tree");
+    out.flush().expect("flush");
+
+    // Read loop (phase 3).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if let Ok(mut n) = trimmed.parse::<u64>() {
+            let _ = writeln!(out, "%sV info label thinking...");
+            let _ = out.flush();
+            let start = std::time::Instant::now();
+            let mut result: Vec<u64> = Vec::new();
+            let mut d = 2u64;
+            while d <= n {
+                while n % d == 0 {
+                    result.insert(0, d);
+                    n /= d;
+                }
+                d += 1;
+            }
+            let joined = result
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("*");
+            let secs = start.elapsed().as_secs();
+            let _ = writeln!(out, "%sV result label {{{joined}}}");
+            let _ = writeln!(out, "%sV info label {{{secs} seconds}}");
+            let _ = out.flush();
+        } else {
+            let _ = writeln!(out, "%sV info label {{(invalid input)}}");
+            let _ = out.flush();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The `wafe` binary: interactive mode, file mode and frontend mode.
+//!
+//! * **interactive**: `wafe` reads commands from stdin and interprets
+//!   them one by one — "the user sees how the widget tree is built and
+//!   modified step by step".
+//! * **file**: `wafe --f script.wafe` (also the `#!` magic) evaluates a
+//!   Tcl/Wafe script.
+//! * **frontend**: `wafe --app <program> [args…]` — or invoking through a
+//!   link named `x<program>` — spawns the application program as a child
+//!   and speaks the `%`-line protocol with it.
+//!
+//! The Motif flavour is selected by `--motif` or by invoking the binary
+//! through a link named `mofe`.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use wafe_core::{split_args, Flavor, WafeSession};
+use wafe_ipc::{backend_from_argv0, Frontend, FrontendConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let argv0 = argv[0].clone();
+    let split = split_args(&argv[1..]);
+
+    let flavor = if split.has_frontend("motif") || argv0.ends_with("mofe") {
+        Flavor::Motif
+    } else if split.has_frontend("both") {
+        Flavor::Both
+    } else {
+        Flavor::Athena
+    };
+
+    // --guide: print the generated short reference guide (the original's
+    // code generator emitted TeX for the same purpose) and exit.
+    if split.has_frontend("guide") {
+        let session = WafeSession::new(flavor);
+        println!("{}", session.reference_guide());
+        return;
+    }
+
+    // Frontend mode: explicit --app or the argv[0] link-name scheme.
+    let backend = if split.has_frontend("app") {
+        split.application.first().cloned()
+    } else {
+        backend_from_argv0(&argv0)
+    };
+    if let Some(program) = backend {
+        let args = if split.has_frontend("app") {
+            split.application[1..].to_vec()
+        } else {
+            split.application.clone()
+        };
+        run_frontend(&program, args, flavor, &split);
+        return;
+    }
+
+    // File mode: --f <file>, or a bare file argument (the #! magic passes
+    // the script path as the first argument).
+    if split.has_frontend("f") || !split.application.is_empty() {
+        let path = match split.application.first() {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("wafe: --f requires a script file");
+                std::process::exit(2);
+            }
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("wafe: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mut session = WafeSession::new(flavor);
+        session.apply_toolkit_args(&split);
+        load_app_defaults(&mut session);
+        session.set_output_callback(|s| {
+            print!("{s}");
+            let _ = std::io::stdout().flush();
+        });
+        if let Err(e) = session.run_file_text(&text) {
+            eprintln!("wafe: {}", e.message());
+            std::process::exit(1);
+        }
+        report_warnings(&session);
+        return;
+    }
+
+    // Interactive mode.
+    let mut session = WafeSession::new(flavor);
+    session.apply_toolkit_args(&split);
+    load_app_defaults(&mut session);
+    session.set_output_callback(|s| {
+        print!("{s}");
+        let _ = std::io::stdout().flush();
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match session.eval(&line) {
+            Ok(result) => {
+                if !result.is_empty() {
+                    println!("{result}");
+                }
+            }
+            Err(e) => eprintln!("wafe: {}", e.message()),
+        }
+        report_warnings(&session);
+        if session.quit_requested() {
+            break;
+        }
+    }
+}
+
+fn run_frontend(program: &str, args: Vec<String>, flavor: Flavor, split: &wafe_core::SplitArgs) {
+    let mut config = FrontendConfig::new(program);
+    config.args = args;
+    config.flavor = flavor;
+    let mut fe = match Frontend::spawn(config) {
+        Ok(fe) => fe,
+        Err(e) => {
+            eprintln!("wafe: cannot start application program \"{program}\": {e}");
+            std::process::exit(2);
+        }
+    };
+    fe.engine.session.apply_toolkit_args(split);
+    load_app_defaults(&mut fe.engine.session);
+    // InitCom: "the resource InitCom is provided, which can be specified
+    // in a resource file or by using the -xrm command line option".
+    let init_com = fe.engine.session.eval("gV topLevel initCom").unwrap_or_default();
+    if !init_com.is_empty() {
+        let _ = fe.send_to_app(&init_com);
+    }
+    loop {
+        match fe.step(Duration::from_millis(20)) {
+            Ok(true) => {
+                for line in std::mem::take(&mut fe.printed) {
+                    println!("{line}");
+                }
+            }
+            Ok(false) => break,
+            Err(e) => {
+                eprintln!("wafe: frontend loop error: {e}");
+                break;
+            }
+        }
+    }
+    for line in std::mem::take(&mut fe.printed) {
+        println!("{line}");
+    }
+}
+
+/// Loads the application-defaults resource file named by
+/// `WAFE_APP_DEFAULTS`, if set — the paper's "resource description file,
+/// which is evaluated at startup time of the application".
+fn load_app_defaults(session: &mut WafeSession) {
+    if let Ok(path) = std::env::var("WAFE_APP_DEFAULTS") {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            session.app.borrow_mut().resource_db.merge_text(&text);
+        } else {
+            eprintln!("wafe: cannot read app-defaults file {path}");
+        }
+    }
+}
+
+fn report_warnings(session: &WafeSession) {
+    for w in session.app.borrow_mut().take_warnings() {
+        eprintln!("wafe: {w}");
+    }
+}

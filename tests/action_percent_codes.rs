@@ -1,0 +1,183 @@
+//! E2 — the paper's "Event Types and Percent Codes of Actions" table:
+//! the full matrix of `%t %w %b %x %y %X %Y %a %k %s` against
+//! ButtonPress/ButtonRelease, KeyPress/KeyRelease, EnterNotify/
+//! LeaveNotify — plus `%t → unknown` for unlisted event types.
+
+use wafe::core::{Flavor, WafeSession};
+
+/// Builds a session with one widget whose translations capture every
+/// percent code for the given event binding.
+fn session_with_binding(binding: &str) -> WafeSession {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label probe topLevel width 120 height 60 label probe").unwrap();
+    s.eval(&format!(
+        "action probe override {{{binding}: exec(set captured {{t=%t w=%w b=%b x=%x y=%y X=%X Y=%Y a=%a k=%k s=%s}})}}"
+    ))
+    .unwrap();
+    s.eval("realize").unwrap();
+    s
+}
+
+fn captured(s: &mut WafeSession) -> String {
+    s.pump();
+    s.interp.get_var("captured").unwrap_or_default()
+}
+
+fn probe_abs(s: &WafeSession) -> (i32, i32) {
+    let app = s.app.borrow();
+    let p = app.lookup("probe").unwrap();
+    let abs = app.displays[0].abs_rect(app.widget(p).window.unwrap());
+    (abs.x, abs.y)
+}
+
+#[test]
+fn button_press_codes() {
+    let mut s = session_with_binding("<BtnDown>");
+    let (ax, ay) = probe_abs(&s);
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(ax + 10, ay + 20);
+        app.displays[0].inject_button(3, true);
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=ButtonPress"), "{c}");
+    assert!(c.contains("w=probe"), "{c}");
+    assert!(c.contains("b=3"), "{c}");
+    assert!(c.contains("x=10"), "{c}");
+    assert!(c.contains("y=20"), "{c}");
+    assert!(c.contains(&format!("X={}", ax + 10)), "{c}");
+    assert!(c.contains(&format!("Y={}", ay + 20)), "{c}");
+    // Key codes are invalid for button events: left untouched.
+    assert!(c.contains("a=%a k=%k s=%s"), "{c}");
+}
+
+#[test]
+fn button_release_codes() {
+    let mut s = session_with_binding("<BtnUp>");
+    let (ax, ay) = probe_abs(&s);
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(ax + 5, ay + 6);
+        app.displays[0].inject_button(1, true);
+        app.displays[0].inject_button(1, false);
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=ButtonRelease"), "{c}");
+    assert!(c.contains("b=1"), "{c}");
+    assert!(c.contains("x=5"), "{c}");
+}
+
+#[test]
+fn key_press_codes() {
+    let mut s = session_with_binding("<KeyPress>");
+    {
+        let mut app = s.app.borrow_mut();
+        let p = app.lookup("probe").unwrap();
+        let win = app.widget(p).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("q");
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=KeyPress"), "{c}");
+    assert!(c.contains("w=probe"), "{c}");
+    assert!(c.contains("a=q"), "{c}");
+    assert!(c.contains("s=q"), "{c}");
+    // The keycode is numeric and non-zero.
+    let k: u32 = c
+        .split("k=")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric keycode");
+    assert!(k >= 8);
+    // Button code invalid for key events.
+    assert!(c.contains("b=%b"), "{c}");
+}
+
+#[test]
+fn key_release_codes() {
+    let mut s = session_with_binding("<KeyRelease>");
+    {
+        let mut app = s.app.borrow_mut();
+        let p = app.lookup("probe").unwrap();
+        let win = app.widget(p).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("z");
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=KeyRelease"), "{c}");
+    assert!(c.contains("a=z"), "{c}");
+}
+
+#[test]
+fn enter_and_leave_codes() {
+    let mut s = session_with_binding("<EnterWindow>");
+    let (ax, ay) = probe_abs(&s);
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(ax + 7, ay + 8);
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=EnterNotify"), "{c}");
+    assert!(c.contains("x=7"), "{c}");
+    assert!(c.contains("b=%b"), "{c}");
+    assert!(c.contains("a=%a"), "{c}");
+
+    let mut s = session_with_binding("<LeaveWindow>");
+    let (ax, ay) = probe_abs(&s);
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(ax + 7, ay + 8);
+        app.displays[0].inject_pointer_move(1000, 740);
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=LeaveNotify"), "{c}");
+    assert!(c.contains("w=probe"), "{c}");
+}
+
+#[test]
+fn unlisted_event_type_expands_to_unknown() {
+    // "%t will expand to unknown, if the event is not included in the
+    // list above." Motion is bindable but not in the table.
+    let mut s = session_with_binding("<Motion>");
+    let (ax, ay) = probe_abs(&s);
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(ax + 2, ay + 2);
+        app.displays[0].inject_pointer_move(ax + 3, ay + 2);
+    }
+    let c = captured(&mut s);
+    assert!(c.contains("t=unknown"), "{c}");
+}
+
+#[test]
+fn paper_exact_xev_output_shape() {
+    // The printed example: typing "w!" under
+    // {<KeyPress>: exec(echo %k %a %s)} gives three lines:
+    // keycode w w / keycode Shift_L / keycode ! exclam.
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label xev topLevel width 100 height 40").unwrap();
+    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}").unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let xev = app.lookup("xev").unwrap();
+        let win = app.widget(xev).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("w!");
+    }
+    s.pump();
+    let out = s.take_output();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "{out:?}");
+    // Shape: "<code> w w", "<code> Shift_L" (empty ascii), "<code> ! exclam".
+    let f0: Vec<&str> = lines[0].split_whitespace().collect();
+    assert_eq!(&f0[1..], &["w", "w"]);
+    let f1: Vec<&str> = lines[1].split_whitespace().collect();
+    assert_eq!(f1[1], "Shift_L");
+    let f2: Vec<&str> = lines[2].split_whitespace().collect();
+    assert_eq!(&f2[1..], &["!", "exclam"]);
+}

@@ -1,0 +1,147 @@
+//! Failure injection for frontend mode: crashing backends, garbage
+//! protocol input, oversized lines — the frontend must degrade
+//! gracefully, never panic, and keep the GUI consistent.
+
+use std::time::{Duration, Instant};
+
+use wafe::core::Flavor;
+use wafe::ipc::{Frontend, FrontendConfig, ProtocolEngine};
+
+fn spawn_sh(script: &str) -> Frontend {
+    Frontend::spawn(FrontendConfig {
+        program: "sh".into(),
+        args: vec!["-c".into(), script.into()],
+        flavor: Flavor::Athena,
+        mass_channel: false,
+        init_com: None,
+    })
+    .expect("spawn sh")
+}
+
+#[test]
+fn backend_crashes_mid_tree() {
+    // The backend dies after half the widget tree; the frontend keeps the
+    // partial tree and reports a clean exit.
+    let mut fe = spawn_sh(
+        "echo '%form top topLevel'\n\
+         echo '%label a top label first'\n\
+         exit 3\n",
+    );
+    let clean = fe.run_until_exit(Duration::from_secs(5)).unwrap();
+    assert!(clean, "loop must end when the backend dies");
+    let app = fe.engine.session.app.borrow();
+    assert!(app.lookup("a").is_some(), "partial tree preserved");
+    drop(app);
+    // The session is still usable locally.
+    assert_eq!(fe.engine.session.eval("gV a label").unwrap(), "first");
+    fe.kill();
+}
+
+#[test]
+fn backend_emits_garbage_commands() {
+    let mut fe = spawn_sh(
+        "echo '%no_such_command at all'\n\
+         echo '%label l topLevel label {survived}'\n\
+         echo '%set done 1'\n\
+         sleep 0.3\n",
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(20)).unwrap();
+        if fe.engine.session.interp.var_exists("done") {
+            break;
+        }
+    }
+    // The bad command produced a protocol error, not a dead frontend.
+    let errors = fe.engine.take_errors();
+    assert!(errors.iter().any(|e| e.contains("no_such_command")), "{errors:?}");
+    assert_eq!(fe.engine.session.eval("gV l label").unwrap(), "survived");
+    fe.kill();
+}
+
+#[test]
+fn backend_emits_binary_garbage() {
+    let mut fe = spawn_sh(
+        "head -c 512 /dev/urandom\n\
+         echo\n\
+         echo '%set done 1'\n\
+         sleep 0.3\n",
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(20)).unwrap();
+        if fe.engine.session.interp.var_exists("done") {
+            break;
+        }
+    }
+    assert!(fe.engine.session.interp.var_exists("done"), "binary noise must not kill the loop");
+    fe.kill();
+}
+
+#[test]
+fn oversized_line_rejected_but_session_lives() {
+    let mut engine = ProtocolEngine::new(Flavor::Athena);
+    engine.set_max_line(1000);
+    let long = format!("%set big {{{}}}", "z".repeat(5000));
+    assert!(engine.handle_line(&long).is_err());
+    assert!(engine.handle_line("%set ok yes").is_ok());
+    assert_eq!(engine.session.interp.get_var("ok").unwrap(), "yes");
+    assert!(engine.session.interp.get_var("big").is_err());
+}
+
+#[test]
+fn callback_script_errors_become_warnings() {
+    // A callback whose script is broken must not poison the event loop.
+    let mut engine = ProtocolEngine::new(Flavor::Athena);
+    engine.handle_line("%form f topLevel").unwrap();
+    engine.handle_line("%command b f label go callback {nosuchcmd}").unwrap();
+    engine.handle_line("%command c f label go2 fromHoriz b callback {echo fine}").unwrap();
+    engine.handle_line("%realize").unwrap();
+    let _ = engine.take_app_lines();
+    for name in ["b", "c"] {
+        let mut app = engine.session.app.borrow_mut();
+        let w = app.lookup(name).unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(w).window.unwrap());
+        app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    engine.session.pump();
+    // The good callback still ran.
+    assert_eq!(engine.take_app_lines(), vec!["fine"]);
+    let warnings = engine.session.app.borrow_mut().take_warnings();
+    assert!(warnings.iter().any(|w| w.contains("nosuchcmd")), "{warnings:?}");
+}
+
+#[test]
+fn nonexistent_backend_program() {
+    let result = Frontend::spawn(FrontendConfig::new("/no/such/program/anywhere"));
+    assert!(result.is_err(), "spawning a missing backend must fail cleanly");
+}
+
+#[test]
+fn backend_ignores_stdin_then_exits() {
+    // A backend that never reads what the frontend sends; writes to its
+    // stdin must not wedge or kill the loop (EPIPE ignored).
+    let mut fe = spawn_sh(
+        "echo '%command b topLevel label go callback {echo msg}'\n\
+         echo '%realize'\n\
+         sleep 0.2\n",
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if !fe.step(Duration::from_millis(20)).unwrap() {
+            break;
+        }
+        let has_b = fe.engine.session.app.borrow().lookup("b").is_some();
+        if has_b {
+            let mut app = fe.engine.session.app.borrow_mut();
+            if let Some(b) = app.lookup("b") {
+                if let Some(win) = app.widget(b).window {
+                    let abs = app.displays[0].abs_rect(win);
+                    app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+                }
+            }
+        }
+    }
+    // Reaching here without a panic or hang is the assertion.
+    fe.kill();
+}

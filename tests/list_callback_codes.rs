@@ -1,0 +1,75 @@
+//! E3 — the paper's "Athena List Widget Callback" percent-code table:
+//! `%w` widget's name, `%i` index, `%s` active element.
+
+use wafe::core::{Flavor, WafeSession};
+
+fn setup() -> WafeSession {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("form f topLevel").unwrap();
+    s.eval("label confirmLab f label {}").unwrap();
+    s.eval("list chooseLst f fromVert confirmLab list {red,green,blue}").unwrap();
+    s.eval("realize").unwrap();
+    s
+}
+
+fn click_row(s: &mut WafeSession, row: usize) {
+    {
+        let mut app = s.app.borrow_mut();
+        let l = app.lookup("chooseLst").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(l).window.unwrap());
+        // Rows are font height (13) + rowSpacing (2) tall, after the
+        // internalHeight (2) top margin.
+        let y = abs.y + 2 + row as i32 * 15 + 7;
+        app.displays[0].inject_click(abs.x + 4, y, 1);
+    }
+    s.pump();
+}
+
+#[test]
+fn all_three_codes_substitute() {
+    let mut s = setup();
+    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}").unwrap();
+    click_row(&mut s, 2);
+    assert_eq!(s.take_output(), "w=chooseLst i=2 s=blue\n");
+}
+
+#[test]
+fn paper_confirm_label_example() {
+    // sV chooseLst callback "sV confirmLab label %s".
+    let mut s = setup();
+    s.eval("sV chooseLst callback {sV confirmLab label %s}").unwrap();
+    click_row(&mut s, 0);
+    assert_eq!(s.eval("gV confirmLab label").unwrap(), "red");
+    click_row(&mut s, 1);
+    assert_eq!(s.eval("gV confirmLab label").unwrap(), "green");
+}
+
+#[test]
+fn selection_survives_reading_back() {
+    let mut s = setup();
+    s.eval("sV chooseLst callback {echo %i}").unwrap();
+    click_row(&mut s, 1);
+    let _ = s.take_output();
+    s.eval("listShowCurrent chooseLst item").unwrap();
+    assert_eq!(s.interp.get_var("item").unwrap(), "green");
+    s.eval("listUnhighlight chooseLst").unwrap();
+    assert_eq!(s.eval("listShowCurrent chooseLst item").unwrap(), "-1");
+}
+
+#[test]
+fn programmatic_highlight_then_notify_uses_same_codes() {
+    let mut s = setup();
+    s.eval("sV chooseLst callback {echo i=%i s=%s}").unwrap();
+    s.eval("listHighlight chooseLst 2").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let l = app.lookup("chooseLst").unwrap();
+        let ev = wafe::xproto::Event::new(
+            wafe::xproto::EventKind::ButtonRelease,
+            wafe::xproto::WindowId(0),
+        );
+        app.run_action(l, "Notify", &[], &ev);
+    }
+    s.pump();
+    assert_eq!(s.take_output(), "i=2 s=blue\n");
+}

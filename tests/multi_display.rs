@@ -1,0 +1,66 @@
+//! E16 — multi-display support: "When a Wafe application wants to
+//! display widgets on multiple X servers it can create several
+//! application shells where the display is specified instead of the
+//! father widget" (`applicationShell top2 dec4:0`).
+
+use wafe::core::{Flavor, WafeSession};
+
+#[test]
+fn children_map_to_the_specified_display() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label home topLevel label {on default}").unwrap();
+    s.eval("applicationShell top2 dec4:0").unwrap();
+    s.eval("label away top2 label {on dec4}").unwrap();
+    s.eval("realize").unwrap();
+
+    let app = s.app.borrow();
+    assert_eq!(app.displays.len(), 2);
+    assert_eq!(app.displays[0].name, ":0");
+    assert_eq!(app.displays[1].name, "dec4:0");
+    let home = app.lookup("home").unwrap();
+    let away = app.lookup("away").unwrap();
+    assert_eq!(app.widget(home).display_idx, 0);
+    assert_eq!(app.widget(away).display_idx, 1);
+    assert!(app.displays[0].is_viewable(app.widget(home).window.unwrap()));
+    assert!(app.displays[1].is_viewable(app.widget(away).window.unwrap()));
+}
+
+#[test]
+fn snapshots_are_per_display() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label home topLevel label HOMETEXT").unwrap();
+    s.eval("applicationShell top2 remote:0").unwrap();
+    s.eval("label away top2 label AWAYTEXT").unwrap();
+    s.eval("realize").unwrap();
+    let snap0 = s.eval("snapshot 0 0 300 60 0").unwrap();
+    let snap1 = s.eval("snapshot 0 0 300 60 1").unwrap();
+    assert!(snap0.contains("HOMETEXT") && !snap0.contains("AWAYTEXT"), "{snap0}");
+    assert!(snap1.contains("AWAYTEXT") && !snap1.contains("HOMETEXT"), "{snap1}");
+}
+
+#[test]
+fn events_do_not_cross_displays() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("command here topLevel label here callback {echo from-here}").unwrap();
+    s.eval("applicationShell top2 other:0").unwrap();
+    s.eval("command there top2 label there callback {echo from-there}").unwrap();
+    s.eval("realize").unwrap();
+    // Click at the `here` button's location — but on display 1.
+    {
+        let mut app = s.app.borrow_mut();
+        let here = app.lookup("here").unwrap();
+        let abs = app.displays[0].abs_rect(app.widget(here).window.unwrap());
+        app.displays[1].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    s.pump();
+    let out = s.take_output();
+    assert!(!out.contains("from-here"), "click on display 1 must not hit display 0: {out}");
+}
+
+#[test]
+fn same_display_name_is_reused() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("applicationShell a dec4:0").unwrap();
+    s.eval("applicationShell b dec4:0").unwrap();
+    assert_eq!(s.app.borrow().displays.len(), 2, "dec4:0 opened once");
+}

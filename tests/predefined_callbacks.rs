@@ -1,0 +1,137 @@
+//! E1 — the paper's "Predefined Callbacks" table, row by row:
+//!
+//! | name            | behaviour                        |
+//! |-----------------|----------------------------------|
+//! | none            | realize shell, grab none         |
+//! | exclusive       | realize shell, grab exclusive    |
+//! | nonexclusive    | realize shell, grab nonexclusive |
+//! | popdown         | unrealize shell                  |
+//! | position        | position shell                   |
+//! | positionCursor  | position shell under pointer     |
+
+use wafe::core::{Flavor, WafeSession};
+
+fn setup() -> WafeSession {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("command b topLevel label press").unwrap();
+    // Positioned away from the button so popping it up never covers it.
+    s.eval("transientShell popup topLevel x 500 y 500").unwrap();
+    s.eval("label inner popup label {popup content}").unwrap();
+    s.eval("realize").unwrap();
+    s
+}
+
+fn fire(s: &mut WafeSession, kind: &str) {
+    s.eval(&format!("sV b callback {{}}")).unwrap();
+    s.eval(&format!("callback b callback {kind} popup")).unwrap();
+    wafe::click_widget(s, "b");
+}
+
+fn popped(s: &WafeSession) -> bool {
+    let app = s.app.borrow();
+    app.is_popped_up(app.lookup("popup").unwrap())
+}
+
+fn grab_depth(s: &WafeSession) -> usize {
+    s.app.borrow().displays[0].grab_depth()
+}
+
+#[test]
+fn row_none_realizes_without_grab() {
+    let mut s = setup();
+    fire(&mut s, "none");
+    assert!(popped(&s), "none must realize the shell");
+    assert_eq!(grab_depth(&s), 0, "none must not grab");
+}
+
+#[test]
+fn row_exclusive_realizes_with_exclusive_grab() {
+    let mut s = setup();
+    fire(&mut s, "exclusive");
+    assert!(popped(&s));
+    assert_eq!(grab_depth(&s), 1);
+    // The grab is exclusive: clicks outside the popup are confined.
+    let blocked_before = s.app.borrow().displays[0].blocked_event_count();
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_click(1000, 700, 1);
+    }
+    s.pump();
+    assert!(
+        s.app.borrow().displays[0].blocked_event_count() > blocked_before,
+        "outside clicks must be confined by the exclusive grab"
+    );
+}
+
+#[test]
+fn row_nonexclusive_realizes_with_spring_loaded_grab() {
+    let mut s = setup();
+    fire(&mut s, "nonexclusive");
+    assert!(popped(&s));
+    assert_eq!(grab_depth(&s), 1);
+    // Nonexclusive: events elsewhere still flow.
+    let blocked_before = s.app.borrow().displays[0].blocked_event_count();
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_click(1000, 700, 1);
+    }
+    s.pump();
+    assert_eq!(s.app.borrow().displays[0].blocked_event_count(), blocked_before);
+}
+
+#[test]
+fn row_popdown_unrealizes() {
+    let mut s = setup();
+    fire(&mut s, "none");
+    assert!(popped(&s));
+    fire(&mut s, "popdown");
+    assert!(!popped(&s), "popdown must unrealize the shell");
+    assert_eq!(grab_depth(&s), 0);
+}
+
+#[test]
+fn row_position_places_below_invoker() {
+    let mut s = setup();
+    fire(&mut s, "position");
+    assert!(popped(&s));
+    let app = s.app.borrow();
+    let popup = app.lookup("popup").unwrap();
+    let b = app.lookup("b").unwrap();
+    let b_abs = app.displays[0].abs_rect(app.widget(b).window.unwrap());
+    assert_eq!(app.pos_resource(popup, "x"), b_abs.x);
+    assert_eq!(app.pos_resource(popup, "y"), b_abs.y + b_abs.h as i32);
+}
+
+#[test]
+fn row_position_cursor_places_under_pointer() {
+    let mut s = setup();
+    {
+        let mut app = s.app.borrow_mut();
+        app.displays[0].inject_pointer_move(456, 321);
+    }
+    s.pump();
+    // Fire via a direct action so the click does not move the pointer.
+    s.eval("sV b callback {}").unwrap();
+    s.eval("callback b callback positionCursor popup").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let b = app.lookup("b").unwrap();
+        app.call_callbacks(b, "callback", std::collections::HashMap::new());
+    }
+    s.pump();
+    let app = s.app.borrow();
+    let popup = app.lookup("popup").unwrap();
+    assert_eq!(app.pos_resource(popup, "x"), 456);
+    assert_eq!(app.pos_resource(popup, "y"), 321);
+}
+
+#[test]
+fn predefined_callbacks_compose_with_scripts() {
+    // A callback list may mix a script and a predefined function.
+    let mut s = setup();
+    s.eval("sV b callback {echo opening}").unwrap();
+    s.eval("callback b callback none popup").unwrap();
+    wafe::click_widget(&mut s, "b");
+    assert_eq!(s.take_output(), "opening\n");
+    assert!(popped(&s));
+}

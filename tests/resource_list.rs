@@ -1,0 +1,66 @@
+//! E12 — the paper's resource-count example: the Label widget class has
+//! exactly 42 resources under the X11R5/Xaw3d stack, and the printed
+//! name list starts with the names the paper shows.
+
+use wafe::core::{Flavor, WafeSession};
+
+#[test]
+fn label_resource_count_is_42() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label l topLevel").unwrap();
+    assert_eq!(s.eval("getResourceList l retVal").unwrap(), "42");
+}
+
+#[test]
+fn paper_printed_prefix_matches() {
+    // "Resources: destroyCallback ancestorSensitive x y width height
+    //  borderWidth sensitive screen depth colormap background (...)".
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label l topLevel").unwrap();
+    s.eval("getResourceList l retVal").unwrap();
+    s.eval("echo Resources: $retVal").unwrap();
+    let out = s.take_output();
+    for name in [
+        "destroyCallback",
+        "ancestorSensitive",
+        "x",
+        "y",
+        "width",
+        "height",
+        "borderWidth",
+        "sensitive",
+        "screen",
+        "depth",
+        "colormap",
+        "background",
+    ] {
+        assert!(out.split_whitespace().any(|w| w == name), "missing {name} in {out}");
+    }
+    assert!(out.starts_with("Resources: destroyCallback"));
+}
+
+#[test]
+fn counts_differ_by_class_as_expected() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label l topLevel").unwrap();
+    s.eval("command c topLevel").unwrap();
+    s.eval("toggle t topLevel").unwrap();
+    let label: usize = s.eval("getResourceList l v").unwrap().parse().unwrap();
+    let command: usize = s.eval("getResourceList c v").unwrap().parse().unwrap();
+    let toggle: usize = s.eval("getResourceList t v").unwrap().parse().unwrap();
+    assert_eq!(label, 42);
+    // Command = Label + callback + highlightThickness.
+    assert_eq!(command, 44);
+    // Toggle = Command + state + radioGroup + radioData.
+    assert_eq!(toggle, 47);
+}
+
+#[test]
+fn resource_list_is_class_wide_not_per_instance() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label a topLevel label short").unwrap();
+    s.eval("label b topLevel label {a much longer label value}").unwrap();
+    let na = s.eval("getResourceList a v").unwrap();
+    let nb = s.eval("getResourceList b v").unwrap();
+    assert_eq!(na, nb);
+}
