@@ -3,7 +3,7 @@
 //! frontend while the backend computes, versus a single-process model
 //! whose GUI starves during computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::Flavor;
 use wafe_ipc::ProtocolEngine;
 
@@ -15,20 +15,26 @@ fn busy_work(ms: u64) {
     let start = std::time::Instant::now();
     let mut x = 3u64;
     while start.elapsed().as_millis() < ms as u128 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         std::hint::black_box(x);
     }
 }
 
 fn regenerate_claim() {
-    banner("E10", "refresh behaviour while the application program is busy");
+    banner(
+        "E10",
+        "refresh behaviour while the application program is busy",
+    );
 
     // Two-process model (Wafe): the frontend loop interleaves expose
     // servicing with (simulated) backend busy time — exposes are serviced
     // on every loop turn, so their latency is one loop turn, not the
     // whole computation.
     let mut e = ProtocolEngine::new(Flavor::Athena);
-    e.handle_line("%label l topLevel label shown width 100 height 30").unwrap();
+    e.handle_line("%label l topLevel label shown width 100 height 30")
+        .unwrap();
     e.handle_line("%realize").unwrap();
     let mut wafe_worst = std::time::Duration::ZERO;
     for _ in 0..10 {
@@ -45,12 +51,16 @@ fn regenerate_claim() {
         wafe_worst = wafe_worst.max(start.elapsed());
         assert_eq!(e.session.app.borrow().displays[0].pending(), 0);
     }
-    row("frontend model: worst expose service time", format!("{wafe_worst:?}"));
+    row(
+        "frontend model: worst expose service time",
+        format!("{wafe_worst:?}"),
+    );
 
     // Single-process model: the same application does the busy work on
     // the GUI thread — the expose waits for the entire computation.
     let mut s = bench::athena();
-    s.eval("label l topLevel label shown width 100 height 30").unwrap();
+    s.eval("label l topLevel label shown width 100 height 30")
+        .unwrap();
     s.eval("realize").unwrap();
     let mut single_worst = std::time::Duration::ZERO;
     for _ in 0..3 {
@@ -65,10 +75,16 @@ fn regenerate_claim() {
         s.pump(); // …only then is the expose serviced.
         single_worst = single_worst.max(start.elapsed());
     }
-    row("single-process model: worst expose latency", format!("{single_worst:?}"));
+    row(
+        "single-process model: worst expose latency",
+        format!("{single_worst:?}"),
+    );
     row(
         "frontend advantage",
-        format!("{:.0}x faster refresh", single_worst.as_secs_f64() / wafe_worst.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.0}x faster refresh",
+            single_worst.as_secs_f64() / wafe_worst.as_secs_f64().max(1e-9)
+        ),
     );
     assert!(
         single_worst > wafe_worst,
@@ -84,7 +100,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(30);
     group.bench_function("expose_service_time", |b| {
         let mut e = ProtocolEngine::new(Flavor::Athena);
-        e.handle_line("%label l topLevel label shown width 100 height 30").unwrap();
+        e.handle_line("%label l topLevel label shown width 100 height 30")
+            .unwrap();
         e.handle_line("%realize").unwrap();
         b.iter(|| {
             {

@@ -3,7 +3,7 @@
 //! delivered, in order, once it reads again — and the paper's suggested
 //! countermeasure (setting widgets insensitive) suppresses them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::Flavor;
 use wafe_ipc::ProtocolEngine;
 
@@ -12,7 +12,8 @@ use bench::{banner, click, row};
 fn regenerate_claim() {
     banner("E11", "click ahead due to I/O buffering");
     let mut e = ProtocolEngine::new(Flavor::Athena);
-    e.handle_line("%command b topLevel label go callback {echo pressed %w}").unwrap();
+    e.handle_line("%command b topLevel label go callback {echo pressed %w}")
+        .unwrap();
     e.handle_line("%realize").unwrap();
     let _ = e.take_app_lines();
 
@@ -43,12 +44,16 @@ fn regenerate_claim() {
     e.session.pump();
     let suppressed = e.take_app_lines();
     row("messages after setSensitive False", suppressed.len());
-    assert!(suppressed.is_empty(), "insensitive widgets must not click ahead");
+    assert!(
+        suppressed.is_empty(),
+        "insensitive widgets must not click ahead"
+    );
 
     // …and the Tcl busy-guard alternative the paper sketches.
     e.handle_line("%setSensitive b True").unwrap();
     e.handle_line("%set busy 1").unwrap();
-    e.handle_line("%sV b callback {if {$busy} {echo please wait} else {echo pressed}}").unwrap();
+    e.handle_line("%sV b callback {if {$busy} {echo please wait} else {echo pressed}}")
+        .unwrap();
     {
         let mut app = e.session.app.borrow_mut();
         let b = app.lookup("b").unwrap();
@@ -69,7 +74,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("buffer_100_clicks", |b| {
         let mut e = ProtocolEngine::new(Flavor::Athena);
-        e.handle_line("%command b topLevel label go callback {echo pressed}").unwrap();
+        e.handle_line("%command b topLevel label go callback {echo pressed}")
+            .unwrap();
         e.handle_line("%realize").unwrap();
         b.iter(|| {
             for _ in 0..100 {
@@ -85,7 +91,8 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("single_click_latency", |b| {
         let mut s = bench::athena();
-        s.eval("command b topLevel label go callback {set hit 1}").unwrap();
+        s.eval("command b topLevel label go callback {set hit 1}")
+            .unwrap();
         s.eval("realize").unwrap();
         b.iter(|| click(&mut s, "b"));
     });

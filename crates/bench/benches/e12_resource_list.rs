@@ -1,7 +1,7 @@
 //! E12 — the resource-count example: `getResourceList` on a Label prints
 //! 42 under the Xaw3d stack, with the names the paper lists.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 
 use bench::{athena, banner, row};
 
@@ -19,10 +19,23 @@ fn regenerate_example() {
     row("first resource names", prefix.join(" "));
     assert_eq!(
         &prefix[..6],
-        &["destroyCallback", "x", "y", "width", "height", "borderWidth"]
+        &[
+            "destroyCallback",
+            "x",
+            "y",
+            "width",
+            "height",
+            "borderWidth"
+        ]
     );
     // Per-class counts, for the record.
-    for (class, cmd) in [("Label", "label"), ("Command", "command"), ("Toggle", "toggle"), ("List", "list"), ("AsciiText", "asciiText")] {
+    for (class, cmd) in [
+        ("Label", "label"),
+        ("Command", "command"),
+        ("Toggle", "toggle"),
+        ("List", "list"),
+        ("AsciiText", "asciiText"),
+    ] {
         let w = format!("w{class}");
         s.eval(&format!("{cmd} {w} topLevel")).unwrap();
         let count = s.eval(&format!("getResourceList {w} v")).unwrap();

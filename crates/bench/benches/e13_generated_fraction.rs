@@ -2,7 +2,7 @@
 //! from specifications": measure the generated / hand-written command
 //! split and the cost of the spec parser (the runtime code generator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::session::{MOTIF_SPEC, SHELLS_SPEC, XAW_SPEC, XT_SPEC};
 use wafe_core::spec::parse_spec;
 use wafe_core::{Flavor, WafeSession};
@@ -10,7 +10,10 @@ use wafe_core::{Flavor, WafeSession};
 use bench::{banner, row};
 
 fn regenerate_claim() {
-    banner("E13", "generated vs hand-written commands (paper: ~60% generated)");
+    banner(
+        "E13",
+        "generated vs hand-written commands (paper: ~60% generated)",
+    );
     for (flavor, name) in [
         (Flavor::Athena, "wafe (Athena)"),
         (Flavor::Motif, "mofe (Motif)"),
@@ -35,7 +38,11 @@ fn regenerate_claim() {
         let spec = parse_spec(text).unwrap();
         row(
             file,
-            format!("{} classes + {} commands", spec.classes.len(), spec.commands.len()),
+            format!(
+                "{} classes + {} commands",
+                spec.classes.len(),
+                spec.commands.len()
+            ),
         );
     }
 }

@@ -4,16 +4,22 @@
 //! against Tcl, Xt, Xaw and X11 — all of which this reproduction had to
 //! build.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 
 use bench::{banner, count_loc, row, workspace_root};
 
 fn regenerate_inventory() {
-    banner("E14", "lines of code per layer (paper: Wafe itself ~13000 lines of C)");
+    banner(
+        "E14",
+        "lines of code per layer (paper: Wafe itself ~13000 lines of C)",
+    );
     let root = workspace_root();
     let layers = [
         ("wafe-tcl (Tcl interpreter)", "crates/wafe-tcl/src"),
-        ("wafe-xproto (X display simulation)", "crates/wafe-xproto/src"),
+        (
+            "wafe-xproto (X display simulation)",
+            "crates/wafe-xproto/src",
+        ),
         ("wafe-xt (Xt Intrinsics)", "crates/wafe-xt/src"),
         ("wafe-xaw (Athena widgets)", "crates/wafe-xaw/src"),
         ("wafe-motif (Motif subset)", "crates/wafe-motif/src"),

@@ -2,7 +2,7 @@
 //! (which can be pretty long depending on a preprocessor variable
 //! specified at compilation time; the default length is 64KB)".
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::{criterion_group, criterion_main, Criterion, Throughput};
 use wafe_core::Flavor;
 use wafe_ipc::{ProtocolEngine, DEFAULT_MAX_LINE};
 
@@ -10,7 +10,10 @@ use bench::{banner, row};
 
 fn regenerate_claim() {
     banner("E15", "the 64KB command-line limit");
-    row("default limit", format!("{DEFAULT_MAX_LINE} bytes (64KB, as in the paper)"));
+    row(
+        "default limit",
+        format!("{DEFAULT_MAX_LINE} bytes (64KB, as in the paper)"),
+    );
     let mut e = ProtocolEngine::new(Flavor::Athena);
     // A line just under the limit executes.
     let under = format!("%set big {{{}}}", "x".repeat(DEFAULT_MAX_LINE - 100));
@@ -28,7 +31,9 @@ fn regenerate_claim() {
     // The limit is the compile-time-style knob the paper mentions.
     let mut small = ProtocolEngine::new(Flavor::Athena);
     small.set_max_line(128);
-    assert!(small.handle_line(&format!("%echo {}", "y".repeat(200))).is_err());
+    assert!(small
+        .handle_line(&format!("%echo {}", "y".repeat(200)))
+        .is_err());
     row("configurable limit (128 B engine)", "enforced");
 }
 

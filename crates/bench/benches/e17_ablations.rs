@@ -4,14 +4,17 @@
 //! * Xrm precedence lookup as the database and widget depth grow,
 //! * spec-generated command dispatch vs a direct native call.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_xproto::geometry::Rect;
 use wafe_xt::xrm::XrmDb;
 
 use bench::{athena, banner, row};
 
 fn summarise() {
-    banner("E17", "ablations: damage tracking, Xrm scaling, dispatch layers");
+    banner(
+        "E17",
+        "ablations: damage tracking, Xrm scaling, dispatch layers",
+    );
     // Damage tracking: second flush with no changes should be ~free.
     let mut s = athena();
     s.eval("label l topLevel label x").unwrap();
@@ -33,10 +36,16 @@ fn summarise() {
             app.displays[0].flush();
         }
         let dirty = start.elapsed() / 20;
-        row("flush() with damage (full recomposite)", format!("{dirty:?}"));
+        row(
+            "flush() with damage (full recomposite)",
+            format!("{dirty:?}"),
+        );
         row(
             "damage-tracking saving",
-            format!("{:.0}x", dirty.as_secs_f64() / clean.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.0}x",
+                dirty.as_secs_f64() / clean.as_secs_f64().max(1e-12)
+            ),
         );
     }
 }
@@ -83,7 +92,12 @@ fn bench(c: &mut Criterion) {
         let mut s = athena();
         s.eval("label l topLevel").unwrap();
         let l = s.app.borrow().lookup("l").unwrap();
-        b.iter(|| s.app.borrow_mut().set_resource(l, "label", "ablated").unwrap());
+        b.iter(|| {
+            s.app
+                .borrow_mut()
+                .set_resource(l, "label", "ablated")
+                .unwrap()
+        });
     });
 
     // Snapshot scaling.

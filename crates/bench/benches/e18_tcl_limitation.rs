@@ -10,7 +10,7 @@
 //! path wins by orders of magnitude, which is why Wafe splits UI from
 //! computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_tcl::Interp;
 
 use bench::{banner, row};
@@ -37,11 +37,18 @@ fn factor_rust(mut n: u64) -> String {
         }
         d += 1;
     }
-    result.iter().map(u64::to_string).collect::<Vec<_>>().join("*")
+    result
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join("*")
 }
 
 fn summarise() {
-    banner("E18", "Tcl string-representation limitation (the frontend-split rationale)");
+    banner(
+        "E18",
+        "Tcl string-representation limitation (the frontend-split rationale)",
+    );
     let mut i = Interp::new();
     i.eval(FACTOR_TCL).unwrap();
     let n = 99991; // A prime: the worst case, the loop runs to n.
@@ -52,11 +59,20 @@ fn summarise() {
     let rust_result = factor_rust(n);
     let rust_time = start.elapsed();
     assert_eq!(tcl_result, rust_result);
-    row("factor 99991 in pure Tcl (the frontend)", format!("{tcl_time:?}"));
-    row("factor 99991 in the application program", format!("{rust_time:?}"));
+    row(
+        "factor 99991 in pure Tcl (the frontend)",
+        format!("{tcl_time:?}"),
+    );
+    row(
+        "factor 99991 in the application program",
+        format!("{rust_time:?}"),
+    );
     row(
         "compiled-application speedup",
-        format!("{:.0}x", tcl_time.as_secs_f64() / rust_time.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.0}x",
+            tcl_time.as_secs_f64() / rust_time.as_secs_f64().max(1e-9)
+        ),
     );
     println!(
         "  (this gap is the paper's reason for frontend mode: \"meaningful\n   \

@@ -1,7 +1,7 @@
 //! E1 — the "Predefined Callbacks" table: verify each of the six
 //! functions behaves as documented, then measure popup/popdown cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_xt::callback::PredefinedCallback;
 
 use bench::{athena, banner, click, row};
@@ -28,7 +28,8 @@ fn verify_table() {
             click(&mut s, "b");
             s.eval("sV b callback {}").unwrap();
         }
-        s.eval(&format!("callback b callback {name} popup")).unwrap();
+        s.eval(&format!("callback b callback {name} popup"))
+            .unwrap();
         if name == "positionCursor" {
             let mut app = s.app.borrow_mut();
             app.displays[0].inject_pointer_move(333, 222);
@@ -53,7 +54,10 @@ fn verify_table() {
             }
             _ => unreachable!(),
         };
-        println!("  {name:<16} {behaviour:<34} {}", if ok { "yes" } else { "NO" });
+        println!(
+            "  {name:<16} {behaviour:<34} {}",
+            if ok { "yes" } else { "NO" }
+        );
         assert!(ok, "predefined callback {name} misbehaved");
     }
     row("all six table rows", "reproduced");

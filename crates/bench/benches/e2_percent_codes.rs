@@ -1,7 +1,7 @@
 //! E2 — the "Event Types and Percent Codes of Actions" table: regenerate
 //! the full validity matrix, then measure substitution throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::percent::substitute_action;
 use wafe_xproto::{Event, EventKind, WindowId};
 
@@ -21,7 +21,10 @@ fn event(kind: EventKind) -> Event {
 }
 
 fn regenerate_matrix() {
-    banner("E2", "Event Types and Percent Codes of Actions (paper table)");
+    banner(
+        "E2",
+        "Event Types and Percent Codes of Actions (paper table)",
+    );
     let codes = ["%t", "%w", "%b", "%x", "%y", "%X", "%Y", "%a", "%k", "%s"];
     let kinds = [
         ("BPress", EventKind::ButtonPress),
@@ -40,14 +43,22 @@ fn regenerate_matrix() {
     let expectations: &[(&str, fn(EventKind) -> bool)] = &[
         ("%t", |_| true),
         ("%w", |_| true),
-        ("%b", |k| matches!(k, EventKind::ButtonPress | EventKind::ButtonRelease)),
+        ("%b", |k| {
+            matches!(k, EventKind::ButtonPress | EventKind::ButtonRelease)
+        }),
         ("%x", |_| true),
         ("%y", |_| true),
         ("%X", |_| true),
         ("%Y", |_| true),
-        ("%a", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
-        ("%k", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
-        ("%s", |k| matches!(k, EventKind::KeyPress | EventKind::KeyRelease)),
+        ("%a", |k| {
+            matches!(k, EventKind::KeyPress | EventKind::KeyRelease)
+        }),
+        ("%k", |k| {
+            matches!(k, EventKind::KeyPress | EventKind::KeyRelease)
+        }),
+        ("%s", |k| {
+            matches!(k, EventKind::KeyPress | EventKind::KeyRelease)
+        }),
     ];
     for (code, valid) in expectations {
         print!("  {code:<10}");

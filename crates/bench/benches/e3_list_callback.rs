@@ -1,15 +1,20 @@
 //! E3 — the "Athena List Widget Callback" percent codes (`%w %i %s`):
 //! regenerate the table and measure selection-to-callback latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 
 use bench::{athena, banner, row};
 
 fn regenerate_table() {
-    banner("E3", "Athena List Widget Callback percent codes (paper table)");
+    banner(
+        "E3",
+        "Athena List Widget Callback percent codes (paper table)",
+    );
     let mut s = athena();
-    s.eval("list chooseLst topLevel list {alpha,beta,gamma}").unwrap();
-    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}").unwrap();
+    s.eval("list chooseLst topLevel list {alpha,beta,gamma}")
+        .unwrap();
+    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}")
+        .unwrap();
     s.eval("realize").unwrap();
     {
         let mut app = s.app.borrow_mut();
@@ -34,7 +39,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("click_to_callback", |b| {
         let mut s = athena();
         let items: Vec<String> = (0..100).map(|i| format!("item{i}")).collect();
-        s.eval(&format!("list l topLevel list {{{}}}", items.join(","))).unwrap();
+        s.eval(&format!("list l topLevel list {{{}}}", items.join(",")))
+            .unwrap();
         s.eval("sV l callback {set picked %i}").unwrap();
         s.eval("realize").unwrap();
         let mut row_ix = 0usize;

@@ -2,7 +2,7 @@
 //! versus Tk's own intrinsics). Regenerated as a component inventory,
 //! plus the cost of assembling the whole stack (session startup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::{Flavor, WafeSession};
 
 use bench::{banner, row};
@@ -26,11 +26,21 @@ fn regenerate_figure() {
     println!("  +--------------------------------------------+");
     println!("  |  Wafe commands: {generated} generated + {handwritten} hand-written  |");
     println!("  +--------------------+-----------------------+");
-    println!("  |  Tcl ({tcl_builtins} built-ins) |  converters ({})      |", app.converters.len());
+    println!(
+        "  |  Tcl ({tcl_builtins} built-ins) |  converters ({})      |",
+        app.converters.len()
+    );
     println!("  +--------------------+-----------------------+");
-    println!("  |  Xaw widgets ({})  |  Motif subset ({})     |", athena.len(), motif.len());
+    println!(
+        "  |  Xaw widgets ({})  |  Motif subset ({})     |",
+        athena.len(),
+        motif.len()
+    );
     println!("  +--------------------+-----------------------+");
-    println!("  |  Xt Intrinsics (shells: {})                 |", shells.len());
+    println!(
+        "  |  Xt Intrinsics (shells: {})                 |",
+        shells.len()
+    );
     println!("  +--------------------------------------------+");
     println!("  |  X11 (simulated display server)            |");
     println!("  +--------------------------------------------+");

@@ -1,7 +1,7 @@
 //! E5 — Figure 3: the OSF/Motif compound-string label. Regenerates the
 //! figure as an ASCII render and measures the converter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_motif::{parse_font_list, parse_xmstring, render_xmstring};
 use wafe_xproto::font::FontDb;
 
@@ -22,7 +22,10 @@ fn regenerate_figure() {
     row("segments", segs.len());
     row("visual text", render_xmstring(&segs));
     let fonts = FontDb::new();
-    let fl = parse_font_list(&fonts, "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft");
+    let fl = parse_font_list(
+        &fonts,
+        "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft",
+    );
     row("font-list entries resolved", fl.len());
     assert_eq!(segs.len(), 4);
     assert_eq!(fl.len(), 2);

@@ -2,7 +2,7 @@
 //! command channel against the mass-transfer data channel (the paper's
 //! 100000-byte example), and file mode against frontend mode.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::{criterion_group, criterion_main, Criterion, Throughput};
 use wafe_core::Flavor;
 use wafe_ipc::ProtocolEngine;
 
@@ -12,7 +12,8 @@ fn regenerate_figure() {
     banner("E6", "Figure 4 — command channel vs mass-transfer channel");
     // The paper's own flow: transfer 100000 bytes into a text widget.
     let mut e = ProtocolEngine::new(Flavor::Athena);
-    e.handle_line("%asciiText text topLevel editType edit").unwrap();
+    e.handle_line("%asciiText text topLevel editType edit")
+        .unwrap();
     e.handle_line("%realize").unwrap();
     e.handle_line("%echo listening on [getChannel]").unwrap();
     let answer = &e.take_app_lines()[0];
@@ -23,12 +24,16 @@ fn regenerate_figure() {
     // variable; the channel is the only difference. (Applying the data
     // to a realized widget afterwards costs the same either way and
     // would mask the channel cost.)
-    e.handle_line("%setCommunicationVariable C 100000 {set done 1}").unwrap();
+    e.handle_line("%setCommunicationVariable C 100000 {set done 1}")
+        .unwrap();
     let start = std::time::Instant::now();
     e.handle_mass_data(&payload);
     let mass_time = start.elapsed();
     assert_eq!(e.session.interp.get_var("C").unwrap().len(), 100000);
-    row("100000 B via mass channel (no parsing)", format!("{mass_time:?}"));
+    row(
+        "100000 B via mass channel (no parsing)",
+        format!("{mass_time:?}"),
+    );
 
     let mut e2 = ProtocolEngine::new(Flavor::Athena);
     e2.handle_line("%set C {}").unwrap();
@@ -39,23 +44,34 @@ fn regenerate_figure() {
     }
     let line_time = start.elapsed();
     assert_eq!(e2.session.interp.get_var("C").unwrap().len(), 100000);
-    row("100000 B via command channel (100 parsed lines)", format!("{line_time:?}"));
+    row(
+        "100000 B via command channel (100 parsed lines)",
+        format!("{line_time:?}"),
+    );
     row(
         "mass channel speedup",
-        format!("{:.1}x", line_time.as_secs_f64() / mass_time.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}x",
+            line_time.as_secs_f64() / mass_time.as_secs_f64().max(1e-9)
+        ),
     );
 
     // The paper's full example: the transferred data lands in the text
     // widget via the completion script.
     let mut e3 = ProtocolEngine::new(Flavor::Athena);
-    e3.handle_line("%asciiText text topLevel editType edit").unwrap();
+    e3.handle_line("%asciiText text topLevel editType edit")
+        .unwrap();
     e3.handle_line("%realize").unwrap();
-    e3.handle_line("%setCommunicationVariable C 100000 {sV text string $C}").unwrap();
+    e3.handle_line("%setCommunicationVariable C 100000 {sV text string $C}")
+        .unwrap();
     let start = std::time::Instant::now();
     e3.handle_mass_data(&payload);
     let applied = start.elapsed();
     assert_eq!(e3.session.eval("gV text string").unwrap().len(), 100000);
-    row("transfer + sV text string $C (paper's flow)", format!("{applied:?}"));
+    row(
+        "transfer + sV text string $C (paper's flow)",
+        format!("{applied:?}"),
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -71,7 +87,8 @@ fn bench(c: &mut Criterion) {
         e.handle_line("%label l topLevel label x").unwrap();
         e.handle_line("%realize").unwrap();
         b.iter(|| {
-            e.handle_line(std::hint::black_box("%sV l label {new text}")).unwrap();
+            e.handle_line(std::hint::black_box("%sV l label {new text}"))
+                .unwrap();
         });
     });
 
@@ -79,11 +96,13 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(100000));
     group.bench_function("mass_channel_100k", |b| {
         let mut e = ProtocolEngine::new(Flavor::Athena);
-        e.handle_line("%asciiText text topLevel editType edit").unwrap();
+        e.handle_line("%asciiText text topLevel editType edit")
+            .unwrap();
         e.handle_line("%realize").unwrap();
         let payload = vec![b'x'; 100000];
         b.iter(|| {
-            e.handle_line("%setCommunicationVariable C 100000 {set done 1}").unwrap();
+            e.handle_line("%setCommunicationVariable C 100000 {set done 1}")
+                .unwrap();
             e.handle_mass_data(std::hint::black_box(&payload));
         });
     });

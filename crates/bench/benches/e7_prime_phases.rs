@@ -2,7 +2,7 @@
 //! with the protocol engine (deterministic; the real-process run lives in
 //! `tests/frontend_prime.rs`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::Flavor;
 use wafe_ipc::ProtocolEngine;
 
@@ -19,13 +19,19 @@ const TREE_LINES: &[&str] = &[
 ];
 
 fn regenerate_figure() {
-    banner("E7", "Figure 5 — the three phases of a Wafe frontend application");
+    banner(
+        "E7",
+        "Figure 5 — the three phases of a Wafe frontend application",
+    );
     let mut e = ProtocolEngine::new(Flavor::Athena);
     let start = std::time::Instant::now();
     for line in TREE_LINES {
         e.handle_line(line).unwrap();
     }
-    row("phase 2 (widget tree, 7 protocol lines)", format!("{:?}", start.elapsed()));
+    row(
+        "phase 2 (widget tree, 7 protocol lines)",
+        format!("{:?}", start.elapsed()),
+    );
     // Phase 3: the read loop, one interaction.
     let start = std::time::Instant::now();
     {
@@ -40,7 +46,10 @@ fn regenerate_figure() {
     assert_eq!(sent, vec!["360"]);
     e.handle_line("%sV result label {5*3*3*2*2*2}").unwrap();
     e.handle_line("%sV info label {0 seconds}").unwrap();
-    row("phase 3 (keypress -> answer applied)", format!("{:?}", start.elapsed()));
+    row(
+        "phase 3 (keypress -> answer applied)",
+        format!("{:?}", start.elapsed()),
+    );
     println!("{}", e.session.eval("snapshot 0 0 280 100").unwrap());
     let (interpreted, passed) = e.stats();
     row("protocol lines interpreted", interpreted);

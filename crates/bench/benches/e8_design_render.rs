@@ -2,16 +2,19 @@
 //! the xwafedesign screenshots, regenerated as ASCII renders; measures
 //! tree layout and snapshot cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::WafeSession;
 
 use bench::{athena, banner, row};
 
 fn build_design_tool(s: &mut WafeSession) {
     s.eval("form design topLevel").unwrap();
-    s.eval("label title design label {Design: sample} borderWidth 0").unwrap();
-    s.eval("list folders design fromVert title list {inbox,outbox}").unwrap();
-    s.eval("command send design label Send fromVert folders").unwrap();
+    s.eval("label title design label {Design: sample} borderWidth 0")
+        .unwrap();
+    s.eval("list folders design fromVert title list {inbox,outbox}")
+        .unwrap();
+    s.eval("command send design label Send fromVert folders")
+        .unwrap();
     s.eval("realize").unwrap();
 }
 
@@ -67,8 +70,10 @@ fn bench(c: &mut Criterion) {
             } else {
                 format!("n_{}", (i - 1) / 2)
             };
-            s.eval(&format!("label n_{i} graph label node{i} parentNode {parent}"))
-                .unwrap();
+            s.eval(&format!(
+                "label n_{i} graph label node{i} parentNode {parent}"
+            ))
+            .unwrap();
         }
         s.eval("realize").unwrap();
         b.iter(|| {

@@ -10,14 +10,17 @@
 //! far below human-perceptible latency (~10 ms was the 1993 bar), so the
 //! claim holds even though the layers differ by constant factors.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use wafe_core::Flavor;
 use wafe_ipc::ProtocolEngine;
 
 use bench::{athena, banner, row};
 
 fn summarise_latency() {
-    banner("E9", "C vs Wafe — widget creation + callback dispatch, three ways");
+    banner(
+        "E9",
+        "C vs Wafe — widget creation + callback dispatch, three ways",
+    );
     // One-shot wall-clock samples for the narrative (Criterion runs the
     // statistically sound version below).
     let n = 200u32;
@@ -44,27 +47,38 @@ fn summarise_latency() {
         }
     }
     let api = start.elapsed() / n;
-    row("create+destroy via direct API", format!("{api:?} per widget"));
+    row(
+        "create+destroy via direct API",
+        format!("{api:?} per widget"),
+    );
 
     // In-process Tcl (file mode).
     let start = std::time::Instant::now();
     for i in 0..n {
-        s.eval(&format!("label tcl{i} topLevel label hello")).unwrap();
+        s.eval(&format!("label tcl{i} topLevel label hello"))
+            .unwrap();
         s.eval(&format!("destroyWidget tcl{i}")).unwrap();
     }
     let tcl = start.elapsed() / n;
-    row("create+destroy via Tcl commands", format!("{tcl:?} per widget"));
+    row(
+        "create+destroy via Tcl commands",
+        format!("{tcl:?} per widget"),
+    );
 
     // Protocol lines (frontend mode, loopback transport).
     let mut e = ProtocolEngine::new(Flavor::Athena);
     e.handle_line("%realize").unwrap();
     let start = std::time::Instant::now();
     for i in 0..n {
-        e.handle_line(&format!("%label p{i} topLevel label hello")).unwrap();
+        e.handle_line(&format!("%label p{i} topLevel label hello"))
+            .unwrap();
         e.handle_line(&format!("%destroyWidget p{i}")).unwrap();
     }
     let proto = start.elapsed() / n;
-    row("create+destroy via protocol lines", format!("{proto:?} per widget"));
+    row(
+        "create+destroy via protocol lines",
+        format!("{proto:?} per widget"),
+    );
 
     row(
         "Tcl overhead over direct API",
@@ -72,8 +86,14 @@ fn summarise_latency() {
     );
     let imperceptible = api.as_millis() < 10 && tcl.as_millis() < 10 && proto.as_millis() < 10;
     row("all layers below the ~10 ms perception bar", imperceptible);
-    assert!(tcl.as_millis() < 10, "Tcl path must stay imperceptible: {tcl:?}");
-    assert!(proto.as_millis() < 10, "protocol path must stay imperceptible: {proto:?}");
+    assert!(
+        tcl.as_millis() < 10,
+        "Tcl path must stay imperceptible: {tcl:?}"
+    );
+    assert!(
+        proto.as_millis() < 10,
+        "protocol path must stay imperceptible: {proto:?}"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -123,7 +143,8 @@ fn bench(c: &mut Criterion) {
     // Callback dispatch: click-to-script, the latency a user feels.
     group.bench_function("callback_dispatch_click", |b| {
         let mut s = athena();
-        s.eval("command b topLevel label hit callback {set n [expr $n+1]}").unwrap();
+        s.eval("command b topLevel label hit callback {set n [expr $n+1]}")
+            .unwrap();
         s.eval("set n 0").unwrap();
         s.eval("realize").unwrap();
         b.iter(|| bench::click(&mut s, "b"));

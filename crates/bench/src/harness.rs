@@ -88,7 +88,8 @@ mod tests {
     #[test]
     fn session_helpers_work() {
         let mut s = athena();
-        s.eval("command b topLevel label hit callback {echo ok}").unwrap();
+        s.eval("command b topLevel label hit callback {echo ok}")
+            .unwrap();
         s.eval("realize").unwrap();
         click(&mut s, "b");
         assert_eq!(s.take_output(), "ok\n");

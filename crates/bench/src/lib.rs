@@ -7,5 +7,7 @@
 //! EXPERIMENTS.md quotes.
 
 pub mod harness;
+pub mod timing;
 
 pub use harness::*;
+pub use timing::{measure_median, Bencher, BenchmarkGroup, Criterion, SampleStats, Throughput};

@@ -1,0 +1,292 @@
+//! In-repo benchmark timing harness.
+//!
+//! A drop-in replacement for the slice of the `criterion` API the E1–E19
+//! benchmarks use, so the workspace builds and benches on network-less
+//! machines with no external dependencies. The measurement model is
+//! deliberately simple and robust: per sample, run the benchmarked
+//! closure for a calibrated number of iterations and record mean
+//! ns/iteration; report the **median of N samples** (median-of-N
+//! wall-clock), which resists scheduler noise without needing the full
+//! criterion statistics engine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to every benchmark function (criterion's
+/// `&mut Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Rate denominator for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A group of measurements sharing timing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget for the measured samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of samples the budget is split into.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Per-iteration work, reported as a rate next to the time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_samples(self.warm_up, self.measurement, self.sample_size, |b| f(b));
+        let mut line = format!(
+            "{}/{id}: median {} (min {}, max {}, {} samples)",
+            self.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.samples,
+        );
+        if let Some(t) = self.throughput {
+            let (amount, unit) = match t {
+                Throughput::Bytes(n) => (n as f64, "B"),
+                Throughput::Elements(n) => (n as f64, "elem"),
+            };
+            let per_sec = amount / (stats.median_ns / 1e9);
+            line.push_str(&format!(" — {}/s", fmt_rate(per_sec, unit)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (criterion parity; reporting is immediate here).
+    pub fn finish(&mut self) {}
+}
+
+/// Drives the iteration loop inside one sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `iters` times and records the wall-clock total.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Summary of one benchmark's samples, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+}
+
+/// The measurement core: calibrates an iteration count so each sample
+/// lasts roughly `measurement / sample_size`, warms up, then collects
+/// `sample_size` samples of mean ns/iteration.
+pub fn run_samples<F>(
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut routine: F,
+) -> SampleStats
+where
+    F: FnMut(&mut Bencher),
+{
+    let sample_size = sample_size.max(1);
+    // Calibration: one iteration to get a first time estimate.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let target = measurement
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(50))
+        .max(Duration::from_micros(100));
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    // Warm-up: run full samples until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SampleStats {
+        median_ns: median_of_sorted(&per_iter),
+        min_ns: per_iter[0],
+        max_ns: *per_iter.last().unwrap(),
+        samples: per_iter.len(),
+    }
+}
+
+/// Convenience: median ns/iteration of a plain closure (used by E19's
+/// machine-readable output).
+pub fn measure_median<R, F: FnMut() -> R>(
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: F,
+) -> f64 {
+    run_samples(warm_up, measurement, sample_size, |b| b.iter(&mut f)).median_ns
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style: the generated
+/// function builds a [`Criterion`] and runs each target against it.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() { $( $group(); )+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let ns = measure_median(
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            5,
+            || std::hint::black_box(3u64).wrapping_mul(7),
+        );
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1.0, 3.0, 5.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("noop", |b| b.iter(|| count = count.wrapping_add(1)));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_rate(2e6, "B").contains("MB"));
+    }
+}

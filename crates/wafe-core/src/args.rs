@@ -20,8 +20,22 @@ pub struct SplitArgs {
 
 /// X Toolkit options that consume a following value argument.
 const XT_VALUE_OPTIONS: &[&str] = &[
-    "-display", "-xrm", "-geometry", "-bg", "-background", "-fg", "-foreground", "-bd",
-    "-bordercolor", "-bw", "-borderwidth", "-fn", "-font", "-name", "-title", "-selectionTimeout",
+    "-display",
+    "-xrm",
+    "-geometry",
+    "-bg",
+    "-background",
+    "-fg",
+    "-foreground",
+    "-bd",
+    "-bordercolor",
+    "-bw",
+    "-borderwidth",
+    "-fn",
+    "-font",
+    "-name",
+    "-title",
+    "-selectionTimeout",
 ];
 
 /// X Toolkit options that stand alone.

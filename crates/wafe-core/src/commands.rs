@@ -36,7 +36,9 @@ fn register_set_values(session: &mut WafeSession) {
     let app_rc = session.app.clone();
     let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
         if argv.len() < 4 || (argv.len() - 2) % 2 != 0 {
-            return Err(wrong_num_args("setValues widget resource value ?resource value ...?"));
+            return Err(wrong_num_args(
+                "setValues widget resource value ?resource value ...?",
+            ));
         }
         let mut app = app_rc.borrow_mut();
         let w = app
@@ -92,7 +94,9 @@ fn register_merge_resources(session: &mut WafeSession) {
     let app_rc = session.app.clone();
     session.register_handwritten_command("mergeResources", move |_, argv| {
         if argv.len() < 3 || (argv.len() - 1) % 2 != 0 {
-            return Err(wrong_num_args("mergeResources resource value ?resource value ...?"));
+            return Err(wrong_num_args(
+                "mergeResources resource value ?resource value ...?",
+            ));
         }
         let mut app = app_rc.borrow_mut();
         for pair in argv[1..].chunks(2) {
@@ -191,7 +195,10 @@ fn register_realize(session: &mut WafeSession) {
                 .filter(|&w| {
                     let rec = app.widget(w);
                     rec.parent.is_none()
-                        && matches!(rec.class.name.as_str(), "TopLevelShell" | "ApplicationShell")
+                        && matches!(
+                            rec.class.name.as_str(),
+                            "TopLevelShell" | "ApplicationShell"
+                        )
                 })
                 .collect()
         };
@@ -289,9 +296,10 @@ fn register_timeouts(session: &mut WafeSession) {
         let ms: u64 = argv[1]
             .parse()
             .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
-        timers
-            .borrow_mut()
-            .push(Timer { deadline_ms: clock.get() + ms, script: argv[2].clone() });
+        timers.borrow_mut().push(Timer {
+            deadline_ms: clock.get() + ms,
+            script: argv[2].clone(),
+        });
         Ok(String::new())
     });
 
@@ -356,7 +364,12 @@ fn register_work_procs(session: &mut WafeSession) {
             .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
         let before = procs.borrow().len();
         procs.borrow_mut().retain(|(i, _)| *i != id);
-        Ok(if procs.borrow().len() < before { "1" } else { "0" }.into())
+        Ok(if procs.borrow().len() < before {
+            "1"
+        } else {
+            "0"
+        }
+        .into())
     });
 }
 
@@ -384,7 +397,9 @@ fn register_channel(session: &mut WafeSession) {
     let comm = session.comm_var.clone();
     session.register_handwritten_command("setCommunicationVariable", move |_, argv| {
         if argv.len() != 4 {
-            return Err(wrong_num_args("setCommunicationVariable varName byteCount script"));
+            return Err(wrong_num_args(
+                "setCommunicationVariable varName byteCount script",
+            ));
         }
         let bytes: usize = argv[2]
             .parse()
@@ -439,7 +454,10 @@ fn register_stats(session: &mut WafeSession) {
         // +1: this command itself has not been counted yet at capture
         // time for the commands registered after it; the counter cell is
         // shared, so reading it now is accurate.
-        Ok(format!("generated {generated} handwritten {}", handwritten.get()))
+        Ok(format!(
+            "generated {generated} handwritten {}",
+            handwritten.get()
+        ))
     });
 
     let guide = session.reference_guide();

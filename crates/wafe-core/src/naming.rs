@@ -67,7 +67,10 @@ mod tests {
         assert_eq!(command_name("XtDestroyWidget"), "destroyWidget");
         assert_eq!(command_name("XawFormAllowResize"), "formAllowResize");
         assert_eq!(command_name("XmCommandAppendValue"), "mCommandAppendValue");
-        assert_eq!(command_name("XmCascadeButtonHighlight"), "mCascadeButtonHighlight");
+        assert_eq!(
+            command_name("XmCascadeButtonHighlight"),
+            "mCascadeButtonHighlight"
+        );
         assert_eq!(command_name("XtGetResourceList"), "getResourceList");
     }
 

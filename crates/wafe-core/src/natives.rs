@@ -79,10 +79,11 @@ pub type NativeFn = Rc<dyn Fn(&mut Interp, &mut XtApp, &[NativeValue]) -> CmdRes
 /// Builds the full native registry, keyed by C function name.
 pub fn native_registry() -> HashMap<&'static str, NativeFn> {
     let mut m: HashMap<&'static str, NativeFn> = HashMap::new();
-    let mut add = |name: &'static str,
-                   f: &'static dyn Fn(&mut Interp, &mut XtApp, &[NativeValue]) -> CmdResult| {
-        m.insert(name, Rc::new(f));
-    };
+    let mut add =
+        |name: &'static str,
+         f: &'static dyn Fn(&mut Interp, &mut XtApp, &[NativeValue]) -> CmdResult| {
+            m.insert(name, Rc::new(f));
+        };
 
     add("XtDestroyWidget", &|_, app, a| {
         app.destroy_widget(a[0].widget());
@@ -129,7 +130,9 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
             .map(|p| app.widget(p).name.clone())
             .unwrap_or_default())
     });
-    add("XtName", &|_, app, a| Ok(app.widget(a[0].widget()).name.clone()));
+    add("XtName", &|_, app, a| {
+        Ok(app.widget(a[0].widget()).name.clone())
+    });
     add("XtClass", &|_, app, a| {
         Ok(app.widget(a[0].widget()).class.name.clone())
     });
@@ -153,9 +156,21 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
     });
     add("XtResizeWidget", &|_, app, a| {
         let w = a[0].widget();
-        app.put_resource(w, "width", wafe_xt::ResourceValue::Dim(a[1].int().max(1) as u32));
-        app.put_resource(w, "height", wafe_xt::ResourceValue::Dim(a[2].int().max(1) as u32));
-        app.put_resource(w, "borderWidth", wafe_xt::ResourceValue::Dim(a[3].int().max(0) as u32));
+        app.put_resource(
+            w,
+            "width",
+            wafe_xt::ResourceValue::Dim(a[1].int().max(1) as u32),
+        );
+        app.put_resource(
+            w,
+            "height",
+            wafe_xt::ResourceValue::Dim(a[2].int().max(1) as u32),
+        );
+        app.put_resource(
+            w,
+            "borderWidth",
+            wafe_xt::ResourceValue::Dim(a[3].int().max(0) as u32),
+        );
         let root = app.root_of(w);
         if app.is_realized(root) {
             app.do_layout(root);
@@ -192,7 +207,10 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         let w = a[0].widget();
         let di = app.widget(w).display_idx;
         let atom = app.displays[di].intern_atom(a[1].string());
-        Ok(app.displays[di].get_selection(atom).unwrap_or("").to_string())
+        Ok(app.displays[di]
+            .get_selection(atom)
+            .unwrap_or("")
+            .to_string())
     });
     add("XtDisownSelection", &|_, app, a| {
         let w = a[0].widget();
@@ -283,15 +301,15 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         Ok(String::new())
     });
     add("XawStripChartAddSample", &|_, app, a| {
-        let v: f64 = a[1]
-            .string()
-            .trim()
-            .parse()
-            .map_err(|_| TclError::Error(format!("expected number but got \"{}\"", a[1].string())))?;
+        let v: f64 = a[1].string().trim().parse().map_err(|_| {
+            TclError::Error(format!("expected number but got \"{}\"", a[1].string()))
+        })?;
         wafe_xaw::chart::stripchart_add_sample(app, a[0].widget(), v);
         Ok(String::new())
     });
-    add("XawTextGetString", &|_, app, a| Ok(app.str_resource(a[0].widget(), "string")));
+    add("XawTextGetString", &|_, app, a| {
+        Ok(app.str_resource(a[0].widget(), "string"))
+    });
     add("XawViewportSetCoordinates", &|_, app, a| {
         wafe_xaw::paned::viewport_scroll(app, a[0].widget(), a[1].int() as i32, a[2].int() as i32);
         Ok(String::new())

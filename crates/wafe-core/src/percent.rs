@@ -21,7 +21,10 @@ use wafe_xproto::{Event, EventKind};
 
 /// Substitutes action percent codes using the triggering event.
 pub fn substitute_action(script: &str, widget_name: &str, event: &Event) -> String {
-    let is_button = matches!(event.kind, EventKind::ButtonPress | EventKind::ButtonRelease);
+    let is_button = matches!(
+        event.kind,
+        EventKind::ButtonPress | EventKind::ButtonRelease
+    );
     let is_key = matches!(event.kind, EventKind::KeyPress | EventKind::KeyRelease);
     let is_crossing = matches!(event.kind, EventKind::EnterNotify | EventKind::LeaveNotify);
     let has_coords = is_button || is_key || is_crossing;
@@ -154,7 +157,10 @@ mod tests {
         let mut e = Event::new(EventKind::EnterNotify, WindowId(1));
         e.x = 1;
         e.y = 2;
-        assert_eq!(substitute_action("%t %x %y %b %a", "w", &e), "EnterNotify 1 2 %b %a");
+        assert_eq!(
+            substitute_action("%t %x %y %b %a", "w", &e),
+            "EnterNotify 1 2 %b %a"
+        );
     }
 
     #[test]
@@ -166,7 +172,10 @@ mod tests {
 
     #[test]
     fn percent_percent_literal() {
-        assert_eq!(substitute_action("100%% done", "w", &key_event()), "100% done");
+        assert_eq!(
+            substitute_action("100%% done", "w", &key_event()),
+            "100% done"
+        );
         // Trailing single percent.
         assert_eq!(substitute_action("odd%", "w", &key_event()), "odd%");
     }
@@ -178,7 +187,10 @@ mod tests {
         data.insert('s', "active element".to_string());
         data.insert('i', "4".to_string());
         let out = substitute_callback("sV confirmLab label %s (#%i from %w)", "chooseLst", &data);
-        assert_eq!(out, "sV confirmLab label active element (#4 from chooseLst)");
+        assert_eq!(
+            out,
+            "sV confirmLab label active element (#4 from chooseLst)"
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl WafeSession {
         if flavor != Flavor::Athena {
             // The mofe flavour installs the XmString compound converter.
             app.converters.register(wafe_xt::ResType::Compound, |s, _| {
-                Ok(wafe_xt::ResourceValue::Compound(wafe_motif::parse_xmstring(s)))
+                Ok(wafe_xt::ResourceValue::Compound(
+                    wafe_motif::parse_xmstring(s),
+                ))
             });
         }
         // The global `exec` action: "Wafe registers a global action exec
@@ -187,7 +189,10 @@ impl WafeSession {
     fn register_class_command(&mut self, cs: &ClassSpec) {
         let app_rc = self.app.clone();
         let class_name = cs.class.clone();
-        let usage = format!("{} name father ?unmanaged? ?resource value ...?", cs.command);
+        let usage = format!(
+            "{} name father ?unmanaged? ?resource value ...?",
+            cs.command
+        );
         self.interp.register(&cs.command, move |_interp, argv| {
             if argv.len() < 3 {
                 return Err(wrong_num_args(&usage));
@@ -205,12 +210,16 @@ impl WafeSession {
                     "resource arguments must come in attribute value pairs",
                 ));
             }
-            let init: Vec<(String, String)> =
-                rest.chunks(2).map(|c| (c[0].clone(), c[1].clone())).collect();
+            let init: Vec<(String, String)> = rest
+                .chunks(2)
+                .map(|c| (c[0].clone(), c[1].clone()))
+                .collect();
             let mut app = app_rc.borrow_mut();
-            let class = app
-                .class(&class_name)
-                .ok_or_else(|| TclError::Error(format!("widget class \"{class_name}\" not available in this Wafe binary")))?;
+            let class = app.class(&class_name).ok_or_else(|| {
+                TclError::Error(format!(
+                    "widget class \"{class_name}\" not available in this Wafe binary"
+                ))
+            })?;
             let father_id = app.lookup(father);
             let created = match father_id {
                 Some(f) if class.is_shell => {
@@ -343,7 +352,8 @@ impl WafeSession {
     where
         F: FnMut(&str) + 'static,
     {
-        self.interp.set_output(OutputSink::Func(Rc::new(RefCell::new(f))));
+        self.interp
+            .set_output(OutputSink::Func(Rc::new(RefCell::new(f))));
     }
 
     // ----- virtual time ------------------------------------------------------
@@ -351,7 +361,10 @@ impl WafeSession {
     /// Schedules a script after `ms` virtual milliseconds.
     pub fn add_timeout(&mut self, ms: u64, script: &str) {
         let deadline_ms = self.clock_ms.get() + ms;
-        self.timers.borrow_mut().push(Timer { deadline_ms, script: script.to_string() });
+        self.timers.borrow_mut().push(Timer {
+            deadline_ms,
+            script: script.to_string(),
+        });
     }
 
     /// Advances the virtual clock, firing due timeouts in order.
@@ -373,7 +386,9 @@ impl WafeSession {
                     self.clock_ms.set(deadline);
                     if let Err(e) = self.interp.eval(&t.script) {
                         if e.is_error() {
-                            self.app.borrow_mut().warn(format!("timeout script failed: {e}"));
+                            self.app
+                                .borrow_mut()
+                                .warn(format!("timeout script failed: {e}"));
                         }
                     }
                     self.pump();
@@ -454,7 +469,9 @@ fn convert_arg(app: &XtApp, ty: SpecType, text: &str) -> Result<NativeValue, Tcl
         SpecType::Boolean => match text.to_lowercase().as_str() {
             "true" | "yes" | "on" | "1" => Ok(NativeValue::Bool(true)),
             "false" | "no" | "off" | "0" => Ok(NativeValue::Bool(false)),
-            _ => Err(TclError::Error(format!("expected boolean but got \"{text}\""))),
+            _ => Err(TclError::Error(format!(
+                "expected boolean but got \"{text}\""
+            ))),
         },
         SpecType::Int | SpecType::Cardinal | SpecType::Position | SpecType::Dimension => text
             .trim()

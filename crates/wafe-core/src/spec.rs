@@ -134,11 +134,17 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, String> {
                 } else if extra.starts_with("#include") {
                     // Kept for authenticity; nothing to do in Rust.
                 } else {
-                    return Err(format!("unknown attribute \"{extra}\" in class block {class}"));
+                    return Err(format!(
+                        "unknown attribute \"{extra}\" in class block {class}"
+                    ));
                 }
             }
             let command = class_command_name(&class);
-            out.classes.push(ClassSpec { class, command, popup });
+            out.classes.push(ClassSpec {
+                class,
+                command,
+                popup,
+            });
             continue;
         }
         // Function block: ret type, C name, in:/out:/doc: lines.
@@ -171,7 +177,14 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, String> {
             }
         }
         let command = command_name(&c_name);
-        out.commands.push(CommandSpec { c_name, command, ret, inputs, outputs, doc });
+        out.commands.push(CommandSpec {
+            c_name,
+            command,
+            ret,
+            inputs,
+            outputs,
+            doc,
+        });
     }
     Ok(out)
 }
@@ -191,7 +204,8 @@ impl SpecFile {
     /// Renders the short reference guide (the original emitted TeX; the
     /// reproduction emits Markdown).
     pub fn reference_guide(&self) -> String {
-        let mut out = String::from("# Wafe short reference guide\n\n## Widget creation commands\n\n");
+        let mut out =
+            String::from("# Wafe short reference guide\n\n## Widget creation commands\n\n");
         let mut classes = self.classes.clone();
         classes.sort_by(|a, b| a.command.cmp(&b.command));
         for c in &classes {

@@ -66,8 +66,10 @@ fn paper_hello_world_file_mode() {
 #[test]
 fn paper_set_values_example() {
     let mut s = athena();
-    s.eval("label label1 topLevel background red foreground blue").unwrap();
-    s.eval("setValues label1 background \"tomato\" label \"Hi Man\"").unwrap();
+    s.eval("label label1 topLevel background red foreground blue")
+        .unwrap();
+    s.eval("setValues label1 background \"tomato\" label \"Hi Man\"")
+        .unwrap();
     assert_eq!(s.eval("gV label1 label").unwrap(), "Hi Man");
     assert_eq!(s.eval("gV label1 background").unwrap(), "#ff6347");
     s.eval("sV label1 label Other").unwrap();
@@ -77,7 +79,8 @@ fn paper_set_values_example() {
 #[test]
 fn paper_merge_resources_example() {
     let mut s = athena();
-    s.eval("mergeResources *Font fixed *foreground blue *background red").unwrap();
+    s.eval("mergeResources *Font fixed *foreground blue *background red")
+        .unwrap();
     s.eval("label hello topLevel").unwrap();
     assert_eq!(s.eval("gV hello foreground").unwrap(), "#0000ff");
     assert_eq!(s.eval("gV hello background").unwrap(), "#ff0000");
@@ -108,7 +111,8 @@ fn paper_callback_readback_example() {
 fn paper_xev_example() {
     let mut s = athena();
     s.eval("label xev topLevel width 100 height 50").unwrap();
-    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}").unwrap();
+    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}")
+        .unwrap();
     s.eval("realize").unwrap();
     {
         let mut app = s.app.borrow_mut();
@@ -140,17 +144,23 @@ fn paper_predefined_callback_command() {
     click(&mut s, "b");
     let app = s.app.borrow();
     let popup = app.lookup("popup").unwrap();
-    assert!(app.is_popped_up(popup), "armCallback must realize the popup shell");
+    assert!(
+        app.is_popped_up(popup),
+        "armCallback must realize the popup shell"
+    );
     assert_eq!(app.displays[0].grab_depth(), 0, "grab none");
 }
 
 #[test]
 fn paper_menu_button_translation() {
     let mut s = athena();
-    s.eval("menuButton mb topLevel label Menu menuName themenu").unwrap();
+    s.eval("menuButton mb topLevel label Menu menuName themenu")
+        .unwrap();
     s.eval("simpleMenu themenu topLevel").unwrap();
-    s.eval("smeBSB entry themenu label First callback {echo picked %l}").unwrap();
-    s.eval("action mb override \"<EnterWindow>: PopupMenu()\"").unwrap();
+    s.eval("smeBSB entry themenu label First callback {echo picked %l}")
+        .unwrap();
+    s.eval("action mb override \"<EnterWindow>: PopupMenu()\"")
+        .unwrap();
     s.eval("realize").unwrap();
     {
         let mut app = s.app.borrow_mut();
@@ -175,8 +185,10 @@ fn paper_list_percent_codes() {
     let mut s = athena();
     s.eval("form f topLevel").unwrap();
     s.eval("label confirmLab f label empty").unwrap();
-    s.eval("list chooseLst f fromVert confirmLab list {alpha,beta,gamma}").unwrap();
-    s.eval("sV chooseLst callback {sV confirmLab label %s}").unwrap();
+    s.eval("list chooseLst f fromVert confirmLab list {alpha,beta,gamma}")
+        .unwrap();
+    s.eval("sV chooseLst callback {sV confirmLab label %s}")
+        .unwrap();
     s.eval("realize").unwrap();
     {
         let mut app = s.app.borrow_mut();
@@ -208,10 +220,31 @@ fn application_shell_on_second_display() {
 fn spec_generated_commands_present() {
     let mut s = athena();
     for cmd in [
-        "label", "command", "toggle", "menuButton", "form", "box", "paned", "viewport", "list",
-        "asciiText", "scrollbar", "dialog", "stripChart", "simpleMenu", "smeBSB", "destroyWidget",
-        "manageChild", "unmanageChild", "popup", "popdown", "setSensitive", "getResourceList",
-        "listHighlight", "dialogAddButton", "translateCoords",
+        "label",
+        "command",
+        "toggle",
+        "menuButton",
+        "form",
+        "box",
+        "paned",
+        "viewport",
+        "list",
+        "asciiText",
+        "scrollbar",
+        "dialog",
+        "stripChart",
+        "simpleMenu",
+        "smeBSB",
+        "destroyWidget",
+        "manageChild",
+        "unmanageChild",
+        "popup",
+        "popdown",
+        "setSensitive",
+        "getResourceList",
+        "listHighlight",
+        "dialogAddButton",
+        "translateCoords",
     ] {
         assert!(s.interp.has_command(cmd), "missing generated command {cmd}");
     }
@@ -250,7 +283,8 @@ fn motif_flavor_commands() {
 #[test]
 fn m_cascade_button_highlight_from_spec() {
     let mut s = motif();
-    s.eval("mCascadeButton casc topLevel labelString File").unwrap();
+    s.eval("mCascadeButton casc topLevel labelString File")
+        .unwrap();
     s.eval("realize").unwrap();
     s.eval("mCascadeButtonHighlight casc True").unwrap();
     {
@@ -280,7 +314,10 @@ fn figure3_compound_string_label() {
     s.eval("realize").unwrap();
     let snap = s.eval("snapshot 0 0 400 60").unwrap();
     assert!(snap.contains("I'm"), "snapshot:\n{snap}");
-    assert!(snap.contains("egnarts"), "rtl segment must render reversed:\n{snap}");
+    assert!(
+        snap.contains("egnarts"),
+        "rtl segment must render reversed:\n{snap}"
+    );
 }
 
 #[test]
@@ -349,7 +386,10 @@ fn selections_roundtrip() {
     s.eval("label l topLevel").unwrap();
     s.eval("realize").unwrap();
     s.eval("ownSelection l PRIMARY {hello selection}").unwrap();
-    assert_eq!(s.eval("getSelectionValue l PRIMARY").unwrap(), "hello selection");
+    assert_eq!(
+        s.eval("getSelectionValue l PRIMARY").unwrap(),
+        "hello selection"
+    );
     s.eval("disownSelection l PRIMARY").unwrap();
     assert_eq!(s.eval("getSelectionValue l PRIMARY").unwrap(), "");
 }
@@ -408,11 +448,14 @@ fn rdd_drag_and_drop_commands() {
     // from ext.wspec with the standard naming rules).
     let mut s = athena();
     s.eval("form f topLevel").unwrap();
-    s.eval("label file f label {file.txt} width 60 height 20").unwrap();
-    s.eval("label trash f fromHoriz file label Trash width 60 height 20").unwrap();
+    s.eval("label file f label {file.txt} width 60 height 20")
+        .unwrap();
+    s.eval("label trash f fromHoriz file label Trash width 60 height 20")
+        .unwrap();
     s.eval("realize").unwrap();
     s.eval("rddDragSource file {file.txt}").unwrap();
-    s.eval("rddDropTarget trash {echo dropping %v into %w}").unwrap();
+    s.eval("rddDropTarget trash {echo dropping %v into %w}")
+        .unwrap();
     {
         let mut app = s.app.borrow_mut();
         let src = app.lookup("file").unwrap();
@@ -434,7 +477,11 @@ fn load_resource_file_command() {
     let dir = std::env::temp_dir().join(format!("wafe-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("app-defaults");
-    std::fs::write(&path, "*foreground: tomato\n! a comment\n*label: FromFile\n").unwrap();
+    std::fs::write(
+        &path,
+        "*foreground: tomato\n! a comment\n*label: FromFile\n",
+    )
+    .unwrap();
     let n = s
         .eval(&format!("loadResourceFile {}", path.display()))
         .unwrap();
@@ -453,9 +500,12 @@ fn scrollbar_drives_viewport() {
     let mut s = athena();
     s.eval("form f topLevel").unwrap();
     s.eval("scrollbar sb f length 200").unwrap();
-    s.eval("viewport vp f fromHoriz sb width 200 height 200").unwrap();
-    s.eval("label tall vp label tallcontent width 200 height 1000").unwrap();
-    s.eval("sV sb jumpProc {viewportSetCoordinates vp 0 [expr {%t * 800 / 1000}]}").unwrap();
+    s.eval("viewport vp f fromHoriz sb width 200 height 200")
+        .unwrap();
+    s.eval("label tall vp label tallcontent width 200 height 1000")
+        .unwrap();
+    s.eval("sV sb jumpProc {viewportSetCoordinates vp 0 [expr {%t * 800 / 1000}]}")
+        .unwrap();
     s.eval("realize").unwrap();
     // Middle-click halfway down the scrollbar.
     {
@@ -484,7 +534,8 @@ fn accelerators_run_source_widget_actions() {
          accelerators {Meta<Key>q: set() notify() unset()}",
     )
     .unwrap();
-    s.eval("label other f fromHoriz quitb label {focus here} width 120 height 40").unwrap();
+    s.eval("label other f fromHoriz quitb label {focus here} width 120 height 40")
+        .unwrap();
     s.eval("installAccelerators other quitb").unwrap();
     s.eval("realize").unwrap();
     {
@@ -494,7 +545,11 @@ fn accelerators_run_source_widget_actions() {
         app.displays[0].set_input_focus(Some(win));
         app.displays[0].inject_key_named(
             "q",
-            wafe_xproto::Modifiers { shift: false, control: false, meta: true },
+            wafe_xproto::Modifiers {
+                shift: false,
+                control: false,
+                meta: true,
+            },
         );
     }
     s.pump();
@@ -515,9 +570,11 @@ fn accelerators_run_source_widget_actions() {
 fn install_all_accelerators_covers_subtree() {
     let mut s = athena();
     s.eval("form f topLevel").unwrap();
-    s.eval("command a f label A callback {echo A!} accelerators {<Key>F1: set() notify() unset()}").unwrap();
+    s.eval("command a f label A callback {echo A!} accelerators {<Key>F1: set() notify() unset()}")
+        .unwrap();
     s.eval("command b f fromHoriz a label B callback {echo B!} accelerators {<Key>F2: set() notify() unset()}").unwrap();
-    s.eval("label pad f fromVert a width 100 height 30").unwrap();
+    s.eval("label pad f fromVert a width 100 height 30")
+        .unwrap();
     s.eval("installAllAccelerators pad f").unwrap();
     s.eval("realize").unwrap();
     for (key, expect) in [("F1", "A!\n"), ("F2", "B!\n")] {
@@ -539,7 +596,10 @@ fn name_to_widget_resolves_paths() {
     s.eval("form f topLevel").unwrap();
     s.eval("form inner f").unwrap();
     s.eval("command deep inner label x").unwrap();
-    assert_eq!(s.eval("nameToWidget topLevel f.inner.deep").unwrap(), "deep");
+    assert_eq!(
+        s.eval("nameToWidget topLevel f.inner.deep").unwrap(),
+        "deep"
+    );
     assert_eq!(s.eval("nameToWidget f inner").unwrap(), "inner");
     assert!(s.eval("nameToWidget topLevel f.nothere").is_err());
 }
@@ -547,7 +607,8 @@ fn name_to_widget_resolves_paths() {
 #[test]
 fn snapshot_ppm_writes_image() {
     let mut s = athena();
-    s.eval("label l topLevel label {for the figure} background tomato").unwrap();
+    s.eval("label l topLevel label {for the figure} background tomato")
+        .unwrap();
     s.eval("realize").unwrap();
     let dir = std::env::temp_dir().join(format!("wafe-ppm-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -558,7 +619,10 @@ fn snapshot_ppm_writes_image() {
     assert_eq!(data.len(), "P6\n1024 768\n255\n".len() + 1024 * 768 * 3);
     // The tomato background must appear somewhere in the image.
     let tomato = [0xffu8, 0x63, 0x47];
-    assert!(data.windows(3).any(|w| w == tomato), "tomato pixels present");
+    assert!(
+        data.windows(3).any(|w| w == tomato),
+        "tomato pixels present"
+    );
     assert!(s.eval("snapshotPpm /no/such/dir/x.ppm").is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -599,7 +663,10 @@ fn failing_work_proc_is_dropped_with_warning() {
     s.pump();
     s.pump();
     let warnings = s.app.borrow_mut().take_warnings();
-    assert_eq!(warnings.iter().filter(|w| w.contains("work proc")).count(), 1);
+    assert_eq!(
+        warnings.iter().filter(|w| w.contains("work proc")).count(),
+        1
+    );
 }
 
 #[test]
@@ -607,9 +674,11 @@ fn trace_driven_reactive_label() {
     // A Tcl variable trace keeps a label in sync with application state —
     // the reactive idiom traces enable on top of Wafe.
     let mut s = athena();
-    s.eval("label status topLevel label idle width 200").unwrap();
+    s.eval("label status topLevel label idle width 200")
+        .unwrap();
     s.eval("realize").unwrap();
-    s.eval("proc sync {n e o} {global state; sV status label $state}").unwrap();
+    s.eval("proc sync {n e o} {global state; sV status label $state}")
+        .unwrap();
     s.eval("trace variable state w sync").unwrap();
     s.eval("set state {downloading...}").unwrap();
     assert_eq!(s.eval("gV status label").unwrap(), "downloading...");
@@ -631,7 +700,11 @@ fn widget_tree_introspection() {
     assert!(tree.contains("b Command"));
     // Parsable as nested lists from Tcl itself.
     assert_eq!(s.eval("lindex [widgetTree] 1").unwrap(), "TopLevelShell");
-    assert_eq!(s.eval("lindex [lindex [lindex [widgetTree] 2] 0] 0").unwrap(), "f");
+    assert_eq!(
+        s.eval("lindex [lindex [lindex [widgetTree] 2] 0] 0")
+            .unwrap(),
+        "f"
+    );
     // Rooted at a subtree.
     let sub = s.eval("widgetTree f").unwrap();
     assert!(sub.starts_with("f Form"));
@@ -651,7 +724,11 @@ fn reference_guide_consistent_with_registered_commands() {
             "guide missing class command {}",
             class.command
         );
-        assert!(s.interp.has_command(&class.command), "unregistered {}", class.command);
+        assert!(
+            s.interp.has_command(&class.command),
+            "unregistered {}",
+            class.command
+        );
     }
     for cmd in s.spec().commands.iter() {
         assert!(
@@ -659,8 +736,16 @@ fn reference_guide_consistent_with_registered_commands() {
             "guide missing {}",
             cmd.command
         );
-        assert!(s.interp.has_command(&cmd.command), "unregistered {}", cmd.command);
-        assert!(guide.contains(&cmd.c_name), "guide missing C name {}", cmd.c_name);
+        assert!(
+            s.interp.has_command(&cmd.command),
+            "unregistered {}",
+            cmd.command
+        );
+        assert!(
+            guide.contains(&cmd.c_name),
+            "guide missing C name {}",
+            cmd.c_name
+        );
     }
     // No spec command lacks a native handler (load_specs would have
     // warned).

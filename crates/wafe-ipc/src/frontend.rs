@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use wafe_core::Flavor;
 
 use crate::protocol::ProtocolEngine;
+use crate::sys as libc;
 
 /// The fd number at which the child inherits the write end of the
 /// mass-transfer channel; `getChannel` reports the fd Wafe listens on.
@@ -169,7 +170,11 @@ impl Frontend {
             revents: 0,
         }];
         if let Some(m) = &self.mass_read {
-            pollfds.push(libc::pollfd { fd: m.as_raw_fd(), events: libc::POLLIN, revents: 0 });
+            pollfds.push(libc::pollfd {
+                fd: m.as_raw_fd(),
+                events: libc::POLLIN,
+                revents: 0,
+            });
         }
         // SAFETY: pollfds is a valid array of initialised pollfd structs.
         unsafe {
@@ -282,7 +287,10 @@ mod tests {
     #[test]
     fn argv0_link_scheme() {
         assert_eq!(backend_from_argv0("xwafeApp"), Some("wafeApp".into()));
-        assert_eq!(backend_from_argv0("/usr/bin/X11/xwafemail"), Some("wafemail".into()));
+        assert_eq!(
+            backend_from_argv0("/usr/bin/X11/xwafemail"),
+            Some("wafemail".into())
+        );
         assert_eq!(backend_from_argv0("wafe"), None);
         assert_eq!(backend_from_argv0("mofe"), None);
         assert_eq!(backend_from_argv0("x"), None);
@@ -325,7 +333,10 @@ mod tests {
                 }
             }
         }
-        assert!(fe.engine.session.app.borrow().lookup("go").is_some(), "backend lines not processed");
+        assert!(
+            fe.engine.session.app.borrow().lookup("go").is_some(),
+            "backend lines not processed"
+        );
         // Click the button: callback echoes to the app and quits.
         {
             let mut app = fe.engine.session.app.borrow_mut();

@@ -23,6 +23,7 @@
 
 pub mod frontend;
 pub mod protocol;
+pub(crate) mod sys;
 
 pub use frontend::{backend_from_argv0, Frontend, FrontendConfig};
 pub use protocol::{ProtocolEngine, DEFAULT_MAX_LINE, DEFAULT_PREFIX};

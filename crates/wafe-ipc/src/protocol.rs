@@ -45,7 +45,8 @@ impl ProtocolEngine {
             part.push_str(s);
             while let Some(nl) = part.find('\n') {
                 let line: String = part.drain(..=nl).collect();
-                q.borrow_mut().push_back(line.trim_end_matches('\n').to_string());
+                q.borrow_mut()
+                    .push_back(line.trim_end_matches('\n').to_string());
             }
         });
         ProtocolEngine {
@@ -280,7 +281,8 @@ mod tests {
         e.handle_line("%form top topLevel").unwrap();
         e.handle_line("%asciiText text top editType edit").unwrap();
         e.handle_line("%realize").unwrap();
-        e.handle_line("%setCommunicationVariable C 100 {sV text string $C}").unwrap();
+        e.handle_line("%setCommunicationVariable C 100 {sV text string $C}")
+            .unwrap();
         let payload = "y".repeat(100);
         // Arrives in two chunks.
         e.handle_mass_data(payload[..40].as_bytes());
@@ -299,7 +301,8 @@ mod tests {
         // E11: button presses while the application is busy are buffered,
         // none lost, order preserved.
         let mut e = engine();
-        e.handle_line("%command b topLevel label go callback {echo pressed}").unwrap();
+        e.handle_line("%command b topLevel label go callback {echo pressed}")
+            .unwrap();
         e.handle_line("%realize").unwrap();
         let _ = e.take_app_lines();
         for _ in 0..10 {
@@ -321,7 +324,8 @@ mod tests {
         // E10: expose events are serviced even when the application sends
         // nothing (it is busy computing).
         let mut e = engine();
-        e.handle_line("%label l topLevel label visible width 80 height 24").unwrap();
+        e.handle_line("%label l topLevel label visible width 80 height 24")
+            .unwrap();
         e.handle_line("%realize").unwrap();
         // The application goes silent; a user uncovers the window.
         {

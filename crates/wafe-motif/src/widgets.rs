@@ -157,7 +157,12 @@ impl WidgetOps for XmPushButtonOps {
             let width = app.dim_resource(w, "width");
             let height = app.dim_resource(w, "height");
             ops.push(DrawOp::DrawRect {
-                rect: wafe_xproto::Rect::new(1, 1, width.saturating_sub(2), height.saturating_sub(2)),
+                rect: wafe_xproto::Rect::new(
+                    1,
+                    1,
+                    width.saturating_sub(2),
+                    height.saturating_sub(2),
+                ),
                 pixel: app.pixel_resource(w, "foreground"),
             });
         }
@@ -344,16 +349,19 @@ mod tests {
         register(&mut a);
         // Install the XmString converter for the Compound type, like the
         // mofe binary does.
-        a.converters.register(wafe_xt::ResType::Compound, |s, _ctx: &ConvertCtx<'_>| {
-            Ok(ResourceValue::Compound(parse_xmstring(s)))
-        });
+        a.converters
+            .register(wafe_xt::ResType::Compound, |s, _ctx: &ConvertCtx<'_>| {
+                Ok(ResourceValue::Compound(parse_xmstring(s)))
+            });
         a
     }
 
     #[test]
     fn figure3_label_renders_with_fonts_and_direction() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "Shell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "Shell", None, 0, &[], true)
+            .unwrap();
         let l = a
             .create_widget(
                 "l",
@@ -365,7 +373,10 @@ mod tests {
                         "fontList".into(),
                         "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft".into(),
                     ),
-                    ("labelString".into(), "I'm&bft bold&ft and&rl strange".into()),
+                    (
+                        "labelString".into(),
+                        "I'm&bft bold&ft and&rl strange".into(),
+                    ),
                 ],
                 true,
             )
@@ -395,7 +406,9 @@ mod tests {
     #[test]
     fn pushbutton_arm_activate_callbacks() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "Shell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "Shell", None, 0, &[], true)
+            .unwrap();
         let b = a
             .create_widget(
                 "pressMe",
@@ -424,7 +437,9 @@ mod tests {
     #[test]
     fn cascade_button_highlight_function() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "Shell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "Shell", None, 0, &[], true)
+            .unwrap();
         let cb = a
             .create_widget("casc", "XmCascadeButton", Some(top), 0, &[], true)
             .unwrap();
@@ -438,7 +453,9 @@ mod tests {
     #[test]
     fn command_append_value_builds_command() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "Shell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "Shell", None, 0, &[], true)
+            .unwrap();
         let c = a
             .create_widget(
                 "cmd",

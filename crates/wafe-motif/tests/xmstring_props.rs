@@ -1,45 +1,69 @@
 //! Property tests for the XmString compound-string converter.
 
-use proptest::prelude::*;
 use wafe_motif::{parse_xmstring, render_xmstring};
+use wafe_prop::cases;
 
-proptest! {
-    /// Parsing never panics and never loses visible characters: the
-    /// total text length of the segments equals the input minus the
-    /// `&`-codes.
-    #[test]
-    fn parse_never_panics(s in "[a-zA-Z0-9 &]{0,40}") {
+/// Parsing never panics and never loses visible characters: the
+/// total text length of the segments equals the input minus the
+/// `&`-codes.
+#[test]
+fn parse_never_panics() {
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 &"
+        .chars()
+        .collect();
+    cases(256, |rng| {
+        let len = rng.range(0, 41);
+        let s = rng.string_from(&alphabet, len);
         let segs = parse_xmstring(&s);
         for seg in &segs {
-            prop_assert!(!seg.text.is_empty());
+            assert!(!seg.text.is_empty());
         }
-    }
+    });
+}
 
-    /// Text without `&` survives verbatim as a single default segment.
-    #[test]
-    fn plain_text_single_segment(s in "[a-zA-Z0-9 .,!]{1,40}") {
+/// Text without `&` survives verbatim as a single default segment.
+#[test]
+fn plain_text_single_segment() {
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,!"
+        .chars()
+        .collect();
+    cases(256, |rng| {
+        let len = rng.range(1, 41);
+        let s = rng.string_from(&alphabet, len);
         let segs = parse_xmstring(&s);
-        prop_assert_eq!(segs.len(), 1);
-        prop_assert_eq!(&segs[0].text, &s);
-        prop_assert_eq!(segs[0].font_tag.as_str(), "");
-        prop_assert!(!segs[0].right_to_left);
-        prop_assert_eq!(render_xmstring(&segs), s);
-    }
+        assert_eq!(segs.len(), 1);
+        assert_eq!(&segs[0].text, &s);
+        assert_eq!(segs[0].font_tag.as_str(), "");
+        assert!(!segs[0].right_to_left);
+        assert_eq!(render_xmstring(&segs), s);
+    });
+}
 
-    /// `&&` always escapes to a single literal ampersand.
-    #[test]
-    fn double_ampersand_escapes(pre in "[a-z]{0,10}", post in "[a-z]{0,10}") {
+/// `&&` always escapes to a single literal ampersand.
+#[test]
+fn double_ampersand_escapes() {
+    let alphabet: Vec<char> = ('a'..='z').collect();
+    cases(256, |rng| {
+        let pre_len = rng.range(0, 11);
+        let pre = rng.string_from(&alphabet, pre_len);
+        let post_len = rng.range(0, 11);
+        let post = rng.string_from(&alphabet, post_len);
         let segs = parse_xmstring(&format!("{pre}&&{post}"));
         let joined: String = segs.iter().map(|s| s.text.as_str()).collect();
-        prop_assert_eq!(joined, format!("{pre}&{post}"));
-    }
+        assert_eq!(joined, format!("{pre}&{post}"));
+    });
+}
 
-    /// Rendering an rl segment reverses it; rendering twice round-trips.
-    #[test]
-    fn rl_reversal_involutes(s in "[a-z]{1,16}") {
+/// Rendering an rl segment reverses it; rendering twice round-trips.
+#[test]
+fn rl_reversal_involutes() {
+    let alphabet: Vec<char> = ('a'..='z').collect();
+    cases(256, |rng| {
+        let len = rng.range(1, 17);
+        let s = rng.string_from(&alphabet, len);
         let segs = parse_xmstring(&format!("&rl {s}"));
         let rendered = render_xmstring(&segs);
         let rerendered: String = rendered.chars().rev().collect();
-        prop_assert_eq!(rerendered, format!(" {s}"));
-    }
+        assert_eq!(rerendered, format!(" {s}"));
+    });
 }

@@ -11,28 +11,35 @@ use crate::list::{list_join, parse_list};
 
 /// Splits a variable specifier of the form `name` or `name(index)`.
 pub fn split_varspec(spec: &str) -> (String, Option<String>) {
+    let (name, idx) = split_varspec_ref(spec);
+    (name.to_string(), idx.map(str::to_string))
+}
+
+/// Borrowing form of [`split_varspec`]: no allocation on the hot path.
+fn split_varspec_ref(spec: &str) -> (&str, Option<&str>) {
     if let Some(open) = spec.find('(') {
         if spec.ends_with(')') {
-            return (
-                spec[..open].to_string(),
-                Some(spec[open + 1..spec.len() - 1].to_string()),
-            );
+            return (&spec[..open], Some(&spec[open + 1..spec.len() - 1]));
         }
     }
-    (spec.to_string(), None)
+    (spec, None)
 }
 
 fn var_get(interp: &Interp, spec: &str) -> TclResult<String> {
-    match split_varspec(spec) {
-        (name, None) => interp.get_var(&name),
-        (name, Some(idx)) => interp.get_elem(&name, &idx),
+    var_get_ref(interp, spec).map(str::to_string)
+}
+
+fn var_get_ref<'a>(interp: &'a Interp, spec: &str) -> TclResult<&'a str> {
+    match split_varspec_ref(spec) {
+        (name, None) => interp.get_var_ref(name),
+        (name, Some(idx)) => interp.get_elem_ref(name, idx),
     }
 }
 
 fn var_set(interp: &mut Interp, spec: &str, value: &str) -> TclResult<()> {
-    match split_varspec(spec) {
-        (name, None) => interp.set_var(&name, value),
-        (name, Some(idx)) => interp.set_elem(&name, &idx, value),
+    match split_varspec_ref(spec) {
+        (name, None) => interp.set_var(name, value),
+        (name, Some(idx)) => interp.set_elem(name, idx, value),
     }
 }
 
@@ -63,13 +70,12 @@ pub(super) fn register(interp: &mut Interp) {
         if argv.len() != 2 && argv.len() != 3 {
             return Err(wrong_num_args("incr varName ?increment?"));
         }
-        let cur: i64 = var_get(i, &argv[1])?.trim().parse().map_err(|_| {
-            TclError::Error(format!(
-                "expected integer but got \"{}\"",
-                // Unwrap is fine: the same lookup just succeeded.
-                var_get(i, &argv[1]).unwrap_or_default()
-            ))
-        })?;
+        let cur: i64 = {
+            let s = var_get_ref(i, &argv[1])?;
+            s.trim()
+                .parse()
+                .map_err(|_| TclError::Error(format!("expected integer but got \"{s}\"")))?
+        };
         let amount: i64 = if argv.len() == 3 {
             argv[2]
                 .trim()
@@ -175,9 +181,8 @@ pub(super) fn register(interp: &mut Interp) {
         if argv.len() != 2 {
             return Err(wrong_num_args("source fileName"));
         }
-        let text = std::fs::read_to_string(&argv[1]).map_err(|e| {
-            TclError::Error(format!("couldn't read file \"{}\": {e}", argv[1]))
-        })?;
+        let text = std::fs::read_to_string(&argv[1])
+            .map_err(|e| TclError::Error(format!("couldn't read file \"{}\": {e}", argv[1])))?;
         // Strip a leading `#!` line so file-mode scripts can be sourced.
         i.eval(&text)
     });
@@ -211,6 +216,60 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("info", cmd_info);
     interp.register("array", cmd_array);
     interp.register("trace", cmd_trace);
+    interp.register("interp", cmd_interp);
+}
+
+/// `interp cachestats | cacheclear | cachelimit ?n?` — introspection for
+/// the parse-once script/expression caches.
+fn cmd_interp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+    if argv.len() < 2 {
+        return Err(wrong_num_args("interp option ?arg?"));
+    }
+    match argv[1].as_str() {
+        "cachestats" => {
+            if argv.len() != 2 {
+                return Err(wrong_num_args("interp cachestats"));
+            }
+            let s = i.cache_stats();
+            let pairs = [
+                ("hits", s.script_hits.to_string()),
+                ("misses", s.script_misses.to_string()),
+                ("entries", s.script_entries.to_string()),
+                ("evictions", s.script_evictions.to_string()),
+                ("exprHits", s.expr_hits.to_string()),
+                ("exprMisses", s.expr_misses.to_string()),
+                ("exprEntries", s.expr_entries.to_string()),
+                ("exprEvictions", s.expr_evictions.to_string()),
+                ("limit", s.limit.to_string()),
+            ];
+            let words: Vec<String> = pairs
+                .iter()
+                .flat_map(|(k, v)| [k.to_string(), v.clone()])
+                .collect();
+            Ok(list_join(&words))
+        }
+        "cacheclear" => {
+            if argv.len() != 2 {
+                return Err(wrong_num_args("interp cacheclear"));
+            }
+            i.cache_clear();
+            Ok(String::new())
+        }
+        "cachelimit" => match argv.len() {
+            2 => Ok(i.cache_limit().to_string()),
+            3 => {
+                let n: usize = argv[2].parse().map_err(|_| {
+                    TclError::Error(format!("expected integer but got \"{}\"", argv[2]))
+                })?;
+                i.set_cache_limit(n);
+                Ok(String::new())
+            }
+            _ => Err(wrong_num_args("interp cachelimit ?limit?")),
+        },
+        other => Err(TclError::Error(format!(
+            "bad option \"{other}\": must be cachestats, cacheclear, or cachelimit"
+        ))),
+    }
 }
 
 fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
@@ -244,9 +303,7 @@ fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             let items: Vec<String> = i
                 .trace_info(&argv[2])
                 .into_iter()
-                .map(|(ops, script)| {
-                    crate::list::list_join(&[ops, script])
-                })
+                .map(|(ops, script)| crate::list::list_join(&[ops, script]))
                 .collect();
             Ok(crate::list::list_join(&items))
         }
@@ -506,7 +563,8 @@ mod trace_tests {
     #[test]
     fn array_element_trace_carries_element() {
         let mut i = Interp::new();
-        i.eval("proc record {name elem op} {global seen; set seen \"$name.$elem.$op\"}").unwrap();
+        i.eval("proc record {name elem op} {global seen; set seen \"$name.$elem.$op\"}")
+            .unwrap();
         i.eval("trace variable a w record").unwrap();
         i.eval("set a(key) 1").unwrap();
         assert_eq!(i.get_var("seen").unwrap(), "a.key.w");
@@ -551,7 +609,8 @@ mod trace_tests {
         // globals through a proc, exactly as in C Tcl.
         let mut i = Interp::new();
         i.eval("set hits 0").unwrap();
-        i.eval("proc bump {n e o} {global hits; incr hits}").unwrap();
+        i.eval("proc bump {n e o} {global hits; incr hits}")
+            .unwrap();
         i.eval("trace variable g w bump").unwrap();
         i.eval("proc f {} {global g; set g 1}").unwrap();
         i.eval("f").unwrap();

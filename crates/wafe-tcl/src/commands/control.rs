@@ -2,7 +2,7 @@
 //! global upvar uplevel switch case`.
 
 use crate::error::{wrong_num_args, TclError, TclResult};
-use crate::expr::eval_expr_bool;
+use crate::expr::{eval_expr_bool, eval_prepared_bool, prepare_expr};
 use crate::glob::glob_match;
 use crate::interp::{Interp, ProcDef};
 use crate::list::parse_list;
@@ -94,8 +94,11 @@ fn cmd_while(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if argv.len() != 3 {
         return Err(wrong_num_args("while test command"));
     }
-    while eval_expr_bool(i, &argv[1])? {
-        match i.eval(&argv[2]) {
+    // Parse the guard and body once; every iteration only substitutes.
+    let test = prepare_expr(i, &argv[1]);
+    let body = i.prepare(&argv[2]);
+    while eval_prepared_bool(i, &test)? {
+        match i.run_prepared(&body) {
             Ok(_) | Err(TclError::Continue) => {}
             Err(TclError::Break) => break,
             Err(e) => return Err(e),
@@ -109,13 +112,16 @@ fn cmd_for(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         return Err(wrong_num_args("for start test next command"));
     }
     i.eval(&argv[1])?;
-    while eval_expr_bool(i, &argv[2])? {
-        match i.eval(&argv[4]) {
+    let test = prepare_expr(i, &argv[2]);
+    let next = i.prepare(&argv[3]);
+    let body = i.prepare(&argv[4]);
+    while eval_prepared_bool(i, &test)? {
+        match i.run_prepared(&body) {
             Ok(_) | Err(TclError::Continue) => {}
             Err(TclError::Break) => break,
             Err(e) => return Err(e),
         }
-        i.eval(&argv[3])?;
+        i.run_prepared(&next)?;
     }
     Ok(String::new())
 }
@@ -129,6 +135,7 @@ fn cmd_foreach(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         return Err(TclError::error("foreach varlist is empty"));
     }
     let items = parse_list(&argv[2])?;
+    let body = i.prepare(&argv[3]);
     let mut idx = 0usize;
     while idx < items.len() {
         for v in &vars {
@@ -136,7 +143,7 @@ fn cmd_foreach(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             i.set_var(v, &value)?;
             idx += 1;
         }
-        match i.eval(&argv[3]) {
+        match i.run_prepared(&body) {
             Ok(_) | Err(TclError::Continue) => {}
             Err(TclError::Break) => break,
             Err(e) => return Err(e),
@@ -163,20 +170,24 @@ fn cmd_proc(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             }
         }
     }
-    i.define_proc(&argv[1], ProcDef { args, body: argv[3].clone() });
+    i.define_proc(&argv[1], ProcDef::new(args, argv[3].clone()));
     Ok(String::new())
 }
 
 fn cmd_upvar(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     // upvar ?level? otherVar myVar ?otherVar myVar ...?
     if argv.len() < 3 {
-        return Err(wrong_num_args("upvar ?level? otherVar localVar ?otherVar localVar ...?"));
+        return Err(wrong_num_args(
+            "upvar ?level? otherVar localVar ?otherVar localVar ...?",
+        ));
     }
     let (level, _) = parse_level(i, &argv[1]);
     let mut a = if level.is_some() { 2 } else { 1 };
     let target = level.unwrap_or_else(|| i.level().saturating_sub(1));
     if (argv.len() - a) % 2 != 0 || argv.len() - a == 0 {
-        return Err(wrong_num_args("upvar ?level? otherVar localVar ?otherVar localVar ...?"));
+        return Err(wrong_num_args(
+            "upvar ?level? otherVar localVar ?otherVar localVar ...?",
+        ));
     }
     while a + 1 < argv.len() {
         i.link_var(&argv[a + 1], target, &argv[a])?;
@@ -282,7 +293,9 @@ fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     // Tcl 6 `case string ?in? {patList body patList body ...}`.
     let mut a = 1usize;
     if a >= argv.len() {
-        return Err(wrong_num_args("case string ?in? patList body ?patList body ...?"));
+        return Err(wrong_num_args(
+            "case string ?in? patList body ?patList body ...?",
+        ));
     }
     let string = argv[a].clone();
     a += 1;
@@ -371,7 +384,8 @@ mod tests {
         i.eval("foreach x {a b c} {append out $x}").unwrap();
         assert_eq!(i.get_var("out").unwrap(), "abc");
         i.eval("set out {}").unwrap();
-        i.eval("foreach {k v} {x 1 y 2} {append out $k=$v,}").unwrap();
+        i.eval("foreach {k v} {x 1 y 2} {append out $k=$v,}")
+            .unwrap();
         assert_eq!(i.get_var("out").unwrap(), "x=1,y=2,");
     }
 

@@ -84,9 +84,15 @@ pub(super) fn register(interp: &mut Interp) {
         let first = parse_index(&argv[2], items.len())?.max(0) as usize;
         let last = parse_index(&argv[3], items.len())?;
         if first >= items.len() {
-            return Err(TclError::error("list doesn't contain element given by first index"));
+            return Err(TclError::error(
+                "list doesn't contain element given by first index",
+            ));
         }
-        let last = if last < 0 { None } else { Some((last as usize).min(items.len() - 1)) };
+        let last = if last < 0 {
+            None
+        } else {
+            Some((last as usize).min(items.len() - 1))
+        };
         match last {
             Some(l) if l >= first => {
                 items.splice(first..=l, argv[4..].iter().cloned());
@@ -141,9 +147,7 @@ pub(super) fn register(interp: &mut Interp) {
                 "-real" => mode = "real",
                 "-increasing" => decreasing = false,
                 "-decreasing" => decreasing = true,
-                other => {
-                    return Err(TclError::Error(format!("bad option \"{other}\": {usage}")))
-                }
+                other => return Err(TclError::Error(format!("bad option \"{other}\": {usage}"))),
             }
         }
         let mut items = parse_list(&argv[argv.len() - 1])?;
@@ -187,7 +191,11 @@ pub(super) fn register(interp: &mut Interp) {
     });
 
     interp.register("concat", |_, argv| {
-        let parts: Vec<&str> = argv[1..].iter().map(|s| s.trim()).filter(|s| !s.is_empty()).collect();
+        let parts: Vec<&str> = argv[1..]
+            .iter()
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .collect();
         Ok(parts.join(" "))
     });
 
@@ -288,9 +296,15 @@ mod tests {
     #[test]
     fn lsort_modes() {
         let mut i = new();
-        assert_eq!(i.eval("lsort {pear apple orange}").unwrap(), "apple orange pear");
+        assert_eq!(
+            i.eval("lsort {pear apple orange}").unwrap(),
+            "apple orange pear"
+        );
         assert_eq!(i.eval("lsort -integer {10 2 33}").unwrap(), "2 10 33");
-        assert_eq!(i.eval("lsort -real {1.5 0.2 10.0}").unwrap(), "0.2 1.5 10.0");
+        assert_eq!(
+            i.eval("lsort -real {1.5 0.2 10.0}").unwrap(),
+            "0.2 1.5 10.0"
+        );
         assert_eq!(i.eval("lsort -decreasing {a c b}").unwrap(), "c b a");
         assert!(i.eval("lsort -integer {1 x}").is_err());
     }

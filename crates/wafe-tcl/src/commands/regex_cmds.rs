@@ -34,8 +34,9 @@ fn cmd_regexp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if argv.len() < a + 2 {
         return Err(wrong_num_args(usage));
     }
-    let re = Regex::compile(&argv[a], nocase)
-        .map_err(|e| TclError::Error(format!("couldn't compile regular expression pattern: {e}")))?;
+    let re = Regex::compile(&argv[a], nocase).map_err(|e| {
+        TclError::Error(format!("couldn't compile regular expression pattern: {e}"))
+    })?;
     let string = &argv[a + 1];
     let vars = &argv[a + 2..];
     let m = match re.find(string) {
@@ -89,8 +90,9 @@ fn cmd_regsub(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if argv.len() != a + 4 {
         return Err(wrong_num_args(usage));
     }
-    let re = Regex::compile(&argv[a], nocase)
-        .map_err(|e| TclError::Error(format!("couldn't compile regular expression pattern: {e}")))?;
+    let re = Regex::compile(&argv[a], nocase).map_err(|e| {
+        TclError::Error(format!("couldn't compile regular expression pattern: {e}"))
+    })?;
     let string = &argv[a + 1];
     let subspec = &argv[a + 2];
     let var = &argv[a + 3];
@@ -156,7 +158,8 @@ mod tests {
     fn regexp_capture_vars() {
         let mut i = new();
         assert_eq!(
-            i.eval("regexp {([0-9]+)\\.([0-9]+)} {version 6.7 here} whole major minor").unwrap(),
+            i.eval("regexp {([0-9]+)\\.([0-9]+)} {version 6.7 here} whole major minor")
+                .unwrap(),
             "1"
         );
         assert_eq!(i.get_var("whole").unwrap(), "6.7");
@@ -167,9 +170,17 @@ mod tests {
     #[test]
     fn regexp_nocase_and_indices() {
         let mut i = new();
-        assert_eq!(i.eval("regexp -nocase {WAFE} {the wafe frontend} m").unwrap(), "1");
+        assert_eq!(
+            i.eval("regexp -nocase {WAFE} {the wafe frontend} m")
+                .unwrap(),
+            "1"
+        );
         assert_eq!(i.get_var("m").unwrap(), "wafe");
-        assert_eq!(i.eval("regexp -indices {fr..t} {the wafe frontend} ix").unwrap(), "1");
+        assert_eq!(
+            i.eval("regexp -indices {fr..t} {the wafe frontend} ix")
+                .unwrap(),
+            "1"
+        );
         assert_eq!(i.get_var("ix").unwrap(), "9 13");
     }
 
@@ -198,7 +209,11 @@ mod tests {
     #[test]
     fn regsub_all_with_ampersand() {
         let mut i = new();
-        assert_eq!(i.eval("regsub -all {[0-9]+} {a1 b22 c333} {<&>} out").unwrap(), "3");
+        assert_eq!(
+            i.eval("regsub -all {[0-9]+} {a1 b22 c333} {<&>} out")
+                .unwrap(),
+            "3"
+        );
         assert_eq!(i.get_var("out").unwrap(), "a<1> b<22> c<333>");
     }
 
@@ -206,7 +221,8 @@ mod tests {
     fn regsub_group_reference() {
         let mut i = new();
         assert_eq!(
-            i.eval("regsub -all {([a-z])([0-9])} {a1 b2} {\\2\\1} out").unwrap(),
+            i.eval("regsub -all {([a-z])([0-9])} {a1 b2} {\\2\\1} out")
+                .unwrap(),
             "2"
         );
         assert_eq!(i.get_var("out").unwrap(), "1a 2b");
@@ -222,7 +238,11 @@ mod tests {
     #[test]
     fn regsub_nocase() {
         let mut i = new();
-        assert_eq!(i.eval("regsub -nocase {WORLD} {hello world} {Wafe} out").unwrap(), "1");
+        assert_eq!(
+            i.eval("regsub -nocase {WORLD} {hello world} {Wafe} out")
+                .unwrap(),
+            "1"
+        );
         assert_eq!(i.get_var("out").unwrap(), "hello Wafe");
     }
 }

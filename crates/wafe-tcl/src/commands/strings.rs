@@ -95,13 +95,11 @@ fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
 
 /// Char (not byte) index of the first occurrence of `needle` in `hay`.
 fn char_index_of(hay: &str, needle: &str) -> Option<usize> {
-    hay.find(needle)
-        .map(|byte| hay[..byte].chars().count())
+    hay.find(needle).map(|byte| hay[..byte].chars().count())
 }
 
 fn char_rindex_of(hay: &str, needle: &str) -> Option<usize> {
-    hay.rfind(needle)
-        .map(|byte| hay[..byte].chars().count())
+    hay.rfind(needle).map(|byte| hay[..byte].chars().count())
 }
 
 fn cmd_format(_: &mut Interp, argv: &[String]) -> TclResult<String> {
@@ -119,9 +117,10 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
     let mut ai = 0usize;
     let mut i = 0usize;
     let next_arg = |ai: &mut usize| -> TclResult<String> {
-        let v = args.get(*ai).cloned().ok_or_else(|| {
-            TclError::error("not enough arguments for all format specifiers")
-        })?;
+        let v = args
+            .get(*ai)
+            .cloned()
+            .ok_or_else(|| TclError::error("not enough arguments for all format specifiers"))?;
         *ai += 1;
         Ok(v)
     };
@@ -133,7 +132,9 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
         }
         i += 1;
         if i >= chars.len() {
-            return Err(TclError::error("format string ended in middle of field specifier"));
+            return Err(TclError::error(
+                "format string ended in middle of field specifier",
+            ));
         }
         if chars[i] == '%' {
             out.push('%');
@@ -141,7 +142,8 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
             continue;
         }
         // Flags.
-        let (mut left, mut zero, mut plus, mut space, mut alt) = (false, false, false, false, false);
+        let (mut left, mut zero, mut plus, mut space, mut alt) =
+            (false, false, false, false, false);
         while i < chars.len() {
             match chars[i] {
                 '-' => left = true,
@@ -177,7 +179,9 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
             i += 1;
         }
         if i >= chars.len() {
-            return Err(TclError::error("format string ended in middle of field specifier"));
+            return Err(TclError::error(
+                "format string ended in middle of field specifier",
+            ));
         }
         let conv = chars[i];
         i += 1;
@@ -248,7 +252,13 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
                 let v: f64 = parse_float(&next_arg(&mut ai)?)?;
                 let p = prec.unwrap_or(6);
                 let body = format!("{:.*}", p, v.abs());
-                let sign = if v.is_sign_negative() { "-" } else if plus { "+" } else { "" };
+                let sign = if v.is_sign_negative() {
+                    "-"
+                } else if plus {
+                    "+"
+                } else {
+                    ""
+                };
                 format!("{sign}{body}")
             }
             'e' | 'E' => {
@@ -271,11 +281,7 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
                     s
                 }
             }
-            other => {
-                return Err(TclError::Error(format!(
-                    "bad field specifier \"{other}\""
-                )))
-            }
+            other => return Err(TclError::Error(format!("bad field specifier \"{other}\""))),
         };
         // Apply width.
         let padded = if have_width && piece.chars().count() < width {
@@ -405,7 +411,8 @@ fn cmd_scan(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                     si += 1;
                 }
                 while si < input.len()
-                    && (input[si].is_ascii_digit() || matches!(input[si], '.' | 'e' | 'E' | '-' | '+'))
+                    && (input[si].is_ascii_digit()
+                        || matches!(input[si], '.' | 'e' | 'E' | '-' | '+'))
                     && si - start < maxw
                 {
                     si += 1;

@@ -9,6 +9,8 @@
 //! short-circuit: their unevaluated operand's variables are never read and
 //! its command substitutions never run.
 
+use std::rc::Rc;
+
 use crate::error::{TclError, TclResult};
 use crate::interp::Interp;
 use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
@@ -108,16 +110,92 @@ enum BinOp {
     Or,
 }
 
-/// Evaluates an expression string in the context of an interpreter.
-pub fn eval_expr(interp: &mut Interp, text: &str) -> TclResult<Value> {
+/// An expression parsed once into its AST; evaluation only performs the
+/// variable/command substitution, never re-lexing the text. Parsing is
+/// pure — the AST is valid for any interpreter state.
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    node: Node,
+}
+
+/// Parses an expression without evaluating it.
+pub fn compile_expr(text: &str) -> TclResult<CompiledExpr> {
+    Ok(CompiledExpr {
+        node: parse_text(text)?,
+    })
+}
+
+/// An expression readied for repeated evaluation (`while`/`for` guards):
+/// compiled when the text parses, raw source otherwise so that the error
+/// surfaces at evaluation time exactly as Tcl reports it.
+#[derive(Clone)]
+pub enum PreparedExpr {
+    /// Parsed once; evaluation substitutes only.
+    Compiled(Rc<CompiledExpr>),
+    /// Did not parse (or caching disabled): re-parse at each evaluation.
+    Source(String),
+}
+
+/// Readies an expression for repeated evaluation, consulting the
+/// interpreter's expression cache. With caching disabled this always
+/// yields the re-parsing form (the Tcl 6.x baseline).
+pub fn prepare_expr(interp: &mut Interp, text: &str) -> PreparedExpr {
+    if !interp.cache_enabled() {
+        return PreparedExpr::Source(text.to_string());
+    }
+    if let Some(c) = interp.expr_cache_get(text) {
+        return PreparedExpr::Compiled(c);
+    }
+    match compile_expr(text) {
+        Ok(c) => {
+            let rc = Rc::new(c);
+            interp.expr_cache_put(text, rc.clone());
+            PreparedExpr::Compiled(rc)
+        }
+        Err(_) => PreparedExpr::Source(text.to_string()),
+    }
+}
+
+/// Evaluates a [`PreparedExpr`].
+pub fn eval_prepared(interp: &mut Interp, prepared: &PreparedExpr) -> TclResult<Value> {
+    match prepared {
+        PreparedExpr::Compiled(c) => eval_node(interp, &c.node),
+        PreparedExpr::Source(s) => eval_expr(interp, s),
+    }
+}
+
+/// Evaluates a [`PreparedExpr`] as a boolean.
+pub fn eval_prepared_bool(interp: &mut Interp, prepared: &PreparedExpr) -> TclResult<bool> {
+    eval_prepared(interp, prepared)?.truthy()
+}
+
+fn parse_text(text: &str) -> TclResult<Node> {
     let chars: Vec<char> = text.chars().collect();
-    let mut p = Parser { chars: &chars, pos: 0 };
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+    };
     let node = p.parse_ternary()?;
     p.skip_ws();
     if p.pos < p.chars.len() {
         return Err(TclError::Error(format!(
             "syntax error in expression \"{text}\""
         )));
+    }
+    Ok(node)
+}
+
+/// Evaluates an expression string in the context of an interpreter.
+/// Already-seen expression texts hit the interpreter's parse cache.
+pub fn eval_expr(interp: &mut Interp, text: &str) -> TclResult<Value> {
+    if let Some(c) = interp.expr_cache_get(text) {
+        return eval_node(interp, &c.node);
+    }
+    let node = parse_text(text)?;
+    if interp.cache_enabled() {
+        let rc = Rc::new(CompiledExpr { node });
+        interp.expr_cache_put(text, rc.clone());
+        return eval_node(interp, &rc.node);
     }
     eval_node(interp, &node)
 }
@@ -357,10 +435,7 @@ impl<'a> Parser<'a> {
         let chars = self.chars;
         let mut i = self.pos;
         // Hex?
-        if chars[i] == '0'
-            && i + 1 < chars.len()
-            && (chars[i + 1] == 'x' || chars[i + 1] == 'X')
-        {
+        if chars[i] == '0' && i + 1 < chars.len() && (chars[i + 1] == 'x' || chars[i + 1] == 'X') {
             i += 2;
             let hstart = i;
             while i < chars.len() && chars[i].is_ascii_hexdigit() {
@@ -446,11 +521,7 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             break;
                         }
-                        _ => {
-                            return Err(TclError::error(
-                                "missing close paren in function call",
-                            ))
-                        }
+                        _ => return Err(TclError::error("missing close paren in function call")),
                     }
                 }
             }
@@ -495,10 +566,10 @@ fn coerce(s: &str) -> Value {
 fn eval_node(interp: &mut Interp, node: &Node) -> TclResult<Value> {
     match node {
         Node::Lit(v) => Ok(v.clone()),
-        Node::Var(name, None) => Ok(coerce(&interp.get_var(name)?)),
+        Node::Var(name, None) => Ok(coerce(interp.get_var_ref(name)?)),
         Node::Var(name, Some(raw)) => {
             let idx = interp.substitute_all(raw)?;
-            Ok(coerce(&interp.get_elem(name, &idx)?))
+            Ok(coerce(interp.get_elem_ref(name, &idx)?))
         }
         Node::Cmd(script) => Ok(coerce(&interp.eval(script)?)),
         Node::Unary(op, a) => {
@@ -518,13 +589,21 @@ fn eval_node(interp: &mut Interp, node: &Node) -> TclResult<Value> {
             if !eval_node(interp, a)?.truthy()? {
                 return Ok(Value::Int(0));
             }
-            Ok(Value::Int(if eval_node(interp, b)?.truthy()? { 1 } else { 0 }))
+            Ok(Value::Int(if eval_node(interp, b)?.truthy()? {
+                1
+            } else {
+                0
+            }))
         }
         Node::Binary(BinOp::Or, a, b) => {
             if eval_node(interp, a)?.truthy()? {
                 return Ok(Value::Int(1));
             }
-            Ok(Value::Int(if eval_node(interp, b)?.truthy()? { 1 } else { 0 }))
+            Ok(Value::Int(if eval_node(interp, b)?.truthy()? {
+                1
+            } else {
+                0
+            }))
         }
         Node::Binary(op, a, b) => {
             let va = eval_node(interp, a)?;
@@ -725,9 +804,7 @@ fn eval_func(interp: &mut Interp, name: &str, args: &[Value]) -> TclResult<Value
             interp.rand_state = (as_i64(&args[0])? as u64) | 1;
             Ok(Value::Dbl(0.0))
         }
-        _ => Err(TclError::Error(format!(
-            "unknown math function \"{name}\""
-        ))),
+        _ => Err(TclError::Error(format!("unknown math function \"{name}\""))),
     }
 }
 

@@ -167,6 +167,9 @@ mod tests {
     fn wafe_resource_patterns() {
         // The flavour of pattern the Xrm layer leans on.
         assert!(glob_match("*Font", "topLevel.form.label.Font"));
-        assert!(glob_match("*b&h-lucida-medium-r*14*", "-b&h-lucida-medium-r-normal--14-"));
+        assert!(glob_match(
+            "*b&h-lucida-medium-r*14*",
+            "-b&h-lucida-medium-r-normal--14-"
+        ));
     }
 }

@@ -1,0 +1,89 @@
+//! FNV-1a hashing for the interpreter's internal maps.
+//!
+//! Every command dispatch and variable access hashes a short string key;
+//! the standard library's SipHash is DoS-resistant but pays for it on
+//! 2–10-byte keys. The interpreter is a single-user embedded language —
+//! its command and variable names are not attacker-chosen buckets — so
+//! the internal maps use FNV-1a, which is several times faster at these
+//! key lengths. Only the interpreter's own maps use this; nothing about
+//! the public API changes.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FnvHasher`].
+pub type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// The FNV-1a streaming hasher (64-bit).
+pub struct FnvHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher { state: FNV_OFFSET }
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a 64-bit test vectors (with the trailing 0xFF length byte
+        // HashMap appends excluded — hash raw bytes directly).
+        let mut h = FnvHasher::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FnvMap<String, i32> = FnvMap::default();
+        m.insert("set".into(), 1);
+        m.insert("while".into(), 2);
+        assert_eq!(m.get("set"), Some(&1));
+        assert_eq!(m.get("while"), Some(&2));
+        assert_eq!(m.get("for"), None);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let strings = ["a", "b", "ab", "ba", "set", "incr", "while", ""];
+        let hashes: Vec<u64> = strings
+            .iter()
+            .map(|s| {
+                let mut h = FnvHasher::default();
+                h.write(s.as_bytes());
+                h.finish()
+            })
+            .collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{} vs {}", strings[i], strings[j]);
+            }
+        }
+    }
+}

@@ -1,15 +1,26 @@
 //! The Tcl interpreter: variable frames, command dispatch, evaluation.
 
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::compile::{compile, CompiledScript, LruCache, Token};
 use crate::error::{TclError, TclResult};
+use crate::expr::CompiledExpr;
+use crate::hash::FnvMap;
 use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
 
 /// Maximum nesting depth of script evaluation, mirroring Tcl's
 /// `maxNestingDepth` interpreter limit.
 pub const MAX_NESTING_DEPTH: usize = 500;
+
+/// Default bound of the script and expression caches (entries each).
+pub const DEFAULT_CACHE_LIMIT: usize = 512;
+
+/// Scripts longer than this are compiled but not cached: the cache is
+/// meant for hot loop bodies and proc calls, not one-shot `source` text.
+const MAX_CACHED_SCRIPT_LEN: usize = 1 << 16;
 
 /// Signature of a native command (the analogue of `Tcl_CmdProc`).
 ///
@@ -24,6 +35,24 @@ pub struct ProcDef {
     pub args: Vec<(String, Option<String>)>,
     /// The procedure body, evaluated in a fresh frame.
     pub body: String,
+    /// The body's parse-once form, compiled when the proc is defined.
+    /// `None` when the body text does not compile (it then evaluates
+    /// through the legacy parse-as-you-go path, reproducing Tcl's lazy
+    /// error timing). Redefining a proc replaces the whole `ProcDef`, so
+    /// a stale compiled body can never outlive its source text.
+    pub compiled: Option<Rc<CompiledScript>>,
+}
+
+impl ProcDef {
+    /// Builds a definition, compiling the body once up front.
+    pub fn new(args: Vec<(String, Option<String>)>, body: String) -> Self {
+        let compiled = compile(&body).ok().map(Rc::new);
+        ProcDef {
+            args,
+            body,
+            compiled,
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -45,12 +74,15 @@ pub enum Var {
 enum VarSlot {
     Value(Var),
     /// A link created by `global`/`upvar` to a variable in another frame.
-    Link { frame: usize, name: String },
+    Link {
+        frame: usize,
+        name: String,
+    },
 }
 
 #[derive(Default)]
 struct Frame {
-    vars: HashMap<String, VarSlot>,
+    vars: FnvMap<String, VarSlot>,
 }
 
 /// Destination for `echo`/`puts` output.
@@ -79,7 +111,7 @@ pub enum OutputSink {
 /// assert_eq!(i.eval("double 21").unwrap(), "42");
 /// ```
 pub struct Interp {
-    commands: HashMap<String, Command>,
+    commands: FnvMap<String, Command>,
     frames: Vec<Frame>,
     /// Index of the active variable frame (changed by `uplevel`).
     active: usize,
@@ -93,6 +125,46 @@ pub struct Interp {
     traces: HashMap<String, Vec<(String, String)>>,
     /// Guards against trace recursion (a trace writing its own variable).
     tracing: std::cell::Cell<u32>,
+    /// Parse-once cache: script text → compiled form (`None` marks text
+    /// that is known not to compile, so the fallback path is taken
+    /// without re-attempting compilation).
+    script_cache: LruCache<Option<Rc<CompiledScript>>>,
+    /// Parse-once cache for `expr` texts.
+    expr_cache: LruCache<Rc<CompiledExpr>>,
+}
+
+/// A script readied for repeated evaluation: either its parse-once
+/// compiled form, or (for uncompilable text, or with the cache disabled)
+/// the raw source re-parsed on every run — exactly the legacy path.
+#[derive(Clone)]
+pub enum Prepared {
+    /// Compiled once; each run only substitutes.
+    Compiled(Rc<CompiledScript>),
+    /// Re-parsed on every run.
+    Source(String),
+}
+
+/// A snapshot of the interpreter's parse-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Script-cache lookups that found a compiled entry.
+    pub script_hits: u64,
+    /// Script-cache lookups that missed.
+    pub script_misses: u64,
+    /// Live script-cache entries.
+    pub script_entries: usize,
+    /// Script-cache evictions under the LRU bound.
+    pub script_evictions: u64,
+    /// Expression-cache hits.
+    pub expr_hits: u64,
+    /// Expression-cache misses.
+    pub expr_misses: u64,
+    /// Live expression-cache entries.
+    pub expr_entries: usize,
+    /// Expression-cache evictions.
+    pub expr_evictions: u64,
+    /// The configured bound (0 = caching disabled).
+    pub limit: usize,
 }
 
 impl Default for Interp {
@@ -105,7 +177,7 @@ impl Interp {
     /// Creates an interpreter with all built-in commands registered.
     pub fn new() -> Self {
         let mut interp = Interp {
-            commands: HashMap::new(),
+            commands: FnvMap::default(),
             frames: vec![Frame::default()],
             active: 0,
             depth: 0,
@@ -113,6 +185,8 @@ impl Interp {
             rand_state: 0x9e3779b97f4a7c15,
             traces: HashMap::new(),
             tracing: std::cell::Cell::new(0),
+            script_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
+            expr_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
         };
         crate::commands::register_all(&mut interp);
         interp
@@ -142,10 +216,9 @@ impl Interp {
 
     /// Renames a command (`rename old new`); empty `new` deletes.
     pub fn rename_command(&mut self, old: &str, new: &str) -> TclResult<()> {
-        let cmd = self
-            .commands
-            .remove(old)
-            .ok_or_else(|| TclError::Error(format!("can't rename \"{old}\": command doesn't exist")))?;
+        let cmd = self.commands.remove(old).ok_or_else(|| {
+            TclError::Error(format!("can't rename \"{old}\": command doesn't exist"))
+        })?;
         if !new.is_empty() {
             if self.commands.contains_key(new) {
                 self.commands.insert(old.into(), cmd);
@@ -212,14 +285,17 @@ impl Interp {
         self.active
     }
 
-    fn resolve(&self, mut frame: usize, name: &str) -> (usize, String) {
-        let mut name = name.to_string();
+    /// Follows `global`/`upvar` links to the owning frame. The common
+    /// case (no link) borrows the caller's name — no allocation on the
+    /// variable-access hot path.
+    fn resolve<'a>(&self, mut frame: usize, name: &'a str) -> (usize, Cow<'a, str>) {
+        let mut name: Cow<'a, str> = Cow::Borrowed(name);
         loop {
-            match self.frames[frame].vars.get(&name) {
+            match self.frames[frame].vars.get(name.as_ref()) {
                 Some(VarSlot::Link { frame: f, name: n }) => {
                     let (f, n) = (*f, n.clone());
                     frame = f;
-                    name = n;
+                    name = Cow::Owned(n);
                 }
                 _ => return (frame, name),
             }
@@ -228,9 +304,15 @@ impl Interp {
 
     /// Reads a scalar variable in the active frame.
     pub fn get_var(&self, name: &str) -> TclResult<String> {
+        self.get_var_ref(name).map(str::to_string)
+    }
+
+    /// Reads a scalar variable without cloning its value (the expression
+    /// evaluator's hot path — the borrow ends before any mutation).
+    pub(crate) fn get_var_ref(&self, name: &str) -> TclResult<&str> {
         let (f, n) = self.resolve(self.active, name);
-        match self.frames[f].vars.get(&n) {
-            Some(VarSlot::Value(Var::Scalar(s))) => Ok(s.clone()),
+        match self.frames[f].vars.get(n.as_ref()) {
+            Some(VarSlot::Value(Var::Scalar(s))) => Ok(s.as_str()),
             Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
                 "can't read \"{name}\": variable is array"
             ))),
@@ -242,13 +324,20 @@ impl Interp {
 
     /// Reads an array element in the active frame.
     pub fn get_elem(&self, name: &str, index: &str) -> TclResult<String> {
+        self.get_elem_ref(name, index).map(str::to_string)
+    }
+
+    /// Reads an array element without cloning its value.
+    pub(crate) fn get_elem_ref(&self, name: &str, index: &str) -> TclResult<&str> {
         let (f, n) = self.resolve(self.active, name);
-        match self.frames[f].vars.get(&n) {
-            Some(VarSlot::Value(Var::Array(map))) => map.get(index).cloned().ok_or_else(|| {
-                TclError::Error(format!(
-                    "can't read \"{name}({index})\": no such element in array"
-                ))
-            }),
+        match self.frames[f].vars.get(n.as_ref()) {
+            Some(VarSlot::Value(Var::Array(map))) => {
+                map.get(index).map(String::as_str).ok_or_else(|| {
+                    TclError::Error(format!(
+                        "can't read \"{name}({index})\": no such element in array"
+                    ))
+                })
+            }
             Some(VarSlot::Value(Var::Scalar(_))) => Err(TclError::Error(format!(
                 "can't read \"{name}({index})\": variable isn't array"
             ))),
@@ -258,17 +347,26 @@ impl Interp {
         }
     }
 
-    /// Sets a scalar variable in the active frame.
+    /// Sets a scalar variable in the active frame. An existing scalar is
+    /// updated in place, reusing its buffer.
     pub fn set_var(&mut self, name: &str, value: &str) -> TclResult<()> {
         let (f, n) = self.resolve(self.active, name);
-        match self.frames[f].vars.get(&n) {
+        match self.frames[f].vars.get_mut(n.as_ref()) {
             Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
                 "can't set \"{name}\": variable is array"
             ))),
-            _ => {
-                self.frames[f]
-                    .vars
-                    .insert(n.clone(), VarSlot::Value(Var::Scalar(value.to_string())));
+            Some(VarSlot::Value(Var::Scalar(s))) => {
+                s.clear();
+                s.push_str(value);
+                self.fire_traces(&n, "", 'w');
+                Ok(())
+            }
+            Some(VarSlot::Link { .. }) => unreachable!("resolve() follows links"),
+            None => {
+                self.frames[f].vars.insert(
+                    n.to_string(),
+                    VarSlot::Value(Var::Scalar(value.to_string())),
+                );
                 self.fire_traces(&n, "", 'w');
                 Ok(())
             }
@@ -280,7 +378,7 @@ impl Interp {
     /// recursion is bounded so a trace writing its own variable cannot
     /// loop forever.
     fn fire_traces(&mut self, name: &str, elem: &str, op: char) {
-        if self.tracing.get() >= 8 {
+        if self.traces.is_empty() || self.tracing.get() >= 8 {
             return;
         }
         let scripts: Vec<String> = match self.traces.get(name) {
@@ -312,7 +410,7 @@ impl Interp {
     pub fn add_trace(&mut self, name: &str, ops: &str, script: &str) {
         let (_, n) = self.resolve(self.active, name);
         self.traces
-            .entry(n)
+            .entry(n.into_owned())
             .or_default()
             .push((ops.to_string(), script.to_string()));
     }
@@ -320,7 +418,7 @@ impl Interp {
     /// Removes a matching trace; returns true if one was removed.
     pub fn remove_trace(&mut self, name: &str, ops: &str, script: &str) -> bool {
         let (_, n) = self.resolve(self.active, name);
-        if let Some(list) = self.traces.get_mut(&n) {
+        if let Some(list) = self.traces.get_mut(n.as_ref()) {
             if let Some(ix) = list.iter().position(|(o, s)| o == ops && s == script) {
                 list.remove(ix);
                 return true;
@@ -332,21 +430,20 @@ impl Interp {
     /// Lists the traces on a variable as `(ops, script)` pairs.
     pub fn trace_info(&self, name: &str) -> Vec<(String, String)> {
         let (_, n) = self.resolve(self.active, name);
-        self.traces.get(&n).cloned().unwrap_or_default()
+        self.traces.get(n.as_ref()).cloned().unwrap_or_default()
     }
 
     /// Sets an array element in the active frame.
     pub fn set_elem(&mut self, name: &str, index: &str, value: &str) -> TclResult<()> {
         let (f, n) = self.resolve(self.active, name);
-        let key = n.clone();
         match self.frames[f]
             .vars
-            .entry(n)
+            .entry(n.to_string())
             .or_insert_with(|| VarSlot::Value(Var::Array(HashMap::new())))
         {
             VarSlot::Value(Var::Array(map)) => {
                 map.insert(index.to_string(), value.to_string());
-                self.fire_traces(&key, index, 'w');
+                self.fire_traces(&n, index, 'w');
                 Ok(())
             }
             VarSlot::Value(Var::Scalar(_)) => Err(TclError::Error(format!(
@@ -359,12 +456,12 @@ impl Interp {
     /// Unsets a variable (scalar or whole array) in the active frame.
     pub fn unset_var(&mut self, name: &str) -> TclResult<()> {
         let (f, n) = self.resolve(self.active, name);
-        if self.frames[f].vars.remove(&n).is_none() {
+        if self.frames[f].vars.remove(n.as_ref()).is_none() {
             return Err(TclError::Error(format!(
                 "can't unset \"{name}\": no such variable"
             )));
         }
-        self.fire_traces(&n.clone(), "", 'u');
+        self.fire_traces(&n, "", 'u');
         // Also remove the link itself if `name` was a link in the active frame.
         if f != self.active || n != name {
             self.frames[self.active].vars.remove(name);
@@ -375,7 +472,7 @@ impl Interp {
     /// Unsets one array element.
     pub fn unset_elem(&mut self, name: &str, index: &str) -> TclResult<()> {
         let (f, n) = self.resolve(self.active, name);
-        match self.frames[f].vars.get_mut(&n) {
+        match self.frames[f].vars.get_mut(n.as_ref()) {
             Some(VarSlot::Value(Var::Array(map))) => {
                 if map.remove(index).is_none() {
                     return Err(TclError::Error(format!(
@@ -393,14 +490,14 @@ impl Interp {
     /// True if the variable (scalar or array) exists in the active frame.
     pub fn var_exists(&self, name: &str) -> bool {
         let (f, n) = self.resolve(self.active, name);
-        self.frames[f].vars.contains_key(&n)
+        self.frames[f].vars.contains_key(n.as_ref())
     }
 
     /// True if the variable exists and is an array.
     pub fn is_array(&self, name: &str) -> bool {
         let (f, n) = self.resolve(self.active, name);
         matches!(
-            self.frames[f].vars.get(&n),
+            self.frames[f].vars.get(n.as_ref()),
             Some(VarSlot::Value(Var::Array(_)))
         )
     }
@@ -408,7 +505,7 @@ impl Interp {
     /// Returns the element names of an array, unsorted.
     pub fn array_names(&self, name: &str) -> TclResult<Vec<String>> {
         let (f, n) = self.resolve(self.active, name);
-        match self.frames[f].vars.get(&n) {
+        match self.frames[f].vars.get(n.as_ref()) {
             Some(VarSlot::Value(Var::Array(map))) => Ok(map.keys().cloned().collect()),
             _ => Err(TclError::Error(format!("\"{name}\" isn't an array"))),
         }
@@ -438,15 +535,22 @@ impl Interp {
                 "can't upvar from variable to itself ({local})"
             )));
         }
-        self.frames[self.active]
-            .vars
-            .insert(local.to_string(), VarSlot::Link { frame: tf, name: tn });
+        self.frames[self.active].vars.insert(
+            local.to_string(),
+            VarSlot::Link {
+                frame: tf,
+                name: tn.into_owned(),
+            },
+        );
         Ok(())
     }
 
     // ----- evaluation -------------------------------------------------
 
     /// Evaluates a script and returns the result of its last command.
+    ///
+    /// Already-seen scripts skip lexing entirely: the text is looked up in
+    /// the interpreter's parse-once cache and only substitution runs.
     pub fn eval(&mut self, script: &str) -> TclResult<String> {
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
@@ -455,9 +559,167 @@ impl Interp {
                 "too many nested calls to Tcl_Eval (infinite loop?)",
             ));
         }
-        let r = self.eval_inner(script);
+        let r = match self.lookup_or_compile(script) {
+            Some(c) => self.eval_compiled_inner(&c),
+            None => self.eval_inner(script),
+        };
         self.depth -= 1;
         r
+    }
+
+    /// Evaluates an already-compiled script (same nesting accounting as
+    /// [`Interp::eval`]).
+    pub fn eval_compiled(&mut self, script: &Rc<CompiledScript>) -> TclResult<String> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            self.depth -= 1;
+            return Err(TclError::error(
+                "too many nested calls to Tcl_Eval (infinite loop?)",
+            ));
+        }
+        // Our own handle: cache eviction during evaluation must not be
+        // able to drop the script out from under us.
+        let script = script.clone();
+        let r = self.eval_compiled_inner(&script);
+        self.depth -= 1;
+        r
+    }
+
+    /// Readies a script for repeated evaluation (loop bodies): compiled
+    /// when possible, raw source otherwise. With the cache disabled
+    /// (`interp cachelimit 0`) this always yields the re-parsing form.
+    pub fn prepare(&mut self, script: &str) -> Prepared {
+        match self.lookup_or_compile(script) {
+            Some(c) => Prepared::Compiled(c),
+            None => Prepared::Source(script.to_string()),
+        }
+    }
+
+    /// Runs a [`Prepared`] script.
+    pub fn run_prepared(&mut self, prepared: &Prepared) -> TclResult<String> {
+        match prepared {
+            Prepared::Compiled(c) => self.eval_compiled(c),
+            Prepared::Source(s) => self.eval(s),
+        }
+    }
+
+    /// Cache lookup + compile-on-miss. Returns `None` when the text does
+    /// not compile (caller falls back to the legacy evaluator) or when
+    /// caching is disabled.
+    fn lookup_or_compile(&mut self, script: &str) -> Option<Rc<CompiledScript>> {
+        if self.script_cache.limit() == 0 {
+            return None;
+        }
+        if script.len() > MAX_CACHED_SCRIPT_LEN {
+            // Compile (parse-once still pays off within the one run via
+            // proc bodies and loops) but do not occupy the cache.
+            return compile(script).ok().map(Rc::new);
+        }
+        if let Some(entry) = self.script_cache.get(script) {
+            return entry;
+        }
+        let compiled = compile(script).ok().map(Rc::new);
+        self.script_cache.insert(script, compiled.clone());
+        compiled
+    }
+
+    // ----- parse-cache introspection ---------------------------------
+
+    /// Counters and sizes of the parse-once caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            script_hits: self.script_cache.hits(),
+            script_misses: self.script_cache.misses(),
+            script_entries: self.script_cache.len(),
+            script_evictions: self.script_cache.evictions(),
+            expr_hits: self.expr_cache.hits(),
+            expr_misses: self.expr_cache.misses(),
+            expr_entries: self.expr_cache.len(),
+            expr_evictions: self.expr_cache.evictions(),
+            limit: self.script_cache.limit(),
+        }
+    }
+
+    /// Empties both parse caches (counters are kept).
+    pub fn cache_clear(&mut self) {
+        self.script_cache.clear();
+        self.expr_cache.clear();
+    }
+
+    /// The cache bound; 0 means caching is disabled.
+    pub fn cache_limit(&self) -> usize {
+        self.script_cache.limit()
+    }
+
+    /// Sets the cache bound for both caches, trimming immediately.
+    /// `0` disables the parse-once layer entirely — every evaluation
+    /// re-parses, exactly like Tcl 6.x (used as the benchmark baseline).
+    pub fn set_cache_limit(&mut self, limit: usize) {
+        self.script_cache.set_limit(limit);
+        self.expr_cache.set_limit(limit);
+    }
+
+    /// True when the parse-once layer is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.script_cache.limit() > 0
+    }
+
+    pub(crate) fn expr_cache_get(&mut self, text: &str) -> Option<Rc<CompiledExpr>> {
+        if self.expr_cache.limit() == 0 || text.len() > MAX_CACHED_SCRIPT_LEN {
+            return None;
+        }
+        self.expr_cache.get(text)
+    }
+
+    pub(crate) fn expr_cache_put(&mut self, text: &str, compiled: Rc<CompiledExpr>) {
+        if text.len() > MAX_CACHED_SCRIPT_LEN {
+            return;
+        }
+        self.expr_cache.insert(text, compiled);
+    }
+
+    // ----- compiled evaluation ---------------------------------------
+
+    fn eval_compiled_inner(&mut self, script: &CompiledScript) -> TclResult<String> {
+        let mut result = String::new();
+        for cmd in &script.commands {
+            result = match &cmd.literal {
+                // All-literal command: substitution is the identity, so
+                // the precomputed argv is invoked with no allocation.
+                Some(words) => self.invoke(words)?,
+                None => {
+                    let mut words: Vec<String> = Vec::with_capacity(cmd.words.len());
+                    for w in &cmd.words {
+                        words.push(self.subst_token(w)?);
+                    }
+                    self.invoke(&words)?
+                }
+            };
+        }
+        Ok(result)
+    }
+
+    /// Performs the per-evaluation substitution step for one token.
+    fn subst_token(&mut self, token: &Token) -> TclResult<String> {
+        match token {
+            Token::Literal(s) => Ok(s.clone()),
+            Token::VarSub(name, None) => self.get_var(name),
+            Token::VarSub(name, Some(index)) => {
+                let mut idx = String::new();
+                for part in index {
+                    idx.push_str(&self.subst_token(part)?);
+                }
+                self.get_elem(name, &idx)
+            }
+            Token::BracketSub(inner) => self.eval_compiled(inner),
+            Token::Compound(parts) => {
+                let mut out = String::new();
+                for part in parts {
+                    out.push_str(&self.subst_token(part)?);
+                }
+                Ok(out)
+            }
+        }
     }
 
     /// Evaluates a script at a given frame level (used by `uplevel`).
@@ -524,9 +786,10 @@ impl Interp {
                 break;
             }
             if ai < actuals.len() {
-                frame
-                    .vars
-                    .insert(formal.clone(), VarSlot::Value(Var::Scalar(actuals[ai].clone())));
+                frame.vars.insert(
+                    formal.clone(),
+                    VarSlot::Value(Var::Scalar(actuals[ai].clone())),
+                );
                 ai += 1;
             } else if let Some(d) = default {
                 frame
@@ -546,7 +809,10 @@ impl Interp {
         self.frames.push(frame);
         let saved_active = self.active;
         self.active = self.frames.len() - 1;
-        let r = self.eval(&p.body);
+        let r = match (&p.compiled, self.cache_enabled()) {
+            (Some(c), true) => self.eval_compiled(c),
+            _ => self.eval(&p.body),
+        };
         self.frames.pop();
         self.active = saved_active;
         match r {
@@ -607,9 +873,7 @@ impl Interp {
                         && !matches!(chars[pos], ' ' | '\t' | '\n' | ';')
                         && !(chars[pos] == '\\' && pos + 1 < chars.len() && chars[pos + 1] == '\n')
                     {
-                        return Err(TclError::error(
-                            "extra characters after close-brace",
-                        ));
+                        return Err(TclError::error("extra characters after close-brace"));
                     }
                 }
                 '"' => {
@@ -620,9 +884,7 @@ impl Interp {
                         && !matches!(chars[pos], ' ' | '\t' | '\n' | ';')
                         && !(chars[pos] == '\\' && pos + 1 < chars.len() && chars[pos + 1] == '\n')
                     {
-                        return Err(TclError::error(
-                            "extra characters after close-quote",
-                        ));
+                        return Err(TclError::error("extra characters after close-quote"));
                     }
                 }
                 _ => {
@@ -856,7 +1118,8 @@ mod tests {
     #[test]
     fn proc_with_defaults_and_args() {
         let mut i = Interp::new();
-        i.eval("proc f {a {b B} args} {return $a-$b-$args}").unwrap();
+        i.eval("proc f {a {b B} args} {return $a-$b-$args}")
+            .unwrap();
         assert_eq!(i.eval("f 1").unwrap(), "1-B-");
         assert_eq!(i.eval("f 1 2").unwrap(), "1-2-");
         assert_eq!(i.eval("f 1 2 3 4").unwrap(), "1-2-3 4");
@@ -924,7 +1187,8 @@ mod tests {
     #[test]
     fn unknown_proc_intercepts_missing_commands() {
         let mut i = Interp::new();
-        i.eval("proc unknown {args} {return \"caught: $args\"}").unwrap();
+        i.eval("proc unknown {args} {return \"caught: $args\"}")
+            .unwrap();
         assert_eq!(i.eval("frobnicate a b").unwrap(), "caught: frobnicate a b");
         // Defined commands are unaffected.
         assert_eq!(i.eval("set x 1").unwrap(), "1");

@@ -29,16 +29,19 @@
 //! ```
 
 pub mod commands;
+pub mod compile;
 pub mod error;
 pub mod expr;
 pub mod glob;
+pub mod hash;
 pub mod interp;
 pub mod list;
 pub mod parser;
 pub mod regex;
 
+pub use compile::{compile, CompiledScript};
 pub use error::{TclError, TclResult};
-pub use interp::{CmdFn, Interp, OutputSink};
+pub use interp::{CacheStats, CmdFn, Interp, OutputSink, Prepared};
 pub use list::{list_append, list_join, list_quote, parse_list};
 
 /// Convenience alias for the result type returned by Tcl commands.

@@ -129,9 +129,9 @@ pub fn list_quote(elem: &str) -> String {
     if elem.is_empty() {
         return "{}".into();
     }
-    let needs_quoting = elem.chars().any(|c| {
-        c.is_whitespace() || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
-    });
+    let needs_quoting = elem
+        .chars()
+        .any(|c| c.is_whitespace() || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';'));
     if !needs_quoting {
         return elem.to_string();
     }
@@ -247,12 +247,27 @@ mod tests {
     #[test]
     fn quoting_roundtrip() {
         for elem in [
-            "plain", "two words", "", "{", "}", "a{b", "has\"quote", "back\\slash", "end\\",
-            "a\nb", "semi;colon", "$dollar", "[bracket]",
+            "plain",
+            "two words",
+            "",
+            "{",
+            "}",
+            "a{b",
+            "has\"quote",
+            "back\\slash",
+            "end\\",
+            "a\nb",
+            "semi;colon",
+            "$dollar",
+            "[bracket]",
         ] {
             let q = list_quote(elem);
             let parsed = parse_list(&q).unwrap();
-            assert_eq!(parsed, vec![elem.to_string()], "quoting of {elem:?} as {q:?}");
+            assert_eq!(
+                parsed,
+                vec![elem.to_string()],
+                "quoting of {elem:?} as {q:?}"
+            );
         }
     }
 

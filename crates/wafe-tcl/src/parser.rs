@@ -44,10 +44,7 @@ pub fn parse_backslash(chars: &[char], pos: usize) -> (String, usize) {
                 j += 1;
             }
             if any {
-                (
-                    char::from_u32(val).unwrap_or('\u{fffd}').to_string(),
-                    j,
-                )
+                (char::from_u32(val).unwrap_or('\u{fffd}').to_string(), j)
             } else {
                 ("x".into(), pos + 2)
             }
@@ -59,10 +56,7 @@ pub fn parse_backslash(chars: &[char], pos: usize) -> (String, usize) {
                 val = val * 8 + chars[j].to_digit(8).unwrap();
                 j += 1;
             }
-            (
-                char::from_u32(val).unwrap_or('\u{fffd}').to_string(),
-                j,
-            )
+            (char::from_u32(val).unwrap_or('\u{fffd}').to_string(), j)
         }
         other => (other.to_string(), pos + 2),
     }

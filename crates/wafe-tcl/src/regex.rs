@@ -48,12 +48,20 @@ impl Regex {
     /// Compiles a pattern.
     pub fn compile(pattern: &str, nocase: bool) -> Result<Regex, String> {
         let chars: Vec<char> = pattern.chars().collect();
-        let mut p = Parser { chars: &chars, pos: 0, groups: 0 };
+        let mut p = Parser {
+            chars: &chars,
+            pos: 0,
+            groups: 0,
+        };
         let root = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(format!("couldn't parse pattern near position {}", p.pos));
         }
-        Ok(Regex { root, groups: p.groups, nocase })
+        Ok(Regex {
+            root,
+            groups: p.groups,
+            nocase,
+        })
     }
 
     /// Finds the leftmost match in `text`.
@@ -385,7 +393,11 @@ impl<'a> Parser<'a> {
                 c
             };
             if self.peek() == Some('-')
-                && self.chars.get(self.pos + 1).map(|&c| c != ']').unwrap_or(false)
+                && self
+                    .chars
+                    .get(self.pos + 1)
+                    .map(|&c| c != ']')
+                    .unwrap_or(false)
             {
                 self.pos += 1;
                 let hi = self.peek().ok_or("unterminated range")?;
@@ -435,7 +447,10 @@ mod tests {
     use super::*;
 
     fn spans(pattern: &str, text: &str) -> Option<Vec<Option<(usize, usize)>>> {
-        Regex::compile(pattern, false).unwrap().find(text).map(|m| m.spans)
+        Regex::compile(pattern, false)
+            .unwrap()
+            .find(text)
+            .map(|m| m.spans)
     }
 
     fn matched(pattern: &str, text: &str) -> bool {
@@ -549,7 +564,10 @@ mod tests {
     #[test]
     fn subspec_expansion() {
         let text: Vec<char> = "hello world".chars().collect();
-        let m = Regex::compile("(w[a-z]+)", false).unwrap().find("hello world").unwrap();
+        let m = Regex::compile("(w[a-z]+)", false)
+            .unwrap()
+            .find("hello world")
+            .unwrap();
         assert_eq!(expand_subspec("<&>", &text, &m), "<world>");
         assert_eq!(expand_subspec("[\\1]", &text, &m), "[world]");
         assert_eq!(expand_subspec("\\&", &text, &m), "&");

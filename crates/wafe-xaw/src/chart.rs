@@ -119,7 +119,10 @@ impl WidgetOps for BarGraphOps {
         };
         let bw = app.dim_resource(w, "barWidth");
         let sp = app.dim_resource(w, "barSpacing");
-        ((n * (bw + sp) + sp).max(60), app.dim_resource(w, "height").max(80))
+        (
+            (n * (bw + sp) + sp).max(60),
+            app.dim_resource(w, "height").max(80),
+        )
     }
 
     fn redisplay(&self, app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
@@ -202,9 +205,9 @@ impl WidgetOps for LineGraphOps {
             .map(|n| series_values(app, w, n))
             .collect();
         let all: Vec<f64> = series.iter().flatten().copied().collect();
-        let (auto_min, auto_max) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (auto_min, auto_max) = all
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let min_y = match app.widget(w).resource("minY") {
             Some(ResourceValue::Int(v)) if *v != 0 => *v as f64,
             _ if all.is_empty() => 0.0,
@@ -220,12 +223,30 @@ impl WidgetOps for LineGraphOps {
         let y_of = |v: f64| -> i32 { height - 2 - ((v - min_y) / span * plot_h) as i32 };
 
         // Axes and optional horizontal grid lines.
-        ops.push(DrawOp::DrawLine { x1: 1, y1: height - 2, x2: width - 2, y2: height - 2, pixel: axis });
-        ops.push(DrawOp::DrawLine { x1: 1, y1: 1, x2: 1, y2: height - 2, pixel: axis });
+        ops.push(DrawOp::DrawLine {
+            x1: 1,
+            y1: height - 2,
+            x2: width - 2,
+            y2: height - 2,
+            pixel: axis,
+        });
+        ops.push(DrawOp::DrawLine {
+            x1: 1,
+            y1: 1,
+            x2: 1,
+            y2: height - 2,
+            pixel: axis,
+        });
         if app.bool_resource(w, "gridLines") {
             for k in 1..4 {
                 let gy = 2 + k * (height - 4) / 4;
-                ops.push(DrawOp::DrawLine { x1: 2, y1: gy, x2: width - 2, y2: gy, pixel: axis });
+                ops.push(DrawOp::DrawLine {
+                    x1: 2,
+                    y1: gy,
+                    x2: width - 2,
+                    y2: gy,
+                    pixel: axis,
+                });
             }
         }
         // Polylines.
@@ -298,9 +319,21 @@ mod tests {
     #[test]
     fn stripchart_accumulates_and_windows() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let c = a
-            .create_widget("chart", "StripChart", Some(top), 0, &[("width".into(), "20".into()), ("height".into(), "40".into())], true)
+            .create_widget(
+                "chart",
+                "StripChart",
+                Some(top),
+                0,
+                &[
+                    ("width".into(), "20".into()),
+                    ("height".into(), "40".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         for i in 0..30 {
@@ -317,9 +350,18 @@ mod tests {
     #[test]
     fn stripchart_scales_to_max() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let c = a
-            .create_widget("chart", "StripChart", Some(top), 0, &[("height".into(), "42".into())], true)
+            .create_widget(
+                "chart",
+                "StripChart",
+                Some(top),
+                0,
+                &[("height".into(), "42".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         stripchart_add_sample(&mut a, c, 100.0);
@@ -337,14 +379,19 @@ mod tests {
     #[test]
     fn bargraph_draws_bars() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let b = a
             .create_widget(
                 "bars",
                 "BarGraph",
                 Some(top),
                 0,
-                &[("values".into(), "3, 9, 6".into()), ("height".into(), "100".into())],
+                &[
+                    ("values".into(), "3, 9, 6".into()),
+                    ("height".into(), "100".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -378,7 +425,9 @@ mod linegraph_tests {
     #[test]
     fn linegraph_draws_polyline_per_series() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let g = a
             .create_widget(
                 "g",
@@ -397,7 +446,10 @@ mod linegraph_tests {
         a.realize(top);
         let ops = LineGraphOps.redisplay(&a, g);
         // Axes (2) + grid (3) + series1 segments (3) + series2 segments (3).
-        let lines = ops.iter().filter(|o| matches!(o, DrawOp::DrawLine { .. })).count();
+        let lines = ops
+            .iter()
+            .filter(|o| matches!(o, DrawOp::DrawLine { .. }))
+            .count();
         assert_eq!(lines, 2 + 3 + 3 + 3);
         // The flat series stays at one y.
         let s2: Vec<(i32, i32)> = ops
@@ -417,7 +469,9 @@ mod linegraph_tests {
     #[test]
     fn linegraph_scales_to_explicit_range() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let g = a
             .create_widget(
                 "g",
@@ -437,16 +491,28 @@ mod linegraph_tests {
         a.realize(top);
         let ops = LineGraphOps.redisplay(&a, g);
         // No grid: 2 axes + 1 segment.
-        let lines = ops.iter().filter(|o| matches!(o, DrawOp::DrawLine { .. })).count();
+        let lines = ops
+            .iter()
+            .filter(|o| matches!(o, DrawOp::DrawLine { .. }))
+            .count();
         assert_eq!(lines, 3);
     }
 
     #[test]
     fn empty_series_only_axes() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let g = a
-            .create_widget("g", "LineGraph", Some(top), 0, &[("gridLines".into(), "false".into())], true)
+            .create_widget(
+                "g",
+                "LineGraph",
+                Some(top),
+                0,
+                &[("gridLines".into(), "false".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         let ops = LineGraphOps.redisplay(&a, g);

@@ -24,7 +24,12 @@ pub fn command_resources() -> Vec<ResourceSpec> {
     use ResType::*;
     let mut v = label_resources();
     v.push(ResourceSpec::new("callback", "Callback", Callback, ""));
-    v.push(ResourceSpec::new("highlightThickness", "Thickness", Dimension, "2"));
+    v.push(ResourceSpec::new(
+        "highlightThickness",
+        "Thickness",
+        Dimension,
+        "2",
+    ));
     v
 }
 
@@ -184,7 +189,15 @@ fn toggle_actions() -> ActionTable {
     });
     t.add("notify", |app, w, _, _| {
         let mut data = HashMap::new();
-        data.insert('s', if app.bool_resource(w, "state") { "1" } else { "0" }.to_string());
+        data.insert(
+            's',
+            if app.bool_resource(w, "state") {
+                "1"
+            } else {
+                "0"
+            }
+            .to_string(),
+        );
         app.call_callbacks(w, "callback", data);
     });
     t.add("highlight", |app, w, _, _| {
@@ -227,7 +240,12 @@ pub fn toggle_class() -> WidgetClass {
 /// MenuButton's resources: Command's plus `menuName`.
 pub fn menubutton_resources() -> Vec<ResourceSpec> {
     let mut v = command_resources();
-    v.push(ResourceSpec::new("menuName", "MenuName", ResType::String, "menu"));
+    v.push(ResourceSpec::new(
+        "menuName",
+        "MenuName",
+        ResType::String,
+        "menu",
+    ));
     v
 }
 
@@ -304,7 +322,9 @@ mod tests {
     #[test]
     fn command_click_fires_callback() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let b = a
             .create_widget(
                 "hello",
@@ -331,9 +351,18 @@ mod tests {
     #[test]
     fn command_set_unset_state() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let b = a
-            .create_widget("b", "Command", Some(top), 0, &[("label".into(), "x".into())], true)
+            .create_widget(
+                "b",
+                "Command",
+                Some(top),
+                0,
+                &[("label".into(), "x".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         a.dispatch_pending();
@@ -352,14 +381,19 @@ mod tests {
     #[test]
     fn leave_resets_pressed_button_without_notify() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let b = a
             .create_widget(
                 "b",
                 "Command",
                 Some(top),
                 0,
-                &[("label".into(), "x".into()), ("callback".into(), "echo fired".into())],
+                &[
+                    ("label".into(), "x".into()),
+                    ("callback".into(), "echo fired".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -380,14 +414,19 @@ mod tests {
     #[test]
     fn toggle_flips_state_and_notifies() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let t = a
             .create_widget(
                 "t",
                 "Toggle",
                 Some(top),
                 0,
-                &[("label".into(), "opt".into()), ("callback".into(), "echo state".into())],
+                &[
+                    ("label".into(), "opt".into()),
+                    ("callback".into(), "echo state".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -407,17 +446,36 @@ mod tests {
     #[test]
     fn radio_group_exclusivity() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let form = top; // shell acts as the container here
         let t1 = a
-            .create_widget("t1", "Toggle", Some(form), 0, &[("radioGroup".into(), "grp".into())], true)
+            .create_widget(
+                "t1",
+                "Toggle",
+                Some(form),
+                0,
+                &[("radioGroup".into(), "grp".into())],
+                true,
+            )
             .unwrap();
         let t2 = a
-            .create_widget("t2", "Toggle", Some(form), 0, &[("radioGroup".into(), "grp".into())], true)
+            .create_widget(
+                "t2",
+                "Toggle",
+                Some(form),
+                0,
+                &[("radioGroup".into(), "grp".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         a.dispatch_pending();
-        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::ButtonPress, wafe_xproto::WindowId(0));
+        let ev = wafe_xproto::Event::new(
+            wafe_xproto::EventKind::ButtonPress,
+            wafe_xproto::WindowId(0),
+        );
         a.run_action(t1, "toggle", &[], &ev);
         assert!(a.bool_resource(t1, "state"));
         a.run_action(t2, "toggle", &[], &ev);
@@ -429,21 +487,35 @@ mod tests {
     fn menubutton_popup_on_enter_paper_example() {
         // The paper: action mb override "<EnterWindow>: PopupMenu()".
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let mb = a
             .create_widget(
                 "mb",
                 "MenuButton",
                 Some(top),
                 0,
-                &[("label".into(), "menu".into()), ("menuName".into(), "themenu".into())],
+                &[
+                    ("label".into(), "menu".into()),
+                    ("menuName".into(), "themenu".into()),
+                ],
                 true,
             )
             .unwrap();
         a.realize(top);
-        let menu = a.create_widget("themenu", "SimpleMenu", None, 0, &[], true).unwrap();
-        a.create_widget("entry1", "SmeBSB", Some(menu), 0, &[("label".into(), "First".into())], true)
+        let menu = a
+            .create_widget("themenu", "SimpleMenu", None, 0, &[], true)
             .unwrap();
+        a.create_widget(
+            "entry1",
+            "SmeBSB",
+            Some(menu),
+            0,
+            &[("label".into(), "First".into())],
+            true,
+        )
+        .unwrap();
         let table = wafe_xt::TranslationTable::parse("<EnterWindow>: PopupMenu()").unwrap();
         a.merge_translations(mb, table, wafe_xt::MergeMode::Override);
         a.dispatch_pending();
@@ -459,13 +531,18 @@ mod tests {
     #[test]
     fn menubutton_missing_menu_warns() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let mb = a
             .create_widget("mb", "MenuButton", Some(top), 0, &[], true)
             .unwrap();
         a.realize(top);
         a.dispatch_pending();
-        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::ButtonPress, wafe_xproto::WindowId(0));
+        let ev = wafe_xproto::Event::new(
+            wafe_xproto::EventKind::ButtonPress,
+            wafe_xproto::WindowId(0),
+        );
         a.run_action(mb, "PopupMenu", &[], &ev);
         assert!(a.take_warnings().iter().any(|w| w.contains("no menu")));
     }

@@ -65,7 +65,13 @@ pub fn draw_label_text(app: &XtApp, w: WidgetId, text: &str, extra_left: i32) ->
     let baseline = ih as i32 + font.ascent as i32;
     let mut ops = Vec::new();
     if !text.is_empty() {
-        ops.push(DrawOp::DrawText { x, y: baseline, text: text.to_string(), pixel: fg, font: font_id });
+        ops.push(DrawOp::DrawText {
+            x,
+            y: baseline,
+            text: text.to_string(),
+            pixel: fg,
+            font: font_id,
+        });
     }
     ops
 }
@@ -84,8 +90,20 @@ pub fn draw_shadow(app: &XtApp, w: WidgetId, sunken: bool) -> Vec<DrawOp> {
     let mut ops = Vec::new();
     for i in 0..sw as i32 {
         // Top and left edges.
-        ops.push(DrawOp::DrawLine { x1: 0, y1: i, x2: width as i32 - 1 - i, y2: i, pixel: t });
-        ops.push(DrawOp::DrawLine { x1: i, y1: 0, x2: i, y2: height as i32 - 1 - i, pixel: t });
+        ops.push(DrawOp::DrawLine {
+            x1: 0,
+            y1: i,
+            x2: width as i32 - 1 - i,
+            y2: i,
+            pixel: t,
+        });
+        ops.push(DrawOp::DrawLine {
+            x1: i,
+            y1: 0,
+            x2: i,
+            y2: height as i32 - 1 - i,
+            pixel: t,
+        });
         // Bottom and right edges.
         ops.push(DrawOp::DrawLine {
             x1: i,
@@ -123,7 +141,10 @@ pub fn invert_ops(app: &XtApp, w: WidgetId) -> Vec<DrawOp> {
     let width = app.dim_resource(w, "width");
     let height = app.dim_resource(w, "height");
     let fg = app.pixel_resource(w, "foreground");
-    vec![DrawOp::FillRect { rect: Rect::new(0, 0, width, height), pixel: fg }]
+    vec![DrawOp::FillRect {
+        rect: Rect::new(0, 0, width, height),
+        pixel: fg,
+    }]
 }
 
 #[cfg(test)]

@@ -118,7 +118,14 @@ pub fn dialog_add_button(
     if let Some(p) = prev_button {
         init.push(("fromHoriz".to_string(), p));
     }
-    app.create_widget(&format!("{dname}.{name}"), "Command", Some(dialog), 0, &init, true)
+    app.create_widget(
+        &format!("{dname}.{name}"),
+        "Command",
+        Some(dialog),
+        0,
+        &init,
+        true,
+    )
 }
 
 /// Registers the Dialog class.
@@ -153,14 +160,19 @@ mod tests {
     #[test]
     fn dialog_builds_label_and_value() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let d = a
             .create_widget(
                 "dlg",
                 "Dialog",
                 Some(top),
                 0,
-                &[("label".into(), "Name:".into()), ("value".into(), "initial".into())],
+                &[
+                    ("label".into(), "Name:".into()),
+                    ("value".into(), "initial".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -173,9 +185,18 @@ mod tests {
     #[test]
     fn dialog_without_value_has_no_text() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let d = a
-            .create_widget("dlg", "Dialog", Some(top), 0, &[("label".into(), "Msg".into())], true)
+            .create_widget(
+                "dlg",
+                "Dialog",
+                Some(top),
+                0,
+                &[("label".into(), "Msg".into())],
+                true,
+            )
             .unwrap();
         assert!(a.lookup("dlg.value").is_none());
         assert_eq!(dialog_get_value(&a, d), "");
@@ -184,9 +205,18 @@ mod tests {
     #[test]
     fn add_buttons_side_by_side() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let d = a
-            .create_widget("dlg", "Dialog", Some(top), 0, &[("label".into(), "Q?".into())], true)
+            .create_widget(
+                "dlg",
+                "Dialog",
+                Some(top),
+                0,
+                &[("label".into(), "Q?".into())],
+                true,
+            )
             .unwrap();
         let ok = dialog_add_button(&mut a, d, "ok", "echo ok").unwrap();
         let cancel = dialog_add_button(&mut a, d, "cancel", "echo cancel").unwrap();
@@ -198,9 +228,18 @@ mod tests {
     #[test]
     fn set_label_updates_child() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let d = a
-            .create_widget("dlg", "Dialog", Some(top), 0, &[("label".into(), "Old".into())], true)
+            .create_widget(
+                "dlg",
+                "Dialog",
+                Some(top),
+                0,
+                &[("label".into(), "Old".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         a.set_resource(d, "label", "New").unwrap();

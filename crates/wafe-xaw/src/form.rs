@@ -15,7 +15,12 @@ use wafe_xt::XtApp;
 /// Form's own resources.
 pub fn form_resources() -> Vec<ResourceSpec> {
     let mut v = core_resources();
-    v.push(ResourceSpec::new("defaultDistance", "Thickness", ResType::Dimension, "4"));
+    v.push(ResourceSpec::new(
+        "defaultDistance",
+        "Thickness",
+        ResType::Dimension,
+        "4",
+    ));
     v
 }
 
@@ -179,7 +184,12 @@ pub fn box_resources() -> Vec<ResourceSpec> {
     let mut v = core_resources();
     v.push(ResourceSpec::new("hSpace", "HSpace", Dimension, "4"));
     v.push(ResourceSpec::new("vSpace", "VSpace", Dimension, "4"));
-    v.push(ResourceSpec::new("orientation", "Orientation", Orientation, "vertical"));
+    v.push(ResourceSpec::new(
+        "orientation",
+        "Orientation",
+        Orientation,
+        "vertical",
+    ));
     v
 }
 
@@ -192,7 +202,9 @@ impl WidgetOps for BoxOps {
         let vs = app.dim_resource(w, "vSpace");
         let horizontal = matches!(
             app.widget(w).resource("orientation"),
-            Some(ResourceValue::Orientation(wafe_xt::resource::Orientation::Horizontal))
+            Some(ResourceValue::Orientation(
+                wafe_xt::resource::Orientation::Horizontal
+            ))
         );
         let mut total_w = hs;
         let mut total_h = vs;
@@ -222,7 +234,9 @@ impl WidgetOps for BoxOps {
         let vs = app.dim_resource(w, "vSpace") as i32;
         let horizontal = matches!(
             app.widget(w).resource("orientation"),
-            Some(ResourceValue::Orientation(wafe_xt::resource::Orientation::Horizontal))
+            Some(ResourceValue::Orientation(
+                wafe_xt::resource::Orientation::Horizontal
+            ))
         );
         let children = app.widget(w).children.clone();
         let mut x = hs;
@@ -281,10 +295,21 @@ mod tests {
         // The paper's prime-factors tree: input, result fromVert input,
         // quit fromVert result, info fromVert result fromHoriz quit.
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = a.create_widget("topf", "Form", Some(top), 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let form = a
+            .create_widget("topf", "Form", Some(top), 0, &[], true)
+            .unwrap();
         let input = a
-            .create_widget("input", "Label", Some(form), 0, &[("width".into(), "200".into())], true)
+            .create_widget(
+                "input",
+                "Label",
+                Some(form),
+                0,
+                &[("width".into(), "200".into())],
+                true,
+            )
             .unwrap();
         let result = a
             .create_widget(
@@ -292,7 +317,10 @@ mod tests {
                 "Label",
                 Some(form),
                 0,
-                &[("width".into(), "200".into()), ("fromVert".into(), "input".into())],
+                &[
+                    ("width".into(), "200".into()),
+                    ("fromVert".into(), "input".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -302,7 +330,10 @@ mod tests {
                 "Command",
                 Some(form),
                 0,
-                &[("label".into(), "quit".into()), ("fromVert".into(), "result".into())],
+                &[
+                    ("label".into(), "quit".into()),
+                    ("fromVert".into(), "result".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -339,16 +370,24 @@ mod tests {
     #[test]
     fn form_bounds_grow_with_children() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let form = a
+            .create_widget("f", "Form", Some(top), 0, &[], true)
+            .unwrap();
         let mut prev = String::new();
         for i in 0..5 {
             let name = format!("w{i}");
-            let mut init = vec![("width".to_string(), "50".to_string()), ("height".to_string(), "20".to_string())];
+            let mut init = vec![
+                ("width".to_string(), "50".to_string()),
+                ("height".to_string(), "20".to_string()),
+            ];
             if !prev.is_empty() {
                 init.push(("fromVert".to_string(), prev.clone()));
             }
-            a.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            a.create_widget(&name, "Label", Some(form), 0, &init, true)
+                .unwrap();
             prev = name;
         }
         a.realize(top);
@@ -359,17 +398,31 @@ mod tests {
     #[test]
     fn horiz_distance_respected() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
-        a.create_widget("a", "Label", Some(form), 0, &[("width".into(), "50".into())], true)
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
             .unwrap();
+        let form = a
+            .create_widget("f", "Form", Some(top), 0, &[], true)
+            .unwrap();
+        a.create_widget(
+            "a",
+            "Label",
+            Some(form),
+            0,
+            &[("width".into(), "50".into())],
+            true,
+        )
+        .unwrap();
         let b = a
             .create_widget(
                 "b",
                 "Label",
                 Some(form),
                 0,
-                &[("fromHoriz".into(), "a".into()), ("horizDistance".into(), "20".into())],
+                &[
+                    ("fromHoriz".into(), "a".into()),
+                    ("horizDistance".into(), "20".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -382,23 +435,72 @@ mod tests {
     #[test]
     fn box_vertical_and_horizontal() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let bx = a
-            .create_widget("bx", "Box", Some(top), 0, &[("orientation".into(), "horizontal".into())], true)
+            .create_widget(
+                "bx",
+                "Box",
+                Some(top),
+                0,
+                &[("orientation".into(), "horizontal".into())],
+                true,
+            )
             .unwrap();
         let c1 = a
-            .create_widget("c1", "Label", Some(bx), 0, &[("width".into(), "30".into()), ("height".into(), "10".into())], true)
+            .create_widget(
+                "c1",
+                "Label",
+                Some(bx),
+                0,
+                &[
+                    ("width".into(), "30".into()),
+                    ("height".into(), "10".into()),
+                ],
+                true,
+            )
             .unwrap();
         let c2 = a
-            .create_widget("c2", "Label", Some(bx), 0, &[("width".into(), "30".into()), ("height".into(), "10".into())], true)
+            .create_widget(
+                "c2",
+                "Label",
+                Some(bx),
+                0,
+                &[
+                    ("width".into(), "30".into()),
+                    ("height".into(), "10".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         assert_eq!(a.pos_resource(c1, "y"), a.pos_resource(c2, "y"));
         assert!(a.pos_resource(c2, "x") > a.pos_resource(c1, "x"));
         // Vertical box stacks.
-        let bv = a.create_widget("bv", "Box", Some(top), 0, &[], false).unwrap();
-        let d1 = a.create_widget("d1", "Label", Some(bv), 0, &[("height".into(), "10".into())], true).unwrap();
-        let d2 = a.create_widget("d2", "Label", Some(bv), 0, &[("height".into(), "10".into())], true).unwrap();
+        let bv = a
+            .create_widget("bv", "Box", Some(top), 0, &[], false)
+            .unwrap();
+        let d1 = a
+            .create_widget(
+                "d1",
+                "Label",
+                Some(bv),
+                0,
+                &[("height".into(), "10".into())],
+                true,
+            )
+            .unwrap();
+        let d2 = a
+            .create_widget(
+                "d2",
+                "Label",
+                Some(bv),
+                0,
+                &[("height".into(), "10".into())],
+                true,
+            )
+            .unwrap();
         a.do_layout(bv);
         assert!(a.pos_resource(d2, "y") > a.pos_resource(d1, "y"));
     }
@@ -406,12 +508,36 @@ mod tests {
     #[test]
     fn unmanaged_children_skipped() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = a.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
-        a.create_widget("vis", "Label", Some(form), 0, &[("width".into(), "50".into()), ("height".into(), "20".into())], true)
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
             .unwrap();
-        a.create_widget("hid", "Label", Some(form), 0, &[("width".into(), "500".into()), ("height".into(), "500".into())], false)
+        let form = a
+            .create_widget("f", "Form", Some(top), 0, &[], true)
             .unwrap();
+        a.create_widget(
+            "vis",
+            "Label",
+            Some(form),
+            0,
+            &[
+                ("width".into(), "50".into()),
+                ("height".into(), "20".into()),
+            ],
+            true,
+        )
+        .unwrap();
+        a.create_widget(
+            "hid",
+            "Label",
+            Some(form),
+            0,
+            &[
+                ("width".into(), "500".into()),
+                ("height".into(), "500".into()),
+            ],
+            false,
+        )
+        .unwrap();
         a.realize(top);
         // The unmanaged 500px child must not blow up the form.
         assert!(a.dim_resource(form, "width") < 200);

@@ -158,8 +158,12 @@ mod tests {
     #[test]
     fn get_resource_list_through_app() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let l = a.create_widget("l", "Label", Some(top), 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let l = a
+            .create_widget("l", "Label", Some(top), 0, &[], true)
+            .unwrap();
         let list = a.get_resource_list(l);
         assert_eq!(list.len(), 42);
         assert_eq!(list[0], "destroyCallback");
@@ -168,9 +172,18 @@ mod tests {
     #[test]
     fn preferred_size_follows_text() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let l = a
-            .create_widget("l", "Label", Some(top), 0, &[("label".into(), "abc".into())], true)
+            .create_widget(
+                "l",
+                "Label",
+                Some(top),
+                0,
+                &[("label".into(), "abc".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         // 3 chars * 6 + 2*4 internal + 2*2 shadow = 30.
@@ -181,9 +194,18 @@ mod tests {
     #[test]
     fn label_renders_text() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        a.create_widget("l", "Label", Some(top), 0, &[("label".into(), "Hi Man".into())], true)
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
             .unwrap();
+        a.create_widget(
+            "l",
+            "Label",
+            Some(top),
+            0,
+            &[("label".into(), "Hi Man".into())],
+            true,
+        )
+        .unwrap();
         a.realize(top);
         let snap = a.displays[0].snapshot_ascii(wafe_xproto::Rect::new(0, 0, 400, 100));
         assert!(snap.contains("Hi Man"), "snapshot:\n{snap}");
@@ -193,14 +215,19 @@ mod tests {
     fn set_values_updates_label() {
         // The paper: sV label1 background "tomato" label "Hi Man".
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let l = a
             .create_widget(
                 "label1",
                 "Label",
                 Some(top),
                 0,
-                &[("background".into(), "red".into()), ("foreground".into(), "blue".into())],
+                &[
+                    ("background".into(), "red".into()),
+                    ("foreground".into(), "blue".into()),
+                ],
                 true,
             )
             .unwrap();

@@ -95,7 +95,10 @@ impl WidgetOps for ListOps {
         for (i, item) in items(app, w).iter().enumerate() {
             let y = ih + i as i32 * rh;
             if i as i64 == selected {
-                ops.push(DrawOp::FillRect { rect: Rect::new(0, y, width, rh as u32), pixel: fg });
+                ops.push(DrawOp::FillRect {
+                    rect: Rect::new(0, y, width, rh as u32),
+                    pixel: fg,
+                });
                 ops.push(DrawOp::DrawText {
                     x: iw,
                     y: y + font.ascent as i32,
@@ -186,10 +189,8 @@ pub fn list_class() -> WidgetClass {
         resources: list_resources(),
         constraint_resources: Vec::new(),
         actions: list_actions(),
-        default_translations: TranslationTable::parse(
-            "<Btn1Down>: Set()\n<Btn1Up>: Notify()",
-        )
-        .expect("static translations"),
+        default_translations: TranslationTable::parse("<Btn1Down>: Set()\n<Btn1Up>: Notify()")
+            .expect("static translations"),
         ops: Rc::new(ListOps),
         is_shell: false,
         is_composite: false,
@@ -213,7 +214,9 @@ mod tests {
     }
 
     fn make_list(a: &mut XtApp) -> WidgetId {
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let l = a
             .create_widget(
                 "chooseLst",

@@ -150,7 +150,12 @@ pub fn smeline_resources() -> Vec<ResourceSpec> {
     use ResType::*;
     let mut v = core_resources();
     v.push(ResourceSpec::new("lineWidth", "LineWidth", Dimension, "1"));
-    v.push(ResourceSpec::new("foreground", "Foreground", Pixel, "black"));
+    v.push(ResourceSpec::new(
+        "foreground",
+        "Foreground",
+        Pixel,
+        "black",
+    ));
     v
 }
 
@@ -230,12 +235,28 @@ mod tests {
     #[test]
     fn menu_stacks_entries() {
         let mut a = app();
-        let menu = a.create_widget("menu", "SimpleMenu", None, 0, &[], true).unwrap();
+        let menu = a
+            .create_widget("menu", "SimpleMenu", None, 0, &[], true)
+            .unwrap();
         let e1 = a
-            .create_widget("e1", "SmeBSB", Some(menu), 0, &[("label".into(), "Open".into())], true)
+            .create_widget(
+                "e1",
+                "SmeBSB",
+                Some(menu),
+                0,
+                &[("label".into(), "Open".into())],
+                true,
+            )
             .unwrap();
         let e2 = a
-            .create_widget("e2", "SmeBSB", Some(menu), 0, &[("label".into(), "Quit".into())], true)
+            .create_widget(
+                "e2",
+                "SmeBSB",
+                Some(menu),
+                0,
+                &[("label".into(), "Quit".into())],
+                true,
+            )
             .unwrap();
         a.popup(menu, wafe_xproto::GrabKind::Exclusive);
         assert!(a.pos_resource(e2, "y") > a.pos_resource(e1, "y"));
@@ -245,16 +266,23 @@ mod tests {
     #[test]
     fn entry_click_notifies_and_pops_down() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         a.realize(top);
-        let menu = a.create_widget("menu", "SimpleMenu", None, 0, &[], true).unwrap();
+        let menu = a
+            .create_widget("menu", "SimpleMenu", None, 0, &[], true)
+            .unwrap();
         let e1 = a
             .create_widget(
                 "e1",
                 "SmeBSB",
                 Some(menu),
                 0,
-                &[("label".into(), "Open".into()), ("callback".into(), "echo open".into())],
+                &[
+                    ("label".into(), "Open".into()),
+                    ("callback".into(), "echo open".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -276,9 +304,18 @@ mod tests {
     #[test]
     fn entry_highlight_on_crossing() {
         let mut a = app();
-        let menu = a.create_widget("menu", "SimpleMenu", None, 0, &[], true).unwrap();
+        let menu = a
+            .create_widget("menu", "SimpleMenu", None, 0, &[], true)
+            .unwrap();
         let e1 = a
-            .create_widget("e1", "SmeBSB", Some(menu), 0, &[("label".into(), "Open".into())], true)
+            .create_widget(
+                "e1",
+                "SmeBSB",
+                Some(menu),
+                0,
+                &[("label".into(), "Open".into())],
+                true,
+            )
             .unwrap();
         a.popup(menu, wafe_xproto::GrabKind::None);
         a.dispatch_pending();
@@ -302,12 +339,30 @@ mod smeline_tests {
         let mut a = XtApp::new();
         crate::shell::register(&mut a);
         register(&mut a);
-        let menu = a.create_widget("menu", "SimpleMenu", None, 0, &[], true).unwrap();
-        a.create_widget("e1", "SmeBSB", Some(menu), 0, &[("label".into(), "Open".into())], true)
+        let menu = a
+            .create_widget("menu", "SimpleMenu", None, 0, &[], true)
             .unwrap();
-        let sep = a.create_widget("sep", "SmeLine", Some(menu), 0, &[], true).unwrap();
+        a.create_widget(
+            "e1",
+            "SmeBSB",
+            Some(menu),
+            0,
+            &[("label".into(), "Open".into())],
+            true,
+        )
+        .unwrap();
+        let sep = a
+            .create_widget("sep", "SmeLine", Some(menu), 0, &[], true)
+            .unwrap();
         let e2 = a
-            .create_widget("e2", "SmeBSB", Some(menu), 0, &[("label".into(), "Quit".into())], true)
+            .create_widget(
+                "e2",
+                "SmeBSB",
+                Some(menu),
+                0,
+                &[("label".into(), "Quit".into())],
+                true,
+            )
             .unwrap();
         a.popup(menu, wafe_xproto::GrabKind::None);
         let ops = SmeLineOps.redisplay(&a, sep);

@@ -12,9 +12,24 @@ use wafe_xt::XtApp;
 pub fn paned_resources() -> Vec<ResourceSpec> {
     use ResType::*;
     let mut v = core_resources();
-    v.push(ResourceSpec::new("internalBorderWidth", "BorderWidth", Dimension, "1"));
-    v.push(ResourceSpec::new("orientation", "Orientation", Orientation, "vertical"));
-    v.push(ResourceSpec::new("gripIndent", "GripIndent", Position, "10"));
+    v.push(ResourceSpec::new(
+        "internalBorderWidth",
+        "BorderWidth",
+        Dimension,
+        "1",
+    ));
+    v.push(ResourceSpec::new(
+        "orientation",
+        "Orientation",
+        Orientation,
+        "vertical",
+    ));
+    v.push(ResourceSpec::new(
+        "gripIndent",
+        "GripIndent",
+        Position,
+        "10",
+    ));
     v
 }
 
@@ -62,7 +77,11 @@ impl WidgetOps for PanedOps {
             let bw = app.dim_resource(c, "borderWidth");
             app.put_resource(c, "x", ResourceValue::Pos(0));
             app.put_resource(c, "y", ResourceValue::Pos(y));
-            app.put_resource(c, "width", ResourceValue::Dim(width.saturating_sub(2 * bw).max(1)));
+            app.put_resource(
+                c,
+                "width",
+                ResourceValue::Dim(width.saturating_sub(2 * bw).max(1)),
+            );
             y += app.dim_resource(c, "height") as i32 + 2 * bw as i32 + ib;
         }
     }
@@ -71,7 +90,12 @@ impl WidgetOps for PanedOps {
 /// Grip — the little handle between panes (leaf, draggable in real Xaw).
 pub fn grip_class() -> WidgetClass {
     let mut resources = core_resources();
-    resources.push(ResourceSpec::new("callback", "Callback", ResType::Callback, ""));
+    resources.push(ResourceSpec::new(
+        "callback",
+        "Callback",
+        ResType::Callback,
+        "",
+    ));
     let mut actions = ActionTable::new();
     actions.add("GripAction", |app, w, _, args| {
         let mut data = std::collections::HashMap::new();
@@ -183,13 +207,37 @@ mod tests {
     #[test]
     fn paned_stacks_full_width() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let p = a.create_widget("p", "Paned", Some(top), 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let p = a
+            .create_widget("p", "Paned", Some(top), 0, &[], true)
+            .unwrap();
         let one = a
-            .create_widget("one", "Label", Some(p), 0, &[("width".into(), "120".into()), ("height".into(), "30".into())], true)
+            .create_widget(
+                "one",
+                "Label",
+                Some(p),
+                0,
+                &[
+                    ("width".into(), "120".into()),
+                    ("height".into(), "30".into()),
+                ],
+                true,
+            )
             .unwrap();
         let two = a
-            .create_widget("two", "Label", Some(p), 0, &[("width".into(), "80".into()), ("height".into(), "30".into())], true)
+            .create_widget(
+                "two",
+                "Label",
+                Some(p),
+                0,
+                &[
+                    ("width".into(), "80".into()),
+                    ("height".into(), "30".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         assert_eq!(a.pos_resource(one, "y"), 0);
@@ -201,12 +249,34 @@ mod tests {
     #[test]
     fn viewport_scrolls_child() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let vp = a
-            .create_widget("vp", "Viewport", Some(top), 0, &[("width".into(), "100".into()), ("height".into(), "50".into())], true)
+            .create_widget(
+                "vp",
+                "Viewport",
+                Some(top),
+                0,
+                &[
+                    ("width".into(), "100".into()),
+                    ("height".into(), "50".into()),
+                ],
+                true,
+            )
             .unwrap();
         let big = a
-            .create_widget("big", "Label", Some(vp), 0, &[("width".into(), "100".into()), ("height".into(), "500".into())], true)
+            .create_widget(
+                "big",
+                "Label",
+                Some(vp),
+                0,
+                &[
+                    ("width".into(), "100".into()),
+                    ("height".into(), "500".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         assert_eq!(a.pos_resource(big, "y"), 0);
@@ -217,9 +287,22 @@ mod tests {
     #[test]
     fn grip_action_fires_callback() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let g = a
-            .create_widget("g", "Grip", Some(top), 0, &[("callback".into(), "echo grip".into()), ("width".into(), "10".into()), ("height".into(), "10".into())], true)
+            .create_widget(
+                "g",
+                "Grip",
+                Some(top),
+                0,
+                &[
+                    ("callback".into(), "echo grip".into()),
+                    ("width".into(), "10".into()),
+                    ("height".into(), "10".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         a.dispatch_pending();

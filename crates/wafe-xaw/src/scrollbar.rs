@@ -67,8 +67,8 @@ impl WidgetOps for ScrollbarOps {
         };
         let len = if vertical(app, w) { height } else { width } as i64;
         let thumb_start = (top.clamp(0, 1000) * len / 1000) as i32;
-        let thumb_len = ((shown.clamp(0, 1000) * len / 1000) as u32)
-            .max(app.dim_resource(w, "minimumThumb"));
+        let thumb_len =
+            ((shown.clamp(0, 1000) * len / 1000) as u32).max(app.dim_resource(w, "minimumThumb"));
         let rect = if vertical(app, w) {
             Rect::new(1, thumb_start, width.saturating_sub(2), thumb_len)
         } else {
@@ -97,7 +97,11 @@ fn scrollbar_actions() -> ActionTable {
     t.add("NotifyScroll", |app, w, e, _| {
         // Incremental scroll: pixel delta in percent-code 'd'.
         let mut data = HashMap::new();
-        let delta = if app.state(w, "mode") == "Backward" { -10 } else { 10 };
+        let delta = if app.state(w, "mode") == "Backward" {
+            -10
+        } else {
+            10
+        };
         let _ = e;
         data.insert('d', delta.to_string());
         app.call_callbacks(w, "scrollProc", data);
@@ -160,7 +164,9 @@ mod tests {
     }
 
     fn make(a: &mut XtApp) -> WidgetId {
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let s = a
             .create_widget(
                 "sb",
@@ -235,7 +241,10 @@ mod tests {
         let mut a = app();
         let s = make(&mut a);
         scrollbar_set_thumb(&mut a, s, 5000, -10);
-        match (a.widget(s).resource("topOfThumb"), a.widget(s).resource("shown")) {
+        match (
+            a.widget(s).resource("topOfThumb"),
+            a.widget(s).resource("shown"),
+        ) {
             (Some(ResourceValue::Int(t)), Some(ResourceValue::Int(sh))) => {
                 assert_eq!(*t, 1000);
                 assert_eq!(*sh, 0);

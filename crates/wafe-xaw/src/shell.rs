@@ -130,7 +130,10 @@ mod tests {
         assert!(w >= 66, "shell width {w}");
         let l = app.lookup("l").unwrap();
         assert_eq!(app.pos_resource(l, "x"), 0);
-        assert_eq!(app.dim_resource(l, "width") + 2 * app.dim_resource(l, "borderWidth"), w);
+        assert_eq!(
+            app.dim_resource(l, "width") + 2 * app.dim_resource(l, "borderWidth"),
+            w
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
                 "TopLevelShell",
                 None,
                 0,
-                &[("width".into(), "300".into()), ("height".into(), "200".into())],
+                &[
+                    ("width".into(), "300".into()),
+                    ("height".into(), "200".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -160,7 +166,11 @@ mod tests {
             .create_widget("topLevel", "ApplicationShell", None, 0, &[], true)
             .unwrap();
         assert_eq!(app.get_resource_string(top, "initCom").unwrap(), "");
-        app.set_resource(top, "initCom", "[myapp], widget_tree, read_loop.").unwrap();
-        assert!(app.get_resource_string(top, "initCom").unwrap().contains("myapp"));
+        app.set_resource(top, "initCom", "[myapp], widget_tree, read_loop.")
+            .unwrap();
+        assert!(app
+            .get_resource_string(top, "initCom")
+            .unwrap()
+            .contains("myapp"));
     }
 }

@@ -176,7 +176,10 @@ fn text_actions() -> ActionTable {
         }
         let di = app.widget(w).display_idx;
         let atom = app.displays[di].intern_atom("PRIMARY");
-        let text = app.displays[di].get_selection(atom).unwrap_or("").to_string();
+        let text = app.displays[di]
+            .get_selection(atom)
+            .unwrap_or("")
+            .to_string();
         if text.is_empty() {
             return;
         }
@@ -324,14 +327,19 @@ mod tests {
     }
 
     fn make_text(a: &mut XtApp, edit_type: &str) -> WidgetId {
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let t = a
             .create_widget(
                 "input",
                 "AsciiText",
                 Some(top),
                 0,
-                &[("editType".into(), edit_type.into()), ("width".into(), "200".into())],
+                &[
+                    ("editType".into(), edit_type.into()),
+                    ("width".into(), "200".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -395,7 +403,11 @@ mod tests {
         let table = TranslationTable::parse("<Key>Return: exec(echo [gV input string])").unwrap();
         a.merge_translations(t, table, wafe_xt::MergeMode::Override);
         focus_and_type(&mut a, t, "42\n");
-        assert_eq!(a.str_resource(t, "string"), "42", "Return must not insert a newline");
+        assert_eq!(
+            a.str_resource(t, "string"),
+            "42",
+            "Return must not insert a newline"
+        );
         assert!(fired.get(), "exec action must fire on Return");
     }
 
@@ -404,7 +416,8 @@ mod tests {
         let mut a = app();
         let t = make_text(&mut a, "edit");
         focus_and_type(&mut a, t, "hello");
-        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::KeyPress, wafe_xproto::WindowId(0));
+        let ev =
+            wafe_xproto::Event::new(wafe_xproto::EventKind::KeyPress, wafe_xproto::WindowId(0));
         a.run_action(t, "beginning-of-line", &[], &ev);
         assert_eq!(cursor(&a, t), 0);
         a.run_action(t, "forward-character", &[], &ev);
@@ -459,7 +472,9 @@ mod pointer_tests {
     }
 
     fn make(a: &mut XtApp, content: &str) -> WidgetId {
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let t = a
             .create_widget(
                 "t",
@@ -535,7 +550,8 @@ mod pointer_tests {
         let atom = a.displays[0].intern_atom("PRIMARY");
         a.displays[0].own_selection(atom, root, "pasted".into());
         // Put the cursor at the end, then middle-click.
-        let ev = wafe_xproto::Event::new(wafe_xproto::EventKind::KeyPress, wafe_xproto::WindowId(0));
+        let ev =
+            wafe_xproto::Event::new(wafe_xproto::EventKind::KeyPress, wafe_xproto::WindowId(0));
         a.run_action(t, "end-of-line", &[], &ev);
         let abs = a.displays[0].abs_rect(a.widget(t).window.unwrap());
         a.displays[0].inject_pointer_move(abs.x + 3, abs.y + 5);
@@ -552,9 +568,18 @@ mod pointer_tests {
     #[test]
     fn paste_into_readonly_is_ignored() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let t = a
-            .create_widget("t", "AsciiText", Some(top), 0, &[("string".into(), "ro".into())], true)
+            .create_widget(
+                "t",
+                "AsciiText",
+                Some(top),
+                0,
+                &[("string".into(), "ro".into())],
+                true,
+            )
             .unwrap();
         a.realize(top);
         a.dispatch_pending();

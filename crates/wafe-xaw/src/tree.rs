@@ -31,7 +31,12 @@ pub fn treegraph_resources() -> Vec<ResourceSpec> {
 
 /// TreeGraph's constraint resources.
 pub fn treegraph_constraints() -> Vec<ResourceSpec> {
-    vec![ResourceSpec::new("parentNode", "Widget", ResType::Widget, "")]
+    vec![ResourceSpec::new(
+        "parentNode",
+        "Widget",
+        ResType::Widget,
+        "",
+    )]
 }
 
 fn node_parent(app: &XtApp, c: WidgetId) -> Option<WidgetId> {
@@ -122,7 +127,13 @@ impl WidgetOps for TreeGraphOps {
                 let py = app.pos_resource(p, "y") + app.dim_resource(p, "height") as i32 / 2;
                 let cx = app.pos_resource(c, "x");
                 let cy = app.pos_resource(c, "y") + app.dim_resource(c, "height") as i32 / 2;
-                ops.push(DrawOp::DrawLine { x1: px, y1: py, x2: cx, y2: cy, pixel: fg });
+                ops.push(DrawOp::DrawLine {
+                    x1: px,
+                    y1: py,
+                    x2: cx,
+                    y2: cy,
+                    pixel: fg,
+                });
             }
         }
         ops
@@ -158,19 +169,60 @@ mod tests {
     #[test]
     fn tree_layers_left_to_right() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let g = a.create_widget("g", "TreeGraph", Some(top), 0, &[], true).unwrap();
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let g = a
+            .create_widget("g", "TreeGraph", Some(top), 0, &[], true)
+            .unwrap();
         let root = a
-            .create_widget("root", "Label", Some(g), 0, &[("label".into(), "root".into())], true)
+            .create_widget(
+                "root",
+                "Label",
+                Some(g),
+                0,
+                &[("label".into(), "root".into())],
+                true,
+            )
             .unwrap();
         let kid1 = a
-            .create_widget("kid1", "Label", Some(g), 0, &[("label".into(), "kid1".into()), ("parentNode".into(), "root".into())], true)
+            .create_widget(
+                "kid1",
+                "Label",
+                Some(g),
+                0,
+                &[
+                    ("label".into(), "kid1".into()),
+                    ("parentNode".into(), "root".into()),
+                ],
+                true,
+            )
             .unwrap();
         let kid2 = a
-            .create_widget("kid2", "Label", Some(g), 0, &[("label".into(), "kid2".into()), ("parentNode".into(), "root".into())], true)
+            .create_widget(
+                "kid2",
+                "Label",
+                Some(g),
+                0,
+                &[
+                    ("label".into(), "kid2".into()),
+                    ("parentNode".into(), "root".into()),
+                ],
+                true,
+            )
             .unwrap();
         let grand = a
-            .create_widget("grand", "Label", Some(g), 0, &[("label".into(), "grand".into()), ("parentNode".into(), "kid1".into())], true)
+            .create_widget(
+                "grand",
+                "Label",
+                Some(g),
+                0,
+                &[
+                    ("label".into(), "grand".into()),
+                    ("parentNode".into(), "kid1".into()),
+                ],
+                true,
+            )
             .unwrap();
         a.realize(top);
         assert!(a.pos_resource(kid1, "x") > a.pos_resource(root, "x"));
@@ -186,12 +238,30 @@ mod tests {
     #[test]
     fn constraint_cycle_does_not_hang() {
         let mut a = app();
-        let top = a.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let g = a.create_widget("g", "TreeGraph", Some(top), 0, &[], true).unwrap();
-        a.create_widget("a", "Label", Some(g), 0, &[("parentNode".into(), "b".into())], true)
+        let top = a
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
             .unwrap();
-        a.create_widget("b", "Label", Some(g), 0, &[("parentNode".into(), "a".into())], true)
+        let g = a
+            .create_widget("g", "TreeGraph", Some(top), 0, &[], true)
             .unwrap();
+        a.create_widget(
+            "a",
+            "Label",
+            Some(g),
+            0,
+            &[("parentNode".into(), "b".into())],
+            true,
+        )
+        .unwrap();
+        a.create_widget(
+            "b",
+            "Label",
+            Some(g),
+            0,
+            &[("parentNode".into(), "a".into())],
+            true,
+        )
+        .unwrap();
         // Must terminate.
         a.realize(top);
     }

@@ -1,7 +1,7 @@
 //! Property tests for the Form constraint layout: chained children never
 //! overlap and the form always bounds them.
 
-use proptest::prelude::*;
+use wafe_prop::cases;
 use wafe_xt::XtApp;
 
 fn build_app() -> XtApp {
@@ -10,16 +10,19 @@ fn build_app() -> XtApp {
     app
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// A fromVert chain stacks strictly downward with no overlap, and
-    /// the form bounds every child.
-    #[test]
-    fn from_vert_chain_never_overlaps(heights in proptest::collection::vec(5u32..60, 1..8)) {
+/// A fromVert chain stacks strictly downward with no overlap, and
+/// the form bounds every child.
+#[test]
+fn from_vert_chain_never_overlaps() {
+    cases(48, |rng| {
+        let heights = rng.vec(1, 8, |r| r.range_u32(5, 60));
         let mut app = build_app();
-        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = app.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let top = app
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let form = app
+            .create_widget("f", "Form", Some(top), 0, &[], true)
+            .unwrap();
         let mut prev = String::new();
         for (k, h) in heights.iter().enumerate() {
             let name = format!("w{k}");
@@ -30,7 +33,8 @@ proptest! {
             if !prev.is_empty() {
                 init.push(("fromVert".to_string(), prev.clone()));
             }
-            app.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            app.create_widget(&name, "Label", Some(form), 0, &init, true)
+                .unwrap();
             prev = name;
         }
         app.realize(top);
@@ -40,19 +44,29 @@ proptest! {
             let y = app.pos_resource(w, "y");
             let h = app.dim_resource(w, "height") as i32;
             let bw = app.dim_resource(w, "borderWidth") as i32;
-            prop_assert!(y > bottom, "w{k} top {y} must be below previous bottom {bottom}");
+            assert!(
+                y > bottom,
+                "w{k} top {y} must be below previous bottom {bottom}"
+            );
             bottom = y + h + 2 * bw;
             // Inside the form.
-            prop_assert!(app.dim_resource(form, "height") as i32 >= bottom);
+            assert!(app.dim_resource(form, "height") as i32 >= bottom);
         }
-    }
+    });
+}
 
-    /// A fromHoriz chain marches strictly rightward.
-    #[test]
-    fn from_horiz_chain_never_overlaps(widths in proptest::collection::vec(5u32..60, 1..8)) {
+/// A fromHoriz chain marches strictly rightward.
+#[test]
+fn from_horiz_chain_never_overlaps() {
+    cases(48, |rng| {
+        let widths = rng.vec(1, 8, |r| r.range_u32(5, 60));
         let mut app = build_app();
-        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
-        let form = app.create_widget("f", "Form", Some(top), 0, &[], true).unwrap();
+        let top = app
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
+        let form = app
+            .create_widget("f", "Form", Some(top), 0, &[], true)
+            .unwrap();
         let mut prev = String::new();
         for (k, w) in widths.iter().enumerate() {
             let name = format!("w{k}");
@@ -63,7 +77,8 @@ proptest! {
             if !prev.is_empty() {
                 init.push(("fromHoriz".to_string(), prev.clone()));
             }
-            app.create_widget(&name, "Label", Some(form), 0, &init, true).unwrap();
+            app.create_widget(&name, "Label", Some(form), 0, &init, true)
+                .unwrap();
             prev = name;
         }
         app.realize(top);
@@ -71,21 +86,35 @@ proptest! {
         for k in 0..widths.len() {
             let w = app.lookup(&format!("w{k}")).unwrap();
             let x = app.pos_resource(w, "x");
-            prop_assert!(x > right, "w{k} left {x} must clear previous right {right}");
-            right = x + app.dim_resource(w, "width") as i32
+            assert!(x > right, "w{k} left {x} must clear previous right {right}");
+            right = x
+                + app.dim_resource(w, "width") as i32
                 + 2 * app.dim_resource(w, "borderWidth") as i32;
         }
-    }
+    });
+}
 
-    /// Box flow layout: vertical boxes stack, horizontal ones march, and
-    /// preferred size always covers the children.
-    #[test]
-    fn box_bounds_children(n in 1usize..8, horizontal in proptest::bool::ANY) {
+/// Box flow layout: vertical boxes stack, horizontal ones march, and
+/// preferred size always covers the children.
+#[test]
+fn box_bounds_children() {
+    cases(48, |rng| {
+        let n = rng.range(1, 8);
+        let horizontal = rng.chance();
         let mut app = build_app();
-        let top = app.create_widget("topLevel", "TopLevelShell", None, 0, &[], true).unwrap();
+        let top = app
+            .create_widget("topLevel", "TopLevelShell", None, 0, &[], true)
+            .unwrap();
         let orient = if horizontal { "horizontal" } else { "vertical" };
         let bx = app
-            .create_widget("bx", "Box", Some(top), 0, &[("orientation".into(), orient.into())], true)
+            .create_widget(
+                "bx",
+                "Box",
+                Some(top),
+                0,
+                &[("orientation".into(), orient.into())],
+                true,
+            )
             .unwrap();
         for k in 0..n {
             app.create_widget(
@@ -93,7 +122,10 @@ proptest! {
                 "Label",
                 Some(bx),
                 0,
-                &[("width".into(), "30".into()), ("height".into(), "12".into())],
+                &[
+                    ("width".into(), "30".into()),
+                    ("height".into(), "12".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -105,9 +137,9 @@ proptest! {
             let c = app.lookup(&format!("c{k}")).unwrap();
             let x = app.pos_resource(c, "x");
             let y = app.pos_resource(c, "y");
-            prop_assert!(x >= 0 && y >= 0);
-            prop_assert!(x + 30 <= bw_box, "child c{k} sticks out right");
-            prop_assert!(y + 12 <= bh_box, "child c{k} sticks out below");
+            assert!(x >= 0 && y >= 0);
+            assert!(x + 30 <= bw_box, "child c{k} sticks out right");
+            assert!(y + 12 <= bh_box, "child c{k} sticks out below");
         }
-    }
+    });
 }

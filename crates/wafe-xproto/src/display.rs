@@ -234,7 +234,10 @@ impl Display {
 
     /// Reads back a window's geometry.
     pub fn window_rect(&self, id: WindowId) -> Option<Rect> {
-        self.windows.get(&id).filter(|w| !w.destroyed).map(|w| w.rect)
+        self.windows
+            .get(&id)
+            .filter(|w| !w.destroyed)
+            .map(|w| w.rect)
     }
 
     /// Window border width.
@@ -284,7 +287,10 @@ impl Display {
         while let Some(c) = cur {
             match self.windows.get(&c) {
                 Some(w) => {
-                    p = p.offset(w.rect.x + w.border_width as i32, w.rect.y + w.border_width as i32);
+                    p = p.offset(
+                        w.rect.x + w.border_width as i32,
+                        w.rect.y + w.border_width as i32,
+                    );
                     cur = w.parent;
                 }
                 None => break,
@@ -373,7 +379,12 @@ impl Display {
         };
         if w.border_width > 0 {
             let b = w.border_width as i32;
-            let border = Rect::new(abs.x - b, abs.y - b, abs.w + 2 * w.border_width, abs.h + 2 * w.border_width);
+            let border = Rect::new(
+                abs.x - b,
+                abs.y - b,
+                abs.w + 2 * w.border_width,
+                abs.h + 2 * w.border_width,
+            );
             fb.draw_rect(border, border, w.border_pixel);
         }
         fb.fill_rect(abs, clip, w.background);
@@ -385,14 +396,40 @@ impl Display {
                 DrawOp::DrawRect { rect, pixel } => {
                     fb.draw_rect(rect.translated(abs.x, abs.y), clip, *pixel);
                 }
-                DrawOp::DrawLine { x1, y1, x2, y2, pixel } => {
+                DrawOp::DrawLine {
+                    x1,
+                    y1,
+                    x2,
+                    y2,
+                    pixel,
+                } => {
                     fb.draw_line(abs.x + x1, abs.y + y1, abs.x + x2, abs.y + y2, clip, *pixel);
                 }
-                DrawOp::DrawText { x, y, text, pixel, font } => {
+                DrawOp::DrawText {
+                    x,
+                    y,
+                    text,
+                    pixel,
+                    font,
+                } => {
                     let f = self.fonts.get(*font);
-                    fb.draw_text_blocks(abs.x + x, abs.y + y, text, clip, *pixel, f.char_width, f.ascent);
+                    fb.draw_text_blocks(
+                        abs.x + x,
+                        abs.y + y,
+                        text,
+                        clip,
+                        *pixel,
+                        f.char_width,
+                        f.ascent,
+                    );
                 }
-                DrawOp::PutImage { x, y, w: iw, h: ih, data } => {
+                DrawOp::PutImage {
+                    x,
+                    y,
+                    w: iw,
+                    h: ih,
+                    data,
+                } => {
                     fb.put_image(abs.x + x, abs.y + y, *iw, *ih, data, clip);
                 }
             }
@@ -430,7 +467,10 @@ impl Display {
         }
         if text_pass {
             for op in &w.display_list {
-                if let DrawOp::DrawText { x, y, text, font, .. } = op {
+                if let DrawOp::DrawText {
+                    x, y, text, font, ..
+                } = op
+                {
                     let f = self.fonts.get(*font);
                     canvas.text_at_pixel(
                         abs.x + x - area.x,
@@ -522,7 +562,11 @@ impl Display {
         let target = self.pointer_window;
         let abs = self.abs_rect(target);
         let mut e = Event::new(
-            if press { EventKind::ButtonPress } else { EventKind::ButtonRelease },
+            if press {
+                EventKind::ButtonPress
+            } else {
+                EventKind::ButtonRelease
+            },
             target,
         );
         e.button = button;
@@ -545,7 +589,11 @@ impl Display {
         let target = self.focus.unwrap_or(self.pointer_window);
         let abs = self.abs_rect(target);
         let mut e = Event::new(
-            if press { EventKind::KeyPress } else { EventKind::KeyRelease },
+            if press {
+                EventKind::KeyPress
+            } else {
+                EventKind::KeyRelease
+            },
             target,
         );
         e.keycode = info.keycode;
@@ -695,11 +743,17 @@ mod tests {
         let mut d = Display::open(":0");
         let top = d.create_window(
             d.root(),
-            WindowAttributes { rect: Rect::new(100, 100, 200, 150), ..Default::default() },
+            WindowAttributes {
+                rect: Rect::new(100, 100, 200, 150),
+                ..Default::default()
+            },
         );
         let child = d.create_window(
             top,
-            WindowAttributes { rect: Rect::new(10, 10, 50, 20), ..Default::default() },
+            WindowAttributes {
+                rect: Rect::new(10, 10, 50, 20),
+                ..Default::default()
+            },
         );
         d.map_window(top);
         d.map_window(child);
@@ -744,7 +798,10 @@ mod tests {
         let (mut d, _, child) = setup();
         d.inject_click(120, 120, 1);
         let events: Vec<Event> = std::iter::from_fn(|| d.next_event()).collect();
-        let press = events.iter().find(|e| e.kind == EventKind::ButtonPress).unwrap();
+        let press = events
+            .iter()
+            .find(|e| e.kind == EventKind::ButtonPress)
+            .unwrap();
         assert_eq!(press.window, child);
         assert_eq!(press.button, 1);
         assert_eq!(press.x_root, 120);
@@ -760,8 +817,14 @@ mod tests {
         d.inject_pointer_move(120, 120); // into child
         d.inject_pointer_move(250, 200); // into top (out of child)
         let events: Vec<Event> = std::iter::from_fn(|| d.next_event()).collect();
-        let enters: Vec<&Event> = events.iter().filter(|e| e.kind == EventKind::EnterNotify).collect();
-        let leaves: Vec<&Event> = events.iter().filter(|e| e.kind == EventKind::LeaveNotify).collect();
+        let enters: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::EnterNotify)
+            .collect();
+        let leaves: Vec<&Event> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LeaveNotify)
+            .collect();
         assert!(enters.iter().any(|e| e.window == child));
         assert!(enters.iter().any(|e| e.window == top));
         assert!(leaves.iter().any(|e| e.window == child));
@@ -788,7 +851,10 @@ mod tests {
         let (mut d, _top, _child) = setup();
         let menu = d.create_window(
             d.root(),
-            WindowAttributes { rect: Rect::new(400, 400, 100, 100), ..Default::default() },
+            WindowAttributes {
+                rect: Rect::new(400, 400, 100, 100),
+                ..Default::default()
+            },
         );
         d.map_window(menu);
         while d.next_event().is_some() {}
@@ -796,7 +862,9 @@ mod tests {
         // Click inside the menu: delivered.
         d.inject_click(450, 450, 1);
         let got: Vec<Event> = std::iter::from_fn(|| d.next_event()).collect();
-        assert!(got.iter().any(|e| e.kind == EventKind::ButtonPress && e.window == menu));
+        assert!(got
+            .iter()
+            .any(|e| e.kind == EventKind::ButtonPress && e.window == menu));
         // Click outside: blocked.
         let blocked_before = d.blocked_event_count();
         d.inject_click(120, 120, 1);
@@ -828,15 +896,25 @@ mod tests {
         d.destroy_window(top);
         assert_eq!(d.window_count(), before - 2);
         assert!(d.window_rect(child).is_none());
-        let kinds: Vec<EventKind> = std::iter::from_fn(|| d.next_event()).map(|e| e.kind).collect();
-        assert_eq!(kinds.iter().filter(|k| **k == EventKind::DestroyNotify).count(), 2);
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| d.next_event())
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|k| **k == EventKind::DestroyNotify)
+                .count(),
+            2
+        );
     }
 
     #[test]
     fn configure_generates_events() {
         let (mut d, top, _) = setup();
         d.configure_window(top, Rect::new(100, 100, 300, 150));
-        let kinds: Vec<EventKind> = std::iter::from_fn(|| d.next_event()).map(|e| e.kind).collect();
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| d.next_event())
+            .map(|e| e.kind)
+            .collect();
         assert!(kinds.contains(&EventKind::ConfigureNotify));
         assert!(kinds.contains(&EventKind::Expose));
         // Same geometry again: no event.
@@ -862,7 +940,13 @@ mod tests {
         let font = d.fonts.default_font();
         d.set_display_list(
             top,
-            vec![DrawOp::DrawText { x: 8, y: 72, text: "hello".into(), pixel: 0, font }],
+            vec![DrawOp::DrawText {
+                x: 8,
+                y: 72,
+                text: "hello".into(),
+                pixel: 0,
+                font,
+            }],
         );
         let snap = d.snapshot_ascii(Rect::new(0, 0, 400, 300));
         assert!(snap.contains("hello"), "snapshot was:\n{snap}");
@@ -887,11 +971,19 @@ mod tests {
         let mut d = Display::open(":0");
         let a = d.create_window(
             d.root(),
-            WindowAttributes { rect: Rect::new(0, 0, 100, 100), border_width: 0, ..Default::default() },
+            WindowAttributes {
+                rect: Rect::new(0, 0, 100, 100),
+                border_width: 0,
+                ..Default::default()
+            },
         );
         let b = d.create_window(
             d.root(),
-            WindowAttributes { rect: Rect::new(0, 0, 100, 100), border_width: 0, ..Default::default() },
+            WindowAttributes {
+                rect: Rect::new(0, 0, 100, 100),
+                border_width: 0,
+                ..Default::default()
+            },
         );
         d.map_window(a);
         d.map_window(b);

@@ -15,10 +15,18 @@ pub struct Modifiers {
 
 impl Modifiers {
     /// No modifiers held.
-    pub const NONE: Modifiers = Modifiers { shift: false, control: false, meta: false };
+    pub const NONE: Modifiers = Modifiers {
+        shift: false,
+        control: false,
+        meta: false,
+    };
 
     /// Shift only.
-    pub const SHIFT: Modifiers = Modifiers { shift: true, control: false, meta: false };
+    pub const SHIFT: Modifiers = Modifiers {
+        shift: true,
+        control: false,
+        meta: false,
+    };
 }
 
 /// What happened; the payload-free classification of an [`Event`].
@@ -129,13 +137,28 @@ mod tests {
     #[test]
     fn wafe_type_names_match_paper_table() {
         let w = WindowId(1);
-        assert_eq!(Event::new(EventKind::ButtonPress, w).wafe_type_name(), "ButtonPress");
-        assert_eq!(Event::new(EventKind::KeyRelease, w).wafe_type_name(), "KeyRelease");
-        assert_eq!(Event::new(EventKind::EnterNotify, w).wafe_type_name(), "EnterNotify");
-        assert_eq!(Event::new(EventKind::LeaveNotify, w).wafe_type_name(), "LeaveNotify");
+        assert_eq!(
+            Event::new(EventKind::ButtonPress, w).wafe_type_name(),
+            "ButtonPress"
+        );
+        assert_eq!(
+            Event::new(EventKind::KeyRelease, w).wafe_type_name(),
+            "KeyRelease"
+        );
+        assert_eq!(
+            Event::new(EventKind::EnterNotify, w).wafe_type_name(),
+            "EnterNotify"
+        );
+        assert_eq!(
+            Event::new(EventKind::LeaveNotify, w).wafe_type_name(),
+            "LeaveNotify"
+        );
         // Non-listed types expand to "unknown" per the paper.
         assert_eq!(Event::new(EventKind::Expose, w).wafe_type_name(), "unknown");
-        assert_eq!(Event::new(EventKind::MotionNotify, w).wafe_type_name(), "unknown");
+        assert_eq!(
+            Event::new(EventKind::MotionNotify, w).wafe_type_name(),
+            "unknown"
+        );
     }
 
     #[test]

@@ -73,12 +73,48 @@ impl FontDb {
         FontDb {
             fonts: vec![
                 mk("fixed", 6, 11, 2, Weight::Medium),
-                mk("-misc-fixed-medium-r-normal--13-120-75-75-c-60-iso8859-1", 6, 11, 2, Weight::Medium),
-                mk("-misc-fixed-bold-r-normal--13-120-75-75-c-60-iso8859-1", 6, 11, 2, Weight::Bold),
-                mk("-adobe-helvetica-medium-r-normal--12-120-75-75-p-67-iso8859-1", 7, 10, 3, Weight::Medium),
-                mk("-adobe-helvetica-bold-r-normal--12-120-75-75-p-70-iso8859-1", 7, 10, 3, Weight::Bold),
-                mk("-b&h-lucida-medium-r-normal-sans-14-100-100-100-p-80-iso8859-1", 8, 11, 3, Weight::Medium),
-                mk("-b&h-lucida-bold-r-normal-sans-14-100-100-100-p-85-iso8859-1", 8, 11, 3, Weight::Bold),
+                mk(
+                    "-misc-fixed-medium-r-normal--13-120-75-75-c-60-iso8859-1",
+                    6,
+                    11,
+                    2,
+                    Weight::Medium,
+                ),
+                mk(
+                    "-misc-fixed-bold-r-normal--13-120-75-75-c-60-iso8859-1",
+                    6,
+                    11,
+                    2,
+                    Weight::Bold,
+                ),
+                mk(
+                    "-adobe-helvetica-medium-r-normal--12-120-75-75-p-67-iso8859-1",
+                    7,
+                    10,
+                    3,
+                    Weight::Medium,
+                ),
+                mk(
+                    "-adobe-helvetica-bold-r-normal--12-120-75-75-p-70-iso8859-1",
+                    7,
+                    10,
+                    3,
+                    Weight::Bold,
+                ),
+                mk(
+                    "-b&h-lucida-medium-r-normal-sans-14-100-100-100-p-80-iso8859-1",
+                    8,
+                    11,
+                    3,
+                    Weight::Medium,
+                ),
+                mk(
+                    "-b&h-lucida-bold-r-normal-sans-14-100-100-100-p-85-iso8859-1",
+                    8,
+                    11,
+                    3,
+                    Weight::Bold,
+                ),
                 mk("6x13", 6, 11, 2, Weight::Medium),
                 mk("9x15", 9, 12, 3, Weight::Medium),
             ],

@@ -81,7 +81,11 @@ pub struct Framebuffer {
 impl Framebuffer {
     /// Creates a framebuffer cleared to the given colour.
     pub fn new(width: u32, height: u32, clear: Pixel) -> Self {
-        Framebuffer { width, height, pixels: vec![clear; (width * height) as usize] }
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![clear; (width * height) as usize],
+        }
     }
 
     /// Reads one pixel; out-of-bounds reads return black.
@@ -232,7 +236,11 @@ impl AsciiCanvas {
     pub fn new(width: u32, height: u32) -> Self {
         let cols = (width as i32 / CELL_W).max(1) as usize;
         let rows = (height as i32 / CELL_H).max(1) as usize;
-        AsciiCanvas { cols, rows, cells: vec![' '; cols * rows] }
+        AsciiCanvas {
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+        }
     }
 
     /// Puts a character at a cell position.
@@ -279,7 +287,9 @@ impl AsciiCanvas {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in 0..self.rows {
-            let line: String = self.cells[r * self.cols..(r + 1) * self.cols].iter().collect();
+            let line: String = self.cells[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .collect();
             out.push_str(line.trim_end());
             out.push('\n');
         }

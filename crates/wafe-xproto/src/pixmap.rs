@@ -71,7 +71,12 @@ pub fn parse_xbm(text: &str, fg: Pixel, bg: Pixel) -> Option<Pixmap> {
         }
     }
     let mask = vec![true; (w * h) as usize];
-    Some(Pixmap { width: w, height: h, data, mask })
+    Some(Pixmap {
+        width: w,
+        height: h,
+        data,
+        mask,
+    })
 }
 
 /// Parses an XPM (X PixMap) file or buffer.
@@ -170,7 +175,12 @@ pub fn parse_xpm(text: &str) -> Option<Pixmap> {
             }
         }
     }
-    Some(Pixmap { width, height, data, mask })
+    Some(Pixmap {
+        width,
+        height,
+        data,
+        mask,
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +210,12 @@ static char test_bits[] = {
     #[test]
     fn xbm_malformed() {
         assert!(parse_xbm("not a bitmap", 1, 0).is_none());
-        assert!(parse_xbm("#define w_width 8\n#define w_height 4\nstatic char b[] = {0x01};", 1, 0).is_none());
+        assert!(parse_xbm(
+            "#define w_width 8\n#define w_height 4\nstatic char b[] = {0x01};",
+            1,
+            0
+        )
+        .is_none());
     }
 
     const XPM: &str = r#"

@@ -2,10 +2,21 @@
 //! and framebuffer invariants under random window trees and event
 //! streams.
 
-use proptest::prelude::*;
+use wafe_prop::{cases, Rng};
 use wafe_xproto::display::{Display, WindowAttributes};
 use wafe_xproto::geometry::{Point, Rect};
 use wafe_xproto::{EventKind, WindowId};
+
+/// Draws one random window spec: (x, y, w, h, mapped).
+fn random_spec(rng: &mut Rng) -> (i32, i32, u8, u8, bool) {
+    (
+        rng.range_i64(0, 200) as i32,
+        rng.range_i64(0, 160) as i32,
+        rng.range(1, 40) as u8,
+        rng.range(1, 30) as u8,
+        rng.chance(),
+    )
+}
 
 /// Builds a random two-level window tree; returns all created windows.
 fn build_tree(d: &mut Display, spec: &[(i32, i32, u8, u8, bool)]) -> Vec<WindowId> {
@@ -28,96 +39,121 @@ fn build_tree(d: &mut Display, spec: &[(i32, i32, u8, u8, bool)]) -> Vec<WindowI
     wins
 }
 
-proptest! {
-    /// `window_at` always returns a viewable window (or the root), and
-    /// that window's absolute rect contains the point (root's always
-    /// does).
-    #[test]
-    fn window_at_is_consistent(
-        spec in proptest::collection::vec((0i32..200, 0i32..160, 1u8..40, 1u8..30, proptest::bool::ANY), 0..8),
-        px in 0i32..250,
-        py in 0i32..200,
-    ) {
+/// `window_at` always returns a viewable window (or the root), and
+/// that window's absolute rect contains the point (root's always
+/// does).
+#[test]
+fn window_at_is_consistent() {
+    cases(256, |rng| {
+        let spec = rng.vec(0, 8, random_spec);
+        let px = rng.range_i64(0, 250) as i32;
+        let py = rng.range_i64(0, 200) as i32;
         let mut d = Display::open(":0");
         build_tree(&mut d, &spec);
         let hit = d.window_at(Point::new(px, py));
-        prop_assert!(d.is_viewable(hit));
+        assert!(d.is_viewable(hit));
         let abs = d.abs_rect(hit);
-        prop_assert!(abs.contains(Point::new(px, py)) || hit == d.root());
-    }
+        assert!(abs.contains(Point::new(px, py)) || hit == d.root());
+    });
+}
 
-    /// Clicking any point delivers press+release to the same window with
-    /// consistent relative coordinates.
-    #[test]
-    fn click_coordinates_consistent(
-        spec in proptest::collection::vec((0i32..200, 0i32..160, 1u8..40, 1u8..30, proptest::bool::ANY), 1..6),
-        px in 0i32..250,
-        py in 0i32..200,
-    ) {
+/// Clicking any point delivers press+release to the same window with
+/// consistent relative coordinates.
+#[test]
+fn click_coordinates_consistent() {
+    cases(256, |rng| {
+        let spec = rng.vec(1, 6, random_spec);
+        let px = rng.range_i64(0, 250) as i32;
+        let py = rng.range_i64(0, 200) as i32;
         let mut d = Display::open(":0");
         build_tree(&mut d, &spec);
         while d.next_event().is_some() {}
         d.inject_click(px, py, 1);
         let events: Vec<_> = std::iter::from_fn(|| d.next_event()).collect();
-        let press = events.iter().find(|e| e.kind == EventKind::ButtonPress).unwrap();
-        let release = events.iter().find(|e| e.kind == EventKind::ButtonRelease).unwrap();
-        prop_assert_eq!(press.window, release.window);
-        prop_assert_eq!(press.x_root, px);
-        prop_assert_eq!(press.y_root, py);
+        let press = events
+            .iter()
+            .find(|e| e.kind == EventKind::ButtonPress)
+            .unwrap();
+        let release = events
+            .iter()
+            .find(|e| e.kind == EventKind::ButtonRelease)
+            .unwrap();
+        assert_eq!(press.window, release.window);
+        assert_eq!(press.x_root, px);
+        assert_eq!(press.y_root, py);
         let abs = d.abs_rect(press.window);
-        prop_assert_eq!(press.x, px - abs.x);
-        prop_assert_eq!(press.y, py - abs.y);
-    }
+        assert_eq!(press.x, px - abs.x);
+        assert_eq!(press.y, py - abs.y);
+    });
+}
 
-    /// Typing arbitrary ASCII produces balanced press/release pairs whose
-    /// ascii concatenation equals the input (for keys the map supports).
-    #[test]
-    fn key_injection_balanced(text in "[ -~]{0,20}") {
+/// Typing arbitrary ASCII produces balanced press/release pairs whose
+/// ascii concatenation equals the input (for keys the map supports).
+#[test]
+fn key_injection_balanced() {
+    cases(256, |rng| {
+        let text = rng.ascii_string(21);
         let mut d = Display::open(":0");
         while d.next_event().is_some() {}
         d.inject_key_text(&text);
         let events: Vec<_> = std::iter::from_fn(|| d.next_event()).collect();
-        let presses = events.iter().filter(|e| e.kind == EventKind::KeyPress).count();
-        let releases = events.iter().filter(|e| e.kind == EventKind::KeyRelease).count();
-        prop_assert_eq!(presses, releases);
+        let presses = events
+            .iter()
+            .filter(|e| e.kind == EventKind::KeyPress)
+            .count();
+        let releases = events
+            .iter()
+            .filter(|e| e.kind == EventKind::KeyRelease)
+            .count();
+        assert_eq!(presses, releases);
         let typed: String = events
             .iter()
             .filter(|e| e.kind == EventKind::KeyPress)
             .map(|e| e.ascii.as_str())
             .collect();
-        prop_assert_eq!(typed, text);
-    }
+        assert_eq!(typed, text);
+    });
+}
 
-    /// destroy_window never leaves dangling children and never double
-    /// counts.
-    #[test]
-    fn destroy_is_complete(
-        spec in proptest::collection::vec((0i32..200, 0i32..160, 1u8..40, 1u8..30, proptest::bool::ANY), 1..8),
-        victim in 0usize..8,
-    ) {
+/// destroy_window never leaves dangling children and never double
+/// counts.
+#[test]
+fn destroy_is_complete() {
+    cases(256, |rng| {
+        let spec = rng.vec(1, 8, random_spec);
+        let victim = rng.range(0, 8);
         let mut d = Display::open(":0");
         let wins = build_tree(&mut d, &spec);
         let before = d.window_count();
         let victim = wins[victim % wins.len()];
         d.destroy_window(victim);
-        prop_assert_eq!(d.window_count(), before - 1);
+        assert_eq!(d.window_count(), before - 1);
         // Double destroy is harmless.
         d.destroy_window(victim);
-        prop_assert_eq!(d.window_count(), before - 1);
-    }
+        assert_eq!(d.window_count(), before - 1);
+    });
+}
 
-    /// The framebuffer flush never panics and keeps its dimensions.
-    #[test]
-    fn flush_is_safe(
-        spec in proptest::collection::vec((-20i32..250, -20i32..200, 0u8..60, 0u8..50, proptest::bool::ANY), 0..10),
-    ) {
+/// The framebuffer flush never panics and keeps its dimensions.
+#[test]
+fn flush_is_safe() {
+    cases(256, |rng| {
+        let spec = rng.vec(0, 10, |r| {
+            (
+                r.range_i64(-20, 250) as i32,
+                r.range_i64(-20, 200) as i32,
+                r.range(0, 60) as u8,
+                r.range(0, 50) as u8,
+                r.chance(),
+            )
+        });
         let mut d = Display::open(":0");
         build_tree(&mut d, &spec);
         d.flush();
         let fb = d.framebuffer();
-        prop_assert_eq!(fb.width, 1024);
-        prop_assert_eq!(fb.height, 768);
-    }
+        assert_eq!(fb.width, 1024);
+        assert_eq!(fb.height, 768);
+    });
 }
 
 #[test]
@@ -125,7 +161,10 @@ fn enter_leave_pairing_over_random_walk() {
     let mut d = Display::open(":0");
     let w = d.create_window(
         d.root(),
-        WindowAttributes { rect: Rect::new(100, 100, 100, 100), ..Default::default() },
+        WindowAttributes {
+            rect: Rect::new(100, 100, 100, 100),
+            ..Default::default()
+        },
     );
     d.map_window(w);
     while d.next_event().is_some() {}

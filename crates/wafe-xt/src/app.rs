@@ -54,7 +54,10 @@ impl std::fmt::Display for XtError {
             XtError::UnknownWidget(w) => write!(f, "unknown widget \"{w}\""),
             XtError::DuplicateName(n) => write!(f, "widget name \"{n}\" already in use"),
             XtError::Conversion { resource, message } => {
-                write!(f, "conversion failed for resource \"{resource}\": {message}")
+                write!(
+                    f,
+                    "conversion failed for resource \"{resource}\": {message}"
+                )
             }
             XtError::NotComposite(w) => write!(f, "widget \"{w}\" is not composite"),
             XtError::NoSuchResource { widget, resource } => {
@@ -166,7 +169,11 @@ impl XtApp {
     /// class order.
     pub fn get_resource_list(&self, w: WidgetId) -> Vec<String> {
         let rec = &self.widgets[&w.0];
-        rec.class.resources.iter().map(|r| r.name.to_string()).collect()
+        rec.class
+            .resources
+            .iter()
+            .map(|r| r.name.to_string())
+            .collect()
     }
 
     // ----- widget tree ----------------------------------------------------
@@ -230,13 +237,21 @@ impl XtApp {
                 None
             };
             let source_is_explicit = explicit.is_some();
-            let text = explicit.or(from_db).unwrap_or_else(|| spec.default.to_string());
+            let text = explicit
+                .or(from_db)
+                .unwrap_or_else(|| spec.default.to_string());
             let fonts = &self.displays[display_idx].fonts;
-            let value = match self.converters.convert(spec.ty, &text, &ConvertCtx { fonts }) {
+            let value = match self
+                .converters
+                .convert(spec.ty, &text, &ConvertCtx { fonts })
+            {
                 Ok(v) => v,
                 Err(message) => {
                     if source_is_explicit {
-                        return Err(XtError::Conversion { resource: spec.name.to_string(), message });
+                        return Err(XtError::Conversion {
+                            resource: spec.name.to_string(),
+                            message,
+                        });
                     }
                     // Bad database value: warn and fall back to the default.
                     self.warnings.push(format!(
@@ -349,8 +364,16 @@ impl XtApp {
         ops.destroy(self, w);
         let rec = self.widgets.remove(&w.0).unwrap();
         let mut tracked = WIDGET_OVERHEAD;
-        tracked += rec.resources.values().map(ResourceValue::tracked_size).sum::<usize>();
-        tracked += rec.constraints.values().map(ResourceValue::tracked_size).sum::<usize>();
+        tracked += rec
+            .resources
+            .values()
+            .map(ResourceValue::tracked_size)
+            .sum::<usize>();
+        tracked += rec
+            .constraints
+            .values()
+            .map(ResourceValue::tracked_size)
+            .sum::<usize>();
         self.memstats.free(tracked);
         self.by_name.remove(&rec.name);
         if let Some(p) = rec.parent {
@@ -454,7 +477,10 @@ impl XtApp {
 
     /// Reads a boolean resource (false when absent).
     pub fn bool_resource(&self, w: WidgetId, name: &str) -> bool {
-        matches!(self.widgets[&w.0].resources.get(name), Some(ResourceValue::Bool(true)))
+        matches!(
+            self.widgets[&w.0].resources.get(name),
+            Some(ResourceValue::Bool(true))
+        )
     }
 
     /// Reads a pixel resource (black when absent).
@@ -469,18 +495,28 @@ impl XtApp {
     pub fn font_resource(&self, w: WidgetId, name: &str) -> FontId {
         match self.widgets[&w.0].resources.get(name) {
             Some(ResourceValue::Font(f)) => *f,
-            _ => self.displays[self.widgets[&w.0].display_idx].fonts.default_font(),
+            _ => self.displays[self.widgets[&w.0].display_idx]
+                .fonts
+                .default_font(),
         }
     }
 
     /// Reads class-private instance state.
     pub fn state(&self, w: WidgetId, key: &str) -> String {
-        self.widgets[&w.0].state.get(key).cloned().unwrap_or_default()
+        self.widgets[&w.0]
+            .state
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Writes class-private instance state.
     pub fn set_state(&mut self, w: WidgetId, key: &str, value: impl Into<String>) {
-        self.widgets.get_mut(&w.0).unwrap().state.insert(key.to_string(), value.into());
+        self.widgets
+            .get_mut(&w.0)
+            .unwrap()
+            .state
+            .insert(key.to_string(), value.into());
     }
 
     /// The font database of the widget's display.
@@ -547,7 +583,10 @@ impl XtApp {
         let value = self
             .converters
             .convert(ty, text, &ConvertCtx { fonts })
-            .map_err(|message| XtError::Conversion { resource: name.to_string(), message })?;
+            .map_err(|message| XtError::Conversion {
+                resource: name.to_string(),
+                message,
+            })?;
         if is_constraint {
             self.put_constraint(w, key, value);
         } else {
@@ -587,7 +626,10 @@ impl XtApp {
         if let Some(v) = rec.constraints.get(name) {
             return Ok(v.to_display_string());
         }
-        Err(XtError::NoSuchResource { widget: rec.name.clone(), resource: name.to_string() })
+        Err(XtError::NoSuchResource {
+            widget: rec.name.clone(),
+            resource: name.to_string(),
+        })
     }
 
     /// Merges a translation table into a widget (`XtOverrideTranslations`
@@ -793,7 +835,11 @@ impl XtApp {
     pub fn add_popup(&mut self, parent: WidgetId, shell: WidgetId) {
         self.widgets.get_mut(&parent.0).unwrap().popups.push(shell);
         // Popup shells are not normal children for layout purposes.
-        self.widgets.get_mut(&parent.0).unwrap().children.retain(|&c| c != shell);
+        self.widgets
+            .get_mut(&parent.0)
+            .unwrap()
+            .children
+            .retain(|&c| c != shell);
         self.widgets.get_mut(&shell.0).unwrap().parent = Some(parent);
     }
 
@@ -837,7 +883,10 @@ impl XtApp {
 
     /// True if the shell is currently popped up.
     pub fn is_popped_up(&self, shell: WidgetId) -> bool {
-        self.widgets.get(&shell.0).map(|r| r.popped_up).unwrap_or(false)
+        self.widgets
+            .get(&shell.0)
+            .map(|r| r.popped_up)
+            .unwrap_or(false)
     }
 
     // ----- callbacks -----------------------------------------------------------
@@ -879,7 +928,8 @@ impl XtApp {
         let shell_id = match self.lookup(shell) {
             Some(s) => s,
             None => {
-                self.warnings.push(format!("predefined callback: no shell named \"{shell}\""));
+                self.warnings
+                    .push(format!("predefined callback: no shell named \"{shell}\""));
                 return;
             }
         };
@@ -964,7 +1014,10 @@ impl XtApp {
                 if !self.is_sensitive(w) {
                     return;
                 }
-                let actions = self.widgets[&w.0].translations.lookup(&event).map(|a| a.to_vec());
+                let actions = self.widgets[&w.0]
+                    .translations
+                    .lookup(&event)
+                    .map(|a| a.to_vec());
                 if let Some(actions) = actions {
                     for (name, args) in actions {
                         self.run_action(w, &name, &args, &event);
@@ -976,9 +1029,7 @@ impl XtApp {
                 let accel = self.widgets[&w.0]
                     .accelerators_installed
                     .iter()
-                    .find_map(|(table, src)| {
-                        table.lookup(&event).map(|a| (a.to_vec(), *src))
-                    });
+                    .find_map(|(table, src)| table.lookup(&event).map(|a| (a.to_vec(), *src)));
                 if let Some((actions, src)) = accel {
                     if self.widgets.contains_key(&src.0) && self.is_sensitive(src) {
                         for (name, args) in actions {
@@ -1056,7 +1107,8 @@ mod tests {
     }
 
     fn mk(app: &mut XtApp, name: &str, class: &str, parent: Option<WidgetId>) -> WidgetId {
-        app.create_widget(name, class, parent, 0, &[], true).unwrap()
+        app.create_widget(name, class, parent, 0, &[], true)
+            .unwrap()
     }
 
     #[test]
@@ -1075,14 +1127,18 @@ mod tests {
     fn duplicate_name_rejected() {
         let mut app = app_with_core();
         mk(&mut app, "top", "Shell", None);
-        let e = app.create_widget("top", "Shell", None, 0, &[], true).unwrap_err();
+        let e = app
+            .create_widget("top", "Shell", None, 0, &[], true)
+            .unwrap_err();
         assert_eq!(e, XtError::DuplicateName("top".into()));
     }
 
     #[test]
     fn unknown_class_rejected() {
         let mut app = app_with_core();
-        let e = app.create_widget("x", "Nope", None, 0, &[], true).unwrap_err();
+        let e = app
+            .create_widget("x", "Nope", None, 0, &[], true)
+            .unwrap_err();
         assert_eq!(e, XtError::UnknownClass("Nope".into()));
     }
 
@@ -1091,7 +1147,9 @@ mod tests {
         let mut app = app_with_core();
         let top = mk(&mut app, "top", "Shell", None);
         let leaf = mk(&mut app, "leaf", "Core", Some(top));
-        let e = app.create_widget("sub", "Core", Some(leaf), 0, &[], true).unwrap_err();
+        let e = app
+            .create_widget("sub", "Core", Some(leaf), 0, &[], true)
+            .unwrap_err();
         assert_eq!(e, XtError::NotComposite("leaf".into()));
     }
 
@@ -1105,7 +1163,10 @@ mod tests {
                 "Core",
                 Some(top),
                 0,
-                &[("background".into(), "red".into()), ("width".into(), "123".into())],
+                &[
+                    ("background".into(), "red".into()),
+                    ("width".into(), "123".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -1118,7 +1179,14 @@ mod tests {
         let mut app = app_with_core();
         let top = mk(&mut app, "top", "Shell", None);
         let e = app
-            .create_widget("w", "Core", Some(top), 0, &[("width".into(), "wide".into())], true)
+            .create_widget(
+                "w",
+                "Core",
+                Some(top),
+                0,
+                &[("width".into(), "wide".into())],
+                true,
+            )
             .unwrap_err();
         assert!(matches!(e, XtError::Conversion { .. }));
     }
@@ -1132,7 +1200,14 @@ mod tests {
         assert_eq!(app.pixel_resource(a, "background"), 0x0000ff);
         // Explicit argument still wins over the database.
         let b = app
-            .create_widget("b", "Core", Some(top), 0, &[("background".into(), "red".into())], true)
+            .create_widget(
+                "b",
+                "Core",
+                Some(top),
+                0,
+                &[("background".into(), "red".into())],
+                true,
+            )
             .unwrap();
         assert_eq!(app.pixel_resource(b, "background"), 0xff0000);
     }
@@ -1169,7 +1244,11 @@ mod tests {
         }
         assert!(app.memstats.current() > before);
         app.destroy_widget(top);
-        assert_eq!(app.memstats.current(), before, "destroy must free all tracked memory");
+        assert_eq!(
+            app.memstats.current(),
+            before,
+            "destroy must free all tracked memory"
+        );
         assert_eq!(app.widget_count(), 0);
     }
 
@@ -1194,7 +1273,10 @@ mod tests {
                 "Core",
                 Some(top),
                 0,
-                &[("width".into(), "50".into()), ("height".into(), "20".into())],
+                &[
+                    ("width".into(), "50".into()),
+                    ("height".into(), "20".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -1210,7 +1292,9 @@ mod tests {
     fn unmanaged_widget_not_mapped() {
         let mut app = app_with_core();
         let top = mk(&mut app, "top", "Shell", None);
-        let w = app.create_widget("w", "Core", Some(top), 0, &[], false).unwrap();
+        let w = app
+            .create_widget("w", "Core", Some(top), 0, &[], false)
+            .unwrap();
         app.realize(top);
         let win = app.widget(w).window.unwrap();
         assert!(!app.displays[0].is_viewable(win));
@@ -1236,7 +1320,9 @@ mod tests {
         let top = mk(&mut app, "top", "Shell", None);
         app.realize(top);
         let shell = mk(&mut app, "menu", "Shell", None);
-        let e = app.create_widget("entry", "Core", Some(shell), 0, &[], true).unwrap();
+        let e = app
+            .create_widget("entry", "Core", Some(shell), 0, &[], true)
+            .unwrap();
         let _ = e;
         app.popup(shell, GrabKind::Exclusive);
         assert!(app.is_popped_up(shell));
@@ -1251,7 +1337,17 @@ mod tests {
         let mut app = app_with_core();
         let top = mk(&mut app, "top", "Shell", None);
         let button = app
-            .create_widget("b", "Core", Some(top), 0, &[("width".into(), "40".into()), ("height".into(), "20".into())], true)
+            .create_widget(
+                "b",
+                "Core",
+                Some(top),
+                0,
+                &[
+                    ("width".into(), "40".into()),
+                    ("height".into(), "20".into()),
+                ],
+                true,
+            )
             .unwrap();
         app.realize(top);
         let shell = mk(&mut app, "popup", "Shell", None);
@@ -1297,7 +1393,10 @@ mod tests {
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].script, "echo bye %w");
         assert_eq!(calls[0].widget_name, "w");
-        assert_eq!(calls[0].kind, HostCallKind::Callback("destroyCallback".into()));
+        assert_eq!(
+            calls[0].kind,
+            HostCallKind::Callback("destroyCallback".into())
+        );
     }
 
     #[test]
@@ -1305,7 +1404,8 @@ mod tests {
         let mut app = app_with_core();
         let top = mk(&mut app, "top", "Shell", None);
         let w = mk(&mut app, "w", "Core", Some(top));
-        app.set_resource(w, "destroyCallback", "echo destroyed").unwrap();
+        app.set_resource(w, "destroyCallback", "echo destroyed")
+            .unwrap();
         app.destroy_widget(w);
         let calls = app.take_host_calls();
         assert_eq!(calls.len(), 1);
@@ -1369,7 +1469,8 @@ mod tests {
             .unwrap();
         let fired = Rc::new(std::cell::Cell::new(0));
         let f2 = fired.clone();
-        app.global_actions.add("ring", move |_, _, _, _| f2.set(f2.get() + 1));
+        app.global_actions
+            .add("ring", move |_, _, _, _| f2.set(f2.get() + 1));
         app.realize(top);
         app.dispatch_pending();
         app.set_resource(w, "sensitive", "false").unwrap();
@@ -1438,7 +1539,9 @@ mod tests {
     fn second_display_widgets() {
         let mut app = app_with_core();
         let di = app.open_display("dec4:0");
-        let top2 = app.create_widget("top2", "Shell", None, di, &[], true).unwrap();
+        let top2 = app
+            .create_widget("top2", "Shell", None, di, &[], true)
+            .unwrap();
         let c = mk(&mut app, "c", "Core", Some(top2));
         assert_eq!(app.widget(c).display_idx, di);
         app.realize(top2);

@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn predefined_display() {
-        let c = CallbackItem::Predefined { kind: PredefinedCallback::Exclusive, shell: "popup".into() };
+        let c = CallbackItem::Predefined {
+            kind: PredefinedCallback::Exclusive,
+            shell: "popup".into(),
+        };
         assert_eq!(c.to_display_string(), "exclusive popup");
     }
 }

@@ -46,14 +46,19 @@ impl Default for ConverterRegistry {
 impl ConverterRegistry {
     /// Creates a registry with the standard Xt converters installed.
     pub fn new() -> Self {
-        let mut r = ConverterRegistry { converters: HashMap::new(), additional: 0 };
+        let mut r = ConverterRegistry {
+            converters: HashMap::new(),
+            additional: 0,
+        };
         r.install_defaults();
         r.additional = 0;
         r
     }
 
     fn install_defaults(&mut self) {
-        self.register(ResType::String, |s, _| Ok(ResourceValue::Str(s.to_string())));
+        self.register(ResType::String, |s, _| {
+            Ok(ResourceValue::Str(s.to_string()))
+        });
         self.register(ResType::Int, |s, _| {
             s.trim()
                 .parse::<i64>()
@@ -72,10 +77,12 @@ impl ConverterRegistry {
                 .map(ResourceValue::Pos)
                 .map_err(|_| format!("Cannot convert string \"{s}\" to type Position"))
         });
-        self.register(ResType::Boolean, |s, _| match s.trim().to_lowercase().as_str() {
-            "true" | "yes" | "on" | "1" => Ok(ResourceValue::Bool(true)),
-            "false" | "no" | "off" | "0" => Ok(ResourceValue::Bool(false)),
-            _ => Err(format!("Cannot convert string \"{s}\" to type Boolean")),
+        self.register(ResType::Boolean, |s, _| {
+            match s.trim().to_lowercase().as_str() {
+                "true" | "yes" | "on" | "1" => Ok(ResourceValue::Bool(true)),
+                "false" | "no" | "off" | "0" => Ok(ResourceValue::Bool(false)),
+                _ => Err(format!("Cannot convert string \"{s}\" to type Boolean")),
+            }
         });
         self.register(ResType::Pixel, |s, _| {
             wafe_xproto::lookup_color(s)
@@ -88,16 +95,20 @@ impl ConverterRegistry {
                 .map(ResourceValue::Font)
                 .ok_or_else(|| format!("Cannot convert string \"{s}\" to type FontStruct"))
         });
-        self.register(ResType::Justify, |s, _| match s.trim().to_lowercase().as_str() {
-            "left" => Ok(ResourceValue::Justify(Justify::Left)),
-            "center" | "centre" => Ok(ResourceValue::Justify(Justify::Center)),
-            "right" => Ok(ResourceValue::Justify(Justify::Right)),
-            _ => Err(format!("Cannot convert string \"{s}\" to type Justify")),
+        self.register(ResType::Justify, |s, _| {
+            match s.trim().to_lowercase().as_str() {
+                "left" => Ok(ResourceValue::Justify(Justify::Left)),
+                "center" | "centre" => Ok(ResourceValue::Justify(Justify::Center)),
+                "right" => Ok(ResourceValue::Justify(Justify::Right)),
+                _ => Err(format!("Cannot convert string \"{s}\" to type Justify")),
+            }
         });
-        self.register(ResType::Orientation, |s, _| match s.trim().to_lowercase().as_str() {
-            "horizontal" => Ok(ResourceValue::Orientation(Orientation::Horizontal)),
-            "vertical" => Ok(ResourceValue::Orientation(Orientation::Vertical)),
-            _ => Err(format!("Cannot convert string \"{s}\" to type Orientation")),
+        self.register(ResType::Orientation, |s, _| {
+            match s.trim().to_lowercase().as_str() {
+                "horizontal" => Ok(ResourceValue::Orientation(Orientation::Horizontal)),
+                "vertical" => Ok(ResourceValue::Orientation(Orientation::Vertical)),
+                _ => Err(format!("Cannot convert string \"{s}\" to type Orientation")),
+            }
         });
         // Wafe's callback converter: "the callback converter is used to
         // bind the execution of a Wafe command to a widget's callback
@@ -106,7 +117,9 @@ impl ConverterRegistry {
             if s.is_empty() {
                 Ok(ResourceValue::Callback(Vec::new()))
             } else {
-                Ok(ResourceValue::Callback(vec![CallbackItem::Script(s.to_string())]))
+                Ok(ResourceValue::Callback(vec![CallbackItem::Script(
+                    s.to_string(),
+                )]))
             }
         });
         self.register(ResType::Translations, |s, _| {
@@ -140,7 +153,9 @@ impl ConverterRegistry {
             if s.is_empty() {
                 Ok(ResourceValue::StrList(Vec::new()))
             } else {
-                Ok(ResourceValue::StrList(s.split(',').map(|e| e.trim().to_string()).collect()))
+                Ok(ResourceValue::StrList(
+                    s.split(',').map(|e| e.trim().to_string()).collect(),
+                ))
             }
         });
         // Plain-compound default: one segment, default font. The Motif
@@ -152,8 +167,12 @@ impl ConverterRegistry {
                 right_to_left: false,
             }]))
         });
-        self.register(ResType::Cursor, |s, _| Ok(ResourceValue::Cursor(s.to_string())));
-        self.register(ResType::Widget, |s, _| Ok(ResourceValue::Widget(s.to_string())));
+        self.register(ResType::Cursor, |s, _| {
+            Ok(ResourceValue::Cursor(s.to_string()))
+        });
+        self.register(ResType::Widget, |s, _| {
+            Ok(ResourceValue::Widget(s.to_string()))
+        });
     }
 
     /// Registers (or replaces) the converter for a type
@@ -212,10 +231,22 @@ mod tests {
     #[test]
     fn scalar_conversions() {
         assert_eq!(conv(ResType::Int, "42").unwrap(), ResourceValue::Int(42));
-        assert_eq!(conv(ResType::Dimension, "100").unwrap(), ResourceValue::Dim(100));
-        assert_eq!(conv(ResType::Position, "-5").unwrap(), ResourceValue::Pos(-5));
-        assert_eq!(conv(ResType::Boolean, "True").unwrap(), ResourceValue::Bool(true));
-        assert_eq!(conv(ResType::Boolean, "off").unwrap(), ResourceValue::Bool(false));
+        assert_eq!(
+            conv(ResType::Dimension, "100").unwrap(),
+            ResourceValue::Dim(100)
+        );
+        assert_eq!(
+            conv(ResType::Position, "-5").unwrap(),
+            ResourceValue::Pos(-5)
+        );
+        assert_eq!(
+            conv(ResType::Boolean, "True").unwrap(),
+            ResourceValue::Bool(true)
+        );
+        assert_eq!(
+            conv(ResType::Boolean, "off").unwrap(),
+            ResourceValue::Bool(false)
+        );
         assert!(conv(ResType::Int, "xyz").is_err());
         assert!(conv(ResType::Dimension, "-1").is_err());
         assert!(conv(ResType::Boolean, "maybe").is_err());
@@ -223,21 +254,36 @@ mod tests {
 
     #[test]
     fn pixel_conversion_uses_color_db() {
-        assert_eq!(conv(ResType::Pixel, "red").unwrap(), ResourceValue::Pixel(0xff0000));
-        assert_eq!(conv(ResType::Pixel, "tomato").unwrap(), ResourceValue::Pixel(0xff6347));
-        assert_eq!(conv(ResType::Pixel, "#0f0").unwrap(), ResourceValue::Pixel(0x00ff00));
+        assert_eq!(
+            conv(ResType::Pixel, "red").unwrap(),
+            ResourceValue::Pixel(0xff0000)
+        );
+        assert_eq!(
+            conv(ResType::Pixel, "tomato").unwrap(),
+            ResourceValue::Pixel(0xff6347)
+        );
+        assert_eq!(
+            conv(ResType::Pixel, "#0f0").unwrap(),
+            ResourceValue::Pixel(0x00ff00)
+        );
         assert!(conv(ResType::Pixel, "nocolor").is_err());
     }
 
     #[test]
     fn font_conversion() {
-        assert!(matches!(conv(ResType::Font, "fixed").unwrap(), ResourceValue::Font(_)));
+        assert!(matches!(
+            conv(ResType::Font, "fixed").unwrap(),
+            ResourceValue::Font(_)
+        ));
         assert!(conv(ResType::Font, "*nope*").is_err());
     }
 
     #[test]
     fn justify_orientation() {
-        assert_eq!(conv(ResType::Justify, "center").unwrap(), ResourceValue::Justify(Justify::Center));
+        assert_eq!(
+            conv(ResType::Justify, "center").unwrap(),
+            ResourceValue::Justify(Justify::Center)
+        );
         assert_eq!(
             conv(ResType::Orientation, "vertical").unwrap(),
             ResourceValue::Orientation(Orientation::Vertical)
@@ -252,7 +298,10 @@ mod tests {
             v,
             ResourceValue::Callback(vec![CallbackItem::Script("echo hello world".into())])
         );
-        assert_eq!(conv(ResType::Callback, "").unwrap(), ResourceValue::Callback(vec![]));
+        assert_eq!(
+            conv(ResType::Callback, "").unwrap(),
+            ResourceValue::Callback(vec![])
+        );
     }
 
     #[test]
@@ -268,12 +317,20 @@ mod tests {
     #[test]
     fn pixmap_converter_inline_fallback_chain() {
         let xbm = "#define i_width 8\n#define i_height 1\nstatic char i_bits[] = {0xff};";
-        assert!(matches!(conv(ResType::Pixmap, xbm).unwrap(), ResourceValue::Pixmap(_)));
+        assert!(matches!(
+            conv(ResType::Pixmap, xbm).unwrap(),
+            ResourceValue::Pixmap(_)
+        ));
         let xpm = "\"1 1 1 1\",\"x c red\",\"x\"";
-        assert!(matches!(conv(ResType::Pixmap, xpm).unwrap(), ResourceValue::Pixmap(_)));
+        assert!(matches!(
+            conv(ResType::Pixmap, xpm).unwrap(),
+            ResourceValue::Pixmap(_)
+        ));
         assert!(conv(ResType::Pixmap, "neither format").is_err());
         // Empty string is the "no pixmap" sentinel.
-        assert!(matches!(conv(ResType::Pixmap, "").unwrap(), ResourceValue::Pixmap(p) if p.width == 0));
+        assert!(
+            matches!(conv(ResType::Pixmap, "").unwrap(), ResourceValue::Pixmap(p) if p.width == 0)
+        );
     }
 
     #[test]
@@ -282,17 +339,24 @@ mod tests {
             conv(ResType::StringList, "a, b ,c").unwrap(),
             ResourceValue::StrList(vec!["a".into(), "b".into(), "c".into()])
         );
-        assert_eq!(conv(ResType::StringList, "").unwrap(), ResourceValue::StrList(vec![]));
+        assert_eq!(
+            conv(ResType::StringList, "").unwrap(),
+            ResourceValue::StrList(vec![])
+        );
     }
 
     #[test]
     fn custom_converter_overrides() {
         let mut reg = ConverterRegistry::new();
         let before = reg.additional_count();
-        reg.register(ResType::Cursor, |s, _| Ok(ResourceValue::Cursor(format!("X_{s}"))));
+        reg.register(ResType::Cursor, |s, _| {
+            Ok(ResourceValue::Cursor(format!("X_{s}")))
+        });
         assert_eq!(reg.additional_count(), before + 1);
         let fonts = ctx_fonts();
-        let v = reg.convert(ResType::Cursor, "arrow", &ConvertCtx { fonts: &fonts }).unwrap();
+        let v = reg
+            .convert(ResType::Cursor, "arrow", &ConvertCtx { fonts: &fonts })
+            .unwrap();
         assert_eq!(v, ResourceValue::Cursor("X_arrow".into()));
     }
 }

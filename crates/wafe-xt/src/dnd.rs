@@ -28,10 +28,11 @@ pub fn install(app: &mut XtApp) {
     if app.global_actions.get("RddStartDrag").is_some() {
         return;
     }
-    app.global_actions.add("RddStartDrag", |app, w, _event, _args| {
-        let value = app.state(w, SOURCE_VALUE);
-        app.dnd_payload = if value.is_empty() { None } else { Some(value) };
-    });
+    app.global_actions
+        .add("RddStartDrag", |app, w, _event, _args| {
+            let value = app.state(w, SOURCE_VALUE);
+            app.dnd_payload = if value.is_empty() { None } else { Some(value) };
+        });
     app.global_actions.add("RddDrop", |app, w, _event, _args| {
         let payload = match app.dnd_payload.take() {
             Some(p) => p,
@@ -91,7 +92,10 @@ mod tests {
                 "Shell",
                 None,
                 0,
-                &[("width".into(), "400".into()), ("height".into(), "300".into())],
+                &[
+                    ("width".into(), "400".into()),
+                    ("height".into(), "300".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -101,7 +105,10 @@ mod tests {
                 "Core",
                 Some(top),
                 0,
-                &[("width".into(), "50".into()), ("height".into(), "20".into())],
+                &[
+                    ("width".into(), "50".into()),
+                    ("height".into(), "20".into()),
+                ],
                 true,
             )
             .unwrap();
@@ -146,7 +153,10 @@ mod tests {
         let calls = app.take_host_calls();
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].script, "echo dropped %v on %w");
-        assert_eq!(calls[0].data.get(&'v').map(String::as_str), Some("file.txt"));
+        assert_eq!(
+            calls[0].data.get(&'v').map(String::as_str),
+            Some("file.txt")
+        );
         assert_eq!(calls[0].widget_name, "dst");
         assert_eq!(current_payload(&app), None, "payload consumed by the drop");
     }

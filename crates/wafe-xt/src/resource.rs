@@ -208,7 +208,12 @@ impl ResourceSpec {
         ty: ResType,
         default: &'static str,
     ) -> Self {
-        ResourceSpec { name, class, ty, default }
+        ResourceSpec {
+            name,
+            class,
+            ty,
+            default,
+        }
     }
 }
 
@@ -257,7 +262,10 @@ mod tests {
     fn display_strings() {
         assert_eq!(ResourceValue::Bool(true).to_display_string(), "True");
         assert_eq!(ResourceValue::Dim(42).to_display_string(), "42");
-        assert_eq!(ResourceValue::Pixel(0xff0000).to_display_string(), "#ff0000");
+        assert_eq!(
+            ResourceValue::Pixel(0xff0000).to_display_string(),
+            "#ff0000"
+        );
         assert_eq!(
             ResourceValue::Justify(Justify::Center).to_display_string(),
             "center"
@@ -281,6 +289,9 @@ mod tests {
     fn res_type_tags() {
         assert_eq!(ResourceValue::Str("x".into()).res_type(), ResType::String);
         assert_eq!(ResourceValue::Pixel(0).res_type(), ResType::Pixel);
-        assert_eq!(ResourceValue::Callback(vec![]).res_type(), ResType::Callback);
+        assert_eq!(
+            ResourceValue::Callback(vec![]).res_type(),
+            ResType::Callback
+        );
     }
 }

@@ -321,7 +321,11 @@ fn parse_line(line: &str) -> Result<Translation, String> {
     if actions.is_empty() {
         return Err(format!("translation line has no actions: \"{line}\""));
     }
-    Ok(Translation { modifiers, matcher, actions })
+    Ok(Translation {
+        modifiers,
+        matcher,
+        actions,
+    })
 }
 
 fn parse_button_detail(detail: &str) -> Option<u8> {
@@ -413,7 +417,10 @@ mod tests {
         let t = TranslationTable::parse("<EnterWindow>: PopupMenu()").unwrap();
         assert_eq!(t.entries.len(), 1);
         assert_eq!(t.entries[0].matcher, EventMatcher::Enter);
-        assert_eq!(t.entries[0].actions, vec![("PopupMenu".to_string(), vec![])]);
+        assert_eq!(
+            t.entries[0].actions,
+            vec![("PopupMenu".to_string(), vec![])]
+        );
         assert!(t.lookup(&ev(EventKind::EnterNotify)).is_some());
         assert!(t.lookup(&ev(EventKind::LeaveNotify)).is_none());
     }
@@ -466,9 +473,17 @@ mod tests {
         let t2 = TranslationTable::parse("Ctrl Meta<Key>x: exec(cm)").unwrap();
         let mut e2 = ev(EventKind::KeyPress);
         e2.keysym = "x".into();
-        e2.modifiers = Modifiers { shift: false, control: true, meta: true };
+        e2.modifiers = Modifiers {
+            shift: false,
+            control: true,
+            meta: true,
+        };
         assert!(t2.lookup(&e2).is_some());
-        e2.modifiers = Modifiers { shift: false, control: true, meta: false };
+        e2.modifiers = Modifiers {
+            shift: false,
+            control: true,
+            meta: false,
+        };
         assert!(t2.lookup(&e2).is_none());
     }
 

@@ -65,7 +65,11 @@ impl XrmDb {
             Some(c) if !c.is_empty() => c,
             _ => return false,
         };
-        self.entries.push(Entry { components, value, serial: self.next_serial });
+        self.entries.push(Entry {
+            components,
+            value,
+            serial: self.next_serial,
+        });
         self.next_serial += 1;
         true
     }
@@ -138,7 +142,11 @@ fn parse_key(key: &str) -> Option<Vec<(Binding, String)>> {
                 if !cur.is_empty() {
                     out.push((binding, std::mem::take(&mut cur)));
                 }
-                binding = if c == '*' { Binding::Loose } else { Binding::Tight };
+                binding = if c == '*' {
+                    Binding::Loose
+                } else {
+                    Binding::Tight
+                };
                 // `**` or `*.` collapse to loose.
                 if c == '*' {
                     binding = Binding::Loose;
@@ -159,7 +167,11 @@ fn parse_key(key: &str) -> Option<Vec<(Binding, String)>> {
 /// a per-level score vector (lexicographically comparable, more-specific
 /// wins). Per level: 3 = name match via tight binding, 2 = class match
 /// via tight binding, 1 = matched via loose skip path.
-fn match_entry(components: &[(Binding, String)], names: &[&str], classes: &[&str]) -> Option<Vec<u8>> {
+fn match_entry(
+    components: &[(Binding, String)],
+    names: &[&str],
+    classes: &[&str],
+) -> Option<Vec<u8>> {
     fn rec(
         comps: &[(Binding, String)],
         names: &[&str],
@@ -220,13 +232,16 @@ mod tests {
         let mut db = XrmDb::new();
         db.insert("*Font", "fixed");
         assert_eq!(
-            q(&db, "wafe.topLevel.form.label", "Wafe.TopLevelShell.Form.Label", "font", "Font"),
+            q(
+                &db,
+                "wafe.topLevel.form.label",
+                "Wafe.TopLevelShell.Form.Label",
+                "font",
+                "Font"
+            ),
             Some("fixed".into())
         );
-        assert_eq!(
-            q(&db, "wafe", "Wafe", "font", "Font"),
-            Some("fixed".into())
-        );
+        assert_eq!(q(&db, "wafe", "Wafe", "font", "Font"), Some("fixed".into()));
     }
 
     #[test]
@@ -241,8 +256,14 @@ mod tests {
             let _ = classes;
             let names: Vec<&str> = widget.split('.').collect();
             let cls: Vec<&str> = names.iter().map(|_| "Any").collect();
-            assert_eq!(db.query(&names, &cls, "foreground", "Foreground"), Some("blue".into()));
-            assert_eq!(db.query(&names, &cls, "background", "Background"), Some("red".into()));
+            assert_eq!(
+                db.query(&names, &cls, "foreground", "Foreground"),
+                Some("blue".into())
+            );
+            assert_eq!(
+                db.query(&names, &cls, "background", "Background"),
+                Some("red".into())
+            );
         }
     }
 
@@ -252,7 +273,13 @@ mod tests {
         db.insert("*Label.foreground", "classval");
         db.insert("*mylabel.foreground", "nameval");
         assert_eq!(
-            q(&db, "app.top.mylabel", "App.Shell.Label", "foreground", "Foreground"),
+            q(
+                &db,
+                "app.top.mylabel",
+                "App.Shell.Label",
+                "foreground",
+                "Foreground"
+            ),
             Some("nameval".into())
         );
     }
@@ -263,7 +290,13 @@ mod tests {
         db.insert("*foreground", "loose");
         db.insert("app.top.l.foreground", "tight");
         assert_eq!(
-            q(&db, "app.top.l", "App.Shell.Label", "foreground", "Foreground"),
+            q(
+                &db,
+                "app.top.l",
+                "App.Shell.Label",
+                "foreground",
+                "Foreground"
+            ),
             Some("tight".into())
         );
     }
@@ -285,7 +318,13 @@ mod tests {
         db.insert("app.label.foreground", "v");
         // Path has an extra level: tight chain cannot skip it.
         assert_eq!(
-            q(&db, "app.box.label", "App.Box.Label", "foreground", "Foreground"),
+            q(
+                &db,
+                "app.box.label",
+                "App.Box.Label",
+                "foreground",
+                "Foreground"
+            ),
             None
         );
         assert_eq!(

@@ -2,7 +2,7 @@
 //! translation parsers never panic; Xrm precedence is monotone; the
 //! widget tree stays consistent under random create/destroy sequences.
 
-use proptest::prelude::*;
+use wafe_prop::cases;
 use wafe_xproto::font::FontDb;
 use wafe_xt::converter::{ConvertCtx, ConverterRegistry};
 use wafe_xt::resource::ResType;
@@ -11,32 +11,59 @@ use wafe_xt::widget::core_class;
 use wafe_xt::xrm::XrmDb;
 use wafe_xt::XtApp;
 
-proptest! {
-    /// Every converter accepts arbitrary input without panicking.
-    #[test]
-    fn converters_never_panic(value in ".{0,40}") {
+/// Every converter accepts arbitrary input without panicking.
+#[test]
+fn converters_never_panic() {
+    cases(256, |rng| {
+        let value = rng.unicode_string(0, 41);
         let fonts = FontDb::new();
         let reg = ConverterRegistry::new();
         for ty in [
-            ResType::String, ResType::Int, ResType::Dimension, ResType::Position,
-            ResType::Boolean, ResType::Pixel, ResType::Font, ResType::Justify,
-            ResType::Orientation, ResType::Callback, ResType::Translations,
-            ResType::StringList, ResType::Compound, ResType::Cursor, ResType::Widget,
+            ResType::String,
+            ResType::Int,
+            ResType::Dimension,
+            ResType::Position,
+            ResType::Boolean,
+            ResType::Pixel,
+            ResType::Font,
+            ResType::Justify,
+            ResType::Orientation,
+            ResType::Callback,
+            ResType::Translations,
+            ResType::StringList,
+            ResType::Compound,
+            ResType::Cursor,
+            ResType::Widget,
         ] {
             let _ = reg.convert(ty, &value, &ConvertCtx { fonts: &fonts });
         }
-    }
+    });
+}
 
-    /// The translation parser never panics on arbitrary text.
-    #[test]
-    fn translation_parse_never_panics(text in "[<>a-zA-Z0-9():,%~! \\n]{0,60}") {
+/// The translation parser never panics on arbitrary text.
+#[test]
+fn translation_parse_never_panics() {
+    let alphabet: Vec<char> =
+        "<>abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789():,%~! \n"
+            .chars()
+            .collect();
+    cases(256, |rng| {
+        let len = rng.range(0, 61);
+        let text = rng.string_from(&alphabet, len);
         let _ = TranslationTable::parse(&text);
-    }
+    });
+}
 
-    /// Xrm: inserting more entries never makes an existing exact match
-    /// disappear (precedence is monotone in specificity).
-    #[test]
-    fn xrm_monotone(extra in proptest::collection::vec("[a-z]{1,6}", 0..10)) {
+/// Xrm: inserting more entries never makes an existing exact match
+/// disappear (precedence is monotone in specificity).
+#[test]
+fn xrm_monotone() {
+    let alphabet: Vec<char> = ('a'..='z').collect();
+    cases(256, |rng| {
+        let extra = rng.vec(0, 10, |r| {
+            let len = r.range(1, 7);
+            r.string_from(&alphabet, len)
+        });
         let mut db = XrmDb::new();
         db.insert("app.top.leaf.foreground", "exact");
         for (i, name) in extra.iter().enumerate() {
@@ -48,36 +75,42 @@ proptest! {
             "foreground",
             "Foreground",
         );
-        prop_assert_eq!(got, Some("exact".to_string()));
-    }
+        assert_eq!(got, Some("exact".to_string()));
+    });
+}
 
-    /// Random create/destroy interleavings keep widget count and memory
-    /// accounting consistent.
-    #[test]
-    fn tree_consistency(ops in proptest::collection::vec((0u8..2, 0u8..8), 1..40)) {
+/// Random create/destroy interleavings keep widget count and memory
+/// accounting consistent.
+#[test]
+fn tree_consistency() {
+    cases(256, |rng| {
+        let ops = rng.vec(1, 40, |r| (r.below(2) as u8, r.below(8) as u8));
         let mut app = XtApp::new();
         app.register_class(core_class("Shell", true, true));
         app.register_class(core_class("Core", false, false));
-        let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+        let top = app
+            .create_widget("top", "Shell", None, 0, &[], true)
+            .unwrap();
         let mut live: Vec<String> = Vec::new();
         let mut seq = 0usize;
         for (op, pick) in ops {
             if op == 0 || live.is_empty() {
                 let name = format!("w{seq}");
                 seq += 1;
-                app.create_widget(&name, "Core", Some(top), 0, &[], true).unwrap();
+                app.create_widget(&name, "Core", Some(top), 0, &[], true)
+                    .unwrap();
                 live.push(name);
             } else {
                 let name = live.remove(pick as usize % live.len());
                 let id = app.lookup(&name).unwrap();
                 app.destroy_widget(id);
             }
-            prop_assert_eq!(app.widget_count(), live.len() + 1);
+            assert_eq!(app.widget_count(), live.len() + 1);
         }
         app.destroy_widget(top);
-        prop_assert_eq!(app.widget_count(), 0);
-        prop_assert_eq!(app.memstats.current(), 0);
-    }
+        assert_eq!(app.widget_count(), 0);
+        assert_eq!(app.memstats.current(), 0);
+    });
 }
 
 #[test]
@@ -87,14 +120,19 @@ fn xrm_query_with_empty_db_and_paths() {
     let mut db = XrmDb::new();
     db.insert("*foreground", "red");
     // Query with only the resource level.
-    assert_eq!(db.query(&[], &[], "foreground", "Foreground"), Some("red".into()));
+    assert_eq!(
+        db.query(&[], &[], "foreground", "Foreground"),
+        Some("red".into())
+    );
 }
 
 #[test]
 fn stale_widget_operations_are_safe() {
     let mut app = XtApp::new();
     app.register_class(core_class("Shell", true, true));
-    let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+    let top = app
+        .create_widget("top", "Shell", None, 0, &[], true)
+        .unwrap();
     app.destroy_widget(top);
     // Operations on the stale id must not panic.
     app.destroy_widget(top);
@@ -111,7 +149,9 @@ fn deep_widget_tree_layout_terminates() {
     let mut app = XtApp::new();
     app.register_class(core_class("Shell", true, true));
     app.register_class(core_class("Box", false, true));
-    let top = app.create_widget("top", "Shell", None, 0, &[], true).unwrap();
+    let top = app
+        .create_widget("top", "Shell", None, 0, &[], true)
+        .unwrap();
     let mut parent = top;
     for i in 0..120 {
         parent = app

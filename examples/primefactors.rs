@@ -43,14 +43,19 @@ fn main() {
         fe.step(Duration::from_millis(10)).unwrap();
         let ready = {
             let app = fe.engine.session.app.borrow();
-            app.lookup("input").map(|w| app.is_realized(w)).unwrap_or(false)
+            app.lookup("input")
+                .map(|w| app.is_realized(w))
+                .unwrap_or(false)
         };
         if ready {
             break;
         }
     }
     println!("--- widget tree built by the backend: ---");
-    println!("{}", fe.engine.session.eval("snapshot 0 0 280 100").unwrap());
+    println!(
+        "{}",
+        fe.engine.session.eval("snapshot 0 0 280 100").unwrap()
+    );
 
     // Phase 3: the user types 360 and presses Return; the exec action
     // sends the string to the backend, which factorises and answers.
@@ -65,7 +70,11 @@ fn main() {
     let mut result = String::new();
     while Instant::now() < deadline {
         fe.step(Duration::from_millis(10)).unwrap();
-        result = fe.engine.session.eval("gV result label").unwrap_or_default();
+        result = fe
+            .engine
+            .session
+            .eval("gV result label")
+            .unwrap_or_default();
         if !result.is_empty() {
             break;
         }
@@ -92,7 +101,10 @@ fn main() {
             break;
         }
     }
-    println!("info after bad input: {}", fe.engine.session.eval("gV info label").unwrap());
+    println!(
+        "info after bad input: {}",
+        fe.engine.session.eval("gV info label").unwrap()
+    );
 
     // Quit via the button.
     {

@@ -41,9 +41,7 @@ fn show_dir(session: &mut WafeSession, dir: &std::path::Path) {
 }
 
 fn main() {
-    let start = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| ".".to_string());
+    let start = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
     let mut dir = std::fs::canonicalize(start).expect("start directory");
 
     let mut session = WafeSession::new(Flavor::Athena);
@@ -85,7 +83,9 @@ fn main() {
         match first_dir {
             Some(pos) => {
                 let idx = pos + 1;
-                session.eval(&format!("listHighlight dirlist {idx}")).unwrap();
+                session
+                    .eval(&format!("listHighlight dirlist {idx}"))
+                    .unwrap();
                 // Fire the List's Notify action directly (a click would
                 // need pixel coordinates; Notify is the same code path).
                 let mut app = session.app.borrow_mut();

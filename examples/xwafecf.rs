@@ -7,10 +7,22 @@
 use wafe::core::{Flavor, WafeSession};
 
 const CARDS: &[(&str, &str)] = &[
-    ("neumann", "Gustaf Neumann\nVienna University of Economics\nneumann@wu-wien.ac.at"),
-    ("nusser", "Stefan Nusser\nVienna University of Economics\nnusser@wu-wien.ac.at"),
-    ("wafe", "Wafe 0.93\nftp.wu-wien.ac.at:pub/src/X11/wafe\n(137.208.3.4)"),
-    ("tcl", "Tcl - Tool command language\nJohn K. Ousterhout\nUC Berkeley"),
+    (
+        "neumann",
+        "Gustaf Neumann\nVienna University of Economics\nneumann@wu-wien.ac.at",
+    ),
+    (
+        "nusser",
+        "Stefan Nusser\nVienna University of Economics\nnusser@wu-wien.ac.at",
+    ),
+    (
+        "wafe",
+        "Wafe 0.93\nftp.wu-wien.ac.at:pub/src/X11/wafe\n(137.208.3.4)",
+    ),
+    (
+        "tcl",
+        "Tcl - Tool command language\nJohn K. Ousterhout\nUC Berkeley",
+    ),
 ];
 
 fn main() {
@@ -54,27 +66,41 @@ fn main() {
     }
 
     // The lookup dialog (a transient shell with a Dialog inside).
-    session.eval("transientShell dlgshell topLevel x 400 y 200").unwrap();
+    session
+        .eval("transientShell dlgshell topLevel x 400 y 200")
+        .unwrap();
     // A non-empty `value` makes the Dialog grow its editable value field
     // (Xaw semantics: NULL means "no value area"); clear it afterwards.
     session
         .eval("dialog dlg dlgshell label {Lookup card:} value {x}")
         .unwrap();
     session.eval("sV dlg.value string {}").unwrap();
-    session.eval("dialogAddButton dlg ok {echo lookup-ok}").unwrap();
-    session.eval("dialogAddButton dlg cancel {popdown dlgshell}").unwrap();
-    session.eval("callback lookup callback exclusive dlgshell").unwrap();
+    session
+        .eval("dialogAddButton dlg ok {echo lookup-ok}")
+        .unwrap();
+    session
+        .eval("dialogAddButton dlg cancel {popdown dlgshell}")
+        .unwrap();
+    session
+        .eval("callback lookup callback exclusive dlgshell")
+        .unwrap();
     wafe::click_widget(&mut session, "lookup");
     let out = session.take_output();
     assert_eq!(out.trim(), "lookup");
-    assert!(session.app.borrow().is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
+    assert!(session
+        .app
+        .borrow()
+        .is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
     // Type a name into the dialog's value field and confirm.
     wafe::type_into_widget(&mut session, "dlg.value", "tcl");
     let typed = session.eval("dialogGetValueString dlg").unwrap();
     println!("dialog value typed: {typed}");
     assert_eq!(typed, "tcl");
     wafe::click_widget(&mut session, "dlg.cancel");
-    assert!(!session.app.borrow().is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
+    assert!(!session
+        .app
+        .borrow()
+        .is_popped_up(session.app.borrow().lookup("dlgshell").unwrap()));
 
     println!("\n--- final card filer ---");
     println!("{}", session.eval("snapshot 0 0 440 220").unwrap());

@@ -96,6 +96,9 @@ fn main() {
     println!("README retrieved:\n---");
     println!("{}", fe.engine.session.eval("gV content string").unwrap());
     println!("---");
-    println!("\n{}", fe.engine.session.eval("snapshot 0 0 320 240").unwrap());
+    println!(
+        "\n{}",
+        fe.engine.session.eval("snapshot 0 0 320 240").unwrap()
+    );
     fe.kill();
 }

@@ -97,6 +97,9 @@ fn main() {
     println!("back at:   {}", title(&fe));
 
     println!("\n--- browser window ---");
-    println!("{}", fe.engine.session.eval("snapshot 0 0 300 260").unwrap());
+    println!(
+        "{}",
+        fe.engine.session.eval("snapshot 0 0 300 260").unwrap()
+    );
     fe.kill();
 }

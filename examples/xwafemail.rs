@@ -41,11 +41,18 @@ const MAILS: &[Mail] = &[
 fn show_mail(session: &mut WafeSession, idx: usize) {
     let m = &MAILS[idx];
     session
-        .eval(&format!("sV fromlabel label {{From: {} — {}}}", m.from, m.subject))
+        .eval(&format!(
+            "sV fromlabel label {{From: {} — {}}}",
+            m.from, m.subject
+        ))
         .unwrap();
-    session.eval(&format!("sV body string {{{}}}", m.body)).unwrap();
+    session
+        .eval(&format!("sV body string {{{}}}", m.body))
+        .unwrap();
     // The face: an inline XPM fed through the extended pixmap converter.
-    session.eval(&format!("sV face bitmap {{{}}}", m.face)).unwrap();
+    session
+        .eval(&format!("sV face bitmap {{{}}}", m.face))
+        .unwrap();
 }
 
 fn main() {

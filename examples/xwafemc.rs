@@ -15,7 +15,11 @@ struct Question {
 const QUESTIONS: &[Question] = &[
     Question {
         text: "Wafe stands for…",
-        choices: ["Widget[Athena]FrontEnd", "Window Frame Engine", "Wide Area FE"],
+        choices: [
+            "Widget[Athena]FrontEnd",
+            "Window Frame Engine",
+            "Wide Area FE",
+        ],
         correct: 0,
     },
     Question {
@@ -85,7 +89,10 @@ fn main() {
         }
     }
     session
-        .eval(&format!("sV score label {{Score: {score}/{}}}", QUESTIONS.len()))
+        .eval(&format!(
+            "sV score label {{Score: {score}/{}}}",
+            QUESTIONS.len()
+        ))
         .unwrap();
     println!("{}", session.eval("snapshot 0 0 500 200").unwrap());
     println!("score: {score}/{}", QUESTIONS.len());

@@ -69,20 +69,21 @@ fn main() {
         for line in out.lines() {
             if let Some(prefix) = line.strip_prefix("complete ") {
                 let full = complete(prefix.trim());
-                session.eval(&format!("sV query string {{{full}}}")).unwrap();
+                session
+                    .eval(&format!("sV query string {{{full}}}"))
+                    .unwrap();
                 // Put the cursor at the end, like a completing editor.
                 session
-                    .eval(&format!(
-                        "sV query insertPosition {}",
-                        full.chars().count()
-                    ))
+                    .eval(&format!("sV query insertPosition {}", full.chars().count()))
                     .unwrap();
             } else if let Some(name) = line.strip_prefix("lookup ") {
                 let answer = match lookup(name.trim()) {
                     Some(tel) => format!("{}: {tel}", name.trim()),
                     None => format!("{}: not found", name.trim()),
                 };
-                session.eval(&format!("sV number label {{{answer}}}")).unwrap();
+                session
+                    .eval(&format!("sV number label {{{answer}}}"))
+                    .unwrap();
             }
         }
     };

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline CI gate: formatting, release build, full test suite.
+# Everything runs with --offline — the workspace has no external
+# dependencies by design (see docs/eval-cache.md and crates/wafe-prop).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "CI OK"

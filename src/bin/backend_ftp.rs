@@ -16,9 +16,15 @@ const MASS_FD: i32 = 5;
 
 fn files() -> Vec<(&'static str, String)> {
     vec![
-        ("README", "Wafe - a widget frontend.\nSee the USENIX 1993 paper.\n".into()),
+        (
+            "README",
+            "Wafe - a widget frontend.\nSee the USENIX 1993 paper.\n".into(),
+        ),
         ("wafe-0.93.tar", "tar-archive-bytes ".repeat(500)),
-        ("CHANGES", "0.93: Motif version under development.\n0.92: first announce.\n".into()),
+        (
+            "CHANGES",
+            "0.93: Motif version under development.\n0.92: first announce.\n".into(),
+        ),
     ]
 }
 

@@ -131,7 +131,11 @@ fn run_frontend(program: &str, args: Vec<String>, flavor: Flavor, split: &wafe_c
     load_app_defaults(&mut fe.engine.session);
     // InitCom: "the resource InitCom is provided, which can be specified
     // in a resource file or by using the -xrm command line option".
-    let init_com = fe.engine.session.eval("gV topLevel initCom").unwrap_or_default();
+    let init_com = fe
+        .engine
+        .session
+        .eval("gV topLevel initCom")
+        .unwrap_or_default();
     if !init_com.is_empty() {
         let _ = fe.send_to_app(&init_com);
     }

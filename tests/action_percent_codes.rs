@@ -9,7 +9,8 @@ use wafe::core::{Flavor, WafeSession};
 /// percent code for the given event binding.
 fn session_with_binding(binding: &str) -> WafeSession {
     let mut s = WafeSession::new(Flavor::Athena);
-    s.eval("label probe topLevel width 120 height 60 label probe").unwrap();
+    s.eval("label probe topLevel width 120 height 60 label probe")
+        .unwrap();
     s.eval(&format!(
         "action probe override {{{binding}: exec(set captured {{t=%t w=%w b=%b x=%x y=%y X=%X Y=%Y a=%a k=%k s=%s}})}}"
     ))
@@ -160,7 +161,8 @@ fn paper_exact_xev_output_shape() {
     // keycode w w / keycode Shift_L / keycode ! exclam.
     let mut s = WafeSession::new(Flavor::Athena);
     s.eval("label xev topLevel width 100 height 40").unwrap();
-    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}").unwrap();
+    s.eval("action xev override {<KeyPress>: exec(echo %k %a %s)}")
+        .unwrap();
     s.eval("realize").unwrap();
     {
         let mut app = s.app.borrow_mut();

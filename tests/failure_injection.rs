@@ -54,7 +54,10 @@ fn backend_emits_garbage_commands() {
     }
     // The bad command produced a protocol error, not a dead frontend.
     let errors = fe.engine.take_errors();
-    assert!(errors.iter().any(|e| e.contains("no_such_command")), "{errors:?}");
+    assert!(
+        errors.iter().any(|e| e.contains("no_such_command")),
+        "{errors:?}"
+    );
     assert_eq!(fe.engine.session.eval("gV l label").unwrap(), "survived");
     fe.kill();
 }
@@ -74,7 +77,10 @@ fn backend_emits_binary_garbage() {
             break;
         }
     }
-    assert!(fe.engine.session.interp.var_exists("done"), "binary noise must not kill the loop");
+    assert!(
+        fe.engine.session.interp.var_exists("done"),
+        "binary noise must not kill the loop"
+    );
     fe.kill();
 }
 
@@ -94,8 +100,12 @@ fn callback_script_errors_become_warnings() {
     // A callback whose script is broken must not poison the event loop.
     let mut engine = ProtocolEngine::new(Flavor::Athena);
     engine.handle_line("%form f topLevel").unwrap();
-    engine.handle_line("%command b f label go callback {nosuchcmd}").unwrap();
-    engine.handle_line("%command c f label go2 fromHoriz b callback {echo fine}").unwrap();
+    engine
+        .handle_line("%command b f label go callback {nosuchcmd}")
+        .unwrap();
+    engine
+        .handle_line("%command c f label go2 fromHoriz b callback {echo fine}")
+        .unwrap();
     engine.handle_line("%realize").unwrap();
     let _ = engine.take_app_lines();
     for name in ["b", "c"] {
@@ -108,13 +118,19 @@ fn callback_script_errors_become_warnings() {
     // The good callback still ran.
     assert_eq!(engine.take_app_lines(), vec!["fine"]);
     let warnings = engine.session.app.borrow_mut().take_warnings();
-    assert!(warnings.iter().any(|w| w.contains("nosuchcmd")), "{warnings:?}");
+    assert!(
+        warnings.iter().any(|w| w.contains("nosuchcmd")),
+        "{warnings:?}"
+    );
 }
 
 #[test]
 fn nonexistent_backend_program() {
     let result = Frontend::spawn(FrontendConfig::new("/no/such/program/anywhere"));
-    assert!(result.is_err(), "spawning a missing backend must fail cleanly");
+    assert!(
+        result.is_err(),
+        "spawning a missing backend must fail cleanly"
+    );
 }
 
 #[test]

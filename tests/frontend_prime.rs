@@ -127,7 +127,9 @@ fn click_ahead_with_real_backend() {
         &mut fe,
         |fe| {
             let app = fe.engine.session.app.borrow();
-            app.lookup("input").map(|w| app.is_realized(w)).unwrap_or(false)
+            app.lookup("input")
+                .map(|w| app.is_realized(w))
+                .unwrap_or(false)
         },
         10
     ));
@@ -165,7 +167,9 @@ fn gui_stays_live_while_backend_busy() {
         &mut fe,
         |fe| {
             let app = fe.engine.session.app.borrow();
-            app.lookup("input").map(|w| app.is_realized(w)).unwrap_or(false)
+            app.lookup("input")
+                .map(|w| app.is_realized(w))
+                .unwrap_or(false)
         },
         10
     ));

@@ -7,7 +7,8 @@ fn setup() -> WafeSession {
     let mut s = WafeSession::new(Flavor::Athena);
     s.eval("form f topLevel").unwrap();
     s.eval("label confirmLab f label {}").unwrap();
-    s.eval("list chooseLst f fromVert confirmLab list {red,green,blue}").unwrap();
+    s.eval("list chooseLst f fromVert confirmLab list {red,green,blue}")
+        .unwrap();
     s.eval("realize").unwrap();
     s
 }
@@ -28,7 +29,8 @@ fn click_row(s: &mut WafeSession, row: usize) {
 #[test]
 fn all_three_codes_substitute() {
     let mut s = setup();
-    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}").unwrap();
+    s.eval("sV chooseLst callback {echo w=%w i=%i s=%s}")
+        .unwrap();
     click_row(&mut s, 2);
     assert_eq!(s.take_output(), "w=chooseLst i=2 s=blue\n");
 }
@@ -37,7 +39,8 @@ fn all_three_codes_substitute() {
 fn paper_confirm_label_example() {
     // sV chooseLst callback "sV confirmLab label %s".
     let mut s = setup();
-    s.eval("sV chooseLst callback {sV confirmLab label %s}").unwrap();
+    s.eval("sV chooseLst callback {sV confirmLab label %s}")
+        .unwrap();
     click_row(&mut s, 0);
     assert_eq!(s.eval("gV confirmLab label").unwrap(), "red");
     click_row(&mut s, 1);

@@ -34,16 +34,24 @@ fn snapshots_are_per_display() {
     s.eval("realize").unwrap();
     let snap0 = s.eval("snapshot 0 0 300 60 0").unwrap();
     let snap1 = s.eval("snapshot 0 0 300 60 1").unwrap();
-    assert!(snap0.contains("HOMETEXT") && !snap0.contains("AWAYTEXT"), "{snap0}");
-    assert!(snap1.contains("AWAYTEXT") && !snap1.contains("HOMETEXT"), "{snap1}");
+    assert!(
+        snap0.contains("HOMETEXT") && !snap0.contains("AWAYTEXT"),
+        "{snap0}"
+    );
+    assert!(
+        snap1.contains("AWAYTEXT") && !snap1.contains("HOMETEXT"),
+        "{snap1}"
+    );
 }
 
 #[test]
 fn events_do_not_cross_displays() {
     let mut s = WafeSession::new(Flavor::Athena);
-    s.eval("command here topLevel label here callback {echo from-here}").unwrap();
+    s.eval("command here topLevel label here callback {echo from-here}")
+        .unwrap();
     s.eval("applicationShell top2 other:0").unwrap();
-    s.eval("command there top2 label there callback {echo from-there}").unwrap();
+    s.eval("command there top2 label there callback {echo from-there}")
+        .unwrap();
     s.eval("realize").unwrap();
     // Click at the `here` button's location — but on display 1.
     {
@@ -54,7 +62,10 @@ fn events_do_not_cross_displays() {
     }
     s.pump();
     let out = s.take_output();
-    assert!(!out.contains("from-here"), "click on display 1 must not hit display 0: {out}");
+    assert!(
+        !out.contains("from-here"),
+        "click on display 1 must not hit display 0: {out}"
+    );
 }
 
 #[test]

@@ -23,7 +23,8 @@ fn setup() -> WafeSession {
 
 fn fire(s: &mut WafeSession, kind: &str) {
     s.eval(&format!("sV b callback {{}}")).unwrap();
-    s.eval(&format!("callback b callback {kind} popup")).unwrap();
+    s.eval(&format!("callback b callback {kind} popup"))
+        .unwrap();
     wafe::click_widget(s, "b");
 }
 
@@ -76,7 +77,10 @@ fn row_nonexclusive_realizes_with_spring_loaded_grab() {
         app.displays[0].inject_click(1000, 700, 1);
     }
     s.pump();
-    assert_eq!(s.app.borrow().displays[0].blocked_event_count(), blocked_before);
+    assert_eq!(
+        s.app.borrow().displays[0].blocked_event_count(),
+        blocked_before
+    );
 }
 
 #[test]

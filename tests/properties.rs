@@ -1,91 +1,138 @@
 //! Property-based tests across the stack: Tcl list quoting, glob
 //! matching, expression arithmetic, Xrm precedence, widget-tree and
 //! memory-accounting invariants.
+//!
+//! These run on the vendored `wafe-prop` generator (deterministic
+//! xorshift cases) instead of an external property-testing framework,
+//! so the suite builds and runs fully offline. Failure cases that the
+//! old framework discovered are baked in below as fixed regression
+//! tests.
 
-use proptest::prelude::*;
+use wafe_prop::cases;
 
 use wafe::core::{Flavor, WafeSession};
 use wafe::tcl::glob::glob_match;
 use wafe::tcl::{list_join, parse_list, Interp};
 
-proptest! {
-    // Cases involving a full session (realize + framebuffer flush per
-    // event) are expensive in debug builds; 64 cases keep the invariants
-    // well-exercised and the suite quick.
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn chars(s: &str) -> Vec<char> {
+    s.chars().collect()
+}
 
-    /// Any vector of arbitrary strings survives a list join/parse
-    /// round-trip (Tcl_Merge/Tcl_SplitList are inverses).
-    #[test]
-    fn list_roundtrip(elems in proptest::collection::vec(".{0,16}", 0..8)) {
+/// Regression: discovered by the original property-test framework
+/// (shrunk to `["{\u{b}"]`) — an unbalanced open brace followed by a
+/// control character must survive the join/parse round-trip.
+#[test]
+fn list_roundtrip_regression_unbalanced_brace() {
+    let elems = vec!["{\u{b}".to_string()];
+    let joined = list_join(&elems);
+    let parsed = parse_list(&joined).unwrap();
+    assert_eq!(parsed, elems);
+}
+
+/// Any vector of arbitrary strings survives a list join/parse
+/// round-trip (Tcl_Merge/Tcl_SplitList are inverses).
+#[test]
+fn list_roundtrip() {
+    cases(64, |rng| {
+        let elems = rng.vec(0, 8, |r| r.unicode_string(0, 17));
         let joined = list_join(&elems);
         let parsed = parse_list(&joined).unwrap();
-        prop_assert_eq!(parsed, elems);
-    }
+        assert_eq!(parsed, elems);
+    });
+}
 
-    /// `lindex` after `list` recovers each element.
-    #[test]
-    fn lindex_recovers_elements(elems in proptest::collection::vec("[a-zA-Z0-9 {}$\\[\\]\"\\\\]{0,10}", 1..6)) {
+/// `lindex` after `list` recovers each element.
+#[test]
+fn lindex_recovers_elements() {
+    let alphabet =
+        chars("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 {}$[]\"\\");
+    cases(64, |rng| {
+        let elems = rng.vec(1, 6, |r| {
+            let len = r.range(0, 11);
+            r.string_from(&alphabet, len)
+        });
         let mut i = Interp::new();
         let joined = list_join(&elems);
         for (k, e) in elems.iter().enumerate() {
-            let got = i.invoke(&["lindex".to_string(), joined.clone(), k.to_string()]).unwrap();
-            prop_assert_eq!(&got, e);
+            let got = i
+                .invoke(&["lindex".to_string(), joined.clone(), k.to_string()])
+                .unwrap();
+            assert_eq!(&got, e);
         }
-    }
+    });
+}
 
-    /// A pattern equal to the string (with globs escaped) always matches.
-    #[test]
-    fn glob_identity(s in "[a-zA-Z0-9_. -]{0,24}") {
-        prop_assert!(glob_match(&s, &s));
-        prop_assert!(glob_match("*", &s));
+/// A pattern equal to the string (with globs escaped) always matches.
+#[test]
+fn glob_identity() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_. -");
+    cases(64, |rng| {
+        let len = rng.range(0, 25);
+        let s = rng.string_from(&alphabet, len);
+        assert!(glob_match(&s, &s));
+        assert!(glob_match("*", &s));
         let prefix_pattern = format!("{s}*");
         let suffix_pattern = format!("*{s}");
-        prop_assert!(glob_match(&prefix_pattern, &s));
-        prop_assert!(glob_match(&suffix_pattern, &s));
-    }
+        assert!(glob_match(&prefix_pattern, &s));
+        assert!(glob_match(&suffix_pattern, &s));
+    });
+}
 
-    /// Integer expression arithmetic agrees with Rust's.
-    #[test]
-    fn expr_arithmetic_agrees(a in -10000i64..10000, b in -10000i64..10000) {
+/// Integer expression arithmetic agrees with Rust's.
+#[test]
+fn expr_arithmetic_agrees() {
+    cases(64, |rng| {
+        let a = rng.range_i64(-10000, 10000);
+        let b = rng.range_i64(-10000, 10000);
         let mut i = Interp::new();
         let sum = i.eval(&format!("expr {{{a} + {b}}}")).unwrap();
-        prop_assert_eq!(sum, (a + b).to_string());
+        assert_eq!(sum, (a + b).to_string());
         let prod = i.eval(&format!("expr {{{a} * {b}}}")).unwrap();
-        prop_assert_eq!(prod, (a * b).to_string());
+        assert_eq!(prod, (a * b).to_string());
         if b != 0 {
             let q = i.eval(&format!("expr {{{a} / {b}}}")).unwrap();
-            prop_assert_eq!(q, (a.wrapping_div(b)).to_string());
+            assert_eq!(q, (a.wrapping_div(b)).to_string());
         }
         let cmp = i.eval(&format!("expr {{{a} < {b}}}")).unwrap();
-        prop_assert_eq!(cmp, if a < b { "1" } else { "0" });
-    }
+        assert_eq!(cmp, if a < b { "1" } else { "0" });
+    });
+}
 
-    /// set/get round-trips arbitrary variable content.
-    #[test]
-    fn variable_roundtrip(value in ".{0,64}") {
+/// set/get round-trips arbitrary variable content.
+#[test]
+fn variable_roundtrip() {
+    cases(64, |rng| {
+        let value = rng.unicode_string(0, 65);
         let mut i = Interp::new();
         i.set_var("v", &value).unwrap();
-        prop_assert_eq!(i.get_var("v").unwrap(), value);
-    }
+        assert_eq!(i.get_var("v").unwrap(), value);
+    });
+}
 
-    /// String resources round-trip through setValues/getValue
-    /// (brace-quoting arbitrary values through the Tcl layer).
-    #[test]
-    fn label_resource_roundtrip(text in "[a-zA-Z0-9 _.,:!?-]{0,32}") {
+/// String resources round-trip through setValues/getValue
+/// (brace-quoting arbitrary values through the Tcl layer).
+#[test]
+fn label_resource_roundtrip() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.,:!?-");
+    cases(64, |rng| {
+        let len = rng.range(0, 33);
+        let text = rng.string_from(&alphabet, len);
         let mut s = WafeSession::new(Flavor::Athena);
         s.eval("label l topLevel").unwrap();
-        let trimmed = text.trim().to_string();
         s.eval(&format!("sV l label {{{text}}}")).unwrap();
         let got = s.eval("gV l label").unwrap();
         // The Tcl layer preserves the braced value verbatim.
-        prop_assert_eq!(got, if trimmed.is_empty() { text.clone() } else { text.clone() });
-    }
+        assert_eq!(got, text);
+    });
+}
 
-    /// Creating and destroying any number of widgets always returns the
-    /// memory accounting to its starting point.
-    #[test]
-    fn memory_balance(n in 1usize..12, with_resources in proptest::bool::ANY) {
+/// Creating and destroying any number of widgets always returns the
+/// memory accounting to its starting point.
+#[test]
+fn memory_balance() {
+    cases(64, |rng| {
+        let n = rng.range(1, 12);
+        let with_resources = rng.chance();
         let mut s = WafeSession::new(Flavor::Athena);
         let before = s.app.borrow().memstats.current();
         s.eval("form f topLevel").unwrap();
@@ -98,59 +145,74 @@ proptest! {
             s.eval(&format!("label w{k} f{extra}")).unwrap();
         }
         s.eval("destroyWidget f").unwrap();
-        prop_assert_eq!(s.app.borrow().memstats.current(), before);
-    }
+        assert_eq!(s.app.borrow().memstats.current(), before);
+    });
+}
 
-    /// Xrm: the most recently merged loose binding wins for any widget
-    /// name.
-    #[test]
-    fn xrm_latest_wins(name in "[a-z][a-z0-9]{0,8}") {
+/// Xrm: the most recently merged loose binding wins for any widget
+/// name.
+#[test]
+fn xrm_latest_wins() {
+    let first = chars("abcdefghijklmnopqrstuvwxyz");
+    let rest = chars("abcdefghijklmnopqrstuvwxyz0123456789");
+    cases(64, |rng| {
+        let len = rng.range(0, 9);
+        let name = format!("{}{}", rng.pick(&first), rng.string_from(&rest, len));
         let mut s = WafeSession::new(Flavor::Athena);
         s.eval("mergeResources *foreground red").unwrap();
         s.eval("mergeResources *foreground blue").unwrap();
         s.eval(&format!("label {name} topLevel")).unwrap();
-        prop_assert_eq!(s.eval(&format!("gV {name} foreground")).unwrap(), "#0000ff");
-    }
-
-    /// Typing arbitrary printable text into an AsciiText widget stores
-    /// exactly that text.
-    #[test]
-    fn text_widget_types_exactly(text in "[a-zA-Z0-9 .,;:!?()-]{0,24}") {
-        let mut s = WafeSession::new(Flavor::Athena);
-        s.eval("asciiText t topLevel editType edit width 400").unwrap();
-        s.eval("realize").unwrap();
-        wafe::type_into_widget(&mut s, "t", &text);
-        prop_assert_eq!(s.eval("gV t string").unwrap(), text);
-    }
+        assert_eq!(s.eval(&format!("gV {name} foreground")).unwrap(), "#0000ff");
+    });
 }
 
-proptest! {
-    // Session construction dominates here; fewer cases keep the suite
-    // fast without losing the invariant.
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Typing arbitrary printable text into an AsciiText widget stores
+/// exactly that text.
+#[test]
+fn text_widget_types_exactly() {
+    let alphabet =
+        chars("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:!?()-");
+    cases(64, |rng| {
+        let len = rng.range(0, 25);
+        let text = rng.string_from(&alphabet, len);
+        let mut s = WafeSession::new(Flavor::Athena);
+        s.eval("asciiText t topLevel editType edit width 400")
+            .unwrap();
+        s.eval("realize").unwrap();
+        wafe::type_into_widget(&mut s, "t", &text);
+        assert_eq!(s.eval("gV t string").unwrap(), text);
+    });
+}
 
-    /// Percent-code substitution is length-sane and idempotent on
-    /// scripts without percent signs.
-    #[test]
-    fn percent_passthrough(script in "[a-zA-Z0-9 {}$\\[\\]]{0,40}") {
-        prop_assume!(!script.contains('%'));
-        let e = wafe::xproto::Event::new(
-            wafe::xproto::EventKind::KeyPress,
-            wafe::xproto::WindowId(1),
-        );
+/// Percent-code substitution is length-sane and idempotent on
+/// scripts without percent signs.
+#[test]
+fn percent_passthrough() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 {}$[]");
+    cases(32, |rng| {
+        let len = rng.range(0, 41);
+        let script = rng.string_from(&alphabet, len);
+        let e =
+            wafe::xproto::Event::new(wafe::xproto::EventKind::KeyPress, wafe::xproto::WindowId(1));
         let out = wafe::core::percent::substitute_action(&script, "w", &e);
-        prop_assert_eq!(out, script);
-    }
+        assert_eq!(out, script);
+    });
+}
 
-    /// Any sequence of Wafe commands over a fixed vocabulary leaves the
-    /// session answering queries (no poisoned state).
-    #[test]
-    fn command_soup_keeps_session_alive(ops in proptest::collection::vec(0u8..6, 1..15)) {
+/// Any sequence of Wafe commands over a fixed vocabulary leaves the
+/// session answering queries (no poisoned state).
+#[test]
+fn command_soup_keeps_session_alive() {
+    cases(32, |rng| {
+        let ops = rng.vec(1, 15, |r| r.below(6) as u8);
         let mut s = wafe::core::WafeSession::new(wafe::core::Flavor::Athena);
         let mut made = 0usize;
         for (k, op) in ops.iter().enumerate() {
             let _ = match op {
-                0 => { made += 1; s.eval(&format!("label w{k} topLevel label x")) }
+                0 => {
+                    made += 1;
+                    s.eval(&format!("label w{k} topLevel label x"))
+                }
                 1 => s.eval(&format!("sV w{} label changed", k.saturating_sub(1))),
                 2 => s.eval("realize"),
                 3 => s.eval(&format!("destroyWidget w{}", k.saturating_sub(1))),
@@ -160,7 +222,7 @@ proptest! {
         }
         let _ = made;
         // The session still answers basic queries.
-        prop_assert_eq!(s.eval("expr 1+1").unwrap(), "2");
-        prop_assert!(s.app.borrow().lookup("topLevel").is_some());
-    }
+        assert_eq!(s.eval("expr 1+1").unwrap(), "2");
+        assert!(s.app.borrow().lookup("topLevel").is_some());
+    });
 }

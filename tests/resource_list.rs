@@ -34,7 +34,10 @@ fn paper_printed_prefix_matches() {
         "colormap",
         "background",
     ] {
-        assert!(out.split_whitespace().any(|w| w == name), "missing {name} in {out}");
+        assert!(
+            out.split_whitespace().any(|w| w == name),
+            "missing {name} in {out}"
+        );
     }
     assert!(out.starts_with("Resources: destroyCallback"));
 }
@@ -59,7 +62,8 @@ fn counts_differ_by_class_as_expected() {
 fn resource_list_is_class_wide_not_per_instance() {
     let mut s = WafeSession::new(Flavor::Athena);
     s.eval("label a topLevel label short").unwrap();
-    s.eval("label b topLevel label {a much longer label value}").unwrap();
+    s.eval("label b topLevel label {a much longer label value}")
+        .unwrap();
     let na = s.eval("getResourceList a v").unwrap();
     let nb = s.eval("getResourceList b v").unwrap();
     assert_eq!(na, nb);
