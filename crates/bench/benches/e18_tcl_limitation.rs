@@ -31,7 +31,7 @@ fn factor_rust(mut n: u64) -> String {
     let mut result: Vec<u64> = Vec::new();
     let mut d = 2u64;
     while d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             result.insert(0, d);
             n /= d;
         }

@@ -1,0 +1,190 @@
+//! E20 — what the telemetry layer costs.
+//!
+//! The telemetry layer claims to be near-free when disabled: every
+//! recording entry point is one load of the enabled flag, and `timer()`
+//! does not even read the clock. This experiment checks that claim on the
+//! E19 loop-heavy workload (`factor 3599` — the divisor loop shrinks `n`
+//! as it factors, so one call is a few hundred instrumented evals and
+//! command dispatches):
+//!
+//! * **disabled** — the default: flag checks compiled in, recording off;
+//! * **enabled** — every eval and dispatch counted and its latency
+//!   recorded into a histogram.
+//!
+//! The enabled overhead is a direct A/B within one binary. The disabled
+//! overhead cannot be measured that way — an uninstrumented baseline
+//! would need a different build, and cross-binary deltas on a 30µs
+//! workload are dominated by codegen and scheduler noise (observed up to
+//! ±25% between bench binaries running *identical* interpreter code). It
+//! is instead computed from first principles within this binary: the
+//! number of instrumentation sites executed per iteration (read from the
+//! enabled run's own counters) times the measured per-site cost of the
+//! disabled check, net of timing-loop overhead. The raw cross-binary
+//! delta against `BENCH_e19.json` is reported alongside for reference.
+//! Results go to `BENCH_e20.json`.
+
+use std::time::Duration;
+
+use bench::{criterion_group, criterion_main, measure_median, workspace_root, Criterion};
+use wafe_tcl::{Interp, Telemetry};
+
+const FACTOR_TCL: &str = "\
+proc factor {n} {\n\
+    set result {}\n\
+    for {set d 2} {$d <= $n} {incr d} {\n\
+        while {$n % $d == 0} {\n\
+            set result [linsert $result 0 $d]\n\
+            set n [expr {$n / $d}]\n\
+        }\n\
+    }\n\
+    return [join $result *]\n\
+}";
+
+fn loop_heavy(i: &mut Interp) -> String {
+    i.eval("factor 3599").unwrap()
+}
+
+fn interp(enabled: bool) -> Interp {
+    let mut i = Interp::new();
+    if enabled {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        i.set_telemetry(t);
+    }
+    i.eval(FACTOR_TCL).unwrap();
+    i
+}
+
+/// Median ns/iter; best of two passes to shave scheduler noise.
+fn measure(i: &mut Interp) -> f64 {
+    let warm_up = Duration::from_millis(200);
+    let budget = Duration::from_millis(1200);
+    let a = measure_median(warm_up, budget, 11, || loop_heavy(i));
+    let b = measure_median(warm_up, budget, 11, || loop_heavy(i));
+    a.min(b)
+}
+
+/// Instrumentation sites executed by one `factor 3599`: evals plus
+/// command dispatches, counted by the telemetry layer itself.
+fn sites_per_iter() -> u64 {
+    let mut i = interp(true);
+    let before = {
+        let s = i.telemetry().snapshot();
+        s.counter("tcl.evals").unwrap_or(0) + s.counter("tcl.dispatches").unwrap_or(0)
+    };
+    loop_heavy(&mut i);
+    let after = {
+        let s = i.telemetry().snapshot();
+        s.counter("tcl.evals").unwrap_or(0) + s.counter("tcl.dispatches").unwrap_or(0)
+    };
+    after - before
+}
+
+/// `cached_ns_per_iter` of the loop-heavy workload from BENCH_e19.json,
+/// if a previous E19 run left one behind.
+fn e19_reference() -> Option<f64> {
+    let text = std::fs::read_to_string(workspace_root().join("BENCH_e19.json")).ok()?;
+    let at = text.find("loop_heavy_factor")?;
+    let rest = &text[at..];
+    let key = "\"cached_ns_per_iter\": ";
+    let start = rest.find(key)? + key.len();
+    let end = rest[start..].find([',', '}'])? + start;
+    rest[start..end].trim().parse().ok()
+}
+
+fn bench(c: &mut Criterion) {
+    bench::banner("E20", "telemetry overhead on the E19 loop-heavy workload");
+
+    let mut disabled_i = interp(false);
+    let mut enabled_i = interp(true);
+    // Telemetry must be invisible to results.
+    assert_eq!(loop_heavy(&mut disabled_i), loop_heavy(&mut enabled_i));
+
+    let disabled_ns = measure(&mut disabled_i);
+    let enabled_ns = measure(&mut enabled_i);
+    let enabled_pct = (enabled_ns / disabled_ns.max(1.0) - 1.0) * 100.0;
+
+    // The enabled run really recorded: one counter bump and one histogram
+    // sample per eval, hundreds per factor call.
+    let snap = enabled_i.telemetry().snapshot();
+    let evals = snap.counter("tcl.evals").unwrap_or(0);
+    assert!(evals > 10_000, "enabled run recorded only {evals} evals");
+    assert!(snap.histogram("tcl.eval").is_some());
+
+    // Raw primitive costs (ns per call). The no-op closure carries the
+    // timing-loop overhead; the disabled site cost is what remains.
+    let off = Telemetry::new();
+    let on = Telemetry::new();
+    on.set_enabled(true);
+    let warm = Duration::from_millis(100);
+    let budget = Duration::from_millis(400);
+    let noop_ns = measure_median(warm, budget, 11, || std::hint::black_box(0u64));
+    let count_off_ns = measure_median(warm, budget, 11, || off.count("bench.counter"));
+    let count_on_ns = measure_median(warm, budget, 11, || on.count("bench.counter"));
+    let observe_on_ns = measure_median(warm, budget, 11, || {
+        on.observe_since("bench.hist", on.timer())
+    });
+    let site_off_ns = (count_off_ns - noop_ns).max(0.0);
+
+    // Disabled overhead on the macro workload: sites × per-site cost.
+    let sites = sites_per_iter();
+    let disabled_pct = sites as f64 * site_off_ns / disabled_ns.max(1.0) * 100.0;
+
+    // The noisy cross-binary comparison, for reference only.
+    let reference_ns = e19_reference().unwrap_or(disabled_ns);
+    let cross_binary_pct = (disabled_ns / reference_ns.max(1.0) - 1.0) * 100.0;
+
+    bench::row("telemetry disabled", format!("{disabled_ns:.0} ns/iter"));
+    bench::row("telemetry enabled", format!("{enabled_ns:.0} ns/iter"));
+    bench::row("enabled overhead", format!("{enabled_pct:+.1}%"));
+    bench::row("instrumentation sites / iter", sites);
+    bench::row("disabled site cost", format!("{site_off_ns:.2} ns"));
+    bench::row("disabled overhead", format!("{disabled_pct:+.2}%"));
+    bench::row(
+        "vs E19 binary (cross-binary noise)",
+        format!("{cross_binary_pct:+.1}%"),
+    );
+    bench::row("count() disabled", format!("{count_off_ns:.1} ns"));
+    bench::row("count() enabled", format!("{count_on_ns:.1} ns"));
+    bench::row("timer()+observe enabled", format!("{observe_on_ns:.1} ns"));
+
+    let out = format!(
+        "{{\n  \"experiment\": \"e20_telemetry_overhead\",\n  \"workload\": \"e19_loop_heavy_factor\",\n  \
+         \"disabled_ns_per_iter\": {disabled_ns:.1},\n  \
+         \"enabled_ns_per_iter\": {enabled_ns:.1},\n  \
+         \"enabled_overhead_pct\": {enabled_pct:.2},\n  \
+         \"instrumentation_sites_per_iter\": {sites},\n  \
+         \"disabled_site_ns\": {site_off_ns:.3},\n  \
+         \"disabled_overhead_pct\": {disabled_pct:.2},\n  \
+         \"e19_reference_ns_per_iter\": {reference_ns:.1},\n  \
+         \"cross_binary_delta_pct\": {cross_binary_pct:.2},\n  \
+         \"count_disabled_ns\": {count_off_ns:.2},\n  \
+         \"count_enabled_ns\": {count_on_ns:.2},\n  \
+         \"observe_enabled_ns\": {observe_on_ns:.2}\n}}\n"
+    );
+    let path = workspace_root().join("BENCH_e20.json");
+    std::fs::write(&path, out).expect("write BENCH_e20.json");
+    println!("  wrote {}", path.display());
+
+    assert!(
+        disabled_pct <= 5.0,
+        "acceptance: disabled telemetry must cost <=5% on the E19 workload, got {disabled_pct:+.2}%"
+    );
+
+    let mut group = c.benchmark_group("e20_telemetry_overhead");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1000));
+    group.sample_size(11);
+    group.bench_function("factor_3599_telemetry_disabled", |b| {
+        let mut i = interp(false);
+        b.iter(|| loop_heavy(&mut i));
+    });
+    group.bench_function("factor_3599_telemetry_enabled", |b| {
+        let mut i = interp(true);
+        b.iter(|| loop_heavy(&mut i));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

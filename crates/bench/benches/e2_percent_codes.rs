@@ -7,6 +7,10 @@ use wafe_xproto::{Event, EventKind, WindowId};
 
 use bench::banner;
 
+/// One row of the validity table: a percent code and the event classes
+/// it is defined for.
+type CodeValidity = (&'static str, fn(EventKind) -> bool);
+
 fn event(kind: EventKind) -> Event {
     let mut e = Event::new(kind, WindowId(1));
     e.button = 2;
@@ -40,7 +44,7 @@ fn regenerate_matrix() {
     }
     println!();
     // The paper's validity table, as (code, valid-event-classes).
-    let expectations: &[(&str, fn(EventKind) -> bool)] = &[
+    let expectations: &[CodeValidity] = &[
         ("%t", |_| true),
         ("%w", |_| true),
         ("%b", |k| {

@@ -30,12 +30,159 @@ pub fn register_handwritten(session: &mut WafeSession) {
     register_channel(session);
     register_widget_tree(session);
     register_stats(session);
+    register_telemetry(session);
+}
+
+/// `telemetry snapshot|journal ?n?|histogram name|reset|enable|disable|
+/// enabled` — the unified introspection surface across the interpreter,
+/// the toolkit and the pipe protocol (see `docs/telemetry.md`).
+fn register_telemetry(session: &mut WafeSession) {
+    let app_rc = session.app.clone();
+    session.register_handwritten_command("telemetry", move |interp, argv| {
+        if argv.len() < 2 {
+            return Err(wrong_num_args("telemetry option ?arg?"));
+        }
+        let tel = interp.telemetry().clone();
+        match argv[1].as_str() {
+            "snapshot" => {
+                if argv.len() != 2 {
+                    return Err(wrong_num_args("telemetry snapshot"));
+                }
+                let mut pairs: Vec<(String, String)> = Vec::new();
+                let snap = tel.snapshot();
+                for (k, v) in snap.counters {
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+                for (k, v) in snap.gauges {
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+                for (k, h) in snap.histograms {
+                    pairs.push((format!("{k}.count"), h.count.to_string()));
+                    pairs.push((format!("{k}.p50Ns"), h.p50_ns.to_string()));
+                    pairs.push((format!("{k}.p90Ns"), h.p90_ns.to_string()));
+                    pairs.push((format!("{k}.p99Ns"), h.p99_ns.to_string()));
+                }
+                // The PR-1 parse-cache counters, absorbed into the same
+                // snapshot (`interp cachestats` keeps working unchanged).
+                let cs = interp.cache_stats();
+                for (k, v) in [
+                    ("tcl.cache.scriptHits", cs.script_hits),
+                    ("tcl.cache.scriptMisses", cs.script_misses),
+                    ("tcl.cache.scriptEntries", cs.script_entries as u64),
+                    ("tcl.cache.scriptEvictions", cs.script_evictions),
+                    ("tcl.cache.exprHits", cs.expr_hits),
+                    ("tcl.cache.exprMisses", cs.expr_misses),
+                    ("tcl.cache.exprEntries", cs.expr_entries as u64),
+                    ("tcl.cache.exprEvictions", cs.expr_evictions),
+                    ("tcl.cache.limit", cs.limit as u64),
+                ] {
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+                // Memory accounting, read live (gauges, not counters —
+                // they describe current state even while disabled).
+                {
+                    let app = app_rc.borrow();
+                    let m = &app.memstats;
+                    for (k, v) in [
+                        ("xt.mem.current", m.current()),
+                        ("xt.mem.peak", m.peak()),
+                        ("xt.mem.allocs", m.alloc_count()),
+                        ("xt.mem.frees", m.free_count()),
+                        ("xt.mem.overfree", m.overfree_count()),
+                    ] {
+                        pairs.push((k.to_string(), v.to_string()));
+                    }
+                }
+                // Journal occupancy.
+                let (retained, total, capacity) = tel.journal_stats();
+                pairs.push(("trace.journal.retained".into(), retained.to_string()));
+                pairs.push(("trace.journal.total".into(), total.to_string()));
+                pairs.push(("trace.journal.capacity".into(), capacity.to_string()));
+                pairs.sort();
+                let words: Vec<String> = pairs.into_iter().flat_map(|(k, v)| [k, v]).collect();
+                Ok(wafe_tcl::list_join(&words))
+            }
+            "journal" => {
+                let n = match argv.len() {
+                    2 => usize::MAX,
+                    3 => argv[2].parse().map_err(|_| {
+                        TclError::Error(format!("expected integer but got \"{}\"", argv[2]))
+                    })?,
+                    _ => return Err(wrong_num_args("telemetry journal ?n?")),
+                };
+                let entries: Vec<String> = tel
+                    .journal_recent(n)
+                    .into_iter()
+                    .map(|e| {
+                        wafe_tcl::list_join(&[
+                            e.seq.to_string(),
+                            e.at_us.to_string(),
+                            e.kind.to_string(),
+                            e.detail,
+                        ])
+                    })
+                    .collect();
+                Ok(wafe_tcl::list_join(&entries))
+            }
+            "histogram" => {
+                if argv.len() != 3 {
+                    return Err(wrong_num_args("telemetry histogram name"));
+                }
+                let h = tel.histogram(&argv[2]).ok_or_else(|| {
+                    TclError::Error(format!("no histogram \"{}\"", argv[2]))
+                })?;
+                let words: Vec<String> = [
+                    ("count", h.count),
+                    ("minNs", h.min_ns),
+                    ("maxNs", h.max_ns),
+                    ("p50Ns", h.p50_ns),
+                    ("p90Ns", h.p90_ns),
+                    ("p99Ns", h.p99_ns),
+                    ("sumNs", h.sum_ns),
+                ]
+                .iter()
+                .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+                .collect();
+                Ok(wafe_tcl::list_join(&words))
+            }
+            "reset" => {
+                if argv.len() != 2 {
+                    return Err(wrong_num_args("telemetry reset"));
+                }
+                tel.reset();
+                Ok(String::new())
+            }
+            "enable" => {
+                if argv.len() != 2 {
+                    return Err(wrong_num_args("telemetry enable"));
+                }
+                tel.set_enabled(true);
+                Ok(String::new())
+            }
+            "disable" => {
+                if argv.len() != 2 {
+                    return Err(wrong_num_args("telemetry disable"));
+                }
+                tel.set_enabled(false);
+                Ok(String::new())
+            }
+            "enabled" => {
+                if argv.len() != 2 {
+                    return Err(wrong_num_args("telemetry enabled"));
+                }
+                Ok(if tel.enabled() { "1" } else { "0" }.into())
+            }
+            other => Err(TclError::Error(format!(
+                "bad option \"{other}\": must be snapshot, journal, histogram, reset, enable, disable, or enabled"
+            ))),
+        }
+    });
 }
 
 fn register_set_values(session: &mut WafeSession) {
     let app_rc = session.app.clone();
     let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
-        if argv.len() < 4 || (argv.len() - 2) % 2 != 0 {
+        if argv.len() < 4 || !(argv.len() - 2).is_multiple_of(2) {
             return Err(wrong_num_args(
                 "setValues widget resource value ?resource value ...?",
             ));
@@ -243,7 +390,7 @@ fn register_snapshot(session: &mut WafeSession) {
                     p(&argv[3])?.max(1) as u32,
                     p(&argv[4])?.max(1) as u32,
                 );
-                let di = argv.get(5).map(|s| p(s)).transpose()?.unwrap_or(0) as usize;
+                let di = argv.get(5).map(p).transpose()?.unwrap_or(0) as usize;
                 (rect, di)
             }
             _ => return Err(wrong_num_args("snapshot ?x y width height? ?display?")),

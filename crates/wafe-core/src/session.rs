@@ -13,6 +13,7 @@ use std::rc::Rc;
 
 use wafe_tcl::error::wrong_num_args;
 use wafe_tcl::{CmdResult, Interp, OutputSink, TclError};
+use wafe_trace::Telemetry;
 use wafe_xproto::GrabKind;
 use wafe_xt::app::HostCallKind;
 use wafe_xt::{XtApp, XtError};
@@ -89,13 +90,20 @@ pub struct WafeSession {
     pub comm_var: Rc<RefCell<Option<(String, usize, String)>>>,
     /// The fd number `getChannel` reports (-1 without a frontend).
     pub channel_fd: Rc<Cell<i64>>,
+    /// The telemetry store shared by every layer of this session
+    /// (interpreter, toolkit, pipe protocol). Enabled at construction
+    /// when `WAFE_TELEMETRY` is set; scripts toggle it with the
+    /// `telemetry enable|disable` command.
+    pub telemetry: Telemetry,
 }
 
 impl WafeSession {
     /// Creates a session for the given flavour, with the automatic
     /// `topLevel` application shell.
     pub fn new(flavor: Flavor) -> Self {
+        let telemetry = Telemetry::from_env();
         let mut app = XtApp::new();
+        app.telemetry = telemetry.clone();
         match flavor {
             Flavor::Athena => wafe_xaw::register_all(&mut app),
             Flavor::Motif => {
@@ -134,6 +142,7 @@ impl WafeSession {
         let _ = top;
 
         let mut interp = Interp::new();
+        interp.set_telemetry(telemetry.clone());
         let output = Rc::new(RefCell::new(String::new()));
         interp.set_output(OutputSink::Buffer(output.clone()));
 
@@ -151,6 +160,7 @@ impl WafeSession {
             output,
             comm_var: Rc::new(RefCell::new(None)),
             channel_fd: Rc::new(Cell::new(-1)),
+            telemetry,
         };
         session.load_specs();
         crate::commands::register_handwritten(&mut session);
@@ -512,7 +522,24 @@ pub fn pump(interp: &mut Interp, app: &Rc<RefCell<XtApp>>, quit: &Rc<Cell<bool>>
                 }
                 _ => percent::substitute_callback(&call.script, &call.widget_name, &call.data),
             };
-            if let Err(e) = interp.eval(&script) {
+            // Dispatch latency of the Xt→Tcl seam: percent substitution
+            // is already done, so this times the script run itself.
+            let timer = interp.telemetry().timer();
+            let result = interp.eval(&script);
+            if timer.is_some() {
+                let tel = interp.telemetry().clone();
+                match call.kind {
+                    HostCallKind::Action => {
+                        tel.count("xt.actions.dispatched");
+                        tel.observe_since("xt.action.dispatch", timer);
+                    }
+                    HostCallKind::Callback(_) => {
+                        tel.count("xt.callbacks.dispatched");
+                        tel.observe_since("xt.callback.dispatch", timer);
+                    }
+                }
+            }
+            if let Err(e) = result {
                 if e.is_error() {
                     app.borrow_mut().warn(format!(
                         "error in callback of \"{}\": {}",

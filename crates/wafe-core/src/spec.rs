@@ -159,12 +159,12 @@ pub fn parse_spec(text: &str) -> Result<SpecFile, String> {
         let mut doc = String::new();
         for l in &lines[2..] {
             if let Some(rest) = l.strip_prefix("in:") {
-                let ty_word = rest.trim().split_whitespace().next().unwrap_or("");
+                let ty_word = rest.split_whitespace().next().unwrap_or("");
                 let ty = SpecType::parse(ty_word)
                     .ok_or_else(|| format!("unknown in-type \"{ty_word}\" in {c_name}"))?;
                 inputs.push(ty);
             } else if let Some(rest) = l.strip_prefix("out:") {
-                let ty_word = rest.trim().split_whitespace().next().unwrap_or("");
+                let ty_word = rest.split_whitespace().next().unwrap_or("");
                 let ty = SpecType::parse(ty_word)
                     .ok_or_else(|| format!("unknown out-type \"{ty_word}\" in {c_name}"))?;
                 outputs.push(ty);

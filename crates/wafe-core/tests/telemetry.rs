@@ -1,0 +1,266 @@
+//! The `telemetry` command: the unified observability surface across the
+//! interpreter, the toolkit and (in wafe-ipc's tests) the pipe protocol.
+
+use std::collections::BTreeMap;
+
+use wafe_core::{Flavor, WafeSession};
+use wafe_tcl::parse_list;
+
+fn session() -> WafeSession {
+    let s = WafeSession::new(Flavor::Athena);
+    s.telemetry.set_enabled(true);
+    s
+}
+
+/// Parses the flat key/value list `telemetry snapshot` returns.
+fn snapshot(s: &mut WafeSession) -> BTreeMap<String, u64> {
+    let out = s.eval("telemetry snapshot").unwrap();
+    let words = parse_list(&out).unwrap();
+    assert_eq!(words.len() % 2, 0, "snapshot must be key/value pairs");
+    words
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].parse::<u64>().unwrap()))
+        .collect()
+}
+
+fn click(s: &mut WafeSession, name: &str) {
+    {
+        let mut app = s.app.borrow_mut();
+        let w = app.lookup(name).unwrap();
+        let win = app.widget(w).window.unwrap();
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_click(abs.x + 3, abs.y + 3, 1);
+    }
+    s.pump();
+}
+
+#[test]
+fn snapshot_reports_eval_counts_and_dispatch_histogram() {
+    let mut s = session();
+    s.eval("command go topLevel label Go callback {set hits 1}")
+        .unwrap();
+    s.eval("realize").unwrap();
+    click(&mut s, "go");
+    assert_eq!(s.interp.get_var("hits").unwrap(), "1");
+    let snap = snapshot(&mut s);
+    assert!(snap["tcl.evals"] > 0, "{snap:?}");
+    assert!(snap["tcl.dispatches"] > 0);
+    assert!(snap["xt.widget.creates"] >= 1);
+    assert_eq!(snap["xt.callbacks.dispatched"], 1);
+    // The dispatch latency histogram carries count and percentiles.
+    assert_eq!(snap["xt.callback.dispatch.count"], 1);
+    assert!(snap["xt.callback.dispatch.p50Ns"] > 0);
+    assert!(snap["xt.callback.dispatch.p99Ns"] >= snap["xt.callback.dispatch.p50Ns"]);
+    // The eval histogram rides along.
+    assert!(snap["tcl.eval.count"] > 0);
+    assert!(snap["tcl.eval.p90Ns"] >= snap["tcl.eval.p50Ns"]);
+}
+
+#[test]
+fn snapshot_absorbs_cachestats_and_interp_subcommands_still_work() {
+    // Satellite 1: both surfaces report the same cache counters.
+    let mut s = session();
+    s.eval("proc f {x} {expr {$x * 2}}").unwrap();
+    for _ in 0..5 {
+        s.eval("f 21").unwrap();
+    }
+    let snap = snapshot(&mut s);
+    assert!(snap["tcl.cache.scriptHits"] > 0, "{snap:?}");
+    assert!(snap["tcl.cache.limit"] > 0);
+    // The PR-1 command keeps working unchanged, and agrees.
+    let cs = parse_list(&s.eval("interp cachestats").unwrap()).unwrap();
+    let cs: BTreeMap<String, String> = cs
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].clone()))
+        .collect();
+    // Snapshot ran evals of its own, so compare >= on hits.
+    let snap2 = snapshot(&mut s);
+    assert!(snap2["tcl.cache.scriptHits"] >= cs["hits"].parse::<u64>().unwrap());
+    assert_eq!(snap2["tcl.cache.limit"].to_string(), cs["limit"]);
+    // cachelimit / cacheclear stay functional. The `telemetry snapshot`
+    // eval itself re-enters the cache, so at most one entry remains.
+    s.eval("interp cachelimit 64").unwrap();
+    s.eval("interp cacheclear").unwrap();
+    let snap3 = snapshot(&mut s);
+    assert!(snap3["tcl.cache.scriptEntries"] <= 1, "{snap3:?}");
+    assert_eq!(snap3["tcl.cache.limit"], 64);
+}
+
+#[test]
+fn snapshot_exposes_memstats() {
+    // Satellite 2: MemStats surfaces through the same snapshot.
+    let mut s = session();
+    s.eval("label l topLevel label {some tracked text}")
+        .unwrap();
+    let snap = snapshot(&mut s);
+    assert!(snap["xt.mem.current"] > 0, "{snap:?}");
+    assert!(snap["xt.mem.peak"] >= snap["xt.mem.current"]);
+    assert!(snap["xt.mem.allocs"] > 0);
+    assert_eq!(snap["xt.mem.overfree"], 0);
+    s.eval("destroyWidget l").unwrap();
+    let after = snapshot(&mut s);
+    assert!(after["xt.mem.frees"] > 0);
+    assert!(after["xt.mem.current"] < snap["xt.mem.current"]);
+}
+
+#[test]
+fn memstats_visible_even_while_disabled() {
+    // Gauges describe current state, so the snapshot reports them even
+    // when recording is off.
+    let mut s = WafeSession::new(Flavor::Athena);
+    assert!(!s.telemetry.enabled());
+    s.eval("label l topLevel label hello").unwrap();
+    let snap = snapshot(&mut s);
+    assert!(snap["xt.mem.current"] > 0);
+    // But counters recorded nothing.
+    assert!(!snap.contains_key("tcl.evals"));
+}
+
+#[test]
+fn journal_records_widget_lifecycle() {
+    let mut s = session();
+    s.eval("label l topLevel").unwrap();
+    s.eval("destroyWidget l").unwrap();
+    let out = s.eval("telemetry journal").unwrap();
+    let entries = parse_list(&out).unwrap();
+    let kinds: Vec<String> = entries
+        .iter()
+        .map(|e| parse_list(e).unwrap()[2].clone())
+        .collect();
+    assert!(kinds.contains(&"widget.create".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"widget.destroy".to_string()));
+    // Each record is {seq at_us kind detail}; seq strictly increases.
+    let seqs: Vec<u64> = entries
+        .iter()
+        .map(|e| parse_list(e).unwrap()[0].parse().unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+}
+
+#[test]
+fn journal_n_returns_most_recent_in_order() {
+    // Satellite 3: `telemetry journal n` — last n, oldest first.
+    let mut s = session();
+    for i in 0..10 {
+        s.eval(&format!("label w{i} topLevel")).unwrap();
+    }
+    let out = s.eval("telemetry journal 3").unwrap();
+    let entries = parse_list(&out).unwrap();
+    assert_eq!(entries.len(), 3);
+    let details: Vec<String> = entries
+        .iter()
+        .map(|e| parse_list(e).unwrap()[3].clone())
+        .collect();
+    assert!(details[0].starts_with("w7"), "{details:?}");
+    assert!(details[1].starts_with("w8"));
+    assert!(details[2].starts_with("w9"));
+}
+
+#[test]
+fn journal_wraps_at_capacity() {
+    // Satellite 3: the ring buffer overwrites the oldest entries; seq
+    // numbers keep counting across the wrap.
+    let mut s = session();
+    s.telemetry.set_journal_capacity(8);
+    for i in 0..20 {
+        s.eval(&format!("label w{i} topLevel")).unwrap();
+    }
+    let snap = snapshot(&mut s);
+    assert_eq!(snap["trace.journal.retained"], 8);
+    assert_eq!(snap["trace.journal.capacity"], 8);
+    assert_eq!(snap["trace.journal.total"], 20);
+    let entries = parse_list(&s.eval("telemetry journal").unwrap()).unwrap();
+    assert_eq!(entries.len(), 8);
+    let first = parse_list(&entries[0]).unwrap();
+    // Only the 8 newest survive: the first retained entry is create #13.
+    assert_eq!(first[0], "13");
+    assert!(first[3].starts_with("w12"), "{first:?}");
+}
+
+#[test]
+fn reset_clears_data_but_not_enabled_flag() {
+    // Satellite 3: reset wipes counters/histograms/journal, keeps the
+    // enabled flag.
+    let mut s = session();
+    s.eval("label l topLevel").unwrap();
+    for _ in 0..10 {
+        s.eval("set x 1").unwrap();
+    }
+    let before = snapshot(&mut s);
+    assert!(before["tcl.evals"] > 10);
+    s.eval("telemetry reset").unwrap();
+    assert_eq!(s.eval("telemetry enabled").unwrap(), "1");
+    let after = snapshot(&mut s);
+    // The reset itself and the snapshot eval are the only recordings.
+    assert!(after["tcl.evals"] < before["tcl.evals"]);
+    assert_eq!(after["trace.journal.retained"], 0);
+    assert_eq!(after["trace.journal.total"], 0);
+    assert!(!after.contains_key("xt.widget.creates"));
+}
+
+#[test]
+fn enable_disable_via_command() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    assert_eq!(s.eval("telemetry enabled").unwrap(), "0");
+    s.eval("telemetry enable").unwrap();
+    assert_eq!(s.eval("telemetry enabled").unwrap(), "1");
+    s.eval("set x 1").unwrap();
+    assert!(snapshot(&mut s)["tcl.evals"] > 0);
+    s.eval("telemetry disable").unwrap();
+    assert_eq!(s.eval("telemetry enabled").unwrap(), "0");
+}
+
+#[test]
+fn histogram_subcommand_reports_percentiles() {
+    let mut s = session();
+    for i in 0..50 {
+        s.eval(&format!("set x {i}")).unwrap();
+    }
+    let out = s.eval("telemetry histogram tcl.eval").unwrap();
+    let kv: BTreeMap<String, u64> = parse_list(&out)
+        .unwrap()
+        .chunks(2)
+        .map(|w| (w[0].clone(), w[1].parse().unwrap()))
+        .collect();
+    assert!(kv["count"] >= 50);
+    assert!(kv["minNs"] <= kv["p50Ns"]);
+    assert!(kv["p50Ns"] <= kv["p90Ns"]);
+    assert!(kv["p90Ns"] <= kv["p99Ns"]);
+    assert!(kv["p99Ns"] <= kv["maxNs"]);
+    assert!(kv["sumNs"] >= kv["maxNs"]);
+    // Unknown histograms are an error.
+    assert!(s.eval("telemetry histogram no.such").is_err());
+}
+
+#[test]
+fn action_dispatch_measured() {
+    let mut s = session();
+    s.eval("asciiText input topLevel editType edit").unwrap();
+    s.eval("action input override {<Key>Return: exec(set seen 1)}")
+        .unwrap();
+    s.eval("realize").unwrap();
+    {
+        let mut app = s.app.borrow_mut();
+        let input = app.lookup("input").unwrap();
+        let win = app.widget(input).window.unwrap();
+        app.displays[0].set_input_focus(Some(win));
+        app.displays[0].inject_key_text("\n");
+    }
+    s.pump();
+    assert_eq!(s.interp.get_var("seen").unwrap(), "1");
+    let snap = snapshot(&mut s);
+    assert_eq!(snap["xt.actions.dispatched"], 1, "{snap:?}");
+    assert_eq!(snap["xt.action.dispatch.count"], 1);
+    assert!(snap["xt.action.dispatch.p50Ns"] > 0);
+}
+
+#[test]
+fn disabled_telemetry_records_no_counters() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("label l topLevel").unwrap();
+    s.eval("set x 1").unwrap();
+    let snap = snapshot(&mut s);
+    assert!(!snap.contains_key("tcl.evals"), "{snap:?}");
+    assert!(!snap.contains_key("xt.widget.creates"));
+    assert_eq!(snap["trace.journal.total"], 0);
+}

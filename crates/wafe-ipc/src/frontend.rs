@@ -68,6 +68,9 @@ pub struct Frontend {
     stdout_buf: Vec<u8>,
     /// Lines the frontend printed to its own stdout (non-`%` passthrough).
     pub printed: Vec<String>,
+    /// When the last line went out to the backend; the next complete line
+    /// back closes the `ipc.roundtrip` latency sample.
+    last_write: Option<Instant>,
 }
 
 impl Frontend {
@@ -123,6 +126,7 @@ impl Frontend {
                 mass_read,
                 stdout_buf: Vec::new(),
                 printed: Vec::new(),
+                last_write: None,
             };
             if let Some(ic) = &config.init_com {
                 fe.send_to_app(ic)?;
@@ -141,6 +145,7 @@ impl Frontend {
             mass_read,
             stdout_buf: Vec::new(),
             printed: Vec::new(),
+            last_write: None,
         };
         if let Some(ic) = &config.init_com {
             fe.send_to_app(ic)?;
@@ -150,6 +155,10 @@ impl Frontend {
 
     /// Sends one line to the application's stdin.
     pub fn send_to_app(&mut self, line: &str) -> std::io::Result<()> {
+        let tel = &self.engine.session.telemetry;
+        tel.count("ipc.lines.sent");
+        tel.add("ipc.bytes.sent", line.len() as u64);
+        self.last_write = tel.timer();
         self.child_stdin.write_all(line.as_bytes())?;
         if !line.ends_with('\n') {
             self.child_stdin.write_all(b"\n")?;
@@ -203,6 +212,12 @@ impl Frontend {
         while let Some(nl) = self.stdout_buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = self.stdout_buf.drain(..=nl).collect();
             let text = String::from_utf8_lossy(&line).into_owned();
+            if self.last_write.is_some() {
+                self.engine
+                    .session
+                    .telemetry
+                    .observe_since("ipc.roundtrip", self.last_write.take());
+            }
             let _ = self.engine.handle_line(&text);
             for p in self.engine.take_passthrough() {
                 self.printed.push(p);

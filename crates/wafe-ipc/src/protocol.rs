@@ -79,28 +79,35 @@ impl ProtocolEngine {
     /// command; any other line is passed through to the frontend's
     /// stdout. Returns the command result for prefixed lines.
     pub fn handle_line(&mut self, line: &str) -> Result<Option<String>, String> {
+        let tel = self.session.telemetry.clone();
+        tel.count("ipc.lines.received");
+        tel.add("ipc.bytes.received", line.len() as u64);
         if line.len() > self.max_line {
             let msg = format!(
                 "command line too long ({} bytes, limit {})",
                 line.len(),
                 self.max_line
             );
+            tel.count("ipc.errors");
             self.errors.push(msg.clone());
             return Err(msg);
         }
         let trimmed = line.strip_suffix('\n').unwrap_or(line);
         if let Some(cmd) = trimmed.strip_prefix(self.prefix) {
             self.lines_interpreted += 1;
+            tel.count("ipc.lines.interpreted");
             match self.session.eval(cmd) {
                 Ok(v) => Ok(Some(v)),
                 Err(e) => {
                     let msg = e.message();
+                    tel.count("ipc.errors");
                     self.errors.push(msg.clone());
                     Err(msg)
                 }
             }
         } else {
             self.lines_passed += 1;
+            tel.count("ipc.lines.passthrough");
             self.passthrough.push(trimmed.to_string());
             Ok(None)
         }
@@ -110,6 +117,8 @@ impl ProtocolEngine {
     /// byte count configured by `setCommunicationVariable` is reached,
     /// the data lands in the Tcl variable and the completion script runs.
     pub fn handle_mass_data(&mut self, data: &[u8]) {
+        let tel = self.session.telemetry.clone();
+        tel.add("ipc.mass.bytes", data.len() as u64);
         self.mass_buf.extend_from_slice(data);
         loop {
             let config = self.session.comm_var.borrow().clone();
@@ -121,6 +130,8 @@ impl ProtocolEngine {
                 return;
             }
             let chunk: Vec<u8> = self.mass_buf.drain(..count).collect();
+            tel.count("ipc.mass.transfers");
+            tel.event("mass.transfer", || format!("{count} bytes -> {}", var));
             let text = String::from_utf8_lossy(&chunk).into_owned();
             if let Err(e) = self.session.interp.set_var(&var, &text) {
                 self.errors.push(e.message());
@@ -285,10 +296,10 @@ mod tests {
             .unwrap();
         let payload = "y".repeat(100);
         // Arrives in two chunks.
-        e.handle_mass_data(payload[..40].as_bytes());
+        e.handle_mass_data(&payload.as_bytes()[..40]);
         assert_eq!(e.mass_pending(), 40);
         assert_eq!(e.session.eval("gV text string").unwrap(), "");
-        e.handle_mass_data(payload[40..].as_bytes());
+        e.handle_mass_data(&payload.as_bytes()[40..]);
         assert_eq!(e.mass_pending(), 0);
         assert_eq!(e.session.eval("gV text string").unwrap(), payload);
         // One-shot: more data just buffers.

@@ -1,0 +1,120 @@
+//! Telemetry coverage of the pipe protocol: line/byte counters on the
+//! protocol engine and the backend round-trip histogram on a live child.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use wafe_core::Flavor;
+use wafe_ipc::{Frontend, FrontendConfig, ProtocolEngine};
+use wafe_tcl::parse_list;
+
+fn snapshot(session: &mut wafe_core::WafeSession) -> BTreeMap<String, u64> {
+    let out = session.eval("telemetry snapshot").unwrap();
+    parse_list(&out)
+        .unwrap()
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].parse::<u64>().unwrap()))
+        .collect()
+}
+
+#[test]
+fn protocol_counts_lines_and_bytes() {
+    let mut e = ProtocolEngine::new(Flavor::Athena);
+    e.session.telemetry.set_enabled(true);
+    e.handle_line("%label l topLevel label hi\n").unwrap();
+    e.handle_line("plain passthrough line\n").unwrap();
+    assert!(e.handle_line("%nosuchcommand\n").is_err());
+    let snap = snapshot(&mut e.session);
+    assert_eq!(snap["ipc.lines.received"], 3, "{snap:?}");
+    assert_eq!(snap["ipc.lines.interpreted"], 2);
+    assert_eq!(snap["ipc.lines.passthrough"], 1);
+    assert_eq!(snap["ipc.errors"], 1);
+    assert!(snap["ipc.bytes.received"] > 50);
+}
+
+#[test]
+fn mass_transfer_counts_bytes() {
+    let mut e = ProtocolEngine::new(Flavor::Athena);
+    e.session.telemetry.set_enabled(true);
+    e.handle_line("%form top topLevel").unwrap();
+    e.handle_line("%asciiText text top editType edit").unwrap();
+    e.handle_line("%realize").unwrap();
+    e.handle_line("%setCommunicationVariable C 100 {sV text string $C}")
+        .unwrap();
+    let payload = "y".repeat(100);
+    e.handle_mass_data(&payload.as_bytes()[..40]);
+    e.handle_mass_data(&payload.as_bytes()[40..]);
+    assert_eq!(e.session.eval("gV text string").unwrap(), payload);
+    let snap = snapshot(&mut e.session);
+    assert_eq!(snap["ipc.mass.bytes"], 100, "{snap:?}");
+    assert_eq!(snap["ipc.mass.transfers"], 1);
+    // The completed transfer is journaled.
+    let journal = e.session.eval("telemetry journal").unwrap();
+    assert!(journal.contains("mass.transfer"), "{journal}");
+}
+
+/// The acceptance scenario: drive a real backend through the pipe
+/// protocol and read non-zero frontend counters plus a round-trip
+/// latency sample out of `telemetry snapshot`.
+#[test]
+fn frontend_roundtrip_measured_against_live_backend() {
+    // The backend answers every line it reads, so each frontend write is
+    // followed by a backend line — one ipc.roundtrip sample each.
+    let script = r#"
+        echo '%command go topLevel label Go callback {echo clicked}'
+        echo '%realize'
+        read line
+        echo "%set answer {$line}"
+    "#;
+    let mut fe = Frontend::spawn(FrontendConfig {
+        program: "sh".into(),
+        args: vec!["-c".into(), script.into()],
+        flavor: Flavor::Athena,
+        mass_channel: false,
+        init_com: None,
+    })
+    .expect("spawn sh");
+    fe.engine.session.telemetry.set_enabled(true);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(20)).unwrap();
+        let built = {
+            let app = fe.engine.session.app.borrow();
+            app.lookup("go")
+                .map(|w| app.is_realized(w))
+                .unwrap_or(false)
+        };
+        if built {
+            break;
+        }
+    }
+    // Click the button: the callback echoes "clicked" to the backend,
+    // which answers with a %set line — a full round trip.
+    {
+        let mut app = fe.engine.session.app.borrow_mut();
+        let go = app.lookup("go").unwrap();
+        let win = app.widget(go).window.unwrap();
+        let abs = app.displays[0].abs_rect(win);
+        app.displays[0].inject_click(abs.x + 2, abs.y + 2, 1);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(20)).unwrap();
+        if fe.engine.session.interp.var_exists("answer") {
+            break;
+        }
+    }
+    assert_eq!(
+        fe.engine.session.interp.get_var("answer").unwrap(),
+        "clicked"
+    );
+    let snap = snapshot(&mut fe.engine.session);
+    assert!(snap["ipc.lines.sent"] >= 1, "{snap:?}");
+    assert!(snap["ipc.bytes.sent"] >= "clicked".len() as u64);
+    assert!(snap["ipc.lines.received"] >= 1);
+    assert!(snap["ipc.lines.interpreted"] >= 1);
+    assert!(snap["ipc.roundtrip.count"] >= 1);
+    assert!(snap["ipc.roundtrip.p50Ns"] > 0);
+    assert_eq!(snap["xt.callbacks.dispatched"], 1);
+    fe.kill();
+}

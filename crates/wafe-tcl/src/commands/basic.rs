@@ -600,7 +600,7 @@ mod trace_tests {
         i.eval("trace variable x w {set x again ;#}").unwrap();
         i.eval("set x 1").unwrap();
         let n: i64 = i.get_var("n").unwrap().parse().unwrap();
-        assert!(n >= 1 && n < 100, "trace ran {n} times");
+        assert!((1..100).contains(&n), "trace ran {n} times");
     }
 
     #[test]

@@ -184,7 +184,7 @@ fn cmd_upvar(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     let (level, _) = parse_level(i, &argv[1]);
     let mut a = if level.is_some() { 2 } else { 1 };
     let target = level.unwrap_or_else(|| i.level().saturating_sub(1));
-    if (argv.len() - a) % 2 != 0 || argv.len() - a == 0 {
+    if !(argv.len() - a).is_multiple_of(2) || argv.len() - a == 0 {
         return Err(wrong_num_args(
             "upvar ?level? otherVar localVar ?otherVar localVar ...?",
         ));
@@ -258,7 +258,7 @@ fn cmd_switch(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     } else {
         argv[a..].to_vec()
     };
-    if pairs.is_empty() || pairs.len() % 2 != 0 {
+    if pairs.is_empty() || !pairs.len().is_multiple_of(2) {
         return Err(TclError::error("extra switch pattern with no body"));
     }
     let mut matched: Option<usize> = None;
@@ -307,7 +307,7 @@ fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     } else {
         argv[a..].to_vec()
     };
-    if pairs.len() % 2 != 0 {
+    if !pairs.len().is_multiple_of(2) {
         return Err(TclError::error("extra case pattern with no body"));
     }
     let mut default_body: Option<&String> = None;

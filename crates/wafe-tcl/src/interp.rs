@@ -5,6 +5,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use wafe_trace::Telemetry;
+
 use crate::compile::{compile, CompiledScript, LruCache, Token};
 use crate::error::{TclError, TclResult};
 use crate::expr::CompiledExpr;
@@ -85,6 +87,9 @@ struct Frame {
     vars: FnvMap<String, VarSlot>,
 }
 
+/// A shared output callback, as held by [`OutputSink::Func`].
+pub type OutputFn = Rc<RefCell<dyn FnMut(&str)>>;
+
 /// Destination for `echo`/`puts` output.
 #[derive(Clone)]
 pub enum OutputSink {
@@ -94,7 +99,7 @@ pub enum OutputSink {
     Buffer(Rc<RefCell<String>>),
     /// Invoke a callback for every write (used by the Wafe session to
     /// route output into the frontend protocol).
-    Func(Rc<RefCell<dyn FnMut(&str)>>),
+    Func(OutputFn),
 }
 
 /// The Tcl interpreter.
@@ -131,6 +136,9 @@ pub struct Interp {
     script_cache: LruCache<Option<Rc<CompiledScript>>>,
     /// Parse-once cache for `expr` texts.
     expr_cache: LruCache<Rc<CompiledExpr>>,
+    /// Telemetry store shared with the embedding (session, frontend).
+    /// Disabled by default: each eval/dispatch pays one flag load.
+    telemetry: Telemetry,
 }
 
 /// A script readied for repeated evaluation: either its parse-once
@@ -187,6 +195,7 @@ impl Interp {
             tracing: std::cell::Cell::new(0),
             script_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
             expr_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
+            telemetry: Telemetry::new(),
         };
         crate::commands::register_all(&mut interp);
         interp
@@ -552,6 +561,9 @@ impl Interp {
     /// Already-seen scripts skip lexing entirely: the text is looked up in
     /// the interpreter's parse-once cache and only substitution runs.
     pub fn eval(&mut self, script: &str) -> TclResult<String> {
+        // One enabled-flag load when telemetry is off; nested evals
+        // (bracket substitution, loop bodies) each count as one eval.
+        let timer = self.telemetry.timer();
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
             self.depth -= 1;
@@ -564,12 +576,17 @@ impl Interp {
             None => self.eval_inner(script),
         };
         self.depth -= 1;
+        if timer.is_some() {
+            self.telemetry.count("tcl.evals");
+            self.telemetry.observe_since("tcl.eval", timer);
+        }
         r
     }
 
     /// Evaluates an already-compiled script (same nesting accounting as
     /// [`Interp::eval`]).
     pub fn eval_compiled(&mut self, script: &Rc<CompiledScript>) -> TclResult<String> {
+        let timer = self.telemetry.timer();
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
             self.depth -= 1;
@@ -582,6 +599,10 @@ impl Interp {
         let script = script.clone();
         let r = self.eval_compiled_inner(&script);
         self.depth -= 1;
+        if timer.is_some() {
+            self.telemetry.count("tcl.evals");
+            self.telemetry.observe_since("tcl.eval", timer);
+        }
         r
     }
 
@@ -621,6 +642,20 @@ impl Interp {
         let compiled = compile(script).ok().map(Rc::new);
         self.script_cache.insert(script, compiled.clone());
         compiled
+    }
+
+    // ----- telemetry --------------------------------------------------
+
+    /// The interpreter's telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replaces the telemetry handle, typically with one shared across
+    /// the whole stack (interpreter, toolkit, pipe protocol) so a single
+    /// snapshot sees every layer.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     // ----- parse-cache introspection ---------------------------------
@@ -755,6 +790,16 @@ impl Interp {
     /// defined (classic Tcl: `proc unknown {args} {...}` intercepts every
     /// unresolved command with the original words as its arguments).
     pub fn invoke(&mut self, words: &[String]) -> TclResult<String> {
+        let timer = self.telemetry.timer();
+        let r = self.invoke_inner(words);
+        if timer.is_some() {
+            self.telemetry.count("tcl.dispatches");
+            self.telemetry.observe_since("tcl.dispatch", timer);
+        }
+        r
+    }
+
+    fn invoke_inner(&mut self, words: &[String]) -> TclResult<String> {
         let cmd = self.commands.get(words[0].as_str()).cloned();
         match cmd {
             Some(Command::Native(f)) => f(self, words),

@@ -43,6 +43,7 @@ pub use compile::{compile, CompiledScript};
 pub use error::{TclError, TclResult};
 pub use interp::{CacheStats, CmdFn, Interp, OutputSink, Prepared};
 pub use list::{list_append, list_join, list_quote, parse_list};
+pub use wafe_trace::Telemetry;
 
 /// Convenience alias for the result type returned by Tcl commands.
 pub type CmdResult = TclResult<String>;

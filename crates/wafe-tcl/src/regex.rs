@@ -275,7 +275,7 @@ impl Regex {
             *caps = saved;
             ends.pop();
         }
-        if ends.len() >= min + 1 {
+        if ends.len() > min {
             let end = ends[min];
             return self.match_seq(rest, t, end, caps);
         }

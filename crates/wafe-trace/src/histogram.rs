@@ -1,0 +1,212 @@
+//! Fixed-bucket latency histograms with percentile extraction.
+
+/// Upper bounds (inclusive, nanoseconds) of the histogram buckets: a
+/// 1-2-5 ladder from 100 ns to 1 s. Samples above the last bound land in
+/// an overflow bucket. The bounds are part of the telemetry contract and
+/// documented in `docs/telemetry.md`; keep the two in sync.
+pub const BUCKET_BOUNDS_NS: [u64; 22] = [
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// Number of buckets including the overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// A latency histogram over the fixed [`BUCKET_BOUNDS_NS`] ladder.
+///
+/// Recording is O(buckets) worst case (a linear scan over 22 bounds) and
+/// allocation-free; percentile extraction interpolates linearly inside
+/// the bucket holding the requested rank.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKET_COUNT],
+    total: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKET_COUNT],
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64; BUCKET_COUNT] {
+        &self.counts
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) in nanoseconds, linearly
+    /// interpolated within the winning bucket. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate between the bucket's bounds; the exact
+                // min/max trim the first/last bucket to observed values.
+                let lower = if idx == 0 {
+                    0
+                } else {
+                    BUCKET_BOUNDS_NS[idx - 1]
+                };
+                let upper = if idx < BUCKET_BOUNDS_NS.len() {
+                    BUCKET_BOUNDS_NS[idx]
+                } else {
+                    self.max_ns
+                };
+                let lower = lower.max(self.min_ns.min(upper));
+                let upper = upper.min(self.max_ns);
+                let within = (rank - seen) as f64 / c as f64;
+                return lower + ((upper.saturating_sub(lower)) as f64 * within) as u64;
+            }
+            seen += c;
+        }
+        self.max_ns
+    }
+
+    /// A point-in-time summary of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.total,
+            sum_ns: self.sum_ns,
+            min_ns: if self.total == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            p50_ns: self.percentile(50.0),
+            p90_ns: self.percentile(90.0),
+            p99_ns: self.percentile(99.0),
+        }
+    }
+}
+
+/// An immutable summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        for w in BUCKET_BOUNDS_NS.windows(2) {
+            assert!(w[0] < w[1], "bounds must increase: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for ns in [50u64, 150, 900, 1_500, 4_000, 9_000, 40_000, 2_000_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min_ns, 50);
+        assert_eq!(s.max_ns, 2_000_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert!(s.p50_ns >= s.min_ns);
+    }
+
+    #[test]
+    fn overflow_bucket_takes_huge_samples() {
+        let mut h = Histogram::new();
+        h.record(10_000_000_000); // 10 s: above the last bound.
+        assert_eq!(h.bucket_counts()[BUCKET_COUNT - 1], 1);
+        assert_eq!(h.snapshot().p99_ns, 10_000_000_000);
+    }
+
+    #[test]
+    fn single_bucket_interpolation_stays_inside_observed_range() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(150); // all in the (100, 200] bucket
+        }
+        let s = h.snapshot();
+        assert!(s.p50_ns >= 100 && s.p50_ns <= 200, "p50 = {}", s.p50_ns);
+        assert!(s.p99_ns <= 200);
+    }
+}

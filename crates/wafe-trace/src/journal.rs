@@ -1,0 +1,177 @@
+//! The bounded ring-buffer event journal.
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (1-based, never reused, survives
+    /// wraparound — the gap between the oldest retained `seq` and 1 is
+    /// how many events were dropped).
+    pub seq: u64,
+    /// Microseconds since the telemetry handle was created.
+    pub at_us: u64,
+    /// Event kind, e.g. `widget.create` (a fixed vocabulary, see
+    /// `docs/telemetry.md`).
+    pub kind: &'static str,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// Default number of events retained.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// A bounded ring buffer of [`EventRecord`]s: pushing at capacity
+/// overwrites the oldest entry.
+#[derive(Debug)]
+pub struct Journal {
+    buf: Vec<EventRecord>,
+    capacity: usize,
+    /// Index of the slot the next push writes (only meaningful once the
+    /// buffer is full).
+    head: usize,
+    next_seq: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// An empty journal retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full. Returns the
+    /// event's sequence number.
+    pub fn push(&mut self, at_us: u64, kind: &'static str, detail: String) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = EventRecord {
+            seq,
+            at_us,
+            kind,
+            detail,
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        seq
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (retained or dropped).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent `n` events, oldest first. `n >= len()` returns
+    /// everything retained.
+    pub fn recent(&self, n: usize) -> Vec<EventRecord> {
+        let take = n.min(self.buf.len());
+        let mut out = Vec::with_capacity(take);
+        // Chronological order starts at `head` once the ring has wrapped.
+        let len = self.buf.len();
+        let start_logical = len - take;
+        for i in 0..take {
+            let logical = start_logical + i;
+            let physical = if len < self.capacity {
+                logical
+            } else {
+                (self.head + logical) % self.capacity
+            };
+            out.push(self.buf[physical].clone());
+        }
+        out
+    }
+
+    /// Drops all retained events; sequence numbers keep counting.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(j: &mut Journal, n: usize) {
+        for k in 0..n {
+            j.push(k as u64, "test.event", format!("event-{k}"));
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_most_recent() {
+        let mut j = Journal::new(4);
+        push_n(&mut j, 10);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.total_pushed(), 10);
+        let recent = j.recent(10);
+        let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        assert_eq!(recent[0].detail, "event-6");
+        assert_eq!(recent[3].detail, "event-9");
+    }
+
+    #[test]
+    fn recent_n_returns_newest_in_order() {
+        let mut j = Journal::new(8);
+        push_n(&mut j, 5);
+        let two = j.recent(2);
+        assert_eq!(
+            two.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5],
+            "most recent two, oldest first"
+        );
+    }
+
+    #[test]
+    fn wrap_boundary_exact_capacity() {
+        let mut j = Journal::new(3);
+        push_n(&mut j, 3);
+        assert_eq!(
+            j.recent(3).iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        j.push(99, "test.event", "one more".into());
+        assert_eq!(
+            j.recent(3).iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn clear_keeps_sequence_counting() {
+        let mut j = Journal::new(4);
+        push_n(&mut j, 3);
+        j.clear();
+        assert!(j.is_empty());
+        let seq = j.push(0, "test.event", "after clear".into());
+        assert_eq!(seq, 4, "sequence numbers never restart");
+    }
+}

@@ -1,0 +1,376 @@
+//! Unified telemetry for the Wafe stack.
+//!
+//! The paper's formula —
+//! `Wafe = Tcl + (Intrinsics + Widgets + Converters + Ext) + (Memory
+//! Management + Communication)` — names exactly the seams a production
+//! frontend must be able to observe: command evaluation, callback/action
+//! dispatch, and the duplex pipe protocol. This crate provides the three
+//! primitives those seams share:
+//!
+//! * **monotonic counters** (and settable gauges) keyed by static names,
+//! * **fixed-bucket latency histograms** with p50/p90/p99 extraction
+//!   ([`histogram`]), and
+//! * a **bounded ring-buffer event journal** ([`journal`]),
+//!
+//! behind a cloneable [`Telemetry`] handle. The handle is near-free when
+//! disabled: every recording entry point is one load of the enabled flag
+//! — no allocation, no formatting, no clock read. Journal detail strings
+//! are built through closures so the formatting cost is only paid when a
+//! record is actually retained.
+//!
+//! The handle is deliberately single-threaded (`Rc` + interior
+//! mutability), matching the rest of the Wafe stack; one handle is
+//! created by the session and shared by the interpreter, the toolkit and
+//! the pipe protocol so `telemetry snapshot` sees every layer at once.
+//!
+//! # Examples
+//!
+//! ```
+//! use wafe_trace::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! t.count("demo.ticks"); // disabled: a no-op
+//! t.set_enabled(true);
+//! t.count("demo.ticks");
+//! t.add("demo.bytes", 128);
+//! t.observe_ns("demo.latency", 1_500);
+//! t.event("demo.start", || "hello".to_string());
+//! let snap = t.snapshot();
+//! assert_eq!(snap.counter("demo.ticks"), Some(1));
+//! assert_eq!(snap.counter("demo.bytes"), Some(128));
+//! assert_eq!(t.journal_recent(10).len(), 1);
+//! ```
+
+pub mod histogram;
+pub mod journal;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, BUCKET_COUNT};
+pub use journal::{EventRecord, Journal, DEFAULT_JOURNAL_CAPACITY};
+
+/// The environment variable that enables telemetry at startup.
+pub const TELEMETRY_ENV_VAR: &str = "WAFE_TELEMETRY";
+
+struct Inner {
+    enabled: Cell<bool>,
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+    gauges: RefCell<BTreeMap<&'static str, u64>>,
+    histograms: RefCell<BTreeMap<&'static str, Histogram>>,
+    journal: RefCell<Journal>,
+    epoch: Instant,
+}
+
+/// A cloneable handle onto one telemetry store (clones share the store).
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, **disabled** store.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Rc::new(Inner {
+                enabled: Cell::new(false),
+                counters: RefCell::new(BTreeMap::new()),
+                gauges: RefCell::new(BTreeMap::new()),
+                histograms: RefCell::new(BTreeMap::new()),
+                journal: RefCell::new(Journal::default()),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A fresh store, enabled when the `WAFE_TELEMETRY` environment
+    /// variable is set to anything but `0` or the empty string.
+    pub fn from_env() -> Self {
+        let t = Self::new();
+        if let Ok(v) = std::env::var(TELEMETRY_ENV_VAR) {
+            if !v.is_empty() && v != "0" {
+                t.set_enabled(true);
+            }
+        }
+        t
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.get()
+    }
+
+    /// Turns recording on or off. Accumulated data is kept either way.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.set(on);
+    }
+
+    // ----- counters and gauges ---------------------------------------
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn count(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    #[inline]
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        *self.inner.counters.borrow_mut().entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to an absolute value (recorded even while a counter
+    /// with the same name would be suppressed — gauges describe current
+    /// state, so the last write wins).
+    #[inline]
+    pub fn set_gauge(&self, name: &'static str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.gauges.borrow_mut().insert(name, value);
+    }
+
+    // ----- latency histograms ----------------------------------------
+
+    /// Starts a latency measurement: `None` when disabled, so the clock
+    /// is only read while recording.
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Completes a measurement started with [`Telemetry::timer`]. A
+    /// `None` start (telemetry was disabled at start time) records
+    /// nothing, even if telemetry has been enabled in between.
+    #[inline]
+    pub fn observe_since(&self, name: &'static str, started: Option<Instant>) {
+        if let Some(t0) = started {
+            if self.enabled() {
+                self.observe_ns(name, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+
+    /// Records one latency sample in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .histograms
+            .borrow_mut()
+            .entry(name)
+            .or_default()
+            .record(ns);
+    }
+
+    // ----- journal ----------------------------------------------------
+
+    /// Journals an event. The detail closure runs only when enabled.
+    #[inline]
+    pub fn event<F: FnOnce() -> String>(&self, kind: &'static str, detail: F) {
+        if !self.enabled() {
+            return;
+        }
+        let at_us = self.inner.epoch.elapsed().as_micros() as u64;
+        self.inner.journal.borrow_mut().push(at_us, kind, detail());
+    }
+
+    /// The most recent `n` journal entries, oldest first.
+    pub fn journal_recent(&self, n: usize) -> Vec<EventRecord> {
+        self.inner.journal.borrow().recent(n)
+    }
+
+    /// `(retained, total_pushed, capacity)` of the journal.
+    pub fn journal_stats(&self) -> (usize, u64, usize) {
+        let j = self.inner.journal.borrow();
+        (j.len(), j.total_pushed(), j.capacity())
+    }
+
+    /// Replaces the journal with an empty one of the given capacity.
+    pub fn set_journal_capacity(&self, capacity: usize) {
+        *self.inner.journal.borrow_mut() = Journal::new(capacity);
+    }
+
+    // ----- snapshot and reset ----------------------------------------
+
+    /// A point-in-time copy of every counter, gauge and histogram.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .inner
+                .counters
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .borrow()
+                .iter()
+                .map(|(&k, h)| (k, h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// A summary of one histogram, if it has been recorded to.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .histograms
+            .borrow()
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Clears counters, gauges, histograms and the journal. The enabled
+    /// flag is **not** touched: `telemetry reset` re-arms measurement, it
+    /// does not stop it.
+    pub fn reset(&self) {
+        self.inner.counters.borrow_mut().clear();
+        self.inner.gauges.borrow_mut().clear();
+        self.inner.histograms.borrow_mut().clear();
+        // A full reset starts the journal over, sequence numbers
+        // included (unlike Journal::clear, which preserves them).
+        let mut journal = self.inner.journal.borrow_mut();
+        *journal = Journal::new(journal.capacity());
+    }
+}
+
+/// A point-in-time copy of a [`Telemetry`] store, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::new();
+        assert!(!t.enabled());
+        t.count("x");
+        t.add("x", 10);
+        t.set_gauge("g", 5);
+        t.observe_ns("h", 100);
+        t.event("e", || panic!("detail closure must not run while disabled"));
+        let s = t.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.gauges.is_empty());
+        assert!(s.histograms.is_empty());
+        assert_eq!(t.journal_recent(10).len(), 0);
+        assert!(t.timer().is_none());
+    }
+
+    #[test]
+    fn enabled_records_and_clones_share() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        let t2 = t.clone();
+        t.count("evals");
+        t2.count("evals");
+        t2.observe_ns("lat", 1_000);
+        assert_eq!(t.snapshot().counter("evals"), Some(2));
+        assert_eq!(t.histogram("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn timer_started_while_disabled_never_records() {
+        let t = Telemetry::new();
+        let started = t.timer();
+        t.set_enabled(true);
+        t.observe_since("lat", started);
+        assert!(t.histogram("lat").is_none());
+    }
+
+    #[test]
+    fn reset_clears_data_but_not_enabled() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.count("c");
+        t.set_gauge("g", 1);
+        t.observe_ns("h", 10);
+        t.event("e", || "d".into());
+        t.reset();
+        assert!(t.enabled(), "reset must not disable");
+        let s = t.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+        assert_eq!(t.journal_recent(100).len(), 0);
+    }
+
+    #[test]
+    fn from_env_respects_variable() {
+        // Avoid mutating the real environment: exercise only the
+        // documented "unset means disabled" default here.
+        std::env::remove_var(TELEMETRY_ENV_VAR);
+        assert!(!Telemetry::from_env().enabled());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.count("zzz");
+        t.count("aaa");
+        t.count("mmm");
+        let names: Vec<&str> = t.snapshot().counters.iter().map(|&(k, _)| k).collect();
+        assert_eq!(names, vec!["aaa", "mmm", "zzz"]);
+    }
+}

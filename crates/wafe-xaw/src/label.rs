@@ -187,7 +187,7 @@ mod tests {
             .unwrap();
         a.realize(top);
         // 3 chars * 6 + 2*4 internal + 2*2 shadow = 30.
-        assert_eq!(a.dim_resource(l, "width") >= 30, true);
+        assert!(a.dim_resource(l, "width") >= 30);
         assert!(a.dim_resource(l, "height") >= 13);
     }
 

@@ -137,8 +137,8 @@ impl WidgetOps for ViewportOps {
         }
         match app.widget(w).children.first() {
             Some(&c) => (
-                app.dim_resource(c, "width").min(300).max(1),
-                app.dim_resource(c, "height").min(200).max(1),
+                app.dim_resource(c, "width").clamp(1, 300),
+                app.dim_resource(c, "height").clamp(1, 200),
             ),
             None => (100, 100),
         }

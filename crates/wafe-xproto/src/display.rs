@@ -413,15 +413,7 @@ impl Display {
                     font,
                 } => {
                     let f = self.fonts.get(*font);
-                    fb.draw_text_blocks(
-                        abs.x + x,
-                        abs.y + y,
-                        text,
-                        clip,
-                        *pixel,
-                        f.char_width,
-                        f.ascent,
-                    );
+                    fb.draw_text_blocks(abs.x + x, abs.y + y, text, clip, *pixel, f.char_width);
                 }
                 DrawOp::PutImage {
                     x,

@@ -154,7 +154,8 @@ impl Framebuffer {
     }
 
     /// Renders text with the 5×7 bitmap font, one glyph per cell. The
-    /// glyph is anchored to the baseline; wide cells centre it.
+    /// glyph top sits a fixed 7 rows above the baseline (the bitmap's
+    /// height), whatever the nominal font ascent; wide cells centre it.
     pub fn draw_text_blocks(
         &mut self,
         x: i32,
@@ -163,9 +164,8 @@ impl Framebuffer {
         clip: Rect,
         p: Pixel,
         char_width: u32,
-        ascent: u32,
     ) {
-        let top = baseline - ascent.min(7).max(7) as i32;
+        let top = baseline - 7;
         let pad = (char_width.saturating_sub(5) / 2) as i32;
         for (i, c) in text.chars().enumerate() {
             let gx = x + (i as u32 * char_width) as i32 + pad;
@@ -354,7 +354,7 @@ mod tests {
     fn text_blocks_ink() {
         let mut fb = Framebuffer::new(60, 20, 0xffffff);
         let clip = Rect::new(0, 0, 60, 20);
-        fb.draw_text_blocks(0, 13, "ab", clip, 0, 6, 11);
+        fb.draw_text_blocks(0, 13, "ab", clip, 0, 6);
         assert!(fb.count_pixels(0) > 0);
     }
 

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use wafe_trace::Telemetry;
 use wafe_xproto::display::{Display, GrabKind, WindowAttributes};
 use wafe_xproto::font::{FontDb, FontId};
 use wafe_xproto::geometry::Rect;
@@ -111,6 +112,8 @@ pub struct XtApp {
     pub resource_db: XrmDb,
     /// Memory accounting.
     pub memstats: MemStats,
+    /// Telemetry store shared with the embedding (disabled by default).
+    pub telemetry: Telemetry,
     host_calls: VecDeque<HostCall>,
     window_map: HashMap<(usize, WindowId), WidgetId>,
     next_id: u32,
@@ -131,6 +134,7 @@ impl XtApp {
             global_actions: ActionTable::new(),
             resource_db: XrmDb::new(),
             memstats: MemStats::new(),
+            telemetry: Telemetry::new(),
             host_calls: VecDeque::new(),
             window_map: HashMap::new(),
             next_id: 1,
@@ -320,6 +324,9 @@ impl XtApp {
             accelerators_installed: Vec::new(),
         };
         self.memstats.alloc(tracked);
+        self.telemetry.count("xt.widget.creates");
+        self.telemetry
+            .event("widget.create", || format!("{name} {}", class.name));
         self.widgets.insert(id.0, rec);
         self.by_name.insert(name.to_string(), id);
         if let Some(p) = parent {
@@ -375,6 +382,10 @@ impl XtApp {
             .map(ResourceValue::tracked_size)
             .sum::<usize>();
         self.memstats.free(tracked);
+        self.telemetry.count("xt.widget.destroys");
+        self.telemetry.event("widget.destroy", || {
+            format!("{} {}", rec.name, rec.class.name)
+        });
         self.by_name.remove(&rec.name);
         if let Some(p) = rec.parent {
             if let Some(prec) = self.widgets.get_mut(&p.0) {
@@ -960,6 +971,7 @@ impl XtApp {
 
     /// Queues a host call directly (used by the global `exec` action).
     pub fn queue_host_call(&mut self, call: HostCall) {
+        self.telemetry.count("xt.hostcalls.queued");
         self.host_calls.push_back(call);
     }
 
@@ -984,6 +996,9 @@ impl XtApp {
                 self.dispatch_event(di, e);
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.telemetry.add("xt.events.dispatched", n as u64);
         }
         n
     }

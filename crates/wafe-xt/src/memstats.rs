@@ -16,6 +16,7 @@ pub struct MemStats {
     peak: u64,
     allocs: u64,
     frees: u64,
+    overfrees: u64,
 }
 
 impl MemStats {
@@ -33,16 +34,24 @@ impl MemStats {
 
     /// Records a free of `bytes`.
     ///
+    /// Freeing more than is tracked — the double-free Wafe's C code
+    /// guards against — increments the `overfree` counter and saturates
+    /// at zero, so release builds record the fault instead of silently
+    /// swallowing it (the counter is surfaced as `xt.mem.overfree` in
+    /// `telemetry snapshot`).
+    ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if more is freed than was allocated —
-    /// that would be the double-free Wafe's C code guards against.
+    /// Panics in debug builds on such an underflow.
     pub fn free(&mut self, bytes: usize) {
-        debug_assert!(
-            self.current >= bytes as u64,
-            "memory accounting underflow: freeing {bytes} with only {} tracked",
-            self.current
-        );
+        if self.current < bytes as u64 {
+            self.overfrees += 1;
+            #[cfg(debug_assertions)]
+            panic!(
+                "memory accounting underflow: freeing {bytes} with only {} tracked",
+                self.current
+            );
+        }
         self.current = self.current.saturating_sub(bytes as u64);
         self.frees += 1;
     }
@@ -65,6 +74,12 @@ impl MemStats {
     /// Number of frees recorded.
     pub fn free_count(&self) -> u64 {
         self.frees
+    }
+
+    /// Number of frees that exceeded the tracked balance (each one is a
+    /// double-free-class accounting bug; always 0 in a healthy run).
+    pub fn overfree_count(&self) -> u64 {
+        self.overfrees
     }
 }
 
@@ -94,5 +109,30 @@ mod tests {
     fn underflow_panics_in_debug() {
         let mut m = MemStats::new();
         m.free(1);
+    }
+
+    /// Release builds must not panic: the fault is recorded as an
+    /// overfree and the balance saturates at zero.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn underflow_counts_overfree_in_release() {
+        let mut m = MemStats::new();
+        m.alloc(10);
+        m.free(25);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.overfree_count(), 1);
+        assert_eq!(m.free_count(), 1);
+        // A balanced free afterwards is not an overfree.
+        m.alloc(5);
+        m.free(5);
+        assert_eq!(m.overfree_count(), 1);
+    }
+
+    #[test]
+    fn balanced_frees_record_no_overfree() {
+        let mut m = MemStats::new();
+        m.alloc(10);
+        m.free(10);
+        assert_eq!(m.overfree_count(), 0);
     }
 }

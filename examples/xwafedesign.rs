@@ -38,7 +38,7 @@ fn main() {
     session.eval("treeGraph graph viewer").unwrap();
     for w in &widgets {
         let parent = session.eval(&format!("parent {w}")).unwrap();
-        let label = format!("{w}");
+        let label = w.to_string();
         let mut cmd = format!("label node_{w} graph label {label}");
         if widgets.contains(&parent.as_str()) {
             cmd.push_str(&format!(" parentNode node_{parent}"));

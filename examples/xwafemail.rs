@@ -80,7 +80,7 @@ fn main() {
     show_mail(&mut session, 0);
 
     // A scripted user opens each message in turn.
-    for i in 0..MAILS.len() {
+    for (i, mail) in MAILS.iter().enumerate() {
         session.eval(&format!("listHighlight msgs {i}")).unwrap();
         {
             let mut app = session.app.borrow_mut();
@@ -95,7 +95,7 @@ fn main() {
         let out = session.take_output();
         assert_eq!(out.trim(), format!("open {i}"));
         show_mail(&mut session, i);
-        println!("opened message {i}: {}", MAILS[i].subject);
+        println!("opened message {i}: {}", mail.subject);
     }
     println!("\n--- final mail window ---");
     println!("{}", session.eval("snapshot 0 0 360 220").unwrap());

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Offline CI gate: formatting, release build, full test suite.
+# Offline CI gate: formatting, lints, release build, full test suite.
 # Everything runs with --offline — the workspace has no external
 # dependencies by design (see docs/eval-cache.md and crates/wafe-prop).
 set -eu
@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo build --release --offline"
 cargo build --release --offline

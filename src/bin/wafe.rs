@@ -11,6 +11,9 @@
 //!
 //! The Motif flavour is selected by `--motif` or by invoking the binary
 //! through a link named `mofe`.
+//!
+//! `--telemetry` (or `WAFE_TELEMETRY=1`) switches on the telemetry layer
+//! in any mode; a script can then inspect it with `telemetry snapshot`.
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -73,6 +76,9 @@ fn main() {
             }
         };
         let mut session = WafeSession::new(flavor);
+        if split.has_frontend("telemetry") {
+            session.telemetry.set_enabled(true);
+        }
         session.apply_toolkit_args(&split);
         load_app_defaults(&mut session);
         session.set_output_callback(|s| {
@@ -89,6 +95,9 @@ fn main() {
 
     // Interactive mode.
     let mut session = WafeSession::new(flavor);
+    if split.has_frontend("telemetry") {
+        session.telemetry.set_enabled(true);
+    }
     session.apply_toolkit_args(&split);
     load_app_defaults(&mut session);
     session.set_output_callback(|s| {
@@ -127,6 +136,9 @@ fn run_frontend(program: &str, args: Vec<String>, flavor: Flavor, split: &wafe_c
             std::process::exit(2);
         }
     };
+    if split.has_frontend("telemetry") {
+        fe.engine.session.telemetry.set_enabled(true);
+    }
     fe.engine.session.apply_toolkit_args(split);
     load_app_defaults(&mut fe.engine.session);
     // InitCom: "the resource InitCom is provided, which can be specified

@@ -22,7 +22,7 @@ fn setup() -> WafeSession {
 }
 
 fn fire(s: &mut WafeSession, kind: &str) {
-    s.eval(&format!("sV b callback {{}}")).unwrap();
+    s.eval("sV b callback {}").unwrap();
     s.eval(&format!("callback b callback {kind} popup"))
         .unwrap();
     wafe::click_widget(s, "b");
