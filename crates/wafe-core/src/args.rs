@@ -89,6 +89,16 @@ impl SplitArgs {
     pub fn has_frontend(&self, opt: &str) -> bool {
         self.frontend.iter().any(|f| f == opt)
     }
+
+    /// The value of a `--name=value` frontend option, if present (last
+    /// wins). `--backend-timeout=500` yields `Some("500")` for
+    /// `frontend_value("backend-timeout")`.
+    pub fn frontend_value(&self, name: &str) -> Option<&str> {
+        self.frontend
+            .iter()
+            .rev()
+            .find_map(|f| f.strip_prefix(name)?.strip_prefix('='))
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +143,24 @@ mod tests {
     fn value_option_at_end_without_value() {
         let s = split_args(&sv(&["-display"]));
         assert_eq!(s.toolkit_value("-display"), Some(""));
+    }
+
+    #[test]
+    fn frontend_value_options() {
+        let s = split_args(&sv(&[
+            "--backend-timeout=500",
+            "--backend-retries=3",
+            "--telemetry",
+        ]));
+        assert_eq!(s.frontend_value("backend-timeout"), Some("500"));
+        assert_eq!(s.frontend_value("backend-retries"), Some("3"));
+        // A flag without `=` is not a value option...
+        assert_eq!(s.frontend_value("telemetry"), None);
+        // ...and a prefix match without `=` does not leak.
+        assert_eq!(s.frontend_value("backend"), None);
+        // Last occurrence wins.
+        let s2 = split_args(&sv(&["--backend-retries=1", "--backend-retries=9"]));
+        assert_eq!(s2.frontend_value("backend-retries"), Some("9"));
     }
 
     #[test]

@@ -31,6 +31,28 @@ pub fn register_handwritten(session: &mut WafeSession) {
     register_widget_tree(session);
     register_stats(session);
     register_telemetry(session);
+    register_backend_controls(session);
+}
+
+/// `backend status|restart|kill|config|queue` and `faultpoint
+/// set|clear|list` — the supervisor control surface. The behaviour is
+/// installed by the embedding frontend (wafe-ipc) through
+/// [`WafeSession::controls`]; in a plain session the commands report
+/// that no backend is attached.
+fn register_backend_controls(session: &mut WafeSession) {
+    for name in ["backend", "faultpoint"] {
+        let controls = session.controls.clone();
+        session.register_handwritten_command(name, move |_interp, argv| {
+            let mut controls = controls.borrow_mut();
+            match controls.get_mut(argv[0].as_str()) {
+                Some(handler) => handler(argv).map_err(TclError::Error),
+                None => Err(TclError::Error(format!(
+                    "{} requires frontend mode (no backend attached)",
+                    argv[0]
+                ))),
+            }
+        });
+    }
 }
 
 /// `telemetry snapshot|journal ?n?|histogram name|reset|enable|disable|

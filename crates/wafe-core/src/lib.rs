@@ -32,4 +32,4 @@ pub mod session;
 pub mod spec;
 
 pub use args::{split_args, SplitArgs};
-pub use session::{Flavor, WafeSession};
+pub use session::{ControlHandler, Flavor, WafeSession};

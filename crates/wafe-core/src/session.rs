@@ -48,6 +48,11 @@ pub const XAW_SPEC: &str = include_str!("../specs/xaw.wspec");
 /// Motif specification.
 pub const MOTIF_SPEC: &str = include_str!("../specs/motif.wspec");
 
+/// A handler an outer layer (the wafe-ipc backend supervisor) installs
+/// into [`WafeSession::controls`]; receives the full argv of the
+/// dispatching command.
+pub type ControlHandler = Box<dyn FnMut(&[String]) -> Result<String, String>>;
+
 /// A pending timeout (virtual-time based, deterministic).
 pub(crate) struct Timer {
     pub(crate) deadline_ms: u64,
@@ -95,6 +100,11 @@ pub struct WafeSession {
     /// when `WAFE_TELEMETRY` is set; scripts toggle it with the
     /// `telemetry enable|disable` command.
     pub telemetry: Telemetry,
+    /// Control handlers installed by outer layers, keyed by command name
+    /// (`backend`, `faultpoint`). wafe-core registers the commands; an
+    /// embedding frontend supplies the behaviour. Without a handler the
+    /// commands report that no backend is attached.
+    pub controls: Rc<RefCell<HashMap<String, ControlHandler>>>,
 }
 
 impl WafeSession {
@@ -161,6 +171,7 @@ impl WafeSession {
             comm_var: Rc::new(RefCell::new(None)),
             channel_fd: Rc::new(Cell::new(-1)),
             telemetry,
+            controls: Rc::new(RefCell::new(HashMap::new())),
         };
         session.load_specs();
         crate::commands::register_handwritten(&mut session);

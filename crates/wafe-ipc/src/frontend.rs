@@ -1,5 +1,11 @@
 //! The real-process frontend: child spawning and pipe multiplexing.
+//!
+//! The child process lives behind the supervisor (`supervisor.rs`):
+//! this module owns the raw transport — spawning with the mass-channel
+//! fd wired in, non-blocking reads, poll(2) multiplexing — packaged as
+//! a [`ChildLink`] the supervisor can tear down and respawn.
 
+use std::cell::Cell;
 use std::io::{Read, Write};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::process::CommandExt;
@@ -8,7 +14,11 @@ use std::time::{Duration, Instant};
 
 use wafe_core::Flavor;
 
+use crate::fault::FaultPlan;
 use crate::protocol::ProtocolEngine;
+use crate::supervisor::{
+    install_controls, BackendState, Supervisor, SupervisorConfig, SupervisorCore, SupervisorStats,
+};
 use crate::sys as libc;
 
 /// The fd number at which the child inherits the write end of the
@@ -29,61 +39,41 @@ pub fn backend_from_argv0(argv0: &str) -> Option<String> {
         .map(|rest| rest.to_string())
 }
 
-/// Configuration for spawning a frontend.
-pub struct FrontendConfig {
+/// Everything needed to (re)spawn one backend incarnation.
+pub struct SpawnSpec {
     /// The backend program to run.
     pub program: String,
     /// Arguments for the backend (the application's share of argv).
     pub args: Vec<String>,
-    /// Widget-set flavour.
-    pub flavor: Flavor,
     /// Create the mass-transfer channel.
     pub mass_channel: bool,
-    /// Initial command sent to the backend after the fork (the paper's
-    /// `InitCom` resource, e.g. a Prolog startup goal).
+    /// Initial command sent to the backend after each spawn (the
+    /// paper's `InitCom` resource, e.g. a Prolog startup goal).
     pub init_com: Option<String>,
 }
 
-impl FrontendConfig {
-    /// A minimal configuration running `program` with no arguments.
-    pub fn new(program: &str) -> Self {
-        FrontendConfig {
-            program: program.to_string(),
-            args: Vec::new(),
-            flavor: Flavor::Athena,
-            mass_channel: true,
-            init_com: None,
-        }
-    }
-}
-
-/// A running frontend: protocol engine + child process + pipes.
-pub struct Frontend {
-    /// The protocol engine (owns the Wafe session).
-    pub engine: ProtocolEngine,
+/// One live child incarnation: process plus its pipes.
+pub(crate) struct ChildLink {
     child: Child,
-    child_stdin: ChildStdin,
-    child_stdout: ChildStdout,
+    stdin: ChildStdin,
+    stdout: ChildStdout,
     mass_read: Option<std::fs::File>,
-    stdout_buf: Vec<u8>,
-    /// Lines the frontend printed to its own stdout (non-`%` passthrough).
-    pub printed: Vec<String>,
-    /// When the last line went out to the backend; the next complete line
-    /// back closes the `ipc.roundtrip` latency sample.
-    last_write: Option<Instant>,
+    exited: bool,
 }
 
-impl Frontend {
-    /// Spawns the backend and wires the channels (Figure 4).
-    pub fn spawn(config: FrontendConfig) -> std::io::Result<Frontend> {
-        let engine = ProtocolEngine::new(config.flavor);
-        let mut cmd = Command::new(&config.program);
-        cmd.args(&config.args)
+impl ChildLink {
+    /// Spawns the backend and wires the channels (Figure 4). When the
+    /// mass channel is requested, `channel_fd` is updated to the read
+    /// end Wafe listens on.
+    pub(crate) fn spawn(spec: &SpawnSpec, channel_fd: &Cell<i64>) -> std::io::Result<ChildLink> {
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
         let mut mass_read = None;
-        if config.mass_channel {
+        let mut parent_write_fd = None;
+        if spec.mass_channel {
             // A pipe whose write end the child inherits at a fixed fd.
             let mut fds = [0i32; 2];
             // SAFETY: fds is a valid 2-element array for pipe(2).
@@ -109,72 +99,43 @@ impl Frontend {
                     Ok(())
                 });
             }
-            engine.session.channel_fd.set(read_fd as i64);
-            // Parent closes its copy of the write end after spawn (below).
-            let mut child = cmd.spawn()?;
+            channel_fd.set(read_fd as i64);
+            parent_write_fd = Some(write_fd);
+        }
+        let spawned = cmd.spawn();
+        if let Some(write_fd) = parent_write_fd {
             // SAFETY: write_fd belongs to this process and is no longer
-            // needed once the child holds its duplicate.
+            // needed once the child holds its duplicate (or the spawn
+            // failed).
             unsafe { libc::close(write_fd) };
-            let child_stdin = child.stdin.take().expect("stdin piped");
-            let child_stdout = child.stdout.take().expect("stdout piped");
-            set_nonblocking(child_stdout.as_raw_fd())?;
-            let mut fe = Frontend {
-                engine,
-                child,
-                child_stdin,
-                child_stdout,
-                mass_read,
-                stdout_buf: Vec::new(),
-                printed: Vec::new(),
-                last_write: None,
-            };
-            if let Some(ic) = &config.init_com {
-                fe.send_to_app(ic)?;
-            }
-            return Ok(fe);
         }
-        let mut child = cmd.spawn()?;
-        let child_stdin = child.stdin.take().expect("stdin piped");
-        let child_stdout = child.stdout.take().expect("stdout piped");
-        set_nonblocking(child_stdout.as_raw_fd())?;
-        let mut fe = Frontend {
-            engine,
+        let mut child = spawned?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        set_nonblocking(stdout.as_raw_fd())?;
+        Ok(ChildLink {
             child,
-            child_stdin,
-            child_stdout,
+            stdin,
+            stdout,
             mass_read,
-            stdout_buf: Vec::new(),
-            printed: Vec::new(),
-            last_write: None,
-        };
-        if let Some(ic) = &config.init_com {
-            fe.send_to_app(ic)?;
-        }
-        Ok(fe)
+            exited: false,
+        })
     }
 
-    /// Sends one line to the application's stdin.
-    pub fn send_to_app(&mut self, line: &str) -> std::io::Result<()> {
-        let tel = &self.engine.session.telemetry;
-        tel.count("ipc.lines.sent");
-        tel.add("ipc.bytes.sent", line.len() as u64);
-        self.last_write = tel.timer();
-        self.child_stdin.write_all(line.as_bytes())?;
+    /// Writes one newline-terminated line to the child's stdin.
+    pub(crate) fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.stdin.write_all(line.as_bytes())?;
         if !line.ends_with('\n') {
-            self.child_stdin.write_all(b"\n")?;
+            self.stdin.write_all(b"\n")?;
         }
-        self.child_stdin.flush()
+        self.stdin.flush()
     }
 
-    /// One iteration of the multiplexed event loop: polls the backend's
-    /// pipes (with the given timeout), feeds complete lines and mass data
-    /// into the protocol engine, pumps GUI events and forwards queued
-    /// messages to the application. Returns false once the backend has
-    /// exited and its pipes are drained.
-    pub fn step(&mut self, timeout: Duration) -> std::io::Result<bool> {
-        // Poll the child's stdout (and the mass channel).
+    /// Polls the child's pipes for up to `timeout`; returns
+    /// `(stdout_ready, mass_ready)` (readable or hung up).
+    pub(crate) fn poll(&self, timeout: Duration) -> (bool, bool) {
         let mut pollfds = vec![libc::pollfd {
-            fd: self.child_stdout.as_raw_fd(),
+            fd: self.stdout.as_raw_fd(),
             events: libc::POLLIN,
             revents: 0,
         }];
@@ -193,72 +154,158 @@ impl Frontend {
                 timeout.as_millis() as i32,
             )
         };
-        let mut saw_eof = false;
-        if pollfds[0].revents & (libc::POLLIN | libc::POLLHUP) != 0 {
-            let mut buf = [0u8; 16384];
-            loop {
-                match self.child_stdout.read(&mut buf) {
-                    Ok(0) => {
-                        saw_eof = true;
-                        break;
-                    }
-                    Ok(n) => self.stdout_buf.extend_from_slice(&buf[..n]),
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) => return Err(e),
+        let ready = |p: &libc::pollfd| p.revents & (libc::POLLIN | libc::POLLHUP) != 0;
+        (
+            ready(&pollfds[0]),
+            pollfds.get(1).map(ready).unwrap_or(false),
+        )
+    }
+
+    /// Drains the child's stdout (non-blocking) up to `cap` bytes per
+    /// call; returns the bytes and whether EOF was reached.
+    pub(crate) fn read_stdout(&mut self, cap: usize) -> (Vec<u8>, bool) {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16384];
+        let mut eof = false;
+        while out.len() < cap {
+            match self.stdout.read(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    eof = true;
+                    break;
                 }
             }
         }
-        // Process complete lines.
-        while let Some(nl) = self.stdout_buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = self.stdout_buf.drain(..=nl).collect();
-            let text = String::from_utf8_lossy(&line).into_owned();
-            if self.last_write.is_some() {
-                self.engine
-                    .session
-                    .telemetry
-                    .observe_since("ipc.roundtrip", self.last_write.take());
-            }
-            let _ = self.engine.handle_line(&text);
-            for p in self.engine.take_passthrough() {
-                self.printed.push(p);
-            }
-        }
-        // Mass channel.
+        (out, eof)
+    }
+
+    /// Drains the mass channel (non-blocking) up to `cap` bytes.
+    pub(crate) fn read_mass(&mut self, cap: usize) -> Vec<u8> {
+        let mut out = Vec::new();
         if let Some(m) = &mut self.mass_read {
             let mut buf = [0u8; 16384];
-            loop {
+            while out.len() < cap {
                 match m.read(&mut buf) {
                     Ok(0) => break,
-                    Ok(n) => {
-                        let data = buf[..n].to_vec();
-                        self.engine.handle_mass_data(&data);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Ok(n) => out.extend_from_slice(&buf[..n]),
                     Err(_) => break,
                 }
             }
         }
+        out
+    }
+
+    /// Has the child process exited? (Sticky once observed.)
+    pub(crate) fn exited(&mut self) -> bool {
+        if !self.exited && matches!(self.child.try_wait(), Ok(Some(_))) {
+            self.exited = true;
+        }
+        self.exited
+    }
+
+    /// Kills and reaps the child process.
+    pub(crate) fn kill_process(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.exited = true;
+    }
+}
+
+/// Configuration for spawning a frontend.
+pub struct FrontendConfig {
+    /// The backend program to run.
+    pub program: String,
+    /// Arguments for the backend (the application's share of argv).
+    pub args: Vec<String>,
+    /// Widget-set flavour.
+    pub flavor: Flavor,
+    /// Create the mass-transfer channel.
+    pub mass_channel: bool,
+    /// Initial command sent to the backend after the fork (the paper's
+    /// `InitCom` resource, e.g. a Prolog startup goal).
+    pub init_com: Option<String>,
+    /// Supervisor policy (timeouts, restarts, flood caps, queueing).
+    pub supervisor: SupervisorConfig,
+    /// Deterministic fault plan for chaos testing.
+    pub faults: Option<FaultPlan>,
+}
+
+impl FrontendConfig {
+    /// A minimal configuration running `program` with no arguments.
+    pub fn new(program: &str) -> Self {
+        FrontendConfig {
+            program: program.to_string(),
+            args: Vec::new(),
+            flavor: Flavor::Athena,
+            mass_channel: true,
+            init_com: None,
+            supervisor: SupervisorConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+/// A running frontend: protocol engine + supervised child process.
+pub struct Frontend {
+    /// The protocol engine (owns the Wafe session).
+    pub engine: ProtocolEngine,
+    supervisor: Supervisor,
+    /// Lines the frontend printed to its own stdout (non-`%` passthrough).
+    pub printed: Vec<String>,
+}
+
+impl Frontend {
+    /// Spawns the backend under the supervisor and wires the channels.
+    pub fn spawn(config: FrontendConfig) -> std::io::Result<Frontend> {
+        let mut engine = ProtocolEngine::new(config.flavor);
+        let spec = SpawnSpec {
+            program: config.program,
+            args: config.args,
+            mass_channel: config.mass_channel,
+            init_com: config.init_com,
+        };
+        let tel = engine.session.telemetry.clone();
+        let channel_fd = engine.session.channel_fd.clone();
+        let supervisor = Supervisor::new(spec, config.supervisor, config.faults, tel, channel_fd)?;
+        install_controls(&supervisor.core(), &mut engine.session);
+        Ok(Frontend {
+            engine,
+            supervisor,
+            printed: Vec::new(),
+        })
+    }
+
+    /// Sends one line to the application's stdin. While the backend is
+    /// down the line is queued (bounded) and flushed after a restart.
+    pub fn send_to_app(&mut self, line: &str) -> std::io::Result<()> {
+        self.supervisor.send(line)
+    }
+
+    /// One iteration of the multiplexed event loop: runs one supervisor
+    /// tick (poll, read, fault plan, protocol, timeouts, restarts),
+    /// pumps GUI events and forwards queued messages to the
+    /// application. Returns false once the loop should end (backend
+    /// exited and drained, `quit` ran, or the circuit breaker opened
+    /// without `stayAliveWhenBroken`).
+    pub fn step(&mut self, timeout: Duration) -> std::io::Result<bool> {
+        let ended = self.supervisor.tick(&mut self.engine, timeout);
+        for p in self.engine.take_passthrough() {
+            self.printed.push(p);
+        }
         // Pump GUI events and forward queued messages to the application.
         self.engine.session.pump();
         for line in self.engine.take_app_lines() {
-            // Ignore EPIPE: the backend may already have exited.
-            let _ = self.send_to_app(&line);
+            let _ = self.supervisor.send(&line);
         }
         if self.engine.session.quit_requested() {
             return Ok(false);
         }
-        if saw_eof {
-            // Child gone and stdout drained?
-            if self.stdout_buf.is_empty() {
-                return Ok(false);
-            }
-        }
-        if let Ok(Some(_)) = self.child.try_wait() {
-            if self.stdout_buf.is_empty() && saw_eof {
-                return Ok(false);
-            }
-        }
-        Ok(true)
+        Ok(!ended)
     }
 
     /// Runs the loop until the backend exits, `quit` runs, or the
@@ -274,10 +321,32 @@ impl Frontend {
         Ok(false)
     }
 
-    /// Kills the backend (cleanup in tests).
+    /// The backend's supervision state.
+    pub fn backend_state(&self) -> BackendState {
+        self.supervisor.state()
+    }
+
+    /// A copy of the supervisor's event totals.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.supervisor.stats()
+    }
+
+    /// The shared supervisor handle (config, queue, fault plan).
+    pub fn supervisor_core(&self) -> std::rc::Rc<std::cell::RefCell<SupervisorCore>> {
+        self.supervisor.core()
+    }
+
+    /// Kills the backend *process* without informing the supervisor —
+    /// the next `step` observes the death and applies the restart
+    /// policy. This is the deterministic external-crash hook the chaos
+    /// tests use.
+    pub fn kill_backend(&mut self) {
+        self.supervisor.kill_child_process();
+    }
+
+    /// Tears the backend down for good (cleanup in tests).
     pub fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+        self.supervisor.shutdown();
     }
 }
 
@@ -326,11 +395,9 @@ mod tests {
             echo "got $line" >&2
         "#;
         let mut fe = Frontend::spawn(FrontendConfig {
-            program: "sh".into(),
             args: vec!["-c".into(), script.into()],
-            flavor: Flavor::Athena,
             mass_channel: false,
-            init_com: None,
+            ..FrontendConfig::new("sh")
         })
         .expect("spawn sh");
         // Let the backend build the tree.
@@ -372,11 +439,10 @@ mod tests {
         // first thing it sees.
         let script = r#"read line; echo "%set initline {$line}""#;
         let mut fe = Frontend::spawn(FrontendConfig {
-            program: "sh".into(),
             args: vec!["-c".into(), script.into()],
-            flavor: Flavor::Athena,
             mass_channel: false,
             init_com: Some("[myapp], widget_tree, read_loop.".into()),
+            ..FrontendConfig::new("sh")
         })
         .expect("spawn sh");
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -406,11 +472,9 @@ mod tests {
             sleep 0.5
         "#;
         let mut fe = Frontend::spawn(FrontendConfig {
-            program: "sh".into(),
             args: vec!["-c".into(), script.into()],
-            flavor: Flavor::Athena,
             mass_channel: true,
-            init_com: None,
+            ..FrontendConfig::new("sh")
         })
         .expect("spawn sh");
         let deadline = Instant::now() + Duration::from_secs(6);
@@ -433,11 +497,9 @@ mod tests {
     fn passthrough_lines_printed() {
         let script = r#"echo 'plain output line'; echo '%set x 1'"#;
         let mut fe = Frontend::spawn(FrontendConfig {
-            program: "sh".into(),
             args: vec!["-c".into(), script.into()],
-            flavor: Flavor::Athena,
             mass_channel: false,
-            init_com: None,
+            ..FrontendConfig::new("sh")
         })
         .expect("spawn sh");
         fe.run_until_exit(Duration::from_secs(5)).unwrap();

@@ -21,9 +21,21 @@
 //!   `poll(2)` — which is what keeps the GUI responsive while the
 //!   application is busy and buffers clicks ahead.
 
+//! * [`supervisor::Supervisor`] — the reliability layer the paper lacks:
+//!   read/round-trip timeouts, exponential-backoff restarts behind a
+//!   circuit breaker, flood limits, bounded outbound queueing while the
+//!   backend is down, and a deterministic [`fault::FaultPlan`]
+//!   fault-injection substrate driving the chaos test suite.
+
+pub mod fault;
 pub mod frontend;
 pub mod protocol;
+pub mod supervisor;
 pub(crate) mod sys;
 
-pub use frontend::{backend_from_argv0, Frontend, FrontendConfig};
-pub use protocol::{ProtocolEngine, DEFAULT_MAX_LINE, DEFAULT_PREFIX};
+pub use fault::{FaultAction, FaultPlan, FAULTS_ENV_VAR, FAULT_POINTS};
+pub use frontend::{backend_from_argv0, Frontend, FrontendConfig, SpawnSpec};
+pub use protocol::{
+    is_command_line, LineAssembler, ProtocolEngine, DEFAULT_MAX_LINE, DEFAULT_PREFIX,
+};
+pub use supervisor::{BackendState, Supervisor, SupervisorConfig, SupervisorCore, SupervisorStats};

@@ -67,11 +67,9 @@ fn frontend_roundtrip_measured_against_live_backend() {
         echo "%set answer {$line}"
     "#;
     let mut fe = Frontend::spawn(FrontendConfig {
-        program: "sh".into(),
         args: vec!["-c".into(), script.into()],
-        flavor: Flavor::Athena,
         mass_channel: false,
-        init_com: None,
+        ..FrontendConfig::new("sh")
     })
     .expect("spawn sh");
     fe.engine.session.telemetry.set_enabled(true);

@@ -289,6 +289,19 @@ impl Snapshot {
             .map(|&(_, v)| v)
     }
 
+    /// All counters under a dotted prefix (e.g. `ipc.supervisor.`),
+    /// sorted by name — the supervisor's introspection surface.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .copied()
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Looks up a histogram summary by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms

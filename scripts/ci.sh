@@ -18,4 +18,18 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+# The chaos suite is deterministic by construction (seeded fault plans,
+# virtual tick clock); 50 consecutive runs under a hard timeout catch
+# any flakiness regression. The suite is compiled by the test step
+# above, so the loop only pays test startup time.
+echo "== supervisor chaos suite x50 (60s guard)"
+timeout 60 sh -c '
+    i=1
+    while [ $i -le 50 ]; do
+        cargo test -q -p wafe-ipc --test supervisor_chaos --offline \
+            >/dev/null 2>&1 || { echo "chaos run $i failed"; exit 1; }
+        i=$((i + 1))
+    done
+' || { echo "supervisor chaos suite: FAILED (or exceeded 60s)"; exit 1; }
+
 echo "CI OK"

@@ -14,12 +14,18 @@
 //!
 //! `--telemetry` (or `WAFE_TELEMETRY=1`) switches on the telemetry layer
 //! in any mode; a script can then inspect it with `telemetry snapshot`.
+//!
+//! In frontend mode the backend runs under a supervisor
+//! (see `docs/supervisor.md`): `--backend-timeout=MS` and
+//! `--backend-retries=N` set the read timeout and restart budget on top
+//! of the `WAFE_BACKEND_*` environment overrides, and `WAFE_FAULTS`
+//! installs a deterministic fault-injection plan for testing.
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use wafe_core::{split_args, Flavor, WafeSession};
-use wafe_ipc::{backend_from_argv0, Frontend, FrontendConfig};
+use wafe_ipc::{backend_from_argv0, FaultPlan, Frontend, FrontendConfig, SupervisorConfig};
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -129,6 +135,36 @@ fn run_frontend(program: &str, args: Vec<String>, flavor: Flavor, split: &wafe_c
     let mut config = FrontendConfig::new(program);
     config.args = args;
     config.flavor = flavor;
+    // Supervisor policy: WAFE_BACKEND_* environment first, then the
+    // dedicated flags on top.
+    config.supervisor = SupervisorConfig::from_env();
+    if let Some(v) = split.frontend_value("backend-timeout") {
+        match v.parse::<u64>() {
+            Ok(ms) => config.supervisor.read_timeout_ms = (ms > 0).then_some(ms),
+            Err(_) => {
+                eprintln!("wafe: --backend-timeout expects milliseconds, got \"{v}\"");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = split.frontend_value("backend-retries") {
+        match v.parse::<u32>() {
+            Ok(n) => config.supervisor.max_restarts = n,
+            Err(_) => {
+                eprintln!("wafe: --backend-retries expects a count, got \"{v}\"");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Deterministic fault injection: WAFE_FAULTS="point:action[@trigger];…".
+    match FaultPlan::from_env() {
+        Some(Ok(plan)) => config.faults = Some(plan),
+        Some(Err(e)) => {
+            eprintln!("wafe: invalid {}: {e}", wafe_ipc::FAULTS_ENV_VAR);
+            std::process::exit(2);
+        }
+        None => {}
+    }
     let mut fe = match Frontend::spawn(config) {
         Ok(fe) => fe,
         Err(e) => {

@@ -1,21 +1,36 @@
 //! Failure injection for frontend mode: crashing backends, garbage
-//! protocol input, oversized lines — the frontend must degrade
-//! gracefully, never panic, and keep the GUI consistent.
+//! protocol input, oversized lines, wedged children — the frontend
+//! must degrade gracefully, never panic, and keep the GUI consistent.
+//! Everything here runs through the supervisor path (the default
+//! policy reproduces the paper's trusting frontend).
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use wafe::core::Flavor;
-use wafe::ipc::{Frontend, FrontendConfig, ProtocolEngine};
+use wafe::ipc::{BackendState, Frontend, FrontendConfig, ProtocolEngine, SupervisorConfig};
 
 fn spawn_sh(script: &str) -> Frontend {
+    spawn_sh_with(script, SupervisorConfig::default())
+}
+
+fn spawn_sh_with(script: &str, supervisor: SupervisorConfig) -> Frontend {
     Frontend::spawn(FrontendConfig {
-        program: "sh".into(),
         args: vec!["-c".into(), script.into()],
-        flavor: Flavor::Athena,
         mass_channel: false,
-        init_com: None,
+        supervisor,
+        ..FrontendConfig::new("sh")
     })
     .expect("spawn sh")
+}
+
+fn snapshot(session: &mut wafe::core::WafeSession) -> BTreeMap<String, u64> {
+    let out = session.eval("telemetry snapshot").unwrap();
+    wafe::tcl::parse_list(&out)
+        .unwrap()
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].parse::<u64>().unwrap()))
+        .collect()
 }
 
 #[test]
@@ -159,5 +174,128 @@ fn backend_ignores_stdin_then_exits() {
         }
     }
     // Reaching here without a panic or hang is the assertion.
+    fe.kill();
+}
+
+#[test]
+fn wedged_backend_trips_read_timeout_instead_of_hanging() {
+    // Regression: a backend that opens the pipe but never writes used to
+    // block the session forever (the paper's frontend has no timeout).
+    // With a read timeout and no restart budget the breaker opens and
+    // the loop ends — deterministically, on the virtual tick clock.
+    let supervisor = SupervisorConfig {
+        read_timeout_ms: Some(100),
+        ..SupervisorConfig::default()
+    };
+    let mut fe = spawn_sh_with("read never_comes", supervisor);
+    let mut ended = false;
+    for _ in 0..500 {
+        if !fe.step(Duration::from_millis(20)).unwrap() {
+            ended = true;
+            break;
+        }
+    }
+    assert!(ended, "the wedged backend must not hang the session");
+    assert_eq!(fe.backend_state(), BackendState::Broken);
+    let stats = fe.supervisor_stats();
+    assert_eq!(stats.read_timeouts, 1, "{stats:?}");
+    assert_eq!(stats.breaker_trips, 1);
+    // The GUI session itself is still usable after the breaker opened.
+    assert_eq!(fe.engine.session.eval("set x alive").unwrap(), "alive");
+    fe.kill();
+}
+
+#[test]
+fn supervisor_counters_surface_in_telemetry_snapshot() {
+    // Kill the backend externally, send a line (queued), let the
+    // supervisor restart and flush — then read the whole story out of
+    // `telemetry snapshot` as ipc.supervisor.* counters.
+    let script = r#"while read l; do echo "%set got_$l 1"; done"#;
+    let supervisor = SupervisorConfig {
+        max_restarts: 3,
+        backoff_base_ms: 10,
+        ..SupervisorConfig::default()
+    };
+    let mut fe = spawn_sh_with(script, supervisor);
+    fe.engine.session.telemetry.set_enabled(true);
+    fe.kill_backend();
+    fe.send_to_app("resurrected").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(10)).unwrap();
+        if fe.engine.session.interp.var_exists("got_resurrected") {
+            break;
+        }
+    }
+    assert!(
+        fe.engine.session.interp.var_exists("got_resurrected"),
+        "queued line must be delivered after the restart"
+    );
+    let snap = snapshot(&mut fe.engine.session);
+    assert!(snap["ipc.supervisor.restarts"] >= 1, "{snap:?}");
+    assert!(snap["ipc.supervisor.queue.flushed"] >= 1);
+    assert!(snap["ipc.supervisor.write.errors"] >= 1);
+    // The journal recorded the fault/restart sequence.
+    let journal = fe.engine.session.eval("telemetry journal").unwrap();
+    assert!(journal.contains("supervisor.fault"), "{journal}");
+    assert!(journal.contains("supervisor.restart"), "{journal}");
+    fe.kill();
+}
+
+#[test]
+fn prime_backend_restarts_end_to_end() {
+    // The real prime-factor backend from the paper's example: kill it
+    // mid-session, queue a request while it is down, and check the
+    // restarted incarnation answers it.
+    let supervisor = SupervisorConfig {
+        max_restarts: 2,
+        backoff_base_ms: 10,
+        ..SupervisorConfig::default()
+    };
+    let mut fe = Frontend::spawn(FrontendConfig {
+        mass_channel: false,
+        supervisor,
+        ..FrontendConfig::new(env!("CARGO_BIN_EXE_wafe-backend-prime"))
+    })
+    .expect("spawn prime backend");
+    // Wait for the widget tree, then a first round trip.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(10)).unwrap();
+        let built = {
+            let app = fe.engine.session.app.borrow();
+            app.lookup("result").is_some() && app.lookup("input").is_some()
+        };
+        if built {
+            break;
+        }
+    }
+    fe.send_to_app("360").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(10)).unwrap();
+        if fe.engine.session.eval("gV result label").unwrap() == "5*3*3*2*2*2" {
+            break;
+        }
+    }
+    assert_eq!(
+        fe.engine.session.eval("gV result label").unwrap(),
+        "5*3*3*2*2*2"
+    );
+    // Crash it; the request sent while dead is queued and flushed.
+    fe.kill_backend();
+    fe.send_to_app("35").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        fe.step(Duration::from_millis(10)).unwrap();
+        if fe.engine.session.eval("gV result label").unwrap() == "7*5" {
+            break;
+        }
+    }
+    assert_eq!(fe.engine.session.eval("gV result label").unwrap(), "7*5");
+    let stats = fe.supervisor_stats();
+    assert_eq!(stats.restarts, 1, "{stats:?}");
+    assert!(stats.queue_flushed >= 1);
+    assert_eq!(fe.backend_state(), BackendState::Running);
     fe.kill();
 }
