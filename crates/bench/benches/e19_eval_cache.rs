@@ -35,7 +35,7 @@ proc factor {n} {\n\
 /// The loop-heavy E18 workload: factor a semiprime, ~3600 iterations of
 /// the outer `for` with an `expr` guard each time.
 fn loop_heavy(i: &mut Interp) -> String {
-    i.eval("factor 3599").unwrap()
+    i.eval("factor 3599").unwrap().to_string()
 }
 
 const SUMPROC_TCL: &str = "proc addup {a b} {return [expr {$a + $b}]}";
@@ -44,6 +44,7 @@ const SUMPROC_TCL: &str = "proc addup {a b} {return [expr {$a + $b}]}";
 fn proc_heavy(i: &mut Interp) -> String {
     i.eval("set s 0; for {set k 0} {$k < 500} {incr k} {set s [addup $s $k]}; set s")
         .unwrap()
+        .to_string()
 }
 
 fn interp_with(cache_limit: usize) -> Interp {

@@ -41,7 +41,7 @@ proc factor {n} {\n\
 }";
 
 fn loop_heavy(i: &mut Interp) -> String {
-    i.eval("factor 3599").unwrap()
+    i.eval("factor 3599").unwrap().to_string()
 }
 
 fn interp(enabled: bool) -> Interp {

@@ -1,0 +1,157 @@
+//! E21 — dual-representation values vs the strings-only model.
+//!
+//! Wafe inherits Tcl 6's "everything is a string" data model; every
+//! numeric or list use of a value re-parses its text ("shimmering").
+//! This experiment measures what the Tcl 8-style dual-rep `Value`
+//! (shared string + cached int/double/list/script rep) buys back on
+//! three workloads, all on the **same interpreter binary** — the
+//! baseline flips `wafe_tcl::set_reps_enabled(false)`, which makes
+//! `Value` behave exactly like the old strings-only model (no rep
+//! caching, eager rendering, every access re-parses):
+//!
+//! * **list_build** — `lappend` growth: amortized O(1) per append with
+//!   the sole-owner rep steal vs O(n) re-parse + re-render per append;
+//! * **sort_ints** — `lsort -integer` over a 300-element list: one
+//!   int parse per element vs one per comparison;
+//! * **mix** — the acceptance workload: lappend growth, an integer
+//!   lsort, and a `for`/`expr`/`incr` arithmetic pass over the result.
+//!
+//! Results go to stdout and `BENCH_e21.json` at the workspace root.
+
+use std::time::Duration;
+
+use bench::{criterion_group, criterion_main, measure_median, workspace_root, Criterion};
+use wafe_tcl::{set_reps_enabled, Interp};
+
+const LIST_BUILD_TCL: &str = "\
+set l {}\n\
+for {set k 0} {$k < 400} {incr k} {lappend l $k}\n\
+llength $l";
+
+const SORT_INTS_TCL: &str = "llength [lsort -integer $data]";
+
+const MIX_TCL: &str = "\
+set l {}\n\
+for {set k 0} {$k < 300} {incr k} {lappend l [expr {($k * 7919) % 1000}]}\n\
+set sorted [lsort -integer $l]\n\
+set sum 0\n\
+foreach x $sorted {incr sum $x}\n\
+set sum";
+
+fn run(i: &mut Interp, script: &str) -> String {
+    i.eval(script).unwrap().to_string()
+}
+
+fn fresh_interp() -> Interp {
+    let mut i = Interp::new();
+    // A 300-element pre-built list for the sort workload.
+    i.eval("set data {}; for {set k 0} {$k < 300} {incr k} {lappend data [expr {(299 - $k) * 3}]}")
+        .unwrap();
+    i
+}
+
+struct Measured {
+    name: &'static str,
+    string_ns: f64,
+    dualrep_ns: f64,
+}
+
+impl Measured {
+    fn speedup(&self) -> f64 {
+        self.string_ns / self.dualrep_ns.max(1.0)
+    }
+}
+
+fn measure(name: &'static str, script: &'static str) -> Measured {
+    // Same-result sanity check: reps must be semantically invisible.
+    set_reps_enabled(false);
+    let mut string_i = fresh_interp();
+    let string_out = run(&mut string_i, script);
+    set_reps_enabled(true);
+    let mut dual_i = fresh_interp();
+    assert_eq!(string_out, run(&mut dual_i, script));
+
+    let warm_up = Duration::from_millis(200);
+    let budget = Duration::from_millis(1200);
+    set_reps_enabled(false);
+    let string_ns = measure_median(warm_up, budget, 11, || run(&mut string_i, script));
+    set_reps_enabled(true);
+    let dualrep_ns = measure_median(warm_up, budget, 11, || run(&mut dual_i, script));
+    Measured {
+        name,
+        string_ns,
+        dualrep_ns,
+    }
+}
+
+fn write_json(results: &[Measured]) {
+    let mut out = String::from("{\n  \"experiment\": \"e21_value_reps\",\n  \"workloads\": [\n");
+    for (k, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"string_ns_per_iter\": {:.1}, \"dualrep_ns_per_iter\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.string_ns,
+            m.dualrep_ns,
+            m.speedup(),
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = workspace_root().join("BENCH_e21.json");
+    std::fs::write(&path, out).expect("write BENCH_e21.json");
+    println!("  wrote {}", path.display());
+}
+
+fn bench(c: &mut Criterion) {
+    bench::banner(
+        "E21",
+        "dual-representation values vs Tcl 6.x strings-only shimmering",
+    );
+    let results = [
+        measure("list_build_lappend", LIST_BUILD_TCL),
+        measure("sort_ints", SORT_INTS_TCL),
+        measure("mix_lappend_lsort_arith", MIX_TCL),
+    ];
+    for m in &results {
+        bench::row(
+            &format!("{} strings-only", m.name),
+            format!("{:.0} ns/iter", m.string_ns),
+        );
+        bench::row(
+            &format!("{} dual-rep", m.name),
+            format!("{:.0} ns/iter", m.dualrep_ns),
+        );
+        bench::row(
+            &format!("{} speedup", m.name),
+            format!("{:.1}x", m.speedup()),
+        );
+    }
+    write_json(&results);
+    let mix = &results[2];
+    assert!(
+        mix.speedup() >= 3.0,
+        "acceptance: >=3x on the lappend/lsort/arithmetic mix, got {:.2}x",
+        mix.speedup()
+    );
+
+    // Keep a criterion-style group so E21 reports like the others.
+    let mut group = c.benchmark_group("e21_value_reps");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1000));
+    group.sample_size(11);
+    group.bench_function("mix_dualrep", |b| {
+        set_reps_enabled(true);
+        let mut i = fresh_interp();
+        b.iter(|| run(&mut i, MIX_TCL));
+    });
+    group.bench_function("mix_strings_only", |b| {
+        set_reps_enabled(false);
+        let mut i = fresh_interp();
+        b.iter(|| run(&mut i, MIX_TCL));
+        set_reps_enabled(true);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! `processEvents`, channel configuration and statistics.
 
 use wafe_tcl::error::wrong_num_args;
-use wafe_tcl::TclError;
+use wafe_tcl::{TclError, Value};
 use wafe_xproto::geometry::Rect;
 use wafe_xt::callback::{CallbackItem, PredefinedCallback};
 use wafe_xt::resource::ResourceValue;
@@ -44,8 +44,11 @@ fn register_backend_controls(session: &mut WafeSession) {
         let controls = session.controls.clone();
         session.register_handwritten_command(name, move |_interp, argv| {
             let mut controls = controls.borrow_mut();
+            // Control handlers are an embedding-facing API and stay on
+            // plain strings; convert at this boundary.
+            let words: Vec<String> = argv.iter().map(|v| v.to_string()).collect();
             match controls.get_mut(argv[0].as_str()) {
-                Some(handler) => handler(argv).map_err(TclError::Error),
+                Some(handler) => handler(&words).map(Value::from).map_err(TclError::Error),
                 None => Err(TclError::Error(format!(
                     "{} requires frontend mode (no backend attached)",
                     argv[0]
@@ -115,6 +118,21 @@ fn register_telemetry(session: &mut WafeSession) {
                         pairs.push((k.to_string(), v.to_string()));
                     }
                 }
+                // Dual-representation value-layer counters (see
+                // `docs/values.md`): conversions in/out of the cached
+                // int/double/list/script reps and rep reuse.
+                let sh = wafe_tcl::shimmer_stats();
+                for (k, v) in [
+                    ("tcl.shimmer.intParses", sh.int_parses),
+                    ("tcl.shimmer.doubleParses", sh.double_parses),
+                    ("tcl.shimmer.listParses", sh.list_parses),
+                    ("tcl.shimmer.repHits", sh.rep_hits),
+                    ("tcl.shimmer.renders", sh.renders),
+                    ("tcl.shimmer.listCow", sh.list_cow),
+                    ("tcl.shimmer.cmdInternHits", sh.cmd_intern_hits),
+                ] {
+                    pairs.push((k.to_string(), v.to_string()));
+                }
                 // Journal occupancy.
                 let (retained, total, capacity) = tel.journal_stats();
                 pairs.push(("trace.journal.retained".into(), retained.to_string()));
@@ -122,7 +140,7 @@ fn register_telemetry(session: &mut WafeSession) {
                 pairs.push(("trace.journal.capacity".into(), capacity.to_string()));
                 pairs.sort();
                 let words: Vec<String> = pairs.into_iter().flat_map(|(k, v)| [k, v]).collect();
-                Ok(wafe_tcl::list_join(&words))
+                Ok(Value::from(wafe_tcl::list_join(&words)))
             }
             "journal" => {
                 let n = match argv.len() {
@@ -144,7 +162,7 @@ fn register_telemetry(session: &mut WafeSession) {
                         ])
                     })
                     .collect();
-                Ok(wafe_tcl::list_join(&entries))
+                Ok(Value::from(wafe_tcl::list_join(&entries)))
             }
             "histogram" => {
                 if argv.len() != 3 {
@@ -165,28 +183,28 @@ fn register_telemetry(session: &mut WafeSession) {
                 .iter()
                 .flat_map(|(k, v)| [k.to_string(), v.to_string()])
                 .collect();
-                Ok(wafe_tcl::list_join(&words))
+                Ok(Value::from(wafe_tcl::list_join(&words)))
             }
             "reset" => {
                 if argv.len() != 2 {
                     return Err(wrong_num_args("telemetry reset"));
                 }
                 tel.reset();
-                Ok(String::new())
+                Ok(Value::empty())
             }
             "enable" => {
                 if argv.len() != 2 {
                     return Err(wrong_num_args("telemetry enable"));
                 }
                 tel.set_enabled(true);
-                Ok(String::new())
+                Ok(Value::empty())
             }
             "disable" => {
                 if argv.len() != 2 {
                     return Err(wrong_num_args("telemetry disable"));
                 }
                 tel.set_enabled(false);
-                Ok(String::new())
+                Ok(Value::empty())
             }
             "enabled" => {
                 if argv.len() != 2 {
@@ -203,7 +221,7 @@ fn register_telemetry(session: &mut WafeSession) {
 
 fn register_set_values(session: &mut WafeSession) {
     let app_rc = session.app.clone();
-    let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
+    let handler = move |_: &mut wafe_tcl::Interp, argv: &[Value]| {
         if argv.len() < 4 || !(argv.len() - 2).is_multiple_of(2) {
             return Err(wrong_num_args(
                 "setValues widget resource value ?resource value ...?",
@@ -217,7 +235,7 @@ fn register_set_values(session: &mut WafeSession) {
             app.set_resource(w, &pair[0], &pair[1])
                 .map_err(|e| TclError::Error(e.to_string()))?;
         }
-        Ok(String::new())
+        Ok(Value::empty())
     };
     // "For convenience the command setValues is registered as well under
     // the name sV."
@@ -227,7 +245,7 @@ fn register_set_values(session: &mut WafeSession) {
 
 fn register_get_values(session: &mut WafeSession) {
     let app_rc = session.app.clone();
-    let handler = move |_: &mut wafe_tcl::Interp, argv: &[String]| {
+    let handler = move |_: &mut wafe_tcl::Interp, argv: &[Value]| {
         if argv.len() != 3 {
             return Err(wrong_num_args("getValue widget resource"));
         }
@@ -236,6 +254,7 @@ fn register_get_values(session: &mut WafeSession) {
             .lookup(&argv[1])
             .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
         app.get_resource_string(w, &argv[2])
+            .map(Value::from)
             .map_err(|e| TclError::Error(e.to_string()))
     };
     session.register_handwritten_command("getValue", handler.clone());
@@ -251,11 +270,11 @@ fn register_load_resource_file(session: &mut WafeSession) {
         if argv.len() != 2 {
             return Err(wrong_num_args("loadResourceFile fileName"));
         }
-        let text = std::fs::read_to_string(&argv[1]).map_err(|e| {
+        let text = std::fs::read_to_string(argv[1].as_str()).map_err(|e| {
             TclError::Error(format!("couldn't read resource file \"{}\": {e}", argv[1]))
         })?;
         let n = app_rc.borrow_mut().resource_db.merge_text(&text);
-        Ok(n.to_string())
+        Ok(Value::from_int(n as i64))
     });
 }
 
@@ -277,7 +296,7 @@ fn register_merge_resources(session: &mut WafeSession) {
                 )));
             }
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -301,7 +320,7 @@ fn register_action(session: &mut WafeSession) {
             .lookup(&argv[1])
             .ok_or_else(|| TclError::Error(format!("unknown widget \"{}\"", argv[1])))?;
         app.merge_translations(w, table, mode);
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -336,7 +355,7 @@ fn register_callback(session: &mut WafeSession) {
                 )))
             }
         };
-        items.push(CallbackItem::Predefined { kind, shell: argv[4].clone() });
+        items.push(CallbackItem::Predefined { kind, shell: argv[4].to_string() });
         // Resolve the static key through the class's resource spec.
         let key = app
             .widget(w)
@@ -345,7 +364,7 @@ fn register_callback(session: &mut WafeSession) {
             .map(|spec| spec.name)
             .expect("resource existence checked above");
         app.put_resource(w, key, ResourceValue::Callback(items));
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -379,7 +398,7 @@ fn register_realize(session: &mut WafeSession) {
             app_rc.borrow_mut().displays[di].flush();
         }
         pump(interp, &app_rc, &quit);
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -390,7 +409,7 @@ fn register_quit(session: &mut WafeSession) {
             return Err(wrong_num_args("quit"));
         }
         quit.set(true);
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -402,7 +421,7 @@ fn register_snapshot(session: &mut WafeSession) {
         let (rect, di) = match argv.len() {
             1 => (Rect::new(0, 0, 640, 400), 0usize),
             5 | 6 => {
-                let p = |s: &String| {
+                let p = |s: &Value| {
                     s.parse::<i64>()
                         .map_err(|_| TclError::Error(format!("expected integer but got \"{s}\"")))
                 };
@@ -422,7 +441,7 @@ fn register_snapshot(session: &mut WafeSession) {
             return Err(TclError::Error(format!("no display {di}")));
         }
         app.displays[di].flush();
-        Ok(app.displays[di].snapshot_ascii(rect))
+        Ok(Value::from(app.displays[di].snapshot_ascii(rect)))
     });
 }
 
@@ -445,13 +464,13 @@ fn register_snapshot_ppm(session: &mut WafeSession) {
             return Err(TclError::Error(format!("no display {di}")));
         }
         app.displays[di].flush();
-        let mut file = std::fs::File::create(&argv[1])
+        let mut file = std::fs::File::create(argv[1].as_str())
             .map_err(|e| TclError::Error(format!("cannot create \"{}\": {e}", argv[1])))?;
         app.displays[di]
             .framebuffer()
             .write_ppm(&mut file)
             .map_err(|e| TclError::Error(format!("cannot write \"{}\": {e}", argv[1])))?;
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -467,9 +486,9 @@ fn register_timeouts(session: &mut WafeSession) {
             .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
         timers.borrow_mut().push(Timer {
             deadline_ms: clock.get() + ms,
-            script: argv[2].clone(),
+            script: argv[2].to_string(),
         });
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     let timers = session.timers.clone();
@@ -504,7 +523,7 @@ fn register_timeouts(session: &mut WafeSession) {
             }
         }
         clock.set(target);
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -519,8 +538,8 @@ fn register_work_procs(session: &mut WafeSession) {
         }
         let id = next.get();
         next.set(id + 1);
-        procs.borrow_mut().push((id, argv[1].clone()));
-        Ok(id.to_string())
+        procs.borrow_mut().push((id, argv[1].to_string()));
+        Ok(Value::from_int(id as i64))
     });
 
     let procs = session.work_procs.clone();
@@ -533,12 +552,11 @@ fn register_work_procs(session: &mut WafeSession) {
             .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[1])))?;
         let before = procs.borrow().len();
         procs.borrow_mut().retain(|(i, _)| *i != id);
-        Ok(if procs.borrow().len() < before {
+        Ok(Value::from(if procs.borrow().len() < before {
             "1"
         } else {
             "0"
-        }
-        .into())
+        }))
     });
 }
 
@@ -550,7 +568,7 @@ fn register_process_events(session: &mut WafeSession) {
             return Err(wrong_num_args("processEvents"));
         }
         pump(interp, &app_rc, &quit);
-        Ok(String::new())
+        Ok(Value::empty())
     });
 }
 
@@ -560,7 +578,7 @@ fn register_channel(session: &mut WafeSession) {
         if argv.len() != 1 {
             return Err(wrong_num_args("getChannel"));
         }
-        Ok(fd.get().to_string())
+        Ok(Value::from(fd.get().to_string()))
     });
 
     let comm = session.comm_var.clone();
@@ -573,8 +591,8 @@ fn register_channel(session: &mut WafeSession) {
         let bytes: usize = argv[2]
             .parse()
             .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[2])))?;
-        *comm.borrow_mut() = Some((argv[1].clone(), bytes, argv[3].clone()));
-        Ok(String::new())
+        *comm.borrow_mut() = Some((argv[1].to_string(), bytes, argv[3].to_string()));
+        Ok(Value::empty())
     });
 }
 
@@ -609,7 +627,7 @@ fn register_widget_tree(session: &mut WafeSession) {
                 wafe_tcl::list_join(&kids),
             ])
         }
-        Ok(describe(&app, root))
+        Ok(Value::from(describe(&app, root)))
     });
 }
 
@@ -623,10 +641,10 @@ fn register_stats(session: &mut WafeSession) {
         // +1: this command itself has not been counted yet at capture
         // time for the commands registered after it; the counter cell is
         // shared, so reading it now is accurate.
-        Ok(format!(
+        Ok(Value::from(format!(
             "generated {generated} handwritten {}",
             handwritten.get()
-        ))
+        )))
     });
 
     let guide = session.reference_guide();
@@ -634,6 +652,6 @@ fn register_stats(session: &mut WafeSession) {
         if argv.len() != 1 {
             return Err(wrong_num_args("referenceGuide"));
         }
-        Ok(guide.clone())
+        Ok(Value::from(guide.clone()))
     });
 }

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wafe_tcl::{list_join, CmdResult, Interp, TclError};
+use wafe_tcl::{list_join, CmdResult, Interp, TclError, Value};
 use wafe_xproto::GrabKind;
 use wafe_xt::{WidgetId, XtApp};
 
@@ -87,29 +87,29 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
 
     add("XtDestroyWidget", &|_, app, a| {
         app.destroy_widget(a[0].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtManageChild", &|_, app, a| {
         app.manage_child(a[0].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtUnmanageChild", &|_, app, a| {
         app.unmanage_child(a[0].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtPopup", &|_, app, a| {
         app.popup(a[0].widget(), a[1].grab());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtPopdown", &|_, app, a| {
         app.popdown(a[0].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtSetSensitive", &|_, app, a| {
         let v = if a[1].boolean() { "true" } else { "false" };
         app.set_resource(a[0].widget(), "sensitive", v)
             .map_err(|e| TclError::Error(e.to_string()))?;
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtIsRealized", &|_, app, a| {
         Ok(bool_str(app.is_realized(a[0].widget())))
@@ -128,21 +128,22 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
             .widget(a[0].widget())
             .parent
             .map(|p| app.widget(p).name.clone())
-            .unwrap_or_default())
+            .unwrap_or_default()
+            .into())
     });
     add("XtName", &|_, app, a| {
-        Ok(app.widget(a[0].widget()).name.clone())
+        Ok(app.widget(a[0].widget()).name.clone().into())
     });
     add("XtClass", &|_, app, a| {
-        Ok(app.widget(a[0].widget()).class.name.clone())
+        Ok(app.widget(a[0].widget()).class.name.clone().into())
     });
     add("XtGetResourceList", &|interp, app, a| {
         // The paper's example: returns the count, puts the name list into
         // the variable named by the second argument.
         let names = app.get_resource_list(a[0].widget());
         let count = names.len();
-        interp.set_var(a[1].var(), &list_join(&names))?;
-        Ok(count.to_string())
+        interp.set_var(a[1].var(), list_join(&names))?;
+        Ok(Value::from_int(count as i64))
     });
     add("XtMoveWidget", &|_, app, a| {
         let w = a[0].widget();
@@ -152,7 +153,7 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         if app.is_realized(root) {
             app.sync_geometry(root);
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtResizeWidget", &|_, app, a| {
         let w = a[0].widget();
@@ -177,7 +178,7 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
             app.sync_geometry(root);
             app.redisplay_tree(root);
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtAddGrab", &|_, app, a| {
         let w = a[0].widget();
@@ -185,7 +186,7 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         if let Some(win) = app.widget(w).window {
             app.displays[di].add_grab(win, a[1].grab());
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtRemoveGrab", &|_, app, a| {
         let w = a[0].widget();
@@ -193,7 +194,7 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         if let Some(win) = app.widget(w).window {
             app.displays[di].remove_grab(win);
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtOwnSelection", &|_, app, a| {
         let w = a[0].widget();
@@ -201,16 +202,13 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         let win = app.widget(w).window.unwrap_or(app.displays[di].root());
         let atom = app.displays[di].intern_atom(a[1].string());
         app.displays[di].own_selection(atom, win, a[2].string().to_string());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtGetSelectionValue", &|_, app, a| {
         let w = a[0].widget();
         let di = app.widget(w).display_idx;
         let atom = app.displays[di].intern_atom(a[1].string());
-        Ok(app.displays[di]
-            .get_selection(atom)
-            .unwrap_or("")
-            .to_string())
+        Ok(app.displays[di].get_selection(atom).unwrap_or("").into())
     });
     add("XtDisownSelection", &|_, app, a| {
         let w = a[0].widget();
@@ -218,15 +216,15 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
         let win = app.widget(w).window.unwrap_or(app.displays[di].root());
         let atom = app.displays[di].intern_atom(a[1].string());
         app.displays[di].clear_selection(atom, win);
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtInstallAccelerators", &|_, app, a| {
         app.install_accelerators(a[0].widget(), a[1].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtInstallAllAccelerators", &|_, app, a| {
         app.install_all_accelerators(a[0].widget(), a[1].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XtNameToWidget", &|_, app, a| {
         // Resolves a dotted child path ("form.quit") relative to a root.
@@ -250,7 +248,7 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
                 app.widget(cur).name
             )));
         }
-        Ok(app.widget(cur).name.clone())
+        Ok(app.widget(cur).name.clone().into())
     });
     add("XtTranslateCoords", &|interp, app, a| {
         let w = a[0].widget();
@@ -259,19 +257,19 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
             Some(win) => app.displays[di].abs_position(win),
             None => wafe_xproto::Point::new(0, 0),
         };
-        interp.set_elem(a[1].var(), "x", &pos.x.to_string())?;
-        interp.set_elem(a[1].var(), "y", &pos.y.to_string())?;
+        interp.set_elem(a[1].var(), "x", pos.x.to_string())?;
+        interp.set_elem(a[1].var(), "y", pos.y.to_string())?;
         Ok("2".into())
     });
 
     // ----- Athena programmatic interface -----
     add("XawListHighlight", &|_, app, a| {
         wafe_xaw::list::list_highlight(app, a[0].widget(), a[1].int().max(0) as usize);
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawListUnhighlight", &|_, app, a| {
         wafe_xaw::list::list_unhighlight(app, a[0].widget());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawListChange", &|_, app, a| {
         let items: Vec<String> = a[1]
@@ -281,38 +279,38 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
             .filter(|s| !s.is_empty())
             .collect();
         wafe_xaw::list::list_change(app, a[0].widget(), items);
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawListShowCurrent", &|interp, app, a| {
         let (idx, item) = wafe_xaw::list::list_show_current(app, a[0].widget());
         interp.set_var(a[1].var(), &item)?;
-        Ok(idx.to_string())
+        Ok(idx.to_string().into())
     });
     add("XawScrollbarSetThumb", &|_, app, a| {
         wafe_xaw::scrollbar::scrollbar_set_thumb(app, a[0].widget(), a[1].int(), a[2].int());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawDialogGetValueString", &|_, app, a| {
-        Ok(wafe_xaw::dialog::dialog_get_value(app, a[0].widget()))
+        Ok(wafe_xaw::dialog::dialog_get_value(app, a[0].widget()).into())
     });
     add("XawDialogAddButton", &|_, app, a| {
         wafe_xaw::dialog::dialog_add_button(app, a[0].widget(), a[1].string(), a[2].string())
             .map_err(|e| TclError::Error(e.to_string()))?;
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawStripChartAddSample", &|_, app, a| {
         let v: f64 = a[1].string().trim().parse().map_err(|_| {
             TclError::Error(format!("expected number but got \"{}\"", a[1].string()))
         })?;
         wafe_xaw::chart::stripchart_add_sample(app, a[0].widget(), v);
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawTextGetString", &|_, app, a| {
-        Ok(app.str_resource(a[0].widget(), "string"))
+        Ok(app.str_resource(a[0].widget(), "string").into())
     });
     add("XawViewportSetCoordinates", &|_, app, a| {
         wafe_xaw::paned::viewport_scroll(app, a[0].widget(), a[1].int() as i32, a[2].int() as i32);
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XawFormDoLayout", &|_, app, a| {
         if a[1].boolean() {
@@ -322,38 +320,38 @@ pub fn native_registry() -> HashMap<&'static str, NativeFn> {
                 app.sync_geometry(root);
             }
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     // ----- Rdd drag-and-drop extension -----
     add("RddDragSource", &|_, app, a| {
         wafe_xt::dnd::make_drag_source(app, a[0].widget(), a[1].string());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("RddDropTarget", &|_, app, a| {
         wafe_xt::dnd::make_drop_target(app, a[0].widget(), a[1].string());
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     // ----- Motif programmatic interface -----
     add("XmCascadeButtonHighlight", &|_, app, a| {
         wafe_motif::widgets::cascade_button_highlight(app, a[0].widget(), a[1].boolean());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XmCommandAppendValue", &|_, app, a| {
         wafe_motif::widgets::command_append_value(app, a[0].widget(), a[1].string());
-        Ok(String::new())
+        Ok(Value::empty())
     });
     add("XmCommandError", &|_, app, a| {
         wafe_motif::widgets::command_error(app, a[0].widget(), a[1].string());
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     m
 }
 
-fn bool_str(b: bool) -> String {
-    if b { "1" } else { "0" }.into()
+fn bool_str(b: bool) -> Value {
+    Value::from_int(b as i64)
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use wafe_tcl::error::wrong_num_args;
-use wafe_tcl::{CmdResult, Interp, OutputSink, TclError};
+use wafe_tcl::{CmdResult, Interp, OutputSink, TclError, Value};
 use wafe_trace::Telemetry;
 use wafe_xproto::GrabKind;
 use wafe_xt::app::HostCallKind;
@@ -233,7 +233,7 @@ impl WafeSession {
             }
             let init: Vec<(String, String)> = rest
                 .chunks(2)
-                .map(|c| (c[0].clone(), c[1].clone()))
+                .map(|c| (c[0].to_string(), c[1].to_string()))
                 .collect();
             let mut app = app_rc.borrow_mut();
             let class = app.class(&class_name).ok_or_else(|| {
@@ -265,7 +265,7 @@ impl WafeSession {
                         .unwrap_or_else(|| app.open_display(father));
                     app.create_widget(&name, &class_name, None, di, &init, managed)
                 }
-                None => Err(XtError::UnknownWidget(father.clone())),
+                None => Err(XtError::UnknownWidget(father.to_string())),
             };
             created
                 .map(|_| name)
@@ -300,7 +300,7 @@ impl WafeSession {
                 }
             }
             for (j, _) in outputs.iter().enumerate() {
-                vals.push(NativeValue::Var(argv[1 + inputs.len() + j].clone()));
+                vals.push(NativeValue::Var(argv[1 + inputs.len() + j].to_string()));
             }
             let mut app = app_rc.borrow_mut();
             native(interp, &mut app, &vals)
@@ -311,7 +311,7 @@ impl WafeSession {
     /// hand-written split the paper reports (E13).
     pub fn register_handwritten_command<F>(&mut self, name: &str, f: F)
     where
-        F: Fn(&mut Interp, &[String]) -> CmdResult + 'static,
+        F: Fn(&mut Interp, &[Value]) -> CmdResult + 'static,
     {
         self.interp.register(name, f);
         self.handwritten.set(self.handwritten.get() + 1);

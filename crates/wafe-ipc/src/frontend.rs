@@ -482,7 +482,12 @@ mod tests {
         while Instant::now() < deadline {
             fe.step(Duration::from_millis(20)).unwrap();
             if fe.engine.session.app.borrow().lookup("text").is_some() {
-                got = fe.engine.session.eval("gV text string").unwrap_or_default();
+                got = fe
+                    .engine
+                    .session
+                    .eval("gV text string")
+                    .unwrap_or_default()
+                    .to_string();
                 if got.len() == 1000 {
                     break;
                 }

@@ -201,7 +201,7 @@ impl ProtocolEngine {
             self.lines_interpreted += 1;
             tel.count("ipc.lines.interpreted");
             match self.session.eval(cmd) {
-                Ok(v) => Ok(Some(v)),
+                Ok(v) => Ok(Some(v.to_string())),
                 Err(e) => {
                     let msg = e.message();
                     tel.count("ipc.errors");

@@ -8,6 +8,7 @@ use crate::error::{wrong_num_args, TclError, TclResult};
 use crate::glob::glob_match;
 use crate::interp::Interp;
 use crate::list::{list_join, parse_list};
+use crate::value::Value;
 
 /// Splits a variable specifier of the form `name` or `name(index)`.
 pub fn split_varspec(spec: &str) -> (String, Option<String>) {
@@ -25,18 +26,18 @@ fn split_varspec_ref(spec: &str) -> (&str, Option<&str>) {
     (spec, None)
 }
 
-fn var_get(interp: &Interp, spec: &str) -> TclResult<String> {
-    var_get_ref(interp, spec).map(str::to_string)
+pub(crate) fn var_get(interp: &Interp, spec: &str) -> TclResult<Value> {
+    var_get_ref(interp, spec).cloned()
 }
 
-fn var_get_ref<'a>(interp: &'a Interp, spec: &str) -> TclResult<&'a str> {
+pub(crate) fn var_get_ref<'a>(interp: &'a Interp, spec: &str) -> TclResult<&'a Value> {
     match split_varspec_ref(spec) {
         (name, None) => interp.get_var_ref(name),
         (name, Some(idx)) => interp.get_elem_ref(name, idx),
     }
 }
 
-fn var_set(interp: &mut Interp, spec: &str, value: &str) -> TclResult<()> {
+pub(crate) fn var_set(interp: &mut Interp, spec: &str, value: Value) -> TclResult<()> {
     match split_varspec_ref(spec) {
         (name, None) => interp.set_var(name, value),
         (name, Some(idx)) => interp.set_elem(name, idx, value),
@@ -47,7 +48,7 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("set", |i, argv| match argv.len() {
         2 => var_get(i, &argv[1]),
         3 => {
-            var_set(i, &argv[1], &argv[2])?;
+            var_set(i, &argv[1], argv[2].clone())?;
             Ok(argv[2].clone())
         }
         _ => Err(wrong_num_args("set varName ?newValue?")),
@@ -63,29 +64,31 @@ pub(super) fn register(interp: &mut Interp) {
                 (name, Some(idx)) => i.unset_elem(&name, &idx)?,
             }
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     interp.register("incr", |i, argv| {
         if argv.len() != 2 && argv.len() != 3 {
             return Err(wrong_num_args("incr varName ?increment?"));
         }
+        // `as_int` hits the cached Int rep when present (the loop-counter
+        // hot path: no text parse at all) and only caches canonical
+        // decimal spellings, so the strict-parse error cases below are
+        // byte-identical to the string model.
         let cur: i64 = {
-            let s = var_get_ref(i, &argv[1])?;
-            s.trim()
-                .parse()
-                .map_err(|_| TclError::Error(format!("expected integer but got \"{s}\"")))?
+            let v = var_get_ref(i, &argv[1])?;
+            v.as_int()
+                .ok_or_else(|| TclError::Error(format!("expected integer but got \"{v}\"")))?
         };
         let amount: i64 = if argv.len() == 3 {
-            argv[2]
-                .trim()
-                .parse()
-                .map_err(|_| TclError::Error(format!("expected integer but got \"{}\"", argv[2])))?
+            argv[2].as_int().ok_or_else(|| {
+                TclError::Error(format!("expected integer but got \"{}\"", argv[2]))
+            })?
         } else {
             1
         };
-        let new = cur.wrapping_add(amount).to_string();
-        var_set(i, &argv[1], &new)?;
+        let new = Value::from_int(cur.wrapping_add(amount));
+        var_set(i, &argv[1], new.clone())?;
         Ok(new)
     });
 
@@ -93,25 +96,35 @@ pub(super) fn register(interp: &mut Interp) {
         if argv.len() < 2 {
             return Err(wrong_num_args("append varName ?value value ...?"));
         }
-        let mut cur = var_get(i, &argv[1]).unwrap_or_default();
+        let mut cur = match var_get_ref(i, &argv[1]) {
+            Ok(v) => v.to_string(),
+            Err(_) => String::new(),
+        };
         for v in &argv[2..] {
             cur.push_str(v);
         }
-        var_set(i, &argv[1], &cur)?;
-        Ok(cur)
+        let new = Value::from(cur);
+        var_set(i, &argv[1], new.clone())?;
+        Ok(new)
     });
 
     interp.register("expr", |i, argv| {
         if argv.len() < 2 {
             return Err(wrong_num_args("expr arg ?arg ...?"));
         }
+        if argv.len() == 2 {
+            return crate::expr::eval_expr_value(i, &argv[1]);
+        }
         let text = argv[1..].join(" ");
-        crate::expr::eval_expr_str(i, &text)
+        crate::expr::eval_expr_value(i, &text)
     });
 
     interp.register("eval", |i, argv| {
         if argv.len() < 2 {
             return Err(wrong_num_args("eval arg ?arg ...?"));
+        }
+        if argv.len() == 2 {
+            return i.eval_value(&argv[1]);
         }
         let script = argv[1..].join(" ");
         i.eval(&script)
@@ -121,31 +134,31 @@ pub(super) fn register(interp: &mut Interp) {
         if argv.len() != 2 && argv.len() != 3 {
             return Err(wrong_num_args("catch command ?varName?"));
         }
-        let (code, value) = match i.eval(&argv[1]) {
+        let (code, value) = match i.eval_value(&argv[1]) {
             Ok(v) => (0, v),
-            Err(TclError::Error(m)) => (1, m),
-            Err(TclError::Return(v)) => (2, v),
-            Err(TclError::Break) => (3, String::new()),
-            Err(TclError::Continue) => (4, String::new()),
+            Err(TclError::Error(m)) => (1, Value::from(m)),
+            Err(TclError::Return(v)) => (2, Value::from(v)),
+            Err(TclError::Break) => (3, Value::empty()),
+            Err(TclError::Continue) => (4, Value::empty()),
         };
         if argv.len() == 3 {
-            var_set(i, &argv[2], &value)?;
+            var_set(i, &argv[2], value)?;
         }
-        Ok(code.to_string())
+        Ok(Value::from_int(code))
     });
 
     interp.register("error", |_, argv| {
         if argv.len() < 2 || argv.len() > 4 {
             return Err(wrong_num_args("error message ?errorInfo? ?errorCode?"));
         }
-        Err(TclError::Error(argv[1].clone()))
+        Err(TclError::Error(argv[1].to_string()))
     });
 
-    let echo = |i: &mut Interp, argv: &[String]| {
+    let echo = |i: &mut Interp, argv: &[Value]| {
         let line = argv[1..].join(" ");
         i.write_output(&line);
         i.write_output("\n");
-        Ok(String::new())
+        Ok(Value::empty())
     };
     interp.register("echo", echo);
     interp.register("puts", move |i, argv| {
@@ -154,16 +167,16 @@ pub(super) fn register(interp: &mut Interp) {
             2 => {
                 i.write_output(&argv[1]);
                 i.write_output("\n");
-                Ok(String::new())
+                Ok(Value::empty())
             }
             3 if argv[1] == "-nonewline" => {
                 i.write_output(&argv[2]);
-                Ok(String::new())
+                Ok(Value::empty())
             }
             3 if argv[1] == "stdout" => {
                 i.write_output(&argv[2]);
                 i.write_output("\n");
-                Ok(String::new())
+                Ok(Value::empty())
             }
             _ => Err(wrong_num_args("puts ?-nonewline? string")),
         }
@@ -174,14 +187,14 @@ pub(super) fn register(interp: &mut Interp) {
             return Err(wrong_num_args("rename oldName newName"));
         }
         i.rename_command(&argv[1], &argv[2])?;
-        Ok(String::new())
+        Ok(Value::empty())
     });
 
     interp.register("source", |i, argv| {
         if argv.len() != 2 {
             return Err(wrong_num_args("source fileName"));
         }
-        let text = std::fs::read_to_string(&argv[1])
+        let text = std::fs::read_to_string(argv[1].as_str())
             .map_err(|e| TclError::Error(format!("couldn't read file \"{}\": {e}", argv[1])))?;
         // Strip a leading `#!` line so file-mode scripts can be sourced.
         i.eval(&text)
@@ -200,17 +213,17 @@ pub(super) fn register(interp: &mut Interp) {
         };
         let start = Instant::now();
         for _ in 0..count.max(1) {
-            i.eval(&argv[1])?;
+            i.eval_value(&argv[1])?;
         }
         let micros = start.elapsed().as_micros() as u64 / count.max(1);
-        Ok(format!("{micros} microseconds per iteration"))
+        Ok(Value::from(format!("{micros} microseconds per iteration")))
     });
 
     interp.register("subst", |i, argv| {
         if argv.len() != 2 {
             return Err(wrong_num_args("subst string"));
         }
-        i.substitute_all(&argv[1])
+        i.substitute_all(&argv[1]).map(Value::from)
     });
 
     interp.register("info", cmd_info);
@@ -219,9 +232,10 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("interp", cmd_interp);
 }
 
-/// `interp cachestats | cacheclear | cachelimit ?n?` — introspection for
-/// the parse-once script/expression caches.
-fn cmd_interp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+/// `interp cachestats | cacheclear | cachelimit ?n? | shimmerstats` —
+/// introspection for the parse-once caches and the dual-representation
+/// value layer.
+fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("interp option ?arg?"));
     }
@@ -246,33 +260,53 @@ fn cmd_interp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 .iter()
                 .flat_map(|(k, v)| [k.to_string(), v.clone()])
                 .collect();
-            Ok(list_join(&words))
+            Ok(Value::from(list_join(&words)))
+        }
+        "shimmerstats" => {
+            if argv.len() != 2 {
+                return Err(wrong_num_args("interp shimmerstats"));
+            }
+            let s = crate::value::shimmer_stats();
+            let pairs = [
+                ("intParses", s.int_parses),
+                ("doubleParses", s.double_parses),
+                ("listParses", s.list_parses),
+                ("repHits", s.rep_hits),
+                ("renders", s.renders),
+                ("listCow", s.list_cow),
+                ("cmdInternHits", s.cmd_intern_hits),
+            ];
+            let words: Vec<String> = pairs
+                .iter()
+                .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+                .collect();
+            Ok(Value::from(list_join(&words)))
         }
         "cacheclear" => {
             if argv.len() != 2 {
                 return Err(wrong_num_args("interp cacheclear"));
             }
             i.cache_clear();
-            Ok(String::new())
+            Ok(Value::empty())
         }
         "cachelimit" => match argv.len() {
-            2 => Ok(i.cache_limit().to_string()),
+            2 => Ok(Value::from_int(i.cache_limit() as i64)),
             3 => {
                 let n: usize = argv[2].parse().map_err(|_| {
                     TclError::Error(format!("expected integer but got \"{}\"", argv[2]))
                 })?;
                 i.set_cache_limit(n);
-                Ok(String::new())
+                Ok(Value::empty())
             }
             _ => Err(wrong_num_args("interp cachelimit ?limit?")),
         },
         other => Err(TclError::Error(format!(
-            "bad option \"{other}\": must be cachestats, cacheclear, or cachelimit"
+            "bad option \"{other}\": must be cachestats, cacheclear, cachelimit, or shimmerstats"
         ))),
     }
 }
 
-fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_trace(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     // trace variable name ops script | trace vdelete name ops script |
     // trace vinfo name. Supported ops: w (write), u (unset).
     if argv.len() < 3 {
@@ -290,14 +324,14 @@ fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 )));
             }
             i.add_trace(&argv[2], &argv[3], &argv[4]);
-            Ok(String::new())
+            Ok(Value::empty())
         }
         "vdelete" | "remove" => {
             if argv.len() != 5 {
                 return Err(wrong_num_args("trace vdelete varName ops script"));
             }
             i.remove_trace(&argv[2], &argv[3], &argv[4]);
-            Ok(String::new())
+            Ok(Value::empty())
         }
         "vinfo" => {
             let items: Vec<String> = i
@@ -305,7 +339,7 @@ fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 .into_iter()
                 .map(|(ops, script)| crate::list::list_join(&[ops, script]))
                 .collect();
-            Ok(crate::list::list_join(&items))
+            Ok(Value::from(crate::list::list_join(&items)))
         }
         other => Err(TclError::Error(format!(
             "bad option \"{other}\": must be variable, vdelete, or vinfo"
@@ -313,7 +347,7 @@ fn cmd_trace(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     }
 }
 
-fn cmd_info(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_info(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("info option ?arg arg ...?"));
     }
@@ -323,7 +357,7 @@ fn cmd_info(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             names.retain(|n| glob_match(p, n));
         }
         names.sort();
-        list_join(&names)
+        Value::from(list_join(&names))
     };
     match argv[1].as_str() {
         "exists" => {
@@ -341,13 +375,13 @@ fn cmd_info(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         "procs" => Ok(filter(i.proc_names())),
         "globals" => Ok(filter(i.global_names())),
         "vars" | "locals" => Ok(filter(i.var_names())),
-        "level" => Ok(i.level().to_string()),
+        "level" => Ok(Value::from_int(i.level() as i64)),
         "body" => {
             if argv.len() != 3 {
                 return Err(wrong_num_args("info body procName"));
             }
             i.get_proc(&argv[2])
-                .map(|p| p.body.clone())
+                .map(|p| Value::from(p.body.clone()))
                 .ok_or_else(|| TclError::Error(format!("\"{}\" isn't a procedure", argv[2])))
         }
         "args" => {
@@ -358,7 +392,7 @@ fn cmd_info(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 .get_proc(&argv[2])
                 .ok_or_else(|| TclError::Error(format!("\"{}\" isn't a procedure", argv[2])))?;
             let names: Vec<String> = p.args.iter().map(|(n, _)| n.clone()).collect();
-            Ok(list_join(&names))
+            Ok(Value::from(list_join(&names)))
         }
         "tclversion" => Ok("6.7".into()),
         other => Err(TclError::Error(format!(
@@ -367,11 +401,11 @@ fn cmd_info(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     }
 }
 
-fn cmd_array(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_array(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 3 {
         return Err(wrong_num_args("array option arrayName ?arg ...?"));
     }
-    let name = &argv[2];
+    let name = argv[2].as_str();
     match argv[1].as_str() {
         "exists" => Ok(if i.is_array(name) { "1" } else { "0" }.into()),
         "names" => {
@@ -380,9 +414,9 @@ fn cmd_array(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 names.retain(|n| glob_match(p, n));
             }
             names.sort();
-            Ok(list_join(&names))
+            Ok(Value::from(list_join(&names)))
         }
-        "size" => Ok(i.array_names(name)?.len().to_string()),
+        "size" => Ok(Value::from_int(i.array_names(name)?.len() as i64)),
         "get" => {
             let mut names = i.array_names(name)?;
             names.sort();
@@ -390,9 +424,9 @@ fn cmd_array(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             for n in names {
                 let v = i.get_elem(name, &n)?;
                 out.push(n);
-                out.push(v);
+                out.push(v.to_string());
             }
-            Ok(list_join(&out))
+            Ok(Value::from(list_join(&out)))
         }
         "set" => {
             if argv.len() != 4 {
@@ -403,9 +437,9 @@ fn cmd_array(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 return Err(TclError::error("list must have an even number of elements"));
             }
             for pair in items.chunks(2) {
-                i.set_elem(name, &pair[0], &pair[1])?;
+                i.set_elem(name, &pair[0], pair[1].as_str())?;
             }
-            Ok(String::new())
+            Ok(Value::empty())
         }
         other => Err(TclError::Error(format!(
             "bad option \"{other}\": must be exists, names, size, get, or set"

@@ -6,6 +6,7 @@ use crate::expr::{eval_expr_bool, eval_prepared_bool, prepare_expr};
 use crate::glob::glob_match;
 use crate::interp::{Interp, ProcDef};
 use crate::list::parse_list;
+use crate::value::Value;
 
 pub(super) fn register(interp: &mut Interp) {
     interp.register("if", cmd_if);
@@ -27,7 +28,7 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("proc", cmd_proc);
     interp.register("return", |_, argv| match argv.len() {
         1 => Err(TclError::Return(String::new())),
-        2 => Err(TclError::Return(argv[1].clone())),
+        2 => Err(TclError::Return(argv[1].to_string())),
         _ => Err(wrong_num_args("return ?value?")),
     });
     interp.register("global", |i, argv| {
@@ -35,12 +36,12 @@ pub(super) fn register(interp: &mut Interp) {
             return Err(wrong_num_args("global varName ?varName ...?"));
         }
         if i.level() == 0 {
-            return Ok(String::new()); // No-op at global level, like Tcl.
+            return Ok(Value::empty()); // No-op at global level, like Tcl.
         }
         for name in &argv[1..] {
             i.link_var(name, 0, name)?;
         }
-        Ok(String::new())
+        Ok(Value::empty())
     });
     interp.register("upvar", cmd_upvar);
     interp.register("uplevel", cmd_uplevel);
@@ -48,7 +49,7 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("case", cmd_case);
 }
 
-fn cmd_if(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_if(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     let usage = "if test ?then? body ?elseif test ?then? body ...? ?else? body";
     let mut a = 1usize;
     loop {
@@ -64,11 +65,11 @@ fn cmd_if(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             return Err(wrong_num_args(usage));
         }
         if cond {
-            return i.eval(&argv[a]);
+            return i.eval_value(&argv[a]);
         }
         a += 1;
         if a >= argv.len() {
-            return Ok(String::new());
+            return Ok(Value::empty());
         }
         match argv[a].as_str() {
             "elseif" => {
@@ -80,23 +81,23 @@ fn cmd_if(i: &mut Interp, argv: &[String]) -> TclResult<String> {
                 if a >= argv.len() {
                     return Err(wrong_num_args(usage));
                 }
-                return i.eval(&argv[a]);
+                return i.eval_value(&argv[a]);
             }
             _ => {
                 // Bare else-body (Tcl 6 allowed omitting the keyword).
-                return i.eval(&argv[a]);
+                return i.eval_value(&argv[a]);
             }
         }
     }
 }
 
-fn cmd_while(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_while(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() != 3 {
         return Err(wrong_num_args("while test command"));
     }
     // Parse the guard and body once; every iteration only substitutes.
     let test = prepare_expr(i, &argv[1]);
-    let body = i.prepare(&argv[2]);
+    let body = i.prepare_value(&argv[2]);
     while eval_prepared_bool(i, &test)? {
         match i.run_prepared(&body) {
             Ok(_) | Err(TclError::Continue) => {}
@@ -104,17 +105,17 @@ fn cmd_while(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             Err(e) => return Err(e),
         }
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
-fn cmd_for(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_for(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() != 5 {
         return Err(wrong_num_args("for start test next command"));
     }
-    i.eval(&argv[1])?;
+    i.eval_value(&argv[1])?;
     let test = prepare_expr(i, &argv[2]);
-    let next = i.prepare(&argv[3]);
-    let body = i.prepare(&argv[4]);
+    let next = i.prepare_value(&argv[3]);
+    let body = i.prepare_value(&argv[4]);
     while eval_prepared_bool(i, &test)? {
         match i.run_prepared(&body) {
             Ok(_) | Err(TclError::Continue) => {}
@@ -123,10 +124,10 @@ fn cmd_for(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         }
         i.run_prepared(&next)?;
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
-fn cmd_foreach(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_foreach(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() != 4 {
         return Err(wrong_num_args("foreach varName list command"));
     }
@@ -134,13 +135,15 @@ fn cmd_foreach(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if vars.is_empty() {
         return Err(TclError::error("foreach varlist is empty"));
     }
-    let items = parse_list(&argv[2])?;
-    let body = i.prepare(&argv[3]);
+    // Iterate the shared list rep: each element is a cheap `Value` clone,
+    // so loop variables keep any cached numeric rep of the elements.
+    let items = argv[2].as_list()?;
+    let body = i.prepare_value(&argv[3]);
     let mut idx = 0usize;
     while idx < items.len() {
         for v in &vars {
             let value = items.get(idx).cloned().unwrap_or_default();
-            i.set_var(v, &value)?;
+            i.set_var(v, value)?;
             idx += 1;
         }
         match i.run_prepared(&body) {
@@ -149,10 +152,10 @@ fn cmd_foreach(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             Err(e) => return Err(e),
         }
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
-fn cmd_proc(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_proc(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() != 4 {
         return Err(wrong_num_args("proc name args body"));
     }
@@ -170,11 +173,11 @@ fn cmd_proc(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             }
         }
     }
-    i.define_proc(&argv[1], ProcDef::new(args, argv[3].clone()));
-    Ok(String::new())
+    i.define_proc(&argv[1], ProcDef::new(args, argv[3].to_string()));
+    Ok(Value::empty())
 }
 
-fn cmd_upvar(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_upvar(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     // upvar ?level? otherVar myVar ?otherVar myVar ...?
     if argv.len() < 3 {
         return Err(wrong_num_args(
@@ -193,10 +196,10 @@ fn cmd_upvar(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         i.link_var(&argv[a + 1], target, &argv[a])?;
         a += 2;
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
-fn cmd_uplevel(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_uplevel(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("uplevel ?level? command ?command ...?"));
     }
@@ -227,7 +230,7 @@ fn parse_level(i: &Interp, word: &str) -> (Option<usize>, usize) {
     (None, 1)
 }
 
-fn cmd_switch(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_switch(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     let usage = "switch ?options? string pattern body ?pattern body ...?";
     let mut a = 1usize;
     let mut exact = false;
@@ -250,13 +253,13 @@ fn cmd_switch(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if a >= argv.len() {
         return Err(wrong_num_args(usage));
     }
-    let string = argv[a].clone();
+    let string = argv[a].to_string();
     a += 1;
     // Either one brace-grouped list of pattern/body pairs, or inline pairs.
     let pairs: Vec<String> = if argv.len() - a == 1 {
         parse_list(&argv[a])?
     } else {
-        argv[a..].to_vec()
+        argv[a..].iter().map(|v| v.to_string()).collect()
     };
     if pairs.is_empty() || !pairs.len().is_multiple_of(2) {
         return Err(TclError::error("extra switch pattern with no body"));
@@ -286,10 +289,10 @@ fn cmd_switch(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         }
         return i.eval(&pairs[idx * 2 + 1]);
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
-fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_case(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     // Tcl 6 `case string ?in? {patList body patList body ...}`.
     let mut a = 1usize;
     if a >= argv.len() {
@@ -297,7 +300,7 @@ fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             "case string ?in? patList body ?patList body ...?",
         ));
     }
-    let string = argv[a].clone();
+    let string = argv[a].to_string();
     a += 1;
     if a < argv.len() && argv[a] == "in" {
         a += 1;
@@ -305,7 +308,7 @@ fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     let pairs: Vec<String> = if argv.len() - a == 1 {
         parse_list(&argv[a])?
     } else {
-        argv[a..].to_vec()
+        argv[a..].iter().map(|v| v.to_string()).collect()
     };
     if !pairs.len().is_multiple_of(2) {
         return Err(TclError::error("extra case pattern with no body"));
@@ -324,7 +327,7 @@ fn cmd_case(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     if let Some(body) = default_body {
         return i.eval(body);
     }
-    Ok(String::new())
+    Ok(Value::empty())
 }
 
 #[cfg(test)]

@@ -6,26 +6,31 @@ use crate::error::{wrong_num_args, TclError};
 use crate::glob::glob_match;
 use crate::interp::Interp;
 use crate::list::{list_join, parse_list};
+use crate::value::Value;
+use std::rc::Rc;
 
 pub(super) fn register(interp: &mut Interp) {
-    interp.register("list", |_, argv| Ok(list_join(&argv[1..])));
+    // `list` builds the shared rep directly; the string form is rendered
+    // lazily only if someone asks for it.
+    interp.register("list", |_, argv| Ok(Value::from_list(argv[1..].to_vec())));
 
     interp.register("llength", |_, argv| {
         if argv.len() != 2 {
             return Err(wrong_num_args("llength list"));
         }
-        Ok(parse_list(&argv[1])?.len().to_string())
+        Ok(Value::from_int(argv[1].as_list()?.len() as i64))
     });
 
     interp.register("lindex", |_, argv| {
         if argv.len() != 3 {
             return Err(wrong_num_args("lindex list index"));
         }
-        let items = parse_list(&argv[1])?;
+        let items = argv[1].as_list()?;
         let idx = parse_index(&argv[2], items.len())?;
         if idx < 0 || idx as usize >= items.len() {
-            return Ok(String::new());
+            return Ok(Value::empty());
         }
+        // Element values are shared: this keeps any cached numeric rep.
         Ok(items[idx as usize].clone())
     });
 
@@ -33,45 +38,60 @@ pub(super) fn register(interp: &mut Interp) {
         if argv.len() < 2 {
             return Err(wrong_num_args("lappend varName ?value value ...?"));
         }
-        let mut cur = match super::split_varspec(&argv[1]) {
-            (name, None) => i.get_var(&name).unwrap_or_default(),
-            (name, Some(idx)) => i.get_elem(&name, &idx).unwrap_or_default(),
+        let (name, idx) = super::split_varspec(&argv[1]);
+        let cur = match &idx {
+            None => i.get_var(&name).unwrap_or_default(),
+            Some(ix) => i.get_elem(&name, ix).unwrap_or_default(),
         };
-        for v in &argv[2..] {
-            crate::list::list_append(&mut cur, v);
+        // Amortized O(1): when the slot's list rep is unshared it is moved
+        // out and extended in place; otherwise fall back to one counted
+        // copy-on-write clone.
+        let mut items = match cur.list_rep_for_update() {
+            Some(rc) => rc,
+            None => cur.as_list()?,
+        };
+        drop(cur);
+        if Rc::get_mut(&mut items).is_none() {
+            crate::value::note_list_cow();
         }
-        match super::split_varspec(&argv[1]) {
-            (name, None) => i.set_var(&name, &cur)?,
-            (name, Some(idx)) => i.set_elem(&name, &idx, &cur)?,
+        Rc::make_mut(&mut items).extend(argv[2..].iter().cloned());
+        let new = Value::from_list_rc(items);
+        match idx {
+            None => i.set_var(&name, new.clone())?,
+            Some(ix) => i.set_elem(&name, &ix, new.clone())?,
         }
-        Ok(cur)
+        Ok(new)
     });
 
     interp.register("linsert", |_, argv| {
         if argv.len() < 4 {
             return Err(wrong_num_args("linsert list index element ?element ...?"));
         }
-        let mut items = parse_list(&argv[1])?;
+        let mut items = argv[1].as_list()?;
         let idx = parse_index(&argv[2], items.len())?.max(0) as usize;
         let at = idx.min(items.len());
-        for (k, e) in argv[3..].iter().enumerate() {
-            items.insert(at + k, e.clone());
+        if Rc::get_mut(&mut items).is_none() {
+            crate::value::note_list_cow();
         }
-        Ok(list_join(&items))
+        let vec = Rc::make_mut(&mut items);
+        for (k, e) in argv[3..].iter().enumerate() {
+            vec.insert(at + k, e.clone());
+        }
+        Ok(Value::from_list_rc(items))
     });
 
     interp.register("lrange", |_, argv| {
         if argv.len() != 4 {
             return Err(wrong_num_args("lrange list first last"));
         }
-        let items = parse_list(&argv[1])?;
+        let items = argv[1].as_list()?;
         let first = parse_index(&argv[2], items.len())?.max(0) as usize;
         let last = parse_index(&argv[3], items.len())?;
         if last < 0 || first as i64 > last || first >= items.len() {
-            return Ok(String::new());
+            return Ok(Value::empty());
         }
         let last = (last as usize).min(items.len() - 1);
-        Ok(list_join(&items[first..=last]))
+        Ok(Value::from_list(items[first..=last].to_vec()))
     });
 
     interp.register("lreplace", |_, argv| {
@@ -80,7 +100,7 @@ pub(super) fn register(interp: &mut Interp) {
                 "lreplace list first last ?element element ...?",
             ));
         }
-        let mut items = parse_list(&argv[1])?;
+        let mut items = argv[1].as_list()?;
         let first = parse_index(&argv[2], items.len())?.max(0) as usize;
         let last = parse_index(&argv[3], items.len())?;
         if first >= items.len() {
@@ -93,15 +113,19 @@ pub(super) fn register(interp: &mut Interp) {
         } else {
             Some((last as usize).min(items.len() - 1))
         };
+        if Rc::get_mut(&mut items).is_none() {
+            crate::value::note_list_cow();
+        }
+        let vec = Rc::make_mut(&mut items);
         match last {
             Some(l) if l >= first => {
-                items.splice(first..=l, argv[4..].iter().cloned());
+                vec.splice(first..=l, argv[4..].iter().cloned());
             }
             _ => {
-                items.splice(first..first, argv[4..].iter().cloned());
+                vec.splice(first..first, argv[4..].iter().cloned());
             }
         }
-        Ok(list_join(&items))
+        Ok(Value::from_list_rc(items))
     });
 
     interp.register("lsearch", |_, argv| {
@@ -119,7 +143,7 @@ pub(super) fn register(interp: &mut Interp) {
             },
             _ => return Err(wrong_num_args(usage)),
         };
-        let items = parse_list(&argv[list_arg])?;
+        let items = argv[list_arg].as_list()?;
         for (k, item) in items.iter().enumerate() {
             let hit = if mode_exact {
                 item == &argv[pat_arg]
@@ -127,7 +151,7 @@ pub(super) fn register(interp: &mut Interp) {
                 glob_match(&argv[pat_arg], item)
             };
             if hit {
-                return Ok(k.to_string());
+                return Ok(Value::from_int(k as i64));
             }
         }
         Ok("-1".into())
@@ -150,44 +174,41 @@ pub(super) fn register(interp: &mut Interp) {
                 other => return Err(TclError::Error(format!("bad option \"{other}\": {usage}"))),
             }
         }
-        let mut items = parse_list(&argv[argv.len() - 1])?;
+        let mut items = argv[argv.len() - 1].as_list()?;
+        if Rc::get_mut(&mut items).is_none() {
+            crate::value::note_list_cow();
+        }
+        let vec = Rc::make_mut(&mut items);
         let mut err: Option<TclError> = None;
         match mode {
-            "integer" => items.sort_by(|a, b| {
-                let pa = a.trim().parse::<i64>();
-                let pb = b.trim().parse::<i64>();
-                match (pa, pb) {
-                    (Ok(x), Ok(y)) => x.cmp(&y),
-                    _ => {
-                        err.get_or_insert_with(|| {
-                            TclError::error("expected integer in list to sort")
-                        });
-                        std::cmp::Ordering::Equal
-                    }
+            // Numeric modes compare through the cached int/double reps, so
+            // each element is parsed at most once instead of O(n log n)
+            // times during the sort.
+            "integer" => vec.sort_by(|a, b| match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                _ => {
+                    err.get_or_insert_with(|| TclError::error("expected integer in list to sort"));
+                    std::cmp::Ordering::Equal
                 }
             }),
-            "real" => items.sort_by(|a, b| {
-                let pa = a.trim().parse::<f64>();
-                let pb = b.trim().parse::<f64>();
-                match (pa, pb) {
-                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-                    _ => {
-                        err.get_or_insert_with(|| {
-                            TclError::error("expected floating-point number in list to sort")
-                        });
-                        std::cmp::Ordering::Equal
-                    }
+            "real" => vec.sort_by(|a, b| match (a.as_double(), b.as_double()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                _ => {
+                    err.get_or_insert_with(|| {
+                        TclError::error("expected floating-point number in list to sort")
+                    });
+                    std::cmp::Ordering::Equal
                 }
             }),
-            _ => items.sort(),
+            _ => vec.sort_by(|a, b| a.as_str().cmp(b.as_str())),
         }
         if let Some(e) = err {
             return Err(e);
         }
         if decreasing {
-            items.reverse();
+            vec.reverse();
         }
-        Ok(list_join(&items))
+        Ok(Value::from_list_rc(items))
     });
 
     interp.register("concat", |_, argv| {
@@ -196,7 +217,7 @@ pub(super) fn register(interp: &mut Interp) {
             .map(|s| s.trim())
             .filter(|s| !s.is_empty())
             .collect();
-        Ok(parts.join(" "))
+        Ok(Value::from(parts.join(" ")))
     });
 
     interp.register("split", |_, argv| {
@@ -209,7 +230,7 @@ pub(super) fn register(interp: &mut Interp) {
             .unwrap_or_else(|| vec![' ', '\t', '\n', '\r']);
         if seps.is_empty() {
             let each: Vec<String> = argv[1].chars().map(|c| c.to_string()).collect();
-            return Ok(list_join(&each));
+            return Ok(Value::from(list_join(&each)));
         }
         let mut parts: Vec<String> = Vec::new();
         let mut cur = String::new();
@@ -221,7 +242,7 @@ pub(super) fn register(interp: &mut Interp) {
             }
         }
         parts.push(cur);
-        Ok(list_join(&parts))
+        Ok(Value::from(list_join(&parts)))
     });
 
     interp.register("join", |_, argv| {
@@ -229,7 +250,7 @@ pub(super) fn register(interp: &mut Interp) {
             return Err(wrong_num_args("join list ?joinString?"));
         }
         let sep = argv.get(2).map(|s| s.as_str()).unwrap_or(" ");
-        Ok(parse_list(&argv[1])?.join(sep))
+        Ok(Value::from(parse_list(&argv[1])?.join(sep)))
     });
 }
 

@@ -4,13 +4,14 @@
 use crate::error::{wrong_num_args, TclError, TclResult};
 use crate::interp::Interp;
 use crate::regex::{expand_subspec, Regex};
+use crate::value::Value;
 
 pub(super) fn register(interp: &mut Interp) {
     interp.register("regexp", cmd_regexp);
     interp.register("regsub", cmd_regsub);
 }
 
-fn cmd_regexp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_regexp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     let usage = "regexp ?-nocase? ?-indices? exp string ?matchVar? ?subVar subVar ...?";
     let mut a = 1usize;
     let mut nocase = false;
@@ -66,7 +67,7 @@ fn cmd_regexp(i: &mut Interp, argv: &[String]) -> TclResult<String> {
     Ok("1".into())
 }
 
-fn cmd_regsub(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_regsub(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     let usage = "regsub ?-all? ?-nocase? exp string subSpec varName";
     let mut a = 1usize;
     let mut nocase = false;
@@ -135,8 +136,8 @@ fn cmd_regsub(i: &mut Interp, argv: &[String]) -> TclResult<String> {
         }
     }
     out.extend(&chars[pos.min(chars.len())..]);
-    i.set_var(var, &out)?;
-    Ok(count.to_string())
+    i.set_var(var, out)?;
+    Ok(Value::from_int(count as i64))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::error::{wrong_num_args, TclError, TclResult};
 use crate::glob::glob_match;
 use crate::interp::Interp;
+use crate::value::Value;
 
 pub(super) fn register(interp: &mut Interp) {
     interp.register("string", cmd_string);
@@ -10,15 +11,15 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("scan", cmd_scan);
 }
 
-fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_string(_: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 3 {
         return Err(wrong_num_args("string option arg ?arg ...?"));
     }
     let s = &argv[2];
     match argv[1].as_str() {
-        "length" => Ok(s.chars().count().to_string()),
-        "tolower" => Ok(s.to_lowercase()),
-        "toupper" => Ok(s.to_uppercase()),
+        "length" => Ok(Value::from_int(s.chars().count() as i64)),
+        "tolower" => Ok(s.to_lowercase().into()),
+        "toupper" => Ok(s.to_uppercase().into()),
         "trim" | "trimleft" | "trimright" => {
             let set: Vec<char> = argv
                 .get(3)
@@ -29,7 +30,8 @@ fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
                 "trim" => s.trim_matches(pred).to_string(),
                 "trimleft" => s.trim_start_matches(pred).to_string(),
                 _ => s.trim_end_matches(pred).to_string(),
-            })
+            }
+            .into())
         }
         "index" => {
             let idx: i64 = argv
@@ -38,12 +40,13 @@ fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
                 .parse()
                 .map_err(|_| TclError::Error(format!("bad index \"{}\"", argv[3])))?;
             if idx < 0 {
-                return Ok(String::new());
+                return Ok(Value::empty());
             }
             Ok(s.chars()
                 .nth(idx as usize)
                 .map(|c| c.to_string())
-                .unwrap_or_default())
+                .unwrap_or_default()
+                .into())
         }
         "range" => {
             if argv.len() != 5 {
@@ -53,16 +56,16 @@ fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
             let first = super::parse_index(&argv[3], chars.len())?.max(0) as usize;
             let last = super::parse_index(&argv[4], chars.len())?;
             if last < 0 || first as i64 > last || first >= chars.len() {
-                return Ok(String::new());
+                return Ok(Value::empty());
             }
             let last = (last as usize).min(chars.len() - 1);
-            Ok(chars[first..=last].iter().collect())
+            Ok(chars[first..=last].iter().collect::<String>().into())
         }
         "compare" => {
             if argv.len() != 4 {
                 return Err(wrong_num_args("string compare string1 string2"));
             }
-            Ok(match s.cmp(&argv[3]) {
+            Ok(match s.as_str().cmp(argv[3].as_str()) {
                 std::cmp::Ordering::Less => "-1",
                 std::cmp::Ordering::Equal => "0",
                 std::cmp::Ordering::Greater => "1",
@@ -79,13 +82,17 @@ fn cmd_string(_: &mut Interp, argv: &[String]) -> TclResult<String> {
             if argv.len() != 4 {
                 return Err(wrong_num_args("string first string1 string2"));
             }
-            Ok(char_index_of(&argv[3], s).map(|n| n as i64).unwrap_or(-1).to_string())
+            Ok(Value::from_int(
+                char_index_of(&argv[3], s).map(|n| n as i64).unwrap_or(-1),
+            ))
         }
         "last" => {
             if argv.len() != 4 {
                 return Err(wrong_num_args("string last string1 string2"));
             }
-            Ok(char_rindex_of(&argv[3], s).map(|n| n as i64).unwrap_or(-1).to_string())
+            Ok(Value::from_int(
+                char_rindex_of(&argv[3], s).map(|n| n as i64).unwrap_or(-1),
+            ))
         }
         other => Err(TclError::Error(format!(
             "bad option \"{other}\": must be compare, first, index, last, length, match, range, tolower, toupper, trim, trimleft, or trimright"
@@ -102,16 +109,16 @@ fn char_rindex_of(hay: &str, needle: &str) -> Option<usize> {
     hay.rfind(needle).map(|byte| hay[..byte].chars().count())
 }
 
-fn cmd_format(_: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_format(_: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("format formatString ?arg arg ...?"));
     }
-    format_impl(&argv[1], &argv[2..])
+    format_impl(&argv[1], &argv[2..]).map(Value::from)
 }
 
 /// A C-`printf` subset: flags `-+ 0#`, width, precision; conversions
 /// `s d i u o x X c f e E g G %`.
-pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
+pub fn format_impl<S: AsRef<str>>(fmt: &str, args: &[S]) -> TclResult<String> {
     let chars: Vec<char> = fmt.chars().collect();
     let mut out = String::new();
     let mut ai = 0usize;
@@ -119,7 +126,7 @@ pub fn format_impl(fmt: &str, args: &[String]) -> TclResult<String> {
     let next_arg = |ai: &mut usize| -> TclResult<String> {
         let v = args
             .get(*ai)
-            .cloned()
+            .map(|s| s.as_ref().to_string())
             .ok_or_else(|| TclError::error("not enough arguments for all format specifiers"))?;
         *ai += 1;
         Ok(v)
@@ -331,7 +338,7 @@ fn fix_exponent(s: &str) -> String {
     }
 }
 
-fn cmd_scan(i: &mut Interp, argv: &[String]) -> TclResult<String> {
+fn cmd_scan(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 3 {
         return Err(wrong_num_args("scan string format ?varName varName ...?"));
     }
@@ -456,7 +463,7 @@ fn cmd_scan(i: &mut Interp, argv: &[String]) -> TclResult<String> {
             }
         }
     }
-    Ok(count.to_string())
+    Ok(Value::from_int(count as i64))
 }
 
 #[cfg(test)]

@@ -36,13 +36,17 @@ use std::rc::Rc;
 use crate::error::{TclError, TclResult};
 use crate::interp::MAX_NESTING_DEPTH;
 use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
+use crate::value::Value;
 
 /// One substitution unit of a compiled word.
 #[derive(Debug, Clone)]
 pub enum Token {
     /// Verbatim text: braced words, and literal runs of quoted/bare words
-    /// with backslash sequences already folded in.
-    Literal(String),
+    /// with backslash sequences already folded in. Stored as a shared
+    /// [`Value`] so every evaluation of the script reuses the same object
+    /// — cached numeric reps and interned command names accumulate across
+    /// loop iterations instead of being re-derived.
+    Literal(Value),
     /// `$name` or `$name(index)`; the index text is itself a compiled
     /// token list (it undergoes one round of substitution per read).
     VarSub(String, Option<Vec<Token>>),
@@ -60,7 +64,8 @@ pub struct CompiledCommand {
     /// When every word is a literal, the fully-substituted argv —
     /// evaluation invokes it directly with zero per-iteration allocation
     /// (the common case: `incr d`, `while {..} {..}`, braced bodies).
-    pub literal: Option<Vec<String>>,
+    /// The `Value`s are shared with `words`, so rep caches persist.
+    pub literal: Option<Vec<Value>>,
 }
 
 impl CompiledCommand {
@@ -71,7 +76,7 @@ impl CompiledCommand {
                 Token::Literal(s) => Some(s.clone()),
                 _ => None,
             })
-            .collect::<Option<Vec<String>>>();
+            .collect::<Option<Vec<Value>>>();
         CompiledCommand { words, literal }
     }
 }
@@ -150,7 +155,7 @@ fn compile_command(chars: &[char], mut pos: usize, depth: usize) -> TclResult<(V
         match chars[pos] {
             '{' => {
                 let end = find_matching_brace(chars, pos)?;
-                word = Token::Literal(chars[pos + 1..end].iter().collect());
+                word = Token::Literal(Value::from(chars[pos + 1..end].iter().collect::<String>()));
                 pos = end + 1;
                 if pos < chars.len()
                     && !matches!(chars[pos], ' ' | '\t' | '\n' | ';')
@@ -202,7 +207,7 @@ fn compile_command(chars: &[char], mut pos: usize, depth: usize) -> TclResult<(V
 /// single-part and empty cases.
 fn finish_word(mut parts: Vec<Token>) -> Token {
     match parts.len() {
-        0 => Token::Literal(String::new()),
+        0 => Token::Literal(Value::empty()),
         1 => parts.pop().expect("len checked"),
         _ => Token::Compound(parts),
     }
@@ -211,7 +216,7 @@ fn finish_word(mut parts: Vec<Token>) -> Token {
 /// Pushes an accumulated literal run onto `parts`, if non-empty.
 fn flush_literal(parts: &mut Vec<Token>, lit: &mut String) {
     if !lit.is_empty() {
-        parts.push(Token::Literal(std::mem::take(lit)));
+        parts.push(Token::Literal(Value::from(std::mem::take(lit))));
     }
 }
 

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use crate::error::{TclError, TclResult};
 use crate::interp::Interp;
 use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
+use crate::value::Value as TclValue;
 
 /// A value inside the expression evaluator.
 #[derive(Debug, Clone, PartialEq)]
@@ -203,6 +204,23 @@ pub fn eval_expr(interp: &mut Interp, text: &str) -> TclResult<Value> {
 /// Evaluates an expression and renders the result as a string.
 pub fn eval_expr_str(interp: &mut Interp, text: &str) -> TclResult<String> {
     Ok(eval_expr(interp, text)?.render())
+}
+
+/// Evaluates an expression into a dual-representation [`TclValue`]: a
+/// numeric result carries its Int/Double rep, so `set x [expr ...]`
+/// followed by `incr x` or another `expr $x` never re-parses text.
+pub fn eval_expr_value(interp: &mut Interp, text: &str) -> TclResult<TclValue> {
+    Ok(into_tcl_value(eval_expr(interp, text)?))
+}
+
+/// Converts an expression result into a [`TclValue`], preserving the
+/// numeric representation (rendered lazily, in exactly `render()`'s form).
+pub fn into_tcl_value(v: Value) -> TclValue {
+    match v {
+        Value::Int(i) => TclValue::from_int(i),
+        Value::Dbl(d) => TclValue::from_double(d),
+        Value::Str(s) => TclValue::from(s),
+    }
 }
 
 /// Evaluates an expression as a boolean (for `if`, `while`, `for`).
@@ -563,15 +581,34 @@ fn coerce(s: &str) -> Value {
     Value::Str(s.to_string())
 }
 
+/// Coerces a shared [`TclValue`] operand, consulting its cached numeric
+/// rep first (the hot path for loop counters: no text parse at all) and
+/// populating the cache for canonical spellings on a miss.
+fn coerce_value(v: &TclValue) -> Value {
+    if let Some(n) = v.cached_int() {
+        return Value::Int(n);
+    }
+    if let Some(d) = v.cached_double() {
+        return Value::Dbl(d);
+    }
+    let r = coerce(v.as_str());
+    match &r {
+        Value::Int(n) => v.cache_int_canonical(*n),
+        Value::Dbl(d) => v.cache_double_canonical(*d),
+        Value::Str(_) => {}
+    }
+    r
+}
+
 fn eval_node(interp: &mut Interp, node: &Node) -> TclResult<Value> {
     match node {
         Node::Lit(v) => Ok(v.clone()),
-        Node::Var(name, None) => Ok(coerce(interp.get_var_ref(name)?)),
+        Node::Var(name, None) => Ok(coerce_value(interp.get_var_ref(name)?)),
         Node::Var(name, Some(raw)) => {
             let idx = interp.substitute_all(raw)?;
-            Ok(coerce(interp.get_elem_ref(name, &idx)?))
+            Ok(coerce_value(interp.get_elem_ref(name, &idx)?))
         }
-        Node::Cmd(script) => Ok(coerce(&interp.eval(script)?)),
+        Node::Cmd(script) => Ok(coerce_value(&interp.eval(script)?)),
         Node::Unary(op, a) => {
             let v = eval_node(interp, a)?;
             match (op, v) {

@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
 use wafe_trace::Telemetry;
 
@@ -12,6 +12,7 @@ use crate::error::{TclError, TclResult};
 use crate::expr::CompiledExpr;
 use crate::hash::FnvMap;
 use crate::parser::{find_matching_brace, find_matching_bracket, parse_backslash, scan_varname};
+use crate::value::Value;
 
 /// Maximum nesting depth of script evaluation, mirroring Tcl's
 /// `maxNestingDepth` interpreter limit.
@@ -24,10 +25,27 @@ pub const DEFAULT_CACHE_LIMIT: usize = 512;
 /// meant for hot loop bodies and proc calls, not one-shot `source` text.
 const MAX_CACHED_SCRIPT_LEN: usize = 1 << 16;
 
+/// The unsized native-command function type behind [`CmdFn`].
+pub type NativeFn = dyn Fn(&mut Interp, &[Value]) -> TclResult<Value>;
+
 /// Signature of a native command (the analogue of `Tcl_CmdProc`).
 ///
-/// `argv[0]` is the command name, like in C Tcl.
-pub type CmdFn = Rc<dyn Fn(&mut Interp, &[String]) -> TclResult<String>>;
+/// `argv[0]` is the command name, like in C Tcl. Arguments arrive as
+/// shared dual-representation [`Value`]s; a command that only needs the
+/// text can treat them as `&str` (they deref), while numeric and list
+/// commands reuse the cached internal representations.
+pub type CmdFn = Rc<NativeFn>;
+
+/// A weak handle to a resolved command, interned into command-name
+/// `Value`s so repeated dispatch of the same word skips the table lookup.
+/// Weak references break the cycle `ProcDef → CompiledScript →
+/// Token::Literal(Value) → interned command → ProcDef` that a recursive
+/// proc would otherwise create.
+#[derive(Clone)]
+pub(crate) enum CmdIntern {
+    Native(Weak<NativeFn>),
+    Proc(Weak<ProcDef>),
+}
 
 /// A user-defined procedure created with `proc`.
 #[derive(Debug, Clone)]
@@ -63,13 +81,15 @@ enum Command {
     Proc(Rc<ProcDef>),
 }
 
-/// A variable: scalar or associative array.
+/// A variable: scalar or associative array. Slots hold shared [`Value`]s,
+/// so reading a variable is an `Rc` bump and cached representations
+/// (numeric, list, script) survive across reads.
 #[derive(Debug, Clone)]
 pub enum Var {
-    /// A scalar string value.
-    Scalar(String),
+    /// A scalar value.
+    Scalar(Value),
     /// An associative array (`name(elem)` syntax).
-    Array(HashMap<String, String>),
+    Array(HashMap<String, Value>),
 }
 
 #[derive(Debug, Clone)]
@@ -111,12 +131,15 @@ pub enum OutputSink {
 /// let mut i = Interp::new();
 /// i.register("double", |_, argv| {
 ///     let n: i64 = argv[1].parse().unwrap_or(0);
-///     Ok((n * 2).to_string())
+///     Ok((n * 2).into())
 /// });
 /// assert_eq!(i.eval("double 21").unwrap(), "42");
 /// ```
 pub struct Interp {
     commands: FnvMap<String, Command>,
+    /// Bumped whenever the command table changes; validates the command
+    /// handles interned into argv[0] `Value`s.
+    cmd_epoch: u64,
     frames: Vec<Frame>,
     /// Index of the active variable frame (changed by `uplevel`).
     active: usize,
@@ -186,6 +209,7 @@ impl Interp {
     pub fn new() -> Self {
         let mut interp = Interp {
             commands: FnvMap::default(),
+            cmd_epoch: 0,
             frames: vec![Frame::default()],
             active: 0,
             depth: 0,
@@ -205,8 +229,9 @@ impl Interp {
     /// (the analogue of `Tcl_CreateCommand`).
     pub fn register<F>(&mut self, name: &str, f: F)
     where
-        F: Fn(&mut Interp, &[String]) -> TclResult<String> + 'static,
+        F: Fn(&mut Interp, &[Value]) -> TclResult<Value> + 'static,
     {
+        self.cmd_epoch += 1;
         self.commands
             .insert(name.to_string(), Command::Native(Rc::new(f)));
     }
@@ -215,16 +240,19 @@ impl Interp {
     /// to register one handler under several names (the paper notes "Tcl
     /// allows to register the same command under various names").
     pub fn register_shared(&mut self, name: &str, f: CmdFn) {
+        self.cmd_epoch += 1;
         self.commands.insert(name.to_string(), Command::Native(f));
     }
 
     /// Removes a command; returns true if it existed.
     pub fn unregister(&mut self, name: &str) -> bool {
+        self.cmd_epoch += 1;
         self.commands.remove(name).is_some()
     }
 
     /// Renames a command (`rename old new`); empty `new` deletes.
     pub fn rename_command(&mut self, old: &str, new: &str) -> TclResult<()> {
+        self.cmd_epoch += 1;
         let cmd = self.commands.remove(old).ok_or_else(|| {
             TclError::Error(format!("can't rename \"{old}\": command doesn't exist"))
         })?;
@@ -269,6 +297,7 @@ impl Interp {
 
     /// Defines a procedure (the `proc` command calls this).
     pub fn define_proc(&mut self, name: &str, def: ProcDef) {
+        self.cmd_epoch += 1;
         self.commands
             .insert(name.to_string(), Command::Proc(Rc::new(def)));
     }
@@ -311,17 +340,19 @@ impl Interp {
         }
     }
 
-    /// Reads a scalar variable in the active frame.
-    pub fn get_var(&self, name: &str) -> TclResult<String> {
-        self.get_var_ref(name).map(str::to_string)
+    /// Reads a scalar variable in the active frame. The returned [`Value`]
+    /// shares the variable's representation — cloning is an `Rc` bump and
+    /// any cached numeric/list rep comes along for free.
+    pub fn get_var(&self, name: &str) -> TclResult<Value> {
+        self.get_var_ref(name).cloned()
     }
 
     /// Reads a scalar variable without cloning its value (the expression
     /// evaluator's hot path — the borrow ends before any mutation).
-    pub(crate) fn get_var_ref(&self, name: &str) -> TclResult<&str> {
+    pub(crate) fn get_var_ref(&self, name: &str) -> TclResult<&Value> {
         let (f, n) = self.resolve(self.active, name);
         match self.frames[f].vars.get(n.as_ref()) {
-            Some(VarSlot::Value(Var::Scalar(s))) => Ok(s.as_str()),
+            Some(VarSlot::Value(Var::Scalar(s))) => Ok(s),
             Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
                 "can't read \"{name}\": variable is array"
             ))),
@@ -332,21 +363,19 @@ impl Interp {
     }
 
     /// Reads an array element in the active frame.
-    pub fn get_elem(&self, name: &str, index: &str) -> TclResult<String> {
-        self.get_elem_ref(name, index).map(str::to_string)
+    pub fn get_elem(&self, name: &str, index: &str) -> TclResult<Value> {
+        self.get_elem_ref(name, index).cloned()
     }
 
     /// Reads an array element without cloning its value.
-    pub(crate) fn get_elem_ref(&self, name: &str, index: &str) -> TclResult<&str> {
+    pub(crate) fn get_elem_ref(&self, name: &str, index: &str) -> TclResult<&Value> {
         let (f, n) = self.resolve(self.active, name);
         match self.frames[f].vars.get(n.as_ref()) {
-            Some(VarSlot::Value(Var::Array(map))) => {
-                map.get(index).map(String::as_str).ok_or_else(|| {
-                    TclError::Error(format!(
-                        "can't read \"{name}({index})\": no such element in array"
-                    ))
-                })
-            }
+            Some(VarSlot::Value(Var::Array(map))) => map.get(index).ok_or_else(|| {
+                TclError::Error(format!(
+                    "can't read \"{name}({index})\": no such element in array"
+                ))
+            }),
             Some(VarSlot::Value(Var::Scalar(_))) => Err(TclError::Error(format!(
                 "can't read \"{name}({index})\": variable isn't array"
             ))),
@@ -356,26 +385,26 @@ impl Interp {
         }
     }
 
-    /// Sets a scalar variable in the active frame. An existing scalar is
-    /// updated in place, reusing its buffer.
-    pub fn set_var(&mut self, name: &str, value: &str) -> TclResult<()> {
+    /// Sets a scalar variable in the active frame. Accepts anything
+    /// convertible to a [`Value`] (`&str`, `String`, `i64`, a shared
+    /// `Value`…); storing a `Value` preserves its cached representations.
+    pub fn set_var(&mut self, name: &str, value: impl Into<Value>) -> TclResult<()> {
+        let value = value.into();
         let (f, n) = self.resolve(self.active, name);
         match self.frames[f].vars.get_mut(n.as_ref()) {
             Some(VarSlot::Value(Var::Array(_))) => Err(TclError::Error(format!(
                 "can't set \"{name}\": variable is array"
             ))),
             Some(VarSlot::Value(Var::Scalar(s))) => {
-                s.clear();
-                s.push_str(value);
+                *s = value;
                 self.fire_traces(&n, "", 'w');
                 Ok(())
             }
             Some(VarSlot::Link { .. }) => unreachable!("resolve() follows links"),
             None => {
-                self.frames[f].vars.insert(
-                    n.to_string(),
-                    VarSlot::Value(Var::Scalar(value.to_string())),
-                );
+                self.frames[f]
+                    .vars
+                    .insert(n.to_string(), VarSlot::Value(Var::Scalar(value)));
                 self.fire_traces(&n, "", 'w');
                 Ok(())
             }
@@ -443,7 +472,8 @@ impl Interp {
     }
 
     /// Sets an array element in the active frame.
-    pub fn set_elem(&mut self, name: &str, index: &str, value: &str) -> TclResult<()> {
+    pub fn set_elem(&mut self, name: &str, index: &str, value: impl Into<Value>) -> TclResult<()> {
+        let value = value.into();
         let (f, n) = self.resolve(self.active, name);
         match self.frames[f]
             .vars
@@ -451,7 +481,7 @@ impl Interp {
             .or_insert_with(|| VarSlot::Value(Var::Array(HashMap::new())))
         {
             VarSlot::Value(Var::Array(map)) => {
-                map.insert(index.to_string(), value.to_string());
+                map.insert(index.to_string(), value);
                 self.fire_traces(&n, index, 'w');
                 Ok(())
             }
@@ -560,7 +590,7 @@ impl Interp {
     ///
     /// Already-seen scripts skip lexing entirely: the text is looked up in
     /// the interpreter's parse-once cache and only substitution runs.
-    pub fn eval(&mut self, script: &str) -> TclResult<String> {
+    pub fn eval(&mut self, script: &str) -> TclResult<Value> {
         // One enabled-flag load when telemetry is off; nested evals
         // (bracket substitution, loop bodies) each count as one eval.
         let timer = self.telemetry.timer();
@@ -585,7 +615,7 @@ impl Interp {
 
     /// Evaluates an already-compiled script (same nesting accounting as
     /// [`Interp::eval`]).
-    pub fn eval_compiled(&mut self, script: &Rc<CompiledScript>) -> TclResult<String> {
+    pub fn eval_compiled(&mut self, script: &Rc<CompiledScript>) -> TclResult<Value> {
         let timer = self.telemetry.timer();
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
@@ -606,6 +636,23 @@ impl Interp {
         r
     }
 
+    /// Evaluates a script held in a [`Value`], caching the compiled form
+    /// in the value itself. A braced body that is a shared literal of a
+    /// compiled script (e.g. `catch {...}` inside a loop) hits the rep on
+    /// every iteration after the first — no hashing, no text lookup.
+    pub fn eval_value(&mut self, script: &Value) -> TclResult<Value> {
+        if let Some(c) = script.cached_script() {
+            return self.eval_compiled(&c);
+        }
+        match self.lookup_or_compile(script.as_str()) {
+            Some(c) => {
+                script.cache_script(c.clone());
+                self.eval_compiled(&c)
+            }
+            None => self.eval(script.as_str()),
+        }
+    }
+
     /// Readies a script for repeated evaluation (loop bodies): compiled
     /// when possible, raw source otherwise. With the cache disabled
     /// (`interp cachelimit 0`) this always yields the re-parsing form.
@@ -616,8 +663,25 @@ impl Interp {
         }
     }
 
+    /// [`Interp::prepare`] for a script held in a [`Value`]: consults and
+    /// populates the value's own compiled-script rep, skipping the text
+    /// cache lookup when the same `Value` (a shared loop-body literal) is
+    /// prepared again.
+    pub fn prepare_value(&mut self, script: &Value) -> Prepared {
+        if let Some(c) = script.cached_script() {
+            return Prepared::Compiled(c);
+        }
+        match self.lookup_or_compile(script.as_str()) {
+            Some(c) => {
+                script.cache_script(c.clone());
+                Prepared::Compiled(c)
+            }
+            None => Prepared::Source(script.as_str().to_string()),
+        }
+    }
+
     /// Runs a [`Prepared`] script.
-    pub fn run_prepared(&mut self, prepared: &Prepared) -> TclResult<String> {
+    pub fn run_prepared(&mut self, prepared: &Prepared) -> TclResult<Value> {
         match prepared {
             Prepared::Compiled(c) => self.eval_compiled(c),
             Prepared::Source(s) => self.eval(s),
@@ -715,15 +779,17 @@ impl Interp {
 
     // ----- compiled evaluation ---------------------------------------
 
-    fn eval_compiled_inner(&mut self, script: &CompiledScript) -> TclResult<String> {
-        let mut result = String::new();
+    fn eval_compiled_inner(&mut self, script: &CompiledScript) -> TclResult<Value> {
+        let mut result = Value::empty();
         for cmd in &script.commands {
             result = match &cmd.literal {
                 // All-literal command: substitution is the identity, so
-                // the precomputed argv is invoked with no allocation.
+                // the precomputed argv is invoked with no allocation. The
+                // shared literal `Value`s accumulate cached reps (numeric,
+                // interned command) across iterations.
                 Some(words) => self.invoke(words)?,
                 None => {
-                    let mut words: Vec<String> = Vec::with_capacity(cmd.words.len());
+                    let mut words: Vec<Value> = Vec::with_capacity(cmd.words.len());
                     for w in &cmd.words {
                         words.push(self.subst_token(w)?);
                     }
@@ -735,9 +801,9 @@ impl Interp {
     }
 
     /// Performs the per-evaluation substitution step for one token.
-    fn subst_token(&mut self, token: &Token) -> TclResult<String> {
+    fn subst_token(&mut self, token: &Token) -> TclResult<Value> {
         match token {
-            Token::Literal(s) => Ok(s.clone()),
+            Token::Literal(v) => Ok(v.clone()),
             Token::VarSub(name, None) => self.get_var(name),
             Token::VarSub(name, Some(index)) => {
                 let mut idx = String::new();
@@ -752,13 +818,13 @@ impl Interp {
                 for part in parts {
                     out.push_str(&self.subst_token(part)?);
                 }
-                Ok(out)
+                Ok(Value::from(out))
             }
         }
     }
 
     /// Evaluates a script at a given frame level (used by `uplevel`).
-    pub fn eval_at_level(&mut self, level: usize, script: &str) -> TclResult<String> {
+    pub fn eval_at_level(&mut self, level: usize, script: &str) -> TclResult<Value> {
         if level >= self.frames.len() {
             return Err(TclError::Error(format!("bad level \"{level}\"")));
         }
@@ -769,10 +835,10 @@ impl Interp {
         r
     }
 
-    fn eval_inner(&mut self, script: &str) -> TclResult<String> {
+    fn eval_inner(&mut self, script: &str) -> TclResult<Value> {
         let chars: Vec<char> = script.chars().collect();
         let mut pos = 0usize;
-        let mut result = String::new();
+        let mut result = Value::empty();
         while pos < chars.len() {
             let (words, next) = self.parse_command(&chars, pos)?;
             pos = next;
@@ -789,7 +855,7 @@ impl Interp {
     /// Unknown commands fall back to the `unknown` procedure when one is
     /// defined (classic Tcl: `proc unknown {args} {...}` intercepts every
     /// unresolved command with the original words as its arguments).
-    pub fn invoke(&mut self, words: &[String]) -> TclResult<String> {
+    pub fn invoke(&mut self, words: &[Value]) -> TclResult<Value> {
         let timer = self.telemetry.timer();
         let r = self.invoke_inner(words);
         if timer.is_some() {
@@ -799,11 +865,34 @@ impl Interp {
         r
     }
 
-    fn invoke_inner(&mut self, words: &[String]) -> TclResult<String> {
+    fn invoke_inner(&mut self, words: &[Value]) -> TclResult<Value> {
+        // Interned fast path: a command-name Value that already resolved
+        // at the current epoch skips hashing the name entirely. Weak
+        // handles fail closed — a dead upgrade falls through to lookup.
+        if let Some(intern) = words[0].cached_cmd(self.cmd_epoch) {
+            match intern {
+                CmdIntern::Native(w) => {
+                    if let Some(f) = w.upgrade() {
+                        return f(self, words);
+                    }
+                }
+                CmdIntern::Proc(w) => {
+                    if let Some(p) = w.upgrade() {
+                        return self.call_proc(&words[0], &p, &words[1..]);
+                    }
+                }
+            }
+        }
         let cmd = self.commands.get(words[0].as_str()).cloned();
         match cmd {
-            Some(Command::Native(f)) => f(self, words),
-            Some(Command::Proc(p)) => self.call_proc(&words[0], &p, &words[1..]),
+            Some(Command::Native(f)) => {
+                words[0].intern_cmd(self.cmd_epoch, CmdIntern::Native(Rc::downgrade(&f)));
+                f(self, words)
+            }
+            Some(Command::Proc(p)) => {
+                words[0].intern_cmd(self.cmd_epoch, CmdIntern::Proc(Rc::downgrade(&p)));
+                self.call_proc(&words[0], &p, &words[1..])
+            }
             None => {
                 if words[0] != "unknown" {
                     if let Some(Command::Proc(p)) = self.commands.get("unknown").cloned() {
@@ -818,12 +907,14 @@ impl Interp {
         }
     }
 
-    fn call_proc(&mut self, name: &str, p: &ProcDef, actuals: &[String]) -> TclResult<String> {
+    fn call_proc(&mut self, name: &str, p: &ProcDef, actuals: &[Value]) -> TclResult<Value> {
         let mut frame = Frame::default();
         let mut ai = 0usize;
         for (fi, (formal, default)) in p.args.iter().enumerate() {
             if formal == "args" && fi == p.args.len() - 1 {
-                let rest = crate::list::list_join(&actuals[ai.min(actuals.len())..]);
+                // The rest-args list is built as a shared list rep; it
+                // renders to the canonical `list_join` form on demand.
+                let rest = Value::from_list(actuals[ai.min(actuals.len())..].to_vec());
                 frame
                     .vars
                     .insert("args".into(), VarSlot::Value(Var::Scalar(rest)));
@@ -837,9 +928,10 @@ impl Interp {
                 );
                 ai += 1;
             } else if let Some(d) = default {
-                frame
-                    .vars
-                    .insert(formal.clone(), VarSlot::Value(Var::Scalar(d.clone())));
+                frame.vars.insert(
+                    formal.clone(),
+                    VarSlot::Value(Var::Scalar(Value::from(d.as_str()))),
+                );
             } else {
                 return Err(TclError::Error(format!(
                     "no value given for parameter \"{formal}\" to \"{name}\""
@@ -862,7 +954,7 @@ impl Interp {
         self.active = saved_active;
         match r {
             Ok(v) => Ok(v),
-            Err(TclError::Return(v)) => Ok(v),
+            Err(TclError::Return(v)) => Ok(Value::from(v)),
             Err(TclError::Break) => Err(TclError::error("invoked \"break\" outside of a loop")),
             Err(TclError::Continue) => {
                 Err(TclError::error("invoked \"continue\" outside of a loop"))
@@ -876,8 +968,8 @@ impl Interp {
     /// Returns the words and the position just past the command
     /// terminator. An empty word list means the segment held only a
     /// separator or comment.
-    fn parse_command(&mut self, chars: &[char], mut pos: usize) -> TclResult<(Vec<String>, usize)> {
-        let mut words: Vec<String> = Vec::new();
+    fn parse_command(&mut self, chars: &[char], mut pos: usize) -> TclResult<(Vec<Value>, usize)> {
+        let mut words: Vec<Value> = Vec::new();
         // Skip leading white space (not newlines — those terminate).
         loop {
             while pos < chars.len() && (chars[pos] == ' ' || chars[pos] == '\t') {
@@ -938,7 +1030,7 @@ impl Interp {
                     pos = next;
                 }
             }
-            words.push(word);
+            words.push(Value::from(word));
             // Skip intra-command white space.
             loop {
                 while pos < chars.len() && (chars[pos] == ' ' || chars[pos] == '\t') {
@@ -1032,11 +1124,11 @@ impl Interp {
             return Ok(("$".into(), pos + 1));
         }
         match index {
-            None => Ok((self.get_var(&name)?, next)),
+            None => Ok((self.get_var(&name)?.to_string(), next)),
             Some(raw) => {
                 // The index itself undergoes one round of substitution.
                 let idx = self.substitute_all(&raw)?;
-                Ok((self.get_elem(&name, &idx)?, next))
+                Ok((self.get_elem(&name, &idx)?.to_string(), next))
             }
         }
     }

@@ -8,7 +8,8 @@
 //! * a host program creates an [`Interp`],
 //! * registers additional commands with [`Interp::register`] (the analogue
 //!   of `Tcl_CreateCommand`), each command receiving its arguments as a
-//!   slice of strings and returning a string result, and
+//!   slice of [`Value`]s — shared, dual-representation strings (see
+//!   [`value`]) — and returning a `Value` result, and
 //! * evaluates scripts with [`Interp::eval`].
 //!
 //! Substitution rules follow the Tcl book: `$var` and `$arr(elem)` variable
@@ -38,12 +39,14 @@ pub mod interp;
 pub mod list;
 pub mod parser;
 pub mod regex;
+pub mod value;
 
 pub use compile::{compile, CompiledScript};
 pub use error::{TclError, TclResult};
 pub use interp::{CacheStats, CmdFn, Interp, OutputSink, Prepared};
 pub use list::{list_append, list_join, list_quote, parse_list};
+pub use value::{reset_shimmer_stats, set_reps_enabled, shimmer_stats, ShimmerStats, Value};
 pub use wafe_trace::Telemetry;
 
 /// Convenience alias for the result type returned by Tcl commands.
-pub type CmdResult = TclResult<String>;
+pub type CmdResult = TclResult<Value>;

@@ -1,0 +1,658 @@
+//! Dual-representation Tcl values.
+//!
+//! Wafe inherits Tcl 6's strings-only data model; this module gives the
+//! interpreter the Tcl 8 `Tcl_Obj` leap: a [`Value`] is a cheaply clonable
+//! handle (`Rc`) to a string representation plus a lazily computed, cached
+//! internal representation (integer, double, boolean, parsed list, or
+//! compiled script). The string rep stays authoritative — "everything is a
+//! string" semantics are observable at the Tcl level exactly as before —
+//! but repeated numeric or list use of the same value no longer re-parses
+//! text on every touch ("shimmering").
+//!
+//! Invalidation rule: a `Value` is immutable. Mutation in the interpreter
+//! (e.g. `set`, `lappend`) replaces the variable's `Value` with a new one,
+//! so a cached rep can never go stale. Commands that build a new string
+//! from an old value construct a fresh `Value`.
+
+use std::borrow::Borrow;
+use std::cell::{Cell, OnceCell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::compile::CompiledScript;
+use crate::error::TclResult;
+use crate::list::parse_list;
+
+/// Internal (cached) representation of a value. `None` means only the
+/// string rep exists so far.
+#[derive(Debug, Clone, Default)]
+pub enum IntRep {
+    #[default]
+    None,
+    /// Canonical decimal integer (round-trips to the identical string).
+    Int(i64),
+    /// Floating point value; rendered form matches the string rep.
+    Double(f64),
+    /// Boolean literal (`0/1/true/false/yes/no/on/off`).
+    Bool(bool),
+    /// Parsed Tcl list; shared so `lindex`/`foreach` etc. are O(1) re-use.
+    List(Rc<Vec<Value>>),
+    /// Compiled script body (cached by `eval`/proc bodies).
+    Script(Rc<CompiledScript>),
+}
+
+struct Inner {
+    /// String representation. Always set for string-born values; computed
+    /// on demand for value-born (int/list/…) ones.
+    str_rep: OnceCell<Rc<str>>,
+    /// Cached internal representation.
+    int_rep: RefCell<IntRep>,
+    /// Cached command-table resolution (epoch, handle) when this value is
+    /// used as argv[0]; validated against the interpreter's epoch counter
+    /// (bumped on register/rename/unregister/proc).
+    cmd: RefCell<Option<(u64, crate::interp::CmdIntern)>>,
+}
+
+/// A shared, dual-representation Tcl value. Clone is an `Rc` bump.
+#[derive(Clone)]
+pub struct Value(Rc<Inner>);
+
+// ---------------------------------------------------------------------------
+// Shimmer telemetry. The interpreter is single-threaded (Rc throughout), so
+// plain thread-locals are the cheapest home for these counters; `Value`
+// methods have no `Interp` access.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShimmerStats {
+    /// String → integer parses that populated a cached rep.
+    pub int_parses: u64,
+    /// String → double parses that populated a cached rep.
+    pub double_parses: u64,
+    /// String → list parses that populated a cached rep.
+    pub list_parses: u64,
+    /// Rep cache hits (any kind) that avoided a re-parse.
+    pub rep_hits: u64,
+    /// Value-born values rendered to strings on demand.
+    pub renders: u64,
+    /// Copy-on-write list clones forced by sharing.
+    pub list_cow: u64,
+    /// Command-name intern hits that skipped a table lookup.
+    pub cmd_intern_hits: u64,
+}
+
+thread_local! {
+    static STATS: RefCell<ShimmerStats> = RefCell::new(ShimmerStats::default());
+    /// When false, `Value` behaves like the old strings-only model: no rep
+    /// caching, every numeric/list access re-parses. Used by the e21 bench
+    /// to measure the string model on the same binary.
+    static REPS_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Snapshot the thread's shimmer counters.
+pub fn shimmer_stats() -> ShimmerStats {
+    STATS.with(|s| *s.borrow())
+}
+
+/// Reset the thread's shimmer counters (tests, benches).
+pub fn reset_shimmer_stats() {
+    STATS.with(|s| *s.borrow_mut() = ShimmerStats::default());
+}
+
+/// Enable/disable dual representations (benchmark baseline switch).
+/// Returns the previous setting.
+pub fn set_reps_enabled(on: bool) -> bool {
+    REPS_ENABLED.with(|c| c.replace(on))
+}
+
+/// Whether dual representations are currently enabled on this thread.
+pub fn reps_enabled() -> bool {
+    REPS_ENABLED.with(|c| c.get())
+}
+
+fn stat(f: impl FnOnce(&mut ShimmerStats)) {
+    STATS.with(|s| f(&mut s.borrow_mut()));
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+impl Value {
+    /// An empty-string value.
+    pub fn empty() -> Value {
+        Value::from("")
+    }
+
+    fn from_parts(str_rep: Option<Rc<str>>, rep: IntRep) -> Value {
+        let cell = OnceCell::new();
+        if let Some(s) = str_rep {
+            let _ = cell.set(s);
+        }
+        Value(Rc::new(Inner {
+            str_rep: cell,
+            int_rep: RefCell::new(rep),
+            cmd: RefCell::new(None),
+        }))
+    }
+
+    /// A value born from an integer: carries the Int rep, renders lazily.
+    pub fn from_int(n: i64) -> Value {
+        if reps_enabled() {
+            Value::from_parts(None, IntRep::Int(n))
+        } else {
+            Value::from(n.to_string())
+        }
+    }
+
+    /// A value born from a double; rendered via Tcl's double formatting.
+    /// Non-finite values stay string-only: `expr`'s coercion treats
+    /// "NaN"/"Inf" as strings, and a cached Double rep would change that.
+    pub fn from_double(d: f64) -> Value {
+        if reps_enabled() && d.is_finite() {
+            Value::from_parts(None, IntRep::Double(d))
+        } else {
+            Value::from(crate::expr::format_double(d))
+        }
+    }
+
+    /// A value born from a parsed list; renders via `list_join` lazily.
+    pub fn from_list(elems: Vec<Value>) -> Value {
+        if reps_enabled() {
+            Value::from_parts(None, IntRep::List(Rc::new(elems)))
+        } else {
+            Value::from(join_values(&elems))
+        }
+    }
+
+    /// A value sharing an existing list rep.
+    pub fn from_list_rc(elems: Rc<Vec<Value>>) -> Value {
+        if reps_enabled() {
+            Value::from_parts(None, IntRep::List(elems))
+        } else {
+            Value::from(join_values(&elems))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // String representation
+    // -----------------------------------------------------------------
+
+    /// The string representation, rendering it from the internal rep if
+    /// this value was value-born.
+    pub fn as_str(&self) -> &str {
+        self.str_rc()
+    }
+
+    fn str_rc(&self) -> &Rc<str> {
+        self.0.str_rep.get_or_init(|| {
+            stat(|s| s.renders += 1);
+            let rep = self.0.int_rep.borrow();
+            let rendered: String = match &*rep {
+                IntRep::Int(n) => n.to_string(),
+                IntRep::Double(d) => crate::expr::format_double(*d),
+                IntRep::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+                IntRep::List(elems) => join_values(elems),
+                IntRep::Script(_) | IntRep::None => String::new(),
+            };
+            Rc::from(rendered.as_str())
+        })
+    }
+
+    /// The shared `Rc<str>` string rep (cheap to clone).
+    pub fn shared_str(&self) -> Rc<str> {
+        self.str_rc().clone()
+    }
+
+    /// True when the string rep has already been computed.
+    pub fn has_str_rep(&self) -> bool {
+        self.0.str_rep.get().is_some()
+    }
+
+    // -----------------------------------------------------------------
+    // Numeric reps
+    // -----------------------------------------------------------------
+
+    /// The cached integer rep, if present and valid.
+    pub fn cached_int(&self) -> Option<i64> {
+        match &*self.0.int_rep.borrow() {
+            IntRep::Int(n) => {
+                stat(|s| s.rep_hits += 1);
+                Some(*n)
+            }
+            _ => None,
+        }
+    }
+
+    /// The cached double rep, if present.
+    pub fn cached_double(&self) -> Option<f64> {
+        match &*self.0.int_rep.borrow() {
+            IntRep::Double(d) => {
+                stat(|s| s.rep_hits += 1);
+                Some(*d)
+            }
+            IntRep::Int(n) => {
+                stat(|s| s.rep_hits += 1);
+                Some(*n as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Parse as integer, caching the rep when the textual form is the
+    /// canonical decimal rendering (so caching can never change how other
+    /// consumers — e.g. `incr`'s strict parser — see the value).
+    pub fn as_int(&self) -> Option<i64> {
+        if let Some(n) = self.cached_int() {
+            return Some(n);
+        }
+        let s = self.as_str();
+        let n: i64 = s.trim().parse().ok()?;
+        if reps_enabled() && canonical_int(s, n) {
+            stat(|s| s.int_parses += 1);
+            self.set_rep(IntRep::Int(n));
+        }
+        Some(n)
+    }
+
+    /// Parse as double (no caching unless canonical is certain; the expr
+    /// layer formats doubles in its own canonical way, so we only cache
+    /// when round-trip matches).
+    pub fn as_double(&self) -> Option<f64> {
+        if let Some(d) = self.cached_double() {
+            return Some(d);
+        }
+        let s = self.as_str();
+        let d: f64 = s.trim().parse().ok()?;
+        if reps_enabled() && d.is_finite() && crate::expr::format_double(d) == s {
+            stat(|st| st.double_parses += 1);
+            self.set_rep(IntRep::Double(d));
+        }
+        Some(d)
+    }
+
+    /// Cache an integer rep iff the string rep is the canonical decimal
+    /// rendering of `n` (used by `expr`'s coercion after a parse).
+    pub fn cache_int_canonical(&self, n: i64) {
+        if reps_enabled() && canonical_int(self.as_str(), n) {
+            stat(|s| s.int_parses += 1);
+            self.set_rep(IntRep::Int(n));
+        }
+    }
+
+    /// Cache a double rep iff the string rep round-trips exactly through
+    /// Tcl's double formatting (and the value is finite — non-finite
+    /// spellings coerce as strings).
+    pub fn cache_double_canonical(&self, d: f64) {
+        if reps_enabled() && d.is_finite() && crate::expr::format_double(d) == self.as_str() {
+            stat(|s| s.double_parses += 1);
+            self.set_rep(IntRep::Double(d));
+        }
+    }
+
+    fn set_rep(&self, rep: IntRep) {
+        // Never clobber a List/Script rep with a numeric one; those are
+        // the expensive ones to rebuild.
+        let mut cur = self.0.int_rep.borrow_mut();
+        if matches!(&*cur, IntRep::None) {
+            *cur = rep;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // List rep
+    // -----------------------------------------------------------------
+
+    /// The parsed list rep, parsing and caching on first use.
+    pub fn as_list(&self) -> TclResult<Rc<Vec<Value>>> {
+        if let IntRep::List(elems) = &*self.0.int_rep.borrow() {
+            stat(|s| s.rep_hits += 1);
+            return Ok(elems.clone());
+        }
+        let parsed = parse_list(self.as_str())?;
+        let elems: Rc<Vec<Value>> = Rc::new(parsed.into_iter().map(Value::from).collect());
+        if reps_enabled() {
+            stat(|s| s.list_parses += 1);
+            let mut cur = self.0.int_rep.borrow_mut();
+            if !matches!(&*cur, IntRep::Script(_)) {
+                *cur = IntRep::List(elems.clone());
+            }
+        }
+        Ok(elems)
+    }
+
+    /// True when a list rep is already cached.
+    pub fn has_list_rep(&self) -> bool {
+        matches!(&*self.0.int_rep.borrow(), IntRep::List(_))
+    }
+
+    /// Sole-owner rep steal for amortized O(1) `lappend`.
+    ///
+    /// When exactly two handles reference this value — the variable slot
+    /// being rewritten and the caller's clone of it — the cached list rep
+    /// is moved out so the underlying vector has a single owner and can be
+    /// extended in place. The slot is about to be overwritten with the
+    /// extended list, so the brief rep-less window is unobservable. Any
+    /// other sharing (`set b $l`, `lappend l $l`, …) returns `None` and
+    /// the caller falls back to a counted copy-on-write clone.
+    pub(crate) fn list_rep_for_update(&self) -> Option<Rc<Vec<Value>>> {
+        if Rc::strong_count(&self.0) != 2 {
+            return None;
+        }
+        let mut cur = self.0.int_rep.borrow_mut();
+        if matches!(&*cur, IntRep::List(_)) {
+            if let IntRep::List(rc) = std::mem::take(&mut *cur) {
+                stat(|s| s.rep_hits += 1);
+                return Some(rc);
+            }
+        }
+        None
+    }
+
+    // -----------------------------------------------------------------
+    // Script rep
+    // -----------------------------------------------------------------
+
+    /// The cached compiled-script rep, if present.
+    pub fn cached_script(&self) -> Option<Rc<CompiledScript>> {
+        match &*self.0.int_rep.borrow() {
+            IntRep::Script(c) => {
+                stat(|s| s.rep_hits += 1);
+                Some(c.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Cache a compiled-script rep (only onto a rep-less value).
+    pub fn cache_script(&self, compiled: Rc<CompiledScript>) {
+        if reps_enabled() {
+            self.set_rep(IntRep::Script(compiled));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Command interning
+    // -----------------------------------------------------------------
+
+    pub(crate) fn cached_cmd(&self, epoch: u64) -> Option<crate::interp::CmdIntern> {
+        let cmd = self.0.cmd.borrow();
+        match &*cmd {
+            Some((e, c)) if *e == epoch => {
+                stat(|s| s.cmd_intern_hits += 1);
+                Some(c.clone())
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn intern_cmd(&self, epoch: u64, intern: crate::interp::CmdIntern) {
+        if reps_enabled() {
+            *self.0.cmd.borrow_mut() = Some((epoch, intern));
+        }
+    }
+}
+
+/// True when `s` is exactly the canonical decimal rendering of `n`.
+fn canonical_int(s: &str, n: i64) -> bool {
+    // Cheap check without allocating for the common small-digit case:
+    // itoa-free comparison via a stack buffer would be ideal; a short
+    // to_string is fine here because this runs once per distinct value.
+    s == n.to_string()
+}
+
+/// Join values into a canonical Tcl list string. Produces exactly what
+/// [`list_join`] yields for the same element texts, without the
+/// intermediate `Vec<String>`.
+pub fn join_values(elems: &[Value]) -> String {
+    let mut out = String::new();
+    for (i, v) in elems.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&crate::list::list_quote(v.as_str()));
+    }
+    out
+}
+
+/// Record a copy-on-write list clone (called by the list commands).
+pub(crate) fn note_list_cow() {
+    stat(|s| s.list_cow += 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trait plumbing: make `Value` behave like a string almost everywhere.
+// ---------------------------------------------------------------------------
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::empty()
+    }
+}
+
+impl std::ops::Deref for Value {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Value {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Value {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::from_parts(Some(Rc::from(s.as_str())), IntRep::None)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::from_parts(Some(Rc::from(s)), IntRep::None)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::from(s.as_str())
+    }
+}
+
+impl From<Rc<str>> for Value {
+    fn from(s: Rc<str>) -> Value {
+        Value::from_parts(Some(s), IntRep::None)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::from_int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Value {
+        Value::from_double(d)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::from(if b { "1" } else { "0" })
+    }
+}
+
+impl From<Value> for String {
+    fn from(v: Value) -> String {
+        v.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let v = Value::from("hello world");
+        assert_eq!(v.as_str(), "hello world");
+        assert_eq!(v, "hello world");
+        assert_eq!(v.to_string(), "hello world");
+    }
+
+    #[test]
+    fn int_born_renders_lazily() {
+        let v = Value::from_int(42);
+        assert!(!v.has_str_rep() || !reps_enabled());
+        assert_eq!(v.as_str(), "42");
+        assert_eq!(v.cached_int(), Some(42));
+    }
+
+    #[test]
+    fn int_parse_caches_canonical_only() {
+        let v = Value::from("17");
+        assert_eq!(v.as_int(), Some(17));
+        assert_eq!(v.cached_int(), Some(17));
+        // Hex parses via expr's coercion, not here; "0x11" must NOT get an
+        // Int rep because `incr` would then accept what it used to reject.
+        let h = Value::from("0x11");
+        assert_eq!(h.as_int(), None);
+        assert_eq!(h.cached_int(), None);
+        // Leading-zero / whitespace forms parse but are not cached.
+        let z = Value::from(" 7 ");
+        assert_eq!(z.as_int(), Some(7));
+        assert_eq!(z.cached_int(), None);
+    }
+
+    #[test]
+    fn double_roundtrip() {
+        let v = Value::from_double(1.5);
+        assert_eq!(v.as_str(), "1.5");
+        assert_eq!(v.cached_double(), Some(1.5));
+        let w = Value::from_double(2.0);
+        assert_eq!(w.as_str(), "2.0");
+    }
+
+    #[test]
+    fn list_rep_roundtrip() {
+        let v = Value::from("a b {c d} e");
+        let l = v.as_list().unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l[2], "c d");
+        // Cached: second call returns the same Rc.
+        let l2 = v.as_list().unwrap();
+        assert!(Rc::ptr_eq(&l, &l2));
+    }
+
+    #[test]
+    fn list_born_renders_canonically() {
+        let v = Value::from_list(vec![Value::from("a"), Value::from("c d"), Value::from("")]);
+        assert_eq!(v.as_str(), "a {c d} {}");
+    }
+
+    #[test]
+    fn value_eq_is_string_eq() {
+        assert_eq!(Value::from_int(5), Value::from("5"));
+        assert_ne!(Value::from("05"), Value::from("5"));
+    }
+
+    #[test]
+    fn borrow_str_enables_join() {
+        let argv = [Value::from("a"), Value::from("b")];
+        let joined = argv.join(" ");
+        assert_eq!(joined, "a b");
+    }
+
+    #[test]
+    fn shimmer_counters_move() {
+        reset_shimmer_stats();
+        let v = Value::from("123");
+        let _ = v.as_int();
+        let _ = v.as_int();
+        let s = shimmer_stats();
+        assert_eq!(s.int_parses, 1);
+        assert!(s.rep_hits >= 1);
+    }
+
+    #[test]
+    fn reps_disabled_is_string_model() {
+        let prev = set_reps_enabled(false);
+        let v = Value::from_int(9);
+        assert!(v.has_str_rep());
+        let w = Value::from("10");
+        assert_eq!(w.as_int(), Some(10));
+        assert_eq!(w.cached_int(), None);
+        set_reps_enabled(prev);
+    }
+}

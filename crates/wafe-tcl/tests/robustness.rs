@@ -52,7 +52,7 @@ fn format_never_panics() {
         let len = rng.range(0, 31);
         let fmt = rng.string_from(&alphabet, len);
         let mut i = Interp::new();
-        let _ = i.invoke(&["format".into(), fmt, "42".into(), "x".into()]);
+        let _ = i.invoke(&["format".into(), fmt.into(), "42".into(), "x".into()]);
     });
 }
 
@@ -218,10 +218,15 @@ mod regex_props {
             let t = rng.string_from(&alphabet, t_len);
             let mut i = wafe_tcl::Interp::new();
             let glob = i
-                .invoke(&["string".into(), "match".into(), format!("{s}*"), t.clone()])
+                .invoke(&[
+                    "string".into(),
+                    "match".into(),
+                    format!("{s}*").into(),
+                    t.clone().into(),
+                ])
                 .unwrap();
             let re = i
-                .invoke(&["regexp".into(), format!("^{s}"), t.clone()])
+                .invoke(&["regexp".into(), format!("^{s}").into(), t.clone().into()])
                 .unwrap();
             assert_eq!(glob, re);
         });

@@ -1,0 +1,135 @@
+//! Property tests for dual-representation values: the cached internal
+//! rep must be semantically invisible — every operation agrees with the
+//! pure-string list codec in `wafe_tcl::list` and round-trips exactly.
+
+use wafe_prop::cases;
+use wafe_tcl::value::join_values;
+use wafe_tcl::{list_join, parse_list, Interp, Value};
+
+fn chars(s: &str) -> Vec<char> {
+    s.chars().collect()
+}
+
+/// String → Value → string is the identity for arbitrary text.
+#[test]
+fn string_roundtrip_identity() {
+    cases(256, |rng| {
+        let s = rng.unicode_string(0, 65);
+        let v = Value::from(s.as_str());
+        assert_eq!(v.as_str(), s);
+        assert_eq!(String::from(v.clone()), s);
+        assert_eq!(v, Value::from(s.clone()));
+    });
+}
+
+/// Int-born and double-born values render exactly as the string model
+/// would, and re-parse to the same number.
+#[test]
+fn numeric_roundtrip_identity() {
+    cases(256, |rng| {
+        let n = rng.range_i64(-1_000_000, 1_000_000);
+        let v = Value::from_int(n);
+        assert_eq!(v.as_str(), n.to_string());
+        assert_eq!(v.as_int(), Some(n));
+        let d = (rng.range_i64(-100_000, 100_000) as f64) / 64.0;
+        let w = Value::from_double(d);
+        assert_eq!(w.as_double(), Some(d));
+        // Rendering then re-wrapping is stable.
+        assert_eq!(Value::from(w.as_str()).as_double(), Some(d));
+    });
+}
+
+/// `Value::from_list(...)` renders exactly what `list_join` produces
+/// for the same element texts, and `as_list` inverts it.
+#[test]
+fn list_rep_agrees_with_string_codec() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyz0123456789 {}$[]\"\\;");
+    cases(256, |rng| {
+        let elems: Vec<String> = rng.vec(0, 8, |r| {
+            let len = r.range(0, 9);
+            r.string_from(&alphabet, len)
+        });
+        let joined = list_join(&elems);
+        let v = Value::from_list(elems.iter().map(Value::from).collect());
+        // Lazy render must be byte-identical to the string-model join.
+        assert_eq!(v.as_str(), joined);
+        assert_eq!(join_values(&v.as_list().unwrap()), joined);
+        // Parsing the rendered string recovers the elements, exactly as
+        // the pure-string codec does.
+        let reparsed = parse_list(&joined).unwrap();
+        assert_eq!(reparsed, elems);
+        let via_rep: Vec<String> = v.as_list().unwrap().iter().map(|e| e.to_string()).collect();
+        assert_eq!(via_rep, elems);
+    });
+}
+
+/// List commands running on the cached rep agree with the same command
+/// sequence forced through fresh string parses.
+#[test]
+fn list_commands_agree_with_string_model() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyz0123456789 {}");
+    cases(128, |rng| {
+        let elems: Vec<String> = rng.vec(1, 7, |r| {
+            let len = r.range(0, 7);
+            r.string_from(&alphabet, len)
+        });
+        let joined = list_join(&elems);
+        let mut i = Interp::new();
+        i.set_var("l", joined.as_str()).unwrap();
+
+        // llength/lindex against the codec's ground truth.
+        assert_eq!(
+            i.eval("llength $l").unwrap(),
+            elems.len().to_string(),
+            "llength on {joined:?}"
+        );
+        let k = rng.range(0, elems.len());
+        assert_eq!(i.eval(&format!("lindex $l {k}")).unwrap(), elems[k]);
+
+        // lrange re-renders exactly the codec's join of the slice.
+        let lo = rng.range(0, elems.len());
+        let hi = rng.range(lo, elems.len());
+        assert_eq!(
+            i.eval(&format!("lrange $l {lo} {hi}")).unwrap(),
+            list_join(&elems[lo..=hi])
+        );
+
+        // lappend agrees with appending at the string level.
+        let extra_len = rng.range(0, 7);
+        let extra = rng.string_from(&alphabet, extra_len);
+        let mut grown = elems.clone();
+        grown.push(extra.clone());
+        i.set_var("x", extra.as_str()).unwrap();
+        assert_eq!(i.eval("lappend l $x").unwrap(), list_join(&grown));
+        assert_eq!(i.eval("set l").unwrap(), list_join(&grown));
+    });
+}
+
+/// lsort on the cached rep is a permutation that matches Rust's sort of
+/// the same strings.
+#[test]
+fn lsort_agrees_with_rust_sort() {
+    let alphabet = chars("abcdefghijklmnopqrstuvwxyz");
+    cases(128, |rng| {
+        let elems: Vec<String> = rng.vec(0, 9, |r| {
+            let len = r.range(1, 6);
+            r.string_from(&alphabet, len)
+        });
+        let mut i = Interp::new();
+        i.set_var("l", list_join(&elems).as_str()).unwrap();
+        let mut expect = elems.clone();
+        expect.sort();
+        assert_eq!(i.eval("lsort $l").unwrap(), list_join(&expect));
+
+        let nums: Vec<String> = rng
+            .vec(0, 9, |r| r.range_i64(-500, 500))
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        i.set_var("n", list_join(&nums).as_str()).unwrap();
+        let mut expect_n: Vec<i64> = nums.iter().map(|s| s.parse().unwrap()).collect();
+        expect_n.sort_unstable();
+        let expect_n: Vec<String> = expect_n.iter().map(|n| n.to_string()).collect();
+        assert_eq!(i.eval("lsort -integer $n").unwrap(), list_join(&expect_n));
+    });
+}

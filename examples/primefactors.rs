@@ -74,7 +74,8 @@ fn main() {
             .engine
             .session
             .eval("gV result label")
-            .unwrap_or_default();
+            .unwrap_or_default()
+            .to_string();
         if !result.is_empty() {
             break;
         }

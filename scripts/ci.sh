@@ -32,4 +32,35 @@ timeout 60 sh -c '
     done
 ' || { echo "supervisor chaos suite: FAILED (or exceeded 60s)"; exit 1; }
 
+# Perf gates. E21 is the dual-rep value model: one smoke run must
+# complete (its >=3x acceptance assert is inside the bench) and leave
+# well-formed JSON behind. E19 must not regress: the freshly measured
+# speedups are compared against the committed BENCH_e19.json with 5%
+# tolerance (ratios, not raw ns, so the gate is machine-portable).
+# Timing asserts are noise-sensitive right after the heavy steps above,
+# so each bench gets one retry before the gate fails.
+run_bench() {
+    cargo bench -q -p bench --bench "$1" --offline >/dev/null 2>&1 \
+        || cargo bench -q -p bench --bench "$1" --offline >/dev/null
+}
+
+echo "== bench e21 smoke run"
+run_bench e21_value_reps
+python3 -c 'import json; json.load(open("BENCH_e21.json"))' \
+    || { echo "BENCH_e21.json: malformed"; exit 1; }
+
+echo "== bench e19 no-regression check (<=5%)"
+baseline=$(git show HEAD:BENCH_e19.json 2>/dev/null || cat BENCH_e19.json)
+run_bench e19_eval_cache
+echo "$baseline" | python3 -c '
+import json, sys
+base = {w["name"]: w["speedup"] for w in json.load(sys.stdin)["workloads"]}
+fresh = {w["name"]: w["speedup"] for w in json.load(open("BENCH_e19.json"))["workloads"]}
+for name, b in base.items():
+    f = fresh[name]
+    if f < b * 0.95:
+        sys.exit(f"e19 regression: {name} speedup {f:.2f}x < 95% of baseline {b:.2f}x")
+    print(f"  {name}: {f:.2f}x (baseline {b:.2f}x) ok")
+'
+
 echo "CI OK"

@@ -21,7 +21,7 @@ fn session_with_binding(binding: &str) -> WafeSession {
 
 fn captured(s: &mut WafeSession) -> String {
     s.pump();
-    s.interp.get_var("captured").unwrap_or_default()
+    s.interp.get_var("captured").unwrap_or_default().to_string()
 }
 
 fn probe_abs(s: &WafeSession) -> (i32, i32) {

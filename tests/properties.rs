@@ -55,7 +55,7 @@ fn lindex_recovers_elements() {
         let joined = list_join(&elems);
         for (k, e) in elems.iter().enumerate() {
             let got = i
-                .invoke(&["lindex".to_string(), joined.clone(), k.to_string()])
+                .invoke(&["lindex".into(), joined.clone().into(), k.to_string().into()])
                 .unwrap();
             assert_eq!(&got, e);
         }
