@@ -1,0 +1,243 @@
+//! E22 — waferd multi-session serving throughput.
+//!
+//! The paper's Wafe runs one frontend per application over a pipe; the
+//! `wafe-serve` crate multiplexes many frontends over sockets behind a
+//! bounded worker pool. This experiment measures what that buys and
+//! costs at 1, 8 and 64 concurrent TCP clients against an in-process
+//! [`Server`]:
+//!
+//! * **commands/sec** — persistent connections, each client streaming
+//!   interleaved `%set`/`%echo` round trips;
+//! * **sessions/sec** — connect → one round trip → close churn, which
+//!   exercises admission, worker hand-off and teardown per session.
+//!
+//! Every reply a client reads is checked byte-for-byte against a local
+//! [`ProtocolEngine`] fed the same lines — the acceptance criterion is
+//! 64 *simultaneously live* sessions with **zero** protocol corruption.
+//! Results go to stdout and `BENCH_e22.json` at the workspace root.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bench::{criterion_group, criterion_main, workspace_root, Criterion};
+use wafe_core::Flavor;
+use wafe_ipc::ProtocolEngine;
+use wafe_serve::{Limits, Server, ServerConfig};
+
+const CONCURRENCY: [usize; 3] = [1, 8, 64];
+/// `%set`/`%echo` pairs per client in the streaming workload.
+const ROUND_TRIPS: usize = 40;
+/// Connect/round-trip/close cycles per client in the churn workload.
+const CHURN: usize = 20;
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        limits: Limits {
+            max_sessions: 1024,
+            queue_depth: 1024,
+            ..Limits::default()
+        },
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind 127.0.0.1:0")
+}
+
+/// The replies frontend mode would produce for one client's line
+/// sequence: the same engine the server runs, fed directly.
+fn expected_replies(client: usize) -> Vec<String> {
+    let mut engine = ProtocolEngine::new(Flavor::Athena);
+    let mut out = Vec::new();
+    for i in 0..ROUND_TRIPS {
+        let _ = engine.handle_line(&format!("%set v c{client}-{i}"));
+        let _ = engine.handle_line("%echo [set v]");
+        out.extend(engine.take_app_lines());
+    }
+    out
+}
+
+struct Measured {
+    clients: usize,
+    commands_per_sec: f64,
+    sessions_per_sec: f64,
+    peak_active: usize,
+    mismatches: usize,
+}
+
+/// Streaming workload: `clients` persistent connections, two commands
+/// per round trip. Returns (commands/sec, peak active, mismatches).
+fn measure_commands(clients: usize) -> (f64, usize, usize) {
+    let server = start_server();
+    let addr = server.local_addr().unwrap();
+    let registry = server.registry();
+    let ready = Arc::new(Barrier::new(clients + 1));
+    let done = Arc::new(Barrier::new(clients + 1));
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let (ready, done) = (ready.clone(), done.clone());
+        joins.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            // Warmup round trip proves the session is attached before
+            // the clock starts; it is outside the compared sequence.
+            w.write_all(b"%echo warm\n").unwrap();
+            w.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "warm");
+            ready.wait();
+            let mut got = Vec::with_capacity(ROUND_TRIPS);
+            for i in 0..ROUND_TRIPS {
+                w.write_all(format!("%set v c{c}-{i}\n%echo [set v]\n").as_bytes())
+                    .unwrap();
+                w.flush().unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                got.push(line.trim_end().to_string());
+            }
+            done.wait();
+            usize::from(got != expected_replies(c))
+        }));
+    }
+    ready.wait();
+    let start = Instant::now();
+    done.wait();
+    let elapsed = start.elapsed();
+    // Every client is still connected here: the true concurrency level.
+    let peak_active = registry.active();
+    let mismatches: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    server.drain();
+    // Warmup excluded: 2 commands per round trip actually timed.
+    let commands = (clients * ROUND_TRIPS * 2) as f64;
+    (commands / elapsed.as_secs_f64(), peak_active, mismatches)
+}
+
+/// Churn workload: short-lived sessions, one round trip each.
+/// Returns (sessions/sec, mismatches).
+fn measure_sessions(clients: usize) -> (f64, usize) {
+    let server = start_server();
+    let addr = server.local_addr().unwrap();
+    let ready = Arc::new(Barrier::new(clients + 1));
+    let mut joins = Vec::new();
+    for c in 0..clients {
+        let ready = ready.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut mismatches = 0usize;
+            ready.wait();
+            for k in 0..CHURN {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut w = stream;
+                w.write_all(format!("%echo churn-{c}-{k}\n").as_bytes())
+                    .unwrap();
+                w.flush().unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim_end() != format!("churn-{c}-{k}") {
+                    mismatches += 1;
+                }
+            }
+            mismatches
+        }));
+    }
+    ready.wait();
+    let start = Instant::now();
+    let mismatches: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    let elapsed = start.elapsed();
+    server.drain();
+    let sessions = (clients * CHURN) as f64;
+    (sessions / elapsed.as_secs_f64(), mismatches)
+}
+
+fn write_json(results: &[Measured]) {
+    let mut out =
+        String::from("{\n  \"experiment\": \"e22_serve_throughput\",\n  \"workloads\": [\n");
+    for (k, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"serve_c{}\", \"clients\": {}, \"commands_per_sec\": {:.0}, \"sessions_per_sec\": {:.0}, \"peak_active\": {}, \"mismatches\": {}}}{}\n",
+            m.clients,
+            m.clients,
+            m.commands_per_sec,
+            m.sessions_per_sec,
+            m.peak_active,
+            m.mismatches,
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = workspace_root().join("BENCH_e22.json");
+    std::fs::write(&path, out).expect("write BENCH_e22.json");
+    println!("  wrote {}", path.display());
+}
+
+fn bench(c: &mut Criterion) {
+    bench::banner(
+        "E22",
+        "wafe-serve throughput: sessions/sec and commands/sec at 1, 8, 64 clients",
+    );
+    let mut results = Vec::new();
+    for clients in CONCURRENCY {
+        let (commands_per_sec, peak_active, cmd_mismatches) = measure_commands(clients);
+        let (sessions_per_sec, churn_mismatches) = measure_sessions(clients);
+        let m = Measured {
+            clients,
+            commands_per_sec,
+            sessions_per_sec,
+            peak_active,
+            mismatches: cmd_mismatches + churn_mismatches,
+        };
+        bench::row(
+            &format!("{} client(s) commands", clients),
+            format!("{:.0} commands/s", m.commands_per_sec),
+        );
+        bench::row(
+            &format!("{} client(s) churn", clients),
+            format!("{:.0} sessions/s", m.sessions_per_sec),
+        );
+        bench::row(
+            &format!("{} client(s) peak active", clients),
+            format!("{} sessions", m.peak_active),
+        );
+        results.push(m);
+    }
+    write_json(&results);
+
+    // Acceptance: 64 truly concurrent sessions, zero corruption — every
+    // reply byte-identical to the single-process frontend engine.
+    let c64 = results.last().expect("64-client row");
+    assert_eq!(c64.peak_active, 64, "acceptance: 64 concurrent sessions");
+    let total_mismatches: usize = results.iter().map(|m| m.mismatches).sum();
+    assert_eq!(total_mismatches, 0, "acceptance: zero protocol corruption");
+
+    // A criterion-style group so E22 reports like the others: single
+    // persistent connection round-trip latency.
+    let mut group = c.benchmark_group("e22_serve_throughput");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1000));
+    group.sample_size(11);
+    group.bench_function("round_trip_1_client", |b| {
+        let server = start_server();
+        let addr = server.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut line = String::new();
+        b.iter(|| {
+            w.write_all(b"%echo ping\n").unwrap();
+            w.flush().unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "ping");
+        });
+        drop(reader);
+        drop(w);
+        server.drain();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

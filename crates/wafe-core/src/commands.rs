@@ -34,13 +34,21 @@ pub fn register_handwritten(session: &mut WafeSession) {
     register_backend_controls(session);
 }
 
-/// `backend status|restart|kill|config|queue` and `faultpoint
-/// set|clear|list` — the supervisor control surface. The behaviour is
-/// installed by the embedding frontend (wafe-ipc) through
-/// [`WafeSession::controls`]; in a plain session the commands report
-/// that no backend is attached.
+/// `backend status|restart|kill|config|queue`, `faultpoint
+/// set|clear|list` and `serve status|sessions|drain|limits` — the
+/// embedder control surface. The behaviour is installed by the
+/// embedding process (wafe-ipc's frontend, wafe-serve's scheduler)
+/// through [`WafeSession::controls`]; in a plain session each command
+/// reports which embedding it needs.
 fn register_backend_controls(session: &mut WafeSession) {
-    for name in ["backend", "faultpoint"] {
+    for (name, absent) in [
+        ("backend", "requires frontend mode (no backend attached)"),
+        ("faultpoint", "requires frontend mode (no backend attached)"),
+        (
+            "serve",
+            "requires server mode (no waferd scheduler attached)",
+        ),
+    ] {
         let controls = session.controls.clone();
         session.register_handwritten_command(name, move |_interp, argv| {
             let mut controls = controls.borrow_mut();
@@ -49,10 +57,7 @@ fn register_backend_controls(session: &mut WafeSession) {
             let words: Vec<String> = argv.iter().map(|v| v.to_string()).collect();
             match controls.get_mut(argv[0].as_str()) {
                 Some(handler) => handler(&words).map(Value::from).map_err(TclError::Error),
-                None => Err(TclError::Error(format!(
-                    "{} requires frontend mode (no backend attached)",
-                    argv[0]
-                ))),
+                None => Err(TclError::Error(format!("{} {absent}", argv[0]))),
             }
         });
     }
@@ -70,9 +75,10 @@ fn register_telemetry(session: &mut WafeSession) {
         let tel = interp.telemetry().clone();
         match argv[1].as_str() {
             "snapshot" => {
-                if argv.len() != 2 {
-                    return Err(wrong_num_args("telemetry snapshot"));
+                if argv.len() > 3 {
+                    return Err(wrong_num_args("telemetry snapshot ?prefix?"));
                 }
+                let prefix = argv.get(2).map(|v| v.to_string()).unwrap_or_default();
                 let mut pairs: Vec<(String, String)> = Vec::new();
                 let snap = tel.snapshot();
                 for (k, v) in snap.counters {
@@ -138,8 +144,14 @@ fn register_telemetry(session: &mut WafeSession) {
                 pairs.push(("trace.journal.retained".into(), retained.to_string()));
                 pairs.push(("trace.journal.total".into(), total.to_string()));
                 pairs.push(("trace.journal.capacity".into(), capacity.to_string()));
+                // Deterministic contract: the output is key-sorted, so
+                // tests can assert on it verbatim.
                 pairs.sort();
-                let words: Vec<String> = pairs.into_iter().flat_map(|(k, v)| [k, v]).collect();
+                let words: Vec<String> = pairs
+                    .into_iter()
+                    .filter(|(k, _)| k.starts_with(&prefix))
+                    .flat_map(|(k, v)| [k, v])
+                    .collect();
                 Ok(Value::from(wafe_tcl::list_join(&words)))
             }
             "journal" => {

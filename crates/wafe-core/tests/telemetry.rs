@@ -255,6 +255,46 @@ fn action_dispatch_measured() {
 }
 
 #[test]
+fn snapshot_is_key_sorted_and_prefix_filterable() {
+    // Satellite 2 (PR 5): the snapshot is deterministically key-sorted,
+    // and an optional prefix narrows it to the matching sub-slice.
+    let mut s = session();
+    s.eval("label l topLevel").unwrap();
+    for _ in 0..3 {
+        s.eval("set x 1").unwrap();
+    }
+    let words = parse_list(&s.eval("telemetry snapshot").unwrap()).unwrap();
+    let keys: Vec<&String> = words.iter().step_by(2).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "snapshot keys must come out sorted");
+    let filtered = parse_list(&s.eval("telemetry snapshot tcl.").unwrap()).unwrap();
+    assert!(!filtered.is_empty());
+    assert!(filtered.chunks(2).all(|kv| kv[0].starts_with("tcl.")));
+    // A prefix nothing matches yields an empty list, not an error…
+    assert_eq!(s.eval("telemetry snapshot no.such.prefix").unwrap(), "");
+    // …but extra arguments are still rejected.
+    assert!(s.eval("telemetry snapshot a b").is_err());
+}
+
+#[test]
+fn snapshot_prefix_asserts_verbatim() {
+    // Satellite 2 (PR 5): with deterministic ordering a test can pin
+    // snapshot output byte-for-byte. The journal gauges are exact on a
+    // fresh session, so the whole filtered snapshot is one literal.
+    let mut s = WafeSession::new(Flavor::Athena);
+    assert_eq!(
+        s.eval("telemetry snapshot trace.journal").unwrap(),
+        "trace.journal.capacity 256 trace.journal.retained 0 trace.journal.total 0"
+    );
+    s.telemetry.set_journal_capacity(8);
+    assert_eq!(
+        s.eval("telemetry snapshot trace.journal").unwrap(),
+        "trace.journal.capacity 8 trace.journal.retained 0 trace.journal.total 0"
+    );
+}
+
+#[test]
 fn disabled_telemetry_records_no_counters() {
     let mut s = WafeSession::new(Flavor::Athena);
     s.eval("label l topLevel").unwrap();

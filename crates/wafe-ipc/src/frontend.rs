@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use wafe_core::Flavor;
 
+use crate::codec::LineCodec;
 use crate::fault::FaultPlan;
 use crate::protocol::ProtocolEngine;
 use crate::supervisor::{
@@ -122,12 +123,10 @@ impl ChildLink {
         })
     }
 
-    /// Writes one newline-terminated line to the child's stdin.
+    /// Writes one newline-terminated line to the child's stdin (framed
+    /// by the shared [`LineCodec`] so pipe and socket transports agree).
     pub(crate) fn write_line(&mut self, line: &str) -> std::io::Result<()> {
-        self.stdin.write_all(line.as_bytes())?;
-        if !line.ends_with('\n') {
-            self.stdin.write_all(b"\n")?;
-        }
+        self.stdin.write_all(&LineCodec::encode(line))?;
         self.stdin.flush()
     }
 

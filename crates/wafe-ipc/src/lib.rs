@@ -27,12 +27,14 @@
 //!   backend is down, and a deterministic [`fault::FaultPlan`]
 //!   fault-injection substrate driving the chaos test suite.
 
+pub mod codec;
 pub mod fault;
 pub mod frontend;
 pub mod protocol;
 pub mod supervisor;
 pub(crate) mod sys;
 
+pub use codec::{LineCodec, LineKind};
 pub use fault::{FaultAction, FaultPlan, FAULTS_ENV_VAR, FAULT_POINTS};
 pub use frontend::{backend_from_argv0, Frontend, FrontendConfig, SpawnSpec};
 pub use protocol::{

@@ -40,9 +40,10 @@ use std::time::{Duration, Instant};
 use wafe_core::WafeSession;
 use wafe_trace::Telemetry;
 
+use crate::codec::LineCodec;
 use crate::fault::{truncate_line, FaultAction, FaultPlan};
 use crate::frontend::{ChildLink, SpawnSpec};
-use crate::protocol::{LineAssembler, ProtocolEngine};
+use crate::protocol::ProtocolEngine;
 
 /// Tuning knobs of the supervisor. The defaults reproduce the paper's
 /// trusting frontend: no timeouts, no restarts, generous flood caps.
@@ -113,43 +114,67 @@ impl SupervisorConfig {
     /// Reads `WAFE_BACKEND_*` overrides on top of the defaults:
     /// `TIMEOUT` (read, ms; 0 disables), `ROUNDTRIP` (ms), `RETRIES`,
     /// `BACKOFF` / `BACKOFF_MAX` (ms), `FLOOD_LINES`, `FLOOD_BYTES`,
-    /// `QUEUE`, `RESTART_ON_EXIT` (0/1), `STAY_ALIVE` (0/1).
-    pub fn from_env() -> Self {
-        fn num(var: &str) -> Option<u64> {
-            std::env::var(var).ok()?.trim().parse().ok()
-        }
+    /// `QUEUE`, `RESTART_ON_EXIT` (0/1), `STAY_ALIVE` (0/1). Unparsable
+    /// values keep the default and come back as warnings — silently
+    /// ignoring `WAFE_BACKEND_TIMEOUT=5s` would leave the paper's
+    /// no-timeout behaviour in place with no hint why.
+    pub fn from_env() -> (Self, Vec<String>) {
+        Self::from_vars(|var| std::env::var(var).ok())
+    }
+
+    /// The testable core of [`from_env`](Self::from_env): same parsing
+    /// against any variable source.
+    pub fn from_vars(lookup: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let mut num = |var: &str, max: u64| -> Option<u64> {
+            let raw = lookup(var)?;
+            match raw.trim().parse::<u64>() {
+                Ok(v) if v <= max => Some(v),
+                Ok(v) => {
+                    warnings.push(format!("{var}={v} is out of range (max {max}); ignored"));
+                    None
+                }
+                Err(_) => {
+                    warnings.push(format!(
+                        "{var}=\"{}\" is not a non-negative integer; ignored",
+                        raw.trim()
+                    ));
+                    None
+                }
+            }
+        };
         let mut c = SupervisorConfig::default();
-        if let Some(v) = num("WAFE_BACKEND_TIMEOUT") {
+        if let Some(v) = num("WAFE_BACKEND_TIMEOUT", u64::MAX) {
             c.read_timeout_ms = (v > 0).then_some(v);
         }
-        if let Some(v) = num("WAFE_BACKEND_ROUNDTRIP") {
+        if let Some(v) = num("WAFE_BACKEND_ROUNDTRIP", u64::MAX) {
             c.roundtrip_timeout_ms = (v > 0).then_some(v);
         }
-        if let Some(v) = num("WAFE_BACKEND_RETRIES") {
+        if let Some(v) = num("WAFE_BACKEND_RETRIES", u32::MAX as u64) {
             c.max_restarts = v as u32;
         }
-        if let Some(v) = num("WAFE_BACKEND_BACKOFF") {
+        if let Some(v) = num("WAFE_BACKEND_BACKOFF", u64::MAX) {
             c.backoff_base_ms = v;
         }
-        if let Some(v) = num("WAFE_BACKEND_BACKOFF_MAX") {
+        if let Some(v) = num("WAFE_BACKEND_BACKOFF_MAX", u64::MAX) {
             c.backoff_max_ms = v;
         }
-        if let Some(v) = num("WAFE_BACKEND_FLOOD_LINES") {
+        if let Some(v) = num("WAFE_BACKEND_FLOOD_LINES", usize::MAX as u64) {
             c.max_lines_per_tick = v as usize;
         }
-        if let Some(v) = num("WAFE_BACKEND_FLOOD_BYTES") {
+        if let Some(v) = num("WAFE_BACKEND_FLOOD_BYTES", usize::MAX as u64) {
             c.max_buffered_bytes = v as usize;
         }
-        if let Some(v) = num("WAFE_BACKEND_QUEUE") {
+        if let Some(v) = num("WAFE_BACKEND_QUEUE", usize::MAX as u64) {
             c.queue_cap = v as usize;
         }
-        if let Some(v) = num("WAFE_BACKEND_RESTART_ON_EXIT") {
+        if let Some(v) = num("WAFE_BACKEND_RESTART_ON_EXIT", 1) {
             c.restart_on_exit = v != 0;
         }
-        if let Some(v) = num("WAFE_BACKEND_STAY_ALIVE") {
+        if let Some(v) = num("WAFE_BACKEND_STAY_ALIVE", 1) {
             c.stay_alive_when_broken = v != 0;
         }
-        c
+        (c, warnings)
     }
 
     /// The value of a Tcl-visible key ([`CONFIG_KEYS`]).
@@ -361,13 +386,13 @@ fn backoff_ms(config: &SupervisorConfig, attempt: u32) -> u64 {
 }
 
 /// The driving half: owns the child process (when one is alive), the
-/// line assembler and the fault-delayed byte queues, and advances the
+/// shared line codec and the fault-delayed byte queues, and advances the
 /// state machine once per [`tick`](Supervisor::tick).
 pub struct Supervisor {
     core: Rc<RefCell<SupervisorCore>>,
     link: Option<ChildLink>,
     spec: SpawnSpec,
-    assembler: LineAssembler,
+    codec: LineCodec,
     deferred: VecDeque<String>,
     delayed: VecDeque<(u64, Vec<u8>)>,
     delayed_mass: VecDeque<(u64, Vec<u8>)>,
@@ -391,7 +416,7 @@ impl Supervisor {
             core,
             link: None,
             spec,
-            assembler: LineAssembler::new(max_buffered),
+            codec: LineCodec::new(max_buffered),
             deferred: VecDeque::new(),
             delayed: VecDeque::new(),
             delayed_mass: VecDeque::new(),
@@ -538,7 +563,7 @@ impl Supervisor {
             link.kill_process();
         }
         self.channel_fd.set(-1);
-        self.assembler.clear();
+        self.codec.clear();
         self.deferred.clear();
         self.delayed.clear();
         self.delayed_mass.clear();
@@ -583,7 +608,7 @@ impl Supervisor {
         match ChildLink::spawn(&self.spec, &self.channel_fd) {
             Ok(link) => {
                 self.link = Some(link);
-                self.assembler.clear();
+                self.codec.clear();
                 {
                     let mut core = self.core.borrow_mut();
                     core.state = BackendState::Running;
@@ -670,7 +695,7 @@ impl Supervisor {
             let now = core.now_ms;
             core.last_data_ms = now;
         }
-        for line in self.assembler.push(&chunk) {
+        for line in self.codec.push(&chunk) {
             self.admit_line(line);
             if self.core.borrow().state != BackendState::Running {
                 return; // an injected kill tore the child down mid-chunk
@@ -872,7 +897,7 @@ impl Supervisor {
         }
         self.process_deferred(engine);
         // Flood defense: an unterminated monster line.
-        let overflows = self.assembler.take_overflows();
+        let overflows = self.codec.take_overflows();
         if overflows > 0 {
             {
                 let mut core = self.core.borrow_mut();
@@ -885,7 +910,7 @@ impl Supervisor {
         // Child gone?
         let exited = self.link.as_mut().map(|l| l.exited()).unwrap_or(false);
         if (saw_eof || exited)
-            && self.assembler.pending() == 0
+            && self.codec.pending() == 0
             && self.deferred.is_empty()
             && self.delayed.is_empty()
         {

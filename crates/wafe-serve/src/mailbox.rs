@@ -1,0 +1,156 @@
+//! The per-session mailbox and reply sink — the two hand-off points
+//! between a connection's transport threads and the worker that owns
+//! the session.
+//!
+//! A mailbox is the *inbound* half: the reader thread pushes decoded
+//! lines, the scheduler pops them a quantum at a time. It is bounded —
+//! a full mailbox refuses the push and the transport answers the client
+//! with `!shed queue-full` instead of buffering without limit. The sink
+//! is the *outbound* half: everything the session wants the application
+//! to read (echo output, shed/evict notices) goes through it, either
+//! into an in-memory buffer (deterministic tests) or an `mpsc` channel
+//! feeding the connection's writer thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// A bounded inbound line queue, shared between one reader thread and
+/// one scheduler.
+pub struct Mailbox {
+    queue: Mutex<VecDeque<String>>,
+    cap: usize,
+    closed: AtomicBool,
+    shed: AtomicU64,
+}
+
+impl Mailbox {
+    /// A mailbox holding at most `cap` lines.
+    pub fn new(cap: usize) -> Arc<Mailbox> {
+        Arc::new(Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            closed: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<String>> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues one line. `false` means the line was shed: the mailbox
+    /// is full (counted here) or closed.
+    pub fn push(&self, line: String) -> bool {
+        if self.is_closed() {
+            return false;
+        }
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            drop(q);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        q.push_back(line);
+        true
+    }
+
+    /// Dequeues the oldest line.
+    pub fn pop(&self) -> Option<String> {
+        self.lock().pop_front()
+    }
+
+    /// Lines currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Marks the inbound direction finished (EOF, eviction, drain);
+    /// further pushes are refused, queued lines still drain.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the inbound direction is finished.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Takes (and resets) the count of lines shed since the last call.
+    pub fn take_shed(&self) -> u64 {
+        self.shed.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Where a session's outbound lines go.
+pub enum SessionSink {
+    /// Collected in memory — the deterministic tests read this.
+    Buffer(Arc<Mutex<Vec<String>>>),
+    /// Fed to the connection's writer thread. A failed send means the
+    /// client is gone.
+    Channel(mpsc::Sender<String>),
+}
+
+impl SessionSink {
+    /// A buffer sink plus the handle to read it.
+    pub fn buffer() -> (SessionSink, Arc<Mutex<Vec<String>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (SessionSink::Buffer(buf.clone()), buf)
+    }
+
+    /// Delivers one line; `false` means the receiving side is gone.
+    pub fn send(&self, line: &str) -> bool {
+        match self {
+            SessionSink::Buffer(buf) => {
+                buf.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(line.to_string());
+                true
+            }
+            SessionSink::Channel(tx) => tx.send(line.to_string()).is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_sheds_when_full_and_refuses_when_closed() {
+        let m = Mailbox::new(2);
+        assert!(m.push("a".into()));
+        assert!(m.push("b".into()));
+        assert!(!m.push("c".into()), "over capacity");
+        assert_eq!(m.take_shed(), 1);
+        assert_eq!(m.pop().as_deref(), Some("a"));
+        assert!(m.push("c".into()), "room again after a pop");
+        m.close();
+        assert!(!m.push("d".into()), "closed");
+        assert_eq!(m.take_shed(), 0, "closed pushes are not queue sheds");
+        assert_eq!(m.len(), 2, "queued lines survive the close");
+    }
+
+    #[test]
+    fn buffer_sink_collects_in_order() {
+        let (sink, buf) = SessionSink::buffer();
+        assert!(sink.send("one"));
+        assert!(sink.send("two"));
+        assert_eq!(*buf.lock().unwrap(), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn channel_sink_reports_a_gone_client() {
+        let (tx, rx) = mpsc::channel();
+        let sink = SessionSink::Channel(tx);
+        assert!(sink.send("hello"));
+        assert_eq!(rx.recv().unwrap(), "hello");
+        drop(rx);
+        assert!(!sink.send("void"));
+    }
+}

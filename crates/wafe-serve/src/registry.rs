@@ -1,0 +1,409 @@
+//! The session registry: generation-stamped identities, admission
+//! control and the server-wide counters behind `serve status`.
+//!
+//! The registry is the only state shared between the acceptor threads,
+//! the worker threads and the `serve` Tcl command, so it is the one
+//! place locking happens: a single short-held [`Mutex`] around plain
+//! data, plus a lock-free draining flag the accept loops poll.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A session identity that cannot be confused with a later tenant of
+/// the same slot: the slot index is reused, the generation never is.
+/// A release carrying a stale generation is ignored, which is what
+/// makes "evict and the transport notices later" race-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    /// Index into the registry's slot table (reused).
+    pub slot: u32,
+    /// Bumped every time the slot is released (never reused).
+    pub generation: u32,
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.slot, self.generation)
+    }
+}
+
+/// Why an admission was refused. Sheds are explicit protocol replies
+/// (`!shed <reason>`), never silent drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The `maxSessions` limit is reached.
+    MaxSessions,
+    /// The server is draining: no new sessions, existing ones flush.
+    Draining,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShedReason::MaxSessions => "max-sessions",
+            ShedReason::Draining => "draining",
+        })
+    }
+}
+
+/// Tuning knobs of the server, mutable at runtime via `serve limits`.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Concurrent sessions admitted before `!shed max-sessions`.
+    pub max_sessions: usize,
+    /// Lines a session's mailbox holds before `!shed queue-full`
+    /// (applies to mailboxes created after a change).
+    pub queue_depth: usize,
+    /// Lines one session may run per scheduler sweep — the fairness
+    /// quantum: a flooding client only ever gets this much ahead.
+    pub quantum: usize,
+    /// Evict a session idle for this many virtual milliseconds
+    /// (0 = never).
+    pub idle_evict_ms: u64,
+    /// After a drain begins, sessions still busy past this many virtual
+    /// milliseconds are cut off with their queues unflushed.
+    pub drain_timeout_ms: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_sessions: 128,
+            queue_depth: 256,
+            quantum: 32,
+            idle_evict_ms: 0,
+            drain_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// The Tcl-visible limit keys, in `serve limits` listing order.
+pub const LIMIT_KEYS: &[&str] = &[
+    "maxSessions",
+    "queueDepth",
+    "quantum",
+    "idleEvict",
+    "drainTimeout",
+];
+
+impl Limits {
+    /// The value of a Tcl-visible key ([`LIMIT_KEYS`]).
+    pub fn get(&self, key: &str) -> Option<String> {
+        Some(match key {
+            "maxSessions" => self.max_sessions.to_string(),
+            "queueDepth" => self.queue_depth.to_string(),
+            "quantum" => self.quantum.to_string(),
+            "idleEvict" => self.idle_evict_ms.to_string(),
+            "drainTimeout" => self.drain_timeout_ms.to_string(),
+            _ => return None,
+        })
+    }
+
+    /// Sets a Tcl-visible key from its string form.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        let n: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("expected integer but got \"{value}\""))?;
+        match key {
+            "maxSessions" => self.max_sessions = n as usize,
+            "queueDepth" => self.queue_depth = n as usize,
+            "quantum" => self.quantum = (n as usize).max(1),
+            "idleEvict" => self.idle_evict_ms = n,
+            "drainTimeout" => self.drain_timeout_ms = n,
+            _ => {
+                return Err(format!(
+                    "unknown limit \"{key}\": must be one of {}",
+                    LIMIT_KEYS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Server-wide event totals (`serve status`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Sessions admitted.
+    pub accepted: u64,
+    /// Connections refused at admission (max-sessions or draining).
+    pub shed_admission: u64,
+    /// Inbound lines refused because a session's mailbox was full.
+    pub shed_queue: u64,
+    /// Sessions evicted for idling past `idleEvict`.
+    pub evicted: u64,
+    /// Sessions released (any cause: disconnect, quit, evict, drain).
+    pub closed: u64,
+    /// Protocol lines dispatched across all sessions.
+    pub commands: u64,
+}
+
+/// Per-session bookkeeping for the `serve sessions` listing.
+#[derive(Debug, Clone)]
+struct Slot {
+    peer: String,
+    admitted_ms: u64,
+    commands: u64,
+}
+
+struct Inner {
+    /// `generations[i]` is the generation the *next or current* tenant
+    /// of slot `i` carries; bumped on release.
+    generations: Vec<u32>,
+    slots: Vec<Option<Slot>>,
+    limits: Limits,
+    stats: ServerStats,
+}
+
+/// The shared half of the server. Cheap to clone behind an `Arc`; every
+/// method takes `&self`.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    draining: AtomicBool,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(Limits::default())
+    }
+}
+
+impl Registry {
+    /// A registry enforcing the given limits.
+    pub fn new(limits: Limits) -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                generations: Vec::new(),
+                slots: Vec::new(),
+                limits,
+                stats: ServerStats::default(),
+            }),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admission control: a slot for a new session, or the reason it
+    /// was shed.
+    pub fn admit(&self, peer: &str, now_ms: u64) -> Result<SessionId, ShedReason> {
+        if self.draining() {
+            self.lock().stats.shed_admission += 1;
+            return Err(ShedReason::Draining);
+        }
+        let mut inner = self.lock();
+        let active = inner.slots.iter().filter(|s| s.is_some()).count();
+        if active >= inner.limits.max_sessions {
+            inner.stats.shed_admission += 1;
+            return Err(ShedReason::MaxSessions);
+        }
+        let slot = Slot {
+            peer: peer.to_string(),
+            admitted_ms: now_ms,
+            commands: 0,
+        };
+        let idx = match inner.slots.iter().position(|s| s.is_none()) {
+            Some(i) => {
+                inner.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                inner.slots.push(Some(slot));
+                inner.generations.push(1);
+                inner.slots.len() - 1
+            }
+        };
+        inner.stats.accepted += 1;
+        Ok(SessionId {
+            slot: idx as u32,
+            generation: inner.generations[idx],
+        })
+    }
+
+    /// Releases a session's slot. A stale id (older generation, or a
+    /// slot already freed) is ignored and returns false.
+    pub fn release(&self, id: SessionId) -> bool {
+        let mut inner = self.lock();
+        let idx = id.slot as usize;
+        if idx >= inner.slots.len()
+            || inner.generations[idx] != id.generation
+            || inner.slots[idx].is_none()
+        {
+            return false;
+        }
+        inner.slots[idx] = None;
+        inner.generations[idx] += 1;
+        inner.stats.closed += 1;
+        true
+    }
+
+    /// Adds dispatched-line counts to a session and the global total.
+    pub fn note_commands(&self, id: SessionId, n: u64) {
+        let mut inner = self.lock();
+        inner.stats.commands += n;
+        let idx = id.slot as usize;
+        if idx < inner.slots.len() && inner.generations[idx] == id.generation {
+            if let Some(slot) = inner.slots[idx].as_mut() {
+                slot.commands += n;
+            }
+        }
+    }
+
+    /// Counts one queue-full shed (the transport replies `!shed
+    /// queue-full` to the client).
+    pub fn note_shed_queue(&self) {
+        self.lock().stats.shed_queue += 1;
+    }
+
+    /// Counts one idle eviction.
+    pub fn note_evicted(&self) {
+        self.lock().stats.evicted += 1;
+    }
+
+    /// Sessions currently registered.
+    pub fn active(&self) -> usize {
+        self.lock().slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// A copy of the server-wide totals.
+    pub fn stats(&self) -> ServerStats {
+        self.lock().stats
+    }
+
+    /// A copy of the current limits.
+    pub fn limits(&self) -> Limits {
+        self.lock().limits.clone()
+    }
+
+    /// Reads one Tcl-visible limit.
+    pub fn get_limit(&self, key: &str) -> Option<String> {
+        self.lock().limits.get(key)
+    }
+
+    /// Sets one Tcl-visible limit.
+    pub fn set_limit(&self, key: &str, value: &str) -> Result<(), String> {
+        self.lock().limits.set(key, value)
+    }
+
+    /// Whether a drain is in progress.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts the graceful drain: acceptors stop admitting, schedulers
+    /// flush their mailboxes and release every session.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `serve status` payload: a flat key/value word list.
+    pub fn status_words(&self) -> Vec<String> {
+        let draining = self.draining();
+        let inner = self.lock();
+        let active = inner.slots.iter().filter(|s| s.is_some()).count();
+        let s = inner.stats;
+        [
+            (
+                "state",
+                if draining { "draining" } else { "serving" }.into(),
+            ),
+            ("active", active.to_string()),
+            ("accepted", s.accepted.to_string()),
+            ("shedAdmission", s.shed_admission.to_string()),
+            ("shedQueue", s.shed_queue.to_string()),
+            ("evicted", s.evicted.to_string()),
+            ("closed", s.closed.to_string()),
+            ("commands", s.commands.to_string()),
+        ]
+        .into_iter()
+        .flat_map(|(k, v): (&str, String)| [k.to_string(), v])
+        .collect()
+    }
+
+    /// `serve sessions` payload: one `{id peer admittedMs commands}`
+    /// sublist per live session, in slot order.
+    pub fn sessions_words(&self) -> Vec<String> {
+        let inner = self.lock();
+        inner
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let s = s.as_ref()?;
+                let id = SessionId {
+                    slot: i as u32,
+                    generation: inner.generations[i],
+                };
+                Some(wafe_tcl::list_join(&[
+                    id.to_string(),
+                    s.peer.clone(),
+                    s.admitted_ms.to_string(),
+                    s.commands.to_string(),
+                ]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_never_reuse() {
+        let r = Registry::new(Limits::default());
+        let a = r.admit("one", 0).unwrap();
+        assert_eq!((a.slot, a.generation), (0, 1));
+        assert!(r.release(a));
+        let b = r.admit("two", 0).unwrap();
+        assert_eq!(b.slot, a.slot, "slot is reused");
+        assert_eq!(b.generation, 2, "generation is not");
+        assert!(!r.release(a), "stale release is ignored");
+        assert_eq!(r.active(), 1);
+    }
+
+    #[test]
+    fn admission_sheds_at_max_and_while_draining() {
+        let r = Registry::new(Limits {
+            max_sessions: 2,
+            ..Limits::default()
+        });
+        r.admit("a", 0).unwrap();
+        let b = r.admit("b", 0).unwrap();
+        assert_eq!(r.admit("c", 0), Err(ShedReason::MaxSessions));
+        r.release(b);
+        r.admit("c", 0).unwrap();
+        r.begin_drain();
+        assert_eq!(r.admit("d", 0), Err(ShedReason::Draining));
+        assert_eq!(r.stats().shed_admission, 2);
+    }
+
+    #[test]
+    fn limits_roundtrip_through_tcl_keys() {
+        let r = Registry::default();
+        for key in LIMIT_KEYS {
+            assert!(r.get_limit(key).is_some(), "{key} must be readable");
+        }
+        r.set_limit("maxSessions", "3").unwrap();
+        assert_eq!(r.limits().max_sessions, 3);
+        r.set_limit("quantum", "0").unwrap();
+        assert_eq!(r.limits().quantum, 1, "quantum floor keeps progress");
+        assert!(r.set_limit("nosuchknob", "1").is_err());
+        assert!(r.set_limit("quantum", "fast").is_err());
+    }
+
+    #[test]
+    fn status_words_are_a_flat_even_list() {
+        let r = Registry::default();
+        let words = r.status_words();
+        assert!(words.len().is_multiple_of(2));
+        assert_eq!(words[0], "state");
+        assert_eq!(words[1], "serving");
+        r.begin_drain();
+        assert_eq!(r.status_words()[1], "draining");
+    }
+}

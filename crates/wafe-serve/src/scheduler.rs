@@ -1,0 +1,281 @@
+//! The round-robin fairness scheduler: one per worker thread, owning
+//! every session assigned to that worker.
+//!
+//! `WafeSession` is single-threaded by construction (`Rc` all the way
+//! down), so sessions are *pinned*: the transport hands the scheduler a
+//! [`SessionId`], a [`Mailbox`] and a [`SessionSink`] — all `Send` —
+//! and the scheduler builds the `ProtocolEngine` locally. Each
+//! [`run_turn`](Scheduler::run_turn) sweep gives every session at most
+//! `quantum` lines before moving on, so a flooding client only ever
+//! gets one quantum ahead of a quiet one; its surplus waits in its own
+//! mailbox, never in anyone else's way.
+//!
+//! Time is virtual, exactly like the backend supervisor's clock: the
+//! driver calls [`advance`](Scheduler::advance) with elapsed
+//! milliseconds (wall-derived in the real server, scripted in tests),
+//! and idle eviction and the drain timeout are decided against that
+//! clock only — the deterministic tests never assert on wall time.
+//!
+//! Reply semantics mirror frontend mode byte-for-byte: only lines the
+//! session *sends to the application* (echo output) reach the client;
+//! command results and errors do not. The server adds exactly one thing
+//! the pipe never carried — `!`-prefixed overload notices (`!shed
+//! queue-full`, `!evicted idle`), which appear only past the configured
+//! limits, so a client inside its limits sees a byte-identical stream.
+
+use std::sync::Arc;
+
+use wafe_core::{Flavor, WafeSession};
+use wafe_ipc::ProtocolEngine;
+
+use crate::mailbox::{Mailbox, SessionSink};
+use crate::registry::{Registry, SessionId, LIMIT_KEYS};
+
+struct Entry {
+    id: SessionId,
+    engine: ProtocolEngine,
+    mailbox: Arc<Mailbox>,
+    sink: SessionSink,
+    last_activity_ms: u64,
+    gone: bool,
+}
+
+/// One worker's session multiplexer. Single-threaded; the shared state
+/// it touches lives in the [`Registry`].
+pub struct Scheduler {
+    registry: Arc<Registry>,
+    flavor: Flavor,
+    telemetry: bool,
+    sessions: Vec<Entry>,
+    passthrough: Vec<(SessionId, String)>,
+    now_ms: u64,
+    drain_started_ms: Option<u64>,
+}
+
+impl Scheduler {
+    /// A scheduler creating sessions of the given flavour (telemetry
+    /// pre-enabled on each when `telemetry` is set).
+    pub fn new(registry: Arc<Registry>, flavor: Flavor, telemetry: bool) -> Self {
+        Scheduler {
+            registry,
+            flavor,
+            telemetry,
+            sessions: Vec::new(),
+            passthrough: Vec::new(),
+            now_ms: 0,
+            drain_started_ms: None,
+        }
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The scheduler's virtual clock, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Sessions this scheduler currently owns.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Builds the session for an admitted connection and takes it into
+    /// the round-robin ring.
+    pub fn attach(&mut self, id: SessionId, mailbox: Arc<Mailbox>, sink: SessionSink) {
+        let mut engine = ProtocolEngine::new(self.flavor);
+        if self.telemetry {
+            engine.session.telemetry.set_enabled(true);
+        }
+        install_serve_control(&self.registry, &mut engine.session);
+        let tel = engine.session.telemetry.clone();
+        tel.count("serve.accept");
+        tel.set_gauge("serve.sessions.active", self.registry.active() as u64);
+        self.sessions.push(Entry {
+            id,
+            engine,
+            mailbox,
+            sink,
+            last_activity_ms: self.now_ms,
+            gone: false,
+        });
+    }
+
+    /// One round-robin sweep: every session runs at most `quantum`
+    /// mailbox lines, its outbound lines are delivered, finished
+    /// sessions are released. Returns the number of lines dispatched
+    /// (0 = nothing to do, the driver may sleep).
+    pub fn run_turn(&mut self) -> usize {
+        if self.registry.draining() && self.drain_started_ms.is_none() {
+            // Drain: no further input, flush what is already queued.
+            self.drain_started_ms = Some(self.now_ms);
+            for e in &self.sessions {
+                e.mailbox.close();
+            }
+        }
+        let quantum = self.registry.limits().quantum.max(1);
+        let mut dispatched = 0usize;
+        let mut i = 0;
+        while i < self.sessions.len() {
+            let entry = &mut self.sessions[i];
+            let tel = entry.engine.session.telemetry.clone();
+            let mut ran = 0usize;
+            while ran < quantum {
+                let Some(line) = entry.mailbox.pop() else {
+                    break;
+                };
+                let timer = tel.timer();
+                let _ = entry.engine.handle_line(&line);
+                tel.observe_since("serve.dispatch", timer);
+                tel.count("serve.commands");
+                ran += 1;
+            }
+            if ran > 0 {
+                dispatched += ran;
+                entry.last_activity_ms = self.now_ms;
+                self.registry.note_commands(entry.id, ran as u64);
+            }
+            // Outbound: only application-bound lines, like the pipe.
+            for out in entry.engine.take_app_lines() {
+                if !entry.sink.send(&out) {
+                    entry.gone = true;
+                }
+            }
+            // Queue-full sheds the transport recorded since last sweep:
+            // count them and tell the client explicitly, after the
+            // replies to the lines that did get through.
+            let shed = entry.mailbox.take_shed();
+            for _ in 0..shed {
+                self.registry.note_shed_queue();
+                if !entry.sink.send("!shed queue-full") {
+                    entry.gone = true;
+                }
+            }
+            if shed > 0 {
+                tel.add("serve.shed", shed);
+            }
+            for p in entry.engine.take_passthrough() {
+                self.passthrough.push((entry.id, p));
+            }
+            let _ = entry.engine.take_errors(); // counted as ipc.errors
+            tel.set_gauge("serve.queue.depth", entry.mailbox.len() as u64);
+            let finished = entry.gone
+                || entry.engine.session.quit_requested()
+                || (entry.mailbox.is_closed() && entry.mailbox.is_empty());
+            if finished {
+                let entry = self.sessions.remove(i);
+                self.finish(entry);
+            } else {
+                i += 1;
+            }
+        }
+        dispatched
+    }
+
+    /// Advances the virtual clock: idle eviction and the drain timeout
+    /// are decided here, against virtual time only.
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+        let limits = self.registry.limits();
+        if limits.idle_evict_ms > 0 && !self.registry.draining() {
+            let mut i = 0;
+            while i < self.sessions.len() {
+                let e = &self.sessions[i];
+                let idle = self.now_ms.saturating_sub(e.last_activity_ms);
+                if e.mailbox.is_empty() && idle > limits.idle_evict_ms {
+                    let entry = self.sessions.remove(i);
+                    entry.sink.send("!evicted idle");
+                    entry.engine.session.telemetry.count("serve.evict");
+                    self.registry.note_evicted();
+                    self.finish(entry);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(started) = self.drain_started_ms {
+            if limits.drain_timeout_ms > 0
+                && self.now_ms.saturating_sub(started) > limits.drain_timeout_ms
+                && !self.sessions.is_empty()
+            {
+                // Sessions still busy past the deadline are cut off
+                // with their remaining queue unflushed.
+                for entry in std::mem::take(&mut self.sessions) {
+                    self.finish(entry);
+                }
+            }
+        }
+    }
+
+    /// Whether a drain is in progress and this scheduler is done.
+    pub fn is_drained(&self) -> bool {
+        self.registry.draining() && self.sessions.is_empty()
+    }
+
+    /// Takes the passthrough lines collected since the last call, each
+    /// tagged with the session that wrote it (the server logs these —
+    /// in single-process frontend mode they went to stdout).
+    pub fn take_passthrough(&mut self) -> Vec<(SessionId, String)> {
+        std::mem::take(&mut self.passthrough)
+    }
+
+    fn finish(&mut self, entry: Entry) {
+        entry.mailbox.close();
+        self.registry.release(entry.id);
+        let tel = entry.engine.session.telemetry.clone();
+        tel.set_gauge("serve.sessions.active", self.registry.active() as u64);
+        // Dropping the entry drops its sink; a channel sink closing is
+        // what tells the connection's writer thread to hang up.
+    }
+}
+
+/// Installs the `serve` control handler (registered as a command by
+/// wafe-core) into one session's dispatch table.
+pub fn install_serve_control(registry: &Arc<Registry>, session: &mut WafeSession) {
+    let r = registry.clone();
+    session.controls.borrow_mut().insert(
+        "serve".into(),
+        Box::new(move |argv| serve_control(&r, argv)),
+    );
+}
+
+fn serve_control(r: &Arc<Registry>, argv: &[String]) -> Result<String, String> {
+    const USAGE: &str = "serve status|sessions|drain|limits ?key ?value??";
+    match argv.get(1).map(String::as_str) {
+        Some("status") if argv.len() == 2 => Ok(wafe_tcl::list_join(&r.status_words())),
+        Some("sessions") if argv.len() == 2 => Ok(wafe_tcl::list_join(&r.sessions_words())),
+        Some("drain") if argv.len() == 2 => {
+            r.begin_drain();
+            Ok(String::new())
+        }
+        Some("limits") => match argv.len() {
+            2 => {
+                let words: Vec<String> = LIMIT_KEYS
+                    .iter()
+                    .flat_map(|k| {
+                        [
+                            k.to_string(),
+                            r.get_limit(k).expect("every listed key resolves"),
+                        ]
+                    })
+                    .collect();
+                Ok(wafe_tcl::list_join(&words))
+            }
+            3 => r.get_limit(&argv[2]).ok_or_else(|| {
+                format!(
+                    "unknown limit \"{}\": must be one of {}",
+                    argv[2],
+                    LIMIT_KEYS.join(", ")
+                )
+            }),
+            4 => {
+                r.set_limit(&argv[2], &argv[3])?;
+                Ok(String::new())
+            }
+            _ => Err(format!("wrong # args: should be \"{USAGE}\"")),
+        },
+        _ => Err(format!("wrong # args: should be \"{USAGE}\"")),
+    }
+}

@@ -1,0 +1,380 @@
+//! The socket transport: TCP and Unix-domain acceptors, per-connection
+//! reader/writer threads, and the bounded worker pool the sessions are
+//! pinned to.
+//!
+//! Thread shape per server: one acceptor thread per listener plus
+//! `workers` scheduler threads, spawned up front (the bounded pool);
+//! each accepted connection adds one reader and one writer thread
+//! (cheap, blocked on I/O). Connections are assigned to workers round
+//! robin; the worker owns the session for its whole life.
+//!
+//! Teardown is a single one-way flag: [`Registry::begin_drain`] (set by
+//! `Server::drain` or a client's `%serve drain`). Acceptors observe it
+//! and stop accepting; schedulers observe it, close every mailbox,
+//! flush what was queued and release the sessions; dropping a session's
+//! sink ends its writer thread, which shuts the socket down and thereby
+//! unblocks its reader.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use wafe_core::Flavor;
+use wafe_ipc::{LineCodec, DEFAULT_MAX_LINE};
+
+use crate::mailbox::{Mailbox, SessionSink};
+use crate::registry::{Limits, Registry, SessionId};
+use crate::scheduler::Scheduler;
+
+/// How a [`Server`] is stood up.
+pub struct ServerConfig {
+    /// TCP listen address (`None` = no TCP listener). `:0` picks a free
+    /// port, reported by [`Server::local_addr`].
+    pub tcp: Option<String>,
+    /// Unix-socket path (`None` = no Unix listener). A stale socket
+    /// file at the path is replaced.
+    pub unix: Option<PathBuf>,
+    /// Widget-set flavour of every session.
+    pub flavor: Flavor,
+    /// Scheduler threads in the bounded pool.
+    pub workers: usize,
+    /// Pre-enable telemetry on every session.
+    pub telemetry: bool,
+    /// Admission and fairness limits.
+    pub limits: Limits,
+    /// Log passthrough lines (non-command output of the sessions) to
+    /// the server's stdout, tagged `[slot:generation]`.
+    pub log_passthrough: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            unix: None,
+            flavor: Flavor::Athena,
+            workers: 4,
+            telemetry: false,
+            limits: Limits::default(),
+            log_passthrough: false,
+        }
+    }
+}
+
+/// A session hand-off from an acceptor to a worker. Everything in it is
+/// `Send`; the `!Send` session itself is built on the worker thread.
+struct Assign {
+    id: SessionId,
+    mailbox: Arc<Mailbox>,
+    sink: SessionSink,
+}
+
+/// A running multi-session server.
+pub struct Server {
+    registry: Arc<Registry>,
+    local_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    acceptors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listeners and spawns the pool. Returns as soon as the
+    /// server is accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let registry = Arc::new(Registry::new(config.limits.clone()));
+        let mut txs: Vec<Sender<Assign>> = Vec::new();
+        let mut workers = Vec::new();
+        for w in 0..config.workers.max(1) {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            let registry = registry.clone();
+            let (flavor, telemetry, log) =
+                (config.flavor, config.telemetry, config.log_passthrough);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("wafe-serve-worker-{w}"))
+                    .spawn(move || worker_loop(registry, rx, flavor, telemetry, log))?,
+            );
+        }
+        let next = Arc::new(AtomicUsize::new(0));
+        let mut acceptors = Vec::new();
+        let mut local_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr.as_str())?;
+            listener.set_nonblocking(true)?;
+            local_addr = Some(listener.local_addr()?);
+            let (registry, txs, next) = (registry.clone(), txs.clone(), next.clone());
+            acceptors.push(
+                thread::Builder::new()
+                    .name("wafe-serve-accept-tcp".into())
+                    .spawn(move || tcp_accept_loop(listener, registry, txs, next))?,
+            );
+        }
+        let mut unix_path = None;
+        if let Some(path) = &config.unix {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            let (registry, txs, next) = (registry.clone(), txs.clone(), next.clone());
+            acceptors.push(
+                thread::Builder::new()
+                    .name("wafe-serve-accept-unix".into())
+                    .spawn(move || unix_accept_loop(listener, registry, txs, next))?,
+            );
+        }
+        Ok(Server {
+            registry,
+            local_addr,
+            unix_path,
+            acceptors,
+            workers,
+        })
+    }
+
+    /// The shared registry (`serve status` data, drain flag, limits).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// The bound TCP address, when a TCP listener was configured.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Blocks until the server has drained (a client's `%serve drain`,
+    /// or [`drain`](Server::drain) from another thread via the
+    /// registry) and every thread has exited.
+    pub fn wait(mut self) {
+        for h in self.acceptors.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Starts the graceful drain and blocks until it completes: stop
+    /// accepting, flush every mailbox, release every session, exit.
+    pub fn drain(self) {
+        self.registry.begin_drain();
+        self.wait();
+    }
+}
+
+fn worker_loop(
+    registry: Arc<Registry>,
+    rx: Receiver<Assign>,
+    flavor: Flavor,
+    telemetry: bool,
+    log_passthrough: bool,
+) {
+    let mut sched = Scheduler::new(registry, flavor, telemetry);
+    let mut disconnected = false;
+    let mut last = Instant::now();
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(a) => sched.attach(a.id, a.mailbox, a.sink),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        let dispatched = sched.run_turn();
+        for (id, line) in sched.take_passthrough() {
+            if log_passthrough {
+                println!("[{id}] {line}");
+            }
+        }
+        // Virtual time follows the wall here; tests drive advance()
+        // directly instead.
+        let elapsed = last.elapsed().as_millis() as u64;
+        if elapsed > 0 {
+            sched.advance(elapsed);
+            last = Instant::now();
+        }
+        if disconnected && sched.is_drained() {
+            return;
+        }
+        if dispatched == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn tcp_accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    txs: Vec<Sender<Assign>>,
+    next: Arc<AtomicUsize>,
+) {
+    while !registry.draining() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let closer = match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                launch_session(
+                    &registry,
+                    &txs,
+                    &next,
+                    reader,
+                    stream,
+                    move || {
+                        let _ = closer.shutdown(Shutdown::Both);
+                    },
+                    format!("tcp/{peer}"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn unix_accept_loop(
+    listener: UnixListener,
+    registry: Arc<Registry>,
+    txs: Vec<Sender<Assign>>,
+    next: Arc<AtomicUsize>,
+) {
+    let mut serial = 0u64;
+    while !registry.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                serial += 1;
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let closer = match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                launch_session(
+                    &registry,
+                    &txs,
+                    &next,
+                    reader,
+                    stream,
+                    move || {
+                        let _ = closer.shutdown(Shutdown::Both);
+                    },
+                    format!("unix/{serial}"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Admission plus the two transport threads of one connection. The
+/// streams were accepted non-blocking (inherited); switch them back so
+/// the reader blocks in `read` and the writer in `write`.
+fn launch_session<R, W>(
+    registry: &Arc<Registry>,
+    txs: &[Sender<Assign>],
+    next: &Arc<AtomicUsize>,
+    reader: R,
+    mut writer: W,
+    shutdown: impl FnOnce() + Send + 'static,
+    peer: String,
+) where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let id = match registry.admit(&peer, 0) {
+        Ok(id) => id,
+        Err(reason) => {
+            // Explicit load shedding, never a silent close.
+            let _ = writer.write_all(&LineCodec::encode(&format!("!shed {reason}")));
+            let _ = writer.flush();
+            shutdown();
+            return;
+        }
+    };
+    let mailbox = Mailbox::new(registry.limits().queue_depth);
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+    let worker = next.fetch_add(1, Ordering::Relaxed) % txs.len().max(1);
+    if txs[worker]
+        .send(Assign {
+            id,
+            mailbox: mailbox.clone(),
+            sink: SessionSink::Channel(out_tx),
+        })
+        .is_err()
+    {
+        // Drain raced the accept; the worker is gone.
+        registry.release(id);
+        shutdown();
+        return;
+    }
+    let _ = thread::Builder::new()
+        .name(format!("wafe-serve-write-{id}"))
+        .spawn(move || {
+            while let Ok(line) = out_rx.recv() {
+                if writer.write_all(&LineCodec::encode(&line)).is_err() || writer.flush().is_err() {
+                    break;
+                }
+            }
+            // The sink closed (session released) or the client broke:
+            // shut the socket down, which also unblocks the reader.
+            shutdown();
+        });
+    let mb = mailbox;
+    let _ = thread::Builder::new()
+        .name(format!("wafe-serve-read-{id}"))
+        .spawn(move || {
+            let mut codec = LineCodec::new(DEFAULT_MAX_LINE);
+            let mut reader = reader;
+            let mut buf = [0u8; 8192];
+            'outer: loop {
+                match reader.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        for line in codec.push(&buf[..n]) {
+                            // A refused push is either queue-full (the
+                            // scheduler counts it and replies `!shed
+                            // queue-full`) or a closed mailbox.
+                            let _ = mb.push(line);
+                            if mb.is_closed() {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Inherited non-blocking state from the listener.
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            mb.close();
+        });
+}

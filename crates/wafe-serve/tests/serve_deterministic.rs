@@ -1,0 +1,291 @@
+//! Deterministic tests of the serving core: scheduler fairness,
+//! admission-control shedding, graceful drain and idle eviction —
+//! all driven directly on a [`Scheduler`] with buffer sinks and the
+//! virtual-tick clock. No threads, no sockets, no wall-clock asserts:
+//! each test is a pure function of the lines pushed and the ticks
+//! advanced, which is what lets ci.sh repeat the suite 50 times as a
+//! flakiness gate.
+
+use std::sync::Arc;
+
+use wafe_core::Flavor;
+use wafe_serve::{Limits, Mailbox, Registry, Scheduler, SessionSink, ShedReason};
+
+fn scheduler(limits: Limits) -> Scheduler {
+    Scheduler::new(Arc::new(Registry::new(limits)), Flavor::Athena, false)
+}
+
+/// Admits a session and attaches it; returns its mailbox and the
+/// buffer its outbound lines land in.
+fn session(
+    sched: &mut Scheduler,
+    peer: &str,
+) -> (
+    Arc<Mailbox>,
+    Arc<std::sync::Mutex<Vec<String>>>,
+    wafe_serve::SessionId,
+) {
+    let registry = sched.registry().clone();
+    let id = registry.admit(peer, sched.now_ms()).expect("admitted");
+    let mailbox = Mailbox::new(registry.limits().queue_depth);
+    let (sink, buf) = SessionSink::buffer();
+    sched.attach(id, mailbox.clone(), sink);
+    (mailbox, buf, id)
+}
+
+fn lines(buf: &std::sync::Mutex<Vec<String>>) -> Vec<String> {
+    buf.lock().unwrap().clone()
+}
+
+#[test]
+fn round_robin_quantum_keeps_a_flooder_from_starving_others() {
+    // Session A floods 100 commands; session B has 5. With quantum 4,
+    // B must be fully served after exactly two sweeps, while A's
+    // surplus is still queued — A can never get more than one quantum
+    // ahead of B.
+    let mut sched = scheduler(Limits {
+        quantum: 4,
+        queue_depth: 1_000,
+        ..Limits::default()
+    });
+    let (flood_mb, flood_buf, _) = session(&mut sched, "flooder");
+    let (quiet_mb, quiet_buf, _) = session(&mut sched, "quiet");
+    for i in 0..100 {
+        assert!(flood_mb.push(format!("%echo a{i}")));
+    }
+    for i in 0..5 {
+        assert!(quiet_mb.push(format!("%echo b{i}")));
+    }
+
+    // Sweep 1: both sessions run exactly one quantum.
+    assert_eq!(sched.run_turn(), 8);
+    assert_eq!(lines(&flood_buf), ["a0", "a1", "a2", "a3"]);
+    assert_eq!(lines(&quiet_buf), ["b0", "b1", "b2", "b3"]);
+    assert_eq!(flood_mb.len(), 96);
+
+    // Sweep 2: the quiet session finishes; the flooder is still deep
+    // in its own backlog.
+    assert_eq!(sched.run_turn(), 5);
+    assert_eq!(lines(&quiet_buf), ["b0", "b1", "b2", "b3", "b4"]);
+    assert!(quiet_mb.is_empty());
+    assert_eq!(flood_mb.len(), 92);
+
+    // The flooder drains at quantum speed from here on.
+    let mut turns = 0;
+    while !flood_mb.is_empty() {
+        sched.run_turn();
+        turns += 1;
+        assert!(turns <= 23, "flooder must drain in 92/4 = 23 turns");
+    }
+    assert_eq!(lines(&flood_buf).len(), 100);
+}
+
+#[test]
+fn admission_control_sheds_beyond_max_sessions() {
+    let mut sched = scheduler(Limits {
+        max_sessions: 2,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    session(&mut sched, "one");
+    session(&mut sched, "two");
+    assert_eq!(registry.admit("three", 0), Err(ShedReason::MaxSessions));
+    assert_eq!(registry.stats().shed_admission, 1);
+    assert_eq!(registry.active(), 2);
+    // The shed reply the transport sends is the reason, spelled out.
+    assert_eq!(ShedReason::MaxSessions.to_string(), "max-sessions");
+    assert_eq!(ShedReason::Draining.to_string(), "draining");
+}
+
+#[test]
+fn queue_full_sheds_explicitly_and_keeps_the_session() {
+    let mut sched = scheduler(Limits {
+        queue_depth: 3,
+        quantum: 8,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb, buf, _) = session(&mut sched, "chatty");
+    // 5 pushes against a depth of 3: two refused.
+    for i in 0..5 {
+        let accepted = mb.push(format!("%echo m{i}"));
+        assert_eq!(accepted, i < 3, "push {i}");
+    }
+    sched.run_turn();
+    let got = lines(&buf);
+    // The three accepted lines round-tripped; each shed line produced
+    // an explicit notice, not a silent drop.
+    assert_eq!(
+        got,
+        ["m0", "m1", "m2", "!shed queue-full", "!shed queue-full"]
+    );
+    assert_eq!(registry.stats().shed_queue, 2);
+    assert_eq!(
+        registry.active(),
+        1,
+        "shedding load does not kill the session"
+    );
+    // The session keeps working afterwards.
+    assert!(mb.push("%echo recovered".into()));
+    sched.run_turn();
+    assert_eq!(lines(&buf).last().map(String::as_str), Some("recovered"));
+}
+
+#[test]
+fn graceful_drain_flushes_mailboxes_before_releasing() {
+    let mut sched = scheduler(Limits {
+        quantum: 2,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb_a, buf_a, _) = session(&mut sched, "a");
+    let (mb_b, buf_b, _) = session(&mut sched, "b");
+    for i in 0..6 {
+        assert!(mb_a.push(format!("%echo a{i}")));
+    }
+    assert!(mb_b.push("%echo b0".into()));
+    registry.begin_drain();
+    assert!(!sched.is_drained(), "queued work first");
+    // New input is refused the moment the scheduler notices the drain…
+    sched.run_turn();
+    assert!(!mb_a.push("%echo late".into()), "drain closed the mailbox");
+    // …but everything already queued is flushed, at quantum pace.
+    while !sched.is_drained() {
+        sched.run_turn();
+    }
+    assert_eq!(lines(&buf_a), ["a0", "a1", "a2", "a3", "a4", "a5"]);
+    assert_eq!(lines(&buf_b), ["b0"]);
+    assert_eq!(registry.active(), 0, "every slot released");
+    assert_eq!(registry.stats().closed, 2);
+    assert_eq!(registry.admit("late", 0), Err(ShedReason::Draining));
+}
+
+#[test]
+fn drain_timeout_cuts_off_a_session_that_cannot_finish() {
+    let mut sched = scheduler(Limits {
+        quantum: 1,
+        drain_timeout_ms: 100,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb, buf, _) = session(&mut sched, "slow");
+    for i in 0..50 {
+        assert!(mb.push(format!("%echo s{i}")));
+    }
+    registry.begin_drain();
+    sched.run_turn(); // notices the drain, flushes 1 of 50
+    sched.advance(101); // virtual deadline passes
+    assert!(sched.is_drained(), "cut off, queue unflushed");
+    assert_eq!(lines(&buf), ["s0"]);
+    assert_eq!(registry.active(), 0);
+}
+
+#[test]
+fn idle_sessions_are_evicted_on_virtual_ticks() {
+    let mut sched = scheduler(Limits {
+        idle_evict_ms: 100,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb_a, buf_a, id_a) = session(&mut sched, "active");
+    let (_mb_b, buf_b, id_b) = session(&mut sched, "idle");
+    sched.advance(60);
+    // A speaks at t=60; B stays silent.
+    assert!(mb_a.push("%echo ping".into()));
+    sched.run_turn();
+    sched.advance(60);
+    sched.run_turn();
+    // t=120: B idled 120ms > 100 and is evicted with an explicit
+    // notice; A's last activity was 60ms ago and survives.
+    assert_eq!(lines(&buf_b), ["!evicted idle"]);
+    assert_eq!(lines(&buf_a), ["ping"]);
+    assert_eq!(registry.active(), 1);
+    assert_eq!(registry.stats().evicted, 1);
+    // The evicted id is stale: its slot can be re-admitted under a new
+    // generation, and a late release of the old id is ignored.
+    assert!(!registry.release(id_b), "stale release is a no-op");
+    let id_c = registry.admit("next", sched.now_ms()).unwrap();
+    assert_eq!(id_c.slot, id_b.slot);
+    assert!(id_c.generation > id_b.generation);
+    assert!(registry.release(id_a));
+}
+
+#[test]
+fn quit_command_releases_the_session() {
+    let mut sched = scheduler(Limits::default());
+    let registry = sched.registry().clone();
+    let (mb, buf, _) = session(&mut sched, "quitter");
+    assert!(mb.push("%echo bye".into()));
+    assert!(mb.push("%quit".into()));
+    sched.run_turn();
+    assert_eq!(lines(&buf), ["bye"]);
+    assert_eq!(registry.active(), 0);
+    assert_eq!(registry.stats().closed, 1);
+}
+
+#[test]
+fn serve_command_reports_and_drains_from_inside_a_session() {
+    let mut sched = scheduler(Limits {
+        max_sessions: 7,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb, buf, _) = session(&mut sched, "operator");
+    // Command results are not echoed (byte-identity with the pipe);
+    // clients read them back through command substitution.
+    assert!(mb.push("%echo [serve limits maxSessions]".into()));
+    assert!(mb.push("%echo [lindex [serve status] 1]".into()));
+    assert!(mb.push("%serve limits maxSessions 9".into()));
+    assert!(mb.push("%echo [serve limits maxSessions]".into()));
+    assert!(mb.push("%echo [lindex [lindex [serve sessions] 0] 1]".into()));
+    sched.run_turn();
+    assert_eq!(lines(&buf), ["7", "serving", "9", "operator"]);
+    assert_eq!(registry.limits().max_sessions, 9);
+    // Draining from inside: the session's own mailbox flushes, then
+    // every session is released.
+    assert!(mb.push("%serve drain".into()));
+    assert!(mb.push("%echo flushed-after-drain".into()));
+    while !sched.is_drained() {
+        sched.run_turn();
+    }
+    assert_eq!(
+        lines(&buf).last().map(String::as_str),
+        Some("flushed-after-drain")
+    );
+    assert_eq!(registry.active(), 0);
+}
+
+#[test]
+fn fifty_sessions_multiplex_without_crosstalk() {
+    // One scheduler, 50 sessions, interleaved traffic: every session
+    // must get exactly its own replies, in its own order.
+    let mut sched = scheduler(Limits {
+        max_sessions: 64,
+        quantum: 3,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let mut handles = Vec::new();
+    for s in 0..50 {
+        let (mb, buf, _) = session(&mut sched, &format!("client-{s}"));
+        for i in 0..5 {
+            assert!(mb.push(format!("%set v {s}-{i}")));
+            assert!(mb.push("%echo [set v]".to_string()));
+        }
+        handles.push((mb, buf));
+    }
+    let mut guard = 0;
+    while handles.iter().any(|(mb, _)| !mb.is_empty()) {
+        sched.run_turn();
+        guard += 1;
+        assert!(
+            guard <= 10,
+            "500 lines / (50 sessions * 3 quantum) < 10 turns"
+        );
+    }
+    for (s, (_, buf)) in handles.iter().enumerate() {
+        let want: Vec<String> = (0..5).map(|i| format!("{s}-{i}")).collect();
+        assert_eq!(lines(buf), want, "session {s}");
+    }
+    assert_eq!(registry.stats().commands, 500);
+}

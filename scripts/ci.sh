@@ -32,6 +32,57 @@ timeout 60 sh -c '
     done
 ' || { echo "supervisor chaos suite: FAILED (or exceeded 60s)"; exit 1; }
 
+# The serve scheduler tests are deterministic the same way (virtual
+# tick clock, buffer sinks, no wall-clock asserts); repeat them as a
+# flakiness gate too.
+echo "== serve deterministic suite x50 (60s guard)"
+timeout 60 sh -c '
+    i=1
+    while [ $i -le 50 ]; do
+        cargo test -q -p wafe-serve --test serve_deterministic --offline \
+            >/dev/null 2>&1 || { echo "serve run $i failed"; exit 1; }
+        i=$((i + 1))
+    done
+' || { echo "serve deterministic suite: FAILED (or exceeded 60s)"; exit 1; }
+
+# waferd smoke test: spawn the release binary, connect N clients over
+# loopback, round-trip one command each, then drain from a client and
+# require a clean exit — all under a hard timeout.
+echo "== waferd smoke test (30s guard)"
+timeout 30 sh -c '
+    ./target/release/waferd --quiet --max-sessions 16 > /tmp/waferd-ci.out 2>&1 &
+    pid=$!
+    port=""
+    i=0
+    while [ $i -lt 50 ]; do
+        port=$(sed -n "s/.*listening tcp 127\.0\.0\.1:\([0-9]*\)/\1/p" /tmp/waferd-ci.out)
+        [ -n "$port" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$port" ] || { echo "waferd did not report a port"; kill $pid; exit 1; }
+    python3 - "$port" <<"EOF" || { kill $pid; exit 1; }
+import socket, sys
+port = int(sys.argv[1])
+conns = []
+for c in range(8):
+    s = socket.create_connection(("127.0.0.1", port), timeout=5)
+    f = s.makefile("rw", newline="\n")
+    f.write(f"%set v smoke-{c}\n%echo [set v]\n"); f.flush()
+    got = f.readline().rstrip("\n")
+    assert got == f"smoke-{c}", f"client {c}: {got!r}"
+    conns.append((s, f))
+s, f = conns[0]
+f.write("%serve drain\n"); f.flush()
+for s, f in conns:
+    assert f.readline() == "", "expected EOF after drain"
+    s.close()
+EOF
+    wait $pid || { echo "waferd exited non-zero"; exit 1; }
+    grep -q "waferd drained" /tmp/waferd-ci.out \
+        || { echo "waferd did not report a clean drain"; exit 1; }
+' || { echo "waferd smoke test: FAILED (or exceeded 30s)"; exit 1; }
+
 # Perf gates. E21 is the dual-rep value model: one smoke run must
 # complete (its >=3x acceptance assert is inside the bench) and leave
 # well-formed JSON behind. E19 must not regress: the freshly measured
@@ -48,6 +99,13 @@ echo "== bench e21 smoke run"
 run_bench e21_value_reps
 python3 -c 'import json; json.load(open("BENCH_e21.json"))' \
     || { echo "BENCH_e21.json: malformed"; exit 1; }
+
+# E22 is the multi-session server: the run itself asserts 64 truly
+# concurrent sessions with zero protocol corruption.
+echo "== bench e22 smoke run"
+run_bench e22_serve_throughput
+python3 -c 'import json; json.load(open("BENCH_e22.json"))' \
+    || { echo "BENCH_e22.json: malformed"; exit 1; }
 
 echo "== bench e19 no-regression check (<=5%)"
 baseline=$(git show HEAD:BENCH_e19.json 2>/dev/null || cat BENCH_e19.json)

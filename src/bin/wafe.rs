@@ -137,7 +137,11 @@ fn run_frontend(program: &str, args: Vec<String>, flavor: Flavor, split: &wafe_c
     config.flavor = flavor;
     // Supervisor policy: WAFE_BACKEND_* environment first, then the
     // dedicated flags on top.
-    config.supervisor = SupervisorConfig::from_env();
+    let (supervisor, env_warnings) = SupervisorConfig::from_env();
+    config.supervisor = supervisor;
+    for w in env_warnings {
+        eprintln!("wafe: {w}");
+    }
     if let Some(v) = split.frontend_value("backend-timeout") {
         match v.parse::<u64>() {
             Ok(ms) => config.supervisor.read_timeout_ms = (ms > 0).then_some(ms),

@@ -1,0 +1,90 @@
+//! waferd — the Wafe multi-session server daemon.
+//!
+//! Hosts many concurrent frontend-protocol sessions (one headless
+//! `WafeSession` per connection) over TCP and/or Unix sockets. The wire
+//! protocol is exactly frontend mode's: `%`-prefixed lines are Wafe
+//! commands, other lines pass through (logged with a `[slot:gen]` tag),
+//! and the session's application-bound messages (echo output, GUI
+//! events) come back line by line. See `docs/serve.md`.
+//!
+//! ```text
+//! waferd [--listen ADDR] [--unix PATH] [--max-sessions N]
+//!        [--queue-depth N] [--workers N] [--idle-evict MS]
+//!        [--drain-timeout MS] [--telemetry] [--motif] [--quiet]
+//! ```
+//!
+//! The server runs until a client issues `%serve drain`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use wafe_core::Flavor;
+use wafe_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage: waferd [--listen ADDR] [--unix PATH] [--max-sessions N] \
+[--queue-depth N] [--workers N] [--idle-evict MS] [--drain-timeout MS] \
+[--telemetry] [--motif] [--quiet]";
+
+fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("waferd: {flag} needs a value\n{USAGE}");
+        exit(2);
+    })
+}
+
+fn numeric(args: &mut dyn Iterator<Item = String>, flag: &str) -> u64 {
+    let v = value(args, flag);
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("waferd: {flag} expects a non-negative integer, got \"{v}\"");
+        exit(2);
+    })
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        log_passthrough: true,
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => config.tcp = Some(value(&mut args, "--listen")),
+            "--unix" => config.unix = Some(PathBuf::from(value(&mut args, "--unix"))),
+            "--max-sessions" => {
+                config.limits.max_sessions = numeric(&mut args, "--max-sessions") as usize
+            }
+            "--queue-depth" => {
+                config.limits.queue_depth = numeric(&mut args, "--queue-depth") as usize
+            }
+            "--workers" => config.workers = (numeric(&mut args, "--workers") as usize).max(1),
+            "--idle-evict" => config.limits.idle_evict_ms = numeric(&mut args, "--idle-evict"),
+            "--drain-timeout" => {
+                config.limits.drain_timeout_ms = numeric(&mut args, "--drain-timeout")
+            }
+            "--telemetry" => config.telemetry = true,
+            "--motif" => config.flavor = Flavor::Both,
+            "--quiet" => config.log_passthrough = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("waferd: unknown option \"{other}\"\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("waferd: cannot start: {e}");
+            exit(2);
+        }
+    };
+    if let Some(addr) = server.local_addr() {
+        // Scripts parse this line to learn the picked port.
+        println!("waferd listening tcp {addr}");
+    }
+    server.wait();
+    println!("waferd drained");
+}
