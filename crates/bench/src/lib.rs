@@ -10,4 +10,7 @@ pub mod harness;
 pub mod timing;
 
 pub use harness::*;
-pub use timing::{measure_median, Bencher, BenchmarkGroup, Criterion, SampleStats, Throughput};
+pub use timing::{
+    measure_ab, measure_median, AbStats, Bencher, BenchmarkGroup, Criterion, SampleStats,
+    Throughput,
+};

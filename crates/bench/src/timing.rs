@@ -195,6 +195,67 @@ pub fn measure_median<R, F: FnMut() -> R>(
     run_samples(warm_up, measurement, sample_size, |b| b.iter(&mut f)).median_ns
 }
 
+/// Result of an interleaved A/B comparison: each side's median
+/// ns/iteration plus the median of per-round A/B time ratios.
+pub struct AbStats {
+    pub a_ns: f64,
+    pub b_ns: f64,
+    /// Median over rounds of (A batch time / B batch time) — how many
+    /// times faster B is than A. More robust than `a_ns / b_ns`: the
+    /// rounds interleave both routines, so a machine-wide slowdown hits
+    /// both sides of each round equally instead of skewing whichever
+    /// routine happened to run while the machine was busy.
+    pub ratio: f64,
+}
+
+/// Compares two routines with interleaved per-round batches. The batch
+/// size is calibrated off one call of `a` (pass the slower routine as
+/// `a`) so each sample spans roughly `batch` of work; both routines
+/// then warm up and run `rounds` alternating A/B batches.
+pub fn measure_ab(
+    warm_up: Duration,
+    rounds: usize,
+    batch: Duration,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> AbStats {
+    fn run(f: &mut dyn FnMut(), iters: u32) -> f64 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    }
+    let start = Instant::now();
+    a();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (batch.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u32;
+
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up {
+        run(&mut a, iters);
+        run(&mut b, iters);
+    }
+    let mut a_samples = Vec::with_capacity(rounds);
+    let mut b_samples = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let ta = run(&mut a, iters);
+        let tb = run(&mut b, iters);
+        a_samples.push(ta);
+        b_samples.push(tb);
+        ratios.push(ta / tb.max(1.0));
+    }
+    for v in [&mut a_samples, &mut b_samples, &mut ratios] {
+        v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    }
+    AbStats {
+        a_ns: median_of_sorted(&a_samples),
+        b_ns: median_of_sorted(&b_samples),
+        ratio: median_of_sorted(&ratios),
+    }
+}
+
 fn median_of_sorted(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n % 2 == 1 {
@@ -261,6 +322,29 @@ mod tests {
             || std::hint::black_box(3u64).wrapping_mul(7),
         );
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn measure_ab_ranks_a_slower() {
+        let slow = || {
+            let mut x = 0u64;
+            for k in 0..4000u64 {
+                x = x.wrapping_add(std::hint::black_box(k));
+            }
+            std::hint::black_box(x);
+        };
+        let fast = || {
+            std::hint::black_box(1u64);
+        };
+        let stats = measure_ab(
+            Duration::from_millis(5),
+            5,
+            Duration::from_millis(1),
+            slow,
+            fast,
+        );
+        assert!(stats.a_ns > 0.0 && stats.b_ns > 0.0);
+        assert!(stats.ratio > 1.0, "slow/fast ratio {} <= 1", stats.ratio);
     }
 
     #[test]

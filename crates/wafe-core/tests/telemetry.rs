@@ -304,3 +304,61 @@ fn disabled_telemetry_records_no_counters() {
     assert!(!snap.contains_key("xt.widget.creates"));
     assert_eq!(snap["trace.journal.total"], 0);
 }
+
+#[test]
+fn snapshot_reports_bytecode_counters() {
+    let mut s = session();
+    s.eval("set n 0; while {$n < 25} {incr n}").unwrap();
+    let snap = snapshot(&mut s);
+    assert!(snap["tcl.bc.compiles"] >= 1, "{snap:?}");
+    assert!(
+        snap["tcl.bc.instructions"] > 100,
+        "a 25-iteration loop dispatches well over 100 instructions: {snap:?}"
+    );
+    // Re-running the same script hits the cached bytecode.
+    s.eval("set n 0; while {$n < 25} {incr n}").unwrap();
+    let snap2 = snapshot(&mut s);
+    assert!(snap2["tcl.bc.hits"] >= 1, "{snap2:?}");
+    assert_eq!(snap2["tcl.bc.compiles"], snap["tcl.bc.compiles"]);
+}
+
+#[test]
+fn bcstats_prefix_asserts_verbatim() {
+    // The key-sorted snapshot pins the whole tcl.bc prefix verbatim: a
+    // fresh session reports exactly two compiles (`set x 1` plus the
+    // snapshot script itself, which compiles before the snapshot is
+    // taken), no hits and no fallbacks. Only `set x 1` has finished
+    // executing, so the instruction count is its two instructions.
+    let mut s = session();
+    s.eval("set x 1").unwrap();
+    let instructions = s.interp.bc_stats().instructions;
+    assert_eq!(instructions, 2, "set x 1 is PushConst + StoreVar");
+    assert_eq!(
+        s.eval("telemetry snapshot tcl.bc").unwrap(),
+        format!("tcl.bc.compiles 2 tcl.bc.instructions {instructions}")
+    );
+}
+
+#[test]
+fn interp_bcstats_reports_and_bcdisable_switches() {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("set n 0; while {$n < 5} {incr n}").unwrap();
+    let st: BTreeMap<String, String> = parse_list(&s.eval("interp bcstats").unwrap())
+        .unwrap()
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].clone()))
+        .collect();
+    assert_eq!(st["enabled"], "1");
+    assert!(st["compiles"].parse::<u64>().unwrap() >= 1, "{st:?}");
+    assert!(st["instructions"].parse::<u64>().unwrap() > 20);
+    // bcdisable returns the previous state and stops the VM; the script
+    // still evaluates identically through the tree-walker.
+    assert_eq!(s.eval("interp bcdisable").unwrap(), "1");
+    let before = s.interp.bc_stats();
+    s.eval("set n 0; while {$n < 5} {incr n}").unwrap();
+    assert_eq!(s.interp.get_var("n").unwrap(), "5");
+    let after = s.interp.bc_stats();
+    assert_eq!(after.compiles, before.compiles);
+    assert_eq!(after.hits, before.hits);
+    assert_eq!(s.eval("interp bcenable").unwrap(), "0");
+}

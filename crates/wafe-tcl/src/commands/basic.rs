@@ -232,9 +232,9 @@ pub(super) fn register(interp: &mut Interp) {
     interp.register("interp", cmd_interp);
 }
 
-/// `interp cachestats | cacheclear | cachelimit ?n? | shimmerstats` —
-/// introspection for the parse-once caches and the dual-representation
-/// value layer.
+/// `interp cachestats | cacheclear | cachelimit ?n? | shimmerstats |
+/// bcstats | bcenable | bcdisable` — introspection for the parse-once
+/// caches, the dual-representation value layer and the bytecode VM.
 fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("interp option ?arg?"));
@@ -255,6 +255,12 @@ fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
                 ("exprEntries", s.expr_entries.to_string()),
                 ("exprEvictions", s.expr_evictions.to_string()),
                 ("limit", s.limit.to_string()),
+                // Bytecode-cache traffic, counted apart from the parse
+                // cache above: a script can hit the parse cache yet still
+                // compile (first run) or fall back (uncompilable).
+                ("bcHits", s.bc_hits.to_string()),
+                ("bcCompiles", s.bc_compiles.to_string()),
+                ("bcFallbacks", s.bc_fallbacks.to_string()),
             ];
             let words: Vec<String> = pairs
                 .iter()
@@ -282,6 +288,35 @@ fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
                 .collect();
             Ok(Value::from(list_join(&words)))
         }
+        "bcstats" => {
+            if argv.len() != 2 {
+                return Err(wrong_num_args("interp bcstats"));
+            }
+            let s = i.bc_stats();
+            let pairs = [
+                ("compiles", s.compiles),
+                ("hits", s.hits),
+                ("fallbacks", s.fallbacks),
+                ("instructions", s.instructions),
+                ("enabled", i.bc_enabled() as u64),
+            ];
+            let words: Vec<String> = pairs
+                .iter()
+                .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+                .collect();
+            Ok(Value::from(list_join(&words)))
+        }
+        "bcenable" | "bcdisable" => {
+            if argv.len() != 2 {
+                return Err(wrong_num_args(if argv[1].as_str() == "bcenable" {
+                    "interp bcenable"
+                } else {
+                    "interp bcdisable"
+                }));
+            }
+            let was = i.set_bc_enabled(argv[1].as_str() == "bcenable");
+            Ok(Value::from_int(was as i64))
+        }
         "cacheclear" => {
             if argv.len() != 2 {
                 return Err(wrong_num_args("interp cacheclear"));
@@ -301,7 +336,7 @@ fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
             _ => Err(wrong_num_args("interp cachelimit ?limit?")),
         },
         other => Err(TclError::Error(format!(
-            "bad option \"{other}\": must be cachestats, cacheclear, cachelimit, or shimmerstats"
+            "bad option \"{other}\": must be bcstats, bcenable, bcdisable, cachestats, cacheclear, cachelimit, or shimmerstats"
         ))),
     }
 }

@@ -86,6 +86,10 @@ impl CompiledCommand {
 pub struct CompiledScript {
     /// The commands; separators and comments are already gone.
     pub commands: Vec<CompiledCommand>,
+    /// The script's bytecode form, produced lazily by the first bytecode
+    /// execution and shared by everything that shares this script (the
+    /// text cache, `Value` script reps, proc bodies). See [`crate::bc`].
+    pub(crate) bc: std::cell::RefCell<crate::bc::BcSlot>,
 }
 
 /// Compiles a script into its parse-once form.
@@ -113,7 +117,10 @@ fn compile_chars(chars: &[char], depth: usize) -> TclResult<CompiledScript> {
             commands.push(CompiledCommand::new(words));
         }
     }
-    Ok(CompiledScript { commands })
+    Ok(CompiledScript {
+        commands,
+        bc: Default::default(),
+    })
 }
 
 /// Compiles one command starting at `pos`; mirrors

@@ -37,7 +37,7 @@ impl Value {
         }
     }
 
-    fn truthy(&self) -> TclResult<bool> {
+    pub(crate) fn truthy(&self) -> TclResult<bool> {
         match self {
             Value::Int(i) => Ok(*i != 0),
             Value::Dbl(d) => Ok(*d != 0.0),
@@ -69,7 +69,7 @@ pub fn format_double(d: f64) -> String {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Lit(Value),
     /// `$name` or `$name(indexText)`; resolved lazily.
     Var(String, Option<String>),
@@ -82,7 +82,7 @@ enum Node {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum UnOp {
+pub(crate) enum UnOp {
     Neg,
     Pos,
     Not,
@@ -90,7 +90,7 @@ enum UnOp {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum BinOp {
+pub(crate) enum BinOp {
     Mul,
     Div,
     Mod,
@@ -117,6 +117,13 @@ enum BinOp {
 #[derive(Debug, Clone)]
 pub struct CompiledExpr {
     node: Node,
+}
+
+impl CompiledExpr {
+    /// The parsed expression tree (for the bytecode lowering).
+    pub(crate) fn node(&self) -> &Node {
+        &self.node
+    }
 }
 
 /// Parses an expression without evaluating it.
@@ -558,7 +565,7 @@ impl<'a> Parser<'a> {
 
 /// Coerces a raw string operand (from `$var`/`[cmd]`) into a numeric value
 /// when it looks like one, else keeps it a string.
-fn coerce(s: &str) -> Value {
+pub(crate) fn coerce(s: &str) -> Value {
     let t = s.trim();
     if t.is_empty() {
         return Value::Str(s.to_string());
@@ -584,7 +591,7 @@ fn coerce(s: &str) -> Value {
 /// Coerces a shared [`TclValue`] operand, consulting its cached numeric
 /// rep first (the hot path for loop counters: no text parse at all) and
 /// populating the cache for canonical spellings on a miss.
-fn coerce_value(v: &TclValue) -> Value {
+pub(crate) fn coerce_value(v: &TclValue) -> Value {
     if let Some(n) = v.cached_int() {
         return Value::Int(n);
     }
@@ -611,16 +618,7 @@ fn eval_node(interp: &mut Interp, node: &Node) -> TclResult<Value> {
         Node::Cmd(script) => Ok(coerce_value(&interp.eval(script)?)),
         Node::Unary(op, a) => {
             let v = eval_node(interp, a)?;
-            match (op, v) {
-                (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
-                (UnOp::Neg, Value::Dbl(d)) => Ok(Value::Dbl(-d)),
-                (UnOp::Pos, v @ (Value::Int(_) | Value::Dbl(_))) => Ok(v),
-                (UnOp::Not, v) => Ok(Value::Int(if v.truthy()? { 0 } else { 1 })),
-                (UnOp::BitNot, Value::Int(i)) => Ok(Value::Int(!i)),
-                _ => Err(TclError::error(
-                    "can't use non-numeric string as operand of unary operator",
-                )),
-            }
+            eval_unop(*op, v)
         }
         Node::Binary(BinOp::And, a, b) => {
             if !eval_node(interp, a)?.truthy()? {
@@ -686,7 +684,20 @@ fn as_i64(v: &Value) -> TclResult<i64> {
     }
 }
 
-fn eval_binop(op: BinOp, a: Value, b: Value) -> TclResult<Value> {
+pub(crate) fn eval_unop(op: UnOp, v: Value) -> TclResult<Value> {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
+        (UnOp::Neg, Value::Dbl(d)) => Ok(Value::Dbl(-d)),
+        (UnOp::Pos, v @ (Value::Int(_) | Value::Dbl(_))) => Ok(v),
+        (UnOp::Not, v) => Ok(Value::Int(if v.truthy()? { 0 } else { 1 })),
+        (UnOp::BitNot, Value::Int(i)) => Ok(Value::Int(!i)),
+        _ => Err(TclError::error(
+            "can't use non-numeric string as operand of unary operator",
+        )),
+    }
+}
+
+pub(crate) fn eval_binop(op: BinOp, a: Value, b: Value) -> TclResult<Value> {
     use BinOp::*;
     let both_int = matches!((&a, &b), (Value::Int(_), Value::Int(_)));
     let any_str = matches!(&a, Value::Str(_)) || matches!(&b, Value::Str(_));
@@ -760,7 +771,7 @@ fn eval_binop(op: BinOp, a: Value, b: Value) -> TclResult<Value> {
     }
 }
 
-fn eval_func(interp: &mut Interp, name: &str, args: &[Value]) -> TclResult<Value> {
+pub(crate) fn eval_func(interp: &mut Interp, name: &str, args: &[Value]) -> TclResult<Value> {
     let need = |n: usize| -> TclResult<()> {
         if args.len() != n {
             Err(TclError::Error(format!(

@@ -21,6 +21,13 @@ pub const MAX_NESTING_DEPTH: usize = 500;
 /// Default bound of the script and expression caches (entries each).
 pub const DEFAULT_CACHE_LIMIT: usize = 512;
 
+/// Nesting depth beyond which scripts tree-walk instead of entering the
+/// bytecode VM. The VM's dispatch loop adds native stack frames on every
+/// re-entry (proc call, `EvalScript` escape); past this depth the
+/// cheaper tree-walker frames keep `MAX_NESTING_DEPTH` levels of Tcl
+/// recursion within the native stack. Results are identical either way.
+pub(crate) const BC_MAX_DEPTH: usize = 16;
+
 /// Scripts longer than this are compiled but not cached: the cache is
 /// meant for hot loop bodies and proc calls, not one-shot `source` text.
 const MAX_CACHED_SCRIPT_LEN: usize = 1 << 16;
@@ -105,6 +112,10 @@ enum VarSlot {
 #[derive(Default)]
 struct Frame {
     vars: FnvMap<String, VarSlot>,
+    /// Number of `VarSlot::Link` entries in `vars`. The bytecode VM's
+    /// per-execution variable cache is sound only while no two names in
+    /// the frame can alias the same variable, i.e. while this is zero.
+    links: u32,
 }
 
 /// A shared output callback, as held by [`OutputSink::Func`].
@@ -162,6 +173,42 @@ pub struct Interp {
     /// Telemetry store shared with the embedding (session, frontend).
     /// Disabled by default: each eval/dispatch pays one flag load.
     telemetry: Telemetry,
+    /// Whether compiled scripts execute through the bytecode VM.
+    /// Runtime-togglable (`interp bcdisable`) so the same binary can
+    /// measure VM-on vs VM-off (the E23 bench).
+    bc_enabled: bool,
+    /// Bumped whenever a command the bytecode compiler inlines (`set`,
+    /// `if`, `while`, …) is redefined; stamped into every compiled
+    /// [`crate::bc::ByteCode`] so stale inlinings recompile instead of
+    /// bypassing the new binding.
+    pub(crate) bc_epoch: u64,
+    /// Bytecode compile/hit/fallback/instruction counters.
+    pub(crate) bc_stats: BcStats,
+    /// The pristine built-in handlers for the inlined command names,
+    /// captured at construction. The compiler only inlines a special form
+    /// while its name still resolves to the pristine handler.
+    bc_builtins: Vec<(&'static str, CmdFn)>,
+}
+
+/// The command names the bytecode compiler lowers to dedicated opcodes.
+/// Redefining any of them invalidates compiled bytecode (see
+/// [`Interp::bc_epoch`]).
+pub(crate) const BC_SPECIAL_NAMES: [&str; 9] = [
+    "set", "incr", "expr", "if", "while", "for", "foreach", "break", "continue",
+];
+
+/// Counters of the bytecode layer (see [`crate::bc`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BcStats {
+    /// Scripts lowered to bytecode (includes epoch-forced recompiles).
+    pub compiles: u64,
+    /// Executions served by an already-compiled bytecode body.
+    pub hits: u64,
+    /// Executions that fell back to the tree-walking evaluator because
+    /// the script was declined by the compiler.
+    pub fallbacks: u64,
+    /// Total VM instructions dispatched.
+    pub instructions: u64,
 }
 
 /// A script readied for repeated evaluation: either its parse-once
@@ -196,6 +243,14 @@ pub struct CacheStats {
     pub expr_evictions: u64,
     /// The configured bound (0 = caching disabled).
     pub limit: usize,
+    /// Executions served from already-compiled bytecode — counted apart
+    /// from `script_hits` (a parse-cache hit), so the two layers are
+    /// distinguishable.
+    pub bc_hits: u64,
+    /// Scripts lowered to bytecode.
+    pub bc_compiles: u64,
+    /// Bytecode-declined executions that tree-walked instead.
+    pub bc_fallbacks: u64,
 }
 
 impl Default for Interp {
@@ -220,9 +275,41 @@ impl Interp {
             script_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
             expr_cache: LruCache::new(DEFAULT_CACHE_LIMIT),
             telemetry: Telemetry::new(),
+            bc_enabled: true,
+            bc_epoch: 0,
+            bc_stats: BcStats::default(),
+            bc_builtins: Vec::new(),
         };
         crate::commands::register_all(&mut interp);
+        // Snapshot the pristine handlers of the inlinable commands: the
+        // bytecode compiler inlines `set`/`if`/`while`/… only while the
+        // name still resolves to exactly this handler.
+        interp.bc_builtins = BC_SPECIAL_NAMES
+            .iter()
+            .filter_map(|&name| match interp.commands.get(name) {
+                Some(Command::Native(f)) => Some((name, f.clone())),
+                _ => None,
+            })
+            .collect();
         interp
+    }
+
+    /// True while `name` still resolves to the pristine built-in captured
+    /// at construction (the bytecode compiler's inlining precondition).
+    pub(crate) fn bc_special_pristine(&self, name: &str) -> bool {
+        self.bc_builtins.iter().any(|(n, f)| {
+            *n == name
+                && matches!(self.commands.get(name),
+                    Some(Command::Native(g)) if Rc::ptr_eq(f, g))
+        })
+    }
+
+    /// Bumps the bytecode epoch when a compiler-inlined command name is
+    /// rebound, so compiled scripts pick up the new binding.
+    fn note_bc_sensitive(&mut self, name: &str) {
+        if BC_SPECIAL_NAMES.contains(&name) {
+            self.bc_epoch += 1;
+        }
     }
 
     /// Registers a native command, replacing any previous binding
@@ -232,6 +319,7 @@ impl Interp {
         F: Fn(&mut Interp, &[Value]) -> TclResult<Value> + 'static,
     {
         self.cmd_epoch += 1;
+        self.note_bc_sensitive(name);
         self.commands
             .insert(name.to_string(), Command::Native(Rc::new(f)));
     }
@@ -241,18 +329,22 @@ impl Interp {
     /// allows to register the same command under various names").
     pub fn register_shared(&mut self, name: &str, f: CmdFn) {
         self.cmd_epoch += 1;
+        self.note_bc_sensitive(name);
         self.commands.insert(name.to_string(), Command::Native(f));
     }
 
     /// Removes a command; returns true if it existed.
     pub fn unregister(&mut self, name: &str) -> bool {
         self.cmd_epoch += 1;
+        self.note_bc_sensitive(name);
         self.commands.remove(name).is_some()
     }
 
     /// Renames a command (`rename old new`); empty `new` deletes.
     pub fn rename_command(&mut self, old: &str, new: &str) -> TclResult<()> {
         self.cmd_epoch += 1;
+        self.note_bc_sensitive(old);
+        self.note_bc_sensitive(new);
         let cmd = self.commands.remove(old).ok_or_else(|| {
             TclError::Error(format!("can't rename \"{old}\": command doesn't exist"))
         })?;
@@ -298,6 +390,7 @@ impl Interp {
     /// Defines a procedure (the `proc` command calls this).
     pub fn define_proc(&mut self, name: &str, def: ProcDef) {
         self.cmd_epoch += 1;
+        self.note_bc_sensitive(name);
         self.commands
             .insert(name.to_string(), Command::Proc(Rc::new(def)));
     }
@@ -503,7 +596,9 @@ impl Interp {
         self.fire_traces(&n, "", 'u');
         // Also remove the link itself if `name` was a link in the active frame.
         if f != self.active || n != name {
-            self.frames[self.active].vars.remove(name);
+            if let Some(VarSlot::Link { .. }) = self.frames[self.active].vars.remove(name) {
+                self.frames[self.active].links -= 1;
+            }
         }
         Ok(())
     }
@@ -574,14 +669,30 @@ impl Interp {
                 "can't upvar from variable to itself ({local})"
             )));
         }
-        self.frames[self.active].vars.insert(
+        let old = self.frames[self.active].vars.insert(
             local.to_string(),
             VarSlot::Link {
                 frame: tf,
                 name: tn.into_owned(),
             },
         );
+        if !matches!(old, Some(VarSlot::Link { .. })) {
+            self.frames[self.active].links += 1;
+        }
         Ok(())
+    }
+
+    /// True while the bytecode VM may cache scalar lookups of the active
+    /// frame: no `global`/`upvar` links exist, so distinct names cannot
+    /// alias one variable.
+    pub(crate) fn bc_frame_cacheable(&self) -> bool {
+        self.frames[self.active].links == 0
+    }
+
+    /// True if any variable write traces are registered (their scripts
+    /// may touch arbitrary variables, so the VM must drop its cache).
+    pub(crate) fn has_traces(&self) -> bool {
+        !self.traces.is_empty()
     }
 
     // ----- evaluation -------------------------------------------------
@@ -736,7 +847,29 @@ impl Interp {
             expr_entries: self.expr_cache.len(),
             expr_evictions: self.expr_cache.evictions(),
             limit: self.script_cache.limit(),
+            bc_hits: self.bc_stats.hits,
+            bc_compiles: self.bc_stats.compiles,
+            bc_fallbacks: self.bc_stats.fallbacks,
         }
+    }
+
+    // ----- bytecode layer --------------------------------------------
+
+    /// Counters of the bytecode compiler and VM.
+    pub fn bc_stats(&self) -> BcStats {
+        self.bc_stats
+    }
+
+    /// Enables/disables the bytecode VM (the E23 same-binary baseline
+    /// switch, and `interp bcdisable`/`bcenable`). Returns the previous
+    /// setting. Compiled bytecode stays cached while disabled.
+    pub fn set_bc_enabled(&mut self, on: bool) -> bool {
+        std::mem::replace(&mut self.bc_enabled, on)
+    }
+
+    /// True while compiled scripts execute through the bytecode VM.
+    pub fn bc_enabled(&self) -> bool {
+        self.bc_enabled
     }
 
     /// Empties both parse caches (counters are kept).
@@ -780,6 +913,16 @@ impl Interp {
     // ----- compiled evaluation ---------------------------------------
 
     fn eval_compiled_inner(&mut self, script: &CompiledScript) -> TclResult<Value> {
+        // Bytecode fast path: lower the script once and dispatch a flat
+        // instruction stream. The compiler declines rather than guesses —
+        // a `None` here (or `bcdisable`, or the Tcl 6.x `cachelimit 0`
+        // baseline, or recursion past `BC_MAX_DEPTH`) means the
+        // tree-walker below runs instead.
+        if self.bc_enabled && self.depth <= BC_MAX_DEPTH && self.cache_enabled() {
+            if let Some(code) = crate::bc::bytecode_for(self, script) {
+                return crate::bc::execute(self, &code);
+            }
+        }
         let mut result = Value::empty();
         for cmd in &script.commands {
             result = match &cmd.literal {

@@ -29,6 +29,7 @@
 //! assert_eq!(r, "42");
 //! ```
 
+pub mod bc;
 pub mod commands;
 pub mod compile;
 pub mod error;
@@ -43,7 +44,7 @@ pub mod value;
 
 pub use compile::{compile, CompiledScript};
 pub use error::{TclError, TclResult};
-pub use interp::{CacheStats, CmdFn, Interp, OutputSink, Prepared};
+pub use interp::{BcStats, CacheStats, CmdFn, Interp, OutputSink, Prepared};
 pub use list::{list_append, list_join, list_quote, parse_list};
 pub use value::{reset_shimmer_stats, set_reps_enabled, shimmer_stats, ShimmerStats, Value};
 pub use wafe_trace::Telemetry;
