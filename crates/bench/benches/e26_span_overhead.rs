@@ -1,0 +1,199 @@
+//! E26 — what the span layer and the profiler cost.
+//!
+//! PR 7 threads span begin/end checks through every eval, proc call and
+//! bytecode run, and a profiler check through every VM instruction. The
+//! claim, like E20's for counters, is near-free when disabled: each
+//! span site is one flag load and each instruction one branch on a
+//! hoisted local. This experiment checks that claim on the E19
+//! loop-heavy workload (`factor 3599`):
+//!
+//! * **all off** — the default: checks compiled in, nothing recording;
+//! * **spans on** — every eval/proc/bc scope recorded into the ring,
+//!   detail closures run;
+//! * **profile on** — per-proc timing frames plus a hit counter bump
+//!   per executed instruction;
+//! * **both on** — the full observability plane.
+//!
+//! The enabled overheads are direct A/Bs within one binary. The
+//! disabled overhead is computed from first principles, exactly as in
+//! E20 (cross-binary deltas on a 30µs workload drown in codegen noise):
+//! span sites per iteration times the measured disabled `span_begin`
+//! cost, plus executed instructions per iteration times the measured
+//! cost of a flag-check branch. Results go to `BENCH_e26.json`.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use bench::{criterion_group, criterion_main, measure_median, workspace_root, Criterion};
+use wafe_tcl::{Interp, Telemetry};
+
+const FACTOR_TCL: &str = "\
+proc factor {n} {\n\
+    set result {}\n\
+    for {set d 2} {$d <= $n} {incr d} {\n\
+        while {$n % $d == 0} {\n\
+            set result [linsert $result 0 $d]\n\
+            set n [expr {$n / $d}]\n\
+        }\n\
+    }\n\
+    return [join $result *]\n\
+}";
+
+fn loop_heavy(i: &mut Interp) -> String {
+    i.eval("factor 3599").unwrap().to_string()
+}
+
+fn interp(spans: bool, profile: bool) -> Interp {
+    let mut i = Interp::new();
+    if spans {
+        let t = Telemetry::new();
+        t.set_spans_enabled(true);
+        i.set_telemetry(t);
+    }
+    i.eval(FACTOR_TCL).unwrap();
+    if profile {
+        i.eval("interp profile on").unwrap();
+    }
+    i
+}
+
+/// Median ns/iter; best of two passes to shave scheduler noise.
+fn measure(i: &mut Interp) -> f64 {
+    let warm_up = Duration::from_millis(200);
+    let budget = Duration::from_millis(1200);
+    let a = measure_median(warm_up, budget, 11, || loop_heavy(i));
+    let b = measure_median(warm_up, budget, 11, || loop_heavy(i));
+    a.min(b)
+}
+
+/// Span sites executed by one `factor 3599`: every tcl.eval / tcl.proc
+/// / tcl.bc scope, counted by the span ring's own total.
+fn span_sites_per_iter() -> u64 {
+    let mut i = interp(true, false);
+    let before = i.telemetry().span_stats().total;
+    loop_heavy(&mut i);
+    i.telemetry().span_stats().total - before
+}
+
+/// VM instructions executed by one `factor 3599` — the per-instruction
+/// profiler branch count — summed from the profiler's own opcode hits.
+fn instr_sites_per_iter() -> u64 {
+    let mut i = interp(false, false);
+    i.eval("interp profile on").unwrap();
+    loop_heavy(&mut i);
+    i.eval("interp profile off").unwrap();
+    let report = i.eval("interp profile report").unwrap().to_string();
+    report
+        .lines()
+        .filter(|l| l.starts_with("op "))
+        .map(|l| l.split_whitespace().nth(3).unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    bench::banner(
+        "E26",
+        "span + profiler overhead on the E19 loop-heavy workload",
+    );
+
+    let mut off_i = interp(false, false);
+    let mut spans_i = interp(true, false);
+    let mut prof_i = interp(false, true);
+    let mut both_i = interp(true, true);
+    // Observability must be invisible to results.
+    let want = loop_heavy(&mut off_i);
+    assert_eq!(want, loop_heavy(&mut spans_i));
+    assert_eq!(want, loop_heavy(&mut prof_i));
+    assert_eq!(want, loop_heavy(&mut both_i));
+
+    let off_ns = measure(&mut off_i);
+    let spans_ns = measure(&mut spans_i);
+    let prof_ns = measure(&mut prof_i);
+    let both_ns = measure(&mut both_i);
+    let pct = |ns: f64| (ns / off_ns.max(1.0) - 1.0) * 100.0;
+    let (spans_pct, prof_pct, both_pct) = (pct(spans_ns), pct(prof_ns), pct(both_ns));
+
+    // The enabled runs really recorded.
+    assert!(spans_i.telemetry().span_stats().total > 1_000);
+    let report = both_i.eval("interp profile report").unwrap().to_string();
+    assert!(report.contains("proc factor calls"), "{report}");
+
+    // Raw primitive costs (ns per call). The no-op closure carries the
+    // timing-loop overhead; what remains is the per-site price.
+    let off_tel = Telemetry::new();
+    let warm = Duration::from_millis(100);
+    let budget = Duration::from_millis(400);
+    let noop_ns = measure_median(warm, budget, 11, || std::hint::black_box(0u64));
+    let span_off_raw = measure_median(warm, budget, 11, || {
+        std::hint::black_box(off_tel.span_begin("bench.span", String::new))
+    });
+    let flag = Cell::new(false);
+    let flag_raw = measure_median(warm, budget, 11, || std::hint::black_box(flag.get()));
+    let span_off_ns = (span_off_raw - noop_ns).max(0.0);
+    let flag_ns = (flag_raw - noop_ns).max(0.0);
+
+    // Disabled overhead on the macro workload, from first principles:
+    // one disabled span_begin per span site, one flag branch per
+    // executed instruction (the hoisted profiler check).
+    let span_sites = span_sites_per_iter();
+    let instr_sites = instr_sites_per_iter();
+    let disabled_pct =
+        (span_sites as f64 * span_off_ns + instr_sites as f64 * flag_ns) / off_ns.max(1.0) * 100.0;
+
+    bench::row("all off", format!("{off_ns:.0} ns/iter"));
+    bench::row(
+        "spans on",
+        format!("{spans_ns:.0} ns/iter ({spans_pct:+.1}%)"),
+    );
+    bench::row(
+        "profile on",
+        format!("{prof_ns:.0} ns/iter ({prof_pct:+.1}%)"),
+    );
+    bench::row("both on", format!("{both_ns:.0} ns/iter ({both_pct:+.1}%)"));
+    bench::row("span sites / iter", span_sites);
+    bench::row("instructions / iter", instr_sites);
+    bench::row("span_begin() disabled", format!("{span_off_ns:.2} ns"));
+    bench::row("flag branch", format!("{flag_ns:.2} ns"));
+    bench::row("disabled overhead", format!("{disabled_pct:+.2}%"));
+
+    let out = format!(
+        "{{\n  \"experiment\": \"e26_span_overhead\",\n  \"workload\": \"e19_loop_heavy_factor\",\n  \
+         \"all_off_ns_per_iter\": {off_ns:.1},\n  \
+         \"spans_ns_per_iter\": {spans_ns:.1},\n  \
+         \"profile_ns_per_iter\": {prof_ns:.1},\n  \
+         \"both_ns_per_iter\": {both_ns:.1},\n  \
+         \"spans_overhead_pct\": {spans_pct:.2},\n  \
+         \"profile_overhead_pct\": {prof_pct:.2},\n  \
+         \"both_overhead_pct\": {both_pct:.2},\n  \
+         \"span_sites_per_iter\": {span_sites},\n  \
+         \"instr_sites_per_iter\": {instr_sites},\n  \
+         \"span_begin_disabled_ns\": {span_off_ns:.3},\n  \
+         \"flag_branch_ns\": {flag_ns:.3},\n  \
+         \"disabled_overhead_pct\": {disabled_pct:.2}\n}}\n"
+    );
+    let path = workspace_root().join("BENCH_e26.json");
+    std::fs::write(&path, out).expect("write BENCH_e26.json");
+    println!("  wrote {}", path.display());
+
+    assert!(
+        disabled_pct <= 2.0,
+        "acceptance: disabled spans+profiler must cost <=2% on the E19 workload, got {disabled_pct:+.2}%"
+    );
+
+    let mut group = c.benchmark_group("e26_span_overhead");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(1000));
+    group.sample_size(11);
+    group.bench_function("factor_3599_observability_off", |b| {
+        let mut i = interp(false, false);
+        b.iter(|| loop_heavy(&mut i));
+    });
+    group.bench_function("factor_3599_spans_and_profile_on", |b| {
+        let mut i = interp(true, true);
+        b.iter(|| loop_heavy(&mut i));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

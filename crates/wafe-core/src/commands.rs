@@ -63,9 +63,73 @@ fn register_backend_controls(session: &mut WafeSession) {
     }
 }
 
-/// `telemetry snapshot|journal ?n?|histogram name|reset|enable|disable|
-/// enabled` — the unified introspection surface across the interpreter,
-/// the toolkit and the pipe protocol (see `docs/telemetry.md`).
+/// The key-sorted `(key, value)` pairs behind `telemetry snapshot`,
+/// `telemetry json` and the `serve metrics` exposition: the store-level
+/// pairs ([`wafe_trace::export::telemetry_pairs`]) plus the
+/// interpreter-side cache/shimmer counters and the toolkit's memory
+/// gauges the store cannot see.
+pub fn session_snapshot_pairs(
+    interp: &wafe_tcl::Interp,
+    app_rc: &std::rc::Rc<std::cell::RefCell<wafe_xt::XtApp>>,
+) -> Vec<(String, String)> {
+    let tel = interp.telemetry();
+    let mut pairs = wafe_trace::export::telemetry_pairs(tel);
+    // The PR-1 parse-cache counters, absorbed into the same
+    // snapshot (`interp cachestats` keeps working unchanged).
+    let cs = interp.cache_stats();
+    for (k, v) in [
+        ("tcl.cache.scriptHits", cs.script_hits),
+        ("tcl.cache.scriptMisses", cs.script_misses),
+        ("tcl.cache.scriptEntries", cs.script_entries as u64),
+        ("tcl.cache.scriptEvictions", cs.script_evictions),
+        ("tcl.cache.exprHits", cs.expr_hits),
+        ("tcl.cache.exprMisses", cs.expr_misses),
+        ("tcl.cache.exprEntries", cs.expr_entries as u64),
+        ("tcl.cache.exprEvictions", cs.expr_evictions),
+        ("tcl.cache.limit", cs.limit as u64),
+    ] {
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    // Memory accounting, read live (gauges, not counters —
+    // they describe current state even while disabled).
+    {
+        let app = app_rc.borrow();
+        let m = &app.memstats;
+        for (k, v) in [
+            ("xt.mem.current", m.current()),
+            ("xt.mem.peak", m.peak()),
+            ("xt.mem.allocs", m.alloc_count()),
+            ("xt.mem.frees", m.free_count()),
+            ("xt.mem.overfree", m.overfree_count()),
+        ] {
+            pairs.push((k.to_string(), v.to_string()));
+        }
+    }
+    // Dual-representation value-layer counters (see
+    // `docs/values.md`): conversions in/out of the cached
+    // int/double/list/script reps and rep reuse.
+    let sh = wafe_tcl::shimmer_stats();
+    for (k, v) in [
+        ("tcl.shimmer.intParses", sh.int_parses),
+        ("tcl.shimmer.doubleParses", sh.double_parses),
+        ("tcl.shimmer.listParses", sh.list_parses),
+        ("tcl.shimmer.repHits", sh.rep_hits),
+        ("tcl.shimmer.renders", sh.renders),
+        ("tcl.shimmer.listCow", sh.list_cow),
+        ("tcl.shimmer.cmdInternHits", sh.cmd_intern_hits),
+    ] {
+        pairs.push((k.to_string(), v.to_string()));
+    }
+    // Deterministic contract: the output is key-sorted, so
+    // tests can assert on it verbatim.
+    pairs.sort();
+    pairs
+}
+
+/// `telemetry snapshot|json|journal ?n?|histogram name|spans …|export
+/// chrome path|reset|enable|disable|enabled` — the unified introspection
+/// surface across the interpreter, the toolkit and the pipe protocol
+/// (see `docs/telemetry.md`).
 fn register_telemetry(session: &mut WafeSession) {
     let app_rc = session.app.clone();
     session.register_handwritten_command("telemetry", move |interp, argv| {
@@ -79,80 +143,37 @@ fn register_telemetry(session: &mut WafeSession) {
                     return Err(wrong_num_args("telemetry snapshot ?prefix?"));
                 }
                 let prefix = argv.get(2).map(|v| v.to_string()).unwrap_or_default();
-                let mut pairs: Vec<(String, String)> = Vec::new();
-                let snap = tel.snapshot();
-                for (k, v) in snap.counters {
-                    pairs.push((k.to_string(), v.to_string()));
-                }
-                for (k, v) in snap.gauges {
-                    pairs.push((k.to_string(), v.to_string()));
-                }
-                for (k, h) in snap.histograms {
-                    pairs.push((format!("{k}.count"), h.count.to_string()));
-                    pairs.push((format!("{k}.p50Ns"), h.p50_ns.to_string()));
-                    pairs.push((format!("{k}.p90Ns"), h.p90_ns.to_string()));
-                    pairs.push((format!("{k}.p99Ns"), h.p99_ns.to_string()));
-                }
-                // The PR-1 parse-cache counters, absorbed into the same
-                // snapshot (`interp cachestats` keeps working unchanged).
-                let cs = interp.cache_stats();
-                for (k, v) in [
-                    ("tcl.cache.scriptHits", cs.script_hits),
-                    ("tcl.cache.scriptMisses", cs.script_misses),
-                    ("tcl.cache.scriptEntries", cs.script_entries as u64),
-                    ("tcl.cache.scriptEvictions", cs.script_evictions),
-                    ("tcl.cache.exprHits", cs.expr_hits),
-                    ("tcl.cache.exprMisses", cs.expr_misses),
-                    ("tcl.cache.exprEntries", cs.expr_entries as u64),
-                    ("tcl.cache.exprEvictions", cs.expr_evictions),
-                    ("tcl.cache.limit", cs.limit as u64),
-                ] {
-                    pairs.push((k.to_string(), v.to_string()));
-                }
-                // Memory accounting, read live (gauges, not counters —
-                // they describe current state even while disabled).
-                {
-                    let app = app_rc.borrow();
-                    let m = &app.memstats;
-                    for (k, v) in [
-                        ("xt.mem.current", m.current()),
-                        ("xt.mem.peak", m.peak()),
-                        ("xt.mem.allocs", m.alloc_count()),
-                        ("xt.mem.frees", m.free_count()),
-                        ("xt.mem.overfree", m.overfree_count()),
-                    ] {
-                        pairs.push((k.to_string(), v.to_string()));
-                    }
-                }
-                // Dual-representation value-layer counters (see
-                // `docs/values.md`): conversions in/out of the cached
-                // int/double/list/script reps and rep reuse.
-                let sh = wafe_tcl::shimmer_stats();
-                for (k, v) in [
-                    ("tcl.shimmer.intParses", sh.int_parses),
-                    ("tcl.shimmer.doubleParses", sh.double_parses),
-                    ("tcl.shimmer.listParses", sh.list_parses),
-                    ("tcl.shimmer.repHits", sh.rep_hits),
-                    ("tcl.shimmer.renders", sh.renders),
-                    ("tcl.shimmer.listCow", sh.list_cow),
-                    ("tcl.shimmer.cmdInternHits", sh.cmd_intern_hits),
-                ] {
-                    pairs.push((k.to_string(), v.to_string()));
-                }
-                // Journal occupancy.
-                let (retained, total, capacity) = tel.journal_stats();
-                pairs.push(("trace.journal.retained".into(), retained.to_string()));
-                pairs.push(("trace.journal.total".into(), total.to_string()));
-                pairs.push(("trace.journal.capacity".into(), capacity.to_string()));
-                // Deterministic contract: the output is key-sorted, so
-                // tests can assert on it verbatim.
-                pairs.sort();
-                let words: Vec<String> = pairs
+                let words: Vec<String> = session_snapshot_pairs(interp, &app_rc)
                     .into_iter()
                     .filter(|(k, _)| k.starts_with(&prefix))
                     .flat_map(|(k, v)| [k, v])
                     .collect();
                 Ok(Value::from(wafe_tcl::list_join(&words)))
+            }
+            "json" => {
+                // The same pairs as `snapshot`, as one JSON object.
+                // Every value is an unsigned integer, so they are
+                // emitted bare; keys keep their dotted form.
+                if argv.len() > 3 {
+                    return Err(wrong_num_args("telemetry json ?prefix?"));
+                }
+                let prefix = argv.get(2).map(|v| v.to_string()).unwrap_or_default();
+                let mut out = String::from("{");
+                let mut first = true;
+                for (k, v) in session_snapshot_pairs(interp, &app_rc) {
+                    if !k.starts_with(&prefix) {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&wafe_trace::export::json_string(&k));
+                    out.push(':');
+                    out.push_str(&v);
+                }
+                out.push('}');
+                Ok(Value::from(out))
             }
             "journal" => {
                 let n = match argv.len() {
@@ -197,6 +218,71 @@ fn register_telemetry(session: &mut WafeSession) {
                 .collect();
                 Ok(Value::from(wafe_tcl::list_join(&words)))
             }
+            "spans" => {
+                if argv.len() != 3 {
+                    return Err(wrong_num_args(
+                        "telemetry spans on|off|enabled|tree|stats|clear",
+                    ));
+                }
+                match argv[2].as_str() {
+                    "on" => {
+                        tel.set_spans_enabled(true);
+                        Ok(Value::empty())
+                    }
+                    "off" => {
+                        tel.set_spans_enabled(false);
+                        Ok(Value::empty())
+                    }
+                    "enabled" => Ok(if tel.spans_enabled() { "1" } else { "0" }.into()),
+                    "tree" => {
+                        // The causal tree of every retained span. The
+                        // spans of the command rendering the tree are
+                        // still open, so they never show up in their
+                        // own output — the render is deterministic.
+                        let spans = tel.spans_recent(usize::MAX);
+                        Ok(Value::from(
+                            wafe_trace::span::render_tree(&spans)
+                                .trim_end_matches('\n')
+                                .to_string(),
+                        ))
+                    }
+                    "stats" => {
+                        let s = tel.span_stats();
+                        let words: Vec<String> = [
+                            ("retained", s.retained as u64),
+                            ("total", s.total),
+                            ("dropped", s.dropped),
+                            ("capacity", s.capacity as u64),
+                            ("open", s.open as u64),
+                        ]
+                        .iter()
+                        .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+                        .collect();
+                        Ok(Value::from(wafe_tcl::list_join(&words)))
+                    }
+                    "clear" => {
+                        tel.spans_clear();
+                        Ok(Value::empty())
+                    }
+                    bad => Err(TclError::Error(format!(
+                        "bad spans option \"{bad}\": must be on, off, enabled, tree, stats, or clear"
+                    ))),
+                }
+            }
+            "export" => {
+                // telemetry export chrome path — the retained span tree
+                // as Chrome trace-event JSON, loadable in
+                // chrome://tracing / Perfetto. Returns the span count.
+                if argv.len() != 4 || argv[2].as_str() != "chrome" {
+                    return Err(wrong_num_args("telemetry export chrome path"));
+                }
+                let spans = tel.spans_recent(usize::MAX);
+                let json = wafe_trace::export::chrome_trace(&spans);
+                std::fs::write(argv[3].as_str(), json).map_err(|e| {
+                    TclError::Error(format!("cannot write \"{}\": {e}", argv[3]))
+                })?;
+                Ok(Value::from_int(spans.len() as i64))
+            }
             "reset" => {
                 if argv.len() != 2 {
                     return Err(wrong_num_args("telemetry reset"));
@@ -225,7 +311,7 @@ fn register_telemetry(session: &mut WafeSession) {
                 Ok(if tel.enabled() { "1" } else { "0" }.into())
             }
             other => Err(TclError::Error(format!(
-                "bad option \"{other}\": must be snapshot, journal, histogram, reset, enable, disable, or enabled"
+                "bad option \"{other}\": must be snapshot, json, journal, histogram, spans, export, reset, enable, disable, or enabled"
             ))),
         }
     });

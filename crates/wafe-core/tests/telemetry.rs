@@ -285,12 +285,12 @@ fn snapshot_prefix_asserts_verbatim() {
     let mut s = WafeSession::new(Flavor::Athena);
     assert_eq!(
         s.eval("telemetry snapshot trace.journal").unwrap(),
-        "trace.journal.capacity 256 trace.journal.retained 0 trace.journal.total 0"
+        "trace.journal.capacity 256 trace.journal.dropped 0 trace.journal.retained 0 trace.journal.total 0"
     );
     s.telemetry.set_journal_capacity(8);
     assert_eq!(
         s.eval("telemetry snapshot trace.journal").unwrap(),
-        "trace.journal.capacity 8 trace.journal.retained 0 trace.journal.total 0"
+        "trace.journal.capacity 8 trace.journal.dropped 0 trace.journal.retained 0 trace.journal.total 0"
     );
 }
 
@@ -361,4 +361,50 @@ fn interp_bcstats_reports_and_bcdisable_switches() {
     assert_eq!(after.compiles, before.compiles);
     assert_eq!(after.hits, before.hits);
     assert_eq!(s.eval("interp bcenable").unwrap(), "0");
+}
+
+/// The span surface end to end through Tcl: arm, trace a proc call,
+/// disarm, read the stats words and the causal tree, export the Chrome
+/// trace JSON, and clear the ring.
+#[test]
+fn spans_surface_and_chrome_export() {
+    let mut s = session();
+    assert_eq!(s.eval("telemetry spans enabled").unwrap(), "0");
+    s.eval("telemetry spans on").unwrap();
+    assert_eq!(s.eval("telemetry spans enabled").unwrap(), "1");
+    s.eval("proc double {x} {expr {$x * 2}}").unwrap();
+    assert_eq!(s.eval("double 21").unwrap(), "42");
+    s.eval("telemetry spans off").unwrap();
+
+    let stats: BTreeMap<String, u64> = parse_list(&s.eval("telemetry spans stats").unwrap())
+        .unwrap()
+        .chunks(2)
+        .map(|kv| (kv[0].clone(), kv[1].parse().unwrap()))
+        .collect();
+    assert!(stats["retained"] > 0, "{stats:?}");
+    assert_eq!(stats["open"], 0, "disarming closed every open span");
+    assert_eq!(stats["dropped"], 0);
+
+    let tree = s.eval("telemetry spans tree").unwrap();
+    assert!(tree.contains("tcl.proc"), "{tree}");
+    assert!(tree.contains("double"), "{tree}");
+
+    let path = std::env::temp_dir().join(format!("wafe_chrome_{}.json", std::process::id()));
+    let exported = s
+        .eval(&format!("telemetry export chrome {}", path.display()))
+        .unwrap();
+    let n: u64 = exported.parse().unwrap();
+    assert_eq!(n, stats["retained"], "one trace event per retained span");
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+    assert!(body.contains("\"name\":\"tcl.proc\""), "{body}");
+    assert!(body.contains("\"trace\":"), "{body}");
+
+    s.eval("telemetry spans clear").unwrap();
+    let after = s.eval("telemetry spans stats").unwrap();
+    assert!(parse_list(&after)
+        .unwrap()
+        .contains(&"retained".to_string()));
+    assert!(after.contains("retained 0"), "{after}");
 }

@@ -200,7 +200,11 @@ impl ProtocolEngine {
         if let Some(cmd) = trimmed.strip_prefix(self.prefix) {
             self.lines_interpreted += 1;
             tel.count("ipc.lines.interpreted");
-            match self.session.eval(cmd) {
+            // The per-command span: a trace root in frontend mode, a
+            // child of the scheduler's serve.command span in server
+            // mode (the scheduler opens that root around this call).
+            let span = tel.span_begin("ipc.command", || trimmed.to_string());
+            let r = match self.session.eval(cmd) {
                 Ok(v) => Ok(Some(v.to_string())),
                 Err(e) => {
                     let msg = e.message();
@@ -208,7 +212,11 @@ impl ProtocolEngine {
                     self.errors.push(msg.clone());
                     Err(msg)
                 }
+            };
+            if span {
+                tel.span_end();
             }
+            r
         } else {
             self.lines_passed += 1;
             tel.count("ipc.lines.passthrough");

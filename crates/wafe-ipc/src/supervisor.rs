@@ -399,6 +399,12 @@ pub struct Supervisor {
     channel_fd: Rc<Cell<i64>>,
     tel: Telemetry,
     last_write: Option<Instant>,
+    /// Token of the open detached `ipc.roundtrip` span (0 = none): begun
+    /// at the first unanswered write, closed by the reply or the fault
+    /// that ends the wait. Detached because the reply arrives long after
+    /// the command span that caused the write has closed; the span still
+    /// carries that command's trace ID.
+    roundtrip_span: u64,
 }
 
 impl Supervisor {
@@ -423,6 +429,7 @@ impl Supervisor {
             channel_fd,
             tel,
             last_write: None,
+            roundtrip_span: 0,
         };
         if sup.fire("spawn").contains(&FaultAction::Kill) {
             return Err(std::io::Error::other("fault injected: spawn kill"));
@@ -518,6 +525,11 @@ impl Supervisor {
         self.tel.count("ipc.lines.sent");
         self.tel.add("ipc.bytes.sent", line.len() as u64);
         self.last_write = self.tel.timer();
+        if self.roundtrip_span == 0 {
+            self.roundtrip_span = self
+                .tel
+                .span_begin_detached("ipc.roundtrip", || line.to_string());
+        }
         link.write_line(line)
     }
 
@@ -568,6 +580,10 @@ impl Supervisor {
         self.delayed.clear();
         self.delayed_mass.clear();
         self.last_write = None;
+        // A roundtrip cut short by teardown still ends — at the fault,
+        // not at a reply that will never come.
+        self.tel
+            .span_end_detached(std::mem::take(&mut self.roundtrip_span));
     }
 
     /// Declares a fault: the current child (if any) is torn down with
@@ -578,23 +594,28 @@ impl Supervisor {
         let mut core = self.core.borrow_mut();
         let now = core.now_ms;
         core.pending_write_ms = None;
+        // Fault-path events carry the active trace ID so a journal read
+        // attributes the failure to the session command that hit it.
+        let note = self.tel.trace_note();
         self.tel
-            .event("supervisor.fault", || format!("{kind}: {detail}"));
+            .event("supervisor.fault", || format!("{kind}: {detail}{note}"));
         if core.restarts_done < core.config.max_restarts {
             core.restarts_done += 1;
             let wait = backoff_ms(&core.config, core.restarts_done);
             core.due_ms = now + wait;
             core.state = BackendState::Restarting;
             let attempt = core.restarts_done;
+            let note = self.tel.trace_note();
             self.tel.event("supervisor.backoff", || {
-                format!("restart {attempt} in {wait}ms")
+                format!("restart {attempt} in {wait}ms{note}")
             });
         } else {
             core.state = BackendState::Broken;
             core.stats.breaker_trips += 1;
             self.tel.count("ipc.supervisor.breaker.trips");
+            let note = self.tel.trace_note();
             self.tel
-                .event("supervisor.breaker", || format!("open after {kind}"));
+                .event("supervisor.breaker", || format!("open after {kind}{note}"));
         }
     }
 
@@ -618,8 +639,9 @@ impl Supervisor {
                     core.pending_write_ms = None;
                     let n = core.stats.restarts;
                     self.tel.count("ipc.supervisor.restarts");
+                    let note = self.tel.trace_note();
                     self.tel
-                        .event("supervisor.restart", || format!("respawn #{n} ok"));
+                        .event("supervisor.restart", || format!("respawn #{n} ok{note}"));
                 }
                 if let Some(ic) = self.spec.init_com.clone() {
                     if let Err(e) = self.transmit(&ic) {
@@ -795,6 +817,8 @@ impl Supervisor {
                 self.tel
                     .observe_since("ipc.roundtrip", self.last_write.take());
             }
+            self.tel
+                .span_end_detached(std::mem::take(&mut self.roundtrip_span));
             self.core.borrow_mut().pending_write_ms = None;
             let _ = engine.handle_line(&line);
             handled += 1;
@@ -833,7 +857,9 @@ impl Supervisor {
                     core.state = BackendState::Exited;
                     core.stats.exits += 1;
                     self.tel.count("ipc.supervisor.exits");
-                    self.tel.event("supervisor.exit", || "backend kill".into());
+                    let note = self.tel.trace_note();
+                    self.tel
+                        .event("supervisor.exit", || format!("backend kill{note}"));
                 }
                 PendingCtl::Restart => {
                     self.drop_link();
@@ -916,7 +942,9 @@ impl Supervisor {
         {
             self.core.borrow_mut().stats.exits += 1;
             self.tel.count("ipc.supervisor.exits");
-            self.tel.event("supervisor.exit", || "child exited".into());
+            let note = self.tel.trace_note();
+            self.tel
+                .event("supervisor.exit", || format!("child exited{note}"));
             if self.core.borrow().config.restart_on_exit {
                 self.declare_fault("child exit", "restartOnExit policy");
             } else {

@@ -324,6 +324,32 @@ impl Registry {
         .collect()
     }
 
+    /// The server-level rows of the metrics exposition (`serve metrics`
+    /// and waferd's `--metrics` endpoint): the `serve status` facts as
+    /// key-sorted numeric pairs under `serve.server.*` (the non-numeric
+    /// `state` word becomes the 0/1 `draining` flag).
+    pub fn metrics_pairs(&self) -> Vec<(String, String)> {
+        let draining = self.draining();
+        let inner = self.lock();
+        let active = inner.slots.iter().filter(|s| s.is_some()).count();
+        let s = inner.stats;
+        let mut pairs: Vec<(String, String)> = [
+            ("draining", draining as u64),
+            ("active", active as u64),
+            ("accepted", s.accepted),
+            ("shedAdmission", s.shed_admission),
+            ("shedQueue", s.shed_queue),
+            ("evicted", s.evicted),
+            ("closed", s.closed),
+            ("commands", s.commands),
+        ]
+        .into_iter()
+        .map(|(k, v)| (format!("serve.server.{k}"), v.to_string()))
+        .collect();
+        pairs.sort();
+        pairs
+    }
+
     /// `serve sessions` payload: one `{id peer admittedMs commands}`
     /// sublist per live session, in slot order.
     pub fn sessions_words(&self) -> Vec<String> {

@@ -127,7 +127,14 @@ impl Scheduler {
                     break;
                 };
                 let timer = tel.timer();
+                // The root of the causal trace: one per dispatched
+                // line, stamped with the session that sent it. Every
+                // ipc.command / tcl.* span below shares its trace ID.
+                let span = tel.span_begin_root("serve.command", || format!("{} {line}", entry.id));
                 let _ = entry.engine.handle_line(&line);
+                if span {
+                    tel.span_end();
+                }
                 tel.observe_since("serve.dispatch", timer);
                 tel.count("serve.commands");
                 ran += 1;
@@ -235,17 +242,30 @@ impl Scheduler {
 /// wafe-core) into one session's dispatch table.
 pub fn install_serve_control(registry: &Arc<Registry>, session: &mut WafeSession) {
     let r = registry.clone();
+    let tel = session.telemetry.clone();
     session.controls.borrow_mut().insert(
         "serve".into(),
-        Box::new(move |argv| serve_control(&r, argv)),
+        Box::new(move |argv| serve_control(&r, &tel, argv)),
     );
 }
 
-fn serve_control(r: &Arc<Registry>, argv: &[String]) -> Result<String, String> {
-    const USAGE: &str = "serve status|sessions|drain|limits ?key ?value??";
+fn serve_control(
+    r: &Arc<Registry>,
+    tel: &wafe_trace::Telemetry,
+    argv: &[String],
+) -> Result<String, String> {
+    const USAGE: &str = "serve status|sessions|drain|metrics|limits ?key ?value??";
     match argv.get(1).map(String::as_str) {
         Some("status") if argv.len() == 2 => Ok(wafe_tcl::list_join(&r.status_words())),
         Some("sessions") if argv.len() == 2 => Ok(wafe_tcl::list_join(&r.sessions_words())),
+        Some("metrics") if argv.len() == 2 => {
+            // Prometheus text exposition: the server-wide registry rows
+            // plus this session's telemetry store, key-sorted.
+            let mut pairs = r.metrics_pairs();
+            pairs.extend(wafe_trace::export::telemetry_pairs(tel));
+            pairs.sort();
+            Ok(wafe_trace::export::prometheus_text(&pairs))
+        }
         Some("drain") if argv.len() == 2 => {
             r.begin_drain();
             Ok(String::new())

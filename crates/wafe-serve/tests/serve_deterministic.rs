@@ -289,3 +289,48 @@ fn fifty_sessions_multiplex_without_crosstalk() {
     }
     assert_eq!(registry.stats().commands, 500);
 }
+
+#[test]
+fn span_tree_attributes_every_layer_of_a_dispatched_command() {
+    // The acceptance test for causal tracing: a scripted session turns
+    // spans on, defines and calls a proc, turns spans off, and prints
+    // the tree. Every tick is virtual, so the tree is byte-stable.
+    let mut sched = scheduler(Limits {
+        quantum: 8,
+        ..Limits::default()
+    });
+    let (mb, buf, id) = session(&mut sched, "tracer");
+    for line in [
+        "%telemetry spans on",
+        "%proc double {x} {expr {$x * 2}}",
+        "%echo [double 21]",
+        "%telemetry spans off",
+        "%echo [telemetry spans tree]",
+    ] {
+        assert!(mb.push(line.to_string()));
+    }
+    sched.run_turn();
+    // `%telemetry spans on` records nothing (its own begins ran while
+    // still disabled); `%telemetry spans off` leaves nothing open; the
+    // tree-printing command's spans are themselves still open when the
+    // tree renders, so they never appear in their own output. What is
+    // left is exactly the two traced commands, every layer attributed:
+    // the serve dispatch root, the ipc protocol hop, the eval, the
+    // bytecode run, and the proc call — one trace ID per command.
+    let want: Vec<String> = [
+        "42".to_string(),
+        format!("serve.command 1:1 [1,8] {id} %proc double {{x}} {{expr {{$x * 2}}}}"),
+        "  ipc.command 1:1 [2,7] %proc double {x} {expr {$x * 2}}".to_string(),
+        "    tcl.eval 1:1 [3,6] proc double {x} {expr {$x * 2}}".to_string(),
+        "      tcl.bc 1:1 [4,5]".to_string(),
+        format!("serve.command 1:2 [9,22] {id} %echo [double 21]"),
+        "  ipc.command 1:2 [10,21] %echo [double 21]".to_string(),
+        "    tcl.eval 1:2 [11,20] echo [double 21]".to_string(),
+        "      tcl.bc 1:2 [12,19]".to_string(),
+        "        tcl.proc 1:2 [13,18] double".to_string(),
+        "          tcl.eval 1:2 [14,17]".to_string(),
+        "            tcl.bc 1:2 [15,16]".to_string(),
+    ]
+    .into();
+    assert_eq!(lines(&buf), want);
+}

@@ -183,6 +183,85 @@ enum Instr {
     NToValue,
 }
 
+/// Display names for the profiler's per-opcode hit counters, indexed by
+/// [`Instr::opcode`]. Keep in `Instr` declaration order.
+pub(crate) const OPCODE_NAMES: [&str; 33] = [
+    "PushConst",
+    "Pop",
+    "LoadVar",
+    "LoadElem",
+    "LoadElemDyn",
+    "Concat",
+    "StoreVar",
+    "StoreVarPop",
+    "StoreElem",
+    "IncrVar",
+    "IncrVarPop",
+    "Invoke",
+    "EvalScript",
+    "Jump",
+    "Break",
+    "Continue",
+    "ForeachInit",
+    "ForeachStep",
+    "NPushNum",
+    "NLoadVar",
+    "NLoadVar2",
+    "NElem",
+    "NEvalText",
+    "NBin",
+    "NBinNum",
+    "NBinJumpIfFalse",
+    "NBinNumJumpIfFalse",
+    "NUn",
+    "NTruth",
+    "NCallFunc",
+    "NJumpIfFalse",
+    "NJumpIfTrue",
+    "NToValue",
+];
+
+impl Instr {
+    /// Index into [`OPCODE_NAMES`] / the profiler's hit table.
+    fn opcode(&self) -> usize {
+        match self {
+            Instr::PushConst(..) => 0,
+            Instr::Pop => 1,
+            Instr::LoadVar(..) => 2,
+            Instr::LoadElem(..) => 3,
+            Instr::LoadElemDyn(..) => 4,
+            Instr::Concat(..) => 5,
+            Instr::StoreVar(..) => 6,
+            Instr::StoreVarPop(..) => 7,
+            Instr::StoreElem(..) => 8,
+            Instr::IncrVar(..) => 9,
+            Instr::IncrVarPop(..) => 10,
+            Instr::Invoke(..) => 11,
+            Instr::EvalScript(..) => 12,
+            Instr::Jump(..) => 13,
+            Instr::Break => 14,
+            Instr::Continue => 15,
+            Instr::ForeachInit => 16,
+            Instr::ForeachStep(..) => 17,
+            Instr::NPushNum(..) => 18,
+            Instr::NLoadVar(..) => 19,
+            Instr::NLoadVar2(..) => 20,
+            Instr::NElem(..) => 21,
+            Instr::NEvalText(..) => 22,
+            Instr::NBin(..) => 23,
+            Instr::NBinNum(..) => 24,
+            Instr::NBinJumpIfFalse(..) => 25,
+            Instr::NBinNumJumpIfFalse(..) => 26,
+            Instr::NUn(..) => 27,
+            Instr::NTruth => 28,
+            Instr::NCallFunc(..) => 29,
+            Instr::NJumpIfFalse(..) => 30,
+            Instr::NJumpIfTrue(..) => 31,
+            Instr::NToValue => 32,
+        }
+    }
+}
+
 /// Break/continue region: any `Break`/`Continue` raised at a pc in
 /// `[start, end)` truncates the stacks and jumps instead of propagating.
 #[derive(Debug, Clone, Copy)]
@@ -1074,12 +1153,19 @@ pub(crate) fn execute(interp: &mut Interp, code: &Rc<ByteCode>) -> TclResult<Val
         cache_on: interp.bc_frame_cacheable(),
     };
     vm.vcache.resize_with(bc.names.len(), || None);
+    let span = interp.telemetry().span_begin("tcl.bc", String::new);
+    // Hoisted so the off path pays one well-predicted branch per
+    // instruction and nothing else.
+    let profiling = interp.profiler.enabled();
     let mut pc = 0usize;
     let mut steps = 0u64;
     let n = bc.code.len();
     let mut failure = None;
     while pc < n {
         steps += 1;
+        if profiling {
+            interp.profiler.opcode_hit(bc.code[pc].opcode());
+        }
         match step(interp, bc, pc, &mut vm) {
             Ok(next) => pc = next,
             Err(e) => match unwind(bc, pc, &e, &mut vm) {
@@ -1109,6 +1195,9 @@ pub(crate) fn execute(interp: &mut Interp, code: &Rc<ByteCode>) -> TclResult<Val
     };
     interp.bc_stats.instructions += steps;
     interp.telemetry().add("tcl.bc.instructions", steps);
+    if span {
+        interp.telemetry().span_end();
+    }
     result
 }
 

@@ -233,8 +233,9 @@ pub(super) fn register(interp: &mut Interp) {
 }
 
 /// `interp cachestats | cacheclear | cachelimit ?n? | shimmerstats |
-/// bcstats | bcenable | bcdisable` — introspection for the parse-once
-/// caches, the dual-representation value layer and the bytecode VM.
+/// bcstats | bcenable | bcdisable | profile on|off|report|reset` —
+/// introspection for the parse-once caches, the dual-representation
+/// value layer, the bytecode VM and the proc/opcode profiler.
 fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
     if argv.len() < 2 {
         return Err(wrong_num_args("interp option ?arg?"));
@@ -335,8 +336,28 @@ fn cmd_interp(i: &mut Interp, argv: &[Value]) -> TclResult<Value> {
             }
             _ => Err(wrong_num_args("interp cachelimit ?limit?")),
         },
+        "profile" => {
+            if argv.len() != 3 {
+                return Err(wrong_num_args("interp profile on|off|report|reset"));
+            }
+            match argv[2].as_str() {
+                "on" | "off" => {
+                    let was = i.profiler.enabled();
+                    i.profiler.set_enabled(argv[2].as_str() == "on");
+                    Ok(Value::from_int(was as i64))
+                }
+                "report" => Ok(Value::from(i.profiler.report(&crate::bc::OPCODE_NAMES))),
+                "reset" => {
+                    i.profiler.reset();
+                    Ok(Value::empty())
+                }
+                bad => Err(TclError::Error(format!(
+                    "bad profile option \"{bad}\": must be on, off, report, or reset"
+                ))),
+            }
+        }
         other => Err(TclError::Error(format!(
-            "bad option \"{other}\": must be bcstats, bcenable, bcdisable, cachestats, cacheclear, cachelimit, or shimmerstats"
+            "bad option \"{other}\": must be bcstats, bcenable, bcdisable, cachestats, cacheclear, cachelimit, profile, or shimmerstats"
         ))),
     }
 }

@@ -188,6 +188,8 @@ pub struct Interp {
     /// captured at construction. The compiler only inlines a special form
     /// while its name still resolves to the pristine handler.
     bc_builtins: Vec<(&'static str, CmdFn)>,
+    /// Per-proc time / per-opcode hit profiler (`interp profile …`).
+    pub(crate) profiler: crate::profile::Profiler,
 }
 
 /// The command names the bytecode compiler lowers to dedicated opcodes.
@@ -259,6 +261,25 @@ impl Default for Interp {
     }
 }
 
+/// The one-line script preview used as `tcl.eval` span detail: at most
+/// 32 characters, whitespace flattened so span trees stay one line per
+/// span.
+fn span_preview(script: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in script.chars().enumerate() {
+        if i == 32 {
+            out.push_str("...");
+            break;
+        }
+        out.push(if c == '\n' || c == '\r' || c == '\t' {
+            ' '
+        } else {
+            c
+        });
+    }
+    out
+}
+
 impl Interp {
     /// Creates an interpreter with all built-in commands registered.
     pub fn new() -> Self {
@@ -279,6 +300,7 @@ impl Interp {
             bc_epoch: 0,
             bc_stats: BcStats::default(),
             bc_builtins: Vec::new(),
+            profiler: crate::profile::Profiler::default(),
         };
         crate::commands::register_all(&mut interp);
         // Snapshot the pristine handlers of the inlinable commands: the
@@ -712,10 +734,16 @@ impl Interp {
                 "too many nested calls to Tcl_Eval (infinite loop?)",
             ));
         }
+        let span = self
+            .telemetry
+            .span_begin("tcl.eval", || span_preview(script));
         let r = match self.lookup_or_compile(script) {
             Some(c) => self.eval_compiled_inner(&c),
             None => self.eval_inner(script),
         };
+        if span {
+            self.telemetry.span_end();
+        }
         self.depth -= 1;
         if timer.is_some() {
             self.telemetry.count("tcl.evals");
@@ -738,7 +766,11 @@ impl Interp {
         // Our own handle: cache eviction during evaluation must not be
         // able to drop the script out from under us.
         let script = script.clone();
+        let span = self.telemetry.span_begin("tcl.eval", String::new);
         let r = self.eval_compiled_inner(&script);
+        if span {
+            self.telemetry.span_end();
+        }
         self.depth -= 1;
         if timer.is_some() {
             self.telemetry.count("tcl.evals");
@@ -1089,10 +1121,18 @@ impl Interp {
         self.frames.push(frame);
         let saved_active = self.active;
         self.active = self.frames.len() - 1;
+        let span = self.telemetry.span_begin("tcl.proc", || name.to_string());
+        let prof = self.profiler.enter(name);
         let r = match (&p.compiled, self.cache_enabled()) {
             (Some(c), true) => self.eval_compiled(c),
             _ => self.eval(&p.body),
         };
+        if prof {
+            self.profiler.exit();
+        }
+        if span {
+            self.telemetry.span_end();
+        }
         self.frames.pop();
         self.active = saved_active;
         match r {

@@ -39,6 +39,7 @@ pub mod hash;
 pub mod interp;
 pub mod list;
 pub mod parser;
+pub(crate) mod profile;
 pub mod regex;
 pub mod value;
 

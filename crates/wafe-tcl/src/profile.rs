@@ -1,0 +1,194 @@
+//! The interpreter profiler: per-proc inclusive/exclusive time and
+//! call counts, plus per-opcode hit counters for the bytecode VM.
+//!
+//! Rides the same hooks as the span layer: `call_proc` brackets each
+//! proc body with [`Profiler::enter`]/[`Profiler::exit`], and the VM
+//! dispatch loop feeds [`Profiler::opcode_hit`]. Everything is one
+//! `enabled` bool away when off — no clock reads, no hashing.
+//!
+//! Inclusive time is the whole body (children included); exclusive time
+//! subtracts the inclusive time of directly nested proc calls, so a
+//! thin wrapper shows up cheap even when what it wraps is hot. Call
+//! counts and opcode hits are deterministic; the times are wall-clock
+//! and only meaningful relatively.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ProcStat {
+    calls: u64,
+    incl_ns: u64,
+    excl_ns: u64,
+}
+
+#[derive(Debug)]
+struct ProfFrame {
+    name: String,
+    start: Instant,
+    /// Inclusive nanoseconds of directly nested proc calls.
+    child_ns: u64,
+}
+
+/// Per-proc and per-opcode execution profile (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct Profiler {
+    enabled: bool,
+    procs: HashMap<String, ProcStat>,
+    stack: Vec<ProfFrame>,
+    /// Indexed by `bc::Instr::opcode()`; sized lazily on first hit.
+    opcode_hits: Vec<u64>,
+}
+
+impl Profiler {
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns profiling on or off. Frames opened under the other setting
+    /// are abandoned so enters and exits can never cross a toggle.
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.stack.clear();
+    }
+
+    /// Opens a frame for a proc body. Returns whether one was pushed —
+    /// the caller gates the matching [`Profiler::exit`] on it.
+    #[inline]
+    pub(crate) fn enter(&mut self, name: &str) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.stack.push(ProfFrame {
+            name: name.to_string(),
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        true
+    }
+
+    /// Closes the innermost frame, folding its time into the stats.
+    pub(crate) fn exit(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let incl_ns = frame.start.elapsed().as_nanos() as u64;
+        let excl_ns = incl_ns.saturating_sub(frame.child_ns);
+        let stat = self.procs.entry(frame.name).or_default();
+        stat.calls += 1;
+        stat.incl_ns += incl_ns;
+        stat.excl_ns += excl_ns;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += incl_ns;
+        }
+    }
+
+    /// Counts one dispatch of the given opcode.
+    #[inline]
+    pub(crate) fn opcode_hit(&mut self, opcode: usize) {
+        if self.opcode_hits.len() <= opcode {
+            self.opcode_hits.resize(opcode + 1, 0);
+        }
+        self.opcode_hits[opcode] += 1;
+    }
+
+    /// Drops all collected data (the enabled flag is kept — `interp
+    /// profile reset` re-arms measurement, it does not stop it).
+    pub(crate) fn reset(&mut self) {
+        self.procs.clear();
+        self.stack.clear();
+        self.opcode_hits.clear();
+    }
+
+    /// The report behind `interp profile report`: one `proc` line per
+    /// called proc (hottest inclusive first, name-ordered on ties) then
+    /// one `op` line per dispatched opcode (most hits first). Call and
+    /// hit counts are deterministic; the microsecond columns are wall
+    /// clock.
+    pub(crate) fn report(&self, opcode_names: &[&str]) -> String {
+        let mut procs: Vec<(&String, &ProcStat)> = self.procs.iter().collect();
+        procs.sort_by(|a, b| b.1.incl_ns.cmp(&a.1.incl_ns).then_with(|| a.0.cmp(b.0)));
+        let mut lines: Vec<String> = procs
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "proc {} calls {} inclUs {} exclUs {}",
+                    name,
+                    s.calls,
+                    s.incl_ns / 1_000,
+                    s.excl_ns / 1_000
+                )
+            })
+            .collect();
+        let mut ops: Vec<(usize, u64)> = self
+            .opcode_hits
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, hits)| hits > 0)
+            .collect();
+        ops.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (op, hits) in ops {
+            let name = opcode_names.get(op).copied().unwrap_or("?");
+            lines.push(format!("op {name} hits {hits}"));
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_enter_is_free() {
+        let mut p = Profiler::default();
+        assert!(!p.enter("f"));
+        p.exit();
+        assert_eq!(p.report(&[]), "");
+    }
+
+    #[test]
+    fn nested_calls_split_inclusive_and_exclusive() {
+        let mut p = Profiler::default();
+        p.set_enabled(true);
+        assert!(p.enter("outer"));
+        assert!(p.enter("inner"));
+        p.exit();
+        p.exit();
+        let report = p.report(&[]);
+        assert!(report.contains("proc outer calls 1"), "{report}");
+        assert!(report.contains("proc inner calls 1"), "{report}");
+        let outer = p.procs.get("outer").unwrap();
+        let inner = p.procs.get("inner").unwrap();
+        assert!(outer.incl_ns >= inner.incl_ns, "outer includes inner");
+        assert_eq!(
+            outer.excl_ns,
+            outer.incl_ns - inner.incl_ns,
+            "exclusive subtracts the nested call"
+        );
+    }
+
+    #[test]
+    fn toggle_mid_call_abandons_the_frame() {
+        let mut p = Profiler::default();
+        p.set_enabled(true);
+        assert!(p.enter("f"));
+        p.set_enabled(false);
+        p.exit(); // caller's guarded exit: stack already empty
+        assert!(p.procs.is_empty());
+    }
+
+    #[test]
+    fn opcode_hits_render_sorted_by_count() {
+        let mut p = Profiler::default();
+        p.set_enabled(true);
+        p.opcode_hit(2);
+        p.opcode_hit(0);
+        p.opcode_hit(2);
+        assert_eq!(p.report(&["A", "B", "C"]), "op C hits 2\nop A hits 1");
+        p.reset();
+        assert_eq!(p.report(&["A", "B", "C"]), "");
+    }
+}

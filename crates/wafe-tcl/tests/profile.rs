@@ -1,0 +1,57 @@
+//! The `interp profile` profiler surface: per-proc call counts with an
+//! inclusive/exclusive time split, and per-opcode hit counters from
+//! the bytecode VM — all driven through Tcl, the way an operator would.
+
+use wafe_tcl::Interp;
+
+fn run(i: &mut Interp, script: &str) -> String {
+    i.eval(script).unwrap().to_string()
+}
+
+#[test]
+fn profile_counts_proc_calls_and_opcode_hits() {
+    let mut i = Interp::new();
+    run(&mut i, "proc leaf {x} {expr {$x + 1}}");
+    run(
+        &mut i,
+        "proc outer {n} {set s 0; for {set k 0} {$k < $n} {incr k} {set s [leaf $s]}; set s}",
+    );
+    // on/off report the previous state, so toggles compose in scripts.
+    assert_eq!(run(&mut i, "interp profile on"), "0");
+    assert_eq!(run(&mut i, "outer 10"), "10");
+    assert_eq!(run(&mut i, "interp profile off"), "1");
+
+    let report = run(&mut i, "interp profile report");
+    assert!(report.contains("proc outer calls 1 "), "{report}");
+    assert!(report.contains("proc leaf calls 10 "), "{report}");
+    // The VM loop ran while enabled, so opcode counters are non-zero.
+    assert!(report.lines().any(|l| l.starts_with("op ")), "{report}");
+
+    // leaf calls no procs: inclusive == exclusive. outer's exclusive
+    // time excludes the ten leaf calls it contains.
+    for line in report.lines() {
+        let w: Vec<&str> = line.split_whitespace().collect();
+        if w[0] == "proc" {
+            let incl: u64 = w[5].parse().unwrap();
+            let excl: u64 = w[7].parse().unwrap();
+            assert!(incl >= excl, "{line}");
+            if w[1] == "leaf" {
+                assert_eq!(incl, excl, "{line}");
+            }
+        }
+    }
+
+    // Nothing recorded while off; reset wipes what was.
+    run(&mut i, "outer 3");
+    assert!(run(&mut i, "interp profile report").contains("calls 10 "));
+    run(&mut i, "interp profile reset");
+    assert_eq!(run(&mut i, "interp profile report"), "");
+}
+
+#[test]
+fn profile_is_off_by_default_and_records_nothing() {
+    let mut i = Interp::new();
+    run(&mut i, "proc p {} {return x}");
+    run(&mut i, "p");
+    assert_eq!(run(&mut i, "interp profile report"), "");
+}

@@ -209,4 +209,75 @@ mod tests {
         assert!(s.p50_ns >= 100 && s.p50_ns <= 200, "p50 = {}", s.p50_ns);
         assert!(s.p99_ns <= 200);
     }
+
+    #[test]
+    fn empty_percentiles_at_every_rank() {
+        let h = Histogram::new();
+        for p in [0.001, 1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "empty histogram, p{p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_every_percentile_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(4_321);
+        let s = h.snapshot();
+        assert_eq!(s.min_ns, 4_321);
+        assert_eq!(s.max_ns, 4_321);
+        // min/max trim the interpolation range to the observed value,
+        // so every percentile collapses to it.
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 4_321, "single sample, p{p}");
+        }
+        assert_eq!(s.sum_ns, 4_321);
+    }
+
+    #[test]
+    fn top_bucket_saturation_uses_observed_max() {
+        let mut h = Histogram::new();
+        // Everything above the 1 s bound: the overflow bucket has no
+        // upper bound of its own, so interpolation must use min/max.
+        h.record(2_000_000_000);
+        h.record(4_000_000_000);
+        h.record(8_000_000_000);
+        assert_eq!(h.bucket_counts()[BUCKET_COUNT - 1], 3);
+        let s = h.snapshot();
+        assert!(
+            s.p50_ns >= 2_000_000_000 && s.p50_ns <= 8_000_000_000,
+            "p50 = {}",
+            s.p50_ns
+        );
+        assert_eq!(h.percentile(100.0), 8_000_000_000);
+        assert_eq!(s.min_ns, 2_000_000_000);
+        assert_eq!(s.max_ns, 8_000_000_000);
+    }
+
+    #[test]
+    fn ladder_boundary_values_land_inclusive() {
+        // Bounds are inclusive upper edges: a sample exactly on a bound
+        // lands in that bucket, one past it in the next.
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            let mut h = Histogram::new();
+            h.record(bound);
+            assert_eq!(h.bucket_counts()[i], 1, "bound {bound} on its bucket");
+            let mut h = Histogram::new();
+            h.record(bound + 1);
+            assert_eq!(
+                h.bucket_counts()[i + 1],
+                1,
+                "bound {bound}+1 in the next bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sample_lands_in_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        let s = h.snapshot();
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.p50_ns, 0, "interpolation clamps to the observed max");
+    }
 }

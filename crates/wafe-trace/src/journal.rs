@@ -29,6 +29,8 @@ pub struct Journal {
     /// buffer is full).
     head: usize,
     next_seq: u64,
+    /// Events overwritten by wraparound.
+    dropped: u64,
 }
 
 impl Default for Journal {
@@ -45,6 +47,7 @@ impl Journal {
             capacity: capacity.max(1),
             head: 0,
             next_seq: 1,
+            dropped: 0,
         }
     }
 
@@ -64,6 +67,7 @@ impl Journal {
         } else {
             self.buf[self.head] = rec;
             self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
         }
         seq
     }
@@ -81,6 +85,12 @@ impl Journal {
     /// Total events ever pushed (retained or dropped).
     pub fn total_pushed(&self) -> u64 {
         self.next_seq - 1
+    }
+
+    /// Events overwritten by ring wraparound — a non-zero value means
+    /// the journal is a truncated view of what actually happened.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The configured capacity.
@@ -131,6 +141,7 @@ mod tests {
         push_n(&mut j, 10);
         assert_eq!(j.len(), 4);
         assert_eq!(j.total_pushed(), 10);
+        assert_eq!(j.dropped(), 6, "overwrites are counted, not silent");
         let recent = j.recent(10);
         let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9, 10]);
@@ -173,5 +184,16 @@ mod tests {
         assert!(j.is_empty());
         let seq = j.push(0, "test.event", "after clear".into());
         assert_eq!(seq, 4, "sequence numbers never restart");
+    }
+
+    #[test]
+    fn dropped_stays_zero_until_wrap() {
+        let mut j = Journal::new(3);
+        push_n(&mut j, 3);
+        assert_eq!(j.dropped(), 0);
+        j.push(99, "test.event", "wrap".into());
+        assert_eq!(j.dropped(), 1);
+        j.clear();
+        assert_eq!(j.dropped(), 1, "clear does not forget past drops");
     }
 }

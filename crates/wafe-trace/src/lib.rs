@@ -41,8 +41,10 @@
 //! assert_eq!(t.journal_recent(10).len(), 1);
 //! ```
 
+pub mod export;
 pub mod histogram;
 pub mod journal;
+pub mod span;
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -51,9 +53,15 @@ use std::time::Instant;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, BUCKET_COUNT};
 pub use journal::{EventRecord, Journal, DEFAULT_JOURNAL_CAPACITY};
+pub use span::{SpanRecord, SpanStats, SpanStore, TraceId, DEFAULT_SPAN_CAPACITY};
 
 /// The environment variable that enables telemetry at startup.
 pub const TELEMETRY_ENV_VAR: &str = "WAFE_TELEMETRY";
+
+/// The environment variable that enables span recording at startup
+/// (independent of `WAFE_TELEMETRY`: spans carry per-request cost, so
+/// they get their own switch).
+pub const SPANS_ENV_VAR: &str = "WAFE_SPANS";
 
 struct Inner {
     enabled: Cell<bool>,
@@ -61,6 +69,8 @@ struct Inner {
     gauges: RefCell<BTreeMap<&'static str, u64>>,
     histograms: RefCell<BTreeMap<&'static str, Histogram>>,
     journal: RefCell<Journal>,
+    spans_enabled: Cell<bool>,
+    spans: RefCell<SpanStore>,
     epoch: Instant,
 }
 
@@ -86,19 +96,24 @@ impl Telemetry {
                 gauges: RefCell::new(BTreeMap::new()),
                 histograms: RefCell::new(BTreeMap::new()),
                 journal: RefCell::new(Journal::default()),
+                spans_enabled: Cell::new(false),
+                spans: RefCell::new(SpanStore::default()),
                 epoch: Instant::now(),
             }),
         }
     }
 
     /// A fresh store, enabled when the `WAFE_TELEMETRY` environment
-    /// variable is set to anything but `0` or the empty string.
+    /// variable is set to anything but `0` or the empty string; span
+    /// recording is armed the same way by `WAFE_SPANS`.
     pub fn from_env() -> Self {
         let t = Self::new();
-        if let Ok(v) = std::env::var(TELEMETRY_ENV_VAR) {
-            if !v.is_empty() && v != "0" {
-                t.set_enabled(true);
-            }
+        let armed = |var: &str| matches!(std::env::var(var), Ok(v) if !v.is_empty() && v != "0");
+        if armed(TELEMETRY_ENV_VAR) {
+            t.set_enabled(true);
+        }
+        if armed(SPANS_ENV_VAR) {
+            t.set_spans_enabled(true);
         }
         t
     }
@@ -198,15 +213,128 @@ impl Telemetry {
         self.inner.journal.borrow().recent(n)
     }
 
-    /// `(retained, total_pushed, capacity)` of the journal.
-    pub fn journal_stats(&self) -> (usize, u64, usize) {
+    /// `(retained, total_pushed, dropped, capacity)` of the journal.
+    pub fn journal_stats(&self) -> (usize, u64, u64, usize) {
         let j = self.inner.journal.borrow();
-        (j.len(), j.total_pushed(), j.capacity())
+        (j.len(), j.total_pushed(), j.dropped(), j.capacity())
     }
 
     /// Replaces the journal with an empty one of the given capacity.
     pub fn set_journal_capacity(&self, capacity: usize) {
         *self.inner.journal.borrow_mut() = Journal::new(capacity);
+    }
+
+    // ----- spans ------------------------------------------------------
+
+    /// Whether span recording is active (independent of the counter /
+    /// histogram / journal flag — spans carry per-request allocation
+    /// cost, so they get their own switch).
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.spans_enabled.get()
+    }
+
+    /// Turns span recording on or off. Open spans are abandoned in
+    /// **both** directions: a begin recorded under one setting must
+    /// never pair with an end issued under the other.
+    pub fn set_spans_enabled(&self, on: bool) {
+        self.inner.spans_enabled.set(on);
+        self.inner.spans.borrow_mut().clear_open();
+    }
+
+    /// Opens a span as a child of the current innermost span (or as a
+    /// fresh trace root when none is open). Returns whether a span was
+    /// actually pushed — the caller must gate the matching
+    /// [`span_end`](Self::span_end) on it, so a toggle between begin
+    /// and end cannot unbalance the stack. The detail closure runs only
+    /// when recording.
+    #[inline]
+    pub fn span_begin<F: FnOnce() -> String>(&self, kind: &'static str, detail: F) -> bool {
+        if !self.spans_enabled() {
+            return false;
+        }
+        self.inner.spans.borrow_mut().begin(kind, detail());
+        true
+    }
+
+    /// Opens the root span of a fresh trace regardless of nesting — the
+    /// per-dispatched-command entry point. Same contract as
+    /// [`span_begin`](Self::span_begin).
+    #[inline]
+    pub fn span_begin_root<F: FnOnce() -> String>(&self, kind: &'static str, detail: F) -> bool {
+        if !self.spans_enabled() {
+            return false;
+        }
+        self.inner.spans.borrow_mut().begin_root(kind, detail());
+        true
+    }
+
+    /// Closes the innermost open span.
+    #[inline]
+    pub fn span_end(&self) {
+        self.inner.spans.borrow_mut().end();
+    }
+
+    /// Opens a detached span — one that outlives the stack discipline,
+    /// like a backend roundtrip closed by a later reply. It is
+    /// attributed to the active trace (innermost open span, else the
+    /// most recent root). Returns a token for
+    /// [`span_end_detached`](Self::span_end_detached), or 0 when
+    /// disabled (0 is never a valid token).
+    #[inline]
+    pub fn span_begin_detached<F: FnOnce() -> String>(&self, kind: &'static str, detail: F) -> u64 {
+        if !self.spans_enabled() {
+            return 0;
+        }
+        self.inner.spans.borrow_mut().begin_detached(kind, detail())
+    }
+
+    /// Closes a detached span by its token; unknown tokens (including
+    /// 0) are a no-op.
+    #[inline]
+    pub fn span_end_detached(&self, token: u64) {
+        if token != 0 {
+            self.inner.spans.borrow_mut().end_detached(token);
+        }
+    }
+
+    /// The trace the next event would be attributed to, if any.
+    pub fn current_trace(&self) -> Option<TraceId> {
+        if !self.spans_enabled() {
+            return None;
+        }
+        self.inner.spans.borrow().active_trace()
+    }
+
+    /// `" trace=G:S"` for the active trace, or the empty string — the
+    /// ready-to-append form journal details use to tag supervisor
+    /// events with their causing command.
+    pub fn trace_note(&self) -> String {
+        match self.current_trace() {
+            Some(t) => format!(" trace={t}"),
+            None => String::new(),
+        }
+    }
+
+    /// The most recent `n` finished spans, oldest first.
+    pub fn spans_recent(&self, n: usize) -> Vec<SpanRecord> {
+        self.inner.spans.borrow().recent(n)
+    }
+
+    /// Occupancy counters of the span ring.
+    pub fn span_stats(&self) -> SpanStats {
+        self.inner.spans.borrow().stats()
+    }
+
+    /// Drops all open and finished spans (serials and the generation
+    /// keep counting).
+    pub fn spans_clear(&self) {
+        self.inner.spans.borrow_mut().clear();
+    }
+
+    /// Replaces the span ring with an empty one of the given capacity.
+    pub fn set_span_capacity(&self, capacity: usize) {
+        self.inner.spans.borrow_mut().set_capacity(capacity);
     }
 
     // ----- snapshot and reset ----------------------------------------
@@ -258,6 +386,9 @@ impl Telemetry {
         // included (unlike Journal::clear, which preserves them).
         let mut journal = self.inner.journal.borrow_mut();
         *journal = Journal::new(journal.capacity());
+        // Spans restart too, but under a bumped generation so trace IDs
+        // issued before the reset can never collide with new ones.
+        self.inner.spans.borrow_mut().reset();
     }
 }
 
@@ -374,6 +505,64 @@ mod tests {
         // documented "unset means disabled" default here.
         std::env::remove_var(TELEMETRY_ENV_VAR);
         assert!(!Telemetry::from_env().enabled());
+    }
+
+    #[test]
+    fn spans_disabled_are_free_and_closures_do_not_run() {
+        let t = Telemetry::new();
+        assert!(!t.spans_enabled());
+        let pushed = t.span_begin("x", || panic!("detail closure must not run while disabled"));
+        assert!(!pushed);
+        assert_eq!(
+            t.span_begin_detached("y", || panic!("detail closure must not run while disabled")),
+            0
+        );
+        t.span_end();
+        t.span_end_detached(0);
+        assert_eq!(t.span_stats().total, 0);
+        assert!(t.current_trace().is_none());
+        assert_eq!(t.trace_note(), "");
+    }
+
+    #[test]
+    fn span_toggle_mid_scope_cannot_unbalance() {
+        let t = Telemetry::new();
+        t.set_spans_enabled(true);
+        let outer = t.span_begin("outer", String::new);
+        assert!(outer);
+        // Disabled mid-scope: the open span is abandoned, and the
+        // caller's guarded end must hit an empty stack harmlessly.
+        t.set_spans_enabled(false);
+        let inner = t.span_begin("inner", String::new);
+        assert!(!inner);
+        t.span_end(); // outer's guarded end
+        assert_eq!(t.span_stats().total, 0, "abandoned spans never finish");
+        assert_eq!(t.span_stats().open, 0);
+    }
+
+    #[test]
+    fn trace_note_names_the_active_trace() {
+        let t = Telemetry::new();
+        t.set_spans_enabled(true);
+        t.span_begin_root("cmd", String::new);
+        assert_eq!(t.trace_note(), " trace=1:1");
+        t.span_end();
+        // The root is remembered so late events still attribute.
+        assert_eq!(t.trace_note(), " trace=1:1");
+    }
+
+    #[test]
+    fn reset_bumps_span_generation() {
+        let t = Telemetry::new();
+        t.set_spans_enabled(true);
+        t.span_begin_root("a", String::new);
+        t.span_end();
+        t.reset();
+        assert!(t.spans_enabled(), "reset must not disable spans");
+        assert!(t.spans_recent(10).is_empty());
+        t.span_begin_root("b", String::new);
+        t.span_end();
+        assert_eq!(t.spans_recent(1)[0].trace.to_string(), "2:1");
     }
 
     #[test]

@@ -122,6 +122,21 @@ assert lh >= 3.0, "e23: loop_heavy_factor %.2fx < 3x" % lh
 print("  loop_heavy_factor: %.2fx (gate >=3x) ok" % lh)
 ' || { echo "BENCH_e23.json: malformed or below the 3x gate"; exit 1; }
 
+# E26 is the observability plane: the run itself asserts output parity
+# with spans/profiler on, and the gate below requires the *disabled*
+# cost (span checks + the per-instruction profiler branch, computed
+# from per-site costs inside one binary) to stay within 2% of the
+# all-off baseline on the E19 loop-heavy workload.
+echo "== bench e26 smoke run + <=2% disabled-overhead gate"
+run_bench e26_span_overhead
+python3 -c '
+import json
+d = json.load(open("BENCH_e26.json"))
+pct = d["disabled_overhead_pct"]
+assert pct <= 2.0, "e26: disabled overhead %.2f%% > 2%%" % pct
+print("  disabled overhead: %.2f%% (gate <=2%%) ok" % pct)
+' || { echo "BENCH_e26.json: malformed or above the 2% disabled gate"; exit 1; }
+
 # The band was 5% while the cached side was tree-walked; the bytecode
 # VM cut cached iteration times ~3x, which widened the run-to-run
 # spread of the ratio to +/-30% on a busy machine. 70% of baseline

@@ -10,20 +10,25 @@
 //! ```text
 //! waferd [--listen ADDR] [--unix PATH] [--max-sessions N]
 //!        [--queue-depth N] [--workers N] [--idle-evict MS]
-//!        [--drain-timeout MS] [--telemetry] [--motif] [--quiet]
+//!        [--drain-timeout MS] [--telemetry] [--metrics ADDR]
+//!        [--motif] [--quiet]
 //! ```
 //!
-//! The server runs until a client issues `%serve drain`.
+//! `--metrics ADDR` opens a second TCP listener that answers every
+//! connection with one Prometheus text-exposition page of the
+//! server-wide counters and closes — scrape-friendly without an HTTP
+//! stack. The server runs until a client issues `%serve drain`.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::exit;
 
 use wafe_core::Flavor;
-use wafe_serve::{Server, ServerConfig};
+use wafe_serve::{Registry, Server, ServerConfig};
 
 const USAGE: &str = "usage: waferd [--listen ADDR] [--unix PATH] [--max-sessions N] \
 [--queue-depth N] [--workers N] [--idle-evict MS] [--drain-timeout MS] \
-[--telemetry] [--motif] [--quiet]";
+[--telemetry] [--metrics ADDR] [--motif] [--quiet]";
 
 fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| {
@@ -45,6 +50,7 @@ fn main() {
         log_passthrough: true,
         ..ServerConfig::default()
     };
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,6 +68,7 @@ fn main() {
                 config.limits.drain_timeout_ms = numeric(&mut args, "--drain-timeout")
             }
             "--telemetry" => config.telemetry = true,
+            "--metrics" => metrics_addr = Some(value(&mut args, "--metrics")),
             "--motif" => config.flavor = Flavor::Both,
             "--quiet" => config.log_passthrough = false,
             "--help" | "-h" => {
@@ -85,6 +92,44 @@ fn main() {
         // Scripts parse this line to learn the picked port.
         println!("waferd listening tcp {addr}");
     }
+    if let Some(addr) = metrics_addr {
+        match start_metrics_listener(&addr, server.registry().clone()) {
+            Ok(local) => println!("waferd metrics tcp {local}"),
+            Err(e) => {
+                eprintln!("waferd: cannot open metrics listener on {addr}: {e}");
+                exit(2);
+            }
+        }
+    }
     server.wait();
     println!("waferd drained");
+}
+
+/// The ops scrape endpoint: a detached thread that answers every
+/// connection with one `HTTP/1.0` page of Prometheus text exposition
+/// (the registry's server-wide counters) and closes. Write-and-close is
+/// deliberately request-agnostic: `curl`, `nc` and a real scraper all
+/// get the same bytes, with no HTTP parser to maintain. The thread dies
+/// with the process when the drain finishes.
+fn start_metrics_listener(
+    addr: &str,
+    registry: std::sync::Arc<Registry>,
+) -> std::io::Result<std::net::SocketAddr> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let body = wafe_trace::export::prometheus_text(&registry.metrics_pairs());
+            let _ = stream.write_all(
+                format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+    });
+    Ok(local)
 }
