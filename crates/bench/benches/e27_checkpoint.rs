@@ -1,0 +1,178 @@
+//! E27 — park/restore latency: is hot handoff actually hot?
+//!
+//! PR 8 parks idle sessions instead of evicting them: the scheduler
+//! serializes the whole session (interp variables and procs, widget
+//! tree, resource DB, queued outbound lines) into a versioned snapshot
+//! and a later reconnect restores it. The design claim is that a
+//! restore is cheap enough to hide inside a connection handshake —
+//! the reconnecting client must not notice that its session ceased to
+//! exist in between.
+//!
+//! The workload is a deliberately non-trivial session: the E19
+//! `factor` proc plus its computed results in variables, a dozen
+//! widgets with resources, a merged resource DB and a queued outbound
+//! tail. We measure, over many iterations each:
+//!
+//! * **park** — capture the live session and encode the snapshot;
+//! * **restore** — decode the snapshot and replay it into a fresh
+//!   session.
+//!
+//! Latency percentiles (p50/p90/p99) go to `BENCH_e27.json`. The
+//! acceptance gate is restore p99 ≤ 10 ms: above that, "hot handoff"
+//! would be a reconnect stall the user can feel.
+
+use std::time::{Duration, Instant};
+
+use bench::{criterion_group, criterion_main, workspace_root, Criterion};
+use wafe_core::{Flavor, SessionSnapshot, WafeSession};
+
+const FACTOR_TCL: &str = "\
+proc factor {n} {\n\
+    set result {}\n\
+    for {set d 2} {$d <= $n} {incr d} {\n\
+        while {$n % $d == 0} {\n\
+            set result [linsert $result 0 $d]\n\
+            set n [expr {$n / $d}]\n\
+        }\n\
+    }\n\
+    return [join $result *]\n\
+}";
+
+const ITERS: usize = 300;
+
+/// A warm session the way the scheduler would park one: a proc that
+/// has run, its results in variables, widgets realized, resources
+/// merged.
+fn warm_session() -> (WafeSession, Vec<String>) {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval(FACTOR_TCL).unwrap();
+    for n in [3599, 1234, 99991, 262144] {
+        s.eval(&format!("set f{n} [factor {n}]")).unwrap();
+    }
+    for w in 0..12 {
+        s.eval(&format!("label row{w} topLevel label {{result row {w}}}"))
+            .unwrap();
+    }
+    s.eval("command go topLevel label Go callback {echo pressed}")
+        .unwrap();
+    s.eval("mergeResources *Font fixed *row3.label {hot handoff}")
+        .unwrap();
+    s.eval("realize").unwrap();
+    let outbound: Vec<String> = (0..8).map(|i| format!("queued line {i}")).collect();
+    (s, outbound)
+}
+
+/// Nearest-rank percentile over a sorted sample, in microseconds.
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+fn sorted_samples<F: FnMut() -> Duration>(mut one: F) -> Vec<Duration> {
+    // Warm-up iterations are discarded: the first decode touches cold
+    // allocator paths that a long-running waferd never sees again.
+    for _ in 0..20 {
+        one();
+    }
+    let mut samples: Vec<Duration> = (0..ITERS).map(|_| one()).collect();
+    samples.sort_unstable();
+    samples
+}
+
+fn bench(c: &mut Criterion) {
+    bench::banner("E27", "session park/restore latency (checkpoint codec)");
+
+    let (mut session, outbound) = warm_session();
+    let bytes = SessionSnapshot::capture(&session, outbound.clone()).encode();
+
+    // The handoff must be lossless before it is worth timing.
+    let snap = SessionSnapshot::decode(&bytes).unwrap();
+    let mut check = WafeSession::new(Flavor::Athena);
+    let report = snap.restore_into(&mut check);
+    assert_eq!(report.widgets_skipped, 0, "{report:?}");
+    assert_eq!(
+        check.eval("set f3599").unwrap(),
+        session.eval("set f3599").unwrap()
+    );
+    assert_eq!(
+        SessionSnapshot::capture(&check, outbound.clone()).encode(),
+        bytes,
+        "park → restore → park must be a fixed point"
+    );
+
+    let park = sorted_samples(|| {
+        let t = Instant::now();
+        let b = SessionSnapshot::capture(&session, outbound.clone()).encode();
+        std::hint::black_box(b);
+        t.elapsed()
+    });
+    let restore = sorted_samples(|| {
+        let t = Instant::now();
+        let snap = SessionSnapshot::decode(&bytes).unwrap();
+        let mut fresh = WafeSession::new(Flavor::Athena);
+        let report = snap.restore_into(&mut fresh);
+        std::hint::black_box(&report);
+        t.elapsed()
+    });
+
+    let (park_p50, park_p90, park_p99) = (
+        percentile_us(&park, 50.0),
+        percentile_us(&park, 90.0),
+        percentile_us(&park, 99.0),
+    );
+    let (restore_p50, restore_p90, restore_p99) = (
+        percentile_us(&restore, 50.0),
+        percentile_us(&restore, 90.0),
+        percentile_us(&restore, 99.0),
+    );
+
+    bench::row("snapshot size", format!("{} bytes", bytes.len()));
+    bench::row(
+        "park (capture+encode)",
+        format!("p50 {park_p50:.1} µs  p90 {park_p90:.1} µs  p99 {park_p99:.1} µs"),
+    );
+    bench::row(
+        "restore (decode+replay)",
+        format!("p50 {restore_p50:.1} µs  p90 {restore_p90:.1} µs  p99 {restore_p99:.1} µs"),
+    );
+
+    let out = format!(
+        "{{\n  \"experiment\": \"e27_checkpoint\",\n  \"workload\": \"warm_factor_session_12_widgets\",\n  \
+         \"snapshot_bytes\": {},\n  \
+         \"iters\": {ITERS},\n  \
+         \"park_p50_us\": {park_p50:.1},\n  \
+         \"park_p90_us\": {park_p90:.1},\n  \
+         \"park_p99_us\": {park_p99:.1},\n  \
+         \"restore_p50_us\": {restore_p50:.1},\n  \
+         \"restore_p90_us\": {restore_p90:.1},\n  \
+         \"restore_p99_us\": {restore_p99:.1}\n}}\n",
+        bytes.len()
+    );
+    let path = workspace_root().join("BENCH_e27.json");
+    std::fs::write(&path, out).expect("write BENCH_e27.json");
+    println!("  wrote {}", path.display());
+
+    assert!(
+        restore_p99 <= 10_000.0,
+        "acceptance: restore p99 must be <=10ms for hot handoff, got {restore_p99:.1} µs"
+    );
+
+    let mut group = c.benchmark_group("e27_checkpoint");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    group.sample_size(11);
+    group.bench_function("park_warm_session", |b| {
+        b.iter(|| SessionSnapshot::capture(&session, outbound.clone()).encode());
+    });
+    group.bench_function("restore_warm_session", |b| {
+        b.iter(|| {
+            let snap = SessionSnapshot::decode(&bytes).unwrap();
+            let mut fresh = WafeSession::new(Flavor::Athena);
+            snap.restore_into(&mut fresh)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -48,6 +48,10 @@ fn register_backend_controls(session: &mut WafeSession) {
             "serve",
             "requires server mode (no waferd scheduler attached)",
         ),
+        (
+            "session",
+            "requires server mode (no session registry attached)",
+        ),
     ] {
         let controls = session.controls.clone();
         session.register_handwritten_command(name, move |_interp, argv| {

@@ -29,7 +29,9 @@ pub mod naming;
 pub mod natives;
 pub mod percent;
 pub mod session;
+pub mod snapshot;
 pub mod spec;
 
 pub use args::{split_args, SplitArgs};
 pub use session::{ControlHandler, Flavor, WafeSession};
+pub use snapshot::{RestoreReport, SessionSnapshot, WidgetSnap, FORMAT_VERSION};

@@ -1,0 +1,401 @@
+//! Session checkpointing: a versioned, length-prefixed binary snapshot
+//! of a [`WafeSession`] — the rolling-restart foundation behind
+//! waferd's park/restore (`docs/checkpoint.md`).
+//!
+//! A snapshot has four sections, each length-prefixed so a reader can
+//! refuse a truncated blob loudly:
+//!
+//! 1. **Interp** — global variables and procs, rep-preserving
+//!    ([`wafe_tcl::InterpSnapshot`]).
+//! 2. **Widgets** — structural creation records (name, class, parent,
+//!    managed, re-convertible resource values, class-private state),
+//!    replayed through `create_widget`/`set_resource` on restore.
+//! 3. **Resource DB** — the Xrm database's specification lines, in
+//!    insertion order (precedence ties resolve identically on replay).
+//! 4. **Outbound** — application-bound lines queued at capture time
+//!    (the supervisor's bounded queue in frontend mode, the protocol
+//!    engine's pending lines in serve mode); the embedding replays them
+//!    in order after restore.
+//!
+//! ## Versioning policy
+//!
+//! The header is the magic `WAFESNAP` plus a `u32` format version.
+//! A reader accepts exactly its own [`FORMAT_VERSION`] and rejects
+//! anything else with an error naming both versions — **never** a
+//! best-effort decode of an unknown layout. Any layout change, however
+//! small, bumps the version; parked sessions do not survive a format
+//! bump (they are re-creatable state, and a silent mis-decode is worse
+//! than an explicit re-login).
+
+use wafe_tcl::snapshot::{wire, InterpSnapshot};
+
+use crate::session::WafeSession;
+
+/// The 8-byte magic every snapshot starts with.
+pub const MAGIC: &[u8; 8] = b"WAFESNAP";
+
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One widget's structural creation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidgetSnap {
+    /// Instance name.
+    pub name: String,
+    /// Class name.
+    pub class: String,
+    /// Parent instance name (None for shells created on the display).
+    pub parent: Option<String>,
+    /// Created managed?
+    pub managed: bool,
+    /// Had a window at capture time (re-realized on restore).
+    pub realized: bool,
+    /// Creation arguments rebuilding the non-default resource state.
+    pub init: Vec<(String, String)>,
+    /// Class-private instance state (text content, toggle state …),
+    /// key-sorted.
+    pub state: Vec<(String, String)>,
+}
+
+/// What a restore actually did — surfaced in telemetry and the
+/// `session snapshots` listing rather than silently swallowed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Widgets created (or updated in place for pre-existing names).
+    pub widgets: usize,
+    /// Widget records that could not be replayed (e.g. class missing in
+    /// this flavour).
+    pub widgets_skipped: usize,
+    /// Globals set.
+    pub globals: usize,
+    /// Procs defined.
+    pub procs: usize,
+}
+
+/// A versioned snapshot of one session. Build with
+/// [`capture`](Self::capture), move as bytes via
+/// [`encode`](Self::encode)/[`decode`](Self::decode), and apply to a
+/// fresh session with [`restore_into`](Self::restore_into).
+#[derive(Debug, Clone, Default)]
+pub struct SessionSnapshot {
+    /// Interpreter globals and procs.
+    pub interp: InterpSnapshot,
+    /// Widget creation records, in creation order.
+    pub widgets: Vec<WidgetSnap>,
+    /// Xrm database lines, in insertion order.
+    pub xrm_lines: Vec<String>,
+    /// Application-bound lines queued at capture time.
+    pub outbound: Vec<String>,
+}
+
+impl SessionSnapshot {
+    /// Captures a session's persistent state. `outbound` is whatever
+    /// application-bound queue the embedding owns at park time (the
+    /// session itself cannot see it).
+    pub fn capture(session: &WafeSession, outbound: Vec<String>) -> SessionSnapshot {
+        let interp = InterpSnapshot::capture(&session.interp);
+        let app = session.app.borrow();
+        let mut widgets = Vec::new();
+        for id in app.widgets_in_creation_order() {
+            let rec = app.widget(id);
+            let mut state: Vec<(String, String)> = rec
+                .state
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            state.sort();
+            widgets.push(WidgetSnap {
+                name: rec.name.clone(),
+                class: rec.class.name.clone(),
+                parent: rec.parent.map(|p| app.widget(p).name.clone()),
+                managed: rec.managed,
+                realized: rec.realized,
+                init: app.snapshot_init_pairs(id),
+                state,
+            });
+        }
+        SessionSnapshot {
+            interp,
+            widgets,
+            xrm_lines: app.resource_db.lines(),
+            outbound,
+        }
+    }
+
+    /// Applies the snapshot to a freshly built session of the same
+    /// flavour: merges the resource DB, replays widget creation,
+    /// defines procs and sets globals. Returns what was restored; the
+    /// caller replays [`outbound`](Self::outbound) through its own
+    /// transport afterwards.
+    pub fn restore_into(&self, session: &mut WafeSession) -> RestoreReport {
+        let mut report = RestoreReport {
+            globals: self.interp.globals.len(),
+            procs: self.interp.procs.len(),
+            ..RestoreReport::default()
+        };
+        {
+            let mut app = session.app.borrow_mut();
+            for line in &self.xrm_lines {
+                app.resource_db.insert_line(line);
+            }
+            for snap in &self.widgets {
+                let existing = app.lookup(&snap.name);
+                let id = match existing {
+                    Some(id) => {
+                        // The fresh session already made this widget
+                        // (the automatic topLevel shell): update its
+                        // resources in place instead of re-creating.
+                        for (name, text) in &snap.init {
+                            let _ = app.set_resource(id, name, text);
+                        }
+                        id
+                    }
+                    None => {
+                        let parent = snap.parent.as_ref().and_then(|p| app.lookup(p));
+                        if snap.parent.is_some() && parent.is_none() {
+                            report.widgets_skipped += 1;
+                            continue;
+                        }
+                        match app.create_widget(
+                            &snap.name,
+                            &snap.class,
+                            parent,
+                            0,
+                            &snap.init,
+                            snap.managed,
+                        ) {
+                            Ok(id) => id,
+                            Err(_) => {
+                                report.widgets_skipped += 1;
+                                continue;
+                            }
+                        }
+                    }
+                };
+                for (k, v) in &snap.state {
+                    app.set_state(id, k, v.clone());
+                }
+                report.widgets += 1;
+            }
+            for snap in &self.widgets {
+                if !snap.realized {
+                    continue;
+                }
+                if let Some(id) = app.lookup(&snap.name) {
+                    if !app.is_realized(id) {
+                        app.realize(id);
+                    }
+                }
+            }
+        }
+        self.interp.apply(&mut session.interp);
+        report
+    }
+
+    /// Encodes the snapshot: `WAFESNAP`, version, then the four
+    /// length-prefixed sections.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        wire::put_u32(&mut buf, FORMAT_VERSION);
+
+        let mut section = Vec::new();
+        self.interp.encode_into(&mut section);
+        put_section(&mut buf, &section);
+
+        section.clear();
+        wire::put_u32(&mut section, self.widgets.len() as u32);
+        for w in &self.widgets {
+            wire::put_str(&mut section, &w.name);
+            wire::put_str(&mut section, &w.class);
+            wire::put_opt_str(&mut section, w.parent.as_deref());
+            wire::put_u8(&mut section, w.managed as u8);
+            wire::put_u8(&mut section, w.realized as u8);
+            put_pairs(&mut section, &w.init);
+            put_pairs(&mut section, &w.state);
+        }
+        put_section(&mut buf, &section);
+
+        section.clear();
+        put_lines(&mut section, &self.xrm_lines);
+        put_section(&mut buf, &section);
+
+        section.clear();
+        put_lines(&mut section, &self.outbound);
+        put_section(&mut buf, &section);
+        buf
+    }
+
+    /// Decodes a snapshot, accepting exactly [`FORMAT_VERSION`].
+    pub fn decode(bytes: &[u8]) -> Result<SessionSnapshot, String> {
+        Self::decode_as(bytes, FORMAT_VERSION)
+    }
+
+    /// Decodes a snapshot against an explicit reader version — the
+    /// version-compatibility tests use this to model a future reader.
+    /// The policy is exact match: any other version is rejected with an
+    /// error naming both versions, never a best-effort decode.
+    pub fn decode_as(bytes: &[u8], reader_version: u32) -> Result<SessionSnapshot, String> {
+        let mut r = wire::Reader::new(bytes);
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err("not a Wafe snapshot (bad magic)".to_string());
+        }
+        let version = r.u32()?;
+        if version != reader_version {
+            return Err(format!(
+                "snapshot format version {version} not supported (reader expects {reader_version})"
+            ));
+        }
+
+        let interp_bytes = take_section(&mut r)?;
+        let mut ir = wire::Reader::new(interp_bytes);
+        let interp = InterpSnapshot::decode_from(&mut ir)?;
+        ir.done()?;
+
+        let widget_bytes = take_section(&mut r)?;
+        let mut wr = wire::Reader::new(widget_bytes);
+        let nwidgets = wr.u32()? as usize;
+        let mut widgets = Vec::new();
+        for _ in 0..nwidgets {
+            widgets.push(WidgetSnap {
+                name: wr.str()?,
+                class: wr.str()?,
+                parent: wr.opt_str()?,
+                managed: wr.u8()? != 0,
+                realized: wr.u8()? != 0,
+                init: take_pairs(&mut wr)?,
+                state: take_pairs(&mut wr)?,
+            });
+        }
+        wr.done()?;
+
+        let xrm_bytes = take_section(&mut r)?;
+        let mut xr = wire::Reader::new(xrm_bytes);
+        let xrm_lines = take_lines(&mut xr)?;
+        xr.done()?;
+
+        let out_bytes = take_section(&mut r)?;
+        let mut or = wire::Reader::new(out_bytes);
+        let outbound = take_lines(&mut or)?;
+        or.done()?;
+
+        r.done()?;
+        Ok(SessionSnapshot {
+            interp,
+            widgets,
+            xrm_lines,
+            outbound,
+        })
+    }
+}
+
+fn put_section(buf: &mut Vec<u8>, section: &[u8]) {
+    wire::put_u32(buf, section.len() as u32);
+    buf.extend_from_slice(section);
+}
+
+fn take_section<'a>(r: &mut wire::Reader<'a>) -> Result<&'a [u8], String> {
+    let n = r.u32()? as usize;
+    r.take(n)
+}
+
+fn put_pairs(buf: &mut Vec<u8>, pairs: &[(String, String)]) {
+    wire::put_u32(buf, pairs.len() as u32);
+    for (k, v) in pairs {
+        wire::put_str(buf, k);
+        wire::put_str(buf, v);
+    }
+}
+
+fn take_pairs(r: &mut wire::Reader) -> Result<Vec<(String, String)>, String> {
+    let n = r.u32()? as usize;
+    let mut pairs = Vec::new();
+    for _ in 0..n {
+        let k = r.str()?;
+        pairs.push((k, r.str()?));
+    }
+    Ok(pairs)
+}
+
+fn put_lines(buf: &mut Vec<u8>, lines: &[String]) {
+    wire::put_u32(buf, lines.len() as u32);
+    for l in lines {
+        wire::put_str(buf, l);
+    }
+}
+
+fn take_lines(r: &mut wire::Reader) -> Result<Vec<String>, String> {
+    let n = r.u32()? as usize;
+    let mut lines = Vec::new();
+    for _ in 0..n {
+        lines.push(r.str()?);
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Flavor;
+
+    fn park_restore(session: &WafeSession, outbound: Vec<String>) -> (WafeSession, Vec<String>) {
+        let bytes = SessionSnapshot::capture(session, outbound).encode();
+        let snap = SessionSnapshot::decode(&bytes).unwrap();
+        // Canonical encoding: re-encoding the decoded snapshot is
+        // byte-identical.
+        assert_eq!(snap.encode(), bytes);
+        let mut fresh = WafeSession::new(Flavor::Athena);
+        snap.restore_into(&mut fresh);
+        (fresh, snap.outbound.clone())
+    }
+
+    #[test]
+    fn interp_state_and_widgets_survive() {
+        let mut s = WafeSession::new(Flavor::Athena);
+        s.eval("set user maria").unwrap();
+        s.eval("proc greet {who} {return \"hello $who\"}").unwrap();
+        s.eval("label hello topLevel label {Hello World}").unwrap();
+        s.eval("mergeResources *Font fixed").unwrap();
+        let (mut fresh, _) = park_restore(&s, vec![]);
+        assert_eq!(fresh.eval("greet $user").unwrap(), "hello maria");
+        assert!(fresh.app.borrow().lookup("hello").is_some());
+        let app = fresh.app.borrow();
+        let hello = app.lookup("hello").unwrap();
+        assert_eq!(
+            app.get_resource_string(hello, "label").unwrap(),
+            "Hello World"
+        );
+        assert_eq!(app.resource_db.lines(), vec!["*Font: fixed".to_string()]);
+    }
+
+    #[test]
+    fn realized_tree_is_rerealized() {
+        let mut s = WafeSession::new(Flavor::Athena);
+        s.eval("command go topLevel label Go callback {echo hi}")
+            .unwrap();
+        s.eval("realize").unwrap();
+        let (fresh, _) = park_restore(&s, vec![]);
+        let app = fresh.app.borrow();
+        let go = app.lookup("go").unwrap();
+        assert!(app.is_realized(go), "restored tree must be realized again");
+    }
+
+    #[test]
+    fn outbound_lines_ride_along_in_order() {
+        let s = WafeSession::new(Flavor::Athena);
+        let queued = vec!["first".to_string(), "second".into(), "third".into()];
+        let (_, out) = park_restore(&s, queued.clone());
+        assert_eq!(out, queued);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_both_versions_named() {
+        let s = WafeSession::new(Flavor::Athena);
+        let bytes = SessionSnapshot::capture(&s, vec![]).encode();
+        let err = SessionSnapshot::decode_as(&bytes, FORMAT_VERSION + 1).unwrap_err();
+        assert!(err.contains(&format!("version {FORMAT_VERSION}")), "{err}");
+        assert!(err.contains(&(FORMAT_VERSION + 1).to_string()), "{err}");
+        assert!(SessionSnapshot::decode(b"NOTASNAP").is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Version-compatibility pinning for the session snapshot format.
+//!
+//! `tests/fixtures/snapshot-v1.wsnap` is a **checked-in** format-v1
+//! blob. These tests hold the format to its documented policy
+//! (`docs/checkpoint.md`):
+//!
+//! * today's reader decodes the checked-in blob and restores the exact
+//!   session state it was captured from;
+//! * a reader with a bumped version rejects the blob with an error
+//!   naming both versions — never a silent best-effort decode;
+//! * today's encoder still produces the blob byte-for-byte, so *any*
+//!   layout change — however small — fails here and forces the author
+//!   to bump [`FORMAT_VERSION`] and regenerate the fixture
+//!   (`cargo test -p wafe-core regenerate_snapshot_fixture -- --ignored`).
+
+use wafe_core::{Flavor, SessionSnapshot, WafeSession, FORMAT_VERSION};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/snapshot-v1.wsnap"
+);
+
+/// The state frozen into the fixture. Deterministic by construction:
+/// widget ids are virtual, captures are key-sorted, and no clock or
+/// randomness is involved.
+fn fixture_session() -> (WafeSession, Vec<String>) {
+    let mut s = WafeSession::new(Flavor::Athena);
+    s.eval("set user maria").unwrap();
+    s.eval("set visits 42").unwrap();
+    s.eval("proc greet {who} {return \"hello $who\"}").unwrap();
+    s.eval("label banner topLevel label {Frozen State}")
+        .unwrap();
+    s.eval("command go topLevel label Go callback {echo pressed}")
+        .unwrap();
+    s.eval("mergeResources *Font fixed *banner.label {Frozen State}")
+        .unwrap();
+    s.eval("realize").unwrap();
+    let outbound = vec!["queued-one".to_string(), "queued-two".to_string()];
+    (s, outbound)
+}
+
+#[test]
+fn checked_in_v1_blob_decodes_and_restores() {
+    let bytes = std::fs::read(FIXTURE).expect("fixture present and checked in");
+    let snap = SessionSnapshot::decode(&bytes).expect("current reader accepts v1");
+    assert_eq!(snap.outbound, ["queued-one", "queued-two"]);
+
+    let mut fresh = WafeSession::new(Flavor::Athena);
+    let report = snap.restore_into(&mut fresh);
+    assert_eq!(report.widgets_skipped, 0, "{report:?}");
+    assert_eq!(fresh.eval("greet $user").unwrap(), "hello maria");
+    assert_eq!(fresh.eval("expr {$visits + 1}").unwrap(), "43");
+    let app = fresh.app.borrow();
+    let banner = app.lookup("banner").expect("banner restored");
+    assert_eq!(
+        app.get_resource_string(banner, "label").unwrap(),
+        "Frozen State"
+    );
+    assert!(app.is_realized(banner), "realized flag survives");
+}
+
+#[test]
+fn future_reader_rejects_the_v1_blob_naming_both_versions() {
+    let bytes = std::fs::read(FIXTURE).expect("fixture present and checked in");
+    // Model the next format revision: a reader whose FORMAT_VERSION was
+    // bumped. The policy is an explicit refusal — decoding garbage
+    // against the wrong layout is the failure mode the version header
+    // exists to prevent.
+    let err = SessionSnapshot::decode_as(&bytes, FORMAT_VERSION + 1).unwrap_err();
+    assert!(
+        err.contains(&format!("version {FORMAT_VERSION}")),
+        "error must name the blob's version: {err}"
+    );
+    assert!(
+        err.contains(&format!("expects {}", FORMAT_VERSION + 1)),
+        "error must name the reader's version: {err}"
+    );
+}
+
+#[test]
+fn todays_encoder_still_writes_the_fixture_bytes() {
+    let bytes = std::fs::read(FIXTURE).expect("fixture present and checked in");
+    let (s, outbound) = fixture_session();
+    assert_eq!(
+        SessionSnapshot::capture(&s, outbound).encode(),
+        bytes,
+        "snapshot layout changed: bump FORMAT_VERSION, regenerate the \
+         fixture as snapshot-v{FORMAT_VERSION}.wsnap and extend these \
+         tests per docs/checkpoint.md"
+    );
+}
+
+/// Regenerates the fixture. Deliberately `#[ignore]`d: run it once
+/// after a format change (with the version already bumped), commit the
+/// new blob, and keep the old one for the rejection test.
+#[test]
+#[ignore = "writes tests/fixtures/snapshot-v1.wsnap; run after a format bump"]
+fn regenerate_snapshot_fixture() {
+    let (s, outbound) = fixture_session();
+    let bytes = SessionSnapshot::capture(&s, outbound).encode();
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")).unwrap();
+    std::fs::write(FIXTURE, &bytes).unwrap();
+    eprintln!("wrote {} bytes to {FIXTURE}", bytes.len());
+}

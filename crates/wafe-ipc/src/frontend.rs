@@ -343,6 +343,32 @@ impl Frontend {
         self.supervisor.kill_child_process();
     }
 
+    /// Checkpoints the frontend into an encoded [`SessionSnapshot`]:
+    /// the session's persistent state plus every application-bound line
+    /// still queued — the protocol engine's pending lines followed by
+    /// the supervisor's bounded outbound queue, preserving delivery
+    /// order. Capture does not consume either queue; the live frontend
+    /// keeps running unchanged.
+    pub fn park_snapshot(&self) -> Vec<u8> {
+        let mut outbound = self.engine.peek_app_lines();
+        outbound.extend(self.supervisor.core().borrow().queued_lines());
+        wafe_core::SessionSnapshot::capture(&self.engine.session, outbound).encode()
+    }
+
+    /// Restores a parked snapshot into this frontend's session and
+    /// replays the captured outbound lines through the supervisor —
+    /// delivered immediately while the backend runs, queued (bounded)
+    /// while it is down and flushed in order after the next restart:
+    /// the exact replay machinery crash recovery already uses.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<wafe_core::RestoreReport, String> {
+        let snap = wafe_core::SessionSnapshot::decode(bytes)?;
+        let report = snap.restore_into(&mut self.engine.session);
+        for line in &snap.outbound {
+            self.supervisor.send(line).map_err(|e| e.to_string())?;
+        }
+        Ok(report)
+    }
+
     /// Tears the backend down for good (cleanup in tests).
     pub fn kill(&mut self) {
         self.supervisor.shutdown();

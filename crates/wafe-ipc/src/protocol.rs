@@ -274,6 +274,12 @@ impl ProtocolEngine {
         self.to_app.borrow().len()
     }
 
+    /// The application-bound lines currently buffered, without draining
+    /// them — checkpoint capture reads the queue it must preserve.
+    pub fn peek_app_lines(&self) -> Vec<String> {
+        self.to_app.borrow().iter().cloned().collect()
+    }
+
     /// Takes the non-command lines passed through to the frontend stdout.
     pub fn take_passthrough(&mut self) -> Vec<String> {
         std::mem::take(&mut self.passthrough)

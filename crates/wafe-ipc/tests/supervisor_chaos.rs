@@ -265,6 +265,85 @@ fn queue_overflow_drops_newest_with_accounting() {
 }
 
 #[test]
+fn park_and_restore_into_a_fresh_process_replays_the_queue_byte_identically() {
+    // The checkpoint/restore acceptance scenario: the backend is killed
+    // mid-conversation, further sends pile into the supervisor's
+    // bounded queue, the whole session is parked — queue included —
+    // and restored into a brand-new process. The replayed queue must
+    // make the new backend produce byte-identical results to a control
+    // run that never saw a kill or a park.
+    let script = r#"while read l; do echo "%lappend log $l"; done"#;
+
+    // Control: the same three sends, uninterrupted.
+    let mut control = spawn_sh(script, fast_restarts(0), "");
+    for msg in ["one", "two", "three"] {
+        control.send_to_app(msg).unwrap();
+    }
+    run_until(&mut control, 500, |fe| {
+        fe.engine
+            .session
+            .interp
+            .get_var("log")
+            .map(|v| v == "one two three")
+            .unwrap_or(false)
+    });
+    let want: String = control.engine.session.interp.get_var("log").unwrap().into();
+    control.kill();
+
+    // Experiment: "one" is delivered, then the backend dies
+    // mid-conversation. The remaining sends queue against the dead
+    // pipe (breaker open, no restart budget), and the session is
+    // parked with the queue still pending.
+    let mut supervisor = fast_restarts(0);
+    supervisor.stay_alive_when_broken = true;
+    let mut fe = spawn_sh(script, supervisor, "");
+    fe.engine
+        .session
+        .eval("proc stamp {x} {return \"tagged $x\"}")
+        .unwrap();
+    fe.send_to_app("one").unwrap();
+    run_until(&mut fe, 500, |fe| {
+        fe.engine.session.interp.var_exists("log")
+    });
+    fe.kill_backend();
+    fe.send_to_app("two").unwrap();
+    fe.send_to_app("three").unwrap();
+    assert!(fe.step(Duration::from_millis(10)).unwrap());
+    assert_eq!(fe.backend_state(), BackendState::Broken);
+    let bytes = fe.park_snapshot();
+    fe.kill();
+
+    // A brand-new process: restore the snapshot; the supervisor's
+    // replay machinery delivers the parked queue in order.
+    let mut supervisor = fast_restarts(0);
+    supervisor.stay_alive_when_broken = true;
+    let mut fe2 = spawn_sh(script, supervisor, "");
+    let report = fe2.restore_snapshot(&bytes).unwrap();
+    assert!(report.globals >= 1, "{report:?}");
+    assert!(report.procs >= 1, "{report:?}");
+    run_until(&mut fe2, 500, |fe| {
+        fe.engine
+            .session
+            .interp
+            .get_var("log")
+            .map(|v| v == want.as_str())
+            .unwrap_or(false)
+    });
+    assert_eq!(
+        String::from(fe2.engine.session.interp.get_var("log").unwrap()),
+        want,
+        "park + restore + replay must be byte-identical to the control run"
+    );
+    // Interp state (the proc) came through the snapshot too.
+    assert_eq!(
+        fe2.engine.session.eval("stamp done").unwrap(),
+        "tagged done"
+    );
+    assert_eq!(fe2.supervisor_stats().queue_dropped, 0);
+    fe2.kill();
+}
+
+#[test]
 fn roundtrip_timeout_restarts_a_mute_backend() {
     // The backend reads the request but never answers; the round-trip
     // timeout (virtual time) declares the fault.

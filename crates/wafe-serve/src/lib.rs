@@ -20,7 +20,11 @@
 //!   worker, round-robin sweeps of at most `quantum` lines per session
 //!   (a flooding client cannot starve a quiet one), idle eviction and
 //!   drain timeout on a virtual-tick clock. Everything the tests
-//!   assert lives here, with no threads and no wall clock.
+//!   assert lives here, with no threads and no wall clock. Idle
+//!   eviction *parks* the session — a versioned `SessionSnapshot`
+//!   kept by the registry under the generation-stamped id — and a
+//!   reconnect saying `session restore <id>` gets it back, queued
+//!   outbound lines replayed in order (`docs/checkpoint.md`).
 //! * [`server`] — the socket transport: acceptor threads, a bounded
 //!   worker pool, per-connection reader/writer threads, graceful drain.
 //!
@@ -39,5 +43,5 @@ pub mod server;
 
 pub use mailbox::{Mailbox, SessionSink};
 pub use registry::{Limits, Registry, ServerStats, SessionId, ShedReason, LIMIT_KEYS};
-pub use scheduler::{install_serve_control, Scheduler};
+pub use scheduler::{install_serve_control, install_session_control, Scheduler, SessionCtl};
 pub use server::{Server, ServerConfig};

@@ -6,7 +6,9 @@
 //! place locking happens: a single short-held [`Mutex`] around plain
 //! data, plus a lock-free draining flag the accept loops poll.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -138,6 +140,21 @@ pub struct ServerStats {
     pub closed: u64,
     /// Protocol lines dispatched across all sessions.
     pub commands: u64,
+    /// Sessions parked (idle eviction, drain park-all, `session park`).
+    pub parked: u64,
+    /// Parked snapshots restored into a reconnecting session.
+    pub restored: u64,
+    /// Restore attempts naming an unknown or already-taken snapshot.
+    pub restore_miss: u64,
+}
+
+/// One parked session's checkpoint, held by the registry until a
+/// reconnect claims it (or, with a park directory, until a later
+/// process claims it from disk).
+#[derive(Debug, Clone)]
+struct Parked {
+    bytes: Vec<u8>,
+    parked_ms: u64,
 }
 
 /// Per-session bookkeeping for the `serve sessions` listing.
@@ -155,6 +172,14 @@ struct Inner {
     slots: Vec<Option<Slot>>,
     limits: Limits,
     stats: ServerStats,
+    /// Parked snapshots, keyed by the full stamped identity. The
+    /// generation stamp is what makes park/reconnect race-free: a slot
+    /// may be re-tenanted immediately, but `slot:generation` never
+    /// recurs, so a parked id can neither collide nor be forged stale.
+    parked: HashMap<(u32, u32), Parked>,
+    /// Snapshot persistence directory (`waferd --park-dir`); parks are
+    /// written through and restores remove the file.
+    park_dir: Option<PathBuf>,
 }
 
 /// The shared half of the server. Cheap to clone behind an `Arc`; every
@@ -179,6 +204,8 @@ impl Registry {
                 slots: Vec::new(),
                 limits,
                 stats: ServerStats::default(),
+                parked: HashMap::new(),
+                park_dir: None,
             }),
             draining: AtomicBool::new(false),
         }
@@ -264,6 +291,15 @@ impl Registry {
         self.lock().stats.evicted += 1;
     }
 
+    /// Counts a restore attempt that named an unknown snapshot (the
+    /// in-band `session restore` validation path; [`take_parked`]
+    /// counts its own misses).
+    ///
+    /// [`take_parked`]: Registry::take_parked
+    pub fn note_restore_miss(&self) {
+        self.lock().stats.restore_miss += 1;
+    }
+
     /// Sessions currently registered.
     pub fn active(&self) -> usize {
         self.lock().slots.iter().filter(|s| s.is_some()).count()
@@ -287,6 +323,125 @@ impl Registry {
     /// Sets one Tcl-visible limit.
     pub fn set_limit(&self, key: &str, value: &str) -> Result<(), String> {
         self.lock().limits.set(key, value)
+    }
+
+    /// Parks a session's encoded snapshot under its stamped identity.
+    /// With a park directory configured, the snapshot is also written
+    /// through to `park-<slot>-<generation>.wsnap` so it survives a
+    /// process restart; a write failure fails the park loudly rather
+    /// than silently keeping a memory-only checkpoint.
+    pub fn park(&self, id: SessionId, bytes: Vec<u8>, now_ms: u64) -> Result<(), String> {
+        let mut inner = self.lock();
+        if let Some(dir) = inner.park_dir.clone() {
+            let path = dir.join(park_file_name(id));
+            std::fs::write(&path, &bytes)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        inner.parked.insert(
+            (id.slot, id.generation),
+            Parked {
+                bytes,
+                parked_ms: now_ms,
+            },
+        );
+        inner.stats.parked += 1;
+        Ok(())
+    }
+
+    /// Claims a parked snapshot, removing it from the registry (and the
+    /// park directory, if one is configured). `None` counts a restore
+    /// miss: the id was never parked, or was already claimed.
+    pub fn take_parked(&self, id: SessionId) -> Option<Vec<u8>> {
+        let mut inner = self.lock();
+        match inner.parked.remove(&(id.slot, id.generation)) {
+            Some(p) => {
+                inner.stats.restored += 1;
+                if let Some(dir) = inner.park_dir.clone() {
+                    let _ = std::fs::remove_file(dir.join(park_file_name(id)));
+                }
+                Some(p.bytes)
+            }
+            None => {
+                inner.stats.restore_miss += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a snapshot is parked under this exact stamped identity.
+    pub fn has_parked(&self, id: SessionId) -> bool {
+        self.lock().parked.contains_key(&(id.slot, id.generation))
+    }
+
+    /// Snapshots currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.lock().parked.len()
+    }
+
+    /// `session snapshots` payload: one `{id bytes parkedMs}` sublist
+    /// per parked snapshot, in id order.
+    pub fn parked_words(&self) -> Vec<String> {
+        let inner = self.lock();
+        let mut keys: Vec<&(u32, u32)> = inner.parked.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|&(slot, generation)| {
+                let p = &inner.parked[&(slot, generation)];
+                wafe_tcl::list_join(&[
+                    SessionId { slot, generation }.to_string(),
+                    p.bytes.len().to_string(),
+                    p.parked_ms.to_string(),
+                ])
+            })
+            .collect()
+    }
+
+    /// Whether parked snapshots are written through to disk — when
+    /// true, a graceful drain parks every live session instead of
+    /// dropping it, so the sessions survive the restart.
+    pub fn park_persistent(&self) -> bool {
+        self.lock().park_dir.is_some()
+    }
+
+    /// Configures the park directory and loads any snapshots a previous
+    /// process left there. Loading seeds each slot's generation floor
+    /// past the parked generation, so new admissions can never mint an
+    /// id that collides with a pre-restart parked one. Returns how many
+    /// snapshots were loaded.
+    pub fn set_park_dir(&self, dir: PathBuf) -> Result<usize, String> {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut loaded = Vec::new();
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let name = entry.file_name();
+            let Some(id) = parse_park_file_name(&name.to_string_lossy()) else {
+                continue;
+            };
+            let bytes = std::fs::read(entry.path())
+                .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+            loaded.push((id, bytes));
+        }
+        let mut inner = self.lock();
+        for (id, bytes) in loaded {
+            let idx = id.slot as usize;
+            if idx >= inner.slots.len() {
+                inner.slots.resize(idx + 1, None);
+                inner.generations.resize(idx + 1, 1);
+            }
+            inner.generations[idx] = inner.generations[idx].max(id.generation + 1);
+            inner.parked.insert(
+                (id.slot, id.generation),
+                Parked {
+                    bytes,
+                    parked_ms: 0,
+                },
+            );
+        }
+        inner.park_dir = Some(dir);
+        Ok(inner.parked.len())
     }
 
     /// Whether a drain is in progress.
@@ -318,6 +473,10 @@ impl Registry {
             ("evicted", s.evicted.to_string()),
             ("closed", s.closed.to_string()),
             ("commands", s.commands.to_string()),
+            ("parked", s.parked.to_string()),
+            ("restored", s.restored.to_string()),
+            ("restoreMiss", s.restore_miss.to_string()),
+            ("parkedNow", inner.parked.len().to_string()),
         ]
         .into_iter()
         .flat_map(|(k, v): (&str, String)| [k.to_string(), v])
@@ -342,6 +501,10 @@ impl Registry {
             ("evicted", s.evicted),
             ("closed", s.closed),
             ("commands", s.commands),
+            ("parked", s.parked),
+            ("restored", s.restored),
+            ("restoreMiss", s.restore_miss),
+            ("parkedNow", inner.parked.len() as u64),
         ]
         .into_iter()
         .map(|(k, v)| (format!("serve.server.{k}"), v.to_string()))
@@ -373,6 +536,21 @@ impl Registry {
             })
             .collect()
     }
+}
+
+/// `park-<slot>-<generation>.wsnap`, the on-disk name of one parked
+/// snapshot.
+fn park_file_name(id: SessionId) -> String {
+    format!("park-{}-{}.wsnap", id.slot, id.generation)
+}
+
+fn parse_park_file_name(name: &str) -> Option<SessionId> {
+    let rest = name.strip_prefix("park-")?.strip_suffix(".wsnap")?;
+    let (slot, generation) = rest.split_once('-')?;
+    Some(SessionId {
+        slot: slot.parse().ok()?,
+        generation: generation.parse().ok()?,
+    })
 }
 
 #[cfg(test)]
@@ -420,6 +598,53 @@ mod tests {
         assert_eq!(r.limits().quantum, 1, "quantum floor keeps progress");
         assert!(r.set_limit("nosuchknob", "1").is_err());
         assert!(r.set_limit("quantum", "fast").is_err());
+    }
+
+    #[test]
+    fn parked_snapshots_are_claimed_exactly_once() {
+        let r = Registry::default();
+        let id = r.admit("one", 0).unwrap();
+        r.park(id, vec![1, 2, 3], 7).unwrap();
+        assert!(r.has_parked(id));
+        assert_eq!(r.parked_words(), vec!["0:1 3 7".to_string()]);
+        r.release(id);
+        let reused = r.admit("two", 0).unwrap();
+        assert_eq!(reused.slot, id.slot);
+        assert!(
+            !r.has_parked(reused),
+            "new tenant's stamped id must not see the old tenant's snapshot"
+        );
+        assert_eq!(r.take_parked(id), Some(vec![1, 2, 3]));
+        assert_eq!(r.take_parked(id), None, "second claim is a miss");
+        let s = r.stats();
+        assert_eq!((s.parked, s.restored, s.restore_miss), (1, 1, 1));
+    }
+
+    #[test]
+    fn park_dir_persists_and_seeds_generation_floors() {
+        let dir = std::env::temp_dir().join(format!("wafe-park-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let r = Registry::default();
+        r.set_park_dir(dir.clone()).unwrap();
+        let id = r.admit("one", 0).unwrap();
+        r.park(id, b"snapshot-bytes".to_vec(), 0).unwrap();
+        r.release(id);
+        assert!(dir.join("park-0-1.wsnap").exists());
+
+        // A fresh registry (a restarted waferd) finds the snapshot and
+        // will never mint 0:1 again.
+        let r2 = Registry::default();
+        assert_eq!(r2.set_park_dir(dir.clone()).unwrap(), 1);
+        let fresh = r2.admit("two", 0).unwrap();
+        assert_eq!((fresh.slot, fresh.generation), (0, 2));
+        assert_eq!(r2.take_parked(id), Some(b"snapshot-bytes".to_vec()));
+        assert!(
+            !dir.join("park-0-1.wsnap").exists(),
+            "claim removes the file"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

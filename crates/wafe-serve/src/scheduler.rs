@@ -19,21 +19,43 @@
 //! Reply semantics mirror frontend mode byte-for-byte: only lines the
 //! session *sends to the application* (echo output) reach the client;
 //! command results and errors do not. The server adds exactly one thing
-//! the pipe never carried — `!`-prefixed overload notices (`!shed
-//! queue-full`, `!evicted idle`), which appear only past the configured
-//! limits, so a client inside its limits sees a byte-identical stream.
+//! the pipe never carried — `!`-prefixed notices (`!shed queue-full`,
+//! `!parked <id>`, `!restored <id>`), which appear only past the
+//! configured limits or around an explicit park/restore, so a client
+//! inside its limits sees a byte-identical stream.
+//!
+//! Idle eviction *parks* rather than discards: the session is captured
+//! into a [`SessionSnapshot`], the registry keeps the encoded bytes
+//! under the generation-stamped [`SessionId`], and a later connection
+//! saying `session restore <id>` gets the whole session back — widget
+//! tree, interpreter state and the outbound lines that were still
+//! queued, replayed in order right after the `!restored` ack.
 
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 use std::sync::Arc;
 
-use wafe_core::{Flavor, WafeSession};
+use wafe_core::{Flavor, SessionSnapshot, WafeSession};
 use wafe_ipc::ProtocolEngine;
 
 use crate::mailbox::{Mailbox, SessionSink};
 use crate::registry::{Registry, SessionId, LIMIT_KEYS};
 
+/// Deferred `session park`/`session restore` requests. The control
+/// handler runs *inside* the session's own interpreter, which cannot
+/// snapshot or replace the engine it is executing in — so the handler
+/// only raises a flag here and the scheduler acts on it after the
+/// quantum, from outside the engine.
+#[derive(Default)]
+pub struct SessionCtl {
+    park: Cell<bool>,
+    restore: RefCell<Option<SessionId>>,
+}
+
 struct Entry {
     id: SessionId,
     engine: ProtocolEngine,
+    ctl: Rc<SessionCtl>,
     mailbox: Arc<Mailbox>,
     sink: SessionSink,
     last_activity_ms: u64,
@@ -85,17 +107,15 @@ impl Scheduler {
     /// Builds the session for an admitted connection and takes it into
     /// the round-robin ring.
     pub fn attach(&mut self, id: SessionId, mailbox: Arc<Mailbox>, sink: SessionSink) {
-        let mut engine = ProtocolEngine::new(self.flavor);
-        if self.telemetry {
-            engine.session.telemetry.set_enabled(true);
-        }
-        install_serve_control(&self.registry, &mut engine.session);
+        let ctl = Rc::new(SessionCtl::default());
+        let engine = build_engine(&self.registry, self.flavor, self.telemetry, &ctl);
         let tel = engine.session.telemetry.clone();
         tel.count("serve.accept");
         tel.set_gauge("serve.sessions.active", self.registry.active() as u64);
         self.sessions.push(Entry {
             id,
             engine,
+            ctl,
             mailbox,
             sink,
             last_activity_ms: self.now_ms,
@@ -138,12 +158,35 @@ impl Scheduler {
                 tel.observe_since("serve.dispatch", timer);
                 tel.count("serve.commands");
                 ran += 1;
+                // A park or restore request ends the quantum: lines
+                // still queued must run in the session as it exists
+                // *after* the action — not in the engine that is about
+                // to be captured or replaced.
+                if entry.ctl.park.get() || entry.ctl.restore.borrow().is_some() {
+                    break;
+                }
             }
             if ran > 0 {
                 dispatched += ran;
                 entry.last_activity_ms = self.now_ms;
                 self.registry.note_commands(entry.id, ran as u64);
             }
+            // Deferred `session` control actions, acted on before the
+            // outbound flush: lines still pending inside the engine
+            // ride the snapshot on park, and follow `!restored` on
+            // restore — either way they are never silently dropped.
+            let park_req = entry.ctl.park.take();
+            let restore_req = entry.ctl.restore.borrow_mut().take();
+            if park_req {
+                let entry = self.sessions.remove(i);
+                self.park_entry(entry, "manual");
+                continue;
+            }
+            if let Some(old) = restore_req {
+                self.restore_entry(i, old);
+            }
+            let entry = &mut self.sessions[i];
+            let tel = entry.engine.session.telemetry.clone();
             // Outbound: only application-bound lines, like the pipe.
             for out in entry.engine.take_app_lines() {
                 if !entry.sink.send(&out) {
@@ -173,7 +216,20 @@ impl Scheduler {
                 || (entry.mailbox.is_closed() && entry.mailbox.is_empty());
             if finished {
                 let entry = self.sessions.remove(i);
-                self.finish(entry);
+                // A persistent drain (waferd --park-dir) parks every
+                // session it flushes instead of dropping it, so the
+                // whole server's state survives the restart. Sessions
+                // that quit or hung up are gone by choice and are not
+                // parked.
+                let drain_park = self.registry.draining()
+                    && self.registry.park_persistent()
+                    && !entry.gone
+                    && !entry.engine.session.quit_requested();
+                if drain_park {
+                    self.park_entry(entry, "drain");
+                } else {
+                    self.finish(entry);
+                }
             } else {
                 i += 1;
             }
@@ -192,11 +248,13 @@ impl Scheduler {
                 let e = &self.sessions[i];
                 let idle = self.now_ms.saturating_sub(e.last_activity_ms);
                 if e.mailbox.is_empty() && idle > limits.idle_evict_ms {
+                    // Idle eviction parks instead of discarding: the
+                    // client sees `!parked <id>` and can reconnect
+                    // later with `session restore <id>`.
                     let entry = self.sessions.remove(i);
-                    entry.sink.send("!evicted idle");
                     entry.engine.session.telemetry.count("serve.evict");
                     self.registry.note_evicted();
-                    self.finish(entry);
+                    self.park_entry(entry, "idle");
                 } else {
                     i += 1;
                 }
@@ -228,6 +286,99 @@ impl Scheduler {
         std::mem::take(&mut self.passthrough)
     }
 
+    /// Parks a session: captures it (pending application-bound lines
+    /// included), hands the encoded snapshot to the registry under the
+    /// session's stamped id, acks `!parked <id>` to the client and
+    /// releases the slot. `cause` is `manual`, `idle` or `drain` — the
+    /// `serve.park.*` counter suffix.
+    fn park_entry(&mut self, mut entry: Entry, cause: &str) {
+        let tel = entry.engine.session.telemetry.clone();
+        let outbound = entry.engine.take_app_lines();
+        let bytes = SessionSnapshot::capture(&entry.engine.session, outbound).encode();
+        let len = bytes.len() as u64;
+        match self.registry.park(entry.id, bytes, self.now_ms) {
+            Ok(()) => {
+                tel.count(match cause {
+                    "idle" => "serve.park.idle",
+                    "drain" => "serve.park.drain",
+                    _ => "serve.park.manual",
+                });
+                tel.add("serve.park.bytes", len);
+                entry.sink.send(&format!("!parked {}", entry.id));
+            }
+            Err(e) => {
+                // A persistence failure is loud, never a silent
+                // memory-only checkpoint the client would trust across
+                // a restart.
+                tel.count("serve.park.error");
+                entry.sink.send(&format!("!park-failed {} {e}", entry.id));
+            }
+        }
+        self.finish(entry);
+    }
+
+    /// Replaces session `i`'s engine with one restored from the parked
+    /// snapshot `old`, then replays the snapshot's outbound lines to
+    /// the client right after the `!restored` ack — in exactly the
+    /// order they were queued at park time.
+    fn restore_entry(&mut self, i: usize, old: SessionId) {
+        let Some(bytes) = self.registry.take_parked(old) else {
+            // Validated when the command ran, but claimed by another
+            // session since — a genuine race, reported like any miss.
+            let entry = &mut self.sessions[i];
+            entry.engine.session.telemetry.count("serve.restore.miss");
+            if !entry.sink.send(&format!("!restore-miss {old}")) {
+                entry.gone = true;
+            }
+            return;
+        };
+        let ctl = self.sessions[i].ctl.clone();
+        let tel = self.sessions[i].engine.session.telemetry.clone();
+        let timer = tel.timer();
+        match SessionSnapshot::decode(&bytes) {
+            Err(e) => {
+                tel.count("serve.restore.error");
+                let entry = &mut self.sessions[i];
+                if !entry.sink.send(&format!("!restore-failed {old} {e}")) {
+                    entry.gone = true;
+                }
+            }
+            Ok(snap) => {
+                let mut engine = build_engine(&self.registry, self.flavor, self.telemetry, &ctl);
+                let report = snap.restore_into(&mut engine.session);
+                let tel = engine.session.telemetry.clone();
+                let entry = &mut self.sessions[i];
+                // Output the outgoing engine still held is flushed
+                // before the swap — it precedes the restore causally
+                // and must precede `!restored` on the wire.
+                for line in entry.engine.take_app_lines() {
+                    if !entry.sink.send(&line) {
+                        entry.gone = true;
+                    }
+                }
+                entry.engine = engine;
+                entry.last_activity_ms = self.now_ms;
+                if !entry.sink.send(&format!("!restored {old}")) {
+                    entry.gone = true;
+                }
+                for line in &snap.outbound {
+                    if !entry.sink.send(line) {
+                        entry.gone = true;
+                    }
+                }
+                tel.observe_since("serve.restore", timer);
+                tel.count("serve.restore.ok");
+                tel.add("serve.restore.widgets", report.widgets as u64);
+                if report.widgets_skipped > 0 {
+                    tel.add(
+                        "serve.restore.widgetsSkipped",
+                        report.widgets_skipped as u64,
+                    );
+                }
+            }
+        }
+    }
+
     fn finish(&mut self, entry: Entry) {
         entry.mailbox.close();
         self.registry.release(entry.id);
@@ -236,6 +387,25 @@ impl Scheduler {
         // Dropping the entry drops its sink; a channel sink closing is
         // what tells the connection's writer thread to hang up.
     }
+}
+
+/// A fully wired serve-mode engine: telemetry per the server flag, and
+/// the `serve` and `session` control handlers installed. Used both for
+/// freshly attached connections and for restored engines (which share
+/// the connection's [`SessionCtl`]).
+fn build_engine(
+    registry: &Arc<Registry>,
+    flavor: Flavor,
+    telemetry: bool,
+    ctl: &Rc<SessionCtl>,
+) -> ProtocolEngine {
+    let mut engine = ProtocolEngine::new(flavor);
+    if telemetry {
+        engine.session.telemetry.set_enabled(true);
+    }
+    install_serve_control(registry, &mut engine.session);
+    install_session_control(registry, ctl, &mut engine.session);
+    engine
 }
 
 /// Installs the `serve` control handler (registered as a command by
@@ -298,4 +468,61 @@ fn serve_control(
         },
         _ => Err(format!("wrong # args: should be \"{USAGE}\"")),
     }
+}
+
+/// Installs the `session` control handler (registered as a command by
+/// wafe-core) into one session's dispatch table. Park and restore only
+/// raise flags on `ctl`; the scheduler acts on them after the quantum.
+pub fn install_session_control(
+    registry: &Arc<Registry>,
+    ctl: &Rc<SessionCtl>,
+    session: &mut WafeSession,
+) {
+    let r = registry.clone();
+    let c = ctl.clone();
+    let tel = session.telemetry.clone();
+    session.controls.borrow_mut().insert(
+        "session".into(),
+        Box::new(move |argv| session_control(&r, &c, &tel, argv)),
+    );
+}
+
+fn session_control(
+    r: &Arc<Registry>,
+    ctl: &Rc<SessionCtl>,
+    tel: &wafe_trace::Telemetry,
+    argv: &[String],
+) -> Result<String, String> {
+    const USAGE: &str = "session park|restore slot:generation|snapshots";
+    match argv.get(1).map(String::as_str) {
+        Some("park") if argv.len() == 2 => {
+            ctl.park.set(true);
+            Ok(String::new())
+        }
+        Some("restore") if argv.len() == 3 => {
+            let id = parse_session_id(&argv[2]).ok_or_else(|| {
+                format!(
+                    "bad session id \"{}\": should be \"slot:generation\"",
+                    argv[2]
+                )
+            })?;
+            if !r.has_parked(id) {
+                r.note_restore_miss();
+                tel.count("serve.restore.miss");
+                return Err(format!("no parked session \"{id}\""));
+            }
+            *ctl.restore.borrow_mut() = Some(id);
+            Ok(String::new())
+        }
+        Some("snapshots") if argv.len() == 2 => Ok(wafe_tcl::list_join(&r.parked_words())),
+        _ => Err(format!("wrong # args: should be \"{USAGE}\"")),
+    }
+}
+
+fn parse_session_id(s: &str) -> Option<SessionId> {
+    let (slot, generation) = s.split_once(':')?;
+    Some(SessionId {
+        slot: slot.parse().ok()?,
+        generation: generation.parse().ok()?,
+    })
 }

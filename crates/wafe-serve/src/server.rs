@@ -51,6 +51,11 @@ pub struct ServerConfig {
     /// Log passthrough lines (non-command output of the sessions) to
     /// the server's stdout, tagged `[slot:generation]`.
     pub log_passthrough: bool,
+    /// Persist parked session snapshots here (`waferd --park-dir`).
+    /// Existing snapshots are loaded at startup (surviving a restart),
+    /// and a graceful drain parks every live session instead of
+    /// dropping it.
+    pub park_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
             telemetry: false,
             limits: Limits::default(),
             log_passthrough: false,
+            park_dir: None,
         }
     }
 }
@@ -89,6 +95,11 @@ impl Server {
     /// server is accepting.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let registry = Arc::new(Registry::new(config.limits.clone()));
+        if let Some(dir) = &config.park_dir {
+            registry
+                .set_park_dir(dir.clone())
+                .map_err(std::io::Error::other)?;
+        }
         let mut txs: Vec<Sender<Assign>> = Vec::new();
         let mut workers = Vec::new();
         for w in 0..config.workers.max(1) {

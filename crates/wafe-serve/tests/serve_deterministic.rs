@@ -181,7 +181,7 @@ fn drain_timeout_cuts_off_a_session_that_cannot_finish() {
 }
 
 #[test]
-fn idle_sessions_are_evicted_on_virtual_ticks() {
+fn idle_sessions_are_parked_on_virtual_ticks() {
     let mut sched = scheduler(Limits {
         idle_evict_ms: 100,
         ..Limits::default()
@@ -195,19 +195,211 @@ fn idle_sessions_are_evicted_on_virtual_ticks() {
     sched.run_turn();
     sched.advance(60);
     sched.run_turn();
-    // t=120: B idled 120ms > 100 and is evicted with an explicit
-    // notice; A's last activity was 60ms ago and survives.
-    assert_eq!(lines(&buf_b), ["!evicted idle"]);
+    // t=120: B idled 120ms > 100 and is *parked* — an explicit notice
+    // carrying the stamped id it can present to come back, never a
+    // silent drop of its state. A's last activity was 60ms ago and it
+    // survives.
+    assert_eq!(lines(&buf_b), [format!("!parked {id_b}")]);
     assert_eq!(lines(&buf_a), ["ping"]);
     assert_eq!(registry.active(), 1);
     assert_eq!(registry.stats().evicted, 1);
+    assert_eq!(registry.stats().parked, 1);
+    assert!(registry.has_parked(id_b), "eviction parks, not discards");
     // The evicted id is stale: its slot can be re-admitted under a new
     // generation, and a late release of the old id is ignored.
     assert!(!registry.release(id_b), "stale release is a no-op");
     let id_c = registry.admit("next", sched.now_ms()).unwrap();
     assert_eq!(id_c.slot, id_b.slot);
     assert!(id_c.generation > id_b.generation);
+    assert!(
+        !registry.has_parked(id_c),
+        "the new tenant's id never aliases the parked snapshot"
+    );
     assert!(registry.release(id_a));
+}
+
+#[test]
+fn manual_park_then_restore_replays_queued_output_in_order() {
+    let mut sched = scheduler(Limits::default());
+    let registry = sched.registry().clone();
+    let (mb_a, buf_a, id_a) = session(&mut sched, "parker");
+    assert!(mb_a.push("%set greeting {hello from the past}".into()));
+    assert!(mb_a.push("%label sign topLevel label Parked".into()));
+    assert!(mb_a.push("%echo queued-before-park".into()));
+    assert!(mb_a.push("%session park".into()));
+    sched.run_turn();
+    // The pending echo rides the snapshot instead of the wire: the only
+    // thing the client sees is the park ack, verbatim.
+    assert_eq!(lines(&buf_a), [format!("!parked {id_a}")]);
+    assert_eq!(registry.active(), 0, "park releases the slot");
+    assert_eq!(registry.stats().parked, 1);
+    assert!(registry.has_parked(id_a));
+
+    // A later connection lists the snapshot and restores by stamped id:
+    // the ack comes first, then the queued output replayed in order.
+    let (mb_b, buf_b, _) = session(&mut sched, "returning");
+    assert!(mb_b.push("%echo [lindex [lindex [session snapshots] 0] 0]".into()));
+    assert!(mb_b.push(format!("%session restore {id_a}")));
+    sched.run_turn();
+    assert_eq!(
+        lines(&buf_b),
+        [
+            id_a.to_string(),
+            format!("!restored {id_a}"),
+            "queued-before-park".to_string(),
+        ]
+    );
+    // The restored engine carries the old interpreter and widget state.
+    assert!(mb_b.push("%echo [set greeting]".into()));
+    sched.run_turn();
+    assert_eq!(
+        lines(&buf_b).last().map(String::as_str),
+        Some("hello from the past")
+    );
+    assert!(
+        !registry.has_parked(id_a),
+        "a snapshot restores exactly once"
+    );
+    assert_eq!(registry.stats().restored, 1);
+    // Counter surface: the registry exports the park/restore totals.
+    let pairs = registry.metrics_pairs();
+    let get = |k: &str| {
+        pairs
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("missing {k}"))
+            .to_string()
+    };
+    assert_eq!(get("serve.server.parked"), "1");
+    assert_eq!(get("serve.server.restored"), "1");
+    assert_eq!(get("serve.server.restoreMiss"), "0");
+    assert_eq!(get("serve.server.parkedNow"), "0");
+}
+
+#[test]
+fn restore_of_an_unknown_id_is_a_loud_miss_that_keeps_the_session() {
+    let mut sched = scheduler(Limits::default());
+    let registry = sched.registry().clone();
+    let (mb, buf, _) = session(&mut sched, "guesser");
+    // Command errors are not echoed (byte-identity with the pipe), so
+    // read the miss back through catch.
+    assert!(mb.push("%echo [catch {session restore 7:9}]".into()));
+    assert!(mb.push("%echo [catch {session restore not-an-id}]".into()));
+    assert!(mb.push("%echo still-alive".into()));
+    sched.run_turn();
+    assert_eq!(lines(&buf), ["1", "1", "still-alive"]);
+    assert_eq!(registry.stats().restore_miss, 1, "bad syntax is not a miss");
+    assert_eq!(registry.active(), 1, "a failed restore keeps the session");
+}
+
+/// The acceptance test for hot handoff: a recursive-proc workload (the
+/// E19 benchmark's shape) is interrupted mid-way by an idle park,
+/// restored into a brand-new connection, and continued — the combined
+/// client-visible output must be byte-identical to a control session
+/// that ran the whole workload uninterrupted.
+#[test]
+fn parked_then_restored_session_continues_workload_byte_identically() {
+    const DEFINE: &str =
+        "%proc fact {n} {if {$n <= 1} {return 1}; expr {$n * [fact [expr {$n - 1}]]}}";
+    let first: Vec<String> = (1..=8)
+        .map(|n| format!("%echo fact({n})=[fact {n}]"))
+        .collect();
+    let second: Vec<String> = (9..=16)
+        .map(|n| format!("%echo fact({n})=[fact {n}]"))
+        .collect();
+
+    // Control: one session, never parked.
+    let mut control = scheduler(Limits::default());
+    let (mb, control_buf, _) = session(&mut control, "control");
+    assert!(mb.push(DEFINE.into()));
+    for l in first.iter().chain(&second) {
+        assert!(mb.push(l.clone()));
+    }
+    while !mb.is_empty() {
+        control.run_turn();
+    }
+
+    // Experiment: first half, idle park at a known virtual tick,
+    // restore under the stamped id, second half.
+    let mut sched = scheduler(Limits {
+        idle_evict_ms: 50,
+        ..Limits::default()
+    });
+    let registry = sched.registry().clone();
+    let (mb_a, buf_a, id_a) = session(&mut sched, "before");
+    assert!(mb_a.push(DEFINE.into()));
+    for l in &first {
+        assert!(mb_a.push(l.clone()));
+    }
+    while !mb_a.is_empty() {
+        sched.run_turn();
+    }
+    sched.advance(51);
+    assert_eq!(
+        lines(&buf_a).last(),
+        Some(&format!("!parked {id_a}")),
+        "idle-parked at virtual t=51"
+    );
+
+    let (mb_b, buf_b, _) = session(&mut sched, "after");
+    assert!(mb_b.push(format!("%session restore {id_a}")));
+    for l in &second {
+        assert!(mb_b.push(l.clone()));
+    }
+    while !mb_b.is_empty() {
+        sched.run_turn();
+    }
+
+    let mut combined = lines(&buf_a);
+    assert_eq!(combined.pop(), Some(format!("!parked {id_a}")));
+    let after = lines(&buf_b);
+    assert_eq!(after[0], format!("!restored {id_a}"));
+    combined.extend(after[1..].iter().cloned());
+    assert_eq!(combined, lines(&control_buf), "byte-identical continuation");
+    assert_eq!(registry.stats().restored, 1);
+}
+
+#[test]
+fn drain_with_park_dir_parks_every_session_for_the_next_process() {
+    let dir = std::env::temp_dir().join(format!("wafe-drain-park-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First "process": two sessions with state, then a drain.
+    let mut sched = scheduler(Limits::default());
+    let registry = sched.registry().clone();
+    registry.set_park_dir(dir.clone()).unwrap();
+    let (mb_a, buf_a, id_a) = session(&mut sched, "a");
+    let (mb_b, buf_b, id_b) = session(&mut sched, "b");
+    assert!(mb_a.push("%set who alpha".into()));
+    assert!(mb_b.push("%set who beta".into()));
+    registry.begin_drain();
+    while !sched.is_drained() {
+        sched.run_turn();
+    }
+    assert_eq!(lines(&buf_a), [format!("!parked {id_a}")]);
+    assert_eq!(lines(&buf_b), [format!("!parked {id_b}")]);
+    assert_eq!(registry.stats().parked, 2);
+
+    // Second "process": a fresh registry over the same directory finds
+    // both snapshots; each session restores under its old id.
+    let registry2 = Arc::new(Registry::new(Limits::default()));
+    assert_eq!(registry2.set_park_dir(dir.clone()).unwrap(), 2);
+    let mut sched2 = Scheduler::new(registry2.clone(), Flavor::Athena, false);
+    for (old, want) in [(id_a, "alpha"), (id_b, "beta")] {
+        let id = registry2.admit("returning", 0).unwrap();
+        let mailbox = Mailbox::new(registry2.limits().queue_depth);
+        let (sink, buf) = SessionSink::buffer();
+        sched2.attach(id, mailbox.clone(), sink);
+        assert!(mailbox.push(format!("%session restore {old}")));
+        assert!(mailbox.push("%echo [set who]".into()));
+        while !mailbox.is_empty() {
+            sched2.run_turn();
+        }
+        assert_eq!(lines(&buf), [format!("!restored {old}"), want.to_string()]);
+    }
+    assert_eq!(registry2.parked_count(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -41,13 +41,17 @@ pub mod list;
 pub mod parser;
 pub(crate) mod profile;
 pub mod regex;
+pub mod snapshot;
 pub mod value;
 
 pub use compile::{compile, CompiledScript};
 pub use error::{TclError, TclResult};
 pub use interp::{BcStats, CacheStats, CmdFn, Interp, OutputSink, Prepared};
 pub use list::{list_append, list_join, list_quote, parse_list};
-pub use value::{reset_shimmer_stats, set_reps_enabled, shimmer_stats, ShimmerStats, Value};
+pub use snapshot::InterpSnapshot;
+pub use value::{
+    reset_shimmer_stats, set_reps_enabled, shimmer_stats, IntRep, ShimmerStats, Value,
+};
 pub use wafe_trace::Telemetry;
 
 /// Convenience alias for the result type returned by Tcl commands.

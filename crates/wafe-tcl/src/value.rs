@@ -175,6 +175,59 @@ impl Value {
     }
 
     // -----------------------------------------------------------------
+    // Checkpoint support (session snapshots)
+    // -----------------------------------------------------------------
+
+    /// The value's parts for checkpointing: the string rep *if already
+    /// computed* and a clone of the cached internal rep. Reading never
+    /// forces a render or a parse, so capturing a snapshot cannot
+    /// shimmer the value it reads.
+    pub fn snapshot_parts(&self) -> (Option<Rc<str>>, IntRep) {
+        (
+            self.0.str_rep.get().cloned(),
+            self.0.int_rep.borrow().clone(),
+        )
+    }
+
+    /// Rebuilds a value from checkpointed parts, re-validating the rep
+    /// against the string rep: a corrupt (or hand-edited) snapshot must
+    /// not plant a cached rep the normal `as_int`/`as_double` canonical
+    /// checks would have refused. Anything non-canonical falls back to
+    /// the string-only form; `Script` reps are never restored (compiled
+    /// bodies are rebuilt lazily on first eval).
+    pub fn from_snapshot_parts(str_rep: Option<Rc<str>>, rep: IntRep) -> Value {
+        let rep = match rep {
+            IntRep::Script(_) => IntRep::None,
+            IntRep::Int(n) => match &str_rep {
+                Some(s) if !canonical_int(s, n) => IntRep::None,
+                _ => IntRep::Int(n),
+            },
+            IntRep::Double(d) => {
+                let ok = d.is_finite()
+                    && match &str_rep {
+                        Some(s) => crate::expr::format_double(d) == **s,
+                        None => true,
+                    };
+                if ok {
+                    IntRep::Double(d)
+                } else {
+                    IntRep::None
+                }
+            }
+            IntRep::Bool(b) => match &str_rep {
+                None => IntRep::Bool(b),
+                Some(s) if (**s == *"1") == b && (**s == *"1" || **s == *"0") => IntRep::Bool(b),
+                Some(_) => IntRep::None,
+            },
+            other => other,
+        };
+        if str_rep.is_none() && matches!(rep, IntRep::None) {
+            return Value::empty();
+        }
+        Value::from_parts(str_rep, rep)
+    }
+
+    // -----------------------------------------------------------------
     // String representation
     // -----------------------------------------------------------------
 

@@ -433,6 +433,57 @@ impl XtApp {
         v
     }
 
+    /// Live widgets in creation order. Ids are allocated monotonically
+    /// and never reused, so id order *is* creation order — parents
+    /// always precede their children, which is what lets the session
+    /// checkpoint rebuild the tree by replaying creation records.
+    pub fn widgets_in_creation_order(&self) -> Vec<WidgetId> {
+        let mut ids: Vec<u32> = self.widgets.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(WidgetId).collect()
+    }
+
+    /// The `(resource, value)` creation arguments that rebuild this
+    /// widget's current resource state: every class (and parent
+    /// constraint) resource whose display string differs from its
+    /// default *and* converts back to an equal value. Resources whose
+    /// display form is not re-convertible (resolved fonts, decoded
+    /// pixmaps, merged translation tables) are skipped — the checkpoint
+    /// only records what it can prove it can restore.
+    pub fn snapshot_init_pairs(&self, w: WidgetId) -> Vec<(String, String)> {
+        let rec = &self.widgets[&w.0];
+        let fonts = &self.displays[rec.display_idx].fonts;
+        let ctx = ConvertCtx { fonts };
+        let mut pairs = Vec::new();
+        {
+            let mut consider = |spec: &crate::resource::ResourceSpec,
+                                value: Option<&ResourceValue>| {
+                let Some(value) = value else { return };
+                let text = value.to_display_string();
+                if text == spec.default {
+                    return;
+                }
+                if let Ok(back) = self.converters.convert(spec.ty, &text, &ctx) {
+                    if back.to_display_string() == text {
+                        pairs.push((spec.name.to_string(), text));
+                    }
+                }
+            };
+            for spec in &rec.class.resources {
+                if spec.name == "translations" {
+                    continue; // A merged table, not re-settable text.
+                }
+                consider(spec, rec.resources.get(spec.name));
+            }
+            if let Some(p) = rec.parent {
+                for spec in &self.widgets[&p.0].class.constraint_resources {
+                    consider(spec, rec.constraints.get(spec.name));
+                }
+            }
+        }
+        pairs
+    }
+
     /// The shell at the root of a widget's tree.
     pub fn root_of(&self, mut w: WidgetId) -> WidgetId {
         while let Some(p) = self.widgets[&w.0].parent {

@@ -92,6 +92,30 @@ impl XrmDb {
         n
     }
 
+    /// Renders every stored specification back to its `key: value` line
+    /// form, in insertion order. Replaying the lines through
+    /// [`insert_line`](Self::insert_line) rebuilds an equivalent
+    /// database (serials are assigned by insertion order, so precedence
+    /// ties resolve identically) — this is what the session checkpoint
+    /// serializes.
+    pub fn lines(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let mut key = String::new();
+                for (i, (binding, comp)) in e.components.iter().enumerate() {
+                    match binding {
+                        Binding::Loose => key.push('*'),
+                        Binding::Tight if i > 0 => key.push('.'),
+                        Binding::Tight => {}
+                    }
+                    key.push_str(comp);
+                }
+                format!("{key}: {}", e.value)
+            })
+            .collect()
+    }
+
     /// Looks up the value for a widget described by its full instance
     /// name path and class path, plus the resource name and class.
     ///

@@ -45,6 +45,21 @@ timeout 60 sh -c '
     done
 ' || { echo "serve deterministic suite: FAILED (or exceeded 60s)"; exit 1; }
 
+# The snapshot property suite pins the checkpoint codec park/restore
+# rides on (canonical bytes, fixed-point restore, no shimmer, loud
+# failure on truncation/garbage). Each run is ~700 generated cases off
+# a fresh xorshift seed; five consecutive runs under a hard timeout
+# keep it honest without dominating the gate.
+echo "== snapshot property suite x5 (60s guard)"
+timeout 60 sh -c '
+    i=1
+    while [ $i -le 5 ]; do
+        cargo test -q -p wafe-serve --test snapshot_props --offline \
+            >/dev/null 2>&1 || { echo "snapshot props run $i failed"; exit 1; }
+        i=$((i + 1))
+    done
+' || { echo "snapshot property suite: FAILED (or exceeded 60s)"; exit 1; }
+
 # waferd smoke test: spawn the release binary, connect N clients over
 # loopback, round-trip one command each, then drain from a client and
 # require a clean exit — all under a hard timeout.
@@ -136,6 +151,20 @@ pct = d["disabled_overhead_pct"]
 assert pct <= 2.0, "e26: disabled overhead %.2f%% > 2%%" % pct
 print("  disabled overhead: %.2f%% (gate <=2%%) ok" % pct)
 ' || { echo "BENCH_e26.json: malformed or above the 2% disabled gate"; exit 1; }
+
+# E27 is session checkpointing: the run itself asserts park → restore
+# → park is a byte-identical fixed point, and the gate below requires
+# restore p99 <= 10ms — above that, "hot handoff" on reconnect would
+# be a stall the user can feel.
+echo "== bench e27 smoke run + <=10ms restore-p99 gate"
+run_bench e27_checkpoint
+python3 -c '
+import json
+d = json.load(open("BENCH_e27.json"))
+p99 = d["restore_p99_us"]
+assert p99 <= 10000.0, "e27: restore p99 %.1fus > 10ms" % p99
+print("  restore p99: %.1fus (gate <=10ms) ok" % p99)
+' || { echo "BENCH_e27.json: malformed or above the 10ms restore gate"; exit 1; }
 
 # The band was 5% while the cached side was tree-walked; the bytecode
 # VM cut cached iteration times ~3x, which widened the run-to-run

@@ -11,13 +11,19 @@
 //! waferd [--listen ADDR] [--unix PATH] [--max-sessions N]
 //!        [--queue-depth N] [--workers N] [--idle-evict MS]
 //!        [--drain-timeout MS] [--telemetry] [--metrics ADDR]
-//!        [--motif] [--quiet]
+//!        [--park-dir DIR] [--motif] [--quiet]
 //! ```
 //!
 //! `--metrics ADDR` opens a second TCP listener that answers every
 //! connection with one Prometheus text-exposition page of the
 //! server-wide counters and closes — scrape-friendly without an HTTP
 //! stack. The server runs until a client issues `%serve drain`.
+//!
+//! `--park-dir DIR` persists parked session snapshots (idle eviction,
+//! `%session park`) to DIR and makes the graceful drain park every
+//! live session, so `%serve drain` + restart + `%session restore
+//! <slot:gen>` is a rolling restart that loses no session state. See
+//! `docs/checkpoint.md`.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -28,7 +34,7 @@ use wafe_serve::{Registry, Server, ServerConfig};
 
 const USAGE: &str = "usage: waferd [--listen ADDR] [--unix PATH] [--max-sessions N] \
 [--queue-depth N] [--workers N] [--idle-evict MS] [--drain-timeout MS] \
-[--telemetry] [--metrics ADDR] [--motif] [--quiet]";
+[--telemetry] [--metrics ADDR] [--park-dir DIR] [--motif] [--quiet]";
 
 fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| {
@@ -69,6 +75,7 @@ fn main() {
             }
             "--telemetry" => config.telemetry = true,
             "--metrics" => metrics_addr = Some(value(&mut args, "--metrics")),
+            "--park-dir" => config.park_dir = Some(PathBuf::from(value(&mut args, "--park-dir"))),
             "--motif" => config.flavor = Flavor::Both,
             "--quiet" => config.log_passthrough = false,
             "--help" | "-h" => {
