@@ -74,9 +74,13 @@ fn measure_commands(clients: usize) -> (f64, usize, usize) {
     let registry = server.registry();
     let ready = Arc::new(Barrier::new(clients + 1));
     let done = Arc::new(Barrier::new(clients + 1));
+    // Holds every client connected until the main thread has sampled
+    // the registry: the event loop reaps a closed connection within a
+    // wakeup, so sampling after the clients start dropping undercounts.
+    let sampled = Arc::new(Barrier::new(clients + 1));
     let mut joins = Vec::new();
     for c in 0..clients {
-        let (ready, done) = (ready.clone(), done.clone());
+        let (ready, done, sampled) = (ready.clone(), done.clone(), sampled.clone());
         joins.push(std::thread::spawn(move || {
             let stream = TcpStream::connect(addr).expect("connect");
             let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -99,6 +103,7 @@ fn measure_commands(clients: usize) -> (f64, usize, usize) {
                 got.push(line.trim_end().to_string());
             }
             done.wait();
+            sampled.wait();
             usize::from(got != expected_replies(c))
         }));
     }
@@ -108,6 +113,7 @@ fn measure_commands(clients: usize) -> (f64, usize, usize) {
     let elapsed = start.elapsed();
     // Every client is still connected here: the true concurrency level.
     let peak_active = registry.active();
+    sampled.wait();
     let mismatches: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
     server.drain();
     // Warmup excluded: 2 commands per round trip actually timed.

@@ -7,7 +7,7 @@
 
 use std::cell::Cell;
 use std::io::{Read, Write};
-use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::process::CommandExt;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -16,6 +16,7 @@ use wafe_core::Flavor;
 
 use crate::codec::LineCodec;
 use crate::fault::FaultPlan;
+use crate::poll::{set_nonblocking, Interest, Poller, SysPoller};
 use crate::protocol::ProtocolEngine;
 use crate::supervisor::{
     install_controls, BackendState, Supervisor, SupervisorConfig, SupervisorCore, SupervisorStats,
@@ -133,31 +134,14 @@ impl ChildLink {
     /// Polls the child's pipes for up to `timeout`; returns
     /// `(stdout_ready, mass_ready)` (readable or hung up).
     pub(crate) fn poll(&self, timeout: Duration) -> (bool, bool) {
-        let mut pollfds = vec![libc::pollfd {
-            fd: self.stdout.as_raw_fd(),
-            events: libc::POLLIN,
-            revents: 0,
-        }];
+        let mut interests = vec![Interest::read(0, self.stdout.as_raw_fd())];
         if let Some(m) = &self.mass_read {
-            pollfds.push(libc::pollfd {
-                fd: m.as_raw_fd(),
-                events: libc::POLLIN,
-                revents: 0,
-            });
+            interests.push(Interest::read(1, m.as_raw_fd()));
         }
-        // SAFETY: pollfds is a valid array of initialised pollfd structs.
-        unsafe {
-            libc::poll(
-                pollfds.as_mut_ptr(),
-                pollfds.len() as libc::nfds_t,
-                timeout.as_millis() as i32,
-            )
-        };
-        let ready = |p: &libc::pollfd| p.revents & (libc::POLLIN | libc::POLLHUP) != 0;
-        (
-            ready(&pollfds[0]),
-            pollfds.get(1).map(ready).unwrap_or(false),
-        )
+        let mut ready = Vec::new();
+        let _ = SysPoller::new().wait(&interests, timeout.as_millis() as i32, &mut ready);
+        let hit = |t: usize| ready.iter().any(|r| r.token == t && (r.readable || r.hup));
+        (hit(0), hit(1))
     }
 
     /// Drains the child's stdout (non-blocking) up to `cap` bytes per
@@ -373,20 +357,6 @@ impl Frontend {
     pub fn kill(&mut self) {
         self.supervisor.shutdown();
     }
-}
-
-fn set_nonblocking(fd: RawFd) -> std::io::Result<()> {
-    // SAFETY: fcntl F_GETFL/F_SETFL on an owned, valid fd.
-    unsafe {
-        let flags = libc::fcntl(fd, libc::F_GETFL);
-        if flags < 0 {
-            return Err(std::io::Error::last_os_error());
-        }
-        if libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) < 0 {
-            return Err(std::io::Error::last_os_error());
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 pub mod codec;
 pub mod fault;
 pub mod frontend;
+pub mod poll;
 pub mod protocol;
 pub mod supervisor;
 pub(crate) mod sys;
@@ -37,6 +38,9 @@ pub(crate) mod sys;
 pub use codec::{LineCodec, LineKind};
 pub use fault::{FaultAction, FaultPlan, FAULTS_ENV_VAR, FAULT_POINTS};
 pub use frontend::{backend_from_argv0, Frontend, FrontendConfig, SpawnSpec};
+pub use poll::{
+    is_fd_exhaustion, set_nonblocking, Interest, PollSet, Poller, Readiness, SimPoller, SysPoller,
+};
 pub use protocol::{
     is_command_line, LineAssembler, ProtocolEngine, DEFAULT_MAX_LINE, DEFAULT_PREFIX,
 };

@@ -1,0 +1,387 @@
+//! Safe readiness polling over the `poll(2)` FFI shim.
+//!
+//! The frontend always multiplexed the backend's pipes with `poll(2)`
+//! ("which is what keeps the GUI responsive while the application is
+//! busy"); wafe-serve's event loop generalizes that to thousands of
+//! sockets. Both go through this module so there is exactly one unsafe
+//! poll call in the workspace.
+//!
+//! The [`Poller`] trait is deliberately stateless about registration:
+//! the caller owns its interest list and passes it on every wait. That
+//! keeps the contract level-triggered and makes the simulated
+//! implementation ([`SimPoller`]) trivially deterministic — readiness
+//! is whatever the test scripted, not whatever a kernel felt like
+//! coalescing.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::io::RawFd;
+
+use crate::sys;
+
+/// One fd the caller wants readiness for.
+///
+/// `token` is an opaque caller-chosen identifier echoed back in
+/// [`Readiness`]; the event loop uses its connection slot so a poll
+/// result never needs an fd→session lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub token: usize,
+    pub fd: RawFd,
+    /// Wait for readability (`POLLIN`). Off for a connection that hit
+    /// EOF but still has buffered output — level-triggered `POLLIN`
+    /// on an EOF'd socket would otherwise spin.
+    pub read: bool,
+    /// Wait for writability (`POLLOUT`).
+    pub write: bool,
+}
+
+impl Interest {
+    /// A plain read interest — the common case.
+    pub fn read(token: usize, fd: RawFd) -> Interest {
+        Interest {
+            token,
+            fd,
+            read: true,
+            write: false,
+        }
+    }
+}
+
+/// Readiness reported for one [`Interest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    pub token: usize,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hung up or the fd errored; treat as readable-to-EOF.
+    pub hup: bool,
+}
+
+impl Readiness {
+    /// True when the fd needs any attention at all.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.hup
+    }
+}
+
+/// A level-triggered readiness source.
+///
+/// `wait` blocks up to `timeout_ms` (0 = just check, negative = block
+/// forever) and appends one [`Readiness`] per ready interest to `out`
+/// (cleared first). An empty interest list is a plain sleep — the
+/// accept loop leans on that to back off after `EMFILE`.
+pub trait Poller: Send {
+    /// Backend name surfaced in `serve status` (`"poll"` / `"sim"`).
+    fn name(&self) -> &'static str;
+    fn wait(
+        &mut self,
+        interests: &[Interest],
+        timeout_ms: i32,
+        out: &mut Vec<Readiness>,
+    ) -> io::Result<()>;
+}
+
+/// The real `poll(2)` backend.
+///
+/// Keeps its `pollfd` buffer across calls so steady-state waits don't
+/// reallocate.
+#[derive(Default)]
+pub struct SysPoller {
+    fds: Vec<sys::pollfd>,
+}
+
+impl SysPoller {
+    pub fn new() -> SysPoller {
+        SysPoller::default()
+    }
+}
+
+impl Poller for SysPoller {
+    fn name(&self) -> &'static str {
+        "poll"
+    }
+
+    fn wait(
+        &mut self,
+        interests: &[Interest],
+        timeout_ms: i32,
+        out: &mut Vec<Readiness>,
+    ) -> io::Result<()> {
+        out.clear();
+        if interests.is_empty() {
+            if timeout_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            }
+            return Ok(());
+        }
+        self.fds.clear();
+        for i in interests {
+            let mut events = 0;
+            if i.read {
+                events |= sys::POLLIN;
+            }
+            if i.write {
+                events |= sys::POLLOUT;
+            }
+            self.fds.push(sys::pollfd {
+                fd: i.fd,
+                events,
+                revents: 0,
+            });
+        }
+        // SAFETY: fds is a valid array of initialised pollfd structs
+        // matching interests in length.
+        let rc = unsafe {
+            sys::poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as sys::nfds_t,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(()); // EINTR: report nothing ready, caller re-polls
+            }
+            return Err(err);
+        }
+        for (i, p) in interests.iter().zip(self.fds.iter()) {
+            let r = Readiness {
+                token: i.token,
+                readable: p.revents & sys::POLLIN != 0,
+                writable: p.revents & sys::POLLOUT != 0,
+                hup: p.revents & (sys::POLLHUP | sys::POLLERR | sys::POLLNVAL) != 0,
+            };
+            if r.any() {
+                out.push(r);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic poller for virtual-tick tests: readiness is exactly
+/// what the test marked via [`SimPoller::set_ready`], filtered against
+/// the interests the caller is currently watching.
+#[derive(Default)]
+pub struct SimPoller {
+    ready: BTreeMap<usize, Readiness>,
+}
+
+impl SimPoller {
+    pub fn new() -> SimPoller {
+        SimPoller::default()
+    }
+
+    /// Marks `token` as ready; sticks until [`clear_ready`](Self::clear_ready).
+    pub fn set_ready(&mut self, token: usize, readable: bool, writable: bool, hup: bool) {
+        self.ready.insert(
+            token,
+            Readiness {
+                token,
+                readable,
+                writable,
+                hup,
+            },
+        );
+    }
+
+    pub fn clear_ready(&mut self, token: usize) {
+        self.ready.remove(&token);
+    }
+}
+
+impl Poller for SimPoller {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn wait(
+        &mut self,
+        interests: &[Interest],
+        _timeout_ms: i32,
+        out: &mut Vec<Readiness>,
+    ) -> io::Result<()> {
+        out.clear();
+        for i in interests {
+            if let Some(r) = self.ready.get(&i.token) {
+                let r = Readiness {
+                    token: i.token,
+                    readable: r.readable && i.read,
+                    writable: r.writable && i.write,
+                    hup: r.hup,
+                };
+                if r.any() {
+                    out.push(r);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Owned interest list + scratch buffers around a [`Poller`] — the
+/// ergonomic face most callers want.
+pub struct PollSet {
+    poller: Box<dyn Poller>,
+    interests: Vec<Interest>,
+    ready: Vec<Readiness>,
+}
+
+impl PollSet {
+    pub fn new(poller: Box<dyn Poller>) -> PollSet {
+        PollSet {
+            poller,
+            interests: Vec::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    pub fn backend(&self) -> &'static str {
+        self.poller.name()
+    }
+
+    /// Replaces any existing interest for `token`.
+    pub fn register(&mut self, interest: Interest) {
+        self.deregister(interest.token);
+        self.interests.push(interest);
+    }
+
+    pub fn deregister(&mut self, token: usize) {
+        self.interests.retain(|i| i.token != token);
+    }
+
+    /// Flips the write-interest bit without re-registering.
+    pub fn set_write_interest(&mut self, token: usize, write: bool) {
+        for i in &mut self.interests {
+            if i.token == token {
+                i.write = write;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.interests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.interests.is_empty()
+    }
+
+    /// Waits up to `timeout_ms`; returns the ready set (empty on
+    /// timeout or `EINTR`).
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<&[Readiness]> {
+        self.poller
+            .wait(&self.interests, timeout_ms, &mut self.ready)?;
+        Ok(&self.ready)
+    }
+}
+
+/// Puts `fd` into non-blocking mode via `fcntl(2)`.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: fcntl F_GETFL/F_SETFL on an owned, valid fd.
+    unsafe {
+        let flags = sys::fcntl(fd, sys::F_GETFL);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// True when `err` is `EMFILE`/`ENFILE` — the accept loop must back
+/// off instead of spinning on these.
+pub fn is_fd_exhaustion(err: &io::Error) -> bool {
+    matches!(err.raw_os_error(), Some(sys::EMFILE) | Some(sys::ENFILE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_poller_reports_only_watched_tokens() {
+        let mut p = SimPoller::new();
+        p.set_ready(3, true, false, false);
+        p.set_ready(9, true, false, false);
+        let mut out = Vec::new();
+        let interests = [Interest::read(3, -1)];
+        p.wait(&interests, 0, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 3);
+        assert!(out[0].readable);
+    }
+
+    #[test]
+    fn sim_poller_write_readiness_requires_interest() {
+        let mut p = SimPoller::new();
+        p.set_ready(1, false, true, false);
+        let mut out = Vec::new();
+        p.wait(&[Interest::read(1, -1)], 0, &mut out).unwrap();
+        assert!(out.is_empty());
+        p.wait(
+            &[Interest {
+                token: 1,
+                fd: -1,
+                read: true,
+                write: true,
+            }],
+            0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].writable);
+    }
+
+    #[test]
+    fn sys_poller_sees_pipe_readability() {
+        let mut fds = [0i32; 2];
+        // SAFETY: fds is a valid 2-element array for pipe(2).
+        assert_eq!(unsafe { sys::pipe(fds.as_mut_ptr()) }, 0);
+        let (r, w) = (fds[0], fds[1]);
+        let mut set = PollSet::new(Box::new(SysPoller::new()));
+        set.register(Interest::read(7, r));
+        assert!(set.wait(0).unwrap().is_empty());
+        // SAFETY: writing to an owned pipe write end.
+        unsafe {
+            let byte = b"x";
+            extern "C" {
+                fn write(fd: i32, buf: *const u8, n: usize) -> isize;
+            }
+            assert_eq!(write(w, byte.as_ptr(), 1), 1);
+        }
+        let ready = set.wait(100).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 7);
+        assert!(ready[0].readable);
+        // SAFETY: closing owned fds.
+        unsafe {
+            sys::close(r);
+            sys::close(w);
+        }
+    }
+
+    #[test]
+    fn pollset_register_replaces_and_flips_write() {
+        let mut set = PollSet::new(Box::new(SimPoller::new()));
+        set.register(Interest::read(1, 10));
+        set.register(Interest::read(1, 11));
+        assert_eq!(set.len(), 1);
+        set.set_write_interest(1, true);
+        set.register(Interest::read(2, 12));
+        set.deregister(1);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn fd_exhaustion_classifier() {
+        assert!(is_fd_exhaustion(&io::Error::from_raw_os_error(24)));
+        assert!(is_fd_exhaustion(&io::Error::from_raw_os_error(23)));
+        assert!(!is_fd_exhaustion(&io::Error::from_raw_os_error(11)));
+    }
+}

@@ -25,8 +25,19 @@ pub struct pollfd {
 
 /// There is data to read.
 pub const POLLIN: c_short = 0x001;
+/// Writing now will not block.
+pub const POLLOUT: c_short = 0x004;
+/// Error condition on the fd (revents only).
+pub const POLLERR: c_short = 0x008;
 /// Peer hung up (write end of the pipe closed).
 pub const POLLHUP: c_short = 0x010;
+/// Invalid request: fd not open (revents only).
+pub const POLLNVAL: c_short = 0x020;
+
+/// `errno` for "too many open files" (per-process limit).
+pub const EMFILE: i32 = 24;
+/// `errno` for "too many open files in system".
+pub const ENFILE: i32 = 23;
 
 /// `fcntl(2)`: get file status flags.
 pub const F_GETFL: c_int = 3;

@@ -25,8 +25,14 @@
 //!   kept by the registry under the generation-stamped id — and a
 //!   reconnect saying `session restore <id>` gets it back, queued
 //!   outbound lines replayed in order (`docs/checkpoint.md`).
-//! * [`server`] — the socket transport: acceptor threads, a bounded
-//!   worker pool, per-connection reader/writer threads, graceful drain.
+//! * [`event_loop`] — the readiness-driven transport core: one poll(2)
+//!   wakeup drains every readable connection into its mailbox (the
+//!   batched sweep), the scheduler runs, replies flush — behind the
+//!   [`wafe_ipc::Poller`] trait so tests swap in a simulated net.
+//! * [`sim`] — that simulated net: scripted byte chunks, accept-queue
+//!   errors and readiness with no timing anywhere.
+//! * [`server`] — the socket transport: the event-loop workers (default)
+//!   or the thread-per-connection baseline, plus graceful drain.
 //!
 //! Observability flows through `wafe-trace` per session:
 //! `serve.accept` / `serve.commands` / `serve.shed` / `serve.evict`
@@ -36,12 +42,16 @@
 //! command is registered by wafe-core and dispatches into
 //! [`scheduler::install_serve_control`].
 
+pub mod event_loop;
 pub mod mailbox;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod sim;
 
-pub use mailbox::{Mailbox, SessionSink};
+pub use event_loop::{AcceptLoop, Acceptor, ConnAssign, ConnIo, EventLoop};
+pub use mailbox::{Mailbox, OutQueue, SessionSink};
 pub use registry::{Limits, Registry, ServerStats, SessionId, ShedReason, LIMIT_KEYS};
 pub use scheduler::{install_serve_control, install_session_control, Scheduler, SessionCtl};
-pub use server::{Server, ServerConfig};
+pub use server::{IoModel, Server, ServerConfig};
+pub use sim::{SimClient, SimNet};

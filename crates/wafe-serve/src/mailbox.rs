@@ -87,6 +87,83 @@ impl Mailbox {
     }
 }
 
+/// The outbound line queue between a session and the event loop that
+/// flushes its connection. Unlike the `mpsc` channel the thread model
+/// uses, both ends are polled by the same worker, so this is a plain
+/// locked deque plus two completion flags: `sink_closed` (the session
+/// is finished; flush what is queued, then close the socket) and
+/// `receiver_gone` (the client vanished; drop everything pushed).
+#[derive(Default)]
+struct OutQueueInner {
+    lines: VecDeque<String>,
+    sink_closed: bool,
+    receiver_gone: bool,
+}
+
+/// Shared outbound queue for the event-loop transport.
+#[derive(Default)]
+pub struct OutQueue {
+    inner: Mutex<OutQueueInner>,
+}
+
+impl OutQueue {
+    pub fn new() -> Arc<OutQueue> {
+        Arc::new(OutQueue::default())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, OutQueueInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues one line; `false` means the client side is gone.
+    pub fn push(&self, line: &str) -> bool {
+        let mut q = self.lock();
+        if q.receiver_gone {
+            return false;
+        }
+        q.lines.push_back(line.to_string());
+        true
+    }
+
+    /// Dequeues the oldest line (the event loop's flush pass).
+    pub fn pop(&self) -> Option<String> {
+        self.lock().lines.pop_front()
+    }
+
+    /// Lines waiting to be written.
+    pub fn len(&self) -> usize {
+        self.lock().lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().lines.is_empty()
+    }
+
+    /// The session finished; once the queue drains the connection
+    /// should be closed.
+    pub fn close_sink(&self) {
+        self.lock().sink_closed = true;
+    }
+
+    pub fn sink_closed(&self) -> bool {
+        self.lock().sink_closed
+    }
+
+    /// The client vanished; future pushes are refused.
+    pub fn mark_receiver_gone(&self) {
+        let mut q = self.lock();
+        q.receiver_gone = true;
+        q.lines.clear();
+    }
+
+    /// Session done *and* everything flushed — time to close the
+    /// connection.
+    pub fn is_finished(&self) -> bool {
+        let q = self.lock();
+        q.sink_closed && q.lines.is_empty()
+    }
+}
+
 /// Where a session's outbound lines go.
 pub enum SessionSink {
     /// Collected in memory — the deterministic tests read this.
@@ -94,6 +171,10 @@ pub enum SessionSink {
     /// Fed to the connection's writer thread. A failed send means the
     /// client is gone.
     Channel(mpsc::Sender<String>),
+    /// Queued for the owning worker's event loop to flush. Dropping the
+    /// sink (the scheduler releasing the session) closes the queue so
+    /// the event loop flushes the tail and closes the socket.
+    Queue(Arc<OutQueue>),
 }
 
 impl SessionSink {
@@ -113,6 +194,15 @@ impl SessionSink {
                 true
             }
             SessionSink::Channel(tx) => tx.send(line.to_string()).is_ok(),
+            SessionSink::Queue(q) => q.push(line),
+        }
+    }
+}
+
+impl Drop for SessionSink {
+    fn drop(&mut self) {
+        if let SessionSink::Queue(q) = self {
+            q.close_sink();
         }
     }
 }
@@ -142,6 +232,21 @@ mod tests {
         assert!(sink.send("one"));
         assert!(sink.send("two"));
         assert_eq!(*buf.lock().unwrap(), vec!["one", "two"]);
+    }
+
+    #[test]
+    fn out_queue_flush_then_close_protocol() {
+        let q = OutQueue::new();
+        let sink = SessionSink::Queue(q.clone());
+        assert!(sink.send("reply"));
+        assert!(!q.is_finished(), "open and non-empty");
+        drop(sink);
+        assert!(q.sink_closed());
+        assert!(!q.is_finished(), "tail must flush before close");
+        assert_eq!(q.pop().as_deref(), Some("reply"));
+        assert!(q.is_finished());
+        q.mark_receiver_gone();
+        assert!(!q.push("void"), "gone client refuses pushes");
     }
 
     #[test]

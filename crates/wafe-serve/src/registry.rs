@@ -1,21 +1,32 @@
 //! The session registry: generation-stamped identities, admission
 //! control and the server-wide counters behind `serve status`.
 //!
-//! The registry is the only state shared between the acceptor threads,
-//! the worker threads and the `serve` Tcl command, so it is the one
-//! place locking happens: a single short-held [`Mutex`] around plain
-//! data, plus a lock-free draining flag the accept loops poll.
+//! The registry is the state shared between the accept loop, the worker
+//! event loops and the `serve` Tcl command. To keep that sharing off
+//! the hot path it is *sharded*: slots, per-slot bookkeeping, parked
+//! snapshots and the event counters live in one [`Mutex`]-guarded shard
+//! per worker, and a session's stamped id pins it to its shard for life
+//! (`shard = slot % nshards`). Workers therefore never contend on each
+//! other's locks — only `serve status` / `serve metrics` walk all
+//! shards, aggregating at read time. The only cross-shard state is a
+//! pair of atomics (the active count backing exact `maxSessions`
+//! admission and the draining flag) plus rarely-touched configuration
+//! (limits, park directory).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A session identity that cannot be confused with a later tenant of
 /// the same slot: the slot index is reused, the generation never is.
 /// A release carrying a stale generation is ignored, which is what
 /// makes "evict and the transport notices later" race-free.
+///
+/// The slot also encodes placement: `slot % nshards` is the registry
+/// shard and (with one worker per shard) the worker that owns the
+/// session, so routing is a modulo, not a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId {
     /// Index into the registry's slot table (reused).
@@ -125,7 +136,8 @@ impl Limits {
     }
 }
 
-/// Server-wide event totals (`serve status`).
+/// Server-wide event totals (`serve status`). Kept per shard and summed
+/// at read time.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
     /// Sessions admitted.
@@ -146,6 +158,24 @@ pub struct ServerStats {
     pub restored: u64,
     /// Restore attempts naming an unknown or already-taken snapshot.
     pub restore_miss: u64,
+    /// `accept(2)` failures (fd exhaustion etc.) the accept loop backed
+    /// off from instead of spinning on.
+    pub accept_errors: u64,
+}
+
+impl ServerStats {
+    fn add(&mut self, o: &ServerStats) {
+        self.accepted += o.accepted;
+        self.shed_admission += o.shed_admission;
+        self.shed_queue += o.shed_queue;
+        self.evicted += o.evicted;
+        self.closed += o.closed;
+        self.commands += o.commands;
+        self.parked += o.parked;
+        self.restored += o.restored;
+        self.restore_miss += o.restore_miss;
+        self.accept_errors += o.accept_errors;
+    }
 }
 
 /// One parked session's checkpoint, held by the registry until a
@@ -165,28 +195,44 @@ struct Slot {
     commands: u64,
 }
 
-struct Inner {
+/// One registry shard: everything a single worker touches for its own
+/// sessions. Slot vectors are indexed by *local* index; the global slot
+/// is `local * nshards + shard`.
+#[derive(Default)]
+struct ShardInner {
     /// `generations[i]` is the generation the *next or current* tenant
-    /// of slot `i` carries; bumped on release.
+    /// of the shard's local slot `i` carries; bumped on release.
     generations: Vec<u32>,
     slots: Vec<Option<Slot>>,
-    limits: Limits,
     stats: ServerStats,
     /// Parked snapshots, keyed by the full stamped identity. The
     /// generation stamp is what makes park/reconnect race-free: a slot
     /// may be re-tenanted immediately, but `slot:generation` never
     /// recurs, so a parked id can neither collide nor be forged stale.
     parked: HashMap<(u32, u32), Parked>,
-    /// Snapshot persistence directory (`waferd --park-dir`); parks are
-    /// written through and restores remove the file.
-    park_dir: Option<PathBuf>,
+    /// Mailbox-depth gauge, updated by the shard's event loop after
+    /// each sweep (the `serve status` shards breakdown).
+    queued: usize,
 }
 
 /// The shared half of the server. Cheap to clone behind an `Arc`; every
 /// method takes `&self`.
 pub struct Registry {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<ShardInner>>,
+    /// Live session count across all shards; admission reserves with a
+    /// CAS against `maxSessions`, so the limit stays exact without a
+    /// global lock.
+    active: AtomicUsize,
+    /// Round-robin cursor spreading admissions across shards.
+    next_admit: AtomicUsize,
+    limits: Mutex<Limits>,
+    /// Snapshot persistence directory (`waferd --park-dir`); parks are
+    /// written through and restores remove the file.
+    park_dir: Mutex<Option<PathBuf>>,
     draining: AtomicBool,
+    /// Readiness backend surfaced in `serve status` (`poll`, `sim`,
+    /// `threads`; `none` before a server attaches).
+    poller: Mutex<&'static str>,
 }
 
 impl Default for Registry {
@@ -196,99 +242,164 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// A registry enforcing the given limits.
+    /// A single-shard registry enforcing the given limits — the embedded
+    /// and test configuration, where slot numbers are dense.
     pub fn new(limits: Limits) -> Self {
+        Registry::with_shards(limits, 1)
+    }
+
+    /// A registry with one shard per worker.
+    pub fn with_shards(limits: Limits, nshards: usize) -> Self {
+        let nshards = nshards.max(1);
         Registry {
-            inner: Mutex::new(Inner {
-                generations: Vec::new(),
-                slots: Vec::new(),
-                limits,
-                stats: ServerStats::default(),
-                parked: HashMap::new(),
-                park_dir: None,
-            }),
+            shards: (0..nshards)
+                .map(|_| Mutex::new(ShardInner::default()))
+                .collect(),
+            active: AtomicUsize::new(0),
+            next_admit: AtomicUsize::new(0),
+            limits: Mutex::new(limits),
+            park_dir: Mutex::new(None),
             draining: AtomicBool::new(false),
+            poller: Mutex::new("none"),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    /// How many shards (== workers) the registry was built for.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a stamped id lives on.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        id.slot as usize % self.shards.len()
+    }
+
+    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, ShardInner> {
+        self.shards[i].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn shard_for_slot(&self, slot: u32) -> std::sync::MutexGuard<'_, ShardInner> {
+        self.shard(slot as usize % self.shards.len())
+    }
+
+    /// Records which readiness backend the server runs on.
+    pub fn set_poller_backend(&self, name: &'static str) {
+        *self.poller.lock().unwrap_or_else(|p| p.into_inner()) = name;
+    }
+
+    /// The active readiness backend (`serve status` `poller` key).
+    pub fn poller_backend(&self) -> &'static str {
+        *self.poller.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Updates one shard's mailbox-depth gauge (set by its event loop
+    /// after each sweep).
+    pub fn set_shard_queued(&self, shard: usize, queued: usize) {
+        if shard < self.shards.len() {
+            self.shard(shard).queued = queued;
+        }
     }
 
     /// Admission control: a slot for a new session, or the reason it
-    /// was shed.
+    /// was shed. The active count is reserved with a CAS first, so
+    /// `maxSessions` stays exact even with shards admitting in
+    /// parallel.
     pub fn admit(&self, peer: &str, now_ms: u64) -> Result<SessionId, ShedReason> {
+        let cursor = self.next_admit.fetch_add(1, Ordering::Relaxed);
+        let nshards = self.shards.len();
         if self.draining() {
-            self.lock().stats.shed_admission += 1;
+            self.shard(cursor % nshards).stats.shed_admission += 1;
             return Err(ShedReason::Draining);
         }
-        let mut inner = self.lock();
-        let active = inner.slots.iter().filter(|s| s.is_some()).count();
-        if active >= inner.limits.max_sessions {
-            inner.stats.shed_admission += 1;
-            return Err(ShedReason::MaxSessions);
+        let max = self.limits().max_sessions;
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= max {
+                self.shard(cursor % nshards).stats.shed_admission += 1;
+                return Err(ShedReason::MaxSessions);
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
         }
+        let shard_idx = cursor % nshards;
         let slot = Slot {
             peer: peer.to_string(),
             admitted_ms: now_ms,
             commands: 0,
         };
-        let idx = match inner.slots.iter().position(|s| s.is_none()) {
+        let mut shard = self.shard(shard_idx);
+        let local = match shard.slots.iter().position(|s| s.is_none()) {
             Some(i) => {
-                inner.slots[i] = Some(slot);
+                shard.slots[i] = Some(slot);
                 i
             }
             None => {
-                inner.slots.push(Some(slot));
-                inner.generations.push(1);
-                inner.slots.len() - 1
+                shard.slots.push(Some(slot));
+                shard.generations.push(1);
+                shard.slots.len() - 1
             }
         };
-        inner.stats.accepted += 1;
+        shard.stats.accepted += 1;
         Ok(SessionId {
-            slot: idx as u32,
-            generation: inner.generations[idx],
+            slot: (local * nshards + shard_idx) as u32,
+            generation: shard.generations[local],
         })
     }
 
     /// Releases a session's slot. A stale id (older generation, or a
     /// slot already freed) is ignored and returns false.
     pub fn release(&self, id: SessionId) -> bool {
-        let mut inner = self.lock();
-        let idx = id.slot as usize;
-        if idx >= inner.slots.len()
-            || inner.generations[idx] != id.generation
-            || inner.slots[idx].is_none()
+        let nshards = self.shards.len();
+        let local = id.slot as usize / nshards;
+        let mut shard = self.shard_for_slot(id.slot);
+        if local >= shard.slots.len()
+            || shard.generations[local] != id.generation
+            || shard.slots[local].is_none()
         {
             return false;
         }
-        inner.slots[idx] = None;
-        inner.generations[idx] += 1;
-        inner.stats.closed += 1;
+        shard.slots[local] = None;
+        shard.generations[local] += 1;
+        shard.stats.closed += 1;
+        drop(shard);
+        self.active.fetch_sub(1, Ordering::SeqCst);
         true
     }
 
-    /// Adds dispatched-line counts to a session and the global total.
+    /// Adds dispatched-line counts to a session and its shard's total.
     pub fn note_commands(&self, id: SessionId, n: u64) {
-        let mut inner = self.lock();
-        inner.stats.commands += n;
-        let idx = id.slot as usize;
-        if idx < inner.slots.len() && inner.generations[idx] == id.generation {
-            if let Some(slot) = inner.slots[idx].as_mut() {
+        let nshards = self.shards.len();
+        let local = id.slot as usize / nshards;
+        let mut shard = self.shard_for_slot(id.slot);
+        shard.stats.commands += n;
+        if local < shard.slots.len() && shard.generations[local] == id.generation {
+            if let Some(slot) = shard.slots[local].as_mut() {
                 slot.commands += n;
             }
         }
     }
 
-    /// Counts one queue-full shed (the transport replies `!shed
-    /// queue-full` to the client).
-    pub fn note_shed_queue(&self) {
-        self.lock().stats.shed_queue += 1;
+    /// Counts one queue-full shed against the session's shard (the
+    /// transport replies `!shed queue-full` to the client).
+    pub fn note_shed_queue(&self, id: SessionId) {
+        self.shard_for_slot(id.slot).stats.shed_queue += 1;
     }
 
-    /// Counts one idle eviction.
-    pub fn note_evicted(&self) {
-        self.lock().stats.evicted += 1;
+    /// Counts one idle eviction against the session's shard.
+    pub fn note_evicted(&self, id: SessionId) {
+        self.shard_for_slot(id.slot).stats.evicted += 1;
+    }
+
+    /// Counts one accept-loop failure (`EMFILE`/`ENFILE` back-off).
+    pub fn note_accept_error(&self) {
+        self.shard(0).stats.accept_errors += 1;
     }
 
     /// Counts a restore attempt that named an unknown snapshot (the
@@ -297,32 +408,49 @@ impl Registry {
     ///
     /// [`take_parked`]: Registry::take_parked
     pub fn note_restore_miss(&self) {
-        self.lock().stats.restore_miss += 1;
+        self.shard(0).stats.restore_miss += 1;
     }
 
     /// Sessions currently registered.
     pub fn active(&self) -> usize {
-        self.lock().slots.iter().filter(|s| s.is_some()).count()
+        self.active.load(Ordering::SeqCst)
     }
 
-    /// A copy of the server-wide totals.
+    /// The server-wide totals, summed across shards.
     pub fn stats(&self) -> ServerStats {
-        self.lock().stats
+        let mut total = ServerStats::default();
+        for i in 0..self.shards.len() {
+            total.add(&self.shard(i).stats);
+        }
+        total
     }
 
     /// A copy of the current limits.
     pub fn limits(&self) -> Limits {
-        self.lock().limits.clone()
+        self.limits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Reads one Tcl-visible limit.
     pub fn get_limit(&self, key: &str) -> Option<String> {
-        self.lock().limits.get(key)
+        self.limits().get(key)
     }
 
     /// Sets one Tcl-visible limit.
     pub fn set_limit(&self, key: &str, value: &str) -> Result<(), String> {
-        self.lock().limits.set(key, value)
+        self.limits
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .set(key, value)
+    }
+
+    fn park_dir(&self) -> Option<PathBuf> {
+        self.park_dir
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Parks a session's encoded snapshot under its stamped identity.
@@ -331,20 +459,20 @@ impl Registry {
     /// process restart; a write failure fails the park loudly rather
     /// than silently keeping a memory-only checkpoint.
     pub fn park(&self, id: SessionId, bytes: Vec<u8>, now_ms: u64) -> Result<(), String> {
-        let mut inner = self.lock();
-        if let Some(dir) = inner.park_dir.clone() {
+        if let Some(dir) = self.park_dir() {
             let path = dir.join(park_file_name(id));
             std::fs::write(&path, &bytes)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         }
-        inner.parked.insert(
+        let mut shard = self.shard_for_slot(id.slot);
+        shard.parked.insert(
             (id.slot, id.generation),
             Parked {
                 bytes,
                 parked_ms: now_ms,
             },
         );
-        inner.stats.parked += 1;
+        shard.stats.parked += 1;
         Ok(())
     }
 
@@ -352,17 +480,18 @@ impl Registry {
     /// park directory, if one is configured). `None` counts a restore
     /// miss: the id was never parked, or was already claimed.
     pub fn take_parked(&self, id: SessionId) -> Option<Vec<u8>> {
-        let mut inner = self.lock();
-        match inner.parked.remove(&(id.slot, id.generation)) {
+        let mut shard = self.shard_for_slot(id.slot);
+        match shard.parked.remove(&(id.slot, id.generation)) {
             Some(p) => {
-                inner.stats.restored += 1;
-                if let Some(dir) = inner.park_dir.clone() {
+                shard.stats.restored += 1;
+                drop(shard);
+                if let Some(dir) = self.park_dir() {
                     let _ = std::fs::remove_file(dir.join(park_file_name(id)));
                 }
                 Some(p.bytes)
             }
             None => {
-                inner.stats.restore_miss += 1;
+                shard.stats.restore_miss += 1;
                 None
             }
         }
@@ -370,27 +499,35 @@ impl Registry {
 
     /// Whether a snapshot is parked under this exact stamped identity.
     pub fn has_parked(&self, id: SessionId) -> bool {
-        self.lock().parked.contains_key(&(id.slot, id.generation))
+        self.shard_for_slot(id.slot)
+            .parked
+            .contains_key(&(id.slot, id.generation))
     }
 
     /// Snapshots currently parked.
     pub fn parked_count(&self) -> usize {
-        self.lock().parked.len()
+        (0..self.shards.len())
+            .map(|i| self.shard(i).parked.len())
+            .sum()
     }
 
     /// `session snapshots` payload: one `{id bytes parkedMs}` sublist
     /// per parked snapshot, in id order.
     pub fn parked_words(&self) -> Vec<String> {
-        let inner = self.lock();
-        let mut keys: Vec<&(u32, u32)> = inner.parked.keys().collect();
-        keys.sort();
-        keys.into_iter()
-            .map(|&(slot, generation)| {
-                let p = &inner.parked[&(slot, generation)];
+        let mut rows: Vec<((u32, u32), usize, u64)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            for (&key, p) in &shard.parked {
+                rows.push((key, p.bytes.len(), p.parked_ms));
+            }
+        }
+        rows.sort();
+        rows.into_iter()
+            .map(|((slot, generation), len, ms)| {
                 wafe_tcl::list_join(&[
                     SessionId { slot, generation }.to_string(),
-                    p.bytes.len().to_string(),
-                    p.parked_ms.to_string(),
+                    len.to_string(),
+                    ms.to_string(),
                 ])
             })
             .collect()
@@ -400,7 +537,7 @@ impl Registry {
     /// true, a graceful drain parks every live session instead of
     /// dropping it, so the sessions survive the restart.
     pub fn park_persistent(&self) -> bool {
-        self.lock().park_dir.is_some()
+        self.park_dir().is_some()
     }
 
     /// Configures the park directory and loads any snapshots a previous
@@ -424,15 +561,16 @@ impl Registry {
                 .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
             loaded.push((id, bytes));
         }
-        let mut inner = self.lock();
+        let nshards = self.shards.len();
         for (id, bytes) in loaded {
-            let idx = id.slot as usize;
-            if idx >= inner.slots.len() {
-                inner.slots.resize(idx + 1, None);
-                inner.generations.resize(idx + 1, 1);
+            let local = id.slot as usize / nshards;
+            let mut shard = self.shard_for_slot(id.slot);
+            if local >= shard.slots.len() {
+                shard.slots.resize(local + 1, None);
+                shard.generations.resize(local + 1, 1);
             }
-            inner.generations[idx] = inner.generations[idx].max(id.generation + 1);
-            inner.parked.insert(
+            shard.generations[local] = shard.generations[local].max(id.generation + 1);
+            shard.parked.insert(
                 (id.slot, id.generation),
                 Parked {
                     bytes,
@@ -440,8 +578,8 @@ impl Registry {
                 },
             );
         }
-        inner.park_dir = Some(dir);
-        Ok(inner.parked.len())
+        *self.park_dir.lock().unwrap_or_else(|p| p.into_inner()) = Some(dir);
+        Ok(self.parked_count())
     }
 
     /// Whether a drain is in progress.
@@ -455,18 +593,32 @@ impl Registry {
         self.draining.store(true, Ordering::SeqCst);
     }
 
-    /// `serve status` payload: a flat key/value word list.
+    /// `serve status` payload: a flat key/value word list. The original
+    /// aggregate keys come first (their positions are part of the wire
+    /// contract); the shard-era keys — `acceptErrors`, `poller` and the
+    /// per-shard `shards` breakdown — are appended at the end.
     pub fn status_words(&self) -> Vec<String> {
         let draining = self.draining();
-        let inner = self.lock();
-        let active = inner.slots.iter().filter(|s| s.is_some()).count();
-        let s = inner.stats;
+        let s = self.stats();
+        let mut shard_rows = Vec::new();
+        for i in 0..self.shards.len() {
+            let shard = self.shard(i);
+            let active = shard.slots.iter().filter(|s| s.is_some()).count();
+            shard_rows.push(wafe_tcl::list_join(&[
+                "shard".to_string(),
+                i.to_string(),
+                "active".to_string(),
+                active.to_string(),
+                "queued".to_string(),
+                shard.queued.to_string(),
+            ]));
+        }
         [
             (
                 "state",
                 if draining { "draining" } else { "serving" }.into(),
             ),
-            ("active", active.to_string()),
+            ("active", self.active().to_string()),
             ("accepted", s.accepted.to_string()),
             ("shedAdmission", s.shed_admission.to_string()),
             ("shedQueue", s.shed_queue.to_string()),
@@ -476,7 +628,10 @@ impl Registry {
             ("parked", s.parked.to_string()),
             ("restored", s.restored.to_string()),
             ("restoreMiss", s.restore_miss.to_string()),
-            ("parkedNow", inner.parked.len().to_string()),
+            ("parkedNow", self.parked_count().to_string()),
+            ("acceptErrors", s.accept_errors.to_string()),
+            ("poller", self.poller_backend().to_string()),
+            ("shards", wafe_tcl::list_join(&shard_rows)),
         ]
         .into_iter()
         .flat_map(|(k, v): (&str, String)| [k.to_string(), v])
@@ -489,12 +644,10 @@ impl Registry {
     /// `state` word becomes the 0/1 `draining` flag).
     pub fn metrics_pairs(&self) -> Vec<(String, String)> {
         let draining = self.draining();
-        let inner = self.lock();
-        let active = inner.slots.iter().filter(|s| s.is_some()).count();
-        let s = inner.stats;
+        let s = self.stats();
         let mut pairs: Vec<(String, String)> = [
             ("draining", draining as u64),
-            ("active", active as u64),
+            ("active", self.active() as u64),
             ("accepted", s.accepted),
             ("shedAdmission", s.shed_admission),
             ("shedQueue", s.shed_queue),
@@ -504,7 +657,8 @@ impl Registry {
             ("parked", s.parked),
             ("restored", s.restored),
             ("restoreMiss", s.restore_miss),
-            ("parkedNow", inner.parked.len() as u64),
+            ("parkedNow", self.parked_count() as u64),
+            ("acceptErrors", s.accept_errors),
         ]
         .into_iter()
         .map(|(k, v)| (format!("serve.server.{k}"), v.to_string()))
@@ -516,25 +670,29 @@ impl Registry {
     /// `serve sessions` payload: one `{id peer admittedMs commands}`
     /// sublist per live session, in slot order.
     pub fn sessions_words(&self) -> Vec<String> {
-        let inner = self.lock();
-        inner
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                let s = s.as_ref()?;
+        let nshards = self.shards.len();
+        let mut rows: Vec<(u32, String)> = Vec::new();
+        for i in 0..nshards {
+            let shard = self.shard(i);
+            for (local, s) in shard.slots.iter().enumerate() {
+                let Some(s) = s.as_ref() else { continue };
                 let id = SessionId {
-                    slot: i as u32,
-                    generation: inner.generations[i],
+                    slot: (local * nshards + i) as u32,
+                    generation: shard.generations[local],
                 };
-                Some(wafe_tcl::list_join(&[
-                    id.to_string(),
-                    s.peer.clone(),
-                    s.admitted_ms.to_string(),
-                    s.commands.to_string(),
-                ]))
-            })
-            .collect()
+                rows.push((
+                    id.slot,
+                    wafe_tcl::list_join(&[
+                        id.to_string(),
+                        s.peer.clone(),
+                        s.admitted_ms.to_string(),
+                        s.commands.to_string(),
+                    ]),
+                ));
+            }
+        }
+        rows.sort();
+        rows.into_iter().map(|(_, w)| w).collect()
     }
 }
 
@@ -656,5 +814,83 @@ mod tests {
         assert_eq!(words[1], "serving");
         r.begin_drain();
         assert_eq!(r.status_words()[1], "draining");
+    }
+
+    #[test]
+    fn sharded_slots_interleave_and_route_by_modulo() {
+        let r = Registry::with_shards(Limits::default(), 4);
+        let ids: Vec<SessionId> = (0..6)
+            .map(|i| r.admit(&format!("c{i}"), 0).unwrap())
+            .collect();
+        // Round-robin admission: global slots 0,1,2,3 then 4,5 (the
+        // second lap of shards 0 and 1).
+        assert_eq!(
+            ids.iter().map(|id| id.slot).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        for id in &ids {
+            assert_eq!(r.shard_of(*id), id.slot as usize % 4);
+        }
+        assert_eq!(r.active(), 6);
+        // Releasing a shard-2 session frees exactly that slot for the
+        // next shard-2 lap.
+        assert!(r.release(ids[2]));
+        assert_eq!(r.active(), 5);
+        // sessions_words stays globally slot-ordered across shards.
+        let words = r.sessions_words();
+        assert_eq!(words.len(), 5);
+        assert!(words[0].starts_with("0:1 "));
+        assert!(words.iter().all(|w| !w.starts_with("2:")));
+    }
+
+    #[test]
+    fn sharded_max_sessions_is_exact() {
+        let r = Registry::with_shards(
+            Limits {
+                max_sessions: 5,
+                ..Limits::default()
+            },
+            4,
+        );
+        let ids: Vec<_> = (0..5)
+            .map(|i| r.admit(&format!("c{i}"), 0).unwrap())
+            .collect();
+        assert_eq!(r.admit("over", 0), Err(ShedReason::MaxSessions));
+        assert_eq!(r.active(), 5);
+        r.release(ids[0]);
+        assert!(r.admit("fits", 0).is_ok());
+        assert_eq!(r.stats().accepted, 6);
+        assert_eq!(r.stats().shed_admission, 1);
+    }
+
+    #[test]
+    fn status_reports_poller_and_shard_breakdown() {
+        let r = Registry::with_shards(Limits::default(), 2);
+        r.set_poller_backend("sim");
+        r.admit("a", 0).unwrap();
+        r.set_shard_queued(1, 9);
+        let words = r.status_words();
+        let find = |key: &str| {
+            words
+                .iter()
+                .position(|w| w == key)
+                .map(|i| words[i + 1].clone())
+                .unwrap()
+        };
+        assert_eq!(find("poller"), "sim");
+        assert_eq!(find("acceptErrors"), "0");
+        assert_eq!(
+            find("shards"),
+            "{shard 0 active 1 queued 0} {shard 1 active 0 queued 9}"
+        );
+        r.note_accept_error();
+        assert_eq!(
+            r.metrics_pairs()
+                .iter()
+                .find(|(k, _)| k == "serve.server.acceptErrors")
+                .unwrap()
+                .1,
+            "1"
+        );
     }
 }

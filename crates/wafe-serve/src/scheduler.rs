@@ -104,6 +104,12 @@ impl Scheduler {
         self.sessions.len()
     }
 
+    /// Mailbox lines queued across this scheduler's sessions (the
+    /// shard's `queued` gauge in the `serve status` breakdown).
+    pub fn queued_lines(&self) -> usize {
+        self.sessions.iter().map(|e| e.mailbox.len()).sum()
+    }
+
     /// Builds the session for an admitted connection and takes it into
     /// the round-robin ring.
     pub fn attach(&mut self, id: SessionId, mailbox: Arc<Mailbox>, sink: SessionSink) {
@@ -198,7 +204,7 @@ impl Scheduler {
             // replies to the lines that did get through.
             let shed = entry.mailbox.take_shed();
             for _ in 0..shed {
-                self.registry.note_shed_queue();
+                self.registry.note_shed_queue(entry.id);
                 if !entry.sink.send("!shed queue-full") {
                     entry.gone = true;
                 }
@@ -253,7 +259,7 @@ impl Scheduler {
                     // later with `session restore <id>`.
                     let entry = self.sessions.remove(i);
                     entry.engine.session.telemetry.count("serve.evict");
-                    self.registry.note_evicted();
+                    self.registry.note_evicted(entry.id);
                     self.park_entry(entry, "idle");
                 } else {
                     i += 1;

@@ -1,19 +1,24 @@
-//! The socket transport: TCP and Unix-domain acceptors, per-connection
-//! reader/writer threads, and the bounded worker pool the sessions are
-//! pinned to.
+//! The socket transport. Two I/O models share the admission, scheduling
+//! and shed/drain/park semantics:
 //!
-//! Thread shape per server: one acceptor thread per listener plus
-//! `workers` scheduler threads, spawned up front (the bounded pool);
-//! each accepted connection adds one reader and one writer thread
-//! (cheap, blocked on I/O). Connections are assigned to workers round
-//! robin; the worker owns the session for its whole life.
+//! * [`IoModel::Poll`] (default) — the readiness-driven event loop: one
+//!   accept thread polling every listener, plus `workers` worker
+//!   threads each running an [`EventLoop`] over nonblocking sockets.
+//!   Thread count is fixed at `workers + 1` no matter how many
+//!   connections are live, which is what lets wafe-serve hold 10k
+//!   concurrent clients.
+//! * [`IoModel::Threads`] — the original thread-per-connection model
+//!   (one reader and one writer thread per accepted socket), kept as
+//!   the comparison baseline for the E24 bench.
 //!
-//! Teardown is a single one-way flag: [`Registry::begin_drain`] (set by
-//! `Server::drain` or a client's `%serve drain`). Acceptors observe it
-//! and stop accepting; schedulers observe it, close every mailbox,
-//! flush what was queued and release the sessions; dropping a session's
-//! sink ends its writer thread, which shuts the socket down and thereby
-//! unblocks its reader.
+//! Connections are pinned: in the poll model a session's slot picks its
+//! worker (`slot % workers`), which is also its registry shard, so a
+//! worker only ever touches its own shard's lock. Teardown is a single
+//! one-way flag: [`Registry::begin_drain`] (set by `Server::drain` or a
+//! client's `%serve drain`). The acceptor observes it and stops
+//! accepting; schedulers observe it, close every mailbox, flush what
+//! was queued and release the sessions; released sinks close the
+//! connections.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener};
@@ -26,11 +31,21 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use wafe_core::Flavor;
-use wafe_ipc::{LineCodec, DEFAULT_MAX_LINE};
+use wafe_ipc::{LineCodec, SysPoller, DEFAULT_MAX_LINE};
 
+use crate::event_loop::{AcceptLoop, Acceptor, ConnAssign, EventLoop, TcpAcceptor, UnixAcceptor};
 use crate::mailbox::{Mailbox, SessionSink};
 use crate::registry::{Limits, Registry, SessionId};
 use crate::scheduler::Scheduler;
+
+/// Which transport drives the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Readiness-driven event loop (`poll(2)`), fixed thread count.
+    Poll,
+    /// Thread-per-connection baseline.
+    Threads,
+}
 
 /// How a [`Server`] is stood up.
 pub struct ServerConfig {
@@ -42,7 +57,8 @@ pub struct ServerConfig {
     pub unix: Option<PathBuf>,
     /// Widget-set flavour of every session.
     pub flavor: Flavor,
-    /// Scheduler threads in the bounded pool.
+    /// Scheduler threads in the bounded pool (== registry shards in the
+    /// poll model).
     pub workers: usize,
     /// Pre-enable telemetry on every session.
     pub telemetry: bool,
@@ -56,6 +72,12 @@ pub struct ServerConfig {
     /// and a graceful drain parks every live session instead of
     /// dropping it.
     pub park_dir: Option<PathBuf>,
+    /// Transport model ([`IoModel::Poll`] unless benchmarking the
+    /// baseline).
+    pub io: IoModel,
+    /// How long the accept loop sits out after an accept failure
+    /// (`EMFILE`/`ENFILE` back-off tick).
+    pub accept_backoff_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,12 +91,15 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             log_passthrough: false,
             park_dir: None,
+            io: IoModel::Poll,
+            accept_backoff_ms: 50,
         }
     }
 }
 
-/// A session hand-off from an acceptor to a worker. Everything in it is
-/// `Send`; the `!Send` session itself is built on the worker thread.
+/// A session hand-off from an acceptor to a worker in the
+/// thread-per-connection model. Everything in it is `Send`; the `!Send`
+/// session itself is built on the worker thread.
 struct Assign {
     id: SessionId,
     mailbox: Arc<Mailbox>,
@@ -94,7 +119,88 @@ impl Server {
     /// Binds the listeners and spawns the pool. Returns as soon as the
     /// server is accepting.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        match config.io {
+            IoModel::Poll => Server::start_poll(config),
+            IoModel::Threads => Server::start_threads(config),
+        }
+    }
+
+    /// The event-loop transport: one accept thread, `workers` event
+    /// loops, one registry shard per worker.
+    fn start_poll(config: ServerConfig) -> std::io::Result<Server> {
+        let nworkers = config.workers.max(1);
+        let registry = Arc::new(Registry::with_shards(config.limits.clone(), nworkers));
+        if let Some(dir) = &config.park_dir {
+            registry
+                .set_park_dir(dir.clone())
+                .map_err(std::io::Error::other)?;
+        }
+        let mut txs: Vec<Sender<ConnAssign>> = Vec::new();
+        let mut workers = Vec::new();
+        for w in 0..nworkers {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            let registry = registry.clone();
+            let (flavor, telemetry, log) =
+                (config.flavor, config.telemetry, config.log_passthrough);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("wafe-serve-worker-{w}"))
+                    .spawn(move || worker_event_loop(registry, rx, w, flavor, telemetry, log))?,
+            );
+        }
+        let mut acceptors: Vec<Box<dyn Acceptor>> = Vec::new();
+        let mut local_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr.as_str())?;
+            listener.set_nonblocking(true)?;
+            local_addr = Some(listener.local_addr()?);
+            acceptors.push(Box::new(TcpAcceptor(listener)));
+        }
+        let mut unix_path = None;
+        if let Some(path) = &config.unix {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            acceptors.push(Box::new(UnixAcceptor::new(listener)));
+        }
+        let mut accept_threads = Vec::new();
+        if !acceptors.is_empty() {
+            let mut accept_loop =
+                AcceptLoop::new(registry.clone(), acceptors, txs, Box::new(SysPoller::new()));
+            let registry2 = registry.clone();
+            let backoff = config.accept_backoff_ms.max(1) as i32;
+            accept_threads.push(
+                thread::Builder::new()
+                    .name("wafe-serve-accept".into())
+                    .spawn(move || {
+                        while !registry2.draining() {
+                            let timeout = if accept_loop.backing_off() {
+                                backoff
+                            } else {
+                                10
+                            };
+                            accept_loop.poll_once(timeout);
+                        }
+                        // Dropping the loop drops the txs: workers see
+                        // the disconnect and exit once drained.
+                    })?,
+            );
+        }
+        Ok(Server {
+            registry,
+            local_addr,
+            unix_path,
+            acceptors: accept_threads,
+            workers,
+        })
+    }
+
+    /// The thread-per-connection baseline transport.
+    fn start_threads(config: ServerConfig) -> std::io::Result<Server> {
         let registry = Arc::new(Registry::new(config.limits.clone()));
+        registry.set_poller_backend("threads");
         if let Some(dir) = &config.park_dir {
             registry
                 .set_park_dir(dir.clone())
@@ -183,6 +289,56 @@ impl Server {
     }
 }
 
+/// One poll-model worker: attach assignments, poll the sockets, sweep
+/// the mailboxes, run the scheduler, flush the replies — forever, until
+/// the drain empties the loop.
+fn worker_event_loop(
+    registry: Arc<Registry>,
+    rx: Receiver<ConnAssign>,
+    shard: usize,
+    flavor: Flavor,
+    telemetry: bool,
+    log_passthrough: bool,
+) {
+    let sched = Scheduler::new(registry, flavor, telemetry);
+    let mut el = EventLoop::new(sched, shard, Box::new(SysPoller::new()));
+    let mut disconnected = false;
+    let mut last = Instant::now();
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(a) => el.attach(a),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        // With work queued, check readiness without blocking; idle,
+        // sleep a tick in poll.
+        let timeout = if el.has_pending_work() { 0 } else { 1 };
+        el.poll_io(timeout);
+        el.run_turn();
+        el.flush_and_reap();
+        for (id, line) in el.take_passthrough() {
+            if log_passthrough {
+                println!("[{id}] {line}");
+            }
+        }
+        // Virtual time follows the wall here; tests drive advance()
+        // directly instead.
+        let elapsed = last.elapsed().as_millis() as u64;
+        if elapsed > 0 {
+            el.advance(elapsed);
+            last = Instant::now();
+        }
+        if disconnected && el.is_drained() {
+            return;
+        }
+    }
+}
+
 fn worker_loop(
     registry: Arc<Registry>,
     rx: Receiver<Assign>,
@@ -259,7 +415,12 @@ fn tcp_accept_loop(
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => return,
+            Err(_) => {
+                // Fd exhaustion or a transient failure: count and back
+                // off, exactly like the poll model's accept loop.
+                registry.note_accept_error();
+                thread::sleep(Duration::from_millis(50));
+            }
         }
     }
 }
@@ -299,7 +460,10 @@ fn unix_accept_loop(
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => return,
+            Err(_) => {
+                registry.note_accept_error();
+                thread::sleep(Duration::from_millis(50));
+            }
         }
     }
 }

@@ -1,0 +1,209 @@
+//! Deterministic event-loop tests on the simulated net: scripted byte
+//! chunks, scripted accept errors, readiness derived from queue state —
+//! no sockets, no threads, no timing. These pin down the transport
+//! semantics the real poll(2) backend must share: batched sweeps,
+//! chunking-invariant reassembly, accept-error back-off.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use wafe_core::Flavor;
+use wafe_serve::event_loop::ConnAssign;
+use wafe_serve::{
+    AcceptLoop, EventLoop, Limits, Mailbox, OutQueue, Registry, Scheduler, SessionId, SimClient,
+    SimNet,
+};
+
+fn new_loop(registry: &Arc<Registry>, shard: usize, net: &SimNet) -> EventLoop {
+    let sched = Scheduler::new(registry.clone(), Flavor::Athena, false);
+    EventLoop::new(sched, shard, net.poller())
+}
+
+/// Admits a fresh session and attaches a simulated connection for it.
+fn attach_client(
+    el: &mut EventLoop,
+    registry: &Arc<Registry>,
+    net: &SimNet,
+) -> (SessionId, SimClient) {
+    let id = registry.admit("sim/test", 0).expect("admit");
+    let (client, io) = net.socketpair();
+    el.attach(ConnAssign {
+        id,
+        io,
+        mailbox: Mailbox::new(registry.limits().queue_depth),
+        out: OutQueue::new(),
+    });
+    (id, client)
+}
+
+/// One full worker iteration, as server.rs drives it.
+fn tick(el: &mut EventLoop) {
+    el.poll_io(0);
+    el.run_turn();
+    el.flush_and_reap();
+}
+
+#[test]
+fn one_wakeup_drains_every_readable_connection_before_the_scheduler_runs() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+    let clients: Vec<SimClient> = (0..3)
+        .map(|_| attach_client(&mut el, &registry, &net).1)
+        .collect();
+    for (i, c) in clients.iter().enumerate() {
+        c.send(format!("%echo from-{i}\n").as_bytes());
+    }
+    // The batched sweep: one poll wakeup moves all three lines into
+    // their mailboxes...
+    assert_eq!(el.poll_io(0), 3, "all readable conns drained in one wakeup");
+    // ...and only then does the scheduler sweep, dispatching all three.
+    assert_eq!(el.run_turn(), 3);
+    el.flush_and_reap();
+    for (i, c) in clients.iter().enumerate() {
+        assert_eq!(c.received_lines(), vec![format!("from-{i}")]);
+    }
+}
+
+#[test]
+fn accept_errors_back_off_for_a_tick_and_are_counted() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let (tx, rx) = mpsc::channel();
+    let mut accept = AcceptLoop::new(
+        registry.clone(),
+        vec![net.acceptor()],
+        vec![tx],
+        net.poller(),
+    );
+    // The kernel reports EMFILE, then ENFILE, then a real connection is
+    // waiting behind them.
+    net.push_accept_error(24); // EMFILE
+    net.push_accept_error(23); // ENFILE
+    let client = net.connect();
+
+    // Tick 1: EMFILE. Counted, loop alive, back-off armed.
+    assert_eq!(accept.poll_once(0), 0);
+    assert_eq!(registry.stats().accept_errors, 1);
+    assert!(accept.backing_off());
+    // Tick 2: the back-off tick — the listener is not even polled.
+    assert_eq!(accept.poll_once(0), 0);
+    assert_eq!(registry.stats().accept_errors, 1, "no accept attempted");
+    assert!(!accept.backing_off());
+    // Tick 3: ENFILE. Counted again, still alive.
+    assert_eq!(accept.poll_once(0), 0);
+    assert_eq!(registry.stats().accept_errors, 2);
+    // Tick 4: back-off again. Tick 5: the real connection gets in.
+    assert_eq!(accept.poll_once(0), 0);
+    assert_eq!(accept.poll_once(0), 1, "accepting resumed after back-off");
+    assert_eq!(registry.stats().accepted, 1);
+    let assign = rx.try_recv().expect("routed to the worker");
+    assert_eq!(assign.id.slot, 0);
+    drop(assign);
+    drop(client);
+}
+
+#[test]
+fn shed_reply_reaches_the_simulated_client_before_the_close() {
+    let registry = Arc::new(Registry::new(Limits {
+        max_sessions: 0,
+        ..Limits::default()
+    }));
+    let net = SimNet::new();
+    let (tx, _rx) = mpsc::channel();
+    let mut accept = AcceptLoop::new(
+        registry.clone(),
+        vec![net.acceptor()],
+        vec![tx],
+        net.poller(),
+    );
+    let client = net.connect();
+    assert_eq!(accept.poll_once(0), 0);
+    assert_eq!(client.received_lines(), vec!["!shed max-sessions"]);
+    assert!(client.is_shutdown());
+    assert_eq!(registry.stats().shed_admission, 1);
+}
+
+#[test]
+fn one_byte_reads_reassemble_byte_identically_across_a_park_and_restore() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+
+    // Phase 1: the first tenant dribbles state-building commands one
+    // byte per poll wakeup — every byte is a separate readiness event,
+    // a separate read(2), a separate LineAssembler push.
+    let (id_a, client_a) = attach_client(&mut el, &registry, &net);
+    for b in b"%set greeting salut\n%session park\n" {
+        client_a.send(&[*b]);
+        tick(&mut el);
+    }
+    assert_eq!(
+        client_a.received_lines(),
+        vec![format!("!parked {id_a}")],
+        "dribbled park parked the session"
+    );
+    assert!(client_a.is_shutdown(), "parked session's conn is closed");
+    assert!(registry.has_parked(id_a));
+
+    // Phase 2: a new connection dribbles the restore — including the
+    // parked id — one byte per wakeup, then asks for the state that
+    // crossed the park.
+    let (_id_b, client_b) = attach_client(&mut el, &registry, &net);
+    for b in format!("%session restore {id_a}\n%echo [set greeting]\n").as_bytes() {
+        client_b.send(&[*b]);
+        tick(&mut el);
+    }
+    assert_eq!(
+        client_b.received_lines(),
+        vec![format!("!restored {id_a}"), "salut".to_string()],
+        "reassembled byte-identically across park/restore"
+    );
+    assert_eq!(registry.stats().restored, 1);
+    assert_eq!(registry.stats().restore_miss, 0);
+}
+
+#[test]
+fn client_eof_finishes_the_session_and_closes_the_connection() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+    let (_, client) = attach_client(&mut el, &registry, &net);
+    client.send(b"%echo last-words\n");
+    client.send_eof();
+    tick(&mut el);
+    tick(&mut el);
+    assert_eq!(client.received_lines(), vec!["last-words"]);
+    assert!(client.is_shutdown(), "EOF drains the mailbox then closes");
+    assert_eq!(el.conn_count(), 0);
+    assert_eq!(registry.active(), 0);
+    assert_eq!(registry.stats().closed, 1);
+}
+
+#[test]
+fn queue_overflow_on_the_sim_transport_sheds_explicitly() {
+    let registry = Arc::new(Registry::new(Limits {
+        queue_depth: 2,
+        quantum: 2,
+        ..Limits::default()
+    }));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+    let (_, client) = attach_client(&mut el, &registry, &net);
+    // Five lines in one chunk against depth 2: two queued, three shed.
+    client.send(b"%echo m0\n%echo m1\n%echo m2\n%echo m3\n%echo m4\n");
+    el.poll_io(0);
+    el.run_turn();
+    el.flush_and_reap();
+    assert_eq!(
+        client.received_lines(),
+        vec![
+            "m0",
+            "m1",
+            "!shed queue-full",
+            "!shed queue-full",
+            "!shed queue-full"
+        ]
+    );
+    assert_eq!(registry.stats().shed_queue, 3);
+}

@@ -526,3 +526,63 @@ fn span_tree_attributes_every_layer_of_a_dispatched_command() {
     .into();
     assert_eq!(lines(&buf), want);
 }
+
+#[test]
+fn status_reports_poller_backend_and_per_shard_breakdown_verbatim() {
+    use wafe_serve::event_loop::ConnAssign;
+    use wafe_serve::{EventLoop, OutQueue, SimNet};
+
+    // Two shards, two event loops, one simulated net — exactly the
+    // poll-model server shape, scripted tick by tick.
+    let registry = Arc::new(Registry::with_shards(Limits::default(), 2));
+    let net = SimNet::new();
+    let attach = |el: &mut EventLoop| {
+        let id = registry.admit("sim/test", 0).expect("admitted");
+        let (client, io) = net.socketpair();
+        el.attach(ConnAssign {
+            id,
+            io,
+            mailbox: Mailbox::new(registry.limits().queue_depth),
+            out: OutQueue::new(),
+        });
+        client
+    };
+    let mut el0 = EventLoop::new(
+        Scheduler::new(registry.clone(), Flavor::Athena, false),
+        0,
+        net.poller(),
+    );
+    let mut el1 = EventLoop::new(
+        Scheduler::new(registry.clone(), Flavor::Athena, false),
+        1,
+        net.poller(),
+    );
+    let operator = attach(&mut el0); // slot 0 -> shard 0
+    let busy = attach(&mut el1); // slot 1 -> shard 1
+
+    // Shard 1 has three lines swept into the mailbox but not yet run:
+    // its queue-depth gauge reads 3 at status time.
+    busy.send(b"%echo q0\n%echo q1\n%echo q2\n");
+    el1.poll_io(0);
+    el1.flush_and_reap();
+
+    operator.send(b"%echo [serve status]\n");
+    el0.poll_io(0);
+    el0.run_turn();
+    el0.flush_and_reap();
+    assert_eq!(
+        operator.received_lines(),
+        vec![
+            "state serving active 2 accepted 2 shedAdmission 0 shedQueue 0 evicted 0 \
+             closed 0 commands 0 parked 0 restored 0 restoreMiss 0 parkedNow 0 \
+             acceptErrors 0 poller sim shards \
+             {{shard 0 active 1 queued 0} {shard 1 active 1 queued 3}}"
+                .to_string()
+        ]
+    );
+
+    // The staged lines still run and reply normally afterwards.
+    el1.run_turn();
+    el1.flush_and_reap();
+    assert_eq!(busy.received_lines(), vec!["q0", "q1", "q2"]);
+}

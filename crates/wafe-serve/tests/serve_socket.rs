@@ -126,3 +126,56 @@ fn a_client_command_drains_the_whole_server() {
     assert_eq!(registry.active(), 0);
     assert!(registry.draining());
 }
+
+#[test]
+fn one_byte_writes_reassemble_across_park_and_restore_on_the_wire() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().unwrap();
+
+    // Trickle every byte in its own write(2) so the server sees the
+    // lines split across many poll wakeups and partial reads.
+    let dribble = |w: &mut TcpStream, bytes: &[u8]| {
+        for b in bytes {
+            w.write_all(&[*b]).unwrap();
+            w.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    };
+
+    let first = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(first.try_clone().unwrap());
+    let mut w = first;
+    dribble(&mut w, b"%set greeting bonjour\n%session park\n");
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let parked_id = line
+        .trim_end()
+        .strip_prefix("!parked ")
+        .expect("park ack")
+        .to_string();
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after park");
+
+    // A fresh connection dribbles the restore and reads the state back.
+    let second = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(second.try_clone().unwrap());
+    let mut w = second;
+    dribble(
+        &mut w,
+        format!("%session restore {parked_id}\n%echo [set greeting]\n").as_bytes(),
+    );
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), format!("!restored {parked_id}"));
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "bonjour", "state crossed the park intact");
+
+    let stats = server.registry().stats();
+    assert_eq!((stats.parked, stats.restored), (1, 1));
+    server.drain();
+}

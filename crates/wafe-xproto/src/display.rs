@@ -101,7 +101,10 @@ impl Display {
             fonts: FontDb::new(),
             atoms: Vec::new(),
             selections: HashMap::new(),
-            framebuffer: Framebuffer::new(SCREEN_W, SCREEN_H, 0xbebebe),
+            // Allocated lazily by the first flush: headless sessions
+            // (wafe-serve runs thousands) never composite, and the
+            // 1024x768 pixel buffer is ~3 MB per display.
+            framebuffer: Framebuffer::new(0, 0, 0xbebebe),
             blocked_events: 0,
             held_modifiers: Modifiers::NONE,
             dirty: true,

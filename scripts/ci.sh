@@ -122,6 +122,38 @@ run_bench e22_serve_throughput
 python3 -c 'import json; json.load(open("BENCH_e22.json"))' \
     || { echo "BENCH_e22.json: malformed"; exit 1; }
 
+# E24 is the readiness-driven event loop at scale. CI runs the smoke
+# shape (256 clients via WAFE_E24_CLIENTS; the full 1k/4k/10k sweep is
+# a manual run) — the bench itself asserts peak_active == clients and
+# zero protocol corruption. The gate below requires smoke commands/s
+# to stay within 70% of the e22 64-client figure just regenerated
+# above: 4x the concurrency must not cost more than the noise band.
+# Like the other timing gates, one retry before failing.
+echo "== bench e24 smoke run (256 clients) + >=70% of e22-c64 gate"
+run_e24() {
+    WAFE_E24_CLIENTS=256 cargo bench -q -p bench --bench e24_serve_scale \
+        --offline >/dev/null 2>&1 \
+        || WAFE_E24_CLIENTS=256 cargo bench -q -p bench \
+            --bench e24_serve_scale --offline >/dev/null
+}
+check_e24() {
+    python3 -c '
+import json
+smoke = json.load(open("target/BENCH_e24_smoke.json"))
+e22 = json.load(open("BENCH_e22.json"))
+c256 = {w["name"]: w for w in smoke["workloads"]}["poll_c256"]
+c64 = {w["name"]: w for w in e22["workloads"]}["serve_c64"]
+ratio = c256["commands_per_sec"] / c64["commands_per_sec"]
+assert ratio >= 0.70, (
+    "e24: %.0f cmd/s at 256 clients is %.0f%% of e22 c64 (%.0f), gate 70%%"
+    % (c256["commands_per_sec"], ratio * 100, c64["commands_per_sec"]))
+print("  256-client commands/s: %.0f (%.0f%% of e22 c64, gate >=70%%) ok"
+      % (c256["commands_per_sec"], ratio * 100))
+'
+}
+run_e24
+check_e24 || { run_e24; check_e24; }
+
 # E23 is the bytecode VM: the run itself asserts byte-identical output
 # against the tree-walker on every workload, and the gate below requires
 # >=3x on the loop-heavy workload. The speedup field is a median of

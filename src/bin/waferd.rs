@@ -11,7 +11,8 @@
 //! waferd [--listen ADDR] [--unix PATH] [--max-sessions N]
 //!        [--queue-depth N] [--workers N] [--idle-evict MS]
 //!        [--drain-timeout MS] [--telemetry] [--metrics ADDR]
-//!        [--park-dir DIR] [--motif] [--quiet]
+//!        [--park-dir DIR] [--io poll|threads] [--accept-backoff MS]
+//!        [--motif] [--quiet]
 //! ```
 //!
 //! `--metrics ADDR` opens a second TCP listener that answers every
@@ -30,11 +31,12 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use wafe_core::Flavor;
-use wafe_serve::{Registry, Server, ServerConfig};
+use wafe_serve::{IoModel, Registry, Server, ServerConfig};
 
 const USAGE: &str = "usage: waferd [--listen ADDR] [--unix PATH] [--max-sessions N] \
 [--queue-depth N] [--workers N] [--idle-evict MS] [--drain-timeout MS] \
-[--telemetry] [--metrics ADDR] [--park-dir DIR] [--motif] [--quiet]";
+[--telemetry] [--metrics ADDR] [--park-dir DIR] [--io poll|threads] \
+[--accept-backoff MS] [--motif] [--quiet]";
 
 fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| {
@@ -76,6 +78,19 @@ fn main() {
             "--telemetry" => config.telemetry = true,
             "--metrics" => metrics_addr = Some(value(&mut args, "--metrics")),
             "--park-dir" => config.park_dir = Some(PathBuf::from(value(&mut args, "--park-dir"))),
+            "--io" => {
+                config.io = match value(&mut args, "--io").as_str() {
+                    "poll" => IoModel::Poll,
+                    "threads" => IoModel::Threads,
+                    other => {
+                        eprintln!("waferd: --io expects poll or threads, got \"{other}\"");
+                        exit(2);
+                    }
+                }
+            }
+            "--accept-backoff" => {
+                config.accept_backoff_ms = numeric(&mut args, "--accept-backoff").max(1)
+            }
             "--motif" => config.flavor = Flavor::Both,
             "--quiet" => config.log_passthrough = false,
             "--help" | "-h" => {
