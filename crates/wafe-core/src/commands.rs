@@ -35,8 +35,8 @@ pub fn register_handwritten(session: &mut WafeSession) {
 }
 
 /// `backend status|restart|kill|config|queue`, `faultpoint
-/// set|clear|list` and `serve status|sessions|drain|limits` — the
-/// embedder control surface. The behaviour is installed by the
+/// set|clear|list`, `serve status|sessions|drain|limits` and `display
+/// attach|detach|frame|event|status` — the embedder control surface. The behaviour is installed by the
 /// embedding process (wafe-ipc's frontend, wafe-serve's scheduler)
 /// through [`WafeSession::controls`]; in a plain session each command
 /// reports which embedding it needs.
@@ -51,6 +51,10 @@ fn register_backend_controls(session: &mut WafeSession) {
         (
             "session",
             "requires server mode (no session registry attached)",
+        ),
+        (
+            "display",
+            "requires server mode (no display channel attached)",
         ),
     ] {
         let controls = session.controls.clone();

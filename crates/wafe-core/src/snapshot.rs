@@ -2,7 +2,7 @@
 //! of a [`WafeSession`] — the rolling-restart foundation behind
 //! waferd's park/restore (`docs/checkpoint.md`).
 //!
-//! A snapshot has four sections, each length-prefixed so a reader can
+//! A snapshot has five sections, each length-prefixed so a reader can
 //! refuse a truncated blob loudly:
 //!
 //! 1. **Interp** — global variables and procs, rep-preserving
@@ -16,6 +16,10 @@
 //!    (the supervisor's bounded queue in frontend mode, the protocol
 //!    engine's pending lines in serve mode); the embedding replays them
 //!    in order after restore.
+//! 5. **Displays** (format 2) — per-display damage state: frame
+//!    sequence number, compositing flag, and the pending-frame damage
+//!    rectangles, so a parked session that owes its remote client a
+//!    frame still owes it after restore.
 //!
 //! ## Versioning policy
 //!
@@ -35,7 +39,8 @@ use crate::session::WafeSession;
 pub const MAGIC: &[u8; 8] = b"WAFESNAP";
 
 /// The format version this build writes and the only one it reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the display damage section (PR 10).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// One widget's structural creation record.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +60,20 @@ pub struct WidgetSnap {
     /// Class-private instance state (text content, toggle state …),
     /// key-sorted.
     pub state: Vec<(String, String)>,
+}
+
+/// Damage/compositing state of one display at capture time, so a
+/// remote display client's pending frame survives a park/restore.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisplayDamageSnap {
+    /// Sequence number of the last shipped frame.
+    pub frame_seq: u64,
+    /// A remote client was attached (compositing on).
+    pub compositing: bool,
+    /// The pending frame covers the whole screen.
+    pub pending_full: bool,
+    /// Pending damage rectangles `(x, y, w, h)`, canonical order.
+    pub pending_rects: Vec<(i32, i32, u32, u32)>,
 }
 
 /// What a restore actually did — surfaced in telemetry and the
@@ -86,6 +105,8 @@ pub struct SessionSnapshot {
     pub xrm_lines: Vec<String>,
     /// Application-bound lines queued at capture time.
     pub outbound: Vec<String>,
+    /// Per-display damage state, in display order.
+    pub displays: Vec<DisplayDamageSnap>,
 }
 
 impl SessionSnapshot {
@@ -94,7 +115,20 @@ impl SessionSnapshot {
     /// session itself cannot see it).
     pub fn capture(session: &WafeSession, outbound: Vec<String>) -> SessionSnapshot {
         let interp = InterpSnapshot::capture(&session.interp);
-        let app = session.app.borrow();
+        let mut app = session.app.borrow_mut();
+        let displays = app
+            .displays
+            .iter_mut()
+            .map(|d| {
+                let (frame_seq, compositing, pending_full, rects) = d.damage_state();
+                DisplayDamageSnap {
+                    frame_seq,
+                    compositing,
+                    pending_full,
+                    pending_rects: rects.iter().map(|r| (r.x, r.y, r.w, r.h)).collect(),
+                }
+            })
+            .collect();
         let mut widgets = Vec::new();
         for id in app.widgets_in_creation_order() {
             let rec = app.widget(id);
@@ -119,6 +153,7 @@ impl SessionSnapshot {
             widgets,
             xrm_lines: app.resource_db.lines(),
             outbound,
+            displays,
         }
     }
 
@@ -187,12 +222,27 @@ impl SessionSnapshot {
                     }
                 }
             }
+            for (i, snap) in self.displays.iter().enumerate() {
+                if let Some(d) = app.displays.get_mut(i) {
+                    let rects: Vec<wafe_xproto::Rect> = snap
+                        .pending_rects
+                        .iter()
+                        .map(|&(x, y, w, h)| wafe_xproto::Rect::new(x, y, w, h))
+                        .collect();
+                    d.restore_damage_state(
+                        snap.frame_seq,
+                        snap.compositing,
+                        snap.pending_full,
+                        &rects,
+                    );
+                }
+            }
         }
         self.interp.apply(&mut session.interp);
         report
     }
 
-    /// Encodes the snapshot: `WAFESNAP`, version, then the four
+    /// Encodes the snapshot: `WAFESNAP`, version, then the five
     /// length-prefixed sections.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
@@ -222,6 +272,22 @@ impl SessionSnapshot {
 
         section.clear();
         put_lines(&mut section, &self.outbound);
+        put_section(&mut buf, &section);
+
+        section.clear();
+        wire::put_u32(&mut section, self.displays.len() as u32);
+        for d in &self.displays {
+            wire::put_u64(&mut section, d.frame_seq);
+            wire::put_u8(&mut section, d.compositing as u8);
+            wire::put_u8(&mut section, d.pending_full as u8);
+            wire::put_u32(&mut section, d.pending_rects.len() as u32);
+            for &(x, y, w, h) in &d.pending_rects {
+                wire::put_i64(&mut section, x as i64);
+                wire::put_i64(&mut section, y as i64);
+                wire::put_u32(&mut section, w);
+                wire::put_u32(&mut section, h);
+            }
+        }
         put_section(&mut buf, &section);
         buf
     }
@@ -280,12 +346,37 @@ impl SessionSnapshot {
         let outbound = take_lines(&mut or)?;
         or.done()?;
 
+        let disp_bytes = take_section(&mut r)?;
+        let mut dr = wire::Reader::new(disp_bytes);
+        let ndisplays = dr.u32()? as usize;
+        let mut displays = Vec::new();
+        for _ in 0..ndisplays {
+            let frame_seq = dr.u64()?;
+            let compositing = dr.u8()? != 0;
+            let pending_full = dr.u8()? != 0;
+            let nrects = dr.u32()? as usize;
+            let mut pending_rects = Vec::new();
+            for _ in 0..nrects {
+                let x = dr.i64()? as i32;
+                let y = dr.i64()? as i32;
+                pending_rects.push((x, y, dr.u32()?, dr.u32()?));
+            }
+            displays.push(DisplayDamageSnap {
+                frame_seq,
+                compositing,
+                pending_full,
+                pending_rects,
+            });
+        }
+        dr.done()?;
+
         r.done()?;
         Ok(SessionSnapshot {
             interp,
             widgets,
             xrm_lines,
             outbound,
+            displays,
         })
     }
 }
@@ -387,6 +478,36 @@ mod tests {
         let queued = vec!["first".to_string(), "second".into(), "third".into()];
         let (_, out) = park_restore(&s, queued.clone());
         assert_eq!(out, queued);
+    }
+
+    #[test]
+    fn display_damage_state_survives_park() {
+        let mut s = WafeSession::new(Flavor::Athena);
+        s.eval("label hello topLevel label {Hello World}").unwrap();
+        s.eval("realize").unwrap();
+        {
+            let mut app = s.app.borrow_mut();
+            let d = &mut app.displays[0];
+            d.set_compositing(true);
+            d.flush();
+            d.take_frame_damage(); // Ship the attach frame.
+            d.next_frame_seq();
+        }
+        s.eval("setValues hello label Changed").unwrap();
+        {
+            let mut app = s.app.borrow_mut();
+            app.displays[0].flush();
+            assert!(app.displays[0].has_pending_frame());
+        }
+        let (fresh, _) = park_restore(&s, vec![]);
+        let mut app = fresh.app.borrow_mut();
+        let d = &mut app.displays[0];
+        assert_eq!(d.frame_seq(), 1);
+        assert!(d.compositing(), "attach survives the park");
+        assert!(
+            d.has_pending_frame(),
+            "the un-shipped frame is still owed after restore"
+        );
     }
 
     #[test]

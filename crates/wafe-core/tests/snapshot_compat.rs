@@ -1,21 +1,27 @@
 //! Version-compatibility pinning for the session snapshot format.
 //!
-//! `tests/fixtures/snapshot-v1.wsnap` is a **checked-in** format-v1
-//! blob. These tests hold the format to its documented policy
-//! (`docs/checkpoint.md`):
+//! `tests/fixtures/snapshot-v2.wsnap` is a **checked-in** blob at the
+//! current format version; `snapshot-v1.wsnap` is the previous format,
+//! kept to pin the rejection path. These tests hold the format to its
+//! documented policy (`docs/checkpoint.md`):
 //!
-//! * today's reader decodes the checked-in blob and restores the exact
-//!   session state it was captured from;
-//! * a reader with a bumped version rejects the blob with an error
-//!   naming both versions — never a silent best-effort decode;
-//! * today's encoder still produces the blob byte-for-byte, so *any*
-//!   layout change — however small — fails here and forces the author
-//!   to bump [`FORMAT_VERSION`] and regenerate the fixture
+//! * today's reader decodes the current checked-in blob and restores
+//!   the exact session state it was captured from;
+//! * a superseded blob (and a modelled future reader) is rejected with
+//!   an error naming both versions — never a silent best-effort decode;
+//! * today's encoder still produces the current blob byte-for-byte, so
+//!   *any* layout change — however small — fails here and forces the
+//!   author to bump [`FORMAT_VERSION`] and regenerate the fixture
 //!   (`cargo test -p wafe-core regenerate_snapshot_fixture -- --ignored`).
 
 use wafe_core::{Flavor, SessionSnapshot, WafeSession, FORMAT_VERSION};
 
 const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/snapshot-v2.wsnap"
+);
+
+const OLD_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/fixtures/snapshot-v1.wsnap"
 );
@@ -40,10 +46,11 @@ fn fixture_session() -> (WafeSession, Vec<String>) {
 }
 
 #[test]
-fn checked_in_v1_blob_decodes_and_restores() {
+fn checked_in_blob_decodes_and_restores() {
     let bytes = std::fs::read(FIXTURE).expect("fixture present and checked in");
-    let snap = SessionSnapshot::decode(&bytes).expect("current reader accepts v1");
+    let snap = SessionSnapshot::decode(&bytes).expect("current reader accepts the current format");
     assert_eq!(snap.outbound, ["queued-one", "queued-two"]);
+    assert_eq!(snap.displays.len(), 1, "display damage section present");
 
     let mut fresh = WafeSession::new(Flavor::Athena);
     let report = snap.restore_into(&mut fresh);
@@ -60,7 +67,22 @@ fn checked_in_v1_blob_decodes_and_restores() {
 }
 
 #[test]
-fn future_reader_rejects_the_v1_blob_naming_both_versions() {
+fn superseded_v1_blob_is_rejected_naming_both_versions() {
+    let bytes = std::fs::read(OLD_FIXTURE).expect("v1 fixture present and checked in");
+    let err = SessionSnapshot::decode(&bytes)
+        .expect_err("a v1 blob must not decode against the v2 layout");
+    assert!(
+        err.contains("version 1"),
+        "error must name the blob's version: {err}"
+    );
+    assert!(
+        err.contains(&format!("expects {FORMAT_VERSION}")),
+        "error must name the reader's version: {err}"
+    );
+}
+
+#[test]
+fn future_reader_rejects_the_current_blob_naming_both_versions() {
     let bytes = std::fs::read(FIXTURE).expect("fixture present and checked in");
     // Model the next format revision: a reader whose FORMAT_VERSION was
     // bumped. The policy is an explicit refusal — decoding garbage
@@ -94,7 +116,7 @@ fn todays_encoder_still_writes_the_fixture_bytes() {
 /// after a format change (with the version already bumped), commit the
 /// new blob, and keep the old one for the rejection test.
 #[test]
-#[ignore = "writes tests/fixtures/snapshot-v1.wsnap; run after a format bump"]
+#[ignore = "writes tests/fixtures/snapshot-v2.wsnap; run after a format bump"]
 fn regenerate_snapshot_fixture() {
     let (s, outbound) = fixture_session();
     let bytes = SessionSnapshot::capture(&s, outbound).encode();

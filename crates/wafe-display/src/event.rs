@@ -1,0 +1,250 @@
+//! Input events posted back by a display client.
+//!
+//! Wire layout (big-endian, checksum trailer):
+//!
+//! ```text
+//! "WEVT"  u32 version  u8 kind  fields…  u32 fnv1a-checksum
+//! ```
+//!
+//! | kind | event  | fields                                   |
+//! |------|--------|------------------------------------------|
+//! | 1    | key    | `str name` `u8 modifier-mask`            |
+//! | 2    | button | `u8 button` `u8 press` `i32 x` `i32 y`   |
+//! | 3    | motion | `i32 x` `i32 y`                          |
+//! | 4    | resize | `u32 width` `u32 height`                 |
+//! | 5    | text   | `str text`                               |
+
+use wafe_xproto::Modifiers;
+
+use crate::frame::PROTOCOL_VERSION;
+use crate::wire::{DecodeError, Reader, Writer};
+
+/// Leading tag of an input-event message.
+pub const EVENT_MAGIC: [u8; 4] = *b"WEVT";
+
+/// Shift bit in the modifier mask.
+pub const MOD_SHIFT: u8 = 1;
+/// Control bit in the modifier mask.
+pub const MOD_CONTROL: u8 = 2;
+/// Meta bit in the modifier mask.
+pub const MOD_META: u8 = 4;
+
+/// Packs toolkit modifiers into the wire mask.
+pub fn modifier_mask(m: Modifiers) -> u8 {
+    ((m.shift as u8) * MOD_SHIFT) | ((m.control as u8) * MOD_CONTROL) | ((m.meta as u8) * MOD_META)
+}
+
+/// Unpacks the wire mask into toolkit modifiers.
+pub fn modifiers_from_mask(mask: u8) -> Modifiers {
+    Modifiers {
+        shift: mask & MOD_SHIFT != 0,
+        control: mask & MOD_CONTROL != 0,
+        meta: mask & MOD_META != 0,
+    }
+}
+
+/// One user input event from the remote client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputEvent {
+    /// A named key press/release pair (e.g. `Return`).
+    Key {
+        /// Keysym name.
+        name: String,
+        /// Modifier mask (`MOD_*` bits).
+        modifiers: u8,
+    },
+    /// A pointer button transition at root coordinates.
+    Button {
+        /// Button number (1–5).
+        button: u8,
+        /// True for press, false for release.
+        press: bool,
+        /// Root-relative x.
+        x: i32,
+        /// Root-relative y.
+        y: i32,
+    },
+    /// Pointer motion to root coordinates.
+    Motion {
+        /// Root-relative x.
+        x: i32,
+        /// Root-relative y.
+        y: i32,
+    },
+    /// The client's viewport changed size.
+    Resize {
+        /// New width.
+        width: u32,
+        /// New height.
+        height: u32,
+    },
+    /// Literal text typed (each char becomes its key sequence).
+    Text {
+        /// The typed text.
+        text: String,
+    },
+}
+
+impl InputEvent {
+    /// Serializes the event.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(&EVENT_MAGIC);
+        w.put_u32(PROTOCOL_VERSION);
+        match self {
+            InputEvent::Key { name, modifiers } => {
+                w.put_u8(1);
+                w.put_str(name);
+                w.put_u8(*modifiers);
+            }
+            InputEvent::Button {
+                button,
+                press,
+                x,
+                y,
+            } => {
+                w.put_u8(2);
+                w.put_u8(*button);
+                w.put_u8(*press as u8);
+                w.put_i32(*x);
+                w.put_i32(*y);
+            }
+            InputEvent::Motion { x, y } => {
+                w.put_u8(3);
+                w.put_i32(*x);
+                w.put_i32(*y);
+            }
+            InputEvent::Resize { width, height } => {
+                w.put_u8(4);
+                w.put_u32(*width);
+                w.put_u32(*height);
+            }
+            InputEvent::Text { text } => {
+                w.put_u8(5);
+                w.put_str(text);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes and validates an event; all corruption fails loudly.
+    pub fn decode(bytes: &[u8]) -> Result<InputEvent, DecodeError> {
+        let mut r = Reader::checked(bytes)?;
+        r.expect_magic(&EVENT_MAGIC)?;
+        let version = r.u32()?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let ev = match r.u8()? {
+            1 => {
+                let name = r.str()?;
+                let modifiers = r.u8()?;
+                if modifiers & !(MOD_SHIFT | MOD_CONTROL | MOD_META) != 0 {
+                    return Err(DecodeError::BadValue("modifier mask"));
+                }
+                InputEvent::Key { name, modifiers }
+            }
+            2 => {
+                let button = r.u8()?;
+                let press = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::BadValue("press flag")),
+                };
+                if !(1..=5).contains(&button) {
+                    return Err(DecodeError::BadValue("button number"));
+                }
+                InputEvent::Button {
+                    button,
+                    press,
+                    x: r.i32()?,
+                    y: r.i32()?,
+                }
+            }
+            3 => InputEvent::Motion {
+                x: r.i32()?,
+                y: r.i32()?,
+            },
+            4 => InputEvent::Resize {
+                width: r.u32()?,
+                height: r.u32()?,
+            },
+            5 => InputEvent::Text { text: r.str()? },
+            _ => return Err(DecodeError::BadValue("event kind")),
+        };
+        r.done()?;
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<InputEvent> {
+        vec![
+            InputEvent::Key {
+                name: "Return".into(),
+                modifiers: MOD_SHIFT | MOD_META,
+            },
+            InputEvent::Button {
+                button: 1,
+                press: true,
+                x: 120,
+                y: -3,
+            },
+            InputEvent::Motion { x: 0, y: 767 },
+            InputEvent::Resize {
+                width: 800,
+                height: 600,
+            },
+            InputEvent::Text {
+                text: "wafe!".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_is_identity() {
+        for ev in samples() {
+            let bytes = ev.encode();
+            let back = InputEvent::decode(&bytes).unwrap();
+            assert_eq!(back, ev);
+            assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn corrupt_events_fail_loudly() {
+        for ev in samples() {
+            let bytes = ev.encode();
+            for n in 0..bytes.len() {
+                assert!(
+                    InputEvent::decode(&bytes[..n]).is_err(),
+                    "truncation at {n} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modifier_mask_round_trips() {
+        for mask in 0..8u8 {
+            assert_eq!(modifier_mask(modifiers_from_mask(mask)), mask);
+        }
+    }
+
+    #[test]
+    fn invalid_button_rejected() {
+        let ev = InputEvent::Button {
+            button: 9,
+            press: true,
+            x: 0,
+            y: 0,
+        };
+        assert_eq!(
+            InputEvent::decode(&ev.encode()).unwrap_err(),
+            DecodeError::BadValue("button number")
+        );
+    }
+}

@@ -17,7 +17,7 @@
 //! spec    := clause (';' clause)*
 //! clause  := 'seed=' integer
 //!          | point ':' action [ '@' trigger ]
-//! point   := 'spawn' | 'read' | 'line' | 'write' | 'mass'
+//! point   := 'spawn' | 'read' | 'line' | 'write' | 'mass' | 'display'
 //! action  := 'kill' | 'wedge' | 'drop' | 'garble'
 //!          | 'truncate=' bytes | 'delay=' ms | 'flood=' copies
 //! trigger := N        fire on the Nth consultation only (1-based)
@@ -36,8 +36,9 @@ pub const FAULTS_ENV_VAR: &str = "WAFE_FAULTS";
 
 /// The named points the supervisor consults, in protocol order:
 /// child spawn, a chunk read from the pipe, a complete protocol line,
-/// a line written to the backend, a mass-channel chunk.
-pub const FAULT_POINTS: &[&str] = &["spawn", "read", "line", "write", "mass"];
+/// a line written to the backend, a mass-channel chunk, an outbound
+/// display frame (consulted by the waferd scheduler, not the pipe).
+pub const FAULT_POINTS: &[&str] = &["spawn", "read", "line", "write", "mass", "display"];
 
 /// What a fired rule does at its point.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -33,6 +33,11 @@
 //!   errors and readiness with no timing anywhere.
 //! * [`server`] — the socket transport: the event-loop workers (default)
 //!   or the thread-per-connection baseline, plus graceful drain.
+//! * [`display`] — the remote display channel: `%display attach` turns
+//!   on compositing and the scheduler ships damage-tracked
+//!   [`wafe_display::Frame`]s as `!display frame <hex>` notices, with
+//!   input coming back as `%display event <hex>` lines
+//!   (`docs/display.md`).
 //!
 //! Observability flows through `wafe-trace` per session:
 //! `serve.accept` / `serve.commands` / `serve.shed` / `serve.evict`
@@ -42,6 +47,7 @@
 //! command is registered by wafe-core and dispatches into
 //! [`scheduler::install_serve_control`].
 
+pub mod display;
 pub mod event_loop;
 pub mod mailbox;
 pub mod registry;
@@ -49,6 +55,7 @@ pub mod scheduler;
 pub mod server;
 pub mod sim;
 
+pub use display::{install_display_control, DisplayCtl};
 pub use event_loop::{AcceptLoop, Acceptor, ConnAssign, ConnIo, EventLoop};
 pub use mailbox::{Mailbox, OutQueue, SessionSink};
 pub use registry::{Limits, Registry, ServerStats, SessionId, ShedReason, LIMIT_KEYS};

@@ -96,6 +96,12 @@ impl Mailbox {
 #[derive(Default)]
 struct OutQueueInner {
     lines: VecDeque<String>,
+    /// At most one display frame in flight per connection. A newer
+    /// frame *replaces* an unsent one (coalesce-to-latest) — the
+    /// scheduler re-merges the replaced frame's damage, so a slow
+    /// client falls behind in time, never in content, and the queue
+    /// stays bounded no matter how fast the screen changes.
+    frame: Option<String>,
     sink_closed: bool,
     receiver_gone: bool,
 }
@@ -125,18 +131,42 @@ impl OutQueue {
         true
     }
 
-    /// Dequeues the oldest line (the event loop's flush pass).
+    /// Dequeues the oldest line (the event loop's flush pass). Ordinary
+    /// lines drain first; the frame slot goes last, so protocol replies
+    /// are never delayed behind a bulky frame.
     pub fn pop(&self) -> Option<String> {
-        self.lock().lines.pop_front()
+        let mut q = self.lock();
+        if let Some(line) = q.lines.pop_front() {
+            return Some(line);
+        }
+        q.frame.take()
     }
 
-    /// Lines waiting to be written.
+    /// Stores a display frame, replacing any unsent one. `false` means
+    /// the client side is gone.
+    pub fn set_frame(&self, line: &str) -> bool {
+        let mut q = self.lock();
+        if q.receiver_gone {
+            return false;
+        }
+        q.frame = Some(line.to_string());
+        true
+    }
+
+    /// Whether the frame slot is free (nothing unsent).
+    pub fn frame_slot_free(&self) -> bool {
+        self.lock().frame.is_none()
+    }
+
+    /// Lines waiting to be written (the frame slot counts as one).
     pub fn len(&self) -> usize {
-        self.lock().lines.len()
+        let q = self.lock();
+        q.lines.len() + q.frame.is_some() as usize
     }
 
     pub fn is_empty(&self) -> bool {
-        self.lock().lines.is_empty()
+        let q = self.lock();
+        q.lines.is_empty() && q.frame.is_none()
     }
 
     /// The session finished; once the queue drains the connection
@@ -154,13 +184,14 @@ impl OutQueue {
         let mut q = self.lock();
         q.receiver_gone = true;
         q.lines.clear();
+        q.frame = None;
     }
 
     /// Session done *and* everything flushed — time to close the
     /// connection.
     pub fn is_finished(&self) -> bool {
         let q = self.lock();
-        q.sink_closed && q.lines.is_empty()
+        q.sink_closed && q.lines.is_empty() && q.frame.is_none()
     }
 }
 
@@ -195,6 +226,27 @@ impl SessionSink {
             }
             SessionSink::Channel(tx) => tx.send(line.to_string()).is_ok(),
             SessionSink::Queue(q) => q.push(line),
+        }
+    }
+
+    /// Whether a display frame can be sent right now. Buffer and
+    /// channel sinks always accept; a queue sink accepts only while its
+    /// single frame slot is free — the scheduler's backpressure signal
+    /// to keep accumulating damage instead of building frames.
+    pub fn can_send_frame(&self) -> bool {
+        match self {
+            SessionSink::Buffer(_) | SessionSink::Channel(_) => true,
+            SessionSink::Queue(q) => q.frame_slot_free(),
+        }
+    }
+
+    /// Delivers one display frame line; `false` means the receiving
+    /// side is gone. On a queue sink the frame takes the dedicated
+    /// slot rather than the line queue.
+    pub fn send_frame(&self, line: &str) -> bool {
+        match self {
+            SessionSink::Buffer(_) | SessionSink::Channel(_) => self.send(line),
+            SessionSink::Queue(q) => q.set_frame(line),
         }
     }
 }
@@ -247,6 +299,23 @@ mod tests {
         assert!(q.is_finished());
         q.mark_receiver_gone();
         assert!(!q.push("void"), "gone client refuses pushes");
+    }
+
+    #[test]
+    fn frame_slot_coalesces_and_drains_after_lines() {
+        let q = OutQueue::new();
+        let sink = SessionSink::Queue(q.clone());
+        assert!(sink.can_send_frame());
+        assert!(sink.send_frame("!display frame aa"));
+        assert!(!sink.can_send_frame(), "one frame in flight");
+        assert!(sink.send_frame("!display frame bb"), "newer frame replaces");
+        assert!(sink.send("reply"));
+        assert_eq!(q.len(), 2, "lines plus the one frame slot");
+        assert_eq!(q.pop().as_deref(), Some("reply"), "replies drain first");
+        assert_eq!(q.pop().as_deref(), Some("!display frame bb"));
+        assert!(sink.can_send_frame(), "slot free once flushed");
+        q.mark_receiver_gone();
+        assert!(!sink.send_frame("!display frame cc"), "gone client refuses");
     }
 
     #[test]

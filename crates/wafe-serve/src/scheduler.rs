@@ -36,8 +36,9 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use wafe_core::{Flavor, SessionSnapshot, WafeSession};
-use wafe_ipc::ProtocolEngine;
+use wafe_ipc::{FaultPlan, ProtocolEngine};
 
+use crate::display::{install_display_control, pump_frame, DisplayCtl};
 use crate::mailbox::{Mailbox, SessionSink};
 use crate::registry::{Registry, SessionId, LIMIT_KEYS};
 
@@ -56,6 +57,7 @@ struct Entry {
     id: SessionId,
     engine: ProtocolEngine,
     ctl: Rc<SessionCtl>,
+    display: Rc<DisplayCtl>,
     mailbox: Arc<Mailbox>,
     sink: SessionSink,
     last_activity_ms: u64,
@@ -72,6 +74,7 @@ pub struct Scheduler {
     passthrough: Vec<(SessionId, String)>,
     now_ms: u64,
     drain_started_ms: Option<u64>,
+    faults: Option<FaultPlan>,
 }
 
 impl Scheduler {
@@ -86,7 +89,16 @@ impl Scheduler {
             passthrough: Vec::new(),
             now_ms: 0,
             drain_started_ms: None,
+            // The server binary validates the spec loudly at startup;
+            // here an unset/invalid variable just means no plan.
+            faults: FaultPlan::from_env().and_then(Result::ok),
         }
+    }
+
+    /// Replaces the fault-injection plan (the deterministic chaos tests
+    /// script faults here instead of through the environment).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     /// The shared registry.
@@ -114,7 +126,8 @@ impl Scheduler {
     /// the round-robin ring.
     pub fn attach(&mut self, id: SessionId, mailbox: Arc<Mailbox>, sink: SessionSink) {
         let ctl = Rc::new(SessionCtl::default());
-        let engine = build_engine(&self.registry, self.flavor, self.telemetry, &ctl);
+        let display = Rc::new(DisplayCtl::default());
+        let engine = build_engine(&self.registry, self.flavor, self.telemetry, &ctl, &display);
         let tel = engine.session.telemetry.clone();
         tel.count("serve.accept");
         tel.set_gauge("serve.sessions.active", self.registry.active() as u64);
@@ -122,6 +135,7 @@ impl Scheduler {
             id,
             engine,
             ctl,
+            display,
             mailbox,
             sink,
             last_activity_ms: self.now_ms,
@@ -216,6 +230,16 @@ impl Scheduler {
                 self.passthrough.push((entry.id, p));
             }
             let _ = entry.engine.take_errors(); // counted as ipc.errors
+                                                // The display frame pump: after the replies, so a frame
+                                                // never delays the lines whose commands produced it.
+            if !pump_frame(
+                &entry.engine.session,
+                &entry.display,
+                &entry.sink,
+                &mut self.faults,
+            ) {
+                entry.gone = true;
+            }
             tel.set_gauge("serve.queue.depth", entry.mailbox.len() as u64);
             let finished = entry.gone
                 || entry.engine.session.quit_requested()
@@ -339,6 +363,7 @@ impl Scheduler {
             return;
         };
         let ctl = self.sessions[i].ctl.clone();
+        let display = self.sessions[i].display.clone();
         let tel = self.sessions[i].engine.session.telemetry.clone();
         let timer = tel.timer();
         match SessionSnapshot::decode(&bytes) {
@@ -350,7 +375,8 @@ impl Scheduler {
                 }
             }
             Ok(snap) => {
-                let mut engine = build_engine(&self.registry, self.flavor, self.telemetry, &ctl);
+                let mut engine =
+                    build_engine(&self.registry, self.flavor, self.telemetry, &ctl, &display);
                 let report = snap.restore_into(&mut engine.session);
                 let tel = engine.session.telemetry.clone();
                 let entry = &mut self.sessions[i];
@@ -404,6 +430,7 @@ fn build_engine(
     flavor: Flavor,
     telemetry: bool,
     ctl: &Rc<SessionCtl>,
+    display: &Rc<DisplayCtl>,
 ) -> ProtocolEngine {
     let mut engine = ProtocolEngine::new(flavor);
     if telemetry {
@@ -411,6 +438,7 @@ fn build_engine(
     }
     install_serve_control(registry, &mut engine.session);
     install_session_control(registry, ctl, &mut engine.session);
+    install_display_control(display, &mut engine.session);
     engine
 }
 

@@ -207,3 +207,150 @@ fn queue_overflow_on_the_sim_transport_sheds_explicitly() {
     );
     assert_eq!(registry.stats().shed_queue, 3);
 }
+
+// ---------------------------------------------------------------------------
+// The display channel over the simulated net: attach → damage → frame →
+// input event, entirely deterministic and byte-exact. See docs/display.md.
+
+use wafe_display::{from_hex, to_hex, Frame, InputEvent};
+use wafe_ipc::FaultPlan;
+
+const SCREEN: u64 = 1024 * 768;
+
+fn frame_lines(client: &SimClient) -> Vec<String> {
+    client
+        .received_lines()
+        .into_iter()
+        .filter(|l| l.starts_with("!display frame "))
+        .collect()
+}
+
+fn decode_frame_line(line: &str) -> Frame {
+    let hex = line.strip_prefix("!display frame ").expect("a frame line");
+    let bytes = from_hex(hex).expect("valid hex payload");
+    let frame = Frame::decode(&bytes).expect("frame decodes");
+    // The codec is canonical: re-encoding the decoded frame must
+    // reproduce the exact bytes that crossed the simulated wire.
+    assert_eq!(frame.encode(), bytes, "encode∘decode identity on the wire");
+    frame
+}
+
+#[test]
+fn display_attach_damage_frame_and_input_event_round_trip() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+    let (_, client) = attach_client(&mut el, &registry, &net);
+
+    // Attach: the scheduler ships one full first frame on its next sweep.
+    client.send(b"%display attach\n");
+    tick(&mut el);
+    let frames = frame_lines(&client);
+    assert_eq!(frames.len(), 1, "attach ships exactly one initial frame");
+    let first = decode_frame_line(&frames[0]);
+    assert!(first.full, "the first frame covers the whole screen");
+    assert_eq!(first.seq, 1);
+    assert_eq!((first.width, first.height), (1024, 768));
+    assert_eq!(first.rects.len(), 1);
+    assert_eq!(first.rects[0].data.pixel_count(), SCREEN);
+
+    // Realize a widget with a KeyPress translation: the next frame is
+    // damage-tracked — only the widget's footprint, not the screen.
+    client.send(
+        b"%label hello topLevel label {Hello Display} width 120 height 40\n\
+          %action hello override {<KeyPress>: exec(echo key-callback-ran)}\n\
+          %realize\n",
+    );
+    tick(&mut el);
+    let frames = frame_lines(&client);
+    assert_eq!(frames.len(), 2, "one coalesced frame for the whole batch");
+    let second = decode_frame_line(&frames[1]);
+    assert!(!second.full, "a widget update must not force a full frame");
+    assert_eq!(second.seq, 2);
+    assert!(!second.rects.is_empty());
+    let covered: u64 = second.rects.iter().map(|fr| fr.rect.area()).sum();
+    assert!(
+        covered < SCREEN / 2,
+        "damage-tracked: {covered} of {SCREEN} pixels repainted"
+    );
+    for fr in &second.rects {
+        assert_eq!(fr.data.pixel_count(), fr.rect.area());
+    }
+
+    // Input comes back over the same wire: move the pointer into the
+    // damaged area, press Return — the widget's translation runs its
+    // Tcl callback and the echo output arrives on this client.
+    let target = second.rects[0].rect;
+    let (cx, cy) = (
+        target.x + target.w as i32 / 2,
+        target.y + target.h as i32 / 2,
+    );
+    let motion = InputEvent::Motion { x: cx, y: cy }.encode();
+    client.send(format!("%display event {}\n", to_hex(&motion)).as_bytes());
+    let key = InputEvent::Key {
+        name: "Return".into(),
+        modifiers: 0,
+    }
+    .encode();
+    client.send(format!("%display event {}\n", to_hex(&key)).as_bytes());
+    tick(&mut el);
+    assert!(
+        client
+            .received_lines()
+            .iter()
+            .any(|l| l == "key-callback-ran"),
+        "the remote key press must fire the Tcl callback: {:?}",
+        client.received_lines()
+    );
+}
+
+#[test]
+fn garbled_frame_is_rejected_loudly_and_a_resync_recovers() {
+    let registry = Arc::new(Registry::new(Limits::default()));
+    let net = SimNet::new();
+    let mut el = new_loop(&registry, 0, &net);
+    el.scheduler()
+        .set_fault_plan(Some(FaultPlan::parse("display:garble@2").unwrap()));
+    let (_, client) = attach_client(&mut el, &registry, &net);
+
+    client.send(b"%display attach\n");
+    tick(&mut el);
+    assert_eq!(frame_lines(&client).len(), 1, "first frame intact");
+
+    client.send(b"%label hello topLevel label Hi\n%realize\n");
+    tick(&mut el);
+    // The second frame was garbled in flight. The client must reject
+    // it — either it no longer looks like a frame line at all, or its
+    // payload fails validation — never paint it best-effort.
+    let notices: Vec<String> = client
+        .received_lines()
+        .into_iter()
+        .filter(|l| l.starts_with('!'))
+        .collect();
+    assert_eq!(
+        notices.len(),
+        2,
+        "the garbled frame still arrives as a line"
+    );
+    let rejected = match notices[1].strip_prefix("!display frame ") {
+        None => true,
+        Some(hex) => from_hex(hex).and_then(|b| Frame::decode(&b)).is_err(),
+    };
+    assert!(rejected, "corrupt frame decoded cleanly: {:?}", notices[1]);
+
+    // The recovery path: the client asks for a resync and the next
+    // frame is a full repaint that includes the missed widget.
+    client.send(b"%display frame\n");
+    tick(&mut el);
+    let notices: Vec<String> = client
+        .received_lines()
+        .into_iter()
+        .filter(|l| l.starts_with('!'))
+        .collect();
+    assert_eq!(notices.len(), 3);
+    let recovered = decode_frame_line(&notices[2]);
+    assert!(recovered.full, "resync ships a full repaint");
+    assert_eq!(recovered.seq, 3, "sequence numbers keep counting");
+    let r = recovered.rects[0].rect;
+    assert_eq!((r.x, r.y, r.w, r.h), (0, 0, 1024, 768));
+}

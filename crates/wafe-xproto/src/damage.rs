@@ -1,0 +1,301 @@
+//! Dirty-region tracking for the display.
+//!
+//! Every visible mutation (map, unmap, configure, destroy, attribute or
+//! display-list change) records a damage rectangle instead of a single
+//! boolean. The tracker coalesces overlapping rectangles as they are
+//! added and keeps the list bounded: past [`MAX_DAMAGE_RECTS`] entries
+//! the cheapest pair is merged, and once the summed coverage passes
+//! [`FULL_COVERAGE_PERMILLE`] of the screen the whole accumulation
+//! collapses to a single full-frame marker — at that point shipping the
+//! whole screen is cheaper than shipping the bookkeeping.
+//!
+//! The invariant the property suite pins: a pixel inside any rectangle
+//! ever [`add`](DamageTracker::add)ed is inside the taken [`Damage`] —
+//! coalescing may *grow* the damaged region, never shrink it.
+
+use crate::geometry::Rect;
+
+/// Hard bound on the coalesced rectangle list.
+pub const MAX_DAMAGE_RECTS: usize = 16;
+
+/// Full-frame fallback threshold: when the summed rectangle area
+/// exceeds this fraction (in permille) of the screen, the tracker
+/// switches to a single full-frame rectangle.
+pub const FULL_COVERAGE_PERMILLE: u64 = 600;
+
+/// The damage accumulated between two flushes, as handed to a consumer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Damage {
+    /// The whole screen is dirty; `rects` is empty.
+    pub full: bool,
+    /// Coalesced dirty rectangles, each clipped to the screen.
+    pub rects: Vec<Rect>,
+}
+
+impl Damage {
+    /// A full-screen damage record.
+    pub fn full() -> Damage {
+        Damage {
+            full: true,
+            rects: Vec::new(),
+        }
+    }
+
+    /// Nothing dirty at all.
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.rects.is_empty()
+    }
+
+    /// True if the pixel-region `r` is covered by this damage.
+    pub fn covers(&self, r: &Rect) -> bool {
+        self.full || self.rects.iter().any(|d| d.contains_rect(r))
+    }
+}
+
+/// Bounded, coalescing dirty-region accumulator for one screen.
+#[derive(Debug, Clone)]
+pub struct DamageTracker {
+    bounds: Rect,
+    rects: Vec<Rect>,
+    full: bool,
+}
+
+impl DamageTracker {
+    /// A tracker for a `width`x`height` screen, starting clean.
+    pub fn new(width: u32, height: u32) -> DamageTracker {
+        DamageTracker {
+            bounds: Rect::new(0, 0, width, height),
+            rects: Vec::new(),
+            full: false,
+        }
+    }
+
+    /// Whether any damage is pending.
+    pub fn is_dirty(&self) -> bool {
+        self.full || !self.rects.is_empty()
+    }
+
+    /// Number of coalesced rectangles currently held (0 when full).
+    pub fn rect_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the accumulation has collapsed to full-frame.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// The coalesced rectangles currently held (empty when full).
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Marks the whole screen dirty.
+    pub fn add_full(&mut self) {
+        self.full = true;
+        self.rects.clear();
+    }
+
+    /// Records one dirty rectangle (clipped to the screen; off-screen
+    /// damage is ignored). Overlapping entries are merged by union, the
+    /// list stays bounded, and heavy coverage falls back to full-frame.
+    pub fn add(&mut self, r: Rect) {
+        if self.full {
+            return;
+        }
+        let r = match r.intersect(&self.bounds) {
+            Some(c) => c,
+            None => return,
+        };
+        // Union-merge: fold every rectangle the new one touches into it,
+        // repeating because the grown union can reach others. Unions
+        // only ever grow, so no added pixel is lost.
+        let mut merged = r;
+        loop {
+            let mut grew = false;
+            self.rects.retain(|old| {
+                if merged.intersect(old).is_some() {
+                    merged = merged.union(old);
+                    grew = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !grew {
+                break;
+            }
+        }
+        self.rects.push(merged);
+        if self.rects.len() > MAX_DAMAGE_RECTS {
+            self.merge_cheapest_pair();
+        }
+        let covered: u64 = self.rects.iter().map(Rect::area).sum();
+        if covered * 1000 > self.bounds.area() * FULL_COVERAGE_PERMILLE {
+            self.add_full();
+        }
+    }
+
+    /// Merges the pair whose union wastes the least area, keeping the
+    /// list at the bound without discarding any dirty pixel.
+    fn merge_cheapest_pair(&mut self) {
+        let mut best = (0usize, 1usize, u64::MAX);
+        for i in 0..self.rects.len() {
+            for j in i + 1..self.rects.len() {
+                let waste = self.rects[i]
+                    .union(&self.rects[j])
+                    .area()
+                    .saturating_sub(self.rects[i].area())
+                    .saturating_sub(self.rects[j].area());
+                if waste < best.2 {
+                    best = (i, j, waste);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let b = self.rects.remove(j);
+        let a = self.rects[i];
+        self.rects[i] = a.union(&b);
+    }
+
+    /// Takes the accumulated damage, leaving the tracker clean.
+    pub fn take(&mut self) -> Damage {
+        let full = std::mem::take(&mut self.full);
+        let mut rects = std::mem::take(&mut self.rects);
+        // Canonical order: consumers (frame encoding, snapshots) see the
+        // same list for the same damage regardless of insertion order.
+        rects.sort_by_key(|r| (r.y, r.x, r.w, r.h));
+        Damage { full, rects }
+    }
+
+    /// Merges a previously taken [`Damage`] back in (a frame that could
+    /// not be shipped keeps accumulating — coalesce-to-latest).
+    pub fn merge(&mut self, damage: &Damage) {
+        if damage.full {
+            self.add_full();
+            return;
+        }
+        for r in &damage.rects {
+            self.add(*r);
+        }
+    }
+
+    /// The screen bounds this tracker clips against.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clean_and_takes_clean() {
+        let mut t = DamageTracker::new(100, 100);
+        assert!(!t.is_dirty());
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn overlapping_rects_coalesce() {
+        let mut t = DamageTracker::new(1000, 1000);
+        t.add(Rect::new(0, 0, 10, 10));
+        t.add(Rect::new(5, 5, 10, 10));
+        let d = t.take();
+        assert_eq!(d.rects, vec![Rect::new(0, 0, 15, 15)]);
+    }
+
+    #[test]
+    fn disjoint_rects_stay_separate() {
+        let mut t = DamageTracker::new(1000, 1000);
+        t.add(Rect::new(0, 0, 10, 10));
+        t.add(Rect::new(100, 100, 10, 10));
+        assert_eq!(t.take().rects.len(), 2);
+    }
+
+    #[test]
+    fn chain_merge_reaches_transitively() {
+        let mut t = DamageTracker::new(1000, 1000);
+        t.add(Rect::new(0, 0, 10, 10));
+        t.add(Rect::new(20, 0, 10, 10));
+        // Bridges both: all three must merge into one.
+        t.add(Rect::new(5, 0, 20, 10));
+        assert_eq!(t.take().rects, vec![Rect::new(0, 0, 30, 10)]);
+    }
+
+    #[test]
+    fn list_stays_bounded() {
+        let mut t = DamageTracker::new(100_000, 10);
+        for i in 0..200 {
+            t.add(Rect::new(i * 20, 0, 5, 5));
+        }
+        assert!(t.rect_count() <= MAX_DAMAGE_RECTS);
+    }
+
+    #[test]
+    fn heavy_coverage_falls_back_to_full() {
+        let mut t = DamageTracker::new(100, 100);
+        t.add(Rect::new(0, 0, 90, 90));
+        let d = t.take();
+        assert!(d.full, "81% coverage must collapse to full-frame");
+        assert!(d.rects.is_empty());
+    }
+
+    #[test]
+    fn offscreen_damage_is_clipped_or_dropped() {
+        let mut t = DamageTracker::new(100, 100);
+        t.add(Rect::new(-500, -500, 10, 10));
+        assert!(!t.is_dirty());
+        t.add(Rect::new(95, 95, 50, 50));
+        assert_eq!(t.take().rects, vec![Rect::new(95, 95, 5, 5)]);
+    }
+
+    #[test]
+    fn no_dirty_pixel_is_ever_lost() {
+        let mut t = DamageTracker::new(1024, 768);
+        let added = [
+            Rect::new(3, 3, 40, 40),
+            Rect::new(100, 200, 7, 9),
+            Rect::new(30, 30, 100, 5),
+            Rect::new(900, 700, 200, 200), // clipped
+        ];
+        for r in added {
+            t.add(r);
+        }
+        let d = t.take();
+        for r in added {
+            let clipped = r.intersect(&t.bounds()).unwrap();
+            assert!(d.covers(&clipped), "{clipped:?} lost from {d:?}");
+        }
+    }
+
+    #[test]
+    fn merge_taken_damage_back_in() {
+        let mut t = DamageTracker::new(100, 100);
+        t.add(Rect::new(0, 0, 5, 5));
+        let d = t.take();
+        assert!(!t.is_dirty());
+        t.merge(&d);
+        assert!(t.is_dirty());
+        t.merge(&Damage::full());
+        assert!(t.take().full);
+    }
+
+    #[test]
+    fn taken_rects_are_canonically_ordered() {
+        let mut t = DamageTracker::new(1000, 1000);
+        t.add(Rect::new(500, 500, 5, 5));
+        t.add(Rect::new(0, 0, 5, 5));
+        t.add(Rect::new(200, 0, 5, 5));
+        let d = t.take();
+        assert_eq!(
+            d.rects,
+            vec![
+                Rect::new(0, 0, 5, 5),
+                Rect::new(200, 0, 5, 5),
+                Rect::new(500, 500, 5, 5)
+            ]
+        );
+    }
+}

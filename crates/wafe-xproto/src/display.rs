@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::color::{Pixel, WHITE};
+use crate::damage::{Damage, DamageTracker};
 use crate::event::{Event, EventKind, Modifiers};
 use crate::font::FontDb;
 use crate::framebuffer::{AsciiCanvas, DrawOp, Framebuffer};
@@ -69,8 +70,17 @@ pub struct Display {
     framebuffer: Framebuffer,
     blocked_events: u64,
     held_modifiers: Modifiers,
-    /// Damage flag: set by any visible mutation, cleared by [`Self::flush`].
-    dirty: bool,
+    /// Damage pending since the last flush: every visible mutation
+    /// records a rectangle here; [`Self::flush`] takes and repaints it.
+    damage: DamageTracker,
+    /// Flushed damage not yet shipped to an attached display client —
+    /// frames coalesce here when the outbound queue is busy.
+    pending_frame: DamageTracker,
+    /// A remote display client is attached: flushes composite into the
+    /// persistent framebuffer and accumulate frame damage.
+    compositing: bool,
+    /// Monotonic sequence number of shipped display frames.
+    frame_seq: u64,
 }
 
 /// Default screen size.
@@ -101,13 +111,22 @@ impl Display {
             fonts: FontDb::new(),
             atoms: Vec::new(),
             selections: HashMap::new(),
-            // Allocated lazily by the first flush: headless sessions
-            // (wafe-serve runs thousands) never composite, and the
-            // 1024x768 pixel buffer is ~3 MB per display.
+            // Materialized only when pixels are actually needed (a
+            // display client attaches, or `framebuffer()` is read):
+            // headless sessions (wafe-serve runs thousands) never
+            // composite, and the 1024x768 pixel buffer is ~3 MB per
+            // display. A headless flush only moves damage rectangles.
             framebuffer: Framebuffer::new(0, 0, 0xbebebe),
             blocked_events: 0,
             held_modifiers: Modifiers::NONE,
-            dirty: true,
+            damage: {
+                let mut d = DamageTracker::new(SCREEN_W, SCREEN_H);
+                d.add_full();
+                d
+            },
+            pending_frame: DamageTracker::new(SCREEN_W, SCREEN_H),
+            compositing: false,
+            frame_seq: 0,
         }
     }
 
@@ -143,13 +162,27 @@ impl Display {
         id
     }
 
+    /// Records the on-screen footprint of a window (content plus
+    /// border) as damaged, if it is currently visible.
+    fn damage_window(&mut self, id: WindowId) {
+        let border = match self.windows.get(&id) {
+            Some(w) if !w.destroyed => w.border_width,
+            _ => return,
+        };
+        if !self.is_viewable(id) {
+            return;
+        }
+        let r = self.abs_rect(id).inflated(border);
+        self.damage.add(r);
+    }
+
     /// Destroys a window and its subtree, generating `DestroyNotify` for
     /// each, depth-first.
     pub fn destroy_window(&mut self, id: WindowId) {
-        self.dirty = true;
         if id == self.root {
             return;
         }
+        self.damage_window(id);
         let children = match self.windows.get(&id) {
             Some(w) if !w.destroyed => w.children.clone(),
             _ => return,
@@ -174,12 +207,12 @@ impl Display {
 
     /// Maps a window, generating `MapNotify` and an `Expose`.
     pub fn map_window(&mut self, id: WindowId) {
-        self.dirty = true;
         let ok = matches!(self.windows.get(&id), Some(w) if !w.destroyed && !w.mapped);
         if !ok {
             return;
         }
         self.windows.get_mut(&id).unwrap().mapped = true;
+        self.damage_window(id);
         self.push(Event::new(EventKind::MapNotify, id));
         self.expose(id);
         self.update_pointer_window();
@@ -187,11 +220,11 @@ impl Display {
 
     /// Unmaps a window, generating `UnmapNotify`.
     pub fn unmap_window(&mut self, id: WindowId) {
-        self.dirty = true;
         let ok = matches!(self.windows.get(&id), Some(w) if w.mapped);
         if !ok {
             return;
         }
+        self.damage_window(id);
         self.windows.get_mut(&id).unwrap().mapped = false;
         self.push(Event::new(EventKind::UnmapNotify, id));
         self.update_pointer_window();
@@ -213,17 +246,23 @@ impl Display {
     /// Moves/resizes a window, generating `ConfigureNotify` (and an
     /// `Expose` when the size changed).
     pub fn configure_window(&mut self, id: WindowId, rect: Rect) {
-        self.dirty = true;
-        let (resized, changed) = match self.windows.get_mut(&id) {
-            Some(w) if !w.destroyed => {
-                let resized = w.rect.w != rect.w || w.rect.h != rect.h;
-                let changed = w.rect != rect;
-                w.rect = rect;
-                (resized, changed)
-            }
+        let changed = match self.windows.get(&id) {
+            Some(w) if !w.destroyed => w.rect != rect,
             _ => return,
         };
         if changed {
+            self.damage_window(id); // Old footprint: parent must repaint it.
+        }
+        let resized = match self.windows.get_mut(&id) {
+            Some(w) => {
+                let resized = w.rect.w != rect.w || w.rect.h != rect.h;
+                w.rect = rect;
+                resized
+            }
+            None => return,
+        };
+        if changed {
+            self.damage_window(id); // New footprint.
             let mut e = Event::new(EventKind::ConfigureNotify, id);
             e.x = rect.x;
             e.y = rect.y;
@@ -256,7 +295,21 @@ impl Display {
         border_pixel: Option<Pixel>,
         border_width: Option<u32>,
     ) {
-        self.dirty = true;
+        // Damage only on a real change: the toolkit re-syncs attributes
+        // for whole trees after a layout pass, and an unchanged window
+        // must not dirty the screen.
+        let changed = match self.windows.get(&id) {
+            Some(w) => {
+                background.is_some_and(|b| b != w.background)
+                    || border_pixel.is_some_and(|b| b != w.border_pixel)
+                    || border_width.is_some_and(|b| b != w.border_width)
+            }
+            None => false,
+        };
+        if !changed {
+            return;
+        }
+        self.damage_window(id); // Old footprint (border width may shrink).
         if let Some(w) = self.windows.get_mut(&id) {
             if let Some(b) = background {
                 w.background = b;
@@ -268,11 +321,12 @@ impl Display {
                 w.border_width = b;
             }
         }
+        self.damage_window(id);
     }
 
     /// Raises a window to the top of its siblings' stacking order.
     pub fn raise_window(&mut self, id: WindowId) {
-        self.dirty = true;
+        self.damage_window(id);
         let parent = match self.windows.get(&id) {
             Some(w) => w.parent,
             None => return,
@@ -332,12 +386,17 @@ impl Display {
 
     // ----- drawing ------------------------------------------------------
 
-    /// Replaces a window's retained display list.
+    /// Replaces a window's retained display list. Damages the window
+    /// only when the list actually changed — redisplay passes rebuild
+    /// whole trees, and identical output must not dirty the screen.
     pub fn set_display_list(&mut self, id: WindowId, ops: Vec<DrawOp>) {
-        self.dirty = true;
         if let Some(w) = self.windows.get_mut(&id) {
+            if w.display_list == ops {
+                return;
+            }
             w.display_list = ops;
         }
+        self.damage_window(id);
     }
 
     /// Generates `Expose` for a window and its viewable descendants.
@@ -358,16 +417,42 @@ impl Display {
         }
     }
 
-    /// Composites every viewable window into the framebuffer. Damage
-    /// tracked: a no-op when nothing changed since the last flush.
+    /// Composites pending damage into the framebuffer. Damage tracked
+    /// twice over: a no-op when nothing changed since the last flush,
+    /// and only the damaged regions are repainted when something did.
+    /// A headless display (no client attached, pixels never read) only
+    /// moves damage rectangles here — the pixel buffer stays
+    /// unallocated.
     pub fn flush(&mut self) {
-        if !self.dirty {
+        if !self.damage.is_dirty() {
             return;
         }
-        let mut fb = Framebuffer::new(SCREEN_W, SCREEN_H, 0xbebebe);
-        self.paint(self.root, Rect::new(0, 0, SCREEN_W, SCREEN_H), &mut fb);
+        let damage = self.damage.take();
+        if self.compositing || !self.framebuffer.is_empty() {
+            self.repaint(&damage);
+        }
+        // Whatever changed on screen is owed to an attached client.
+        self.pending_frame.merge(&damage);
+    }
+
+    /// Repaints the damaged regions into the persistent framebuffer,
+    /// materializing it (with a full paint) on first use. `paint`
+    /// starts at the root, whose background covers every clip, so a
+    /// damaged region needs no separate clear.
+    fn repaint(&mut self, damage: &Damage) {
+        let mut fb = std::mem::replace(&mut self.framebuffer, Framebuffer::new(0, 0, 0));
+        let first = fb.is_empty();
+        if first {
+            fb = Framebuffer::new(SCREEN_W, SCREEN_H, 0xbebebe);
+        }
+        if first || damage.full {
+            self.paint(self.root, Rect::new(0, 0, SCREEN_W, SCREEN_H), &mut fb);
+        } else {
+            for r in &damage.rects {
+                self.paint(self.root, *r, &mut fb);
+            }
+        }
         self.framebuffer = fb;
-        self.dirty = false;
     }
 
     fn paint(&self, id: WindowId, clip: Rect, fb: &mut Framebuffer) {
@@ -434,10 +519,98 @@ impl Display {
         }
     }
 
-    /// Read-only access to the composited framebuffer (call [`Self::flush`]
-    /// first).
-    pub fn framebuffer(&self) -> &Framebuffer {
+    /// Access to the composited framebuffer (call [`Self::flush`]
+    /// first). Reading the pixels materializes the buffer on first use;
+    /// until then a display is pure bookkeeping.
+    pub fn framebuffer(&mut self) -> &Framebuffer {
+        if self.framebuffer.is_empty() {
+            self.repaint(&Damage::full());
+        }
         &self.framebuffer
+    }
+
+    // ----- remote display (frame damage) --------------------------------
+
+    /// Turns compositing on or off. While on, every flush repaints the
+    /// persistent framebuffer and accumulates frame damage for an
+    /// attached remote client; turning it on schedules a full repaint
+    /// so the client's first frame covers the whole screen.
+    pub fn set_compositing(&mut self, on: bool) {
+        self.compositing = on;
+        if on {
+            self.damage.add_full();
+            self.pending_frame = DamageTracker::new(SCREEN_W, SCREEN_H);
+        }
+    }
+
+    /// Whether a remote display client is compositing this display.
+    pub fn compositing(&self) -> bool {
+        self.compositing
+    }
+
+    /// Whether the pixel buffer has been allocated.
+    pub fn is_materialized(&self) -> bool {
+        !self.framebuffer.is_empty()
+    }
+
+    /// Whether flushed damage is waiting to be shipped as a frame.
+    pub fn has_pending_frame(&self) -> bool {
+        self.pending_frame.is_dirty()
+    }
+
+    /// Takes the accumulated frame damage for encoding.
+    pub fn take_frame_damage(&mut self) -> Damage {
+        self.pending_frame.take()
+    }
+
+    /// Requests that the next shipped frame cover the whole screen —
+    /// the client-side resync path after a rejected frame.
+    pub fn request_full_frame(&mut self) {
+        self.damage.add_full();
+    }
+
+    /// Sequence number of the last allocated display frame.
+    pub fn frame_seq(&self) -> u64 {
+        self.frame_seq
+    }
+
+    /// Allocates the next frame sequence number.
+    pub fn next_frame_seq(&mut self) -> u64 {
+        self.frame_seq += 1;
+        self.frame_seq
+    }
+
+    /// The damage state a session snapshot carries: `(frame_seq,
+    /// compositing, pending-full flag, pending rects)`. Un-flushed
+    /// damage is flushed into the pending frame first so nothing is
+    /// lost across a park.
+    pub fn damage_state(&mut self) -> (u64, bool, bool, Vec<Rect>) {
+        self.flush();
+        (
+            self.frame_seq,
+            self.compositing,
+            self.pending_frame.is_full(),
+            self.pending_frame.rects().to_vec(),
+        )
+    }
+
+    /// Restores the state captured by [`Self::damage_state`].
+    pub fn restore_damage_state(
+        &mut self,
+        seq: u64,
+        compositing: bool,
+        full: bool,
+        rects: &[Rect],
+    ) {
+        self.frame_seq = seq;
+        self.compositing = compositing;
+        self.pending_frame = DamageTracker::new(SCREEN_W, SCREEN_H);
+        if full {
+            self.pending_frame.add_full();
+        }
+        for r in rects {
+            self.pending_frame.add(*r);
+        }
     }
 
     /// Renders an ASCII screenshot of the viewable window tree — the
@@ -985,6 +1158,95 @@ mod tests {
         assert_eq!(d.window_at(Point::new(50, 50)), b);
         d.raise_window(a);
         assert_eq!(d.window_at(Point::new(50, 50)), a);
+    }
+
+    #[test]
+    fn headless_flush_never_materializes() {
+        let (mut d, top, _) = setup();
+        d.set_window_attrs(top, Some(0xff0000), None, None);
+        d.flush();
+        d.configure_window(top, Rect::new(50, 60, 200, 150));
+        d.flush();
+        assert!(
+            !d.is_materialized(),
+            "a headless session must not allocate a pixel buffer on flush"
+        );
+        // Flushed damage still accumulates for a future attach.
+        assert!(d.has_pending_frame());
+    }
+
+    #[test]
+    fn incremental_repaint_matches_full_paint() {
+        let (mut d, top, child) = setup();
+        d.framebuffer(); // Materialize, full paint of the initial tree.
+        d.flush();
+        // A series of damaging mutations, each incrementally repainted.
+        d.set_window_attrs(top, Some(0xff0000), None, None);
+        d.flush();
+        d.set_window_attrs(child, Some(0x00ff00), None, None);
+        d.flush();
+        d.configure_window(child, Rect::new(30, 40, 60, 25));
+        d.flush();
+        d.unmap_window(child);
+        d.flush();
+        d.map_window(child);
+        d.flush();
+        let incremental = d.framebuffer().clone();
+        // A fresh display replaying the same end state, painted once.
+        let mut fresh = Display::open(":0");
+        let top2 = fresh.create_window(
+            fresh.root(),
+            WindowAttributes {
+                rect: Rect::new(100, 100, 200, 150),
+                background: 0xff0000,
+                ..Default::default()
+            },
+        );
+        let child2 = fresh.create_window(
+            top2,
+            WindowAttributes {
+                rect: Rect::new(30, 40, 60, 25),
+                background: 0x00ff00,
+                ..Default::default()
+            },
+        );
+        fresh.map_window(top2);
+        fresh.map_window(child2);
+        fresh.flush();
+        let full = fresh.framebuffer();
+        for y in 0..SCREEN_H as i32 {
+            for x in 0..SCREEN_W as i32 {
+                assert_eq!(
+                    incremental.get(x, y),
+                    full.get(x, y),
+                    "pixel ({x},{y}) diverged between incremental and full paint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_damage_accumulates_across_flushes() {
+        let (mut d, top, _) = setup();
+        d.set_compositing(true);
+        d.flush();
+        // Attach scheduled a full frame.
+        let first = d.take_frame_damage();
+        assert!(first.full);
+        assert!(!d.has_pending_frame());
+        // Two small mutations, two flushes, one coalesced frame.
+        d.set_window_attrs(top, Some(0xff0000), None, None);
+        d.flush();
+        d.configure_window(top, Rect::new(100, 100, 210, 150));
+        d.flush();
+        let frame = d.take_frame_damage();
+        assert!(!frame.is_empty());
+        // Footprint of the old geometry (border outer edge at 100,100).
+        assert!(frame.covers(&Rect::new(100, 100, 202, 152)));
+        // Resync path: a requested full frame arrives on the next flush.
+        d.request_full_frame();
+        d.flush();
+        assert!(d.take_frame_damage().full);
     }
 
     #[test]

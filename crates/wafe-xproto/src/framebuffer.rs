@@ -88,6 +88,28 @@ impl Framebuffer {
         }
     }
 
+    /// True for the zero-sized placeholder a headless display holds
+    /// before its pixel buffer is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// Copies the pixels of a rectangle (clipped to the buffer),
+    /// row-major — the payload of a display-protocol damage rect.
+    pub fn rect_pixels(&self, rect: Rect) -> Vec<Pixel> {
+        let bounds = Rect::new(0, 0, self.width, self.height);
+        let r = match rect.intersect(&bounds) {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity((r.w * r.h) as usize);
+        for y in r.y..r.y + r.h as i32 {
+            let row = (y as u32 * self.width + r.x as u32) as usize;
+            out.extend_from_slice(&self.pixels[row..row + r.w as usize]);
+        }
+        out
+    }
+
     /// Reads one pixel; out-of-bounds reads return black.
     pub fn get(&self, x: i32, y: i32) -> Pixel {
         if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {

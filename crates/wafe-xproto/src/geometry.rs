@@ -71,6 +71,44 @@ impl Rect {
     pub fn area(&self) -> u64 {
         self.w as u64 * self.h as u64
     }
+
+    /// The smallest rectangle covering both. An empty rectangle is the
+    /// identity, so damage accumulation can start from `Rect::default()`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.w == 0 || self.h == 0 {
+            return *other;
+        }
+        if other.w == 0 || other.h == 0 {
+            return *self;
+        }
+        let x1 = self.x.min(other.x);
+        let y1 = self.y.min(other.y);
+        let x2 = (self.x + self.w as i32).max(other.x + other.w as i32);
+        let y2 = (self.y + self.h as i32).max(other.y + other.h as i32);
+        Rect::new(x1, y1, (x2 - x1) as u32, (y2 - y1) as u32)
+    }
+
+    /// True if `other` lies entirely inside this rectangle (empty
+    /// rectangles are contained everywhere).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.w == 0 || other.h == 0 {
+            return true;
+        }
+        other.x >= self.x
+            && other.y >= self.y
+            && other.x + other.w as i32 <= self.x + self.w as i32
+            && other.y + other.h as i32 <= self.y + self.h as i32
+    }
+
+    /// The rectangle grown by `m` pixels on every side (window borders).
+    pub fn inflated(&self, m: u32) -> Rect {
+        Rect::new(
+            self.x - m as i32,
+            self.y - m as i32,
+            self.w + 2 * m,
+            self.h + 2 * m,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +146,31 @@ mod tests {
     #[test]
     fn point_offset() {
         assert_eq!(Point::new(1, 2).offset(3, -1), Point::new(4, 1));
+    }
+
+    #[test]
+    fn union_covers_both_and_empty_is_identity() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(20, 5, 4, 4);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0, 0, 24, 10));
+        assert_eq!(Rect::default().union(&a), a);
+        assert_eq!(a.union(&Rect::default()), a);
+    }
+
+    #[test]
+    fn contains_rect_edges() {
+        let a = Rect::new(0, 0, 10, 10);
+        assert!(a.contains_rect(&Rect::new(0, 0, 10, 10)));
+        assert!(a.contains_rect(&Rect::new(3, 3, 2, 2)));
+        assert!(!a.contains_rect(&Rect::new(5, 5, 10, 2)));
+        assert!(a.contains_rect(&Rect::new(50, 50, 0, 3)), "empty rect");
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        assert_eq!(Rect::new(5, 5, 10, 10).inflated(2), Rect::new(3, 3, 14, 14));
     }
 }

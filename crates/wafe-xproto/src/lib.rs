@@ -21,6 +21,7 @@
 //! events always produces the same queue and the same framebuffer.
 
 pub mod color;
+pub mod damage;
 pub mod display;
 pub mod event;
 pub mod font;
@@ -32,7 +33,8 @@ pub mod pixmap;
 pub mod window;
 
 pub use color::{lookup_color, Pixel};
-pub use display::{Atom, Display, GrabKind, WindowAttributes};
+pub use damage::{Damage, DamageTracker, FULL_COVERAGE_PERMILLE, MAX_DAMAGE_RECTS};
+pub use display::{Atom, Display, GrabKind, WindowAttributes, SCREEN_H, SCREEN_W};
 pub use event::{Event, EventKind, Modifiers};
 pub use font::{Font, FontDb, FontId};
 pub use framebuffer::{DrawOp, Framebuffer};

@@ -98,6 +98,69 @@ EOF
         || { echo "waferd did not report a clean drain"; exit 1; }
 ' || { echo "waferd smoke test: FAILED (or exceeded 30s)"; exit 1; }
 
+# Display smoke test: attach the display protocol over real TCP, drive
+# a widget update, and require a checksum-valid frame notice back —
+# the browser-free path through the exact bytes the canvas client sees.
+echo "== waferd display smoke test (30s guard)"
+timeout 30 sh -c '
+    ./target/release/waferd --quiet --max-sessions 4 > /tmp/waferd-ci-display.out 2>&1 &
+    pid=$!
+    port=""
+    i=0
+    while [ $i -lt 50 ]; do
+        port=$(sed -n "s/.*listening tcp 127\.0\.0\.1:\([0-9]*\)/\1/p" /tmp/waferd-ci-display.out)
+        [ -n "$port" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$port" ] || { echo "waferd did not report a port"; kill $pid; exit 1; }
+    python3 - "$port" <<"EOF" || { kill $pid; exit 1; }
+import socket, sys
+
+def fnv1a(data):
+    h = 0x811C9DC5
+    for b in data:
+        h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+    return h
+
+def read_frame(f):
+    while True:
+        line = f.readline()
+        assert line, "EOF before a display frame arrived"
+        line = line.rstrip("\n")
+        if not line.startswith("!display frame "):
+            continue
+        payload = bytes.fromhex(line.split(" ", 2)[2])
+        assert payload[:4] == b"WFRM", "bad frame magic"
+        assert int.from_bytes(payload[4:8], "big") == 1, "bad frame version"
+        want = int.from_bytes(payload[-4:], "big")
+        assert fnv1a(payload[:-4]) == want, "frame checksum mismatch"
+        w = int.from_bytes(payload[16:20], "big")
+        h = int.from_bytes(payload[20:24], "big")
+        assert (w, h) == (1024, 768), f"unexpected screen {w}x{h}"
+        return int.from_bytes(payload[8:16], "big")
+
+port = int(sys.argv[1])
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+f = s.makefile("rw", newline="\n")
+f.write("%display attach\n")
+f.write("%label hello topLevel label {ci smoke} width 120 height 40\n")
+f.write("%realize\n")
+f.flush()
+first = read_frame(f)
+# Frames coalesce to latest while unsent, so the second update is only
+# driven after the first frame has been read off the wire.
+f.write("%setValues hello label {ci smoke updated}\n")
+f.flush()
+second = read_frame(f)
+assert second > first, f"frame seq did not advance: {first} -> {second}"
+s.close()
+EOF
+    kill $pid 2>/dev/null
+    wait $pid 2>/dev/null
+    exit 0
+' || { echo "waferd display smoke test: FAILED (or exceeded 30s)"; exit 1; }
+
 # Perf gates. E21 is the dual-rep value model: one smoke run must
 # complete (its >=3x acceptance assert is inside the bench) and leave
 # well-formed JSON behind. E19 must not regress: the freshly measured
@@ -197,6 +260,21 @@ p99 = d["restore_p99_us"]
 assert p99 <= 10000.0, "e27: restore p99 %.1fus > 10ms" % p99
 print("  restore p99: %.1fus (gate <=10ms) ok" % p99)
 ' || { echo "BENCH_e27.json: malformed or above the 10ms restore gate"; exit 1; }
+
+# E28 is the display protocol: the run itself asserts every frame
+# decodes back to the bytes it encoded, and the gate below requires
+# damage-tracked frames to ship >=5x fewer bytes than full repaints on
+# the dashboard workload — below that, per-mutation damage bookkeeping
+# would not earn its keep and the protocol could just ship screens.
+echo "== bench e28 smoke run + >=5x bytes-saved gate"
+run_bench e28_display
+python3 -c '
+import json
+d = json.load(open("BENCH_e28.json"))
+r = d["bytes_saved_ratio"]
+assert r >= 5.0, "e28: bytes_saved_ratio %.1fx < 5x" % r
+print("  bytes saved: %.1fx (gate >=5x) ok" % r)
+' || { echo "BENCH_e28.json: malformed or below the 5x gate"; exit 1; }
 
 # The band was 5% while the cached side was tree-walked; the bytecode
 # VM cut cached iteration times ~3x, which widened the run-to-run

@@ -25,18 +25,29 @@
 //! live session, so `%serve drain` + restart + `%session restore
 //! <slot:gen>` is a rolling restart that loses no session state. See
 //! `docs/checkpoint.md`.
+//!
+//! `--display-http ADDR` opens the browser display bridge: `GET /`
+//! serves a static `<canvas>` client, `GET /stream` opens a loopback
+//! session, sends `%display attach` and relays its `!display frame
+//! <hex>` notices as a streamed text body, and `POST /event` /
+//! `POST /resync` write `%display event <hex>` / `%display frame`
+//! back into that session. Requires `--listen`. See `docs/display.md`.
 
-use std::io::Write;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use wafe_core::Flavor;
 use wafe_serve::{IoModel, Registry, Server, ServerConfig};
 
 const USAGE: &str = "usage: waferd [--listen ADDR] [--unix PATH] [--max-sessions N] \
 [--queue-depth N] [--workers N] [--idle-evict MS] [--drain-timeout MS] \
-[--telemetry] [--metrics ADDR] [--park-dir DIR] [--io poll|threads] \
-[--accept-backoff MS] [--motif] [--quiet]";
+[--telemetry] [--metrics ADDR] [--display-http ADDR] [--park-dir DIR] \
+[--io poll|threads] [--accept-backoff MS] [--motif] [--quiet]";
 
 fn value(args: &mut dyn Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| {
@@ -59,6 +70,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut metrics_addr: Option<String> = None;
+    let mut display_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +89,7 @@ fn main() {
             }
             "--telemetry" => config.telemetry = true,
             "--metrics" => metrics_addr = Some(value(&mut args, "--metrics")),
+            "--display-http" => display_addr = Some(value(&mut args, "--display-http")),
             "--park-dir" => config.park_dir = Some(PathBuf::from(value(&mut args, "--park-dir"))),
             "--io" => {
                 config.io = match value(&mut args, "--io").as_str() {
@@ -103,6 +116,17 @@ fn main() {
             }
         }
     }
+    // Deterministic fault injection (chaos drills): validated here so
+    // a typo in the spec is a loud startup error; the schedulers then
+    // re-read the validated variable.
+    if let Some(Err(e)) = wafe_ipc::FaultPlan::from_env() {
+        eprintln!("waferd: invalid {}: {e}", wafe_ipc::FAULTS_ENV_VAR);
+        exit(2);
+    }
+    if display_addr.is_some() && config.tcp.is_none() {
+        eprintln!("waferd: --display-http needs --listen (the bridge dials the session port)");
+        exit(2);
+    }
     let server = match Server::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -119,6 +143,16 @@ fn main() {
             Ok(local) => println!("waferd metrics tcp {local}"),
             Err(e) => {
                 eprintln!("waferd: cannot open metrics listener on {addr}: {e}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(addr) = display_addr {
+        let session_addr = server.local_addr().expect("checked above: --listen is set");
+        match start_display_listener(&addr, session_addr) {
+            Ok(local) => println!("waferd display http {local}"),
+            Err(e) => {
+                eprintln!("waferd: cannot open display listener on {addr}: {e}");
                 exit(2);
             }
         }
@@ -154,4 +188,164 @@ fn start_metrics_listener(
         }
     });
     Ok(local)
+}
+
+/// The canvas client page, compiled into the binary so the bridge has
+/// no runtime file dependency.
+const DISPLAY_HTML: &str = include_str!("waferd_display.html");
+
+/// The write halves of the bridge's open display sessions, keyed by
+/// the token handed to each `/stream` client — `POST /event` looks its
+/// session up here.
+type DisplayPeers = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// The browser display bridge: a minimal HTTP/1.0 listener translating
+/// between the web and the `%`-line protocol. Each `/stream` client
+/// gets its own loopback session on the main listener — the bridge
+/// adds no session semantics of its own, so a browser tab behaves
+/// exactly like any other connected client.
+fn start_display_listener(addr: &str, session_addr: SocketAddr) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let peers: DisplayPeers = Arc::new(Mutex::new(HashMap::new()));
+    let next_token = Arc::new(AtomicU64::new(1));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let peers = peers.clone();
+            let next_token = next_token.clone();
+            std::thread::spawn(move || {
+                let _ = serve_display_request(stream, session_addr, &peers, &next_token);
+            });
+        }
+    });
+    Ok(local)
+}
+
+fn http_respond(
+    stream: &mut TcpStream,
+    status: &str,
+    ctype: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    stream.write_all(
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn serve_display_request(
+    mut stream: TcpStream,
+    session_addr: SocketAddr,
+    peers: &DisplayPeers,
+    next_token: &AtomicU64,
+) -> std::io::Result<()> {
+    // Read the request head (capped — anything bigger is not ours).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        if stream.read(&mut byte)? == 0 {
+            return Ok(());
+        }
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request = lines.next().unwrap_or("");
+    let mut parts = request.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    match (method, path) {
+        ("GET", "/") => http_respond(&mut stream, "200 OK", "text/html", DISPLAY_HTML),
+        ("GET", "/stream") => serve_display_stream(stream, session_addr, peers, next_token),
+        ("POST", "/event") | ("POST", "/resync") => {
+            let mut body = vec![0u8; content_length.min(1 << 20)];
+            stream.read_exact(&mut body)?;
+            let body = String::from_utf8_lossy(&body);
+            // Body: "<token> <payload>"; the payload is the event hex
+            // for /event and empty for /resync.
+            let (token, payload) = body.trim().split_once(' ').unwrap_or((body.trim(), ""));
+            let Some(token) = token.parse::<u64>().ok() else {
+                return http_respond(&mut stream, "400 Bad Request", "text/plain", "bad token\n");
+            };
+            let line = if path == "/event" {
+                if payload.is_empty() || !payload.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return http_respond(
+                        &mut stream,
+                        "400 Bad Request",
+                        "text/plain",
+                        "bad event hex\n",
+                    );
+                }
+                format!("%display event {payload}\n")
+            } else {
+                "%display frame\n".to_string()
+            };
+            let sess = peers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&token)
+                .and_then(|s| s.try_clone().ok());
+            match sess {
+                Some(mut sess) => {
+                    sess.write_all(line.as_bytes())?;
+                    http_respond(&mut stream, "200 OK", "text/plain", "ok\n")
+                }
+                None => http_respond(
+                    &mut stream,
+                    "404 Not Found",
+                    "text/plain",
+                    "no such stream\n",
+                ),
+            }
+        }
+        _ => http_respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// One browser tab's frame stream: dial the session port, attach the
+/// display, then relay every `!`-notice line (frames included) as a
+/// streamed response body. The first body line is `token <n>` — the
+/// handle `POST /event` uses to reach this same session. When either
+/// side hangs up the other is closed too, ending the session.
+fn serve_display_stream(
+    mut stream: TcpStream,
+    session_addr: SocketAddr,
+    peers: &DisplayPeers,
+    next_token: &AtomicU64,
+) -> std::io::Result<()> {
+    let mut sess = TcpStream::connect(session_addr)?;
+    sess.write_all(b"%display attach\n")?;
+    let token = next_token.fetch_add(1, Ordering::Relaxed);
+    peers
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(token, sess.try_clone()?);
+    let result = (|| {
+        stream.write_all(
+            b"HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nCache-Control: no-store\r\n\r\n",
+        )?;
+        stream.write_all(format!("token {token}\n").as_bytes())?;
+        for line in BufReader::new(sess.try_clone()?).lines() {
+            let line = line?;
+            if line.starts_with('!') {
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+            }
+        }
+        Ok(())
+    })();
+    peers
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&token);
+    let _ = sess.shutdown(std::net::Shutdown::Both);
+    result
 }
